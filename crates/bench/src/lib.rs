@@ -1,0 +1,223 @@
+//! # `mlpeer-bench` — experiment harness
+//!
+//! Wires the full reproduction pipeline together: generate the
+//! calibrated ecosystem, build every data-source substrate, run passive
+//! + active inference, and hand the results to the per-figure analyses.
+//! The `experiments` binary renders every table and figure of the
+//! paper; `benches/benches.rs` holds the Criterion micro/macro
+//! benchmarks.
+
+use std::collections::BTreeSet;
+
+use mlpeer::active::{query_member_lgs, query_rs_lg, ActiveConfig, ActiveStats};
+use mlpeer::connectivity::{gather_connectivity, ConnectivityData};
+use mlpeer::dict::{dictionary_from_connectivity, CommunityDictionary};
+use mlpeer::infer::{infer_links, MlpLinkSet, Observation, ObservationSource};
+use mlpeer::passive::{harvest_passive, PassiveConfig, PassiveStats};
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_data::collector::{build_passive, CollectorConfig, PassiveDataset};
+use mlpeer_data::geo::GeoDb;
+use mlpeer_data::irr::{build_irr, IrrConfig, IrrDatabase, Source};
+use mlpeer_data::lg::{build_lg_roster, LgTarget, LookingGlassHost};
+use mlpeer_data::peeringdb::{PeeringDb, PeeringDbConfig};
+use mlpeer_data::traceroute::{build_traceroute, TracerouteDataset};
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+use mlpeer_topo::infer::{infer_relationships, InferConfig, InferredRelationships};
+
+/// Scale presets for the experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~8 % of Table 2 (seconds).
+    Tiny,
+    /// ~25 % of Table 2 (tens of seconds).
+    Small,
+    /// Table 2 scale (minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Ecosystem config for this scale.
+    pub fn config(self, seed: u64) -> EcosystemConfig {
+        match self {
+            Scale::Tiny => EcosystemConfig::tiny(seed),
+            Scale::Small => EcosystemConfig::small(seed),
+            Scale::Paper => EcosystemConfig::paper_scale(seed),
+        }
+    }
+
+    /// Parse from a CLI word.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the analyses need, produced by one pipeline run.
+pub struct Pipeline<'e> {
+    /// The shared routing simulation.
+    pub sim: Sim<'e>,
+    /// IRR registries.
+    pub irr: std::collections::BTreeMap<Source, IrrDatabase>,
+    /// All looking glasses (RS + member).
+    pub lgs: Vec<LookingGlassHost>,
+    /// Connectivity data.
+    pub conn: ConnectivityData,
+    /// The community dictionary.
+    pub dict: CommunityDictionary,
+    /// Archived collector data.
+    pub passive: PassiveDataset,
+    /// Relationship inference over public paths.
+    pub rels: InferredRelationships,
+    /// All observations (passive + active).
+    pub observations: Vec<Observation>,
+    /// Passive-pipeline statistics.
+    pub passive_stats: PassiveStats,
+    /// Active statistics per IXP.
+    pub active_stats: Vec<(IxpId, ActiveStats)>,
+    /// The inferred links.
+    pub links: MlpLinkSet,
+    /// Traceroute dataset (Ark/DIMES stand-in).
+    pub traceroute: TracerouteDataset,
+    /// PeeringDB.
+    pub pdb: PeeringDb,
+    /// Geolocation.
+    pub geo: GeoDb,
+}
+
+/// Run the complete inference pipeline over an ecosystem.
+pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
+    let sim = Sim::new(eco);
+    let irr = build_irr(eco, &IrrConfig { seed: seed ^ 0x11, ..IrrConfig::default() });
+    let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
+    let conn = gather_connectivity(&sim, &lgs, &irr);
+    let dict = dictionary_from_connectivity(eco, &conn);
+
+    // Passive first (it reduces active cost, Eq. 2).
+    let passive = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
+    let public_paths: Vec<Vec<Asn>> = passive
+        .collectors
+        .iter()
+        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
+        .collect();
+    let rels = infer_relationships(&public_paths, &InferConfig::default());
+    let (mut observations, passive_stats) =
+        harvest_passive(&passive, &dict, &conn, &rels, &PassiveConfig::default());
+
+    // Active per IXP.
+    let mut active_stats = Vec::new();
+    for ixp in &eco.ixps {
+        let covered: BTreeSet<Asn> = observations
+            .iter()
+            .filter(|o| o.ixp == ixp.id && o.source == ObservationSource::Passive)
+            .map(|o| o.member)
+            .collect();
+        let rs_lg = lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == ixp.id));
+        if let Some(lg) = rs_lg {
+            let (obs, stats) =
+                query_rs_lg(&sim, lg, ixp.id, &dict, &covered, &ActiveConfig::default());
+            observations.extend(obs);
+            active_stats.push((ixp.id, stats));
+        } else {
+            // Third-party member LGs (§4.1 fallback). Candidates: route
+            // objects of known members plus passively-seen prefixes.
+            let members = conn.rs_members(ixp.id);
+            let hosts: Vec<&LookingGlassHost> = lgs
+                .iter()
+                .filter(|l| match l.target {
+                    LgTarget::Member(a) => members.contains(&a),
+                    _ => false,
+                })
+                .take(3)
+                .collect();
+            let mut candidates: Vec<Prefix> = irr
+                .values()
+                .flat_map(|db| {
+                    db.objects.iter().filter_map(|o| match o {
+                        mlpeer_data::irr::RpslObject::Route { prefix, origin, .. }
+                            if members.contains(origin) =>
+                        {
+                            Some(*prefix)
+                        }
+                        _ => None,
+                    })
+                })
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            let (obs, stats) =
+                query_member_lgs(&sim, &hosts, ixp.id, &dict, &rels, &candidates, 400);
+            observations.extend(obs);
+            active_stats.push((ixp.id, stats));
+        }
+    }
+
+    let links = infer_links(&conn, &observations);
+    let traceroute = build_traceroute(&sim, seed ^ 0x44, 60);
+    let pdb = PeeringDb::build(eco, &PeeringDbConfig { seed: seed ^ 0x55, ..Default::default() });
+    let geo = GeoDb::build(eco);
+
+    Pipeline {
+        sim,
+        irr,
+        lgs,
+        conn,
+        dict,
+        passive,
+        rels,
+        observations,
+        passive_stats,
+        active_stats,
+        links,
+        traceroute,
+        pdb,
+        geo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_end_to_end_on_tiny() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(2024));
+        let p = run_pipeline(&eco, 2024);
+        assert!(!p.observations.is_empty());
+        assert!(!p.links.unique_links().is_empty());
+        assert!(p.links.per_ixp_total() >= p.links.unique_links().len());
+        // Soundness: every inferred link is a ground-truth link.
+        let truth = eco.all_ground_truth_links();
+        for l in p.links.unique_links() {
+            assert!(truth.contains(&l), "false link {l:?}");
+        }
+    }
+
+    #[test]
+    fn inference_recovers_most_mutual_links_at_lg_ixps() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(2025));
+        let p = run_pipeline(&eco, 2025);
+        for ixp in &eco.ixps {
+            if !ixp.has_lg || ixp.filter_portal {
+                continue;
+            }
+            let mutual = ixp.mutual_links();
+            let got = p.links.links_at(ixp.id);
+            let hit = mutual.iter().filter(|l| got.contains(l)).count();
+            let frac = hit as f64 / mutual.len().max(1) as f64;
+            assert!(
+                frac > 0.95,
+                "{}: recovered only {frac:.2} of mutual links ({hit}/{})",
+                ixp.name,
+                mutual.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Autonomous System Numbers.
+//!
+//! The paper's passive pipeline (§5) filters AS paths containing
+//! "reserved, unassigned, and private ASNs (i.e. 23456 and 63488–131071)";
+//! those predicates live here. Route-server community schemes (§3) must
+//! also know whether an ASN fits in the 16 bits available in the lower
+//! half of a community value, and map 32-bit members into the 16-bit
+//! private range when it does not.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::BgpError;
+
+/// A 32-bit Autonomous System Number.
+///
+/// `Asn` is a transparent newtype: cheap to copy, ordered, hashable, and
+/// printable in `asplain` form (the form used throughout the paper).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+/// AS_TRANS (RFC 6793): the 16-bit placeholder for 32-bit ASNs.
+pub const AS_TRANS: Asn = Asn(23456);
+
+/// First ASN of the 16-bit private range (RFC 6996).
+pub const PRIVATE16_START: u32 = 64512;
+/// Last ASN of the 16-bit private range (RFC 6996).
+pub const PRIVATE16_END: u32 = 65534;
+/// First ASN of the 32-bit private range (RFC 6996).
+pub const PRIVATE32_START: u32 = 4_200_000_000;
+/// Last ASN of the 32-bit private range (RFC 6996).
+pub const PRIVATE32_END: u32 = 4_294_967_294;
+
+impl Asn {
+    /// Construct an ASN from a raw number.
+    #[inline]
+    pub const fn new(n: u32) -> Self {
+        Asn(n)
+    }
+
+    /// The raw 32-bit value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True if the ASN fits in 16 bits (and so can be encoded directly
+    /// in the `peer-asn` half of an RS community value, §3).
+    #[inline]
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// True for ASN 0, which is never valid on the wire.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for AS_TRANS (23456), the RFC 6793 placeholder. The paper
+    /// filters paths containing it because it never identifies a real
+    /// network.
+    #[inline]
+    pub const fn is_as_trans(self) -> bool {
+        self.0 == 23456
+    }
+
+    /// True if the ASN is in a private-use range (16-bit 64512–65534 or
+    /// 32-bit 4200000000–4294967294, RFC 6996).
+    #[inline]
+    pub const fn is_private(self) -> bool {
+        (self.0 >= PRIVATE16_START && self.0 <= PRIVATE16_END)
+            || (self.0 >= PRIVATE32_START && self.0 <= PRIVATE32_END)
+    }
+
+    /// True for 65535 and 4294967295, reserved by IANA.
+    #[inline]
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 65535 || self.0 == u32::MAX
+    }
+
+    /// True if the ASN falls in the range the paper treats as
+    /// "reserved, unassigned, and private" when sanitizing AS paths
+    /// (§5): AS_TRANS (23456) or anything in 63488–131071 (which covers
+    /// the documentation range 64496–64511, the 16-bit private range,
+    /// 65535, and the unassigned block up to 131071).
+    #[inline]
+    pub const fn is_path_bogon(self) -> bool {
+        self.is_as_trans() || (self.0 >= 63488 && self.0 <= 131_071) || self.0 == 0
+    }
+
+    /// True if the ASN may legitimately appear in a public AS path.
+    #[inline]
+    pub const fn is_routable(self) -> bool {
+        !self.is_path_bogon() && !self.is_private() && !self.is_reserved() && self.0 != 0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(n: u32) -> Self {
+        Asn(n)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(n: u16) -> Self {
+        Asn(n as u32)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> Self {
+        a.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = BgpError;
+
+    /// Parse `asplain` ("65000") or `asdot` ("1.10") notation.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let s = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        if let Some((hi, lo)) = s.split_once('.') {
+            let hi: u32 = hi.parse().map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
+            let lo: u32 = lo.parse().map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
+            if hi > u16::MAX as u32 || lo > u16::MAX as u32 {
+                return Err(BgpError::InvalidAsn(s.to_string()));
+            }
+            Ok(Asn((hi << 16) | lo))
+        } else {
+            s.parse::<u32>().map(Asn).map_err(|_| BgpError::InvalidAsn(s.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ranges() {
+        assert!(Asn(23456).is_as_trans());
+        assert!(Asn(23456).is_path_bogon());
+        assert!(!Asn(23455).is_as_trans());
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(Asn(65535).is_reserved());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(Asn(u32::MAX - 1).is_private());
+        assert!(Asn(u32::MAX).is_reserved());
+    }
+
+    #[test]
+    fn paper_sanitation_range() {
+        // §5: filter 23456 and 63488–131071.
+        assert!(Asn(63488).is_path_bogon());
+        assert!(Asn(100_000).is_path_bogon());
+        assert!(Asn(131_071).is_path_bogon());
+        assert!(!Asn(131_072).is_path_bogon());
+        assert!(!Asn(63487).is_path_bogon());
+        assert!(Asn(0).is_path_bogon());
+        // Real ASNs from the paper are routable.
+        for asn in [6695u32, 8631, 9033, 15169, 20940, 9002, 8714] {
+            assert!(Asn(asn).is_routable(), "AS{asn} should be routable");
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_check() {
+        assert!(Asn(6695).is_16bit());
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+        assert!(!Asn(196_608).is_16bit()); // first public 32-bit ASN
+    }
+
+    #[test]
+    fn parse_asplain_and_asdot() {
+        assert_eq!("6695".parse::<Asn>().unwrap(), Asn(6695));
+        assert_eq!("AS6695".parse::<Asn>().unwrap(), Asn(6695));
+        assert_eq!("as3.10".parse::<Asn>().unwrap(), Asn((3 << 16) | 10));
+        assert_eq!("1.0".parse::<Asn>().unwrap(), Asn(65536));
+        assert!("1.65536".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("asdf".parse::<Asn>().is_err());
+        assert!("-5".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for n in [0u32, 1, 6695, 65536, u32::MAX] {
+            let a = Asn(n);
+            assert_eq!(a.to_string().parse::<Asn>().unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn ordering_and_hash() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Asn> = [Asn(5), Asn(1), Asn(5), Asn(9)].into_iter().collect();
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![Asn(1), Asn(5), Asn(9)]);
+    }
+}

@@ -1,0 +1,291 @@
+//! BGP communities (RFC 1997).
+//!
+//! A community is an optional transitive 32-bit attribute, conventionally
+//! written `upper:lower` with each half 16 bits. IXP route servers
+//! document special values (the paper calls them *RS communities*, §3)
+//! that members attach to control which other members receive their
+//! routes. Because communities are transitive, they can leak all the way
+//! to a Route Views / RIS collector — the observation the passive
+//! inference algorithm (§4.2) is built on.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::error::BgpError;
+
+/// A 32-bit BGP community value, viewed as `upper:lower`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Community(pub u32);
+
+/// RFC 1997 `NO_EXPORT`.
+pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+/// RFC 1997 `NO_ADVERTISE`.
+pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+/// RFC 1997 `NO_EXPORT_SUBCONFED`.
+pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
+
+impl Community {
+    /// Build from the two 16-bit halves.
+    #[inline]
+    pub const fn new(upper: u16, lower: u16) -> Self {
+        Community(((upper as u32) << 16) | lower as u32)
+    }
+
+    /// Upper 16 bits (conventionally an ASN).
+    #[inline]
+    pub const fn upper(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// Lower 16 bits.
+    #[inline]
+    pub const fn lower(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// The upper half interpreted as an ASN.
+    #[inline]
+    pub const fn upper_asn(self) -> Asn {
+        Asn(self.upper() as u32)
+    }
+
+    /// The lower half interpreted as an ASN.
+    #[inline]
+    pub const fn lower_asn(self) -> Asn {
+        Asn(self.lower() as u32)
+    }
+
+    /// True for the RFC 1997 well-known range `0xFFFF0000..=0xFFFFFFFF`.
+    #[inline]
+    pub const fn is_well_known(self) -> bool {
+        self.upper() == 0xFFFF
+    }
+
+    /// Raw 32-bit value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.upper(), self.lower())
+    }
+}
+
+impl FromStr for Community {
+    type Err = BgpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (u, l) = s.split_once(':').ok_or_else(|| BgpError::InvalidCommunity(s.into()))?;
+        let u: u16 = u.trim().parse().map_err(|_| BgpError::InvalidCommunity(s.into()))?;
+        let l: u16 = l.trim().parse().map_err(|_| BgpError::InvalidCommunity(s.into()))?;
+        Ok(Community::new(u, l))
+    }
+}
+
+/// An ordered, duplicate-free set of communities attached to a route.
+///
+/// Kept as a sorted `Vec` because route community sets are tiny (a
+/// handful of values) and are compared / iterated far more often than
+/// mutated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CommunitySet(Vec<Community>);
+
+impl CommunitySet {
+    /// Empty set.
+    pub const fn new() -> Self {
+        CommunitySet(Vec::new())
+    }
+
+    /// Build from any iterator, deduplicating and sorting.
+    pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        let mut v: Vec<Community> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        CommunitySet(v)
+    }
+
+    /// Insert a community; returns `true` if it was newly added.
+    pub fn insert(&mut self, c: Community) -> bool {
+        match self.0.binary_search(&c) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.0.insert(pos, c);
+                true
+            }
+        }
+    }
+
+    /// Remove a community; returns `true` if it was present.
+    pub fn remove(&mut self, c: Community) -> bool {
+        match self.0.binary_search(&c) {
+            Ok(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Community) -> bool {
+        self.0.binary_search(&c).is_ok()
+    }
+
+    /// Number of communities.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no communities are attached.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Borrow the underlying sorted slice.
+    pub fn as_slice(&self) -> &[Community] {
+        &self.0
+    }
+
+    /// Remove every community for which `keep` returns `false`.
+    pub fn retain(&mut self, keep: impl FnMut(&Community) -> bool) {
+        self.0.retain(keep);
+    }
+
+    /// Remove all communities (a "community-stripping" route server,
+    /// §5.8 Netnod, calls this on egress).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+impl FromIterator<Community> for CommunitySet {
+    fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
+        CommunitySet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a CommunitySet {
+    type Item = Community;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Community>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Display for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a whitespace-separated list of `upper:lower` values, as printed
+/// by looking glasses (`Community: 0:6695 6695:8359 6695:8447`).
+impl FromStr for CommunitySet {
+    type Err = BgpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.split_whitespace().map(|tok| tok.parse::<Community>()).collect::<Result<Vec<_>, _>>().map(CommunitySet::from_iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves() {
+        let c = Community::new(6695, 8359);
+        assert_eq!(c.upper(), 6695);
+        assert_eq!(c.lower(), 8359);
+        assert_eq!(c.upper_asn(), Asn(6695));
+        assert_eq!(c.lower_asn(), Asn(8359));
+        assert_eq!(c.value(), (6695u32 << 16) | 8359);
+    }
+
+    #[test]
+    fn paper_table1_values_parse() {
+        // Table 1 examples.
+        for (s, u, l) in [
+            ("6695:6695", 6695, 6695),
+            ("8631:8631", 8631, 8631),
+            ("9033:9033", 9033, 9033),
+            ("0:6695", 0, 6695),
+            ("0:8631", 0, 8631),
+            ("65000:0", 65000, 0),
+            ("64960:8447", 64960, 8447),
+        ] {
+            let c: Community = s.parse().unwrap();
+            assert_eq!((c.upper(), c.lower()), (u, l), "{s}");
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("6695".parse::<Community>().is_err());
+        assert!("6695:".parse::<Community>().is_err());
+        assert!(":6695".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+        assert!("a:b".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn well_known() {
+        assert!(NO_EXPORT.is_well_known());
+        assert!(NO_ADVERTISE.is_well_known());
+        assert!(NO_EXPORT_SUBCONFED.is_well_known());
+        assert!(!Community::new(6695, 6695).is_well_known());
+        assert_eq!(NO_EXPORT.to_string(), "65535:65281");
+    }
+
+    #[test]
+    fn set_dedup_sort_and_ops() {
+        let mut set: CommunitySet =
+            "6695:8447 0:6695 6695:8359 0:6695".parse().unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains("0:6695".parse().unwrap()));
+        assert!(!set.insert("0:6695".parse().unwrap()));
+        assert!(set.insert("0:5410".parse().unwrap()));
+        assert_eq!(set.len(), 4);
+        assert!(set.remove("0:5410".parse().unwrap()));
+        assert!(!set.remove("0:5410".parse().unwrap()));
+        // Sorted ascending by raw value: 0:6695 < 6695:8359 < 6695:8447.
+        let v: Vec<String> = set.iter().map(|c| c.to_string()).collect();
+        assert_eq!(v, vec!["0:6695", "6695:8359", "6695:8447"]);
+        assert_eq!(set.to_string(), "0:6695 6695:8359 6695:8447");
+    }
+
+    #[test]
+    fn set_clear_models_stripping() {
+        let mut set: CommunitySet = "0:6695 6695:8359".parse().unwrap();
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.to_string(), "");
+    }
+
+    #[test]
+    fn set_parse_empty() {
+        let set: CommunitySet = "".parse().unwrap();
+        assert!(set.is_empty());
+    }
+}

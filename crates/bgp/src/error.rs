@@ -1,0 +1,92 @@
+//! Error types for the BGP substrate.
+//!
+//! Errors are hand-rolled enums (no `thiserror`) to keep the dependency
+//! budget at the workspace's allowed set; see `DESIGN.md` §4.
+
+use std::fmt;
+
+/// Any error produced by the `mlpeer-bgp` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// A textual ASN could not be parsed.
+    InvalidAsn(String),
+    /// A textual prefix could not be parsed.
+    InvalidPrefix(String),
+    /// A prefix length was out of range for the address family.
+    PrefixLenOutOfRange(u8),
+    /// A textual community could not be parsed.
+    InvalidCommunity(String),
+    /// A wire-format message was truncated.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// A wire-format message carried an unknown type code.
+    UnknownMessageType(u8),
+    /// A wire-format path attribute was malformed.
+    MalformedAttribute(&'static str),
+    /// An MRT record carried an unknown type code.
+    UnknownMrtType(u16),
+    /// An MRT record referenced a peer index not present in the
+    /// peer-index table.
+    UnknownPeerIndex(u16),
+    /// The marker field of a BGP message header was not all-ones.
+    BadMarker,
+    /// A length field was inconsistent with the data that followed.
+    LengthMismatch {
+        /// Declared length.
+        declared: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+            BgpError::InvalidPrefix(s) => write!(f, "invalid prefix: {s:?}"),
+            BgpError::PrefixLenOutOfRange(l) => {
+                write!(f, "prefix length {l} out of range (0..=32)")
+            }
+            BgpError::InvalidCommunity(s) => write!(f, "invalid community: {s:?}"),
+            BgpError::Truncated { context, needed } => {
+                write!(f, "truncated input decoding {context}: {needed} more bytes needed")
+            }
+            BgpError::UnknownMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            BgpError::MalformedAttribute(what) => write!(f, "malformed path attribute: {what}"),
+            BgpError::UnknownMrtType(t) => write!(f, "unknown MRT record type {t}"),
+            BgpError::UnknownPeerIndex(i) => write!(f, "MRT peer index {i} not in index table"),
+            BgpError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            BgpError::LengthMismatch { declared, actual } => {
+                write!(f, "length mismatch: declared {declared}, actual {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::Truncated { context: "NLRI", needed: 3 };
+        let s = e.to_string();
+        assert!(s.contains("NLRI") && s.contains('3'), "got: {s}");
+        assert!(BgpError::InvalidAsn("x".into()).to_string().contains('x'));
+        assert!(BgpError::LengthMismatch { declared: 10, actual: 7 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(BgpError::BadMarker);
+        assert_eq!(e.to_string(), "BGP header marker is not all-ones");
+    }
+}

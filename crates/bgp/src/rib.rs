@@ -1,0 +1,283 @@
+//! Routing Information Base.
+//!
+//! The route-server substrate keeps an Adj-RIB-In per member session and
+//! the looking-glass substrate answers `show ip bgp` from a RIB, so
+//! best-path selection must be deterministic and match what operators
+//! expect: highest LOCAL_PREF, shortest AS path, lowest ORIGIN code,
+//! lowest MED, then stable tie-breaks (lowest peer ASN, lowest peer
+//! address) standing in for router-ID comparison.
+//!
+//! §5.1 of the paper turns on exactly this machinery: links in
+//! *non-best* paths are invisible to looking glasses that only display
+//! the best path, which is why validation coverage differs between
+//! all-paths and best-path LGs (Fig. 8).
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use crate::route::RouteAttrs;
+
+/// A route in the RIB: attributes plus which peer session supplied it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    /// Peer (session) the route was learned from.
+    pub peer: Asn,
+    /// Peer address (tie-break surrogate for router ID).
+    pub peer_addr: Ipv4Addr,
+    /// Path attributes.
+    pub attrs: RouteAttrs,
+    /// Insertion time (simulation seconds) — used for transient-path
+    /// filtering in the passive pipeline.
+    pub learned_at: u32,
+}
+
+impl RibEntry {
+    /// Rank key implementing the selection order documented above.
+    /// Lower key = more preferred, so `min_by_key` picks the best path.
+    fn rank(&self) -> (std::cmp::Reverse<u32>, usize, u8, u32, u32, u32) {
+        (
+            std::cmp::Reverse(self.attrs.local_pref),
+            self.attrs.as_path.hop_len(),
+            self.attrs.origin.code(),
+            self.attrs.med,
+            self.peer.value(),
+            u32::from(self.peer_addr),
+        )
+    }
+}
+
+/// A BGP RIB: every path to every prefix, with best-path selection.
+///
+/// Backed by a `BTreeMap` so iteration order over prefixes is
+/// deterministic — a requirement for reproducible experiments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Rib {
+    table: BTreeMap<Prefix, Vec<RibEntry>>,
+}
+
+impl Rib {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Rib { table: BTreeMap::new() }
+    }
+
+    /// Insert or replace the route for `prefix` from `entry.peer`.
+    /// A BGP session carries at most one path per prefix, so a new
+    /// announcement from the same peer implicitly replaces the old one.
+    pub fn insert(&mut self, prefix: Prefix, entry: RibEntry) {
+        let paths = self.table.entry(prefix).or_default();
+        match paths.iter_mut().find(|e| e.peer == entry.peer && e.peer_addr == entry.peer_addr) {
+            Some(slot) => *slot = entry,
+            None => paths.push(entry),
+        }
+    }
+
+    /// Withdraw `prefix` as announced by `peer`. Returns `true` if a
+    /// route was removed.
+    pub fn withdraw(&mut self, prefix: Prefix, peer: Asn) -> bool {
+        let Some(paths) = self.table.get_mut(&prefix) else {
+            return false;
+        };
+        let before = paths.len();
+        paths.retain(|e| e.peer != peer);
+        let removed = paths.len() < before;
+        if paths.is_empty() {
+            self.table.remove(&prefix);
+        }
+        removed
+    }
+
+    /// Remove every route learned from `peer` (session teardown).
+    /// Returns the number of routes removed.
+    pub fn drop_peer(&mut self, peer: Asn) -> usize {
+        let mut removed = 0;
+        self.table.retain(|_, paths| {
+            let before = paths.len();
+            paths.retain(|e| e.peer != peer);
+            removed += before - paths.len();
+            !paths.is_empty()
+        });
+        removed
+    }
+
+    /// All paths for `prefix` (empty slice if none), in insertion order.
+    pub fn paths(&self, prefix: &Prefix) -> &[RibEntry] {
+        self.table.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The best path for `prefix`, per the documented selection order.
+    pub fn best(&self, prefix: &Prefix) -> Option<&RibEntry> {
+        self.table.get(prefix)?.iter().min_by_key(|e| e.rank())
+    }
+
+    /// All paths for `prefix` sorted best-first (what an all-paths
+    /// looking glass prints).
+    pub fn paths_ranked(&self, prefix: &Prefix) -> Vec<&RibEntry> {
+        let mut v: Vec<&RibEntry> = self.paths(prefix).iter().collect();
+        v.sort_by_key(|e| e.rank());
+        v
+    }
+
+    /// Iterate `(prefix, paths)` in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[RibEntry])> {
+        self.table.iter().map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// Iterate `(prefix, best path)` in prefix order.
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
+        self.table.iter().filter_map(|(p, v)| {
+            v.iter().min_by_key(|e| e.rank()).map(|e| (p, e))
+        })
+    }
+
+    /// All prefixes announced by `peer`.
+    pub fn prefixes_from(&self, peer: Asn) -> Vec<Prefix> {
+        self.table
+            .iter()
+            .filter(|(_, paths)| paths.iter().any(|e| e.peer == peer))
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// The route `peer` announced for `prefix`, if any.
+    pub fn path_from(&self, prefix: &Prefix, peer: Asn) -> Option<&RibEntry> {
+        self.paths(prefix).iter().find(|e| e.peer == peer)
+    }
+
+    /// Distinct peers with at least one route in the table.
+    pub fn peers(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> =
+            self.table.values().flatten().map(|e| e.peer).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total number of stored paths.
+    pub fn path_count(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+
+    fn entry(peer: u32, path: &str, lp: u32) -> RibEntry {
+        RibEntry {
+            peer: Asn(peer),
+            peer_addr: Ipv4Addr::from(0x0A00_0000 | peer),
+            attrs: RouteAttrs::new(path.parse::<AsPath>().unwrap(), "10.0.0.9".parse().unwrap())
+                .with_local_pref(lp),
+            learned_at: 0,
+        }
+    }
+
+    fn pfx(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn best_prefers_local_pref_over_length() {
+        let mut rib = Rib::new();
+        let p = pfx("192.0.2.0/24");
+        rib.insert(p, entry(1, "1 9", 100));
+        rib.insert(p, entry(2, "2 7 8 9", 200)); // longer but higher LP
+        assert_eq!(rib.best(&p).unwrap().peer, Asn(2));
+    }
+
+    #[test]
+    fn best_prefers_shorter_path_at_equal_local_pref() {
+        let mut rib = Rib::new();
+        let p = pfx("192.0.2.0/24");
+        rib.insert(p, entry(1, "1 5 9", 100));
+        rib.insert(p, entry(2, "2 9", 100));
+        assert_eq!(rib.best(&p).unwrap().peer, Asn(2));
+    }
+
+    #[test]
+    fn best_tie_breaks_on_lower_peer_asn() {
+        let mut rib = Rib::new();
+        let p = pfx("192.0.2.0/24");
+        rib.insert(p, entry(7, "7 9", 100));
+        rib.insert(p, entry(3, "3 9", 100));
+        assert_eq!(rib.best(&p).unwrap().peer, Asn(3));
+    }
+
+    #[test]
+    fn reannouncement_replaces_same_peer_route() {
+        let mut rib = Rib::new();
+        let p = pfx("192.0.2.0/24");
+        rib.insert(p, entry(1, "1 9", 100));
+        rib.insert(p, entry(1, "1 8 9", 100));
+        assert_eq!(rib.paths(&p).len(), 1);
+        assert_eq!(rib.paths(&p)[0].attrs.as_path.to_string(), "1 8 9");
+    }
+
+    #[test]
+    fn withdraw_and_drop_peer() {
+        let mut rib = Rib::new();
+        let p1 = pfx("192.0.2.0/24");
+        let p2 = pfx("198.51.100.0/24");
+        rib.insert(p1, entry(1, "1 9", 100));
+        rib.insert(p1, entry(2, "2 9", 100));
+        rib.insert(p2, entry(1, "1 8", 100));
+        assert!(rib.withdraw(p1, Asn(1)));
+        assert!(!rib.withdraw(p1, Asn(1)), "second withdraw is a no-op");
+        assert_eq!(rib.paths(&p1).len(), 1);
+        assert_eq!(rib.drop_peer(Asn(1)), 1); // removes p2's only path
+        assert_eq!(rib.prefix_count(), 1);
+        assert!(rib.withdraw(pfx("203.0.113.0/24"), Asn(1)) == false);
+    }
+
+    #[test]
+    fn ranked_paths_order() {
+        let mut rib = Rib::new();
+        let p = pfx("192.0.2.0/24");
+        rib.insert(p, entry(1, "1 5 9", 100));
+        rib.insert(p, entry(2, "2 9", 100));
+        rib.insert(p, entry(3, "3 9", 300));
+        let ranked = rib.paths_ranked(&p);
+        assert_eq!(ranked.iter().map(|e| e.peer).collect::<Vec<_>>(), vec![Asn(3), Asn(2), Asn(1)]);
+    }
+
+    #[test]
+    fn queries_by_peer() {
+        let mut rib = Rib::new();
+        rib.insert(pfx("192.0.2.0/24"), entry(1, "1 9", 100));
+        rib.insert(pfx("198.51.100.0/24"), entry(1, "1 8", 100));
+        rib.insert(pfx("203.0.113.0/24"), entry(2, "2 7", 100));
+        assert_eq!(rib.prefixes_from(Asn(1)).len(), 2);
+        assert_eq!(rib.prefixes_from(Asn(2)).len(), 1);
+        assert!(rib.path_from(&pfx("203.0.113.0/24"), Asn(2)).is_some());
+        assert!(rib.path_from(&pfx("203.0.113.0/24"), Asn(1)).is_none());
+        assert_eq!(rib.peers(), vec![Asn(1), Asn(2)]);
+        assert_eq!(rib.prefix_count(), 3);
+        assert_eq!(rib.path_count(), 3);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_prefix_order() {
+        let mut rib = Rib::new();
+        rib.insert(pfx("203.0.113.0/24"), entry(1, "1", 100));
+        rib.insert(pfx("192.0.2.0/24"), entry(1, "1", 100));
+        let order: Vec<String> = rib.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(order, vec!["192.0.2.0/24", "203.0.113.0/24"]);
+        assert_eq!(rib.iter_best().count(), 2);
+    }
+}

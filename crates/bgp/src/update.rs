@@ -1,0 +1,198 @@
+//! BGP message model.
+//!
+//! A pragmatic subset of RFC 4271's session messages: the simulation
+//! only needs OPEN (session identity), UPDATE (the data), KEEPALIVE and
+//! NOTIFICATION (session health / teardown, used by the churn model in
+//! the validation experiments). All messages serialize through
+//! [`crate::wire`].
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use crate::route::{Announcement, RouteAttrs};
+
+/// An UPDATE: withdrawals plus announcements sharing one attribute set.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UpdateMessage {
+    /// Prefixes withdrawn from service.
+    pub withdrawn: Vec<Prefix>,
+    /// Attributes for the announced NLRI (absent if only withdrawing).
+    pub attrs: Option<RouteAttrs>,
+    /// Announced prefixes.
+    pub nlri: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// An update announcing `nlri` with `attrs`.
+    pub fn announce(attrs: RouteAttrs, nlri: Vec<Prefix>) -> Self {
+        UpdateMessage { withdrawn: Vec::new(), attrs: Some(attrs), nlri }
+    }
+
+    /// An update withdrawing `prefixes`.
+    pub fn withdraw(prefixes: Vec<Prefix>) -> Self {
+        UpdateMessage { withdrawn: prefixes, attrs: None, nlri: Vec::new() }
+    }
+
+    /// Explode into per-prefix [`Announcement`]s (attributes cloned).
+    pub fn announcements(&self) -> Vec<Announcement> {
+        match &self.attrs {
+            Some(attrs) => {
+                self.nlri.iter().map(|p| Announcement::new(*p, attrs.clone())).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// True if the update carries nothing (invalid on a real session).
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.nlri.is_empty()
+    }
+}
+
+/// NOTIFICATION error codes we model (RFC 4271 §4.5, abbreviated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NotificationCode {
+    /// Message header error.
+    MessageHeader,
+    /// OPEN message error.
+    OpenMessage,
+    /// UPDATE message error.
+    UpdateMessage,
+    /// Hold timer expired.
+    HoldTimerExpired,
+    /// Administrative shutdown / session ceased (the common case when a
+    /// member leaves the route server — the churn the validation run of
+    /// Oct 2013 had to filter, §5.1).
+    Cease,
+}
+
+impl NotificationCode {
+    /// Wire code.
+    pub const fn code(self) -> u8 {
+        match self {
+            NotificationCode::MessageHeader => 1,
+            NotificationCode::OpenMessage => 2,
+            NotificationCode::UpdateMessage => 3,
+            NotificationCode::HoldTimerExpired => 4,
+            NotificationCode::Cease => 6,
+        }
+    }
+
+    /// Decode from wire code.
+    pub const fn from_code(c: u8) -> Option<Self> {
+        match c {
+            1 => Some(NotificationCode::MessageHeader),
+            2 => Some(NotificationCode::OpenMessage),
+            3 => Some(NotificationCode::UpdateMessage),
+            4 => Some(NotificationCode::HoldTimerExpired),
+            6 => Some(NotificationCode::Cease),
+            _ => None,
+        }
+    }
+}
+
+/// A BGP session message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BgpMessage {
+    /// OPEN: who is speaking. `asn` uses AS_TRANS on the wire when the
+    /// real ASN needs 32 bits and the 4-octet capability is absent; the
+    /// model always negotiates 4-octet ASNs, matching modern IXPs.
+    Open {
+        /// Speaker ASN.
+        asn: Asn,
+        /// Hold time in seconds.
+        hold_time: u16,
+        /// BGP identifier (router ID).
+        router_id: Ipv4Addr,
+    },
+    /// UPDATE carrying routing data.
+    Update(UpdateMessage),
+    /// NOTIFICATION: fatal error, session closes.
+    Notification {
+        /// Error class.
+        code: NotificationCode,
+        /// Sub-code (not interpreted by the model).
+        subcode: u8,
+    },
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// RFC 4271 message type code.
+    pub const fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open { .. } => 1,
+            BgpMessage::Update(_) => 2,
+            BgpMessage::Notification { .. } => 3,
+            BgpMessage::Keepalive => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+
+    #[test]
+    fn update_announce_explodes_per_prefix() {
+        let attrs = RouteAttrs::new(
+            AsPath::from_seq([Asn(8359)]),
+            "80.81.192.33".parse().unwrap(),
+        );
+        let upd = UpdateMessage::announce(
+            attrs,
+            vec!["193.34.0.0/22".parse().unwrap(), "193.34.4.0/22".parse().unwrap()],
+        );
+        let anns = upd.announcements();
+        assert_eq!(anns.len(), 2);
+        assert_eq!(anns[0].prefix.to_string(), "193.34.0.0/22");
+        assert_eq!(anns[1].prefix.to_string(), "193.34.4.0/22");
+        assert!(!upd.is_empty());
+    }
+
+    #[test]
+    fn update_withdraw_has_no_announcements() {
+        let upd = UpdateMessage::withdraw(vec!["193.34.0.0/22".parse().unwrap()]);
+        assert!(upd.announcements().is_empty());
+        assert!(!upd.is_empty());
+        assert!(UpdateMessage::default().is_empty());
+    }
+
+    #[test]
+    fn type_codes_match_rfc() {
+        assert_eq!(
+            BgpMessage::Open {
+                asn: Asn(6695),
+                hold_time: 90,
+                router_id: "10.0.0.1".parse().unwrap()
+            }
+            .type_code(),
+            1
+        );
+        assert_eq!(BgpMessage::Update(UpdateMessage::default()).type_code(), 2);
+        assert_eq!(
+            BgpMessage::Notification { code: NotificationCode::Cease, subcode: 0 }.type_code(),
+            3
+        );
+        assert_eq!(BgpMessage::Keepalive.type_code(), 4);
+    }
+
+    #[test]
+    fn notification_codes_roundtrip() {
+        for c in [
+            NotificationCode::MessageHeader,
+            NotificationCode::OpenMessage,
+            NotificationCode::UpdateMessage,
+            NotificationCode::HoldTimerExpired,
+            NotificationCode::Cease,
+        ] {
+            assert_eq!(NotificationCode::from_code(c.code()), Some(c));
+        }
+        assert_eq!(NotificationCode::from_code(5), None);
+    }
+}

@@ -1,0 +1,408 @@
+//! Active inference via looking-glass queries (§4.1) and the query-cost
+//! model (§4.3).
+//!
+//! Steps against an IXP's route-server LG:
+//!
+//! 1. `show ip bgp summary` → the connected networks `A_RS` (1 query);
+//! 2. per member `a`: `show ip bgp neighbors <addr> routes` → `P_a`
+//!    (`|A_RS|` queries);
+//! 3. per selected prefix: `show ip bgp <prefix>` → the RS communities
+//!    of *every* member announcing it.
+//!
+//! The §4.3 optimizations are implemented exactly:
+//!
+//! * sample 10 % of each member's prefixes, capped at 100 — the
+//!   community values are consistent across a member's announcements;
+//! * sort candidate prefixes by the number of announcing members `m_p`
+//!   (Fig. 5: 48.4 % of DE-CIX prefixes arrive from more than one
+//!   member), so one query covers many members;
+//! * skip members already covered passively (Eq. 2).
+//!
+//! For IXPs without an RS LG, member LGs provide a partial view: "these
+//! third-party LGs cannot provide the full view … but only for those
+//! members that allow their routes to be advertised to the network that
+//! operates the LG".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_data::lg::{
+    parse_neighbor_routes, parse_prefix_output, parse_summary, LgCommand, LgTarget,
+    LookingGlassHost,
+};
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+
+use crate::dict::CommunityDictionary;
+use crate::infer::{Observation, ObservationSource};
+
+/// Active-measurement parameters (§4.3 defaults).
+#[derive(Debug, Clone)]
+pub struct ActiveConfig {
+    /// Fraction of each member's prefixes to cover.
+    pub sample_frac: f64,
+    /// Cap on prefixes per member.
+    pub max_prefixes_per_member: usize,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        ActiveConfig { sample_frac: 0.10, max_prefixes_per_member: 100 }
+    }
+}
+
+/// Query accounting for one IXP (the Eq. 1 / Eq. 2 terms).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActiveStats {
+    /// Summary queries (the leading `1`).
+    pub summary_queries: usize,
+    /// Neighbor-routes queries (`|A_RS − A_RS^passive|`).
+    pub neighbor_queries: usize,
+    /// Prefix queries actually issued (`Σ P'_a` after optimization).
+    pub prefix_queries: usize,
+    /// What the prefix-query count would have been without the
+    /// multiplicity optimization (one set of samples per member).
+    pub naive_prefix_queries: usize,
+    /// Querying every prefix of every member (the ~18× baseline).
+    pub full_prefix_queries: usize,
+    /// Members whose communities were obtained.
+    pub members_covered: usize,
+}
+
+impl ActiveStats {
+    /// Total cost `c` (Eq. 1/2).
+    pub fn cost(&self) -> usize {
+        self.summary_queries + self.neighbor_queries + self.prefix_queries
+    }
+
+    /// Wall-clock estimate at the paper's rate limit (1 query / 10 s).
+    pub fn wall_clock_secs(&self, secs_per_query: u64) -> u64 {
+        self.cost() as u64 * secs_per_query
+    }
+}
+
+/// Run the full §4.1 algorithm against an IXP's route-server LG.
+///
+/// `skip` holds the members already covered by passive data (Eq. 2);
+/// their neighbor-routes and prefix queries are avoided, though their
+/// communities are still recorded when they ride along on a queried
+/// prefix (free data).
+pub fn query_rs_lg(
+    sim: &Sim,
+    lg: &LookingGlassHost,
+    ixp: IxpId,
+    dict: &CommunityDictionary,
+    skip: &BTreeSet<Asn>,
+    cfg: &ActiveConfig,
+) -> (Vec<Observation>, ActiveStats) {
+    let mut stats = ActiveStats::default();
+    let mut observations = Vec::new();
+    let entry = dict.entry(ixp).expect("dictionary entry for the queried IXP");
+
+    // Step 1: connectivity.
+    let summary = lg.query(sim, &LgCommand::Summary);
+    stats.summary_queries = 1;
+    let members: Vec<(Asn, std::net::Ipv4Addr, usize)> = parse_summary(&summary);
+
+    // Step 2: per-member prefixes (skipping passive-covered members).
+    let mut prefixes_of: BTreeMap<Asn, Vec<Prefix>> = BTreeMap::new();
+    for (asn, addr, _) in &members {
+        stats.full_prefix_queries += 0; // filled below once P_a is known
+        if skip.contains(asn) {
+            continue;
+        }
+        let text = lg.query(sim, &LgCommand::NeighborRoutes(*addr));
+        stats.neighbor_queries += 1;
+        prefixes_of.insert(*asn, parse_neighbor_routes(&text));
+    }
+
+    // Step 3: targets and the multiplicity-sorted plan.
+    let mut target: BTreeMap<Asn, usize> = BTreeMap::new();
+    for (asn, prefixes) in &prefixes_of {
+        let t = ((prefixes.len() as f64 * cfg.sample_frac).ceil() as usize)
+            .clamp(1, cfg.max_prefixes_per_member)
+            .min(prefixes.len());
+        target.insert(*asn, t);
+        stats.naive_prefix_queries += t;
+        stats.full_prefix_queries += prefixes.len();
+    }
+    let mut multiplicity: BTreeMap<Prefix, Vec<Asn>> = BTreeMap::new();
+    for (asn, prefixes) in &prefixes_of {
+        for p in prefixes {
+            multiplicity.entry(*p).or_default().push(*asn);
+        }
+    }
+    let mut plan: Vec<(Prefix, usize)> =
+        multiplicity.iter().map(|(p, v)| (*p, v.len())).collect();
+    plan.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut covered: BTreeMap<Asn, usize> = target.keys().map(|a| (*a, 0usize)).collect();
+    let done = |covered: &BTreeMap<Asn, usize>, target: &BTreeMap<Asn, usize>| {
+        target.iter().all(|(a, t)| covered.get(a).copied().unwrap_or(0) >= *t)
+    };
+    for (prefix, _) in plan {
+        if done(&covered, &target) {
+            break;
+        }
+        // Only query if it advances someone's target.
+        let helps = multiplicity[&prefix]
+            .iter()
+            .any(|a| covered.get(a).copied().unwrap_or(0) < target.get(a).copied().unwrap_or(0));
+        if !helps {
+            continue;
+        }
+        let text = lg.query(sim, &LgCommand::Prefix(prefix));
+        stats.prefix_queries += 1;
+        for path in parse_prefix_output(&text) {
+            let Some(setter) = path.as_path.first_hop() else { continue };
+            // On an RS LG the first hop *is* the announcing member.
+            let actions: Vec<_> =
+                path.communities.iter().filter_map(|c| entry.scheme.decode(c)).collect();
+            observations.push(Observation {
+                ixp,
+                member: setter,
+                prefix,
+                actions,
+                source: ObservationSource::ActiveRsLg,
+            });
+            if let Some(c) = covered.get_mut(&setter) {
+                *c += 1;
+            }
+        }
+    }
+    stats.members_covered = observations
+        .iter()
+        .map(|o| o.member)
+        .collect::<BTreeSet<_>>()
+        .len();
+    (observations, stats)
+}
+
+/// Query third-party member LGs for the RS communities of an IXP with
+/// no route-server LG. `candidates` are prefixes worth asking about
+/// (from IRR route objects and passively-seen prefixes); at most
+/// `budget` queries are spent per LG. Setters are pin-pointed with the
+/// same §4.2 three-case logic as the passive pipeline — a member LG also
+/// shows transit routes that may carry RS communities from deeper in the
+/// path, so the first hop is *not* necessarily the setter.
+pub fn query_member_lgs(
+    sim: &Sim,
+    lgs: &[&LookingGlassHost],
+    ixp: IxpId,
+    dict: &CommunityDictionary,
+    rels: &mlpeer_topo::infer::InferredRelationships,
+    candidates: &[Prefix],
+    budget: usize,
+) -> (Vec<Observation>, ActiveStats) {
+    let mut stats = ActiveStats::default();
+    let mut observations = Vec::new();
+    let members = dict
+        .entry(ixp)
+        .map(|e| e.rs_members.clone())
+        .unwrap_or_default();
+    for lg in lgs {
+        let LgTarget::Member(host) = lg.target else { continue };
+        for prefix in candidates.iter().take(budget) {
+            let text = lg.query(sim, &LgCommand::Prefix(*prefix));
+            stats.prefix_queries += 1;
+            for path in parse_prefix_output(&text) {
+                if path.communities.is_empty() {
+                    continue;
+                }
+                let Some(identified) = dict.identify(&path.communities) else { continue };
+                if identified.ixp != ixp {
+                    continue;
+                }
+                // The LG host is the implicit first hop of every path.
+                let mut full = vec![host];
+                full.extend(path.as_path.dedup_prepends());
+                let Some(setter) =
+                    crate::passive::pinpoint_setter(&full, &members, rels, &identified.actions)
+                else {
+                    continue;
+                };
+                observations.push(Observation {
+                    ixp,
+                    member: setter,
+                    prefix: *prefix,
+                    actions: identified.actions,
+                    source: ObservationSource::ActiveMemberLg,
+                });
+            }
+        }
+    }
+    stats.members_covered =
+        observations.iter().map(|o| o.member).collect::<BTreeSet<_>>().len();
+    (observations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::gather_connectivity;
+    use crate::dict::dictionary_from_connectivity;
+    use mlpeer_data::irr::{build_irr, IrrConfig};
+    use mlpeer_data::lg::{build_lg_roster, LgDisplay};
+    use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+    fn setup() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(81))
+    }
+
+    #[test]
+    fn rs_lg_full_run_covers_all_members() {
+        let eco = setup();
+        let sim = Sim::new(&eco);
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        let dict = dictionary_from_connectivity(&eco, &conn);
+        let decix = eco.ixp_by_name("DE-CIX").unwrap();
+        let lg = lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
+            .unwrap();
+        let (obs, stats) =
+            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        assert!(!obs.is_empty());
+        assert_eq!(stats.summary_queries, 1);
+        assert_eq!(stats.neighbor_queries, decix.rs_member_count());
+        // Every RS member covered (each announces ≥ 1 prefix).
+        assert_eq!(stats.members_covered, decix.rs_member_count());
+        // Eq. 1 structure.
+        assert_eq!(
+            stats.cost(),
+            1 + stats.neighbor_queries + stats.prefix_queries
+        );
+        assert_eq!(stats.wall_clock_secs(10), stats.cost() as u64 * 10);
+    }
+
+    #[test]
+    fn multiplicity_optimization_beats_naive_plan() {
+        let eco = setup();
+        let sim = Sim::new(&eco);
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        let dict = dictionary_from_connectivity(&eco, &conn);
+        let decix = eco.ixp_by_name("DE-CIX").unwrap();
+        let lg = lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
+            .unwrap();
+        let (_, stats) =
+            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        assert!(
+            stats.prefix_queries <= stats.naive_prefix_queries,
+            "multiplicity sort never does worse: {} vs {}",
+            stats.prefix_queries,
+            stats.naive_prefix_queries
+        );
+        assert!(
+            stats.full_prefix_queries > stats.naive_prefix_queries,
+            "sampling cuts below querying everything"
+        );
+    }
+
+    #[test]
+    fn passive_exclusion_reduces_cost() {
+        let eco = setup();
+        let sim = Sim::new(&eco);
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        let dict = dictionary_from_connectivity(&eco, &conn);
+        let decix = eco.ixp_by_name("DE-CIX").unwrap();
+        let lg = lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
+            .unwrap();
+        let (_, base) =
+            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        // Skip half the members as passively covered.
+        let skip: BTreeSet<Asn> =
+            decix.rs_member_asns().into_iter().step_by(2).collect();
+        let (_, optimized) =
+            query_rs_lg(&sim, lg, decix.id, &dict, &skip, &ActiveConfig::default());
+        assert!(optimized.neighbor_queries < base.neighbor_queries);
+        assert!(optimized.cost() < base.cost(), "Eq. 2 < Eq. 1");
+    }
+
+    #[test]
+    fn observations_decode_true_policies() {
+        let eco = setup();
+        let sim = Sim::new(&eco);
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        let dict = dictionary_from_connectivity(&eco, &conn);
+        let decix = eco.ixp_by_name("DE-CIX").unwrap();
+        let lg = lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
+            .unwrap();
+        let (obs, _) =
+            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        // Spot-check: reconstructed policies must allow exactly what the
+        // member's true effective policy allows, for observed prefixes.
+        for o in obs.iter().take(200) {
+            let member = decix.member(o.member).expect("observed member exists");
+            let truth = member.effective_export(&o.prefix);
+            let reconstructed =
+                mlpeer_ixp::policy::ExportPolicy::from_actions(o.actions.iter().copied());
+            for other in decix.rs_member_asns().into_iter().take(30) {
+                if other == o.member {
+                    continue;
+                }
+                assert_eq!(
+                    truth.allows(other),
+                    reconstructed.allows(other),
+                    "member {} prefix {} peer {}",
+                    o.member,
+                    o.prefix,
+                    other
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn member_lg_gives_partial_view_for_lgless_ixp() {
+        let eco = setup();
+        let sim = Sim::new(&eco);
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let rs_lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &rs_lgs, &irr);
+        let dict = dictionary_from_connectivity(&eco, &conn);
+        // AMS-IX has no RS LG; use a member LG.
+        let amsix = eco.ixp_by_name("AMS-IX").unwrap();
+        let host_member = amsix
+            .members
+            .values()
+            .find(|m| m.rs_member)
+            .map(|m| m.asn)
+            .unwrap();
+        let lg = LookingGlassHost::new("lg.m", LgTarget::Member(host_member), LgDisplay::AllPaths);
+        // Candidates: the members' own first prefixes.
+        let candidates: Vec<Prefix> = amsix
+            .rs_member_asns()
+            .into_iter()
+            .filter_map(|a| eco.internet.prefixes_of(a).first().copied())
+            .collect();
+        let no_rels = mlpeer_topo::infer::infer_relationships(
+            &[],
+            &mlpeer_topo::infer::InferConfig::default(),
+        );
+        let (obs, stats) =
+            query_member_lgs(&sim, &[&lg], amsix.id, &dict, &no_rels, &candidates, 500);
+        assert!(stats.prefix_queries > 0);
+        // Partial but sound: every observation names a real RS member of
+        // AMS-IX allowed toward the host.
+        for o in &obs {
+            assert_eq!(o.ixp, amsix.id);
+            let m = amsix.member(o.member).expect("setter is a member");
+            assert!(m.rs_member);
+            assert_eq!(o.source, ObservationSource::ActiveMemberLg);
+        }
+    }
+}

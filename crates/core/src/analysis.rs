@@ -1,0 +1,709 @@
+//! The evaluation analyses (§5.2–§5.7).
+//!
+//! One function per figure/table of the paper's results section; each
+//! returns a plain-data report the experiment binaries render and
+//! `EXPERIMENTS.md` compares against the published values.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::Asn;
+use mlpeer_data::collector::PassiveDataset;
+use mlpeer_data::peeringdb::PeeringDb;
+use mlpeer_data::traceroute::TracerouteDataset;
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::policy::ExportPolicy;
+use mlpeer_ixp::{Ecosystem, PeeringPolicy};
+use mlpeer_topo::cone::ConeIndex;
+use mlpeer_topo::graph::GeoScope;
+use mlpeer_topo::infer::InferredRelationships;
+use mlpeer_topo::relationship::Relationship;
+
+use crate::infer::MlpLinkSet;
+
+// ---------------------------------------------------------------------
+// Fig. 6 — visibility comparison.
+// ---------------------------------------------------------------------
+
+/// Fig. 6 and the §5 headline numbers.
+#[derive(Debug, Clone, Default)]
+pub struct VisibilityReport {
+    /// All AS links visible in public BGP (collector paths).
+    pub public_links: BTreeSet<(Asn, Asn)>,
+    /// The subset of public links classified p2p by relationship
+    /// inference.
+    pub public_p2p: BTreeSet<(Asn, Asn)>,
+    /// MLP links inferred by our method.
+    pub mlp_links: BTreeSet<(Asn, Asn)>,
+    /// MLP ∩ public p2p (the 24,511 / 11.9 % overlap).
+    pub overlap_public: usize,
+    /// MLP ∩ traceroute links (the 3,927 overlap).
+    pub overlap_traceroute: usize,
+    /// Per RS member: (mlp peer count, public-BGP p2p count, traceroute
+    /// link count), sorted descending by MLP count — Fig. 6's series.
+    pub per_member: Vec<(Asn, usize, usize, usize)>,
+}
+
+impl VisibilityReport {
+    /// Fraction of MLP links absent from public BGP ("88 % of which are
+    /// not visible in publicly available BGP AS paths").
+    pub fn invisible_frac(&self) -> f64 {
+        if self.mlp_links.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.overlap_public as f64 / self.mlp_links.len() as f64
+    }
+
+    /// Peering-link gain over the public view ("209 % more peering
+    /// links").
+    pub fn peering_gain(&self) -> f64 {
+        if self.public_p2p.is_empty() {
+            return 0.0;
+        }
+        self.mlp_links.len() as f64 / self.public_p2p.len() as f64 - 1.0
+    }
+}
+
+/// Extract every AS link from archived collector paths.
+pub fn public_links_from(passive: &PassiveDataset) -> BTreeSet<(Asn, Asn)> {
+    let mut links = BTreeSet::new();
+    for (_, archive) in &passive.collectors {
+        for e in &archive.rib {
+            for (a, b) in e.attrs.as_path.links() {
+                if a != b {
+                    links.insert(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Build the Fig. 6 visibility comparison.
+pub fn visibility(
+    eco: &Ecosystem,
+    links: &MlpLinkSet,
+    passive: &PassiveDataset,
+    traceroute: &TracerouteDataset,
+    rels: &InferredRelationships,
+) -> VisibilityReport {
+    let public_links = public_links_from(passive);
+    let public_p2p: BTreeSet<(Asn, Asn)> = public_links
+        .iter()
+        .filter(|(a, b)| rels.rel(*a, *b) == Some(Relationship::P2p))
+        .copied()
+        .collect();
+    let mlp_links = links.unique_links();
+    let overlap_public = mlp_links.intersection(&public_p2p).count();
+    let overlap_traceroute =
+        mlp_links.iter().filter(|(a, b)| traceroute.contains(*a, *b)).count();
+
+    // Per-member series.
+    let mut per_member: Vec<(Asn, usize, usize, usize)> = Vec::new();
+    let members: BTreeSet<Asn> = eco.all_rs_member_asns();
+    for &m in &members {
+        let mlp = mlp_links.iter().filter(|(a, b)| *a == m || *b == m).count();
+        if mlp == 0 {
+            continue;
+        }
+        let pasv = public_p2p.iter().filter(|(a, b)| *a == m || *b == m).count();
+        let act = traceroute
+            .links
+            .iter()
+            .filter(|(a, b)| *a == m || *b == m)
+            .count();
+        per_member.push((m, mlp, pasv, act));
+    }
+    per_member.sort_unstable_by_key(|&(a, mlp, _, _)| (std::cmp::Reverse(mlp), a));
+
+    VisibilityReport {
+        public_links,
+        public_p2p,
+        mlp_links,
+        overlap_public,
+        overlap_traceroute,
+        per_member,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7 — endpoint customer degrees.
+// ---------------------------------------------------------------------
+
+/// Fig. 7 plus the stub statistics of §5.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeReport {
+    /// Per link: (smaller endpoint customer degree, larger).
+    pub pairs: Vec<(usize, usize)>,
+    /// Fraction of links between two stubs (12.4 %).
+    pub stub_stub_frac: f64,
+    /// Fraction involving at least one stub (55.6 %).
+    pub involves_stub_frac: f64,
+    /// Fraction where both endpoints have ≤ 10 customers — §5 counts a
+    /// link when it involves ASes "with at most 10 customers" (58.1 %).
+    pub leq10_frac: f64,
+    /// Fraction of the stub–stub links that appear in public BGP
+    /// (1.4 %).
+    pub stub_stub_public_frac: f64,
+}
+
+/// Build the Fig. 7 degree analysis.
+pub fn degrees(
+    eco: &Ecosystem,
+    links: &MlpLinkSet,
+    public_links: &BTreeSet<(Asn, Asn)>,
+) -> DegreeReport {
+    let unique = links.unique_links();
+    let mut pairs = Vec::with_capacity(unique.len());
+    let mut stub_stub = 0usize;
+    let mut with_stub = 0usize;
+    let mut leq10 = 0usize;
+    let mut stub_stub_public = 0usize;
+    for &(a, b) in &unique {
+        let da = eco.internet.graph.customer_degree(a);
+        let db = eco.internet.graph.customer_degree(b);
+        let (lo, hi) = (da.min(db), da.max(db));
+        pairs.push((lo, hi));
+        if hi == 0 {
+            stub_stub += 1;
+            if public_links.contains(&(a, b)) {
+                stub_stub_public += 1;
+            }
+        }
+        if lo == 0 {
+            with_stub += 1;
+        }
+        if lo <= 10 {
+            leq10 += 1;
+        }
+    }
+    let n = unique.len().max(1) as f64;
+    DegreeReport {
+        pairs,
+        stub_stub_frac: stub_stub as f64 / n,
+        involves_stub_frac: with_stub as f64 / n,
+        leq10_frac: leq10 as f64 / n,
+        stub_stub_public_frac: stub_stub_public as f64 / stub_stub.max(1) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figs. 9 & 10 — policy vs participation.
+// ---------------------------------------------------------------------
+
+/// Figs. 9 and 10.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyReport {
+    /// Members with a reported policy (904 of 1,667 in the paper).
+    pub with_policy: usize,
+    /// Total IXP members considered.
+    pub total_members: usize,
+    /// Reported-policy mix (open, selective, restrictive).
+    pub mix: (usize, usize, usize),
+    /// Per policy: (members, members using ≥ 1 RS) — Fig. 9's bottom
+    /// line (92 % / 75 % / 43 %).
+    pub rs_usage: BTreeMap<PeeringPolicy, (usize, usize)>,
+    /// Fig. 10 matrix: `matrix[presences][participations]` → count
+    /// (indices clamped at 7).
+    pub matrix: Vec<Vec<usize>>,
+}
+
+impl PolicyReport {
+    /// Fraction of ASes at a single IXP using its RS (55.8 %).
+    pub fn single_ixp_with_rs_frac(&self) -> f64 {
+        let total: usize = self.matrix.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.matrix[1][1] as f64 / total as f64
+    }
+
+    /// Fraction using no RS at all (13.4 %).
+    pub fn no_rs_frac(&self) -> f64 {
+        let total: usize = self.matrix.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let none: usize = self.matrix.iter().map(|row| row[0]).sum();
+        none as f64 / total as f64
+    }
+}
+
+/// Build the Fig. 9/10 participation analysis.
+pub fn policy_participation(eco: &Ecosystem, pdb: &PeeringDb) -> PolicyReport {
+    let members = eco.all_member_asns();
+    let mut report = PolicyReport {
+        total_members: members.len(),
+        matrix: vec![vec![0usize; 8]; 8],
+        ..Default::default()
+    };
+    for &asn in &members {
+        let presences = eco.ixps_of(asn).len().min(7);
+        let participations = eco.rs_participations_of(asn).min(7);
+        report.matrix[presences][participations] += 1;
+        let Some(policy) = pdb.get(asn).and_then(|r| r.policy) else { continue };
+        report.with_policy += 1;
+        match policy {
+            PeeringPolicy::Open => report.mix.0 += 1,
+            PeeringPolicy::Selective => report.mix.1 += 1,
+            PeeringPolicy::Restrictive => report.mix.2 += 1,
+        }
+        let slot = report.rs_usage.entry(policy).or_insert((0, 0));
+        slot.0 += 1;
+        if participations >= 1 {
+            slot.1 += 1;
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Fig. 11 — export-filter bimodality.
+// ---------------------------------------------------------------------
+
+/// Fig. 11: allowed fraction per (reported policy).
+#[derive(Debug, Clone, Default)]
+pub struct FilterReport {
+    /// Per reported policy: the allowed fractions of its RS members.
+    pub fractions: BTreeMap<PeeringPolicy, Vec<f64>>,
+}
+
+impl FilterReport {
+    /// Mean allowed fraction per policy (96.7 / 80.4 / 69.2 in the
+    /// paper).
+    pub fn mean(&self, p: PeeringPolicy) -> f64 {
+        match self.fractions.get(&p) {
+            Some(v) if !v.is_empty() => v.iter().sum::<f64>() / v.len() as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Bimodality measure: fraction of members allowing > 90 % or
+    /// < 10 % of candidates ("almost all RS members block fewer than
+    /// 10 % or allow fewer than 10 %").
+    pub fn bimodal_frac(&self) -> f64 {
+        let all: Vec<f64> = self.fractions.values().flatten().copied().collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let extreme = all.iter().filter(|&&f| !(0.1..=0.9).contains(&f)).count();
+        extreme as f64 / all.len() as f64
+    }
+}
+
+/// Build the Fig. 11 filter analysis from the *inferred* policies.
+pub fn filter_patterns(
+    links: &MlpLinkSet,
+    conn: &crate::connectivity::ConnectivityData,
+    pdb: &PeeringDb,
+) -> FilterReport {
+    let mut report = FilterReport::default();
+    for ((ixp, member), policy) in &links.policies {
+        let Some(reported) = pdb.get(*member).and_then(|r| r.policy) else { continue };
+        let others: BTreeSet<Asn> = conn
+            .rs_members(*ixp)
+            .into_iter()
+            .filter(|&m| m != *member)
+            .collect();
+        let frac = policy.allowed_fraction(&others);
+        report.fractions.entry(reported).or_default().push(frac);
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Fig. 12 — peering density.
+// ---------------------------------------------------------------------
+
+/// Fig. 12: per-member peering density per IXP.
+#[derive(Debug, Clone, Default)]
+pub struct DensityReport {
+    /// Per IXP: every member's fraction of possible RS links realized.
+    pub per_ixp: BTreeMap<IxpId, Vec<f64>>,
+}
+
+impl DensityReport {
+    /// Mean density at an IXP (0.79–0.95 in Fig. 12).
+    pub fn mean(&self, ixp: IxpId) -> f64 {
+        match self.per_ixp.get(&ixp) {
+            Some(v) if !v.is_empty() => v.iter().sum::<f64>() / v.len() as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Build Fig. 12 for the IXPs with full connectivity data (RS LGs).
+pub fn density(eco: &Ecosystem, links: &MlpLinkSet) -> DensityReport {
+    let mut report = DensityReport::default();
+    for ixp in &eco.ixps {
+        if !ixp.has_lg {
+            continue;
+        }
+        let members = match links.covered.get(&ixp.id) {
+            Some(m) if m.len() > 1 => m,
+            _ => continue,
+        };
+        let set = links.links_at(ixp.id);
+        let possible = members.len() - 1;
+        let mut fracs = Vec::with_capacity(members.len());
+        for &m in members {
+            let have = set.iter().filter(|(a, b)| *a == m || *b == m).count();
+            fracs.push(have as f64 / possible as f64);
+        }
+        report.per_ixp.insert(ixp.id, fracs);
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Fig. 13 / §5.5 — repellers.
+// ---------------------------------------------------------------------
+
+/// Fig. 13 and the EXCLUDE-application statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RepellerReport {
+    /// Times each AS is blocked, with its PeeringDB scope.
+    pub blocked: BTreeMap<Asn, (usize, GeoScope)>,
+    /// Total EXCLUDE applications (1,795 in the paper).
+    pub exclude_applications: usize,
+    /// EXCLUDEs where the blocker is a provider blocking a *direct*
+    /// co-located customer (12 %).
+    pub provider_blocks_customer: usize,
+    /// EXCLUDEs blocking an AS inside the blocker's customer cone
+    /// (77 %).
+    pub in_customer_cone: usize,
+    /// Distinct repelled ASes (570).
+    pub distinct_repelled: usize,
+    /// `(blocks, distinct blockers)` of the most-blocked AS (Google:
+    /// 82 by 75).
+    pub top_repelled: Option<(Asn, usize, usize)>,
+}
+
+/// Build the §5.5 repeller analysis from the inferred export policies.
+pub fn repellers(eco: &Ecosystem, links: &MlpLinkSet, pdb: &PeeringDb) -> RepellerReport {
+    let mut report = RepellerReport::default();
+    let mut blockers_of: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    // Cones for every blocker that excludes somebody.
+    let excluders: BTreeSet<Asn> = links
+        .policies
+        .iter()
+        .filter(|(_, p)| matches!(p, ExportPolicy::AllExcept(_)))
+        .map(|((_, m), _)| *m)
+        .collect();
+    let cones = ConeIndex::build(&eco.internet.graph, excluders.iter().copied());
+    for ((_ixp, member), policy) in &links.policies {
+        for target in policy.excluded_iter() {
+            report.exclude_applications += 1;
+            let scope = pdb
+                .get(target)
+                .map(|r| r.scope)
+                .unwrap_or(GeoScope::NotReported);
+            let slot = report.blocked.entry(target).or_insert((0, scope));
+            slot.0 += 1;
+            blockers_of.entry(target).or_default().insert(*member);
+            if eco.internet.graph.relationship(*member, target) == Some(Relationship::P2c) {
+                report.provider_blocks_customer += 1;
+            }
+            if cones.contains(*member, target) && *member != target {
+                report.in_customer_cone += 1;
+            }
+        }
+    }
+    report.distinct_repelled = report.blocked.len();
+    report.top_repelled = report
+        .blocked
+        .iter()
+        .max_by_key(|(a, (n, _))| (*n, std::cmp::Reverse(a.value())))
+        .map(|(a, (n, _))| (*a, *n, blockers_of.get(a).map(BTreeSet::len).unwrap_or(0)));
+    report
+}
+
+// ---------------------------------------------------------------------
+// §5.6 — hybrid relationships.
+// ---------------------------------------------------------------------
+
+/// §5.6: MLP links that relationship inference calls p2c.
+#[derive(Debug, Clone, Default)]
+pub struct HybridReport {
+    /// MLP links visible in public BGP that the relationship algorithm
+    /// infers as p2c (1,230 in the paper).
+    pub p2c_candidates: Vec<(Asn, Asn)>,
+    /// Candidates whose provider documents relationship-tagging
+    /// communities, allowing location-specific verification (202 of 440
+    /// examined in the paper).
+    pub verified: Vec<(Asn, Asn)>,
+}
+
+/// Build the hybrid-relationship study.
+pub fn hybrid(
+    sim: &Sim,
+    links: &MlpLinkSet,
+    public_links: &BTreeSet<(Asn, Asn)>,
+    rels: &InferredRelationships,
+) -> HybridReport {
+    let mut report = HybridReport::default();
+    for &(a, b) in &links.unique_links() {
+        if !public_links.contains(&(a, b)) {
+            continue;
+        }
+        match rels.rel(a, b) {
+            Some(Relationship::P2c) => {
+                report.p2c_candidates.push((a, b));
+                if sim.taggers().contains(&a) {
+                    report.verified.push((a, b));
+                }
+            }
+            Some(Relationship::C2p) => {
+                report.p2c_candidates.push((a, b));
+                if sim.taggers().contains(&b) {
+                    report.verified.push((a, b));
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// §5.7 — the global estimate.
+// ---------------------------------------------------------------------
+
+/// One IXP row of the §5.7 estimation table.
+#[derive(Debug, Clone)]
+pub struct IxpStatRow {
+    /// Name.
+    pub name: String,
+    /// Continent bucket.
+    pub region: EstimateRegion,
+    /// Member count.
+    pub members: usize,
+    /// Flat-fee pricing (vs usage-based)?
+    pub flat_fee: bool,
+    /// Route servers available?
+    pub has_rs: bool,
+}
+
+/// Continent buckets of §5.7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateRegion {
+    /// Europe.
+    Europe,
+    /// North America (for-profit model, lower density).
+    NorthAmerica,
+    /// Asia / Pacific.
+    AsiaPacific,
+    /// Latin America.
+    LatinAmerica,
+    /// Africa.
+    Africa,
+}
+
+/// §5.7's density assumption for one IXP.
+pub fn assumed_density(row: &IxpStatRow, conservative: bool) -> f64 {
+    let d: f64 = match (row.region, row.has_rs, row.flat_fee) {
+        (EstimateRegion::NorthAmerica, _, _) => 0.4,
+        (_, true, true) => 0.7,
+        (_, true, false) => 0.6,
+        (_, false, _) => 0.5,
+    };
+    if conservative {
+        d.min(0.6)
+    } else {
+        d
+    }
+}
+
+/// The §5.7 estimate.
+#[derive(Debug, Clone, Default)]
+pub struct EstimateReport {
+    /// Estimated European IXP peerings (558,291 in the paper).
+    pub europe_total: f64,
+    /// Estimated unique European AS pairs under maximal overlap
+    /// (399,732).
+    pub europe_unique: f64,
+    /// Estimated global IXP peerings (686,104).
+    pub global_total: f64,
+    /// Estimated unique global AS pairs (510,870).
+    pub global_unique: f64,
+    /// Conservative global total with densities capped at 60 %
+    /// (596,011).
+    pub conservative_total: f64,
+    /// Conservative unique (422,423).
+    pub conservative_unique: f64,
+}
+
+/// The 61-IXP table (37 EU / 14 NA / 11 AP / 1 LA / 1 AF), calibrated
+/// from 2013 peering-registry scale. Exact member counts are stand-ins;
+/// the density model and structure are the paper's.
+pub fn global_ixp_table() -> Vec<IxpStatRow> {
+    let mut rows = Vec::new();
+    let eu13: [(&str, usize, bool); 13] = [
+        ("AMS-IX", 620, true),
+        ("DE-CIX", 500, true),
+        ("LINX", 470, true),
+        ("MSK-IX", 380, false),
+        ("PLIX", 230, true),
+        ("France-IX", 200, true),
+        ("LONAP", 125, true),
+        ("ECIX", 105, true),
+        ("SPB-IX", 90, false),
+        ("DTEL-IX", 75, false),
+        ("TOP-IX", 72, true),
+        ("STHIX", 70, true),
+        ("BIX.BG", 55, true),
+    ];
+    for (name, members, flat) in eu13 {
+        rows.push(IxpStatRow {
+            name: name.into(),
+            region: EstimateRegion::Europe,
+            members,
+            flat_fee: flat,
+            has_rs: true,
+        });
+    }
+    // 24 further European IXPs with ≥ 50 members.
+    let eu_other: [(usize, f64); 24] = [
+        (320, 0.7), (280, 0.6), (230, 0.7), (200, 0.5), (170, 0.7), (160, 0.6),
+        (150, 0.7), (140, 0.7), (130, 0.5), (120, 0.6), (110, 0.7), (105, 0.7),
+        (100, 0.6), (95, 0.7), (90, 0.5), (85, 0.7), (80, 0.6), (75, 0.7),
+        (70, 0.7), (65, 0.5), (60, 0.6), (58, 0.7), (55, 0.7), (52, 0.6),
+    ];
+    for (i, (members, d)) in eu_other.iter().enumerate() {
+        // d encodes the pricing/RS mix: 0.7 = flat+RS, 0.6 = usage+RS,
+        // 0.5 = no RS.
+        let (flat, rs) = match *d {
+            x if x >= 0.7 => (true, true),
+            x if x >= 0.6 => (false, true),
+            _ => (true, false),
+        };
+        rows.push(IxpStatRow {
+            name: format!("EU-IX-{}", i + 14),
+            region: EstimateRegion::Europe,
+            members: *members,
+            flat_fee: flat,
+            has_rs: rs,
+        });
+    }
+    for (i, members) in [380, 280, 230, 190, 170, 140, 120, 110, 100, 95, 85, 75, 65, 55]
+        .into_iter()
+        .enumerate()
+    {
+        rows.push(IxpStatRow {
+            name: format!("NA-IX-{}", i + 1),
+            region: EstimateRegion::NorthAmerica,
+            members,
+            flat_fee: false,
+            has_rs: i % 3 == 0,
+        });
+    }
+    for (i, members) in [260, 190, 170, 140, 120, 110, 95, 85, 75, 65, 55].into_iter().enumerate()
+    {
+        rows.push(IxpStatRow {
+            name: format!("AP-IX-{}", i + 1),
+            region: EstimateRegion::AsiaPacific,
+            members,
+            flat_fee: false,
+            has_rs: true,
+        });
+    }
+    rows.push(IxpStatRow {
+        name: "LA-IX-1".into(),
+        region: EstimateRegion::LatinAmerica,
+        members: 75,
+        flat_fee: true,
+        has_rs: true,
+    });
+    rows.push(IxpStatRow {
+        name: "AF-IX-1".into(),
+        region: EstimateRegion::Africa,
+        members: 55,
+        flat_fee: true,
+        has_rs: false,
+    });
+    rows
+}
+
+/// Run the §5.7 estimation. `overlap` is the assumed fraction of
+/// peerings duplicated across co-located IXPs when reducing totals to
+/// unique AS pairs (the paper's "highest possible link overlap"; its
+/// published ratios imply ≈ 0.28 in Europe and ≈ 0.25 globally).
+pub fn estimate(rows: &[IxpStatRow], overlap: f64) -> EstimateReport {
+    let pairs = |n: usize| (n * n.saturating_sub(1) / 2) as f64;
+    let mut report = EstimateReport::default();
+    for row in rows {
+        let links = pairs(row.members) * assumed_density(row, false);
+        let cons = pairs(row.members) * assumed_density(row, true);
+        report.global_total += links;
+        report.conservative_total += cons;
+        if row.region == EstimateRegion::Europe {
+            report.europe_total += links;
+        }
+    }
+    report.europe_unique = report.europe_total * (1.0 - overlap);
+    report.global_unique = report.global_total * (1.0 - overlap * 0.9);
+    report.conservative_unique = report.conservative_total * (1.0 - overlap * 0.9);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_assumptions_match_section57() {
+        let mk = |region, has_rs, flat_fee| IxpStatRow {
+            name: "x".into(),
+            region,
+            members: 100,
+            flat_fee,
+            has_rs,
+        };
+        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, true), false), 0.7);
+        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, false), false), 0.6);
+        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, false, true), false), 0.5);
+        assert_eq!(assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), false), 0.4);
+        // Conservative caps at 0.6.
+        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, true), true), 0.6);
+        assert_eq!(assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), true), 0.4);
+    }
+
+    #[test]
+    fn global_table_has_section57_structure() {
+        // The paper says "61 IXPs" but its own breakdown (37 EU + 14 NA
+        // + 11 AP + 1 LA + 1 AF) sums to 64; we follow the breakdown.
+        let rows = global_ixp_table();
+        assert_eq!(rows.len(), 64, "37 EU, 14 NA, 11 AP, 1 LA, 1 AF");
+        assert_eq!(
+            rows.iter().filter(|r| r.region == EstimateRegion::Europe).count(),
+            37
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.region == EstimateRegion::NorthAmerica).count(),
+            14
+        );
+        assert!(rows.iter().all(|r| r.members >= 50), "≥ 50 members everywhere");
+    }
+
+    #[test]
+    fn estimate_lands_in_paper_ballpark() {
+        let report = estimate(&global_ixp_table(), 0.28);
+        // Paper: EU 558,291; global 686,104; conservative 596,011.
+        assert!(
+            (450_000.0..650_000.0).contains(&report.europe_total),
+            "EU total {:.0}",
+            report.europe_total
+        );
+        assert!(
+            (600_000.0..800_000.0).contains(&report.global_total),
+            "global total {:.0}",
+            report.global_total
+        );
+        assert!(report.conservative_total < report.global_total);
+        assert!(report.europe_unique < report.europe_total);
+        assert!(report.global_unique < report.global_total);
+        // Unique ratio ≈ the paper's 0.716 / 0.745.
+        let eu_ratio = report.europe_unique / report.europe_total;
+        assert!((0.65..0.8).contains(&eu_ratio), "EU unique ratio {eu_ratio:.3}");
+    }
+}

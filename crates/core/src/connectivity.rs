@@ -1,0 +1,237 @@
+//! Connectivity acquisition (§4): which ASes session with each route
+//! server (`A_RS`).
+//!
+//! Three public sources, in the paper's reliability order:
+//!
+//! 1. **looking glasses** onto route servers (`show ip bgp summary`) —
+//!    "the most reliable as it explicitly reports the status of the
+//!    route server routing table";
+//! 2. **RPSL AS-SETs** registered in the IRR;
+//! 3. **IXP websites** listing connected networks.
+//!
+//! LINX publishes neither a member list nor an AS-SET (Table 2's
+//! asterisk); its RS membership is partially recovered by searching
+//! member aut-num records for export lines toward the RS ASN.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::Asn;
+use mlpeer_data::irr::{IrrDatabase, Source};
+use mlpeer_data::lg::{parse_summary, LgCommand, LgTarget, LookingGlassHost};
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+
+/// Where a connectivity fact came from (kept for provenance reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConnSource {
+    /// RS looking-glass summary.
+    LookingGlass,
+    /// IRR AS-SET membership.
+    IrrAsSet,
+    /// IXP website member list.
+    Website,
+    /// Recovered from aut-num export lines (the LINX trick).
+    IrrAutNum,
+}
+
+/// Connectivity data: per IXP, the RS members with the best source each
+/// was learned from.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectivityData {
+    per_ixp: BTreeMap<IxpId, BTreeMap<Asn, ConnSource>>,
+}
+
+impl ConnectivityData {
+    /// The RS members known at an IXP.
+    pub fn rs_members(&self, ixp: IxpId) -> BTreeSet<Asn> {
+        self.per_ixp.get(&ixp).map(|m| m.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// How a member was learned (best source).
+    pub fn source_of(&self, ixp: IxpId, asn: Asn) -> Option<ConnSource> {
+        self.per_ixp.get(&ixp)?.get(&asn).copied()
+    }
+
+    /// Number of known RS members at an IXP.
+    pub fn member_count(&self, ixp: IxpId) -> usize {
+        self.per_ixp.get(&ixp).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// Record a member, keeping the more reliable source on conflict.
+    pub fn record(&mut self, ixp: IxpId, asn: Asn, source: ConnSource) {
+        let slot = self.per_ixp.entry(ixp).or_default().entry(asn).or_insert(source);
+        if source < *slot {
+            *slot = source;
+        }
+    }
+
+    /// IXPs with any data.
+    pub fn ixps(&self) -> Vec<IxpId> {
+        self.per_ixp.keys().copied().collect()
+    }
+}
+
+/// Gather connectivity from every available source.
+///
+/// * every RS looking glass in `lgs` is queried for its summary;
+/// * every `AS-<IXP>-RS` AS-SET in the registries is resolved;
+/// * every member-list-publishing IXP's website is read;
+/// * for list-less IXPs (LINX), aut-num export lines toward the RS ASN
+///   are searched.
+pub fn gather_connectivity(
+    sim: &Sim,
+    lgs: &[LookingGlassHost],
+    irr: &BTreeMap<Source, IrrDatabase>,
+) -> ConnectivityData {
+    let mut out = ConnectivityData::default();
+
+    // 1. Looking glasses (most reliable): where an RS LG answers, its
+    //    summary *defines* the membership — "it explicitly reports the
+    //    status of the route server routing table" — and the weaker
+    //    sources are not consulted for that IXP.
+    let mut lg_covered: BTreeSet<IxpId> = BTreeSet::new();
+    for lg in lgs {
+        if let LgTarget::RouteServer(ixp) = lg.target {
+            let text = lg.query(sim, &LgCommand::Summary);
+            for (asn, _addr, _pfx) in parse_summary(&text) {
+                out.record(ixp, asn, ConnSource::LookingGlass);
+            }
+            lg_covered.insert(ixp);
+        }
+    }
+
+    // 2. IRR AS-SETs.
+    for ixp in &sim.eco.ixps {
+        if lg_covered.contains(&ixp.id) {
+            continue;
+        }
+        let set_name = format!("AS-{}-RS", ixp.name.to_uppercase().replace(['-', '.'], ""));
+        for db in irr.values() {
+            for asn in db.resolve_as_set(&set_name) {
+                out.record(ixp.id, asn, ConnSource::IrrAsSet);
+            }
+        }
+    }
+
+    // 3. IXP websites (member lists).
+    for ixp in &sim.eco.ixps {
+        if lg_covered.contains(&ixp.id) {
+            continue;
+        }
+        if ixp.publishes_member_list {
+            for asn in ixp.rs_member_asns() {
+                out.record(ixp.id, asn, ConnSource::Website);
+            }
+        }
+    }
+
+    // 4. The LINX recovery: aut-num exports toward the RS ASN, for IXPs
+    //    with neither website list nor AS-SET data.
+    for ixp in &sim.eco.ixps {
+        if !ixp.publishes_member_list {
+            for db in irr.values() {
+                for asn in db.ases_exporting_to(ixp.route_server.asn) {
+                    out.record(ixp.id, asn, ConnSource::IrrAutNum);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_data::irr::{build_irr, IrrConfig};
+    use mlpeer_data::lg::{build_lg_roster, LgDisplay};
+    use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+    fn setup() -> (Ecosystem, BTreeMap<Source, IrrDatabase>) {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(71));
+        let irr = build_irr(&eco, &IrrConfig::default());
+        (eco, irr)
+    }
+
+    #[test]
+    fn lg_backed_ixps_have_exact_membership() {
+        let (eco, irr) = setup();
+        let sim = Sim::new(&eco);
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        for ixp in &eco.ixps {
+            if ixp.has_lg {
+                let truth: BTreeSet<Asn> = ixp.rs_member_asns().into_iter().collect();
+                assert_eq!(conn.rs_members(ixp.id), truth, "{} via LG is exact", ixp.name);
+                // LG is recorded as the winning source.
+                let m = *truth.iter().next().unwrap();
+                assert_eq!(conn.source_of(ixp.id, m), Some(ConnSource::LookingGlass));
+            }
+        }
+    }
+
+    #[test]
+    fn linx_membership_partial_but_sound() {
+        let (eco, irr) = setup();
+        let sim = Sim::new(&eco);
+        let conn = gather_connectivity(&sim, &[], &irr);
+        let linx = eco.ixp_by_name("LINX").unwrap();
+        let known = conn.rs_members(linx.id);
+        let truth: BTreeSet<Asn> = linx.rs_member_asns().into_iter().collect();
+        assert!(!known.is_empty(), "aut-num search recovers some LINX members");
+        assert!(known.is_subset(&truth), "no false LINX members");
+        assert!(known.len() <= truth.len());
+        let m = *known.iter().next().unwrap();
+        assert_eq!(conn.source_of(linx.id, m), Some(ConnSource::IrrAutNum));
+    }
+
+    #[test]
+    fn as_set_and_website_agree_mostly() {
+        let (eco, irr) = setup();
+        let sim = Sim::new(&eco);
+        let conn = gather_connectivity(&sim, &[], &irr);
+        let decix = eco.ixp_by_name("DE-CIX").unwrap();
+        let known = conn.rs_members(decix.id);
+        let truth: BTreeSet<Asn> = decix.rs_member_asns().into_iter().collect();
+        // Website gives the full truth; AS-SET may add a few stale
+        // entries.
+        assert!(known.is_superset(&truth));
+        let extra = known.difference(&truth).count();
+        assert!(extra <= truth.len() / 5, "stale extras bounded: {extra}");
+    }
+
+    #[test]
+    fn source_priority_prefers_lg() {
+        let mut conn = ConnectivityData::default();
+        conn.record(IxpId(0), Asn(1), ConnSource::Website);
+        conn.record(IxpId(0), Asn(1), ConnSource::LookingGlass);
+        assert_eq!(conn.source_of(IxpId(0), Asn(1)), Some(ConnSource::LookingGlass));
+        conn.record(IxpId(0), Asn(1), ConnSource::IrrAsSet);
+        assert_eq!(
+            conn.source_of(IxpId(0), Asn(1)),
+            Some(ConnSource::LookingGlass),
+            "worse source never downgrades"
+        );
+        assert_eq!(conn.member_count(IxpId(0)), 1);
+        assert_eq!(conn.ixps(), vec![IxpId(0)]);
+    }
+
+    #[test]
+    fn member_lgs_do_not_pollute_connectivity() {
+        let (eco, irr) = setup();
+        let sim = Sim::new(&eco);
+        let member_lg = LookingGlassHost::new(
+            "lg.member",
+            LgTarget::Member(*eco.all_rs_member_asns().iter().next().unwrap()),
+            LgDisplay::AllPaths,
+        );
+        let conn = gather_connectivity(&sim, std::slice::from_ref(&member_lg), &irr);
+        // Member LG summaries list route servers, not members; nothing
+        // from them must be recorded as LookingGlass-sourced.
+        for ixp in conn.ixps() {
+            for m in conn.rs_members(ixp) {
+                assert_ne!(conn.source_of(ixp, m), Some(ConnSource::LookingGlass));
+            }
+        }
+    }
+}

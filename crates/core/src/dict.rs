@@ -1,0 +1,274 @@
+//! The RS community dictionary (§3, §4.2).
+//!
+//! IXPs "clearly document the usage of their community values in IRR
+//! records or support pages"; the dictionary collects those documented
+//! schemes and answers the two questions passive inference must solve
+//! for every community set it encounters:
+//!
+//! 1. **Which IXP** set these values? Usually the RS ASN appears in the
+//!    upper or lower 16 bits; when a member omits the redundant `ALL`
+//!    and only bare `0:peer-asn` EXCLUDEs remain, the IXP is identified
+//!    by finding the *one* route server where all the excluded ASes are
+//!    members ("often the combination of ASes is only found at a single
+//!    IXP").
+//! 2. **What actions** do they encode (ALL / EXCLUDE / NONE / INCLUDE)?
+
+use std::collections::BTreeSet;
+
+use mlpeer_bgp::{Asn, Community, CommunitySet};
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::scheme::{CommunityScheme, RsAction};
+
+/// One IXP's documented scheme plus the RS-member set used for
+/// EXCLUDE-combination disambiguation (from connectivity data).
+#[derive(Debug, Clone)]
+pub struct DictEntry {
+    /// The IXP.
+    pub ixp: IxpId,
+    /// Human name for reports.
+    pub name: String,
+    /// The documented scheme.
+    pub scheme: CommunityScheme,
+    /// Known RS members (possibly partial, e.g. LINX).
+    pub rs_members: BTreeSet<Asn>,
+}
+
+/// The dictionary across all studied IXPs.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityDictionary {
+    entries: Vec<DictEntry>,
+}
+
+/// Result of identifying a community set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identified {
+    /// The IXP the values belong to.
+    pub ixp: IxpId,
+    /// The decoded actions.
+    pub actions: Vec<RsAction>,
+}
+
+impl CommunityDictionary {
+    /// Build from entries.
+    pub fn new(entries: Vec<DictEntry>) -> Self {
+        CommunityDictionary { entries }
+    }
+
+    /// Entries, in insertion order.
+    pub fn entries(&self) -> &[DictEntry] {
+        &self.entries
+    }
+
+    /// The entry for an IXP.
+    pub fn entry(&self, ixp: IxpId) -> Option<&DictEntry> {
+        self.entries.iter().find(|e| e.ixp == ixp)
+    }
+
+    /// All interpretations of one community across all schemes.
+    pub fn classify(&self, c: Community) -> Vec<(IxpId, RsAction)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.scheme.decode(c).map(|a| (e.ixp, a)))
+            .collect()
+    }
+
+    /// Identify which IXP a community set was tagged for, and decode its
+    /// actions (§4.2). Returns `None` when nothing matches or the set
+    /// stays ambiguous across multiple IXPs.
+    pub fn identify(&self, set: &CommunitySet) -> Option<Identified> {
+        if set.is_empty() {
+            return None;
+        }
+        // Pass 1: a value that *mentions* the RS ASN (ALL, NONE,
+        // INCLUDE) pins the IXP — but only count values that actually
+        // decode under that scheme.
+        let mut strong: Vec<&DictEntry> = Vec::new();
+        for e in &self.entries {
+            let pins = set.iter().any(|c| e.scheme.mentions_rs(c) && e.scheme.decode(c).is_some());
+            if pins {
+                strong.push(e);
+            }
+        }
+        if strong.len() == 1 {
+            let e = strong[0];
+            return Some(Identified { ixp: e.ixp, actions: decode_all(e, set) });
+        }
+        if strong.len() > 1 {
+            // Extremely rare collision (one IXP's ALL is another's
+            // INCLUDE): prefer the entry decoding the most values, then
+            // the one whose decoded peers are all members.
+            let best = strong
+                .into_iter()
+                .max_by_key(|e| {
+                    let decoded = decode_all(e, set);
+                    let member_ok = decoded
+                        .iter()
+                        .all(|a| match a {
+                            RsAction::Exclude(p) | RsAction::Include(p) => {
+                                e.rs_members.contains(p)
+                            }
+                            _ => true,
+                        });
+                    (decoded.len(), member_ok as usize, std::cmp::Reverse(e.ixp.0))
+                })
+                .expect("non-empty");
+            return Some(Identified { ixp: best.ixp, actions: decode_all(best, set) });
+        }
+        // Pass 2: bare EXCLUDE lists (`0:peer-asn`, or offset excludes).
+        // Disambiguate by the member-combination rule.
+        let mut candidates: Vec<(&DictEntry, Vec<RsAction>)> = Vec::new();
+        for e in &self.entries {
+            let actions = decode_all(e, set);
+            if actions.is_empty() {
+                continue;
+            }
+            // Every decoded EXCLUDE/INCLUDE peer must be a known member.
+            let peers: Vec<Asn> = actions
+                .iter()
+                .filter_map(|a| match a {
+                    RsAction::Exclude(p) | RsAction::Include(p) => Some(*p),
+                    _ => None,
+                })
+                .collect();
+            if peers.is_empty() {
+                continue;
+            }
+            if peers.iter().all(|p| e.rs_members.contains(p)) {
+                candidates.push((e, actions));
+            }
+        }
+        match candidates.len() {
+            1 => {
+                let (e, actions) = candidates.into_iter().next().expect("len checked");
+                Some(Identified { ixp: e.ixp, actions })
+            }
+            _ => None, // unidentifiable or ambiguous
+        }
+    }
+}
+
+fn decode_all(e: &DictEntry, set: &CommunitySet) -> Vec<RsAction> {
+    set.iter().filter_map(|c| e.scheme.decode(c)).collect()
+}
+
+/// Build the dictionary straight from an ecosystem's *documentation* —
+/// the schemes every IXP publishes — plus connectivity data for the
+/// member sets. (The member sets come from [`crate::connectivity`]; this
+/// helper wires them together.)
+pub fn dictionary_from_connectivity(
+    eco: &mlpeer_ixp::Ecosystem,
+    conn: &crate::connectivity::ConnectivityData,
+) -> CommunityDictionary {
+    let entries = eco
+        .ixps
+        .iter()
+        .map(|x| DictEntry {
+            ixp: x.id,
+            name: x.name.clone(),
+            scheme: x.scheme.clone(),
+            rs_members: conn.rs_members(x.id),
+        })
+        .collect();
+    CommunityDictionary::new(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_ixp::scheme::SchemeStyle;
+
+    fn entry(id: u16, rs: u32, members: &[u32]) -> DictEntry {
+        let mut scheme = CommunityScheme::new(Asn(rs), SchemeStyle::AsnBased);
+        for &m in members {
+            scheme.register_member(Asn(m));
+        }
+        DictEntry {
+            ixp: IxpId(id),
+            name: format!("IXP-{id}"),
+            scheme,
+            rs_members: members.iter().map(|&m| Asn(m)).collect(),
+        }
+    }
+
+    fn dict() -> CommunityDictionary {
+        // DE-CIX-like (6695) with members 8359, 8447, 5410;
+        // MSK-IX-like (8631) with members 2854, 8359.
+        CommunityDictionary::new(vec![
+            entry(0, 6695, &[8359, 8447, 5410]),
+            entry(1, 8631, &[2854, 8359]),
+        ])
+    }
+
+    fn cs(s: &str) -> CommunitySet {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identifies_by_rs_asn_mention() {
+        let d = dict();
+        // Fig. 2(a): NONE + INCLUDEs pin DE-CIX by 6695.
+        let got = d.identify(&cs("0:6695 6695:8359 6695:8447")).unwrap();
+        assert_eq!(got.ixp, IxpId(0));
+        assert_eq!(got.actions.len(), 3);
+        assert!(got.actions.contains(&RsAction::None));
+        assert!(got.actions.contains(&RsAction::Include(Asn(8359))));
+        // ALL value alone pins MSK-IX.
+        let got = d.identify(&cs("8631:8631")).unwrap();
+        assert_eq!(got.ixp, IxpId(1));
+        assert_eq!(got.actions, vec![RsAction::All]);
+    }
+
+    #[test]
+    fn bare_excludes_disambiguated_by_member_combination() {
+        let d = dict();
+        // 0:8447 and 0:5410: both members only at IXP 0.
+        let got = d.identify(&cs("0:8447 0:5410")).unwrap();
+        assert_eq!(got.ixp, IxpId(0));
+        // Actions come back in community-value order (0:5410 < 0:8447).
+        assert_eq!(
+            got.actions,
+            vec![RsAction::Exclude(Asn(5410)), RsAction::Exclude(Asn(8447))]
+        );
+        // 0:2854: only a member at IXP 1.
+        let got = d.identify(&cs("0:2854")).unwrap();
+        assert_eq!(got.ixp, IxpId(1));
+    }
+
+    #[test]
+    fn ambiguous_bare_exclude_returns_none() {
+        let d = dict();
+        // 8359 is a member at BOTH IXPs: 0:8359 alone is ambiguous.
+        assert_eq!(d.identify(&cs("0:8359")), None);
+        // But combined with a value pinning DE-CIX it resolves.
+        let got = d.identify(&cs("0:8359 6695:6695")).unwrap();
+        assert_eq!(got.ixp, IxpId(0));
+        assert!(got.actions.contains(&RsAction::Exclude(Asn(8359))));
+        assert!(got.actions.contains(&RsAction::All));
+    }
+
+    #[test]
+    fn foreign_communities_unidentified() {
+        let d = dict();
+        assert_eq!(d.identify(&cs("3356:100 1299:20")), None);
+        assert_eq!(d.identify(&CommunitySet::new()), None);
+        // Unknown peer in a bare exclude: not a member anywhere.
+        assert_eq!(d.identify(&cs("0:64000")), None);
+    }
+
+    #[test]
+    fn classify_lists_all_interpretations() {
+        let d = dict();
+        let v = d.classify("0:8359".parse().unwrap());
+        assert_eq!(v.len(), 2, "bare exclude decodes under both ASN-based schemes");
+        let v = d.classify("6695:6695".parse().unwrap());
+        assert_eq!(v, vec![(IxpId(0), RsAction::All)]);
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let d = dict();
+        assert!(d.entry(IxpId(0)).is_some());
+        assert!(d.entry(IxpId(9)).is_none());
+        assert_eq!(d.entries().len(), 2);
+    }
+}

@@ -1,0 +1,336 @@
+//! Link inference (§4.1 steps 4–5).
+//!
+//! Observations — "(IXP, setter, prefix) announced with these RS
+//! actions" — arrive from the passive and active pipelines. Per member
+//! `a`, the export-reach set is reconstructed per prefix,
+//!
+//! ```text
+//! N_{a,p} = A_RS − E_p   (ALL + EXCLUDE)
+//! N_{a,p} = I_p          (NONE + INCLUDE)
+//! N_a     = ⋂_p N_{a,p}
+//! ```
+//!
+//! and a p2p link `a–b` is inferred iff `a ∈ N_b ∧ b ∈ N_a` — the
+//! *reciprocity assumption* validated in §4.4. Links are deduplicated
+//! across IXPs with the per-IXP provenance retained (the Table 2
+//! "Links" column vs the 206,667 unique total).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::policy::ExportPolicy;
+use mlpeer_ixp::scheme::RsAction;
+
+use crate::connectivity::ConnectivityData;
+
+/// Where an observation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObservationSource {
+    /// Mined from collector archives (§4.2).
+    Passive,
+    /// Queried from the IXP's own route-server LG (§4.1).
+    ActiveRsLg,
+    /// Queried from a third-party member LG (§4.1 fallback).
+    ActiveMemberLg,
+}
+
+/// One reachability observation: `member` announced `prefix` at `ixp`
+/// with these decoded actions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The IXP whose route server the communities were set at.
+    pub ixp: IxpId,
+    /// The RS setter.
+    pub member: Asn,
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// Decoded actions (empty = default ALL).
+    pub actions: Vec<RsAction>,
+    /// Provenance.
+    pub source: ObservationSource,
+}
+
+/// The inferred link set.
+#[derive(Debug, Clone, Default)]
+pub struct MlpLinkSet {
+    /// Per-IXP links (`a < b`).
+    pub per_ixp: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>>,
+    /// Members with reachability data per IXP (the Pasv/Active columns
+    /// add up to this).
+    pub covered: BTreeMap<IxpId, BTreeSet<Asn>>,
+    /// Reconstructed default export policy per (ixp, member).
+    pub policies: BTreeMap<(IxpId, Asn), ExportPolicy>,
+}
+
+impl MlpLinkSet {
+    /// All unique links across IXPs.
+    pub fn unique_links(&self) -> BTreeSet<(Asn, Asn)> {
+        self.per_ixp.values().flatten().copied().collect()
+    }
+
+    /// Total per-IXP link count (the Table 2 summation, which exceeds
+    /// the unique count by the multi-IXP overlap).
+    pub fn per_ixp_total(&self) -> usize {
+        self.per_ixp.values().map(BTreeSet::len).sum()
+    }
+
+    /// Links appearing at more than one IXP.
+    pub fn overlap_links(&self) -> BTreeSet<(Asn, Asn)> {
+        let mut seen: BTreeMap<(Asn, Asn), usize> = BTreeMap::new();
+        for links in self.per_ixp.values() {
+            for l in links {
+                *seen.entry(*l).or_default() += 1;
+            }
+        }
+        seen.into_iter().filter(|(_, n)| *n > 1).map(|(l, _)| l).collect()
+    }
+
+    /// Links common to two IXPs (the AMS-IX ∩ DE-CIX 7,502 statistic).
+    pub fn common_links(&self, a: IxpId, b: IxpId) -> usize {
+        match (self.per_ixp.get(&a), self.per_ixp.get(&b)) {
+            (Some(x), Some(y)) => x.intersection(y).count(),
+            _ => 0,
+        }
+    }
+
+    /// Distinct ASNs involved in any link.
+    pub fn distinct_asns(&self) -> BTreeSet<Asn> {
+        self.unique_links().into_iter().flat_map(|(a, b)| [a, b]).collect()
+    }
+
+    /// Links at one IXP.
+    pub fn links_at(&self, ixp: IxpId) -> &BTreeSet<(Asn, Asn)> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<(Asn, Asn)>> = std::sync::OnceLock::new();
+        self.per_ixp.get(&ixp).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+}
+
+/// Reconstruct `N_a` for every covered member and infer reciprocal
+/// links.
+pub fn infer_links(conn: &ConnectivityData, observations: &[Observation]) -> MlpLinkSet {
+    // Group observations per (ixp, member, prefix), merging actions from
+    // all sources.
+    let mut per_member_prefix: BTreeMap<(IxpId, Asn), BTreeMap<Prefix, Vec<RsAction>>> =
+        BTreeMap::new();
+    for obs in observations {
+        per_member_prefix
+            .entry((obs.ixp, obs.member))
+            .or_default()
+            .entry(obs.prefix)
+            .or_default()
+            .extend(obs.actions.iter().copied());
+    }
+
+    let mut out = MlpLinkSet::default();
+
+    // Per IXP: reconstruct N_a as the intersection over prefixes.
+    let mut reach: BTreeMap<IxpId, BTreeMap<Asn, BTreeSet<Asn>>> = BTreeMap::new();
+    for ((ixp, member), prefixes) in &per_member_prefix {
+        let members = conn.rs_members(*ixp);
+        if !members.contains(member) {
+            continue; // reachability data for an AS we cannot place
+        }
+        let mut na: Option<BTreeSet<Asn>> = None;
+        let mut default_policy: Option<ExportPolicy> = None;
+        for (_prefix, actions) in prefixes {
+            let policy = ExportPolicy::from_actions(actions.iter().copied());
+            let nap: BTreeSet<Asn> = policy
+                .allowed_set(&members)
+                .into_iter()
+                .filter(|&m| m != *member)
+                .collect();
+            na = Some(match na.take() {
+                None => nap,
+                Some(prev) => prev.intersection(&nap).copied().collect(),
+            });
+            // Remember the modal (first) policy for reporting.
+            if default_policy.is_none() {
+                default_policy = Some(policy);
+            }
+        }
+        let na = na.unwrap_or_default();
+        reach.entry(*ixp).or_default().insert(*member, na);
+        out.covered.entry(*ixp).or_default().insert(*member);
+        if let Some(p) = default_policy {
+            out.policies.insert((*ixp, *member), p);
+        }
+    }
+
+    // Step 5: reciprocal links.
+    for (ixp, members) in &reach {
+        let links = out.per_ixp.entry(*ixp).or_default();
+        let asns: Vec<Asn> = members.keys().copied().collect();
+        for (i, &a) in asns.iter().enumerate() {
+            for &b in &asns[i + 1..] {
+                if members[&a].contains(&b) && members[&b].contains(&a) {
+                    links.insert((a, b));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::ConnSource;
+
+    fn conn_with(members: &[u32]) -> ConnectivityData {
+        let mut c = ConnectivityData::default();
+        for &m in members {
+            c.record(IxpId(0), Asn(m), ConnSource::LookingGlass);
+        }
+        c
+    }
+
+    fn obs(member: u32, prefix: &str, actions: Vec<RsAction>) -> Observation {
+        Observation {
+            ixp: IxpId(0),
+            member: Asn(member),
+            prefix: prefix.parse().unwrap(),
+            actions,
+            source: ObservationSource::ActiveRsLg,
+        }
+    }
+
+    /// The Figure 3 scenario: A=1, B=2, C=3, D=4. A includes only B and
+    /// D; the rest are open. Expected: every pair except A–C.
+    #[test]
+    fn figure3_inference() {
+        let conn = conn_with(&[1, 2, 3, 4]);
+        let observations = vec![
+            obs(1, "10.1.0.0/24", vec![
+                RsAction::None,
+                RsAction::Include(Asn(2)),
+                RsAction::Include(Asn(4)),
+            ]),
+            obs(2, "10.2.0.0/24", vec![RsAction::All]),
+            obs(3, "10.3.0.0/24", vec![RsAction::All]),
+            obs(4, "10.4.0.0/24", vec![RsAction::All]),
+        ];
+        let links = infer_links(&conn, &observations);
+        let at0 = links.links_at(IxpId(0));
+        assert!(at0.contains(&(Asn(1), Asn(2))));
+        assert!(at0.contains(&(Asn(1), Asn(4))));
+        assert!(at0.contains(&(Asn(2), Asn(3))));
+        assert!(at0.contains(&(Asn(2), Asn(4))));
+        assert!(at0.contains(&(Asn(3), Asn(4))));
+        assert!(
+            !at0.contains(&(Asn(1), Asn(3))),
+            "A blocks C, so no link despite C allowing A (Fig. 3)"
+        );
+        assert_eq!(at0.len(), 5);
+    }
+
+    #[test]
+    fn figure2b_all_exclude() {
+        let conn = conn_with(&[1, 2, 3, 4]);
+        let observations = vec![
+            obs(1, "10.1.0.0/24", vec![
+                RsAction::All,
+                RsAction::Exclude(Asn(3)),
+            ]),
+            obs(2, "10.2.0.0/24", vec![]),
+            obs(3, "10.3.0.0/24", vec![]),
+            obs(4, "10.4.0.0/24", vec![]),
+        ];
+        let links = infer_links(&conn, &observations);
+        let at0 = links.links_at(IxpId(0));
+        assert_eq!(at0.len(), 5);
+        assert!(!at0.contains(&(Asn(1), Asn(3))));
+    }
+
+    #[test]
+    fn empty_actions_mean_default_all() {
+        let conn = conn_with(&[1, 2]);
+        let observations = vec![obs(1, "10.1.0.0/24", vec![]), obs(2, "10.2.0.0/24", vec![])];
+        let links = infer_links(&conn, &observations);
+        assert!(links.links_at(IxpId(0)).contains(&(Asn(1), Asn(2))));
+    }
+
+    #[test]
+    fn uncovered_members_produce_no_links() {
+        let conn = conn_with(&[1, 2, 3]);
+        // Only member 1 has reachability data.
+        let observations = vec![obs(1, "10.1.0.0/24", vec![RsAction::All])];
+        let links = infer_links(&conn, &observations);
+        assert!(links.links_at(IxpId(0)).is_empty(), "reciprocity needs both sides covered");
+        assert_eq!(links.covered[&IxpId(0)].len(), 1);
+    }
+
+    #[test]
+    fn per_prefix_intersection_is_conservative() {
+        // Member 1 excludes 2 on ONE prefix only; N_1 = ⋂ drops 2.
+        let conn = conn_with(&[1, 2]);
+        let observations = vec![
+            obs(1, "10.1.0.0/24", vec![RsAction::All]),
+            obs(1, "10.9.0.0/24", vec![RsAction::All, RsAction::Exclude(Asn(2))]),
+            obs(2, "10.2.0.0/24", vec![RsAction::All]),
+        ];
+        let links = infer_links(&conn, &observations);
+        assert!(
+            links.links_at(IxpId(0)).is_empty(),
+            "the §4.1 intersection drops peers excluded on any prefix"
+        );
+    }
+
+    #[test]
+    fn observations_for_unknown_members_dropped() {
+        let conn = conn_with(&[1, 2]);
+        let observations = vec![
+            obs(1, "10.1.0.0/24", vec![]),
+            obs(2, "10.2.0.0/24", vec![]),
+            obs(99, "10.9.0.0/24", vec![]), // not in A_RS
+        ];
+        let links = infer_links(&conn, &observations);
+        assert!(!links.covered[&IxpId(0)].contains(&Asn(99)));
+        assert_eq!(links.links_at(IxpId(0)).len(), 1);
+    }
+
+    #[test]
+    fn multi_ixp_overlap_accounting() {
+        let mut conn = conn_with(&[1, 2]);
+        conn.record(IxpId(1), Asn(1), ConnSource::Website);
+        conn.record(IxpId(1), Asn(2), ConnSource::Website);
+        let mut observations = vec![
+            obs(1, "10.1.0.0/24", vec![]),
+            obs(2, "10.2.0.0/24", vec![]),
+        ];
+        observations.push(Observation {
+            ixp: IxpId(1),
+            member: Asn(1),
+            prefix: "10.1.0.0/24".parse().unwrap(),
+            actions: vec![],
+            source: ObservationSource::Passive,
+        });
+        observations.push(Observation {
+            ixp: IxpId(1),
+            member: Asn(2),
+            prefix: "10.2.0.0/24".parse().unwrap(),
+            actions: vec![],
+            source: ObservationSource::Passive,
+        });
+        let links = infer_links(&conn, &observations);
+        assert_eq!(links.per_ixp_total(), 2, "one link at each IXP");
+        assert_eq!(links.unique_links().len(), 1, "same pair deduped");
+        assert_eq!(links.overlap_links().len(), 1);
+        assert_eq!(links.common_links(IxpId(0), IxpId(1)), 1);
+        assert_eq!(links.distinct_asns().len(), 2);
+    }
+
+    #[test]
+    fn policy_reconstruction_recorded() {
+        let conn = conn_with(&[1, 2, 3]);
+        let observations = vec![obs(1, "10.1.0.0/24", vec![
+            RsAction::All,
+            RsAction::Exclude(Asn(3)),
+        ])];
+        let links = infer_links(&conn, &observations);
+        assert_eq!(
+            links.policies.get(&(IxpId(0), Asn(1))),
+            Some(&ExportPolicy::AllExcept([Asn(3)].into_iter().collect()))
+        );
+    }
+}

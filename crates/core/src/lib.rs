@@ -1,0 +1,47 @@
+//! # `mlpeer` — Inferring Multilateral Peering
+//!
+//! A production-quality implementation of the inference framework from
+//! *Inferring Multilateral Peering* (Giotsas, Zhou, Luckie, claffy —
+//! CoNEXT 2013): discover the peer-to-peer links established over IXP
+//! route servers by mining the BGP community values members use to
+//! control their route-server export filters.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!  connectivity (who sessions with the RS)        reachability (export filters)
+//!  ───────────────────────────────────────        ─────────────────────────────
+//!  LG `show ip bgp summary`   [connectivity]      passive: Route Views / RIS
+//!  IRR AS-SETs                                    archives  [passive]
+//!  IXP member lists                               active: LG prefix queries
+//!          └──────────────┬───────────────────────────────┘ [active]
+//!                         ▼
+//!         community dictionary + IXP identification  [dict]
+//!                         ▼
+//!         RS-setter pinpointing, policy reconstruction
+//!             N_a = ⋂_p N_{a,p}   [passive, infer]
+//!                         ▼
+//!         reciprocal link inference (a ∈ N_b ∧ b ∈ N_a)  [infer]
+//!                         ▼
+//!         validation via public LGs [validate] · analyses [analysis]
+//! ```
+//!
+//! Every module maps to a paper section; see `DESIGN.md` for the full
+//! experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod analysis;
+pub mod connectivity;
+pub mod dict;
+pub mod infer;
+pub mod passive;
+pub mod reciprocity;
+pub mod report;
+pub mod validate;
+
+pub use connectivity::{ConnSource, ConnectivityData};
+pub use dict::CommunityDictionary;
+pub use infer::{infer_links, MlpLinkSet, Observation, ObservationSource};

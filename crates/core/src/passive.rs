@@ -1,0 +1,443 @@
+//! Passive inference from collector archives (§4.2).
+//!
+//! Walk every archived route (RIB dumps and non-transient updates),
+//! sanitize the AS path, identify which IXP the attached RS communities
+//! belong to (via the dictionary), pin-point the *RS setter* — the
+//! member that applied them — and emit reachability observations for
+//! the link-inference stage.
+//!
+//! Setter pin-pointing follows §4.2's three cases, given the IXP's
+//! known members on the path:
+//!
+//! 1. fewer than two members → cannot pin-point, drop;
+//! 2. exactly two members → the one closest to the origin is the setter;
+//! 3. more than two → locate the p2p edge among them using inferred AS
+//!    relationships; the setter is the member on the origin side of it.
+
+use std::collections::BTreeMap;
+
+use mlpeer_bgp::mrt::MrtArchive;
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::scheme::RsAction;
+use mlpeer_topo::infer::InferredRelationships;
+use mlpeer_topo::relationship::Relationship;
+
+use mlpeer_data::collector::PassiveDataset;
+
+use crate::connectivity::ConnectivityData;
+use crate::dict::CommunityDictionary;
+use crate::infer::{Observation, ObservationSource};
+
+/// Passive-pipeline parameters.
+#[derive(Debug, Clone)]
+pub struct PassiveConfig {
+    /// An announcement withdrawn within this many seconds is transient
+    /// and ignored ("we also filtered out transient AS paths", §5).
+    pub transient_secs: u32,
+}
+
+impl Default for PassiveConfig {
+    fn default() -> Self {
+        PassiveConfig { transient_secs: 6 * 3600 }
+    }
+}
+
+/// Statistics from a passive run (for reports and tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassiveStats {
+    /// Routes examined.
+    pub routes_seen: usize,
+    /// Dropped: bogon ASN in path.
+    pub dropped_bogon: usize,
+    /// Dropped: path cycle.
+    pub dropped_cycle: usize,
+    /// Dropped: transient announcement.
+    pub dropped_transient: usize,
+    /// Routes with communities that no scheme identified.
+    pub unidentified: usize,
+    /// Routes where the setter could not be pin-pointed (case 1).
+    pub setter_unknown: usize,
+    /// Observations emitted.
+    pub observations: usize,
+}
+
+/// Run the passive pipeline over a dataset.
+pub fn harvest_passive(
+    dataset: &PassiveDataset,
+    dict: &CommunityDictionary,
+    conn: &ConnectivityData,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+) -> (Vec<Observation>, PassiveStats) {
+    let mut observations = Vec::new();
+    let mut stats = PassiveStats::default();
+
+    for (_, archive) in &dataset.collectors {
+        // RIB snapshot entries.
+        for entry in &archive.rib {
+            stats.routes_seen += 1;
+            process_route(
+                &entry.attrs.as_path.dedup_prepends(),
+                &entry.attrs.communities,
+                entry.prefix,
+                dict,
+                conn,
+                rels,
+                &mut observations,
+                &mut stats,
+            );
+        }
+        // Update stream, with transient filtering.
+        for (path, communities, prefix) in stable_updates(archive, cfg.transient_secs, &mut stats)
+        {
+            stats.routes_seen += 1;
+            process_route(
+                &path, &communities, prefix, dict, conn, rels, &mut observations, &mut stats,
+            );
+        }
+    }
+    stats.observations = observations.len();
+    (observations, stats)
+}
+
+/// Extract announcements from the update stream that were *not*
+/// withdrawn within the transient window.
+fn stable_updates(
+    archive: &MrtArchive,
+    transient_secs: u32,
+    stats: &mut PassiveStats,
+) -> Vec<(Vec<Asn>, mlpeer_bgp::CommunitySet, Prefix)> {
+    // (peer, prefix) → announce timestamp of the last announcement.
+    let mut out = Vec::new();
+    let mut pending: BTreeMap<(u16, Prefix), (u32, Vec<Asn>, mlpeer_bgp::CommunitySet)> =
+        BTreeMap::new();
+    for u in &archive.updates {
+        for w in &u.update.withdrawn {
+            if let Some((t0, _, _)) = pending.get(&(u.peer_index, *w)) {
+                if u.timestamp.saturating_sub(*t0) < transient_secs {
+                    pending.remove(&(u.peer_index, *w));
+                    stats.dropped_transient += 1;
+                }
+            }
+        }
+        if let Some(attrs) = &u.update.attrs {
+            for p in &u.update.nlri {
+                pending.insert(
+                    (u.peer_index, *p),
+                    (
+                        u.timestamp,
+                        attrs.as_path.dedup_prepends(),
+                        attrs.communities.clone(),
+                    ),
+                );
+            }
+        }
+    }
+    for ((_, prefix), (_, path, communities)) in pending {
+        out.push((path, communities, prefix));
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_route(
+    path: &[Asn],
+    communities: &mlpeer_bgp::CommunitySet,
+    prefix: Prefix,
+    dict: &CommunityDictionary,
+    conn: &ConnectivityData,
+    rels: &InferredRelationships,
+    observations: &mut Vec<Observation>,
+    stats: &mut PassiveStats,
+) {
+    // §5 path sanitation.
+    if path.iter().any(|a| a.is_path_bogon()) {
+        stats.dropped_bogon += 1;
+        return;
+    }
+    if has_cycle(path) {
+        stats.dropped_cycle += 1;
+        return;
+    }
+    if communities.is_empty() {
+        return;
+    }
+    // Which IXP set these communities?
+    let Some(identified) = dict.identify(communities) else {
+        stats.unidentified += 1;
+        return;
+    };
+    // Pin-point the setter among the IXP's members on the path.
+    let members = conn.rs_members(identified.ixp);
+    let Some(setter) = pinpoint_setter(path, &members, rels, &identified.actions) else {
+        stats.setter_unknown += 1;
+        return;
+    };
+    observations.push(Observation {
+        ixp: identified.ixp,
+        member: setter,
+        prefix,
+        actions: identified.actions,
+        source: ObservationSource::Passive,
+    });
+}
+
+/// §4.2's three-case RS-setter identification, shared by the passive
+/// pipeline and the member-LG active fallback.
+///
+/// * fewer than two known members on the path → `None` (case 1);
+/// * exactly two → the one closest to the origin (case 2);
+/// * more than two → the member on the origin side of the p2p edge
+///   located with inferred relationships, falling back to the member
+///   closest to the origin (case 3).
+///
+/// The decoded `actions` prune impossible crossings: a setter never
+/// EXCLUDEs itself, and the member that *received* the route across the
+/// route server must be allowed by the setter's decoded policy.
+pub fn pinpoint_setter(
+    path: &[Asn],
+    members: &std::collections::BTreeSet<Asn>,
+    rels: &InferredRelationships,
+    actions: &[RsAction],
+) -> Option<Asn> {
+    let on_path: Vec<usize> = (0..path.len()).filter(|&i| members.contains(&path[i])).collect();
+    if on_path.len() < 2 {
+        return None;
+    }
+    let policy = mlpeer_ixp::policy::ExportPolicy::from_actions(actions.iter().copied());
+    let self_excluded: std::collections::BTreeSet<Asn> = actions
+        .iter()
+        .filter_map(|a| match a {
+            RsAction::Exclude(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    // The route-server crossing joins two *adjacent* members (the
+    // receiver re-announced the setter's route directly). Candidate
+    // crossings are the adjacent member pairs consistent with the
+    // decoded filter.
+    let adjacent: Vec<usize> = on_path
+        .windows(2)
+        .filter(|w| w[1] == w[0] + 1)
+        .map(|w| w[0])
+        .filter(|&i| {
+            let (receiver, setter) = (path[i], path[i + 1]);
+            policy.allows(receiver) && !self_excluded.contains(&setter)
+        })
+        .collect();
+    if adjacent.is_empty() {
+        // Members scattered (partial connectivity hides the receiver):
+        // with exactly two members the paper's case 2 picks the one
+        // closest to the origin; more than two stays ambiguous.
+        return if on_path.len() == 2 && !self_excluded.contains(&path[on_path[1]]) {
+            Some(path[on_path[1]])
+        } else {
+            None
+        };
+    }
+    // Valley-free paths cross at most one peer edge, so prefer the
+    // adjacent pair inferred p2p. Failing that, an observer that is
+    // *itself* a member (an RS feeder, or the member LG host) received
+    // the route on its own RS session, so the crossing is the leading
+    // pair — relationship inference cannot help there because the
+    // observer never appears mid-path. Then try a pair with no inferred
+    // relationship, and finally the pair closest to the origin (also
+    // where a hybrid transit-over-RS crossing sits, §5.6). The setter is
+    // always the origin-side member of the chosen pair.
+    let rel_of = |i: usize| rels.rel(path[i], path[i + 1]);
+    if let Some(&i) = adjacent.iter().find(|&&i| rel_of(i) == Some(Relationship::P2p)) {
+        return Some(path[i + 1]);
+    }
+    if adjacent.first() == Some(&0) {
+        return Some(path[1]);
+    }
+    if let Some(&i) = adjacent.iter().find(|&&i| rel_of(i).is_none()) {
+        return Some(path[i + 1]);
+    }
+    adjacent.last().map(|&i| path[i + 1])
+}
+
+fn has_cycle(path: &[Asn]) -> bool {
+    for (i, a) in path.iter().enumerate() {
+        for (j, b) in path.iter().enumerate().skip(i + 1) {
+            if a == b && j - i > 1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::ConnSource;
+    use crate::dict::{CommunityDictionary, DictEntry};
+    use mlpeer_bgp::mrt::{MrtRibEntry, MrtUpdate};
+    use mlpeer_bgp::route::RouteAttrs;
+    use mlpeer_bgp::update::UpdateMessage;
+    use mlpeer_bgp::{AsPath, CommunitySet};
+    use mlpeer_ixp::ixp::IxpId;
+    use mlpeer_ixp::scheme::{CommunityScheme, RsAction, SchemeStyle};
+    use mlpeer_topo::infer::{infer_relationships, InferConfig};
+
+    fn dict_and_conn() -> (CommunityDictionary, ConnectivityData) {
+        // One DE-CIX-like IXP (6695) with members 101, 102, 103.
+        let mut scheme = CommunityScheme::new(Asn(6695), SchemeStyle::AsnBased);
+        for m in [101u32, 102, 103] {
+            scheme.register_member(Asn(m));
+        }
+        let mut conn = ConnectivityData::default();
+        for m in [101u32, 102, 103] {
+            conn.record(IxpId(0), Asn(m), ConnSource::LookingGlass);
+        }
+        let dict = CommunityDictionary::new(vec![DictEntry {
+            ixp: IxpId(0),
+            name: "DE-CIX".into(),
+            scheme,
+            rs_members: conn.rs_members(IxpId(0)),
+        }]);
+        (dict, conn)
+    }
+
+    fn archive_with(entries: Vec<(Vec<u32>, &str, &str)>) -> PassiveDataset {
+        // entries: (path, communities, prefix)
+        let mut a = MrtArchive::new();
+        let idx = a.add_peer(Asn(999), "10.0.0.1".parse().unwrap());
+        for (path, comm, prefix) in entries {
+            let attrs = RouteAttrs::new(
+                AsPath::from_seq(path.into_iter().map(Asn)),
+                "10.0.0.2".parse().unwrap(),
+            )
+            .with_communities(comm.parse::<CommunitySet>().unwrap());
+            a.rib.push(MrtRibEntry {
+                peer_index: idx,
+                originated: 0,
+                prefix: prefix.parse().unwrap(),
+                attrs,
+            });
+        }
+        PassiveDataset { collectors: vec![("rv".into(), a)], vps: vec![] }
+    }
+
+    fn no_rels() -> InferredRelationships {
+        infer_relationships(&[], &InferConfig::default())
+    }
+
+    #[test]
+    fn figure4_feeder_scenario() {
+        // E(999) ← D(102) ← {A(101), B(103)} via the route server.
+        // Routes: E D A with A's communities, E D B with B's, E D C…
+        let (dict, conn) = dict_and_conn();
+        let ds = archive_with(vec![
+            (vec![999, 102, 101], "0:6695 6695:102 6695:103", "10.1.0.0/24"),
+            (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
+        ]);
+        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        assert_eq!(stats.observations, 2);
+        // Setter = member closest to origin (case 2).
+        assert_eq!(obs[0].member, Asn(101));
+        assert_eq!(obs[0].ixp, IxpId(0));
+        assert!(obs[0].actions.contains(&RsAction::None));
+        assert!(obs[0].actions.contains(&RsAction::Include(Asn(102))));
+        assert_eq!(obs[1].member, Asn(103));
+        assert_eq!(obs[1].actions, vec![RsAction::All]);
+    }
+
+    #[test]
+    fn sanitation_drops_bogons_and_cycles() {
+        let (dict, conn) = dict_and_conn();
+        let ds = archive_with(vec![
+            (vec![999, 23456, 101], "6695:6695", "10.1.0.0/24"),
+            (vec![999, 102, 999, 101], "6695:6695", "10.2.0.0/24"),
+            (vec![999, 102, 101], "6695:6695", "10.3.0.0/24"),
+        ]);
+        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        assert_eq!(stats.dropped_bogon, 1);
+        assert_eq!(stats.dropped_cycle, 1);
+        assert_eq!(obs.len(), 1);
+    }
+
+    #[test]
+    fn single_member_on_path_cannot_pinpoint() {
+        let (dict, conn) = dict_and_conn();
+        // Only member 101 on the path: case 1, dropped.
+        let ds = archive_with(vec![(vec![999, 101], "6695:6695", "10.1.0.0/24")]);
+        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        assert!(obs.is_empty());
+        assert_eq!(stats.setter_unknown, 1);
+    }
+
+    #[test]
+    fn case3_uses_relationships() {
+        let (dict, conn) = dict_and_conn();
+        // Path 999 103 102 101 with all three on path. Teach the
+        // relationship inference that 103–102 is c2p (so not the peer
+        // edge) and 102–101 is p2p (RS edge): setter = 101.
+        let teaching_paths: Vec<Vec<Asn>> = vec![
+            // 102 and 101 peer (seen only from below); 103 buys from 102.
+            vec![Asn(201), Asn(102), Asn(101), Asn(301)],
+            vec![Asn(302), Asn(101), Asn(102), Asn(202)],
+            vec![Asn(999), Asn(102), Asn(103)],
+            vec![Asn(998), Asn(102), Asn(103)],
+            vec![Asn(201), Asn(102), Asn(103)],
+        ];
+        let rels = infer_relationships(
+            &teaching_paths,
+            &InferConfig { clique_size: 0, ..Default::default() },
+        );
+        assert_eq!(rels.rel(Asn(101), Asn(102)), Some(Relationship::P2p));
+        let ds = archive_with(vec![(
+            vec![999, 103, 102, 101],
+            "0:6695 6695:102 6695:103",
+            "10.1.0.0/24",
+        )]);
+        let (obs, _) = harvest_passive(&ds, &dict, &conn, &rels, &Default::default());
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].member, Asn(101), "setter is on the origin side of the p2p edge");
+    }
+
+    #[test]
+    fn transient_updates_filtered() {
+        let (dict, conn) = dict_and_conn();
+        let mut a = MrtArchive::new();
+        let idx = a.add_peer(Asn(999), "10.0.0.1".parse().unwrap());
+        let attrs = RouteAttrs::new(
+            AsPath::from_seq([Asn(999), Asn(102), Asn(101)]),
+            "10.0.0.2".parse().unwrap(),
+        )
+        .with_communities("6695:6695 0:103".parse().unwrap());
+        // Announced at t=100, withdrawn at t=1000 (< 6h): transient.
+        a.updates.push(MrtUpdate {
+            peer_index: idx,
+            timestamp: 100,
+            update: UpdateMessage::announce(attrs.clone(), vec!["10.5.0.0/24".parse().unwrap()]),
+        });
+        a.updates.push(MrtUpdate {
+            peer_index: idx,
+            timestamp: 1_000,
+            update: UpdateMessage::withdraw(vec!["10.5.0.0/24".parse().unwrap()]),
+        });
+        // A second announcement that stays up.
+        a.updates.push(MrtUpdate {
+            peer_index: idx,
+            timestamp: 2_000,
+            update: UpdateMessage::announce(attrs, vec!["10.6.0.0/24".parse().unwrap()]),
+        });
+        let ds = PassiveDataset { collectors: vec![("rv".into(), a)], vps: vec![] };
+        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        assert_eq!(stats.dropped_transient, 1);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].prefix, "10.6.0.0/24".parse().unwrap());
+        assert_eq!(obs[0].source, ObservationSource::Passive);
+    }
+
+    #[test]
+    fn unidentified_communities_counted() {
+        let (dict, conn) = dict_and_conn();
+        let ds = archive_with(vec![(vec![999, 102, 101], "3356:2001", "10.1.0.0/24")]);
+        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        assert!(obs.is_empty());
+        assert_eq!(stats.unidentified, 1);
+    }
+}

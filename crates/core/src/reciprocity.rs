@@ -1,0 +1,156 @@
+//! The reciprocity-assumption study (§4.4).
+//!
+//! The inference assumes: *if member `i` does not block member `j` in
+//! its export filter, `i` also does not block `j` in its import
+//! filter.* The paper validated this against the IRR-generated filters
+//! of 230 AMS-IX members, finding zero violations, and found about half
+//! of the import filters *more permissive* than the exports — so the
+//! assumption is conservative: no false-positive links, only missed
+//! asymmetric ones.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::Asn;
+use mlpeer_data::irr::{IrrDatabase, RpslObject, Source};
+
+/// Outcome of the study.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReciprocityReport {
+    /// Members whose IRR records carry per-peer filters.
+    pub members_with_filters: usize,
+    /// Members whose import filter blocks someone the export allows —
+    /// violations of the assumption (the paper found none).
+    pub violations: Vec<Asn>,
+    /// Members whose import blocks strictly fewer peers than their
+    /// export (more permissive imports; ~half in the paper).
+    pub import_more_permissive: usize,
+    /// Members with exactly matching filters.
+    pub import_equal: usize,
+}
+
+impl ReciprocityReport {
+    /// Does the dataset confirm the assumption (zero violations)?
+    pub fn assumption_holds(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Fraction of members with more permissive imports.
+    pub fn more_permissive_frac(&self) -> f64 {
+        if self.members_with_filters == 0 {
+            return 0.0;
+        }
+        self.import_more_permissive as f64 / self.members_with_filters as f64
+    }
+}
+
+/// Compare import vs export filters for every member with per-peer IRR
+/// policy lines toward the given RS member set.
+pub fn study_reciprocity(
+    registries: &BTreeMap<Source, IrrDatabase>,
+    rs_members: &BTreeSet<Asn>,
+) -> ReciprocityReport {
+    let mut report = ReciprocityReport::default();
+    for db in registries.values() {
+        for obj in &db.objects {
+            let RpslObject::AutNum { asn, imports, exports, .. } = obj else { continue };
+            if !rs_members.contains(asn) {
+                continue;
+            }
+            // Per-peer lines toward other RS members only.
+            let export_denied: BTreeSet<Asn> = exports
+                .iter()
+                .filter(|l| !l.allow && rs_members.contains(&l.peer))
+                .map(|l| l.peer)
+                .collect();
+            let export_peer_lines = exports
+                .iter()
+                .filter(|l| rs_members.contains(&l.peer) && l.peer != *asn)
+                .count();
+            if export_peer_lines <= 1 {
+                continue; // no per-peer filtering registered (just the RS line)
+            }
+            let import_denied: BTreeSet<Asn> = imports
+                .iter()
+                .filter(|l| !l.allow && rs_members.contains(&l.peer))
+                .map(|l| l.peer)
+                .collect();
+            report.members_with_filters += 1;
+            if !import_denied.is_subset(&export_denied) {
+                report.violations.push(*asn);
+            } else if import_denied.len() < export_denied.len() {
+                report.import_more_permissive += 1;
+            } else {
+                report.import_equal += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_data::irr::{build_irr, IrrConfig, PolicyLine};
+    use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+    #[test]
+    fn generated_amsix_filters_confirm_assumption() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(91));
+        let irr = build_irr(&eco, &IrrConfig::default());
+        let amsix = eco.ixp_by_name("AMS-IX").unwrap();
+        let members: BTreeSet<Asn> = amsix.rs_member_asns().into_iter().collect();
+        let report = study_reciprocity(&irr, &members);
+        assert!(report.members_with_filters > 0, "some members registered filters");
+        assert!(report.assumption_holds(), "violations: {:?}", report.violations);
+        assert_eq!(
+            report.members_with_filters,
+            report.import_more_permissive + report.import_equal
+        );
+    }
+
+    #[test]
+    fn violation_detected_when_injected() {
+        let mut registries: BTreeMap<Source, IrrDatabase> = BTreeMap::new();
+        let mut db = IrrDatabase::default();
+        // Member 10: export allows 20, import blocks 20 → violation.
+        db.objects.push(RpslObject::AutNum {
+            asn: Asn(10),
+            as_name: "BAD".into(),
+            imports: vec![PolicyLine { peer: Asn(20), allow: false }],
+            exports: vec![
+                PolicyLine { peer: Asn(20), allow: true },
+                PolicyLine { peer: Asn(30), allow: true },
+            ],
+            source: Source::Ripe,
+        });
+        registries.insert(Source::Ripe, db);
+        let members: BTreeSet<Asn> = [Asn(10), Asn(20), Asn(30)].into_iter().collect();
+        let report = study_reciprocity(&registries, &members);
+        assert_eq!(report.violations, vec![Asn(10)]);
+        assert!(!report.assumption_holds());
+    }
+
+    #[test]
+    fn more_permissive_import_counted() {
+        let mut registries: BTreeMap<Source, IrrDatabase> = BTreeMap::new();
+        let mut db = IrrDatabase::default();
+        // Export blocks 20 and 30; import blocks only 20: more
+        // permissive, no violation.
+        db.objects.push(RpslObject::AutNum {
+            asn: Asn(10),
+            as_name: "OK".into(),
+            imports: vec![PolicyLine { peer: Asn(20), allow: false }],
+            exports: vec![
+                PolicyLine { peer: Asn(20), allow: false },
+                PolicyLine { peer: Asn(30), allow: false },
+            ],
+            source: Source::Ripe,
+        });
+        registries.insert(Source::Ripe, db);
+        let members: BTreeSet<Asn> = [Asn(10), Asn(20), Asn(30)].into_iter().collect();
+        let report = study_reciprocity(&registries, &members);
+        assert!(report.assumption_holds());
+        assert_eq!(report.import_more_permissive, 1);
+        assert_eq!(report.more_permissive_frac(), 1.0);
+    }
+}

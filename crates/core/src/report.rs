@@ -1,0 +1,185 @@
+//! Reporting helpers: ASCII tables, CDF/CCDF series, CSV and JSON
+//! export for the experiment binaries.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+/// A simple left-aligned ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.truncate(out.trim_end().len());
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Empirical CDF: sorted `(value, F(value))` points.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in CDF input"));
+    let n = v.len() as f64;
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+}
+
+/// Empirical CCDF: sorted `(value, P(X > value))` points.
+pub fn ccdf(values: &[f64]) -> Vec<(f64, f64)> {
+    cdf(values).into_iter().map(|(x, f)| (x, 1.0 - f)).collect()
+}
+
+/// The value at quantile `q` (0..=1) of the empirical distribution.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    Some(v[idx])
+}
+
+/// Serialize any value to pretty JSON (experiment outputs).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment reports serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["IXP", "Links"]);
+        t.row(["DE-CIX", "54082"]).row(["AMS-IX", "49249"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("IXP"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("54082"));
+        // Columns align.
+        assert_eq!(lines[2].find("54082"), lines[3].find("49249"));
+    }
+
+    #[test]
+    fn table_csv_escapes() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "has \"quote\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn row_pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn cdf_properties() {
+        let points = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].0, 1.0);
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Monotone.
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert!(cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let c = cdf(&[1.0, 2.0, 3.0]);
+        let cc = ccdf(&[1.0, 2.0, 3.0]);
+        for (a, b) in c.iter().zip(cc.iter()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 + b.1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn json_export() {
+        #[derive(serde::Serialize)]
+        struct R {
+            links: usize,
+        }
+        let s = to_json(&R { links: 206_667 });
+        assert!(s.contains("206667"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Link validation against public looking glasses (§5.1).
+//!
+//! For every inferred link relevant to an available LG — the LG fronts
+//! one of the link's endpoints (or a customer of one) — query up to six
+//! geographically diverse prefixes announced by the far endpoint and
+//! look for the link in the returned AS paths. A link can fail to
+//! validate without being wrong: best-path-only LGs hide RS routes
+//! behind higher-local-pref alternatives (bilateral peers, customer
+//! routes), and a few route servers leave their ASN in the path; both
+//! artifacts are classified rather than counted as refutations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_data::geo::GeoDb;
+use mlpeer_data::lg::{parse_prefix_output, LgCommand, LgDisplay, LgTarget, LookingGlassHost};
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+
+use crate::infer::MlpLinkSet;
+
+/// Validation parameters (§5.1 defaults).
+#[derive(Debug, Clone)]
+pub struct ValidationConfig {
+    /// Prefixes queried per link (the paper uses up to six,
+    /// geographically diverse).
+    pub prefixes_per_link: usize,
+    /// Cap on links tested per LG (keeps the campaign polite).
+    pub max_links_per_lg: usize,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig { prefixes_per_link: 6, max_links_per_lg: 600 }
+    }
+}
+
+/// Per-LG outcome (one dot of Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LgOutcome {
+    /// LG name.
+    pub name: String,
+    /// The AS whose router the LG fronts.
+    pub asn: Asn,
+    /// Display mode (the Fig. 8 circle/triangle split).
+    pub display: LgDisplay,
+    /// Links tested.
+    pub tested: usize,
+    /// Links confirmed.
+    pub confirmed: usize,
+}
+
+impl LgOutcome {
+    /// Confirmed fraction.
+    pub fn frac(&self) -> f64 {
+        if self.tested == 0 {
+            1.0
+        } else {
+            self.confirmed as f64 / self.tested as f64
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Per-LG results.
+    pub per_lg: Vec<LgOutcome>,
+    /// Per-IXP `(tested, confirmed)` (Table 3 rows).
+    pub per_ixp: BTreeMap<IxpId, (usize, usize)>,
+    /// Distinct links tested.
+    pub links_tested: usize,
+    /// Distinct links confirmed.
+    pub links_confirmed: usize,
+}
+
+impl ValidationReport {
+    /// Overall confirmation rate.
+    pub fn confirm_rate(&self) -> f64 {
+        if self.links_tested == 0 {
+            1.0
+        } else {
+            self.links_confirmed as f64 / self.links_tested as f64
+        }
+    }
+}
+
+/// Does a parsed LG path witness the link `a–b`? Adjacency is checked
+/// after removing any known route-server ASNs from the path (3 of the
+/// paper's 70 LGs showed the RS ASN inline).
+fn path_witnesses(path: &[Asn], a: Asn, b: Asn, rs_asns: &BTreeSet<Asn>) -> bool {
+    let cleaned: Vec<Asn> =
+        path.iter().copied().filter(|x| !rs_asns.contains(x)).collect();
+    cleaned.windows(2).any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+}
+
+/// Run the validation campaign.
+pub fn validate_links(
+    sim: &Sim,
+    links: &MlpLinkSet,
+    lgs: &[LookingGlassHost],
+    geo: &GeoDb,
+    cfg: &ValidationConfig,
+) -> ValidationReport {
+    let rs_asns: BTreeSet<Asn> =
+        sim.eco.ixps.iter().map(|x| x.route_server.asn).collect();
+    let mut report = ValidationReport::default();
+    let mut tested_links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    let mut confirmed_links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    // Per-IXP distinct accounting: a link is confirmed if *any* LG
+    // witnesses it.
+    let mut ixp_tested: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>> = BTreeMap::new();
+    let mut ixp_confirmed: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>> = BTreeMap::new();
+
+    for lg in lgs {
+        let LgTarget::Member(host) = lg.target else { continue };
+        // Links relevant to this LG: the host (or its providers — the
+        // host being a customer of an endpoint) is an endpoint.
+        let mut relevant: Vec<(IxpId, Asn, Asn)> = Vec::new();
+        let uplinks: BTreeSet<Asn> =
+            sim.eco.internet.graph.providers_of(host).into_iter().collect();
+        for (ixp, set) in &links.per_ixp {
+            for &(a, b) in set {
+                let endpoint = if a == host || uplinks.contains(&a) {
+                    Some((a, b))
+                } else if b == host || uplinks.contains(&b) {
+                    Some((b, a))
+                } else {
+                    None
+                };
+                if let Some((near, far)) = endpoint {
+                    relevant.push((*ixp, near, far));
+                }
+            }
+        }
+        relevant.truncate(cfg.max_links_per_lg);
+        let mut outcome = LgOutcome {
+            name: lg.name.clone(),
+            asn: host,
+            display: lg.display,
+            tested: 0,
+            confirmed: 0,
+        };
+        for (ixp, near, far) in relevant {
+            // Prefixes announced by the far endpoint at this IXP,
+            // geographically diversified (§5.1).
+            let candidates: Vec<Prefix> = sim
+                .eco
+                .ixp(ixp)
+                .member(far)
+                .map(|m| m.prefixes().collect())
+                .unwrap_or_default();
+            let picks = geo.diverse_pick(&candidates, cfg.prefixes_per_link);
+            if picks.is_empty() {
+                continue;
+            }
+            outcome.tested += 1;
+            let key = if near < far { (near, far) } else { (far, near) };
+            tested_links.insert(key);
+            let mut ok = false;
+            for prefix in picks {
+                let text = lg.query(sim, &LgCommand::Prefix(prefix));
+                for path in parse_prefix_output(&text) {
+                    // The LG host itself is implicit at the front.
+                    let mut full = vec![host];
+                    full.extend(path.as_path.to_vec());
+                    if path_witnesses(&full, near, far, &rs_asns) {
+                        ok = true;
+                        break;
+                    }
+                }
+                if ok {
+                    break;
+                }
+            }
+            ixp_tested.entry(ixp).or_default().insert(key);
+            if ok {
+                outcome.confirmed += 1;
+                confirmed_links.insert(key);
+                ixp_confirmed.entry(ixp).or_default().insert(key);
+            }
+        }
+        if outcome.tested > 0 {
+            report.per_lg.push(outcome);
+        }
+    }
+    for (ixp, tested) in &ixp_tested {
+        let confirmed = ixp_confirmed.get(ixp).map(BTreeSet::len).unwrap_or(0);
+        report.per_ixp.insert(*ixp, (tested.len(), confirmed));
+    }
+    report.links_tested = tested_links.len();
+    report.links_confirmed = confirmed_links.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::{query_rs_lg, ActiveConfig};
+    use crate::connectivity::gather_connectivity;
+    use crate::dict::dictionary_from_connectivity;
+    use crate::infer::infer_links;
+    use mlpeer_data::irr::{build_irr, IrrConfig};
+    use mlpeer_data::lg::build_lg_roster;
+    use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+    fn inferred(eco: &Ecosystem) -> (Sim<'_>, MlpLinkSet) {
+        let sim = Sim::new(eco);
+        let irr = build_irr(eco, &IrrConfig::default());
+        let lgs = build_lg_roster(&sim, 1, 0, 0.0);
+        let conn = gather_connectivity(&sim, &lgs, &irr);
+        let dict = dictionary_from_connectivity(eco, &conn);
+        let mut observations = Vec::new();
+        for lg in &lgs {
+            if let LgTarget::RouteServer(id) = lg.target {
+                let (obs, _) = query_rs_lg(
+                    &sim,
+                    lg,
+                    id,
+                    &dict,
+                    &BTreeSet::new(),
+                    &ActiveConfig::default(),
+                );
+                observations.extend(obs);
+            }
+        }
+        let links = infer_links(&conn, &observations);
+        (sim, links)
+    }
+
+    #[test]
+    fn path_witness_handles_rs_asn_artifact() {
+        let rs: BTreeSet<Asn> = [Asn(6695)].into_iter().collect();
+        assert!(path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(2), Asn(3), &rs));
+        assert!(path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(3), Asn(2), &rs));
+        assert!(!path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(1), Asn(3), &rs));
+        // RS ASN inline: 2–6695–3 still witnesses 2–3.
+        assert!(path_witnesses(&[Asn(2), Asn(6695), Asn(3)], Asn(2), Asn(3), &rs));
+    }
+
+    #[test]
+    fn campaign_confirms_overwhelming_majority() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(13));
+        let (sim, links) = inferred(&eco);
+        assert!(!links.unique_links().is_empty());
+        let geo = GeoDb::build(&eco);
+        let lgs = build_lg_roster(&sim, 7, 14, 0.25);
+        let member_lgs: Vec<LookingGlassHost> = lgs
+            .into_iter()
+            .filter(|l| matches!(l.target, LgTarget::Member(_)))
+            .collect();
+        let report = validate_links(&sim, &links, &member_lgs, &geo, &Default::default());
+        assert!(report.links_tested > 0, "some links must be testable");
+        let rate = report.confirm_rate();
+        assert!(
+            rate > 0.9,
+            "validation rate {rate:.3} should be high (paper: 98.4 %)"
+        );
+        // Per-IXP counts are consistent.
+        for (ixp, (tested, confirmed)) in &report.per_ixp {
+            assert!(confirmed <= tested, "{ixp:?}");
+        }
+    }
+
+    #[test]
+    fn best_only_lgs_confirm_no_more_than_all_paths() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(13));
+        let (sim, links) = inferred(&eco);
+        let geo = GeoDb::build(&eco);
+        // Same hosts, two display modes.
+        let hosts: Vec<Asn> = sim.eco.all_rs_member_asns().into_iter().take(8).collect();
+        let mk = |display| -> Vec<LookingGlassHost> {
+            hosts
+                .iter()
+                .map(|&a| {
+                    LookingGlassHost::new(
+                        format!("lg.{a}.{display:?}"),
+                        LgTarget::Member(a),
+                        display,
+                    )
+                })
+                .collect()
+        };
+        let all = validate_links(&sim, &links, &mk(LgDisplay::AllPaths), &geo, &Default::default());
+        let best = validate_links(&sim, &links, &mk(LgDisplay::BestOnly), &geo, &Default::default());
+        assert!(
+            best.links_confirmed <= all.links_confirmed,
+            "best-path LGs hide less-preferred links (Fig. 8): {} vs {}",
+            best.links_confirmed,
+            all.links_confirmed
+        );
+    }
+}

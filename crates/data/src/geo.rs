@@ -1,0 +1,152 @@
+//! Prefix geolocation (the MaxMind GeoLite stand-in of §5.1).
+//!
+//! The validation campaign selects up to six prefixes "as geographically
+//! distant from each other as possible". The simulation's ground truth
+//! is simple: a prefix is located where its originating AS is homed.
+
+use std::collections::BTreeMap;
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::Ecosystem;
+use mlpeer_topo::graph::Region;
+
+/// A prefix → region database.
+#[derive(Debug, Clone, Default)]
+pub struct GeoDb {
+    by_prefix: BTreeMap<Prefix, Region>,
+    by_origin: BTreeMap<Asn, Region>,
+}
+
+impl GeoDb {
+    /// Build from an ecosystem's prefix ownership.
+    pub fn build(eco: &Ecosystem) -> Self {
+        let mut by_prefix = BTreeMap::new();
+        let mut by_origin = BTreeMap::new();
+        for (asn, prefixes) in &eco.internet.prefixes {
+            if let Some(info) = eco.internet.graph.node(*asn) {
+                by_origin.insert(*asn, info.region);
+                for p in prefixes {
+                    by_prefix.insert(*p, info.region);
+                }
+            }
+        }
+        GeoDb { by_prefix, by_origin }
+    }
+
+    /// Region of a prefix (exact match, then covering prefix, like a
+    /// longest-prefix lookup in the real database).
+    pub fn region_of(&self, prefix: &Prefix) -> Option<Region> {
+        if let Some(r) = self.by_prefix.get(prefix) {
+            return Some(*r);
+        }
+        let mut cand = *prefix;
+        while let Some(parent) = cand.parent() {
+            if let Some(r) = self.by_prefix.get(&parent) {
+                return Some(*r);
+            }
+            cand = parent;
+        }
+        None
+    }
+
+    /// Region of an origin AS.
+    pub fn region_of_asn(&self, asn: Asn) -> Option<Region> {
+        self.by_origin.get(&asn).copied()
+    }
+
+    /// Pick up to `k` prefixes from `candidates` maximizing regional
+    /// diversity: greedily prefer prefixes whose region is not yet
+    /// represented (the §5.1 selection).
+    pub fn diverse_pick(&self, candidates: &[Prefix], k: usize) -> Vec<Prefix> {
+        let mut out: Vec<Prefix> = Vec::new();
+        let mut seen_regions: Vec<Option<Region>> = Vec::new();
+        // First pass: new regions.
+        for p in candidates {
+            if out.len() >= k {
+                break;
+            }
+            let r = self.region_of(p);
+            if !seen_regions.contains(&r) {
+                out.push(*p);
+                seen_regions.push(r);
+            }
+        }
+        // Second pass: fill up.
+        for p in candidates {
+            if out.len() >= k {
+                break;
+            }
+            if !out.contains(p) {
+                out.push(*p);
+            }
+        }
+        out
+    }
+
+    /// Number of known prefixes.
+    pub fn len(&self) -> usize {
+        self.by_prefix.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_prefix.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_ixp::EcosystemConfig;
+
+    #[test]
+    fn regions_match_owner_homes() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(3));
+        let db = GeoDb::build(&eco);
+        assert!(!db.is_empty());
+        for (asn, prefixes) in eco.internet.prefixes.iter().take(50) {
+            let home = eco.internet.graph.node(*asn).unwrap().region;
+            for p in prefixes {
+                assert_eq!(db.region_of(p), Some(home), "{p} of {asn}");
+            }
+            assert_eq!(db.region_of_asn(*asn), Some(home));
+        }
+    }
+
+    #[test]
+    fn covering_lookup_falls_back() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(3));
+        let db = GeoDb::build(&eco);
+        let (_, prefixes) = eco.internet.prefixes.iter().next().unwrap();
+        let p = prefixes[0];
+        if let Some((sub, _)) = p.split() {
+            assert_eq!(db.region_of(&sub), db.region_of(&p), "sub-prefix inherits region");
+        }
+        assert_eq!(db.region_of(&"203.0.113.0/24".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn diverse_pick_prefers_distinct_regions() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(3));
+        let db = GeoDb::build(&eco);
+        // Gather candidates from several regions.
+        let mut cands: Vec<Prefix> = Vec::new();
+        for (asn, pfx) in &eco.internet.prefixes {
+            let _ = asn;
+            cands.extend(pfx.iter().copied());
+            if cands.len() > 200 {
+                break;
+            }
+        }
+        let picked = db.diverse_pick(&cands, 6);
+        assert!(picked.len() <= 6 && !picked.is_empty());
+        let regions: std::collections::BTreeSet<_> =
+            picked.iter().filter_map(|p| db.region_of(p)).collect();
+        // At least two distinct regions when available.
+        let available: std::collections::BTreeSet<_> =
+            cands.iter().filter_map(|p| db.region_of(p)).collect();
+        if available.len() >= 2 {
+            assert!(regions.len() >= 2, "picked {regions:?} from {available:?}");
+        }
+    }
+}

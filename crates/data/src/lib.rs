@@ -1,0 +1,42 @@
+//! # `mlpeer-data` — measurement data-source substrates
+//!
+//! The paper's pipeline consumes *public measurement data*: Route Views
+//! / RIPE RIS archives, looking glasses, the IRR, PeeringDB, and
+//! traceroute-derived topologies. None of the 2013 data exists here, so
+//! this crate rebuilds each source as a faithful-in-shape simulator fed
+//! by an [`mlpeer_ixp::Ecosystem`]:
+//!
+//! * [`sim`] — the shared routing simulation: grafts every IXP's
+//!   route-server and bilateral sessions onto the AS graph and answers
+//!   "what does AS X's best route to origin O look like", with
+//!   community attachment exactly where a real route would carry it.
+//! * [`collector`] — Route Views / RIS style collectors: vantage points
+//!   with full or customer-only feeds, RS feeders (§4.2), MRT archives.
+//! * [`lg`] — looking glasses: IXP route-server LGs and member LGs,
+//!   `show ip bgp` text rendering *and* parsing (the paper scripted
+//!   HTTP queries and scraped responses), all-paths vs best-path
+//!   display, token-bucket rate limiting, query accounting for §4.3.
+//! * [`irr`] — RPSL registries (RIPE/ARIN/RADB): aut-num, as-set and
+//!   route objects, serializer + parser, IRR-based AMS-IX filters for
+//!   the §4.4 reciprocity study, staleness injection.
+//! * [`peeringdb`] — the PeeringDB registry: self-reported policies
+//!   (partial coverage, sometimes misreported), geographic scope,
+//!   looking-glass URLs.
+//! * [`traceroute`] — Ark/DIMES style AS-link datasets, reproducing the
+//!   artifact that route-server links appear as member–RS-ASN links.
+//! * [`geo`] — MaxMind-style prefix geolocation for the validation
+//!   campaign's geographically diverse prefix picks (§5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod geo;
+pub mod irr;
+pub mod lg;
+pub mod peeringdb;
+pub mod sim;
+pub mod traceroute;
+
+pub use geo::GeoDb;
+pub use sim::Sim;

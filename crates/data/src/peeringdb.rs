@@ -1,0 +1,204 @@
+//! PeeringDB.
+//!
+//! The registry where networks self-report peering policy, geographic
+//! scope and looking-glass addresses. The paper pulls from it: the
+//! policy labels behind Figs. 9–11 (coverage was partial: 904 of 1,667
+//! IXP members), the geographic scopes of Fig. 13, and the 70 validation
+//! looking glasses of §5.1.
+
+use std::collections::BTreeMap;
+
+use mlpeer_bgp::Asn;
+use mlpeer_ixp::{Ecosystem, PeeringPolicy};
+use mlpeer_topo::graph::GeoScope;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One network record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkRecord {
+    /// The AS.
+    pub asn: Asn,
+    /// Display name.
+    pub name: String,
+    /// Self-reported policy (absent for the uncovered fraction).
+    pub policy: Option<PeeringPolicy>,
+    /// Self-reported geographic scope (`NotReported` when unset).
+    pub scope: GeoScope,
+    /// Looking-glass URL if the network runs one.
+    pub lg_url: Option<String>,
+    /// IXPs the network lists itself at.
+    pub ixps: Vec<String>,
+}
+
+/// The registry.
+#[derive(Debug, Clone, Default)]
+pub struct PeeringDb {
+    records: BTreeMap<Asn, NetworkRecord>,
+}
+
+/// Build knobs.
+#[derive(Debug, Clone)]
+pub struct PeeringDbConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of members with a reported policy (904/1667 ≈ 0.54).
+    pub policy_coverage: f64,
+    /// Fraction of members that registered no geographic scope.
+    pub scope_missing: f64,
+    /// Number of networks advertising a looking glass (70 in §5.1).
+    pub lg_count: usize,
+}
+
+impl Default for PeeringDbConfig {
+    fn default() -> Self {
+        PeeringDbConfig { seed: 17, policy_coverage: 0.54, scope_missing: 0.12, lg_count: 70 }
+    }
+}
+
+impl PeeringDb {
+    /// Build from an ecosystem. Reported policies come from the
+    /// ecosystem's (possibly misreported) `reported_policies`; coverage
+    /// and scope gaps are injected here.
+    pub fn build(eco: &Ecosystem, cfg: &PeeringDbConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut records = BTreeMap::new();
+        let members: Vec<Asn> = eco.all_member_asns().into_iter().collect();
+        let lg_count = cfg.lg_count.min(members.len());
+        // LG operators: prefer RS members (they are "relevant to the
+        // inferred links", §5.1).
+        let mut lg_holders: Vec<Asn> = eco.all_rs_member_asns().into_iter().collect();
+        lg_holders.truncate(lg_count);
+        for asn in &members {
+            let covered = rng.gen_bool(cfg.policy_coverage);
+            let policy = if covered {
+                eco.reported_policies.get(asn).copied()
+            } else {
+                None
+            };
+            let scope = if rng.gen_bool(cfg.scope_missing) {
+                GeoScope::NotReported
+            } else {
+                eco.internet
+                    .graph
+                    .node(*asn)
+                    .map(|n| n.scope)
+                    .unwrap_or(GeoScope::NotReported)
+            };
+            let lg_url = if lg_holders.contains(asn) {
+                Some(format!("https://lg.as{}.sim/", asn.value()))
+            } else {
+                None
+            };
+            let ixps: Vec<String> = eco
+                .ixps
+                .iter()
+                .filter(|x| x.members.contains_key(asn))
+                .map(|x| x.name.clone())
+                .collect();
+            records.insert(
+                *asn,
+                NetworkRecord {
+                    asn: *asn,
+                    name: format!("NET-{}", asn.value()),
+                    policy,
+                    scope,
+                    lg_url,
+                    ixps,
+                },
+            );
+        }
+        PeeringDb { records }
+    }
+
+    /// Look up a network.
+    pub fn get(&self, asn: Asn) -> Option<&NetworkRecord> {
+        self.records.get(&asn)
+    }
+
+    /// All records, ascending by ASN.
+    pub fn iter(&self) -> impl Iterator<Item = &NetworkRecord> {
+        self.records.values()
+    }
+
+    /// Networks advertising a looking glass (the §5.1 discovery query).
+    pub fn networks_with_lg(&self) -> Vec<&NetworkRecord> {
+        self.records.values().filter(|r| r.lg_url.is_some()).collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of records with a reported policy.
+    pub fn policy_coverage_count(&self) -> usize {
+        self.records.values().filter(|r| r.policy.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_ixp::EcosystemConfig;
+
+    fn db() -> (Ecosystem, PeeringDb) {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(51));
+        let db = PeeringDb::build(&eco, &PeeringDbConfig::default());
+        (eco, db)
+    }
+
+    #[test]
+    fn covers_all_members_with_partial_policies() {
+        let (eco, db) = db();
+        assert_eq!(db.len(), eco.all_member_asns().len());
+        let covered = db.policy_coverage_count();
+        let frac = covered as f64 / db.len() as f64;
+        assert!((0.35..0.75).contains(&frac), "policy coverage {frac:.2} (target ≈ 0.54)");
+    }
+
+    #[test]
+    fn records_list_ixps_consistently() {
+        let (eco, db) = db();
+        for rec in db.iter().take(40) {
+            for ixp_name in &rec.ixps {
+                let ixp = eco.ixp_by_name(ixp_name).unwrap();
+                assert!(ixp.members.contains_key(&rec.asn));
+            }
+        }
+    }
+
+    #[test]
+    fn some_scopes_not_reported() {
+        let (_, db) = db();
+        let na = db.iter().filter(|r| r.scope == GeoScope::NotReported).count();
+        assert!(na > 0, "the Fig. 13 N/A bucket must exist");
+    }
+
+    #[test]
+    fn lg_holders_bounded_and_queryable() {
+        let (_, db) = db();
+        let lgs = db.networks_with_lg();
+        assert!(!lgs.is_empty() && lgs.len() <= 70);
+        for r in lgs {
+            assert!(r.lg_url.as_ref().unwrap().contains(&r.asn.value().to_string()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(51));
+        let a = PeeringDb::build(&eco, &PeeringDbConfig::default());
+        let b = PeeringDb::build(&eco, &PeeringDbConfig::default());
+        assert_eq!(a.policy_coverage_count(), b.policy_coverage_count());
+        assert_eq!(
+            a.iter().map(|r| r.asn).collect::<Vec<_>>(),
+            b.iter().map(|r| r.asn).collect::<Vec<_>>()
+        );
+    }
+}

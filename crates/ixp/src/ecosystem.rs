@@ -1,0 +1,1146 @@
+//! The calibrated European IXP ecosystem.
+//!
+//! Builds the measurement target of the paper: the 13 large European
+//! IXPs of Table 2 populated from a synthetic internet, with
+//!
+//! * member and RS-member counts matching Table 2 (scalable for tests);
+//! * the self-reported-policy mix of §5.2 (72 % open / 24 % selective /
+//!   4 % restrictive) driving both RS participation rates (Fig. 9) and
+//!   export-filter shapes (the bimodal pattern of Fig. 11);
+//! * repellers (§5.5): EXCLUDE targets drawn from the blocker's customer
+//!   cone (77 % in the paper), direct customers (12 %), and content
+//!   giants — including a Google-like AS blocked by members that prefer
+//!   their direct private peering with it;
+//! * a region-scoped-policy case study (the paper's AS9002: open in
+//!   Western Europe, closed in Eastern Europe);
+//! * hybrid transit-over-IXP pairs for the §5.6 study;
+//! * failure-injection knobs: implicit-ALL members (bare EXCLUDE lists),
+//!   per-prefix policy overrides, community-stripping members, an
+//!   optional Netnod-style stripping IXP and VIX-style portal IXP.
+//!
+//! Everything derives deterministically from one seed.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use mlpeer_bgp::{Asn, AsPath, Prefix};
+use mlpeer_topo::gen::{Internet, InternetConfig};
+use mlpeer_topo::graph::{Region, Tier};
+use mlpeer_topo::propagate::ExtraPeerEdge;
+use mlpeer_topo::relationship::Relationship;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ixp::{Ixp, IxpId};
+use crate::member::{IxpMember, MemberAnnouncement};
+use crate::policy::{ExportPolicy, ImportFilter};
+use crate::route_server::RouteServer;
+use crate::scheme::{CommunityScheme, SchemeStyle};
+
+/// A network's peering policy, as used in PeeringDB self-reports (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PeeringPolicy {
+    /// Peers with anyone.
+    Open,
+    /// Peers subject to conditions (traffic ratios, volume).
+    Selective,
+    /// Peers only by explicit arrangement.
+    Restrictive,
+}
+
+impl std::fmt::Display for PeeringPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PeeringPolicy::Open => "Open",
+            PeeringPolicy::Selective => "Selective",
+            PeeringPolicy::Restrictive => "Restrictive",
+        })
+    }
+}
+
+/// Static description of one IXP to build (Table 2 row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IxpSpec {
+    /// IXP name.
+    pub name: String,
+    /// Home region.
+    pub region: Region,
+    /// Route-server ASN (16-bit).
+    pub rs_asn: u32,
+    /// Member count target (the "ASes" column).
+    pub members_target: usize,
+    /// RS-member count target (the "RS" column).
+    pub rs_target: usize,
+    /// Does the IXP run a public RS looking glass (the "LG" column)?
+    pub has_lg: bool,
+    /// Offset-style community scheme (ECIX) instead of rs-asn style.
+    pub offset_style: bool,
+    /// Does the IXP publish its member list (LINX does not)?
+    pub publishes_member_list: bool,
+    /// Netnod-style community stripping on RS egress.
+    pub strips_communities: bool,
+    /// VIX-style web-portal filters: no RS communities anywhere.
+    pub filter_portal: bool,
+}
+
+impl IxpSpec {
+    fn new(
+        name: &str,
+        region: Region,
+        rs_asn: u32,
+        members_target: usize,
+        rs_target: usize,
+        has_lg: bool,
+    ) -> Self {
+        IxpSpec {
+            name: name.to_string(),
+            region,
+            rs_asn,
+            members_target,
+            rs_target,
+            has_lg,
+            offset_style: false,
+            publishes_member_list: true,
+            strips_communities: false,
+            filter_portal: false,
+        }
+    }
+}
+
+/// The 13 IXPs of Table 2. RS ASNs for DE-CIX (6695), MSK-IX (8631),
+/// ECIX (9033) and LINX (8714) are the paper's; the rest are plausible
+/// stand-ins.
+pub fn paper_ixp_specs() -> Vec<IxpSpec> {
+    use Region::*;
+    let mut v = vec![
+        IxpSpec::new("AMS-IX", WesternEurope, 6777, 574, 444, false),
+        IxpSpec::new("DE-CIX", WesternEurope, 6695, 483, 369, true),
+        IxpSpec::new("LINX", WesternEurope, 8714, 457, 177, false),
+        IxpSpec::new("MSK-IX", EasternEurope, 8631, 374, 348, true),
+        IxpSpec::new("PLIX", EasternEurope, 8545, 222, 211, true),
+        IxpSpec::new("France-IX", WesternEurope, 51706 % 65536, 193, 169, true),
+        IxpSpec::new("LONAP", WesternEurope, 8550, 120, 109, false),
+        IxpSpec::new("ECIX", WesternEurope, 9033, 102, 83, true),
+        IxpSpec::new("SPB-IX", EasternEurope, 43690, 89, 78, true),
+        IxpSpec::new("DTEL-IX", EasternEurope, 31210, 74, 71, true),
+        IxpSpec::new("TOP-IX", SouthernEurope, 5397, 71, 52, true),
+        IxpSpec::new("STHIX", NorthernEurope, 52005, 69, 42, false),
+        IxpSpec::new("BIX.BG", EasternEurope, 57463, 53, 52, true),
+    ];
+    // ECIX uses the offset scheme (Table 1); LINX hides its member list
+    // (Table 2's asterisk).
+    v.iter_mut().find(|s| s.name == "ECIX").unwrap().offset_style = true;
+    v.iter_mut().find(|s| s.name == "LINX").unwrap().publishes_member_list = false;
+    v
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct EcosystemConfig {
+    /// Seed for everything IXP-level (independent of the internet seed).
+    pub seed: u64,
+    /// The underlying internet.
+    pub internet: InternetConfig,
+    /// IXPs to build.
+    pub specs: Vec<IxpSpec>,
+    /// Scale factor on member targets (1.0 = Table 2 scale).
+    pub scale: f64,
+    /// Fraction of members that omit the redundant explicit ALL tag.
+    pub frac_implicit_all: f64,
+    /// Fraction of RS members with rare per-prefix policy deviations.
+    pub per_prefix_override_frac: f64,
+    /// Fraction of members that strip communities when re-exporting
+    /// routes onward (failure injection for passive inference).
+    pub frac_stripping_members: f64,
+    /// Cap on announced prefixes per member (real members filter what
+    /// they send to the RS).
+    pub max_announcements: usize,
+    /// Append a Netnod-style community-stripping IXP (not among the 13;
+    /// used to test the §5.8 limitation).
+    pub include_stripping_ixp: bool,
+    /// Append a VIX-style portal-filter IXP (same purpose).
+    pub include_portal_ixp: bool,
+}
+
+impl EcosystemConfig {
+    /// Full Table 2 scale.
+    pub fn paper_scale(seed: u64) -> Self {
+        EcosystemConfig {
+            seed,
+            internet: InternetConfig { seed: seed.wrapping_mul(31).wrapping_add(7), ..InternetConfig::default() },
+            specs: paper_ixp_specs(),
+            scale: 1.0,
+            frac_implicit_all: 0.25,
+            per_prefix_override_frac: 0.005,
+            frac_stripping_members: 0.02,
+            max_announcements: 400,
+            include_stripping_ixp: false,
+            include_portal_ixp: false,
+        }
+    }
+
+    /// Tiny scale for unit tests (~8–45 members per IXP).
+    pub fn tiny(seed: u64) -> Self {
+        EcosystemConfig {
+            scale: 0.08,
+            internet: InternetConfig::tiny(seed.wrapping_mul(31).wrapping_add(7)),
+            max_announcements: 60,
+            ..EcosystemConfig::paper_scale(seed)
+        }
+    }
+
+    /// Quarter scale for integration tests.
+    pub fn small(seed: u64) -> Self {
+        EcosystemConfig {
+            scale: 0.25,
+            internet: InternetConfig::small(seed.wrapping_mul(31).wrapping_add(7)),
+            max_announcements: 150,
+            ..EcosystemConfig::paper_scale(seed)
+        }
+    }
+}
+
+/// The generated ecosystem.
+#[derive(Debug, Clone)]
+pub struct Ecosystem {
+    /// The underlying internet (graph + prefix ownership).
+    pub internet: Internet,
+    /// The IXPs, indexed by `IxpId(i)`.
+    pub ixps: Vec<Ixp>,
+    /// True behavioral peering policy of every AS.
+    pub policies: BTreeMap<Asn, PeeringPolicy>,
+    /// Policy each AS *reports* (sometimes stricter than behavior —
+    /// the §5.2/Fig. 11 mismatch).
+    pub reported_policies: BTreeMap<Asn, PeeringPolicy>,
+    /// The widely-blocked content giant (the paper's AS15169 analog).
+    pub google_like: Asn,
+    /// The second content giant (AS20940 / Akamai analog).
+    pub akamai_like: Asn,
+    /// The region-scoped-policy case study (AS9002 analog).
+    pub regional_case: Asn,
+    /// Hybrid transit-over-IXP pairs `(provider, customer, ixp)` (§5.6).
+    pub hybrid_pairs: Vec<(Asn, Asn, IxpId)>,
+    /// Providers that define relationship-tagging communities (§5.6
+    /// verification coverage).
+    pub defines_rel_tags: BTreeSet<Asn>,
+}
+
+impl Ecosystem {
+    /// Generate deterministically from a configuration.
+    pub fn generate(config: EcosystemConfig) -> Self {
+        Builder::new(config).run()
+    }
+
+    /// IXP by id.
+    pub fn ixp(&self, id: IxpId) -> &Ixp {
+        &self.ixps[id.0 as usize]
+    }
+
+    /// IXP by name.
+    pub fn ixp_by_name(&self, name: &str) -> Option<&Ixp> {
+        self.ixps.iter().find(|x| x.name == name)
+    }
+
+    /// Every AS that is a member of at least one IXP.
+    pub fn all_member_asns(&self) -> BTreeSet<Asn> {
+        self.ixps.iter().flat_map(|x| x.member_asns()).collect()
+    }
+
+    /// Every AS connected to at least one route server.
+    pub fn all_rs_member_asns(&self) -> BTreeSet<Asn> {
+        self.ixps.iter().flat_map(|x| x.rs_member_asns()).collect()
+    }
+
+    /// The IXPs an AS is present at.
+    pub fn ixps_of(&self, asn: Asn) -> Vec<IxpId> {
+        self.ixps
+            .iter()
+            .filter(|x| x.members.contains_key(&asn))
+            .map(|x| x.id)
+            .collect()
+    }
+
+    /// How many route servers an AS participates in.
+    pub fn rs_participations_of(&self, asn: Asn) -> usize {
+        self.ixps
+            .iter()
+            .filter(|x| x.member(asn).is_some_and(|m| m.rs_member))
+            .count()
+    }
+
+    /// All ground-truth MLP links (union over IXPs, deduped).
+    pub fn all_ground_truth_links(&self) -> BTreeSet<(Asn, Asn)> {
+        self.ixps.iter().flat_map(|x| x.ground_truth_links()).collect()
+    }
+
+    /// All mutually-allowed MLP links (what reciprocal inference can
+    /// find), deduped across IXPs.
+    pub fn all_mutual_links(&self) -> BTreeSet<(Asn, Asn)> {
+        self.ixps.iter().flat_map(|x| x.mutual_links()).collect()
+    }
+
+    /// Directed peer edges for the propagation layer: RS flows plus
+    /// bilateral sessions at every IXP, tagged per IXP.
+    pub fn extra_peer_edges(&self) -> Vec<ExtraPeerEdge> {
+        let mut out = Vec::new();
+        for ixp in &self.ixps {
+            let tag = ixp.rs_tag();
+            for (a, b) in ixp.directed_flows() {
+                out.push(ExtraPeerEdge { exporter: a, receiver: b, tag });
+            }
+            let btag = ixp.bilateral_tag();
+            for (a, b) in ixp.bilateral_links() {
+                out.push(ExtraPeerEdge { exporter: a, receiver: b, tag: btag });
+                out.push(ExtraPeerEdge { exporter: b, receiver: a, tag: btag });
+            }
+        }
+        out
+    }
+}
+
+struct Builder {
+    cfg: EcosystemConfig,
+    rng: StdRng,
+    internet: Internet,
+    policies: BTreeMap<Asn, PeeringPolicy>,
+    announcements: BTreeMap<Asn, Vec<MemberAnnouncement>>,
+    cone_cache: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl Builder {
+    fn new(cfg: EcosystemConfig) -> Self {
+        let internet = Internet::generate(cfg.internet.clone());
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Builder {
+            cfg,
+            rng,
+            internet,
+            policies: BTreeMap::new(),
+            announcements: BTreeMap::new(),
+            cone_cache: BTreeMap::new(),
+        }
+    }
+
+    fn run(mut self) -> Ecosystem {
+        self.assign_policies();
+        let google_like = self.pick_content_giant(0);
+        let akamai_like = self.pick_content_giant(1);
+        self.add_private_peering(google_like, 0.35);
+        self.add_private_peering(akamai_like, 0.15);
+        let regional_case = self.pick_regional_case();
+
+        let mut specs = self.cfg.specs.clone();
+        for s in &mut specs {
+            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
+            s.rs_target = s.rs_target.min(s.members_target);
+        }
+        if self.cfg.include_stripping_ixp {
+            let mut s = IxpSpec::new("NETNOD-SIM", Region::NorthernEurope, 52100, 60, 50, true);
+            s.strips_communities = true;
+            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
+            specs.push(s);
+        }
+        if self.cfg.include_portal_ixp {
+            let mut s = IxpSpec::new("VIX-SIM", Region::WesternEurope, 52101, 60, 50, true);
+            s.filter_portal = true;
+            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
+            specs.push(s);
+        }
+
+        let mut ixps = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let ixp = self.build_ixp(IxpId(i as u16), spec, google_like, akamai_like, regional_case);
+            ixps.push(ixp);
+        }
+
+        let hybrid_pairs = self.find_hybrid_pairs(&ixps);
+        let mut defines_rel_tags = BTreeSet::new();
+        for (i, (p, _, _)) in hybrid_pairs.iter().enumerate() {
+            // Roughly half the providers involved document relationship
+            // tags (§5.6 verified 202 of 440).
+            if i % 2 == 0 {
+                defines_rel_tags.insert(*p);
+            }
+        }
+
+        let reported_policies = self.misreport_policies();
+
+        Ecosystem {
+            internet: self.internet,
+            ixps,
+            policies: self.policies,
+            reported_policies,
+            google_like,
+            akamai_like,
+            regional_case,
+            hybrid_pairs,
+            defines_rel_tags,
+        }
+    }
+
+    fn assign_policies(&mut self) {
+        let nodes: Vec<(Asn, Tier)> =
+            self.internet.graph.nodes().map(|n| (n.asn, n.tier)).collect();
+        for (asn, tier) in nodes {
+            let roll: f64 = self.rng.gen();
+            let policy = match tier {
+                Tier::Stub => {
+                    if roll < 0.85 {
+                        PeeringPolicy::Open
+                    } else if roll < 0.97 {
+                        PeeringPolicy::Selective
+                    } else {
+                        PeeringPolicy::Restrictive
+                    }
+                }
+                Tier::Regional => {
+                    if roll < 0.75 {
+                        PeeringPolicy::Open
+                    } else if roll < 0.95 {
+                        PeeringPolicy::Selective
+                    } else {
+                        PeeringPolicy::Restrictive
+                    }
+                }
+                Tier::Content => {
+                    if roll < 0.80 {
+                        PeeringPolicy::Open
+                    } else if roll < 0.95 {
+                        PeeringPolicy::Selective
+                    } else {
+                        PeeringPolicy::Restrictive
+                    }
+                }
+                Tier::Tier2 => {
+                    if roll < 0.45 {
+                        PeeringPolicy::Open
+                    } else if roll < 0.88 {
+                        PeeringPolicy::Selective
+                    } else {
+                        PeeringPolicy::Restrictive
+                    }
+                }
+                Tier::Tier1 => {
+                    if roll < 0.10 {
+                        PeeringPolicy::Open
+                    } else if roll < 0.50 {
+                        PeeringPolicy::Selective
+                    } else {
+                        PeeringPolicy::Restrictive
+                    }
+                }
+            };
+            self.policies.insert(asn, policy);
+        }
+    }
+
+    /// Some networks report a policy stricter than how they behave at
+    /// route servers — the mismatch Figs. 9/11 quantify.
+    fn misreport_policies(&mut self) -> BTreeMap<Asn, PeeringPolicy> {
+        let mut reported = BTreeMap::new();
+        for (&asn, &p) in &self.policies {
+            let roll: f64 = self.rng.gen();
+            let r = match p {
+                PeeringPolicy::Open if roll < 0.10 => PeeringPolicy::Selective,
+                PeeringPolicy::Open if roll < 0.13 => PeeringPolicy::Restrictive,
+                PeeringPolicy::Selective if roll < 0.08 => PeeringPolicy::Restrictive,
+                other => other,
+            };
+            reported.insert(asn, r);
+        }
+        reported
+    }
+
+    fn pick_content_giant(&mut self, rank: usize) -> Asn {
+        let mut contents: Vec<Asn> = self
+            .internet
+            .asns_by_tier(Tier::Content)
+            .into_iter()
+            .filter(|a| a.is_16bit())
+            .collect();
+        contents.sort_unstable_by_key(|a| {
+            (std::cmp::Reverse(self.internet.prefixes_of(*a).len()), a.value())
+        });
+        let giant = contents[rank.min(contents.len() - 1)];
+        // Giants behave openly via route servers (Google invites sub-
+        // 100Mbps networks to peer via RS, §3).
+        self.policies.insert(giant, PeeringPolicy::Open);
+        giant
+    }
+
+    /// Give the content giant direct private-peering edges with a
+    /// fraction of European transit networks — the reason those networks
+    /// later EXCLUDE it at route servers (§5.5).
+    fn add_private_peering(&mut self, giant: Asn, frac: f64) {
+        let candidates: Vec<Asn> = self
+            .internet
+            .graph
+            .nodes()
+            .filter(|n| {
+                n.region.is_europe()
+                    && matches!(n.tier, Tier::Tier2 | Tier::Regional)
+                    && n.asn != giant
+            })
+            .map(|n| n.asn)
+            .collect();
+        for cand in candidates {
+            if self.rng.gen_bool(frac) && self.internet.graph.relationship(cand, giant).is_none()
+            {
+                self.internet.graph.add_edge(cand, giant, Relationship::P2p);
+            }
+        }
+    }
+
+    fn pick_regional_case(&mut self) -> Asn {
+        // A European tier-2 with a selective policy: open in the west,
+        // closed in the east (the AS9002 story).
+        let cand = self
+            .internet
+            .asns_by_tier(Tier::Tier2)
+            .into_iter()
+            .find(|a| {
+                self.internet.graph.node(*a).is_some_and(|n| n.region.is_europe())
+            })
+            .expect("internet has a European tier-2");
+        self.policies.insert(cand, PeeringPolicy::Selective);
+        cand
+    }
+
+    fn cone_of(&mut self, asn: Asn) -> &BTreeSet<Asn> {
+        if !self.cone_cache.contains_key(&asn) {
+            let cone = mlpeer_topo::cone::customer_cone(&self.internet.graph, asn);
+            self.cone_cache.insert(asn, cone);
+        }
+        &self.cone_cache[&asn]
+    }
+
+    /// Member announcements: own prefixes plus the customer cone's, with
+    /// customer-chain AS paths, capped at `max_announcements`.
+    fn announcements_for(&mut self, asn: Asn) -> Vec<MemberAnnouncement> {
+        if let Some(a) = self.announcements.get(&asn) {
+            return a.clone();
+        }
+        let mut out = Vec::new();
+        for p in self.internet.prefixes_of(asn) {
+            out.push(MemberAnnouncement { prefix: *p, as_path: AsPath::from_seq([asn]) });
+        }
+        // BFS down the cone recording the customer chain.
+        let mut queue = std::collections::VecDeque::new();
+        let mut paths: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        paths.insert(asn, vec![asn]);
+        queue.push_back(asn);
+        let cap = self.cfg.max_announcements;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for c in self.internet.graph.customers_of(u) {
+                if paths.contains_key(&c) {
+                    continue;
+                }
+                let mut path = paths[&u].clone();
+                path.push(c);
+                for p in self.internet.prefixes_of(c) {
+                    if out.len() >= cap {
+                        break 'bfs;
+                    }
+                    out.push(MemberAnnouncement {
+                        prefix: *p,
+                        as_path: AsPath::from_seq(path.iter().copied()),
+                    });
+                }
+                paths.insert(c, path);
+                queue.push_back(c);
+            }
+        }
+        self.announcements.insert(asn, out.clone());
+        out
+    }
+
+    /// Weighted sample without replacement (A-Res reservoir keys).
+    fn weighted_sample(&mut self, pool: &[(Asn, f64)], k: usize) -> Vec<Asn> {
+        let mut keyed: Vec<(f64, Asn)> = pool
+            .iter()
+            .map(|&(a, w)| {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                (u.powf(1.0 / w.max(1e-9)), a)
+            })
+            .collect();
+        keyed.sort_unstable_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        keyed.truncate(k);
+        let mut out: Vec<Asn> = keyed.into_iter().map(|(_, a)| a).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_ixp(
+        &mut self,
+        id: IxpId,
+        spec: &IxpSpec,
+        google_like: Asn,
+        akamai_like: Asn,
+        regional_case: Asn,
+    ) -> Ixp {
+        // ---- Select members. ----
+        let mut pool: Vec<(Asn, f64)> = Vec::new();
+        for n in self.internet.graph.nodes() {
+            let tier_w = match n.tier {
+                Tier::Tier1 => 0.5,
+                Tier::Tier2 => 2.2,
+                Tier::Content => 2.5,
+                Tier::Regional => 1.3,
+                Tier::Stub => 1.0,
+            };
+            let region_w = if n.region == spec.region {
+                4.0
+            } else if n.region.is_europe() {
+                1.0
+            } else {
+                0.12 + (spec.members_target as f64 / 4000.0)
+            };
+            pool.push((n.asn, tier_w * region_w));
+        }
+        let mut members_list = self.weighted_sample(&pool, spec.members_target);
+        // Force the case-study ASes in where the narrative needs them.
+        let force: Vec<Asn> = match spec.name.as_str() {
+            "DE-CIX" | "AMS-IX" => vec![google_like, akamai_like, regional_case],
+            "MSK-IX" | "DTEL-IX" => vec![regional_case, google_like],
+            "LINX" | "France-IX" | "PLIX" => vec![google_like, akamai_like],
+            _ => vec![google_like],
+        };
+        let missing: Vec<Asn> =
+            force.into_iter().filter(|f| !members_list.contains(f)).collect();
+        // Make room by evicting non-forced members, then add the forced
+        // ones (keeps the member count on target).
+        let evict: BTreeSet<Asn> = members_list
+            .iter()
+            .rev()
+            .filter(|a| !missing.contains(a))
+            .take(missing.len())
+            .copied()
+            .collect();
+        members_list.retain(|a| !evict.contains(a));
+        members_list.extend(missing);
+        members_list.sort_unstable();
+        members_list.dedup();
+
+        // ---- RS participation. ----
+        let rs_pool: Vec<(Asn, f64)> = members_list
+            .iter()
+            .map(|&a| {
+                let w = match self.policies.get(&a).copied().unwrap_or(PeeringPolicy::Open) {
+                    PeeringPolicy::Open => 1.0,
+                    PeeringPolicy::Selective => 0.55,
+                    PeeringPolicy::Restrictive => 0.16,
+                };
+                (a, w)
+            })
+            .collect();
+        let mut rs_members: BTreeSet<Asn> =
+            self.weighted_sample(&rs_pool, spec.rs_target).into_iter().collect();
+        // Narrative ASes participate in the RS where the story needs it.
+        if members_list.contains(&google_like) {
+            rs_members.insert(google_like);
+        }
+        if members_list.contains(&regional_case) {
+            rs_members.insert(regional_case);
+        }
+
+        // ---- Scheme and route server. ----
+        let style = if spec.offset_style {
+            SchemeStyle::OffsetBased { exclude_upper: 64960, action_upper: 65000 }
+        } else {
+            SchemeStyle::AsnBased
+        };
+        let mut scheme = CommunityScheme::new(Asn(spec.rs_asn), style);
+        for &m in &members_list {
+            scheme.register_member(m);
+        }
+        let lan_base: u32 = (80 << 24) | (81 << 16) | ((id.0 as u32) << 10);
+        let lan = Prefix::from_u32(lan_base, 22).expect("valid LAN");
+        let route_server = {
+            let mut rs = RouteServer::new(Asn(spec.rs_asn), Ipv4Addr::from(lan_base + 1021));
+            rs.strips_communities = spec.strips_communities;
+            rs
+        };
+
+        // ---- Build members. ----
+        let member_set: BTreeSet<Asn> = members_list.iter().copied().collect();
+        let mut members: BTreeMap<Asn, IxpMember> = BTreeMap::new();
+        for (i, &asn) in members_list.iter().enumerate() {
+            let mut m = IxpMember::new(asn, Ipv4Addr::from(lan_base + 2 + i as u32));
+            m.rs_member = rs_members.contains(&asn);
+            m.announcements = self.announcements_for(asn);
+            m.explicit_all = !self.rng.gen_bool(self.cfg.frac_implicit_all);
+            m.strips_communities = self.rng.gen_bool(self.cfg.frac_stripping_members);
+            members.insert(asn, m);
+        }
+
+        // ---- Export policies. ----
+        let rs_set: BTreeSet<Asn> = rs_members.iter().copied().collect();
+        for &asn in &members_list {
+            if !rs_set.contains(&asn) {
+                continue;
+            }
+            let policy = self.policies.get(&asn).copied().unwrap_or(PeeringPolicy::Open);
+            let export = self.gen_export_policy(asn, policy, &rs_set, &member_set);
+            let m = members.get_mut(&asn).expect("member exists");
+            m.export = export;
+        }
+
+        // ---- Case studies. ----
+        // Members with private peering to a giant exclude it here.
+        for giant in [google_like, akamai_like] {
+            if !rs_set.contains(&giant) {
+                continue;
+            }
+            let blockers: Vec<Asn> = members_list
+                .iter()
+                .filter(|&&a| {
+                    a != giant
+                        && rs_set.contains(&a)
+                        && self.internet.graph.relationship(a, giant)
+                            == Some(Relationship::P2p)
+                })
+                .copied()
+                .collect();
+            for b in blockers {
+                if !self.rng.gen_bool(0.8) {
+                    continue;
+                }
+                let m = members.get_mut(&b).expect("blocker is a member");
+                match &mut m.export {
+                    ExportPolicy::AllMembers => {
+                        m.export = ExportPolicy::AllExcept([giant].into_iter().collect());
+                    }
+                    ExportPolicy::AllExcept(ex) => {
+                        ex.insert(giant);
+                    }
+                    ExportPolicy::OnlyTo(inc) => {
+                        inc.remove(&giant);
+                    }
+                    ExportPolicy::Nobody => {}
+                }
+            }
+        }
+        // The region-scoped case: open in the west, closed in the east.
+        if let Some(m) = members.get_mut(&regional_case) {
+            if m.rs_member {
+                m.export = if matches!(spec.region, Region::EasternEurope) {
+                    let include: BTreeSet<Asn> =
+                        rs_set.iter().copied().filter(|&a| a != regional_case).take(3).collect();
+                    ExportPolicy::OnlyTo(include)
+                } else {
+                    ExportPolicy::AllMembers
+                };
+            }
+        }
+
+        // ---- Import filters (never more restrictive than export). ----
+        for m in members.values_mut() {
+            if !m.rs_member {
+                continue;
+            }
+            let blocked: BTreeSet<Asn> = match &m.export {
+                ExportPolicy::AllExcept(ex) => ex.clone(),
+                ExportPolicy::OnlyTo(inc) => {
+                    rs_set.iter().copied().filter(|a| !inc.contains(a) && *a != m.asn).collect()
+                }
+                _ => BTreeSet::new(),
+            };
+            // Half the members run an import filter equal to the export
+            // filter; the other half are more permissive (§4.4).
+            let import_blocked: BTreeSet<Asn> = if self.rng.gen_bool(0.5) {
+                blocked
+            } else {
+                blocked.into_iter().filter(|_| self.rng.gen_bool(0.6)).collect()
+            };
+            m.import = ImportFilter { blocked: import_blocked };
+        }
+
+        // ---- Per-prefix overrides (§4.3's < 0.5 % inconsistency). ----
+        let override_members: Vec<Asn> = rs_set
+            .iter()
+            .copied()
+            .filter(|_| self.rng.gen_bool(self.cfg.per_prefix_override_frac))
+            .collect();
+        for asn in override_members {
+            let extra = match members_list.iter().find(|&&x| x != asn && rs_set.contains(&x)) {
+                Some(&x) => x,
+                None => continue,
+            };
+            let m = members.get_mut(&asn).expect("member exists");
+            let n_over = (m.announcements.len() / 50).max(1);
+            let prefixes: Vec<Prefix> =
+                m.announcements.iter().take(n_over).map(|a| a.prefix).collect();
+            for p in prefixes {
+                let over = match &m.export {
+                    ExportPolicy::AllMembers => {
+                        ExportPolicy::AllExcept([extra].into_iter().collect())
+                    }
+                    ExportPolicy::AllExcept(ex) => {
+                        let mut ex = ex.clone();
+                        ex.insert(extra);
+                        ExportPolicy::AllExcept(ex)
+                    }
+                    other => other.clone(),
+                };
+                m.per_prefix_overrides.insert(p, over);
+            }
+        }
+
+        // ---- Bilateral fabric. ----
+        let non_rs: Vec<Asn> =
+            members_list.iter().copied().filter(|a| !rs_set.contains(a)).collect();
+        for &asn in &non_rs {
+            let frac = self.rng.gen_range(0.10..0.35);
+            let peers: Vec<Asn> = members_list
+                .iter()
+                .copied()
+                .filter(|&p| p != asn && self.rng.gen_bool(frac))
+                .collect();
+            let m = members.get_mut(&asn).expect("member");
+            m.bilateral_peers.extend(peers.iter().copied());
+            for p in peers {
+                members.get_mut(&p).expect("member").bilateral_peers.insert(asn);
+            }
+        }
+        // A sprinkle of RS members also peer bilaterally and *prefer*
+        // those sessions (the §5.1 validation-hiding cases).
+        let preferers: Vec<Asn> = rs_set
+            .iter()
+            .copied()
+            .filter(|_| self.rng.gen_bool(0.05))
+            .collect();
+        for asn in preferers {
+            let peer = match members_list.iter().find(|&&x| x != asn && rs_set.contains(&x)) {
+                Some(&x) => x,
+                None => continue,
+            };
+            let m = members.get_mut(&asn).expect("member");
+            m.bilateral_peers.insert(peer);
+            m.bilateral_local_pref = 200;
+            members.get_mut(&peer).expect("member").bilateral_peers.insert(asn);
+        }
+
+        Ixp {
+            id,
+            name: spec.name.clone(),
+            region: spec.region,
+            lan,
+            scheme,
+            route_server,
+            session_redundancy: 2,
+            members,
+            has_lg: spec.has_lg,
+            filter_portal: spec.filter_portal,
+            publishes_member_list: spec.publishes_member_list,
+        }
+    }
+
+    /// The Fig. 11 bimodal export-filter generator.
+    fn gen_export_policy(
+        &mut self,
+        asn: Asn,
+        policy: PeeringPolicy,
+        rs_set: &BTreeSet<Asn>,
+        _members: &BTreeSet<Asn>,
+    ) -> ExportPolicy {
+        let others: Vec<Asn> = rs_set.iter().copied().filter(|&a| a != asn).collect();
+        if others.is_empty() {
+            return ExportPolicy::AllMembers;
+        }
+        let roll: f64 = self.rng.gen();
+        let (open_mode, max_excl, incl_frac) = match policy {
+            PeeringPolicy::Open => (roll < 0.80, 4usize, 0.10),
+            PeeringPolicy::Selective => (roll < 0.80, 8, 0.12),
+            PeeringPolicy::Restrictive => (roll < 0.62, 10, 0.08),
+        };
+        if open_mode {
+            // Transit networks with downstream customers at the IXP are
+            // the main users of EXCLUDE lists (§5.5); pure stubs mostly
+            // run plain ALL.
+            let has_cone_here = self.cone_of(asn).len() > 1;
+            let all_prob = match (policy, has_cone_here) {
+                (PeeringPolicy::Open, false) => 0.88,
+                (PeeringPolicy::Open, true) => 0.45,
+                (_, false) => 0.55,
+                (_, true) => 0.25,
+            };
+            if self.rng.gen_bool(all_prob) {
+                ExportPolicy::AllMembers
+            } else {
+                let n = self.rng.gen_range(1..=max_excl.min(others.len()));
+                let targets = self.pick_exclusion_targets(asn, &others, n);
+                if targets.is_empty() {
+                    ExportPolicy::AllMembers
+                } else {
+                    ExportPolicy::AllExcept(targets)
+                }
+            }
+        } else {
+            let n = ((others.len() as f64 * incl_frac).round() as usize)
+                .clamp(1, others.len());
+            let pool: Vec<(Asn, f64)> = others.iter().map(|&a| (a, 1.0)).collect();
+            let include: BTreeSet<Asn> = self.weighted_sample(&pool, n).into_iter().collect();
+            ExportPolicy::OnlyTo(include)
+        }
+    }
+
+    /// EXCLUDE targets, calibrated to §5.5: most EXCLUDEs are applied by
+    /// transit networks against ASes in their own customer cone (the
+    /// paper measured 77 % in-cone, of which 12 %-points are direct
+    /// co-located customers); the remainder hit arbitrary members
+    /// (dominated by the privately-peered content giants).
+    fn pick_exclusion_targets(
+        &mut self,
+        blocker: Asn,
+        others: &[Asn],
+        n: usize,
+    ) -> BTreeSet<Asn> {
+        let direct: Vec<Asn> = {
+            let customers = self.internet.graph.customers_of(blocker);
+            others.iter().copied().filter(|a| customers.contains(a)).collect()
+        };
+        let cone: Vec<Asn> = {
+            let cone = self.cone_of(blocker).clone();
+            others
+                .iter()
+                .copied()
+                .filter(|a| cone.contains(a) && *a != blocker)
+                .collect()
+        };
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            let roll: f64 = self.rng.gen();
+            let pick = if roll < 0.15 && !direct.is_empty() {
+                direct[self.rng.gen_range(0..direct.len())]
+            } else if roll < 0.90 && !cone.is_empty() {
+                cone[self.rng.gen_range(0..cone.len())]
+            } else {
+                others[self.rng.gen_range(0..others.len())]
+            };
+            out.insert(pick);
+        }
+        out
+    }
+
+    /// Hybrid pairs (§5.6): provider–customer edges of the relationship
+    /// graph whose endpoints are both RS members of the same IXP and
+    /// mutually allowed — transit and multilateral peering coexisting.
+    fn find_hybrid_pairs(&self, ixps: &[Ixp]) -> Vec<(Asn, Asn, IxpId)> {
+        let mut out = Vec::new();
+        for ixp in ixps {
+            let mutual = ixp.mutual_links();
+            for &(a, b) in &mutual {
+                match self.internet.graph.relationship(a, b) {
+                    Some(Relationship::P2c) => out.push((a, b, ixp.id)),
+                    Some(Relationship::C2p) => out.push((b, a, ixp.id)),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(42))
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Ecosystem::generate(EcosystemConfig::tiny(7));
+        let b = Ecosystem::generate(EcosystemConfig::tiny(7));
+        assert_eq!(a.all_member_asns(), b.all_member_asns());
+        assert_eq!(a.all_ground_truth_links(), b.all_ground_truth_links());
+        let c = Ecosystem::generate(EcosystemConfig::tiny(8));
+        assert_ne!(a.all_ground_truth_links(), c.all_ground_truth_links());
+    }
+
+    #[test]
+    fn thirteen_ixps_with_table2_shape() {
+        let e = eco();
+        assert_eq!(e.ixps.len(), 13);
+        let decix = e.ixp_by_name("DE-CIX").unwrap();
+        assert!(decix.has_lg);
+        let amsix = e.ixp_by_name("AMS-IX").unwrap();
+        assert!(!amsix.has_lg);
+        let linx = e.ixp_by_name("LINX").unwrap();
+        assert!(!linx.publishes_member_list);
+        // Member ordering matches Table 2: AMS-IX ≥ DE-CIX ≥ … ≥ BIX.BG.
+        assert!(amsix.member_count() >= decix.member_count());
+        assert!(decix.member_count() > e.ixp_by_name("BIX.BG").unwrap().member_count());
+        // RS membership is a strict subset of membership everywhere.
+        for ixp in &e.ixps {
+            assert!(ixp.rs_member_count() <= ixp.member_count(), "{}", ixp.name);
+            assert!(ixp.rs_member_count() >= 4, "{}", ixp.name);
+        }
+    }
+
+    #[test]
+    fn ecix_uses_offset_scheme() {
+        let e = eco();
+        let ecix = e.ixp_by_name("ECIX").unwrap();
+        assert!(matches!(ecix.scheme.style, SchemeStyle::OffsetBased { .. }));
+        let decix = e.ixp_by_name("DE-CIX").unwrap();
+        assert!(matches!(decix.scheme.style, SchemeStyle::AsnBased));
+        assert_eq!(decix.scheme.rs_asn, Asn(6695));
+    }
+
+    #[test]
+    fn members_exist_in_internet_and_lan_addrs_in_lan() {
+        let e = eco();
+        for ixp in &e.ixps {
+            for m in ixp.members.values() {
+                assert!(e.internet.graph.contains(m.asn), "member {} unknown", m.asn);
+                assert!(ixp.lan.contains_addr(m.lan_addr), "{} outside LAN", m.lan_addr);
+                assert!(!m.announcements.is_empty(), "member {} announces nothing", m.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_links_are_dense_among_rs_members() {
+        let e = eco();
+        let decix = e.ixp_by_name("DE-CIX").unwrap();
+        let n = decix.rs_member_count();
+        let possible = n * (n - 1) / 2;
+        let links = decix.ground_truth_links().len();
+        let density = links as f64 / possible as f64;
+        assert!(
+            density > 0.6,
+            "RS peering density should be high (Fig. 12): {density:.2} ({links}/{possible})"
+        );
+    }
+
+    #[test]
+    fn mutual_links_subset_of_ground_truth() {
+        let e = eco();
+        for ixp in &e.ixps {
+            let gt = ixp.ground_truth_links();
+            for l in ixp.mutual_links() {
+                assert!(gt.contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn import_filters_respect_reciprocity_invariant() {
+        let e = eco();
+        for ixp in &e.ixps {
+            for m in ixp.members.values() {
+                if m.rs_member {
+                    assert!(
+                        m.import.respects_reciprocity(&m.export),
+                        "member {} at {} violates §4.4",
+                        m.asn,
+                        ixp.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn google_like_is_widely_blocked() {
+        let e = eco();
+        let mut blocks = 0usize;
+        for ixp in &e.ixps {
+            for m in ixp.members.values() {
+                if m.rs_member && m.export.excluded_iter().any(|x| x == e.google_like) {
+                    blocks += 1;
+                }
+            }
+        }
+        assert!(blocks >= 2, "the content giant should be repelled (got {blocks})");
+    }
+
+    #[test]
+    fn regional_case_policy_differs_by_region() {
+        let e = eco();
+        let west = e.ixp_by_name("DE-CIX").unwrap().member(e.regional_case);
+        let east = e.ixp_by_name("MSK-IX").unwrap().member(e.regional_case);
+        let west = west.expect("case AS at DE-CIX");
+        let east = east.expect("case AS at MSK-IX");
+        assert_eq!(west.export, ExportPolicy::AllMembers);
+        assert!(matches!(east.export, ExportPolicy::OnlyTo(_)));
+    }
+
+    #[test]
+    fn multi_ixp_membership_exists() {
+        let e = eco();
+        let multi = e
+            .all_member_asns()
+            .into_iter()
+            .filter(|&a| e.ixps_of(a).len() > 1)
+            .count();
+        assert!(multi > 3, "some ASes must co-locate at multiple IXPs (got {multi})");
+        assert!(e.ixps_of(e.google_like).len() >= 4, "the giant is everywhere");
+    }
+
+    #[test]
+    fn extra_peer_edges_cover_rs_flows() {
+        let e = eco();
+        let edges = e.extra_peer_edges();
+        assert!(!edges.is_empty());
+        let decix = e.ixp_by_name("DE-CIX").unwrap();
+        let rs_tagged = edges.iter().filter(|ed| ed.tag == decix.rs_tag()).count();
+        assert_eq!(rs_tagged, decix.directed_flows().len());
+        // Bilateral tags decode correctly.
+        for ed in edges.iter().take(50) {
+            let (id, _) = Ixp::decode_tag(ed.tag);
+            assert!((id.0 as usize) < e.ixps.len());
+        }
+    }
+
+    #[test]
+    fn hybrid_pairs_are_real_transit_pairs() {
+        let e = eco();
+        for (p, c, ixp) in &e.hybrid_pairs {
+            assert_eq!(
+                e.internet.graph.relationship(*p, *c),
+                Some(Relationship::P2c),
+                "hybrid pair {p}–{c} is not transit"
+            );
+            let ixp = e.ixp(*ixp);
+            assert!(ixp.member(*p).is_some_and(|m| m.rs_member));
+            assert!(ixp.member(*c).is_some_and(|m| m.rs_member));
+        }
+    }
+
+    #[test]
+    fn stripping_and_portal_ixps_optional() {
+        let mut cfg = EcosystemConfig::tiny(5);
+        cfg.include_stripping_ixp = true;
+        cfg.include_portal_ixp = true;
+        let e = Ecosystem::generate(cfg);
+        assert_eq!(e.ixps.len(), 15);
+        let netnod = e.ixp_by_name("NETNOD-SIM").unwrap();
+        assert!(netnod.route_server.strips_communities);
+        let vix = e.ixp_by_name("VIX-SIM").unwrap();
+        assert!(vix.filter_portal);
+        // Portal IXP: RS RIB shows no communities at all.
+        let rib = vix.rs_rib();
+        for (_, entries) in rib.iter() {
+            for e in entries {
+                assert!(e.attrs.communities.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn policies_reported_at_most_once_per_member() {
+        let e = eco();
+        for asn in e.all_member_asns() {
+            assert!(e.policies.contains_key(&asn));
+            assert!(e.reported_policies.contains_key(&asn));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # `mlpeer-ixp` — IXP substrate
+//!
+//! Everything §3 of the paper describes about multilateral peering is
+//! modeled here, re-implemented from specification:
+//!
+//! * [`scheme`] — the RS community conventions of Table 1
+//!   (ALL / EXCLUDE / NONE / INCLUDE), in both the `rs-asn`-encoded
+//!   style (DE-CIX, MSK-IX) and the offset style (ECIX), including the
+//!   mapping of 32-bit member ASNs onto private 16-bit aliases.
+//! * [`policy`] — member export-filter intent and its encoding into
+//!   community sets; import filters (validated against exports in §4.4).
+//! * [`member`] — an IXP member: peering-LAN address, route-server
+//!   participation, announced prefixes (own plus customer cone — the
+//!   source of Fig. 5's multi-member prefixes), bilateral sessions.
+//! * [`route_server`] — the route-server engine: Adj-RIB-In per member,
+//!   filter evaluation, per-member export (Adj-RIB-Out), community
+//!   stripping (the Netnod case of §5.8), optional RS-ASN path insertion
+//!   (the §5.1 validation artifact).
+//! * [`ixp`] — the IXP itself: LAN, scheme, members, route servers,
+//!   bilateral fabric, ground-truth link computation.
+//! * [`ecosystem`] — the calibrated 13-IXP European ecosystem of
+//!   Table 2, with the policy mix of §5.2, the bimodal filters of
+//!   Fig. 11, the repellers of §5.5 (including a Google-like widely
+//!   blocked content network), the region-scoped policy case of §5.2,
+//!   and hybrid transit-over-IXP pairs for §5.6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecosystem;
+pub mod ixp;
+pub mod member;
+pub mod policy;
+pub mod route_server;
+pub mod scheme;
+
+pub use ecosystem::{Ecosystem, EcosystemConfig, PeeringPolicy};
+pub use ixp::{Ixp, IxpId};
+pub use member::IxpMember;
+pub use policy::ExportPolicy;
+pub use route_server::RouteServer;
+pub use scheme::{CommunityScheme, RsAction, SchemeStyle};

@@ -1,0 +1,189 @@
+//! IXP members.
+//!
+//! A member brings to the exchange: an address on the peering LAN, a
+//! decision whether to session with the route server(s), an export
+//! policy (and import filter) if so, and the set of prefixes it
+//! announces — its own plus its customer cone's, which is what makes
+//! 48.4 % of DE-CIX prefixes arrive from more than one member (Fig. 5)
+//! and what the query planner of §4.3 exploits.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use mlpeer_bgp::{Asn, AsPath, Prefix};
+use serde::{Deserialize, Serialize};
+
+use crate::policy::{ExportPolicy, ImportFilter};
+
+/// One prefix a member announces to the IXP, with the AS path the
+/// member presents (itself first, the originating AS last).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberAnnouncement {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Path as announced: `[member, ..., origin]`.
+    pub as_path: AsPath,
+}
+
+/// An IXP member.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IxpMember {
+    /// Member ASN.
+    pub asn: Asn,
+    /// Address on the IXP peering LAN.
+    pub lan_addr: Ipv4Addr,
+    /// Does the member session with the route server(s)?
+    pub rs_member: bool,
+    /// Export policy toward the route server (ignored unless
+    /// `rs_member`).
+    pub export: ExportPolicy,
+    /// Import filter on routes received from the route server.
+    pub import: ImportFilter,
+    /// Prefixes announced over the IXP (own + customer cone).
+    pub announcements: Vec<MemberAnnouncement>,
+    /// Members this AS peers with bilaterally across the fabric
+    /// (directly, not via the route server).
+    pub bilateral_peers: BTreeSet<Asn>,
+    /// Local preference this member assigns to routes learned from
+    /// bilateral sessions; §5.1 found 14 of 70 validation ASes prefer
+    /// bilateral peers over RS peers, hiding RS links from best-path
+    /// looking glasses.
+    pub bilateral_local_pref: u32,
+    /// Local preference for routes learned from the route server.
+    pub rs_local_pref: u32,
+    /// Does this member strip BGP communities when propagating routes
+    /// onward (failure-injection knob; breaks passive inference for
+    /// routes transiting it)?
+    pub strips_communities: bool,
+    /// Does the member tag the redundant explicit `ALL` community?
+    /// "Since the ALL community is unnecessary because it is the default
+    /// behavior it may be omitted" (§4.2) — members that omit it while
+    /// using EXCLUDE lists produce the bare `0:peer-asn` values that
+    /// hide which IXP the communities belong to.
+    pub explicit_all: bool,
+    /// Rare per-prefix policy deviations (§4.3 found them for < 0.5 % of
+    /// members and < 2 % of their prefixes). The effective policy for a
+    /// prefix is the override if present, the member default otherwise —
+    /// which is why §4.1 step 4 intersects `N_{a,p}` over prefixes.
+    pub per_prefix_overrides: std::collections::BTreeMap<Prefix, ExportPolicy>,
+}
+
+impl IxpMember {
+    /// A member with the defaults the ecosystem generator starts from:
+    /// RS participant, open export policy, open import, equal local
+    /// preferences, no community stripping.
+    pub fn new(asn: Asn, lan_addr: Ipv4Addr) -> Self {
+        IxpMember {
+            asn,
+            lan_addr,
+            rs_member: true,
+            export: ExportPolicy::AllMembers,
+            import: ImportFilter::open(),
+            announcements: Vec::new(),
+            bilateral_peers: BTreeSet::new(),
+            bilateral_local_pref: 100,
+            rs_local_pref: 100,
+            strips_communities: false,
+            explicit_all: true,
+            per_prefix_overrides: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The export policy in force for `prefix` (per-prefix override or
+    /// the member default).
+    pub fn effective_export(&self, prefix: &Prefix) -> &ExportPolicy {
+        self.per_prefix_overrides.get(prefix).unwrap_or(&self.export)
+    }
+
+    /// Would the member's announcement of `prefix` reach `peer`, by its
+    /// own (effective) export policy?
+    pub fn exports_prefix_to(&self, prefix: &Prefix, peer: Asn) -> bool {
+        self.rs_member && peer != self.asn && self.effective_export(prefix).allows(peer)
+    }
+
+    /// Number of announced prefixes (`|P_a|` in §4.1).
+    pub fn prefix_count(&self) -> usize {
+        self.announcements.len()
+    }
+
+    /// The announced prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.announcements.iter().map(|a| a.prefix)
+    }
+
+    /// Does the member announce `prefix`?
+    pub fn announces(&self, prefix: &Prefix) -> bool {
+        self.announcements.iter().any(|a| &a.prefix == prefix)
+    }
+
+    /// Would this member's routes reach `peer` via the route server, by
+    /// its own export policy alone (connectivity and the peer's import
+    /// filter are the IXP's concern)?
+    pub fn exports_to(&self, peer: Asn) -> bool {
+        self.rs_member && peer != self.asn && self.export.allows(peer)
+    }
+
+    /// Does the member prefer bilateral sessions over the route server
+    /// (the §5.1 validation-hiding behavior)?
+    pub fn prefers_bilateral(&self) -> bool {
+        self.bilateral_local_pref > self.rs_local_pref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn member() -> IxpMember {
+        let mut m = IxpMember::new(Asn(8359), "80.81.192.33".parse().unwrap());
+        m.announcements = vec![
+            MemberAnnouncement {
+                prefix: "193.34.0.0/22".parse().unwrap(),
+                as_path: AsPath::from_seq([Asn(8359)]),
+            },
+            MemberAnnouncement {
+                prefix: "193.34.4.0/24".parse().unwrap(),
+                as_path: AsPath::from_seq([Asn(8359), Asn(47541)]),
+            },
+        ];
+        m
+    }
+
+    #[test]
+    fn defaults_are_open() {
+        let m = member();
+        assert!(m.rs_member);
+        assert_eq!(m.export, ExportPolicy::AllMembers);
+        assert!(m.import.accepts(Asn(1)));
+        assert!(!m.prefers_bilateral());
+        assert!(!m.strips_communities);
+    }
+
+    #[test]
+    fn prefix_queries() {
+        let m = member();
+        assert_eq!(m.prefix_count(), 2);
+        assert!(m.announces(&"193.34.0.0/22".parse().unwrap()));
+        assert!(!m.announces(&"10.0.0.0/8".parse().unwrap()));
+        assert_eq!(m.prefixes().count(), 2);
+    }
+
+    #[test]
+    fn exports_to_respects_policy_self_and_rs_flag() {
+        let mut m = member();
+        m.export = ExportPolicy::AllExcept([Asn(5410)].into_iter().collect::<BTreeSet<_>>());
+        assert!(m.exports_to(Asn(1)));
+        assert!(!m.exports_to(Asn(5410)), "excluded");
+        assert!(!m.exports_to(Asn(8359)), "never exports to itself");
+        m.rs_member = false;
+        assert!(!m.exports_to(Asn(1)), "non-RS member exports nothing via RS");
+    }
+
+    #[test]
+    fn bilateral_preference_flag() {
+        let mut m = member();
+        m.bilateral_local_pref = 200;
+        assert!(m.prefers_bilateral());
+    }
+}

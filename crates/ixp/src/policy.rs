@@ -1,0 +1,319 @@
+//! Member export-filter intent and import filters.
+//!
+//! An RS member's *export policy* decides which other members its routes
+//! reach (§3). Operators express it through the two idioms of Table 1 —
+//! `ALL + EXCLUDE` or `NONE + INCLUDE` — which is exactly why observed
+//! filters are bimodal (Fig. 11): the encoding "does not scale well for
+//! implementing finer-grained filtering".
+//!
+//! Import filters are modeled separately: per the IRR study of §4.4 they
+//! are *at most as restrictive* as export filters (often more
+//! permissive), the property that makes the paper's reciprocity
+//! assumption conservative.
+
+use std::collections::BTreeSet;
+
+use mlpeer_bgp::{Asn, CommunitySet};
+use serde::{Deserialize, Serialize};
+
+use crate::scheme::{CommunityScheme, RsAction};
+
+/// Export policy of one RS member toward the route server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExportPolicy {
+    /// Default: advertise to every member (no communities, or an
+    /// explicit ALL).
+    AllMembers,
+    /// ALL + EXCLUDE: advertise to everyone except the listed members.
+    AllExcept(BTreeSet<Asn>),
+    /// NONE + INCLUDE: advertise only to the listed members.
+    OnlyTo(BTreeSet<Asn>),
+    /// NONE alone: advertise to nobody (rare; a member "parked" on the
+    /// route server).
+    Nobody,
+}
+
+impl ExportPolicy {
+    /// Does this policy allow `peer` to receive the member's routes?
+    pub fn allows(&self, peer: Asn) -> bool {
+        match self {
+            ExportPolicy::AllMembers => true,
+            ExportPolicy::AllExcept(ex) => !ex.contains(&peer),
+            ExportPolicy::OnlyTo(inc) => inc.contains(&peer),
+            ExportPolicy::Nobody => false,
+        }
+    }
+
+    /// The members this policy reaches, out of `members`.
+    pub fn allowed_set(&self, members: &BTreeSet<Asn>) -> BTreeSet<Asn> {
+        members.iter().copied().filter(|&m| self.allows(m)).collect()
+    }
+
+    /// The fraction of `others` (candidate peers, excluding self) this
+    /// policy allows — the metric plotted in Fig. 11.
+    pub fn allowed_fraction(&self, others: &BTreeSet<Asn>) -> f64 {
+        if others.is_empty() {
+            return 1.0;
+        }
+        let allowed = others.iter().filter(|&&m| self.allows(m)).count();
+        allowed as f64 / others.len() as f64
+    }
+
+    /// Iterate explicitly excluded members (only `AllExcept` yields
+    /// any). Used by the repeller analysis (§5.5): EXCLUDE targets are
+    /// the ASes being "repelled".
+    pub fn excluded_iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        let set = match self {
+            ExportPolicy::AllExcept(ex) => Some(ex),
+            _ => None,
+        };
+        set.into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Encode this policy into the community set the member would attach
+    /// to its announcements under the given scheme (§3, Fig. 2).
+    ///
+    /// * `AllMembers` → explicit `ALL` (the default could also be
+    ///   expressed by tagging nothing; [`ExportPolicy::to_communities_implicit`]
+    ///   models that variant, which is what makes MSK-IX-style bare
+    ///   EXCLUDE lists hard to attribute, §4.2).
+    /// * `AllExcept` → `ALL` + one `EXCLUDE` per blocked member.
+    /// * `OnlyTo` → `NONE` + one `INCLUDE` per allowed member.
+    /// * `Nobody` → `NONE`.
+    ///
+    /// Members whose ASNs cannot be represented (unregistered 32-bit)
+    /// are silently skipped, as a real operator's config generator
+    /// would refuse them.
+    pub fn to_communities(&self, scheme: &CommunityScheme) -> CommunitySet {
+        self.encode(scheme, true)
+    }
+
+    /// Like [`ExportPolicy::to_communities`] but omitting the redundant
+    /// `ALL` tag ("Since the ALL community is unnecessary because it is
+    /// the default behavior it may be omitted", §4.2).
+    pub fn to_communities_implicit(&self, scheme: &CommunityScheme) -> CommunitySet {
+        self.encode(scheme, false)
+    }
+
+    fn encode(&self, scheme: &CommunityScheme, explicit_all: bool) -> CommunitySet {
+        let mut out = Vec::new();
+        match self {
+            ExportPolicy::AllMembers => {
+                if explicit_all {
+                    out.extend(scheme.encode(RsAction::All));
+                }
+            }
+            ExportPolicy::AllExcept(ex) => {
+                if explicit_all {
+                    out.extend(scheme.encode(RsAction::All));
+                }
+                for &m in ex {
+                    out.extend(scheme.encode(RsAction::Exclude(m)));
+                }
+            }
+            ExportPolicy::OnlyTo(inc) => {
+                out.extend(scheme.encode(RsAction::None));
+                for &m in inc {
+                    out.extend(scheme.encode(RsAction::Include(m)));
+                }
+            }
+            ExportPolicy::Nobody => {
+                out.extend(scheme.encode(RsAction::None));
+            }
+        }
+        CommunitySet::from_iter(out)
+    }
+
+    /// Reconstruct a policy from a set of decoded actions — the
+    /// semantics of §4.1 step 4:
+    ///
+    /// * `NONE` present → `OnlyTo(includes)`;
+    /// * otherwise excludes present → `AllExcept(excludes)`;
+    /// * otherwise → `AllMembers`.
+    pub fn from_actions<I: IntoIterator<Item = RsAction>>(actions: I) -> ExportPolicy {
+        let mut saw_none = false;
+        let mut includes = BTreeSet::new();
+        let mut excludes = BTreeSet::new();
+        for a in actions {
+            match a {
+                RsAction::All => {}
+                RsAction::None => saw_none = true,
+                RsAction::Include(m) => {
+                    includes.insert(m);
+                }
+                RsAction::Exclude(m) => {
+                    excludes.insert(m);
+                }
+            }
+        }
+        if saw_none {
+            if includes.is_empty() {
+                ExportPolicy::Nobody
+            } else {
+                ExportPolicy::OnlyTo(includes)
+            }
+        } else if !excludes.is_empty() {
+            ExportPolicy::AllExcept(excludes)
+        } else {
+            ExportPolicy::AllMembers
+        }
+    }
+}
+
+/// An import filter: the members whose routes this member refuses.
+/// §4.4 found import filters never block an AS the export filter
+/// allows; [`ImportFilter::respects_reciprocity`] checks that invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportFilter {
+    /// Members whose announcements are rejected on ingress.
+    pub blocked: BTreeSet<Asn>,
+}
+
+impl ImportFilter {
+    /// Accept everything.
+    pub fn open() -> Self {
+        ImportFilter::default()
+    }
+
+    /// Does the filter accept routes from `peer`?
+    pub fn accepts(&self, peer: Asn) -> bool {
+        !self.blocked.contains(&peer)
+    }
+
+    /// §4.4's validated invariant: the import filter blocks only ASes
+    /// the export policy also blocks (import at most as restrictive as
+    /// export).
+    pub fn respects_reciprocity(&self, export: &ExportPolicy) -> bool {
+        self.blocked.iter().all(|&b| !export.allows(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::CommunityScheme;
+
+    fn set(asns: &[u32]) -> BTreeSet<Asn> {
+        asns.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn allows_semantics() {
+        assert!(ExportPolicy::AllMembers.allows(Asn(1)));
+        let p = ExportPolicy::AllExcept(set(&[5, 6]));
+        assert!(p.allows(Asn(1)) && !p.allows(Asn(5)) && !p.allows(Asn(6)));
+        let p = ExportPolicy::OnlyTo(set(&[5]));
+        assert!(p.allows(Asn(5)) && !p.allows(Asn(1)));
+        assert!(!ExportPolicy::Nobody.allows(Asn(1)));
+    }
+
+    #[test]
+    fn figure2a_none_include_encoding() {
+        // Fig. 2(a): X advertises to 8359 and 8447 only:
+        // 0:6695 6695:8359 6695:8447.
+        let scheme = CommunityScheme::decix();
+        let p = ExportPolicy::OnlyTo(set(&[8359, 8447]));
+        assert_eq!(p.to_communities(&scheme).to_string(), "0:6695 6695:8359 6695:8447");
+    }
+
+    #[test]
+    fn figure2b_all_exclude_encoding() {
+        // Fig. 2(b): X advertises to all except 5410 and 8732:
+        // 6695:6695 0:5410 0:8732.
+        let scheme = CommunityScheme::decix();
+        let p = ExportPolicy::AllExcept(set(&[5410, 8732]));
+        let cs = p.to_communities(&scheme);
+        assert_eq!(cs.to_string(), "0:5410 0:8732 6695:6695");
+        // Implicit variant drops the redundant ALL (§4.2, MSK-IX case).
+        let cs = p.to_communities_implicit(&scheme);
+        assert_eq!(cs.to_string(), "0:5410 0:8732");
+    }
+
+    #[test]
+    fn from_actions_reconstructs() {
+        use RsAction::*;
+        assert_eq!(ExportPolicy::from_actions([All]), ExportPolicy::AllMembers);
+        assert_eq!(ExportPolicy::from_actions([]), ExportPolicy::AllMembers);
+        assert_eq!(
+            ExportPolicy::from_actions([All, Exclude(Asn(5)), Exclude(Asn(6))]),
+            ExportPolicy::AllExcept(set(&[5, 6]))
+        );
+        assert_eq!(
+            ExportPolicy::from_actions([Exclude(Asn(5))]),
+            ExportPolicy::AllExcept(set(&[5])),
+            "bare EXCLUDE implies ALL"
+        );
+        assert_eq!(
+            ExportPolicy::from_actions([None, Include(Asn(5))]),
+            ExportPolicy::OnlyTo(set(&[5]))
+        );
+        assert_eq!(ExportPolicy::from_actions([None]), ExportPolicy::Nobody);
+        // NONE wins over EXCLUDE noise.
+        assert_eq!(
+            ExportPolicy::from_actions([None, Exclude(Asn(9)), Include(Asn(5))]),
+            ExportPolicy::OnlyTo(set(&[5]))
+        );
+    }
+
+    #[test]
+    fn roundtrip_policy_through_communities() {
+        let scheme = CommunityScheme::decix();
+        for p in [
+            ExportPolicy::AllMembers,
+            ExportPolicy::AllExcept(set(&[5410, 8732])),
+            ExportPolicy::OnlyTo(set(&[8359, 8447])),
+            ExportPolicy::Nobody,
+        ] {
+            let cs = p.to_communities(&scheme);
+            let actions: Vec<RsAction> = cs.iter().filter_map(|c| scheme.decode(c)).collect();
+            assert_eq!(ExportPolicy::from_actions(actions), p, "policy {p:?}");
+        }
+    }
+
+    #[test]
+    fn allowed_fraction_for_fig11() {
+        let others = set(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(ExportPolicy::AllMembers.allowed_fraction(&others), 1.0);
+        assert_eq!(ExportPolicy::AllExcept(set(&[1, 2])).allowed_fraction(&others), 0.8);
+        assert_eq!(ExportPolicy::OnlyTo(set(&[1])).allowed_fraction(&others), 0.1);
+        assert_eq!(ExportPolicy::Nobody.allowed_fraction(&others), 0.0);
+        assert_eq!(ExportPolicy::AllMembers.allowed_fraction(&BTreeSet::new()), 1.0);
+    }
+
+    #[test]
+    fn allowed_set_filters_membership() {
+        let members = set(&[1, 2, 3]);
+        let p = ExportPolicy::OnlyTo(set(&[2, 99]));
+        assert_eq!(p.allowed_set(&members), set(&[2]), "99 is not a member");
+    }
+
+    #[test]
+    fn import_reciprocity_invariant() {
+        let export = ExportPolicy::AllExcept(set(&[5, 6]));
+        // Import blocks a subset of export blocks: fine (and common).
+        assert!(ImportFilter { blocked: set(&[5]) }.respects_reciprocity(&export));
+        assert!(ImportFilter::open().respects_reciprocity(&export));
+        // Import blocks someone export allows: violation.
+        assert!(!ImportFilter { blocked: set(&[7]) }.respects_reciprocity(&export));
+        let only = ExportPolicy::OnlyTo(set(&[1]));
+        assert!(ImportFilter { blocked: set(&[2, 3]) }.respects_reciprocity(&only));
+        assert!(!ImportFilter { blocked: set(&[1]) }.respects_reciprocity(&only));
+    }
+
+    #[test]
+    fn excluded_iter_yields_targets() {
+        let p = ExportPolicy::AllExcept(set(&[5, 6]));
+        assert_eq!(p.excluded_iter().collect::<Vec<_>>(), vec![Asn(5), Asn(6)]);
+        assert_eq!(ExportPolicy::AllMembers.excluded_iter().count(), 0);
+        assert_eq!(ExportPolicy::OnlyTo(set(&[5])).excluded_iter().count(), 0);
+    }
+
+    #[test]
+    fn skips_unrepresentable_members_on_encode() {
+        let scheme = CommunityScheme::decix(); // no aliases registered
+        let p = ExportPolicy::AllExcept(set(&[200_000]));
+        let cs = p.to_communities(&scheme);
+        // Only the ALL tag survives; the 32-bit exclude is dropped.
+        assert_eq!(cs.to_string(), "6695:6695");
+    }
+}

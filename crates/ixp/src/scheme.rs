@@ -1,0 +1,334 @@
+//! RS community schemes (Table 1 of the paper).
+//!
+//! Every IXP documents community values its route server interprets as
+//! export-filter actions. Two families cover the paper's 13 IXPs:
+//!
+//! | action  | `rs-asn` style (DE-CIX, MSK-IX) | offset style (ECIX)   |
+//! |---------|----------------------------------|-----------------------|
+//! | ALL     | `rs:rs` (6695:6695)              | `rs:rs` (9033:9033)   |
+//! | EXCLUDE | `0:peer`                         | `64960:peer`          |
+//! | NONE    | `0:rs`                           | `65000:0`             |
+//! | INCLUDE | `rs:peer`                        | `65000:peer`          |
+//!
+//! The `peer` half is 16 bits, so members with 32-bit ASNs are mapped
+//! onto aliases in the 16-bit private range (§3: "Many IXP operators map
+//! the 32-bit ASNs of their members to 16-bit ASNs in the private ASN
+//! range").
+
+use std::collections::BTreeMap;
+
+use mlpeer_bgp::asn::{PRIVATE16_END, PRIVATE16_START};
+use mlpeer_bgp::{Asn, Community};
+use serde::{Deserialize, Serialize};
+
+/// An export-filter action encoded in an RS community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RsAction {
+    /// Announce to all RS members (the default behavior).
+    All,
+    /// Block the announcement toward one member.
+    Exclude(Asn),
+    /// Block the announcement toward all members.
+    None,
+    /// Allow the announcement toward one member.
+    Include(Asn),
+}
+
+/// Which encoding family the IXP uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeStyle {
+    /// DE-CIX / MSK-IX style: the RS ASN appears in the community
+    /// (`ALL = rs:rs`, `EXCLUDE = 0:peer`, `NONE = 0:rs`,
+    /// `INCLUDE = rs:peer`).
+    AsnBased,
+    /// ECIX style: fixed action values in the upper half
+    /// (`EXCLUDE = exclude_upper:peer`, `NONE = action_upper:0`,
+    /// `INCLUDE = action_upper:peer`; `ALL = rs:rs`).
+    OffsetBased {
+        /// Upper half for EXCLUDE (ECIX: 64960).
+        exclude_upper: u16,
+        /// Upper half for NONE / INCLUDE (ECIX: 65000).
+        action_upper: u16,
+    },
+}
+
+/// One IXP's documented community scheme, plus its 32-bit-ASN alias
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommunityScheme {
+    /// The route server's ASN (16-bit at every IXP the paper studies).
+    pub rs_asn: Asn,
+    /// Encoding family.
+    pub style: SchemeStyle,
+    /// 32-bit member ASN → private 16-bit alias.
+    alias: BTreeMap<Asn, u16>,
+    /// Reverse alias map.
+    alias_rev: BTreeMap<u16, Asn>,
+    /// Next alias to hand out.
+    next_alias: u16,
+}
+
+impl CommunityScheme {
+    /// A new scheme for a route server; `rs_asn` must be 16-bit.
+    ///
+    /// # Panics
+    /// If `rs_asn` does not fit in 16 bits.
+    pub fn new(rs_asn: Asn, style: SchemeStyle) -> Self {
+        assert!(rs_asn.is_16bit(), "route-server ASN must be 16-bit");
+        CommunityScheme {
+            rs_asn,
+            style,
+            alias: BTreeMap::new(),
+            alias_rev: BTreeMap::new(),
+            next_alias: PRIVATE16_START as u16,
+        }
+    }
+
+    /// The DE-CIX scheme from Table 1 (rs-asn 6695).
+    pub fn decix() -> Self {
+        CommunityScheme::new(Asn(6695), SchemeStyle::AsnBased)
+    }
+
+    /// The MSK-IX scheme from Table 1 (rs-asn 8631).
+    pub fn mskix() -> Self {
+        CommunityScheme::new(Asn(8631), SchemeStyle::AsnBased)
+    }
+
+    /// The ECIX scheme from Table 1 (rs-asn 9033, offsets 64960/65000).
+    pub fn ecix() -> Self {
+        CommunityScheme::new(
+            Asn(9033),
+            SchemeStyle::OffsetBased { exclude_upper: 64960, action_upper: 65000 },
+        )
+    }
+
+    /// Register a member, allocating a private 16-bit alias if its ASN
+    /// needs 32 bits. Returns the 16-bit representation used on the
+    /// wire. Idempotent.
+    pub fn register_member(&mut self, member: Asn) -> u16 {
+        if member.is_16bit() {
+            return member.value() as u16;
+        }
+        if let Some(&a) = self.alias.get(&member) {
+            return a;
+        }
+        let alias = self.next_alias;
+        assert!(
+            (alias as u32) <= PRIVATE16_END,
+            "private alias range exhausted at {alias}"
+        );
+        self.next_alias += 1;
+        self.alias.insert(member, alias);
+        self.alias_rev.insert(alias, member);
+        alias
+    }
+
+    /// The 16-bit wire representation for a member, if representable
+    /// (i.e. 16-bit ASN, or a previously registered alias).
+    pub fn peer_repr(&self, member: Asn) -> Option<u16> {
+        if member.is_16bit() {
+            Some(member.value() as u16)
+        } else {
+            self.alias.get(&member).copied()
+        }
+    }
+
+    /// Resolve a 16-bit wire value back to the member ASN (alias-aware).
+    pub fn resolve_peer(&self, wire: u16) -> Asn {
+        self.alias_rev.get(&wire).copied().unwrap_or(Asn(wire as u32))
+    }
+
+    /// Encode an action as a community value.
+    ///
+    /// Returns `None` for `Exclude`/`Include` of a member with an
+    /// unregistered 32-bit ASN (there is nothing the operator could
+    /// type).
+    pub fn encode(&self, action: RsAction) -> Option<Community> {
+        let rs = self.rs_asn.value() as u16;
+        Some(match (self.style, action) {
+            (_, RsAction::All) => Community::new(rs, rs),
+            (SchemeStyle::AsnBased, RsAction::Exclude(p)) => {
+                Community::new(0, self.peer_repr(p)?)
+            }
+            (SchemeStyle::AsnBased, RsAction::None) => Community::new(0, rs),
+            (SchemeStyle::AsnBased, RsAction::Include(p)) => {
+                Community::new(rs, self.peer_repr(p)?)
+            }
+            (SchemeStyle::OffsetBased { exclude_upper, .. }, RsAction::Exclude(p)) => {
+                Community::new(exclude_upper, self.peer_repr(p)?)
+            }
+            (SchemeStyle::OffsetBased { action_upper, .. }, RsAction::None) => {
+                Community::new(action_upper, 0)
+            }
+            (SchemeStyle::OffsetBased { action_upper, .. }, RsAction::Include(p)) => {
+                Community::new(action_upper, self.peer_repr(p)?)
+            }
+        })
+    }
+
+    /// Decode a community under this scheme.
+    ///
+    /// Mirrors what the route server itself does; the *inference* side
+    /// (which must also determine which IXP a value belongs to, §4.2)
+    /// lives in the `mlpeer` core crate and builds on this.
+    pub fn decode(&self, c: Community) -> Option<RsAction> {
+        let rs = self.rs_asn.value() as u16;
+        match self.style {
+            SchemeStyle::AsnBased => {
+                if c.upper() == rs && c.lower() == rs {
+                    Some(RsAction::All)
+                } else if c.upper() == 0 && c.lower() == rs {
+                    Some(RsAction::None)
+                } else if c.upper() == 0 {
+                    Some(RsAction::Exclude(self.resolve_peer(c.lower())))
+                } else if c.upper() == rs {
+                    Some(RsAction::Include(self.resolve_peer(c.lower())))
+                } else {
+                    None
+                }
+            }
+            SchemeStyle::OffsetBased { exclude_upper, action_upper } => {
+                if c.upper() == rs && c.lower() == rs {
+                    Some(RsAction::All)
+                } else if c.upper() == exclude_upper {
+                    Some(RsAction::Exclude(self.resolve_peer(c.lower())))
+                } else if c.upper() == action_upper && c.lower() == 0 {
+                    Some(RsAction::None)
+                } else if c.upper() == action_upper {
+                    Some(RsAction::Include(self.resolve_peer(c.lower())))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Does this community *mention* the RS ASN in either half — the
+    /// IXP-identification heuristic of §4.2 ("we are able to determine
+    /// the IXP based either on the upper or the lower 16 bits")?
+    pub fn mentions_rs(&self, c: Community) -> bool {
+        let rs = self.rs_asn.value() as u16;
+        c.upper() == rs || c.lower() == rs
+    }
+
+    /// Number of allocated 32-bit aliases.
+    pub fn alias_count(&self) -> usize {
+        self.alias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Community {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn table1_decix_values() {
+        let s = CommunityScheme::decix();
+        assert_eq!(s.encode(RsAction::All), Some(c("6695:6695")));
+        assert_eq!(s.encode(RsAction::Exclude(Asn(8359))), Some(c("0:8359")));
+        assert_eq!(s.encode(RsAction::None), Some(c("0:6695")));
+        assert_eq!(s.encode(RsAction::Include(Asn(8447))), Some(c("6695:8447")));
+    }
+
+    #[test]
+    fn table1_mskix_values() {
+        let s = CommunityScheme::mskix();
+        assert_eq!(s.encode(RsAction::All), Some(c("8631:8631")));
+        assert_eq!(s.encode(RsAction::Exclude(Asn(2854))), Some(c("0:2854")));
+        assert_eq!(s.encode(RsAction::None), Some(c("0:8631")));
+        assert_eq!(s.encode(RsAction::Include(Asn(2854))), Some(c("8631:2854")));
+    }
+
+    #[test]
+    fn table1_ecix_values() {
+        let s = CommunityScheme::ecix();
+        assert_eq!(s.encode(RsAction::All), Some(c("9033:9033")));
+        assert_eq!(s.encode(RsAction::Exclude(Asn(8447))), Some(c("64960:8447")));
+        assert_eq!(s.encode(RsAction::None), Some(c("65000:0")));
+        assert_eq!(s.encode(RsAction::Include(Asn(8447))), Some(c("65000:8447")));
+    }
+
+    #[test]
+    fn decode_is_encode_inverse() {
+        for scheme in [CommunityScheme::decix(), CommunityScheme::mskix(), CommunityScheme::ecix()]
+        {
+            for action in [
+                RsAction::All,
+                RsAction::None,
+                RsAction::Exclude(Asn(8359)),
+                RsAction::Include(Asn(8447)),
+            ] {
+                let encoded = scheme.encode(action).unwrap();
+                assert_eq!(scheme.decode(encoded), Some(action), "{encoded} in {scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_for_32bit_member_roundtrips() {
+        let mut s = CommunityScheme::decix();
+        let big = Asn(196_800);
+        assert_eq!(s.peer_repr(big), None, "unregistered 32-bit ASN has no repr");
+        assert_eq!(s.encode(RsAction::Exclude(big)), None);
+        let alias = s.register_member(big);
+        assert!((PRIVATE16_START..=PRIVATE16_END).contains(&(alias as u32)));
+        assert_eq!(s.register_member(big), alias, "idempotent");
+        let encoded = s.encode(RsAction::Exclude(big)).unwrap();
+        assert_eq!(encoded, Community::new(0, alias));
+        assert_eq!(s.decode(encoded), Some(RsAction::Exclude(big)), "alias resolves back");
+        assert_eq!(s.alias_count(), 1);
+    }
+
+    #[test]
+    fn sixteen_bit_members_need_no_alias() {
+        let mut s = CommunityScheme::decix();
+        assert_eq!(s.register_member(Asn(8359)), 8359);
+        assert_eq!(s.alias_count(), 0);
+    }
+
+    #[test]
+    fn distinct_32bit_members_get_distinct_aliases() {
+        let mut s = CommunityScheme::ecix();
+        let a1 = s.register_member(Asn(200_001));
+        let a2 = s.register_member(Asn(200_002));
+        assert_ne!(a1, a2);
+        assert_eq!(s.resolve_peer(a1), Asn(200_001));
+        assert_eq!(s.resolve_peer(a2), Asn(200_002));
+    }
+
+    #[test]
+    fn decode_rejects_foreign_values() {
+        let s = CommunityScheme::decix();
+        assert_eq!(s.decode(c("3356:100")), None, "unrelated community");
+        assert_eq!(s.decode(c("8631:8631")), None, "another IXP's ALL");
+        // But 0:8631 *does* parse as EXCLUDE(8631) under DE-CIX — the
+        // genuine cross-IXP ambiguity §4.2 disambiguates by member sets.
+        assert_eq!(s.decode(c("0:8631")), Some(RsAction::Exclude(Asn(8631))));
+    }
+
+    #[test]
+    fn none_beats_exclude_of_rs_asn() {
+        // 0:6695 must decode as NONE, not Exclude(6695).
+        let s = CommunityScheme::decix();
+        assert_eq!(s.decode(c("0:6695")), Some(RsAction::None));
+    }
+
+    #[test]
+    fn mentions_rs_heuristic() {
+        let s = CommunityScheme::decix();
+        assert!(s.mentions_rs(c("6695:6695")));
+        assert!(s.mentions_rs(c("0:6695")));
+        assert!(s.mentions_rs(c("6695:8359")));
+        assert!(!s.mentions_rs(c("0:8359")), "bare EXCLUDE hides the IXP — the §4.2 hard case");
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit")]
+    fn rejects_32bit_rs_asn() {
+        CommunityScheme::new(Asn(196_608), SchemeStyle::AsnBased);
+    }
+}

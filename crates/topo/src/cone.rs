@@ -1,0 +1,208 @@
+//! Customer cones and degrees.
+//!
+//! The *customer cone* of an AS is the set of ASes reachable by walking
+//! provider→customer edges — "the set of ASes in the downstream path of
+//! a provider" (§5.5). The paper uses cones (computed with the algorithm
+//! of its reference [32]) to show that 77 % of EXCLUDE filters block an
+//! AS inside the blocker's customer cone, and uses *customer degree*
+//! (direct customers) for the stub analyses of Fig. 7.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use mlpeer_bgp::Asn;
+
+use crate::graph::AsGraph;
+
+/// The customer cone of `asn`, including `asn` itself (the convention of
+/// the paper's reference [32]). Walks provider→customer edges only;
+/// sibling edges do not extend the cone.
+pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
+    let mut cone = BTreeSet::new();
+    if !graph.contains(asn) {
+        return cone;
+    }
+    let mut queue = VecDeque::new();
+    cone.insert(asn);
+    queue.push_back(asn);
+    while let Some(u) = queue.pop_front() {
+        for c in graph.customers_of(u) {
+            if cone.insert(c) {
+                queue.push_back(c);
+            }
+        }
+    }
+    cone
+}
+
+/// Is `target` inside `provider`'s customer cone (including
+/// `provider == target`)? Early-exits without materializing the cone.
+pub fn in_customer_cone(graph: &AsGraph, provider: Asn, target: Asn) -> bool {
+    if provider == target {
+        return graph.contains(provider);
+    }
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(provider);
+    queue.push_back(provider);
+    while let Some(u) = queue.pop_front() {
+        for c in graph.customers_of(u) {
+            if c == target {
+                return true;
+            }
+            if seen.insert(c) {
+                queue.push_back(c);
+            }
+        }
+    }
+    false
+}
+
+/// Precomputed cones for a set of ASes, for repeated membership tests
+/// (the repeller analysis checks every EXCLUDE application).
+#[derive(Debug, Default)]
+pub struct ConeIndex {
+    cones: HashMap<Asn, BTreeSet<Asn>>,
+}
+
+impl ConeIndex {
+    /// Build cones for every AS in `asns`.
+    pub fn build<I: IntoIterator<Item = Asn>>(graph: &AsGraph, asns: I) -> Self {
+        let mut cones = HashMap::new();
+        for a in asns {
+            cones.entry(a).or_insert_with(|| customer_cone(graph, a));
+        }
+        ConeIndex { cones }
+    }
+
+    /// Is `target` in `provider`'s cone? `false` if `provider` was not
+    /// indexed.
+    pub fn contains(&self, provider: Asn, target: Asn) -> bool {
+        self.cones.get(&provider).is_some_and(|c| c.contains(&target))
+    }
+
+    /// Cone size (0 if not indexed).
+    pub fn size(&self, provider: Asn) -> usize {
+        self.cones.get(&provider).map_or(0, BTreeSet::len)
+    }
+
+    /// The cone set, if indexed.
+    pub fn cone(&self, provider: Asn) -> Option<&BTreeSet<Asn>> {
+        self.cones.get(&provider)
+    }
+}
+
+/// Customer-degree distribution helpers for Fig. 7.
+///
+/// Given a set of links, returns for each link the smaller and larger
+/// customer degree of its two endpoints.
+pub fn link_degree_pairs(
+    graph: &AsGraph,
+    links: impl IntoIterator<Item = (Asn, Asn)>,
+) -> Vec<(usize, usize)> {
+    links
+        .into_iter()
+        .map(|(a, b)| {
+            let da = graph.customer_degree(a);
+            let db = graph.customer_degree(b);
+            (da.min(db), da.max(db))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsInfo, GeoScope, Region, Tier};
+    use crate::relationship::Relationship;
+
+    /// 1 → 2 → {3, 4}; 5 isolated peer of 1.
+    ///     (arrows point provider → customer)
+    fn chain() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (asn, tier) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier2),
+            (3, Tier::Stub),
+            (4, Tier::Stub),
+            (5, Tier::Tier1),
+        ] {
+            g.add_node(AsInfo {
+                asn: Asn(asn),
+                tier,
+                region: Region::WesternEurope,
+                scope: GeoScope::Global,
+            });
+        }
+        g.add_edge(Asn(2), Asn(1), Relationship::C2p);
+        g.add_edge(Asn(3), Asn(2), Relationship::C2p);
+        g.add_edge(Asn(4), Asn(2), Relationship::C2p);
+        g.add_edge(Asn(1), Asn(5), Relationship::P2p);
+        g
+    }
+
+    #[test]
+    fn cone_is_transitive_closure_of_customers() {
+        let g = chain();
+        let cone1 = customer_cone(&g, Asn(1));
+        assert_eq!(
+            cone1.into_iter().collect::<Vec<_>>(),
+            vec![Asn(1), Asn(2), Asn(3), Asn(4)]
+        );
+        let cone2 = customer_cone(&g, Asn(2));
+        assert_eq!(cone2.len(), 3);
+        let cone3 = customer_cone(&g, Asn(3));
+        assert_eq!(cone3.into_iter().collect::<Vec<_>>(), vec![Asn(3)]);
+    }
+
+    #[test]
+    fn peer_edges_do_not_extend_cone() {
+        let g = chain();
+        assert!(!customer_cone(&g, Asn(1)).contains(&Asn(5)));
+        assert_eq!(customer_cone(&g, Asn(5)).len(), 1);
+    }
+
+    #[test]
+    fn membership_early_exit_matches_full_cone() {
+        let g = chain();
+        for p in [1u32, 2, 3, 4, 5] {
+            let cone = customer_cone(&g, Asn(p));
+            for t in [1u32, 2, 3, 4, 5] {
+                assert_eq!(
+                    in_customer_cone(&g, Asn(p), Asn(t)),
+                    cone.contains(&Asn(t)),
+                    "provider {p}, target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_as_has_empty_cone() {
+        let g = chain();
+        assert!(customer_cone(&g, Asn(99)).is_empty());
+        assert!(!in_customer_cone(&g, Asn(99), Asn(1)));
+        assert!(!in_customer_cone(&g, Asn(99), Asn(99)));
+    }
+
+    #[test]
+    fn cone_index() {
+        let g = chain();
+        let idx = ConeIndex::build(&g, [Asn(1), Asn(2)]);
+        assert!(idx.contains(Asn(1), Asn(4)));
+        assert!(idx.contains(Asn(2), Asn(3)));
+        assert!(!idx.contains(Asn(2), Asn(1)));
+        assert!(!idx.contains(Asn(5), Asn(5)), "AS 5 not indexed");
+        assert_eq!(idx.size(Asn(1)), 4);
+        assert_eq!(idx.size(Asn(5)), 0);
+        assert!(idx.cone(Asn(2)).is_some());
+    }
+
+    #[test]
+    fn degree_pairs_order_small_large() {
+        let g = chain();
+        let pairs = link_degree_pairs(&g, [(Asn(1), Asn(3)), (Asn(3), Asn(4))]);
+        // deg(1)=1 (customer 2), deg(3)=0.
+        assert_eq!(pairs[0], (0, 1));
+        assert_eq!(pairs[1], (0, 0)); // stub–stub link
+    }
+}

@@ -1,0 +1,546 @@
+//! Seeded synthetic-Internet generator.
+//!
+//! Real May-2013 routing data is unavailable, so experiments run against
+//! a generated AS-level internet whose *shape* matches what the paper's
+//! analyses depend on: a small transit-free clique, a transit hierarchy
+//! thinning toward the edge, a stub-dominated population (Fig. 7 finds
+//! 55.6 % of inferred links involve a stub), content networks that peer
+//! widely (the Google/Akamai repeller cases of §5.5), European regional
+//! clustering (13 European IXPs, §5.2's region-specific policies), and a
+//! sprinkling of 32-bit ASNs (which force the 16-bit aliasing machinery
+//! of §3).
+//!
+//! Everything is driven by one `u64` seed; identical seeds produce
+//! identical internets bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use mlpeer_bgp::{Asn, Prefix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{AsGraph, AsInfo, GeoScope, Region, Tier};
+use crate::relationship::Relationship;
+
+/// Generator parameters. Defaults approximate the population feeding the
+/// paper's 13-IXP European study at 1:1 scale.
+#[derive(Debug, Clone)]
+pub struct InternetConfig {
+    /// RNG seed; everything derives from it.
+    pub seed: u64,
+    /// Transit-free clique size.
+    pub n_tier1: usize,
+    /// Large transit providers.
+    pub n_tier2: usize,
+    /// Regional ISPs.
+    pub n_regional: usize,
+    /// Content / CDN networks.
+    pub n_content: usize,
+    /// Stub ASes (no customers).
+    pub n_stub: usize,
+    /// Fraction of ASes homed in Europe (split over its sub-regions).
+    pub europe_fraction: f64,
+    /// Fraction of stub/content ASes assigned 32-bit ASNs, exercising
+    /// the community 16-bit aliasing path (§3).
+    pub frac_32bit_asn: f64,
+    /// Probability of a bilateral (non-IXP) p2p edge between two
+    /// tier-2s in the same region.
+    pub tier2_peering_prob: f64,
+    /// Number of sibling families (2–3 ASes each).
+    pub sibling_families: usize,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            seed: 20130501, // the paper's measurement week
+            n_tier1: 12,
+            n_tier2: 160,
+            n_regional: 600,
+            n_content: 180,
+            n_stub: 6500,
+            europe_fraction: 0.55,
+            frac_32bit_asn: 0.06,
+            tier2_peering_prob: 0.08,
+            sibling_families: 24,
+        }
+    }
+}
+
+impl InternetConfig {
+    /// A small configuration for fast unit / integration tests
+    /// (~330 ASes).
+    pub fn tiny(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 4,
+            n_tier2: 16,
+            n_regional: 40,
+            n_content: 12,
+            n_stub: 260,
+            sibling_families: 3,
+            ..InternetConfig::default()
+        }
+    }
+
+    /// A mid-size configuration for integration tests that need
+    /// realistic distributions without full-scale cost (~1.6k ASes).
+    pub fn small(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 8,
+            n_tier2: 60,
+            n_regional: 200,
+            n_content: 60,
+            n_stub: 1300,
+            sibling_families: 8,
+            ..InternetConfig::default()
+        }
+    }
+}
+
+/// A generated internet: the relationship graph plus each AS's
+/// originated prefixes.
+#[derive(Debug, Clone)]
+pub struct Internet {
+    /// Relationship graph.
+    pub graph: AsGraph,
+    /// Prefixes originated by each AS (every AS originates ≥ 1).
+    pub prefixes: BTreeMap<Asn, Vec<Prefix>>,
+    /// The configuration that produced this internet.
+    pub config: InternetConfig,
+}
+
+impl Internet {
+    /// Generate from a configuration.
+    pub fn generate(config: InternetConfig) -> Self {
+        Generator::new(config).run()
+    }
+
+    /// ASNs by tier, in ascending order.
+    pub fn asns_by_tier(&self, tier: Tier) -> Vec<Asn> {
+        self.graph.nodes().filter(|n| n.tier == tier).map(|n| n.asn).collect()
+    }
+
+    /// European ASNs, ascending.
+    pub fn europe_asns(&self) -> Vec<Asn> {
+        self.graph
+            .nodes()
+            .filter(|n| n.region.is_europe())
+            .map(|n| n.asn)
+            .collect()
+    }
+
+    /// Prefixes originated by an AS (empty slice if unknown).
+    pub fn prefixes_of(&self, asn: Asn) -> &[Prefix] {
+        self.prefixes.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total prefix count.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.values().map(Vec::len).sum()
+    }
+}
+
+/// Deterministic prefix allocator: hands out non-overlapping blocks
+/// walking upward from 20.0.0.0.
+struct PrefixAllocator {
+    cursor: u32,
+}
+
+impl PrefixAllocator {
+    fn new() -> Self {
+        PrefixAllocator { cursor: 20 << 24 }
+    }
+
+    fn alloc(&mut self, len: u8) -> Prefix {
+        debug_assert!((9..=28).contains(&len));
+        let size = 1u32 << (32 - len);
+        // Align the cursor up to the block size.
+        let aligned = (self.cursor + size - 1) & !(size - 1);
+        self.cursor = aligned + size;
+        Prefix::from_u32(aligned, len).expect("len validated")
+    }
+}
+
+struct Generator {
+    config: InternetConfig,
+    rng: StdRng,
+    graph: AsGraph,
+    prefixes: BTreeMap<Asn, Vec<Prefix>>,
+    alloc: PrefixAllocator,
+    tier1: Vec<Asn>,
+    tier2: Vec<Asn>,
+    regional: Vec<Asn>,
+}
+
+impl Generator {
+    fn new(config: InternetConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Generator {
+            config,
+            rng,
+            graph: AsGraph::new(),
+            prefixes: BTreeMap::new(),
+            alloc: PrefixAllocator::new(),
+            tier1: Vec::new(),
+            tier2: Vec::new(),
+            regional: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Internet {
+        self.make_tier1();
+        self.make_tier2();
+        self.make_regional();
+        self.make_content();
+        self.make_stubs();
+        self.make_siblings();
+        Internet { graph: self.graph, prefixes: self.prefixes, config: self.config }
+    }
+
+    fn pick_region(&mut self) -> Region {
+        if self.rng.gen_bool(self.config.europe_fraction) {
+            // Western Europe is the heaviest (hosts the largest IXPs).
+            let roll: f64 = self.rng.gen();
+            if roll < 0.45 {
+                Region::WesternEurope
+            } else if roll < 0.75 {
+                Region::EasternEurope
+            } else if roll < 0.85 {
+                Region::NorthernEurope
+            } else {
+                Region::SouthernEurope
+            }
+        } else {
+            let roll: f64 = self.rng.gen();
+            if roll < 0.5 {
+                Region::NorthAmerica
+            } else if roll < 0.8 {
+                Region::AsiaPacific
+            } else if roll < 0.9 {
+                Region::LatinAmerica
+            } else {
+                Region::Africa
+            }
+        }
+    }
+
+    fn add_as(&mut self, asn: Asn, tier: Tier, region: Region, scope: GeoScope, npfx: usize, plen: u8) {
+        self.graph.add_node(AsInfo { asn, tier, region, scope });
+        let mut v = Vec::with_capacity(npfx);
+        for _ in 0..npfx {
+            v.push(self.alloc.alloc(plen));
+        }
+        self.prefixes.insert(asn, v);
+    }
+
+    fn make_tier1(&mut self) {
+        for i in 0..self.config.n_tier1 {
+            let asn = Asn(100 + i as u32 * 7);
+            let region = self.pick_region();
+            let npfx = self.rng.gen_range(10..=22);
+            self.add_as(asn, Tier::Tier1, region, GeoScope::Global, npfx, 16);
+            self.tier1.push(asn);
+        }
+        // Full clique of p2p edges.
+        for i in 0..self.tier1.len() {
+            for j in (i + 1)..self.tier1.len() {
+                self.graph.add_edge(self.tier1[i], self.tier1[j], Relationship::P2p);
+            }
+        }
+    }
+
+    fn make_tier2(&mut self) {
+        for i in 0..self.config.n_tier2 {
+            let asn = Asn(1000 + i as u32 * 13);
+            let region = self.pick_region();
+            let scope = if self.rng.gen_bool(0.45) {
+                GeoScope::Global
+            } else if region.is_europe() {
+                GeoScope::Europe
+            } else {
+                GeoScope::Regional
+            };
+            let npfx = self.rng.gen_range(5..=14);
+            self.add_as(asn, Tier::Tier2, region, scope, npfx, 18);
+            // 2–4 tier-1 providers.
+            let nprov = self.rng.gen_range(2..=4.min(self.tier1.len()));
+            let provs = self.sample(&self.tier1.clone(), nprov);
+            for p in provs {
+                self.graph.add_edge(asn, p, Relationship::C2p);
+            }
+            self.tier2.push(asn);
+        }
+        // Bilateral tier2 peering (more likely in-region).
+        let t2 = self.tier2.clone();
+        for i in 0..t2.len() {
+            for j in (i + 1)..t2.len() {
+                let same = self.graph.node(t2[i]).unwrap().region
+                    == self.graph.node(t2[j]).unwrap().region;
+                let prob = if same {
+                    self.config.tier2_peering_prob * 3.0
+                } else {
+                    self.config.tier2_peering_prob
+                };
+                if self.rng.gen_bool(prob.min(1.0)) {
+                    self.graph.add_edge(t2[i], t2[j], Relationship::P2p);
+                }
+            }
+        }
+    }
+
+    fn make_regional(&mut self) {
+        for i in 0..self.config.n_regional {
+            let asn = Asn(10_000 + i as u32 * 11);
+            let region = self.pick_region();
+            let scope = if self.rng.gen_bool(0.2) && region.is_europe() {
+                GeoScope::Europe
+            } else {
+                GeoScope::Regional
+            };
+            let npfx = self.rng.gen_range(3..=8);
+            self.add_as(asn, Tier::Regional, region, scope, npfx, 20);
+            let nprov = self.rng.gen_range(1..=3.min(self.tier2.len()));
+            let provs = self.pick_providers(&self.tier2.clone(), region, nprov);
+            for p in provs {
+                self.graph.add_edge(asn, p, Relationship::C2p);
+            }
+            self.regional.push(asn);
+        }
+    }
+
+    fn make_content(&mut self) {
+        let upstream: Vec<Asn> =
+            self.tier1.iter().chain(self.tier2.iter()).copied().collect();
+        for i in 0..self.config.n_content {
+            let asn = if self.rng.gen_bool(self.config.frac_32bit_asn) {
+                Asn(200_000 + i as u32 * 17)
+            } else {
+                Asn(30_000 + i as u32 * 9)
+            };
+            let region = self.pick_region();
+            let scope =
+                if self.rng.gen_bool(0.55) { GeoScope::Global } else { GeoScope::Europe };
+            let npfx = self.rng.gen_range(4..=12);
+            self.add_as(asn, Tier::Content, region, scope, npfx, 22);
+            let nprov = self.rng.gen_range(2..=3.min(upstream.len()));
+            let provs = self.sample(&upstream, nprov);
+            for p in provs {
+                self.graph.add_edge(asn, p, Relationship::C2p);
+            }
+        }
+    }
+
+    fn make_stubs(&mut self) {
+        let upstream: Vec<Asn> =
+            self.tier2.iter().chain(self.regional.iter()).copied().collect();
+        for i in 0..self.config.n_stub {
+            let asn = if self.rng.gen_bool(self.config.frac_32bit_asn) {
+                Asn(300_000 + i as u32 * 3)
+            } else {
+                Asn(40_000 + i as u32 * 3) // stays below the 63488 bogon floor for i < ~7800
+            };
+            let asn = if asn.value() >= 63_000 && asn.value() < 196_608 {
+                // Overflowed the safe 16-bit window: move to 32-bit space.
+                Asn(400_000 + i as u32 * 3)
+            } else {
+                asn
+            };
+            let region = self.pick_region();
+            let npfx = self.rng.gen_range(1..=3);
+            self.add_as(asn, Tier::Stub, region, GeoScope::Regional, npfx, 23);
+            let roll: f64 = self.rng.gen();
+            let nprov = if roll < 0.55 {
+                1
+            } else if roll < 0.88 {
+                2
+            } else {
+                3
+            };
+            let provs = self.pick_providers(&upstream, region, nprov.min(upstream.len()));
+            for p in provs {
+                self.graph.add_edge(asn, p, Relationship::C2p);
+            }
+        }
+    }
+
+    fn make_siblings(&mut self) {
+        let pool: Vec<Asn> =
+            self.tier2.iter().chain(self.regional.iter()).copied().collect();
+        for _ in 0..self.config.sibling_families {
+            if pool.len() < 2 {
+                break;
+            }
+            let pair = self.sample(&pool, 2);
+            // Only add if not already related (keeps the hierarchy a DAG).
+            if self.graph.relationship(pair[0], pair[1]).is_none() {
+                self.graph.add_edge(pair[0], pair[1], Relationship::Sibling);
+            }
+        }
+    }
+
+    /// Sample `n` distinct elements, deterministic given the RNG state.
+    fn sample(&mut self, pool: &[Asn], n: usize) -> Vec<Asn> {
+        let mut v: Vec<Asn> = pool.to_vec();
+        v.shuffle(&mut self.rng);
+        v.truncate(n);
+        v
+    }
+
+    /// Sample providers preferring the same region (threefold weight).
+    fn pick_providers(&mut self, pool: &[Asn], region: Region, n: usize) -> Vec<Asn> {
+        let same: Vec<Asn> = pool
+            .iter()
+            .filter(|a| self.graph.node(**a).is_some_and(|i| i.region == region))
+            .copied()
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let from_same = !same.is_empty() && self.rng.gen_bool(0.75);
+            let src = if from_same { &same } else { pool };
+            for _ in 0..8 {
+                let cand = src[self.rng.gen_range(0..src.len())];
+                if !out.contains(&cand) {
+                    out.push(cand);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::customer_cone;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Internet::generate(InternetConfig::tiny(7));
+        let b = Internet::generate(InternetConfig::tiny(7));
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.prefixes, b.prefixes);
+        let c = Internet::generate(InternetConfig::tiny(8));
+        assert_ne!(a.graph.edges(), c.graph.edges(), "different seed, different internet");
+    }
+
+    #[test]
+    fn population_counts_match_config() {
+        let cfg = InternetConfig::tiny(1);
+        let net = Internet::generate(cfg.clone());
+        assert_eq!(net.asns_by_tier(Tier::Tier1).len(), cfg.n_tier1);
+        assert_eq!(net.asns_by_tier(Tier::Tier2).len(), cfg.n_tier2);
+        assert_eq!(net.asns_by_tier(Tier::Regional).len(), cfg.n_regional);
+        assert_eq!(net.asns_by_tier(Tier::Content).len(), cfg.n_content);
+        assert_eq!(net.asns_by_tier(Tier::Stub).len(), cfg.n_stub);
+        assert_eq!(
+            net.graph.node_count(),
+            cfg.n_tier1 + cfg.n_tier2 + cfg.n_regional + cfg.n_content + cfg.n_stub
+        );
+    }
+
+    #[test]
+    fn tier1_is_a_clique_and_transit_free() {
+        let net = Internet::generate(InternetConfig::tiny(2));
+        let t1 = net.asns_by_tier(Tier::Tier1);
+        for &a in &t1 {
+            assert!(net.graph.providers_of(a).is_empty(), "tier1 {a} has a provider");
+            for &b in &t1 {
+                if a != b {
+                    assert_eq!(net.graph.relationship(a, b), Some(Relationship::P2p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider_and_stubs_have_no_customers() {
+        let net = Internet::generate(InternetConfig::tiny(3));
+        for n in net.graph.nodes() {
+            if n.tier != Tier::Tier1 {
+                assert!(
+                    !net.graph.providers_of(n.asn).is_empty(),
+                    "{} ({:?}) has no provider",
+                    n.asn,
+                    n.tier
+                );
+            }
+            if matches!(n.tier, Tier::Stub | Tier::Content) {
+                assert_eq!(net.graph.customer_degree(n.asn), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_is_acyclic_under_c2p() {
+        // Every AS must be inside some tier-1's customer cone, and no
+        // tier-1 may be inside a non-tier-1 cone (no provider loops).
+        let net = Internet::generate(InternetConfig::tiny(4));
+        let t1 = net.asns_by_tier(Tier::Tier1);
+        let mut covered: std::collections::BTreeSet<Asn> = Default::default();
+        for &a in &t1 {
+            covered.extend(customer_cone(&net.graph, a));
+        }
+        assert_eq!(covered.len(), net.graph.node_count(), "clique cones cover everyone");
+        for n in net.graph.nodes() {
+            if n.tier == Tier::Stub {
+                let cone = customer_cone(&net.graph, n.asn);
+                assert_eq!(cone.len(), 1, "stub {} has a non-trivial cone", n.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn prefixes_unique_and_nonempty() {
+        let net = Internet::generate(InternetConfig::tiny(5));
+        let mut seen = std::collections::BTreeSet::new();
+        for (asn, pfxs) in &net.prefixes {
+            assert!(!pfxs.is_empty(), "{asn} owns no prefix");
+            for p in pfxs {
+                assert!(seen.insert(*p), "duplicate prefix {p}");
+            }
+        }
+        assert_eq!(net.prefix_count(), seen.len());
+    }
+
+    #[test]
+    fn no_bogon_asns_generated() {
+        let net = Internet::generate(InternetConfig::tiny(6));
+        for n in net.graph.nodes() {
+            assert!(n.asn.is_routable(), "generated bogon ASN {}", n.asn);
+        }
+    }
+
+    #[test]
+    fn some_32bit_asns_exist_at_default_rate() {
+        let net = Internet::generate(InternetConfig::tiny(9));
+        let n32 = net.graph.nodes().filter(|n| !n.asn.is_16bit()).count();
+        assert!(n32 > 0, "expected some 32-bit ASNs");
+    }
+
+    #[test]
+    fn europe_fraction_roughly_holds() {
+        let net = Internet::generate(InternetConfig::tiny(10));
+        let eu = net.europe_asns().len() as f64;
+        let total = net.graph.node_count() as f64;
+        let frac = eu / total;
+        assert!((0.4..0.7).contains(&frac), "europe fraction {frac}");
+    }
+
+    #[test]
+    fn allocator_blocks_never_overlap() {
+        let mut alloc = PrefixAllocator::new();
+        let mut got: Vec<Prefix> = Vec::new();
+        for len in [24u8, 22, 24, 16, 28, 20] {
+            got.push(alloc.alloc(len));
+        }
+        for i in 0..got.len() {
+            for j in (i + 1)..got.len() {
+                assert!(!got[i].overlaps(&got[j]), "{} overlaps {}", got[i], got[j]);
+            }
+        }
+    }
+}

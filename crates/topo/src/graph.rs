@@ -1,0 +1,388 @@
+//! The typed AS graph.
+//!
+//! Nodes carry the metadata the paper's analyses need: a coarse *tier*
+//! (drives the generator and the degree analyses of Fig. 7), a home
+//! *region* (drives IXP membership and the regional-policy findings of
+//! §5.2), and a self-reported *geographic scope* (the PeeringDB field
+//! behind Fig. 13). Edges carry business relationships.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use mlpeer_bgp::Asn;
+use serde::{Deserialize, Serialize};
+
+use crate::relationship::Relationship;
+
+/// Coarse role of an AS in the routing hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Transit-free backbone; member of the top clique.
+    Tier1,
+    /// Large transit provider buying from Tier-1s.
+    Tier2,
+    /// Regional ISP buying from Tier-2s.
+    Regional,
+    /// Content/CDN network (Google/Akamai-like in §5.5).
+    Content,
+    /// Stub: no customers of its own.
+    Stub,
+}
+
+/// Geographic region an AS operates from. European sub-regions are
+/// modeled separately because the paper's 13 IXPs cluster in Western,
+/// Eastern, Northern and Southern Europe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Western Europe (DE-CIX, AMS-IX, LINX, France-IX, LONAP, ECIX).
+    WesternEurope,
+    /// Eastern Europe (MSK-IX, PLIX, SPB-IX, DTEL-IX, BIX.BG).
+    EasternEurope,
+    /// Northern Europe (STHIX).
+    NorthernEurope,
+    /// Southern Europe (TOP-IX).
+    SouthernEurope,
+    /// North America.
+    NorthAmerica,
+    /// Asia / Pacific.
+    AsiaPacific,
+    /// Latin America.
+    LatinAmerica,
+    /// Africa.
+    Africa,
+}
+
+impl Region {
+    /// All regions, in a fixed order.
+    pub const ALL: [Region; 8] = [
+        Region::WesternEurope,
+        Region::EasternEurope,
+        Region::NorthernEurope,
+        Region::SouthernEurope,
+        Region::NorthAmerica,
+        Region::AsiaPacific,
+        Region::LatinAmerica,
+        Region::Africa,
+    ];
+
+    /// Is this a European sub-region?
+    pub const fn is_europe(self) -> bool {
+        matches!(
+            self,
+            Region::WesternEurope
+                | Region::EasternEurope
+                | Region::NorthernEurope
+                | Region::SouthernEurope
+        )
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::WesternEurope => "Western Europe",
+            Region::EasternEurope => "Eastern Europe",
+            Region::NorthernEurope => "Northern Europe",
+            Region::SouthernEurope => "Southern Europe",
+            Region::NorthAmerica => "North America",
+            Region::AsiaPacific => "Asia/Pacific",
+            Region::LatinAmerica => "Latin America",
+            Region::Africa => "Africa",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Self-reported geographic scope, the PeeringDB field used by the
+/// repeller analysis (Fig. 13: Global / Europe / Regional / N/A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GeoScope {
+    /// Operates worldwide.
+    Global,
+    /// Operates across Europe.
+    Europe,
+    /// Operates in one region only.
+    Regional,
+    /// Did not register a scope in PeeringDB.
+    NotReported,
+}
+
+impl fmt::Display for GeoScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GeoScope::Global => "Global",
+            GeoScope::Europe => "Europe",
+            GeoScope::Regional => "Regional",
+            GeoScope::NotReported => "N/A",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node metadata for one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy role.
+    pub tier: Tier,
+    /// Home region.
+    pub region: Region,
+    /// Self-reported geographic scope.
+    pub scope: GeoScope,
+}
+
+/// The AS-level graph: typed nodes plus relationship-labeled edges.
+///
+/// Adjacency stores each edge twice, once per endpoint, with the
+/// relationship *from that endpoint's perspective*; [`AsGraph::add_edge`]
+/// maintains the invariant that the two views are inverses.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: BTreeMap<Asn, AsInfo>,
+    adj: HashMap<Asn, Vec<(Asn, Relationship)>>,
+    edge_count: usize,
+}
+
+impl AsGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or update) a node.
+    pub fn add_node(&mut self, info: AsInfo) {
+        self.adj.entry(info.asn).or_default();
+        self.nodes.insert(info.asn, info);
+    }
+
+    /// Node metadata, if present.
+    pub fn node(&self, asn: Asn) -> Option<&AsInfo> {
+        self.nodes.get(&asn)
+    }
+
+    /// Does the graph contain this AS?
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// Iterate nodes in ASN order (deterministic).
+    pub fn nodes(&self) -> impl Iterator<Item = &AsInfo> {
+        self.nodes.values()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add an edge; `rel` is the relationship from `a`'s perspective
+    /// (e.g. `C2p` means `a` is a customer of `b`). Both endpoints must
+    /// already be nodes. Re-adding an existing pair updates the
+    /// relationship. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    /// If either endpoint is not a node, or `a == b`.
+    pub fn add_edge(&mut self, a: Asn, b: Asn, rel: Relationship) -> bool {
+        assert!(a != b, "self-loop edge at {a}");
+        assert!(self.nodes.contains_key(&a), "unknown AS {a}");
+        assert!(self.nodes.contains_key(&b), "unknown AS {b}");
+        let new = Self::set_half_edge(self.adj.get_mut(&a).expect("node a"), b, rel);
+        Self::set_half_edge(self.adj.get_mut(&b).expect("node b"), a, rel.invert());
+        if new {
+            self.edge_count += 1;
+        }
+        new
+    }
+
+    fn set_half_edge(list: &mut Vec<(Asn, Relationship)>, to: Asn, rel: Relationship) -> bool {
+        match list.iter_mut().find(|(n, _)| *n == to) {
+            Some(slot) => {
+                slot.1 = rel;
+                false
+            }
+            None => {
+                list.push((to, rel));
+                true
+            }
+        }
+    }
+
+    /// The relationship from `a` toward `b`, if the edge exists.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.adj.get(&a)?.iter().find(|(n, _)| *n == b).map(|(_, r)| *r)
+    }
+
+    /// All neighbors of `a` with the relationship from `a`'s
+    /// perspective.
+    pub fn neighbors(&self, a: Asn) -> &[(Asn, Relationship)] {
+        self.adj.get(&a).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `a`'s providers.
+    pub fn providers_of(&self, a: Asn) -> Vec<Asn> {
+        self.neighbors_by(a, Relationship::C2p)
+    }
+
+    /// `a`'s customers.
+    pub fn customers_of(&self, a: Asn) -> Vec<Asn> {
+        self.neighbors_by(a, Relationship::P2c)
+    }
+
+    /// `a`'s settlement-free peers (graph edges only — route-server
+    /// peerings live in the IXP layer, not here).
+    pub fn peers_of(&self, a: Asn) -> Vec<Asn> {
+        self.neighbors_by(a, Relationship::P2p)
+    }
+
+    /// `a`'s siblings.
+    pub fn siblings_of(&self, a: Asn) -> Vec<Asn> {
+        self.neighbors_by(a, Relationship::Sibling)
+    }
+
+    fn neighbors_by(&self, a: Asn, rel: Relationship) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self
+            .neighbors(a)
+            .iter()
+            .filter(|(_, r)| *r == rel)
+            .map(|(n, _)| *n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Direct customer count (the *customer degree* of Fig. 7).
+    pub fn customer_degree(&self, a: Asn) -> usize {
+        self.neighbors(a).iter().filter(|(_, r)| *r == Relationship::P2c).count()
+    }
+
+    /// Is `a` a stub in the business sense used by the paper: an AS
+    /// providing transit to nobody?
+    pub fn is_stub(&self, a: Asn) -> bool {
+        self.customer_degree(a) == 0
+    }
+
+    /// Every undirected edge once, as `(a, b, rel-from-a)` with `a < b`.
+    pub fn edges(&self) -> Vec<(Asn, Asn, Relationship)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for (&a, list) in &self.adj {
+            for &(b, rel) in list {
+                if a < b {
+                    out.push((a, b, rel));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        out
+    }
+
+    /// All ASNs in order.
+    pub fn asns(&self) -> Vec<Asn> {
+        self.nodes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(asn: u32, tier: Tier) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier,
+            region: Region::WesternEurope,
+            scope: GeoScope::Global,
+        }
+    }
+
+    fn triangle() -> AsGraph {
+        // 1 provides to 2 and 3; 2 and 3 peer.
+        let mut g = AsGraph::new();
+        g.add_node(node(1, Tier::Tier1));
+        g.add_node(node(2, Tier::Tier2));
+        g.add_node(node(3, Tier::Tier2));
+        g.add_edge(Asn(2), Asn(1), Relationship::C2p);
+        g.add_edge(Asn(3), Asn(1), Relationship::C2p);
+        g.add_edge(Asn(2), Asn(3), Relationship::P2p);
+        g
+    }
+
+    #[test]
+    fn edge_views_are_inverses() {
+        let g = triangle();
+        assert_eq!(g.relationship(Asn(2), Asn(1)), Some(Relationship::C2p));
+        assert_eq!(g.relationship(Asn(1), Asn(2)), Some(Relationship::P2c));
+        assert_eq!(g.relationship(Asn(2), Asn(3)), Some(Relationship::P2p));
+        assert_eq!(g.relationship(Asn(3), Asn(2)), Some(Relationship::P2p));
+        assert_eq!(g.relationship(Asn(1), Asn(99)), None);
+    }
+
+    #[test]
+    fn role_queries() {
+        let g = triangle();
+        assert_eq!(g.providers_of(Asn(2)), vec![Asn(1)]);
+        assert_eq!(g.customers_of(Asn(1)), vec![Asn(2), Asn(3)]);
+        assert_eq!(g.peers_of(Asn(2)), vec![Asn(3)]);
+        assert_eq!(g.customer_degree(Asn(1)), 2);
+        assert!(g.is_stub(Asn(2)));
+        assert!(!g.is_stub(Asn(1)));
+    }
+
+    #[test]
+    fn counts_and_edge_list() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let edges = g.edges();
+        assert_eq!(edges.len(), 3);
+        // Deterministic order, a < b, relationship from a.
+        assert_eq!(edges[0], (Asn(1), Asn(2), Relationship::P2c));
+        assert_eq!(edges[2], (Asn(2), Asn(3), Relationship::P2p));
+    }
+
+    #[test]
+    fn re_adding_updates_relationship() {
+        let mut g = triangle();
+        assert!(!g.add_edge(Asn(2), Asn(3), Relationship::C2p));
+        assert_eq!(g.edge_count(), 3, "edge count unchanged on update");
+        assert_eq!(g.relationship(Asn(3), Asn(2)), Some(Relationship::P2c));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = triangle();
+        g.add_edge(Asn(1), Asn(1), Relationship::P2p);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown AS")]
+    fn rejects_dangling_edge() {
+        let mut g = triangle();
+        g.add_edge(Asn(1), Asn(42), Relationship::P2c);
+    }
+
+    #[test]
+    fn sibling_edges() {
+        let mut g = triangle();
+        g.add_node(node(4, Tier::Tier2));
+        g.add_edge(Asn(2), Asn(4), Relationship::Sibling);
+        assert_eq!(g.siblings_of(Asn(2)), vec![Asn(4)]);
+        assert_eq!(g.siblings_of(Asn(4)), vec![Asn(2)]);
+    }
+
+    #[test]
+    fn region_helpers() {
+        assert!(Region::WesternEurope.is_europe());
+        assert!(Region::SouthernEurope.is_europe());
+        assert!(!Region::NorthAmerica.is_europe());
+        assert_eq!(Region::ALL.len(), 8);
+        assert_eq!(GeoScope::NotReported.to_string(), "N/A");
+        assert_eq!(Region::AsiaPacific.to_string(), "Asia/Pacific");
+    }
+}

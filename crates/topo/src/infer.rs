@@ -1,0 +1,435 @@
+//! AS-relationship inference from observed AS paths.
+//!
+//! A stand-in for the paper's reference [32] (Luckie et al., *AS
+//! Relationships, Customer Cones, and Validation*, IMC 2013), which the
+//! paper uses in two places:
+//!
+//! * §4.2, RS-setter case 3: when an AS path contains more than two IXP
+//!   participants, the p2p edge among them must be located to pick the
+//!   setter;
+//! * §5.6: links visible in BGP that the relationship algorithm infers
+//!   as provider–customer flag candidate *hybrid* relationships.
+//!
+//! The implementation follows the same ingredients as AS-Rank, sized to
+//! this substrate: a transit-degree-seeded clique, apex-split voting
+//! over every path, and an upward-visibility test that separates true
+//! transit from peering (a customer's routes are re-exported *upward*
+//! by its provider; a peer's routes never are).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use mlpeer_bgp::Asn;
+
+use crate::relationship::Relationship;
+
+/// The inferred relationship dataset.
+#[derive(Debug, Clone, Default)]
+pub struct InferredRelationships {
+    /// Undirected edge `(a, b)` with `a < b`, relationship from `a`'s
+    /// perspective.
+    rels: BTreeMap<(Asn, Asn), Relationship>,
+    /// Transit degree observed per AS.
+    transit_degree: HashMap<Asn, usize>,
+    /// The inferred clique.
+    clique: BTreeSet<Asn>,
+}
+
+impl InferredRelationships {
+    /// The relationship from `a` toward `b`, if the pair was observed.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if a < b {
+            self.rels.get(&(a, b)).copied()
+        } else {
+            self.rels.get(&(b, a)).map(|r| r.invert())
+        }
+    }
+
+    /// Is the pair inferred p2p?
+    pub fn is_p2p(&self, a: Asn, b: Asn) -> bool {
+        self.rel(a, b) == Some(Relationship::P2p)
+    }
+
+    /// Number of classified edges.
+    pub fn edge_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Iterate `(a, b, rel-from-a)` with `a < b`, in order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, Asn, Relationship)> + '_ {
+        self.rels.iter().map(|(&(a, b), &r)| (a, b, r))
+    }
+
+    /// Observed transit degree of an AS (0 if never seen in the middle
+    /// of a path).
+    pub fn transit_degree(&self, a: Asn) -> usize {
+        self.transit_degree.get(&a).copied().unwrap_or(0)
+    }
+
+    /// The inferred transit-free clique.
+    pub fn clique(&self) -> &BTreeSet<Asn> {
+        &self.clique
+    }
+}
+
+/// Tuning knobs for the inference.
+#[derive(Debug, Clone)]
+pub struct InferConfig {
+    /// Maximum clique size to seed with.
+    pub clique_size: usize,
+    /// Fraction of conflicting votes beyond which an edge is classified
+    /// sibling.
+    pub sibling_conflict_frac: f64,
+    /// Degree ratio below which a context-free edge defaults to p2p.
+    pub p2p_degree_ratio: f64,
+}
+
+impl Default for InferConfig {
+    fn default() -> Self {
+        InferConfig { clique_size: 16, sibling_conflict_frac: 0.2, p2p_degree_ratio: 2.5 }
+    }
+}
+
+/// Run the inference over a set of (already sanitized, prepend-collapsed)
+/// AS paths, each `[vantage, ..., origin]`.
+pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> InferredRelationships {
+    // ---- Transit degree: distinct neighbors while in the middle. ----
+    let mut middle_neighbors: HashMap<Asn, BTreeSet<Asn>> = HashMap::new();
+    for path in paths {
+        for i in 1..path.len().saturating_sub(1) {
+            let entry = middle_neighbors.entry(path[i]).or_default();
+            entry.insert(path[i - 1]);
+            entry.insert(path[i + 1]);
+        }
+    }
+    let transit_degree: HashMap<Asn, usize> =
+        middle_neighbors.iter().map(|(a, s)| (*a, s.len())).collect();
+    let deg = |a: Asn| transit_degree.get(&a).copied().unwrap_or(0);
+
+    // ---- Adjacency observed anywhere. ----
+    let mut adjacent: HashSet<(Asn, Asn)> = HashSet::new();
+    for path in paths {
+        for w in path.windows(2) {
+            if w[0] != w[1] {
+                let (x, y) = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                adjacent.insert((x, y));
+            }
+        }
+    }
+
+    // ---- Clique: greedy over top transit degrees, mutual adjacency. ----
+    let mut by_degree: Vec<Asn> = transit_degree.keys().copied().collect();
+    by_degree.sort_unstable_by_key(|a| (std::cmp::Reverse(deg(*a)), a.value()));
+    let mut clique: BTreeSet<Asn> = BTreeSet::new();
+    for &cand in by_degree.iter().take(config.clique_size * 2) {
+        if clique.len() >= config.clique_size {
+            break;
+        }
+        let ok = clique.iter().all(|&m| {
+            let key = if m < cand { (m, cand) } else { (cand, m) };
+            adjacent.contains(&key)
+        });
+        if ok {
+            clique.insert(cand);
+        }
+    }
+
+    // ---- Apex-split voting. ----
+    // votes[(x, y)] with x < y: (votes "y is customer of x",
+    //                            votes "x is customer of y").
+    let mut votes: HashMap<(Asn, Asn), (u32, u32)> = HashMap::new();
+    // For the upward-visibility pass we remember, per directed edge
+    // provider→customer candidate (a, b), the set of ASes observed
+    // immediately *before* a on some path (the context x in [x, a, b]).
+    let mut context_before: HashMap<(Asn, Asn), BTreeSet<Asn>> = HashMap::new();
+    for path in paths {
+        if path.len() < 2 {
+            continue;
+        }
+        // Apex = highest transit degree; ties break on the smaller ASN
+        // so that the same edge splits the same way in every path
+        // (position-based tie-breaks make votes flip-flop).
+        let apex = (0..path.len())
+            .max_by_key(|&i| (deg(path[i]), std::cmp::Reverse(path[i].value())))
+            .unwrap_or(0);
+        for i in 0..path.len() - 1 {
+            let (a, b) = (path[i], path[i + 1]);
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            let entry = votes.entry(key).or_insert((0, 0));
+            // i < apex: climbing, so a (nearer observer) is the customer.
+            // i >= apex: descending, so b (nearer origin) is the customer.
+            let customer_is_b = i >= apex;
+            if (key.0 == a) == customer_is_b {
+                entry.0 += 1; // "key.1 is customer of key.0"
+            } else {
+                entry.1 += 1;
+            }
+            if customer_is_b && i >= 1 {
+                context_before.entry((a, b)).or_default().insert(path[i - 1]);
+            }
+        }
+    }
+
+    // ---- Provisional orientation from votes. ----
+    #[derive(Clone, Copy, PartialEq)]
+    enum Prov {
+        /// key.0 is the provider (key.1 the customer).
+        FirstProvider,
+        /// key.1 is the provider.
+        SecondProvider,
+        Sibling,
+        Peer,
+    }
+    let mut provisional: BTreeMap<(Asn, Asn), Prov> = BTreeMap::new();
+    for (&key, &(down, up)) in &votes {
+        let total = down + up;
+        let p = if clique.contains(&key.0) && clique.contains(&key.1) {
+            Prov::Peer
+        } else if down > 0 && up > 0 && (down.min(up) as f64 / total as f64) >= config.sibling_conflict_frac
+        {
+            Prov::Sibling
+        } else if down >= up {
+            Prov::FirstProvider
+        } else {
+            Prov::SecondProvider
+        };
+        provisional.insert(key, p);
+    }
+
+    // ---- Upward-visibility refinement. ----
+    // A provisional p2c edge (provider a, customer b) is *confirmed* if
+    // some path shows a exporting b's routes upward or sideways: a
+    // context [x, a, b] where x is a's provider or peer under the
+    // provisional map. If instead the edge is only ever seen from below,
+    // and the endpoints have comparable transit degrees, it is
+    // reclassified p2p (peer routes are only exported downhill). If
+    // *both* directions show upward visibility, each AS transits for the
+    // other — the sibling signature.
+    let prov_of = |provisional: &BTreeMap<(Asn, Asn), Prov>, x: Asn, a: Asn| -> Option<Prov> {
+        let key = if x < a { (x, a) } else { (a, x) };
+        provisional.get(&key).copied()
+    };
+    let upward_visible = |provisional: &BTreeMap<(Asn, Asn), Prov>, provider: Asn, customer: Asn| {
+        context_before.get(&(provider, customer)).is_some_and(|ctxs| {
+            ctxs.iter().any(|&x| {
+                // A clique member above the provider is definitionally
+                // upward context.
+                if clique.contains(&x) {
+                    return true;
+                }
+                match prov_of(provisional, x, provider) {
+                    // x is the provider of `provider` → upward.
+                    Some(Prov::FirstProvider) if x < provider => true,
+                    Some(Prov::SecondProvider) if provider < x => true,
+                    // x peers with `provider` → sideways.
+                    Some(Prov::Peer) => true,
+                    _ => false,
+                }
+            })
+        })
+    };
+    let mut rels: BTreeMap<(Asn, Asn), Relationship> = BTreeMap::new();
+    for (&key, &p) in &provisional {
+        let rel: Relationship = match p {
+            Prov::Peer => Relationship::P2p,
+            Prov::Sibling => Relationship::Sibling,
+            Prov::FirstProvider | Prov::SecondProvider => {
+                let (provider, customer) =
+                    if p == Prov::FirstProvider { (key.0, key.1) } else { (key.1, key.0) };
+                // Clique members are transit-free tops: an edge from a
+                // clique member down to a non-member is transit.
+                if clique.contains(&provider) && !clique.contains(&customer) {
+                    rels.insert(
+                        key,
+                        if p == Prov::FirstProvider { Relationship::P2c } else { Relationship::C2p },
+                    );
+                    continue;
+                }
+                let fwd = upward_visible(&provisional, provider, customer);
+                let rev = upward_visible(&provisional, customer, provider);
+                let dp = deg(provider).max(1) as f64;
+                let dc = deg(customer).max(1) as f64;
+                let as_transit = |provider_is_first: bool| {
+                    if provider_is_first {
+                        Relationship::P2c
+                    } else {
+                        Relationship::C2p
+                    }
+                };
+                if fwd && rev {
+                    // Mutual transit: each exports the other upward.
+                    Relationship::Sibling
+                } else if fwd {
+                    as_transit(p == Prov::FirstProvider)
+                } else if rev {
+                    // Only the reverse direction shows transit: the vote
+                    // majority was misled (sparse data); flip.
+                    as_transit(p != Prov::FirstProvider)
+                } else if dp / dc >= config.p2p_degree_ratio {
+                    as_transit(p == Prov::FirstProvider)
+                } else {
+                    Relationship::P2p
+                }
+            }
+        };
+        rels.insert(key, rel);
+    }
+
+    InferredRelationships { rels, transit_degree, clique }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(asns: &[u32]) -> Vec<Asn> {
+        asns.iter().map(|&a| Asn(a)).collect()
+    }
+
+    /// Star topology: 1 is the big provider; 2, 3, 5, 6 customers; 4
+    /// behind 2. Paths as route collectors on 3 and 2 would see them.
+    fn star_paths() -> Vec<Vec<Asn>> {
+        vec![
+            p(&[3, 1, 2, 4]), // 3 climbs to 1, down through 2 to 4
+            p(&[3, 1, 2]),
+            p(&[2, 1, 3]),
+            p(&[4, 2, 1, 3]),
+            p(&[4, 2, 1]),
+            p(&[3, 1]),
+            p(&[3, 1, 5]), // extra customers establish 1's apex degree
+            p(&[3, 1, 6]),
+            p(&[2, 1, 5]),
+            p(&[2, 1, 6]),
+        ]
+    }
+
+    #[test]
+    fn transit_degree_counts_middle_neighbors() {
+        let inf = infer_relationships(&star_paths(), &InferConfig::default());
+        assert_eq!(inf.transit_degree(Asn(1)), 4); // neighbors 2, 3, 5, 6
+        assert_eq!(inf.transit_degree(Asn(2)), 2); // neighbors 1 and 4
+        assert_eq!(inf.transit_degree(Asn(4)), 0); // never in the middle
+    }
+
+    #[test]
+    fn infers_transit_chain() {
+        let cfg = InferConfig { clique_size: 1, ..InferConfig::default() };
+        let inf = infer_relationships(&star_paths(), &cfg);
+        assert_eq!(inf.rel(Asn(2), Asn(1)), Some(Relationship::C2p), "2 is customer of 1");
+        assert_eq!(inf.rel(Asn(1), Asn(2)), Some(Relationship::P2c));
+        assert_eq!(inf.rel(Asn(4), Asn(2)), Some(Relationship::C2p), "4 is customer of 2");
+        assert_eq!(inf.rel(Asn(3), Asn(1)), Some(Relationship::C2p));
+        assert_eq!(inf.rel(Asn(1), Asn(99)), None);
+    }
+
+    #[test]
+    fn peer_edge_between_comparable_ases_detected() {
+        // 10 and 20 are two providers of comparable degree that peer;
+        // customers 11,12 behind 10 and 21,22 behind 20. The 10–20 edge
+        // is only ever seen *from below* (from customers), never from a
+        // provider above — the upward-visibility signal for p2p.
+        let paths = vec![
+            p(&[11, 10, 20, 21]),
+            p(&[12, 10, 20, 22]),
+            p(&[21, 20, 10, 11]),
+            p(&[22, 20, 10, 12]),
+            p(&[11, 10, 12]),
+            p(&[21, 20, 22]),
+        ];
+        let cfg = InferConfig { clique_size: 0, ..InferConfig::default() };
+        let inf = infer_relationships(&paths, &cfg);
+        assert_eq!(inf.rel(Asn(10), Asn(20)), Some(Relationship::P2p), "10–20 should be p2p");
+        assert_eq!(inf.rel(Asn(11), Asn(10)), Some(Relationship::C2p));
+        assert_eq!(inf.rel(Asn(22), Asn(20)), Some(Relationship::C2p));
+    }
+
+    #[test]
+    fn true_transit_confirmed_by_upward_visibility() {
+        // 30 provides transit to 10 (comparable transit degrees), and
+        // 30's own provider 99 sees 10's routes *through* 30 —
+        // [.., 99, 30, 10, ..] — the upward-visibility signal that
+        // separates transit from peering. 99 is given customers of its
+        // own so its apex role is established.
+        let paths = vec![
+            p(&[96, 99, 30, 10]),
+            p(&[97, 99, 30, 10]),
+            p(&[98, 99, 30, 10]),
+            p(&[99, 30, 10, 11]),
+            p(&[11, 10, 30, 99]),
+            p(&[12, 10, 30]),
+            p(&[10, 30, 99]),
+        ];
+        // 99 tops the hierarchy, so the clique seed resolves it.
+        let cfg = InferConfig { clique_size: 1, ..InferConfig::default() };
+        let inf = infer_relationships(&paths, &cfg);
+        assert_eq!(inf.rel(Asn(10), Asn(30)), Some(Relationship::C2p), "10 buys from 30");
+        assert_eq!(inf.rel(Asn(30), Asn(99)), Some(Relationship::C2p), "30 buys from 99");
+    }
+
+    #[test]
+    fn clique_members_marked_p2p() {
+        // Two giants 1, 2 adjacent with massive degrees; their edge is
+        // p2p via the clique even though votes might lean one way.
+        let mut paths = vec![p(&[5, 1, 2, 6]), p(&[6, 2, 1, 5])];
+        for i in 0..20u32 {
+            paths.push(p(&[100 + i, 1, 2, 200 + i]));
+            paths.push(p(&[200 + i, 2, 1, 100 + i]));
+        }
+        let cfg = InferConfig { clique_size: 2, ..InferConfig::default() };
+        let inf = infer_relationships(&paths, &cfg);
+        assert!(inf.clique().contains(&Asn(1)));
+        assert!(inf.clique().contains(&Asn(2)));
+        assert!(inf.is_p2p(Asn(1), Asn(2)));
+    }
+
+    #[test]
+    fn sibling_on_mutual_transit() {
+        // Siblings 7 and 8 leak each other's routes to their respective
+        // providers 99 and 98 — something neither a customer nor a peer
+        // ever does in both directions. 71/81 are their customers;
+        // 5xx/6xx give the providers apex-grade degrees.
+        let mut paths = vec![
+            p(&[99, 7, 8, 81]),  // 8's customer routes exported up via 7
+            p(&[98, 8, 7, 71]),  // 7's customer routes exported up via 8
+            p(&[71, 7, 8, 81]),
+            p(&[81, 8, 7, 71]),
+        ];
+        for x in 500..510u32 {
+            paths.push(p(&[x, 99, 7, 71]));
+        }
+        for y in 600..610u32 {
+            paths.push(p(&[y, 98, 8, 81]));
+        }
+        let cfg = InferConfig { clique_size: 0, ..InferConfig::default() };
+        let inf = infer_relationships(&paths, &cfg);
+        assert_eq!(inf.rel(Asn(7), Asn(8)), Some(Relationship::Sibling));
+        assert_eq!(inf.rel(Asn(7), Asn(99)), Some(Relationship::C2p));
+        assert_eq!(inf.rel(Asn(8), Asn(98)), Some(Relationship::C2p));
+    }
+
+    #[test]
+    fn empty_and_trivial_inputs() {
+        let inf = infer_relationships(&[], &InferConfig::default());
+        assert_eq!(inf.edge_count(), 0);
+        let inf = infer_relationships(&[p(&[1])], &InferConfig::default());
+        assert_eq!(inf.edge_count(), 0);
+        let inf = infer_relationships(&[p(&[1, 1])], &InferConfig::default());
+        assert_eq!(inf.edge_count(), 0, "prepending produces no edge");
+    }
+
+    #[test]
+    fn iter_is_sorted_and_consistent() {
+        let inf = infer_relationships(&star_paths(), &InferConfig::default());
+        let edges: Vec<_> = inf.iter().collect();
+        assert!(!edges.is_empty());
+        for w in edges.windows(2) {
+            assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+        }
+        for (a, b, r) in edges {
+            assert_eq!(inf.rel(a, b), Some(r));
+            assert_eq!(inf.rel(b, a), Some(r.invert()));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # `mlpeer-topo` — AS-level topology substrate
+//!
+//! The paper's inference pipeline runs against the Internet's AS-level
+//! routing system. This crate rebuilds that substrate:
+//!
+//! * [`relationship`] — the business-relationship model (§2.1):
+//!   customer-to-provider, peer-to-peer, sibling, and the valley-free
+//!   export rule that makes most p2p links invisible (§2.3).
+//! * [`graph`] — the typed AS graph with tiers, regions and geographic
+//!   scopes (PeeringDB-style, for Fig. 13).
+//! * [`gen`] — a seeded synthetic-Internet generator: tier-1 clique,
+//!   transit hierarchy, regional ISPs, stubs and content networks,
+//!   calibrated to the stub-heavy degree mix the paper reports (Fig. 7).
+//! * [`cone`] — customer cones and customer degrees (§5.5 uses cones to
+//!   explain 77 % of EXCLUDE filters).
+//! * [`propagate`] — Gao-Rexford route propagation with pluggable
+//!   "extra" peer edges so the IXP layer can graft route-server and
+//!   bilateral peering sessions onto the graph; produces the per-origin
+//!   routing state that collector views, looking-glass RIBs and the
+//!   public-BGP baseline are derived from.
+//! * [`infer`] — a CAIDA-style relationship-inference algorithm over
+//!   observed AS paths, standing in for reference [32]; the paper uses
+//!   it to pin-point RS setters (§4.2) and for the hybrid-relationship
+//!   study (§5.6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cone;
+pub mod gen;
+pub mod graph;
+pub mod infer;
+pub mod propagate;
+pub mod relationship;
+
+pub use graph::{AsGraph, AsInfo, GeoScope, Region, Tier};
+pub use relationship::Relationship;

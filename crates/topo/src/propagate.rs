@@ -1,0 +1,541 @@
+//! Gao-Rexford route propagation.
+//!
+//! Computes, for one origin AS, the best route every other AS selects
+//! under the valley-free export rule (§2.1) with the standard economic
+//! preference (customer ≻ peer ≻ provider, then shortest path, then a
+//! deterministic tie-break). This is the machinery that decides *what a
+//! vantage point can see* — and therefore why most p2p links are
+//! invisible in public BGP (§2.3): a peer-learned route is only exported
+//! downhill, so only the peers' customer cones ever observe the link.
+//!
+//! The IXP layer grafts route-server and bilateral peering sessions onto
+//! the graph as *extra peer edges*, directed `exporter → receiver` and
+//! carrying an opaque tag (which IXP, route server or bilateral). The
+//! returned paths record, hop by hop, which kind of edge was used, so
+//! the data layer can attach RS communities exactly where a real route
+//! would carry them.
+//!
+//! The three-phase algorithm is the standard one for policy routing:
+//!
+//! 1. **uphill** — customer routes climb provider (and sibling) edges
+//!    from the origin, breadth-first;
+//! 2. **peer** — one peer edge may follow: an AS with a customer route
+//!    exports it to its peers;
+//! 3. **downhill** — routes descend provider→customer (and sibling)
+//!    edges in best-first (Dijkstra) order.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+use mlpeer_bgp::Asn;
+
+use crate::graph::AsGraph;
+use crate::relationship::{LearnedFrom, Relationship};
+
+/// How a hop of a path was traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A provider/customer edge of the relationship graph.
+    Transit,
+    /// A settlement-free p2p edge of the relationship graph (private
+    /// peering or direct cross-connect).
+    GraphPeer,
+    /// A sibling edge.
+    Sibling,
+    /// An IXP-layer peer edge; the tag is assigned by the IXP layer
+    /// (which IXP, route-server vs bilateral) and is opaque here.
+    ExtraPeer(u32),
+}
+
+/// The route one AS selected toward the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestRoute {
+    /// Preference class the route was learned in.
+    pub class: LearnedFrom,
+    /// Full AS path `[self, ..., origin]`; for the origin itself this is
+    /// `[origin]`.
+    pub path: Vec<Asn>,
+    /// Edge kinds between consecutive path hops (`path.len() - 1`
+    /// entries).
+    pub via: Vec<EdgeKind>,
+}
+
+impl BestRoute {
+    /// Path length in AS hops (edges).
+    pub fn hops(&self) -> usize {
+        self.via.len()
+    }
+
+    /// Does any hop traverse an IXP-layer (extra) peer edge? Returns the
+    /// first such hop as `(index, tag)`.
+    pub fn first_extra_peer_hop(&self) -> Option<(usize, u32)> {
+        self.via.iter().enumerate().find_map(|(i, k)| match k {
+            EdgeKind::ExtraPeer(tag) => Some((i, *tag)),
+            _ => None,
+        })
+    }
+}
+
+/// Directed extra peer edge: `exporter` announces its customer routes to
+/// `receiver` (who treats them as peer-learned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtraPeerEdge {
+    /// The announcing side.
+    pub exporter: Asn,
+    /// The listening side.
+    pub receiver: Asn,
+    /// Opaque tag assigned by the IXP layer.
+    pub tag: u32,
+}
+
+/// Route propagation engine over a graph plus extra peer edges.
+///
+/// Immutable once built; safe to share across threads for parallel
+/// per-origin sweeps.
+#[derive(Debug)]
+pub struct Propagator<'g> {
+    graph: &'g AsGraph,
+    /// receiver → [(exporter, tag)], sorted for determinism.
+    extra_in: HashMap<Asn, Vec<(Asn, u32)>>,
+}
+
+impl<'g> Propagator<'g> {
+    /// Engine over the bare relationship graph.
+    pub fn new(graph: &'g AsGraph) -> Self {
+        Propagator { graph, extra_in: HashMap::new() }
+    }
+
+    /// Engine with IXP-layer peer edges grafted on.
+    pub fn with_extra_peers<I>(graph: &'g AsGraph, edges: I) -> Self
+    where
+        I: IntoIterator<Item = ExtraPeerEdge>,
+    {
+        let mut extra_in: HashMap<Asn, Vec<(Asn, u32)>> = HashMap::new();
+        for e in edges {
+            extra_in.entry(e.receiver).or_default().push((e.exporter, e.tag));
+        }
+        for v in extra_in.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Propagator { graph, extra_in }
+    }
+
+    /// Number of directed extra edges.
+    pub fn extra_edge_count(&self) -> usize {
+        self.extra_in.values().map(Vec::len).sum()
+    }
+
+    /// Compute every AS's best route toward `origin`.
+    pub fn routes_to(&self, origin: Asn) -> RouteState {
+        let mut best: HashMap<Asn, BestRoute> = HashMap::new();
+        if !self.graph.contains(origin) {
+            return RouteState { origin, routes: best };
+        }
+        best.insert(
+            origin,
+            BestRoute { class: LearnedFrom::Origin, path: vec![origin], via: Vec::new() },
+        );
+
+        // ---- Phase 1: uphill (customer/sibling routes). ----
+        // Level-synchronized BFS; per level each new AS picks the parent
+        // with the smallest ASN for determinism.
+        let mut frontier: Vec<Asn> = vec![origin];
+        while !frontier.is_empty() {
+            // candidate receiver -> (parent, kind), smallest parent wins.
+            let mut next: BTreeMap<Asn, (Asn, EdgeKind)> = BTreeMap::new();
+            for &u in &frontier {
+                for &(v, rel) in self.graph.neighbors(u) {
+                    let kind = match rel {
+                        Relationship::C2p => EdgeKind::Transit, // v is u's provider
+                        Relationship::Sibling => EdgeKind::Sibling,
+                        _ => continue,
+                    };
+                    if best.contains_key(&v) {
+                        continue;
+                    }
+                    match next.get(&v) {
+                        Some(&(p, _)) if p <= u => {}
+                        _ => {
+                            next.insert(v, (u, kind));
+                        }
+                    }
+                }
+            }
+            frontier = Vec::with_capacity(next.len());
+            for (v, (u, kind)) in next {
+                let parent = &best[&u];
+                let mut path = Vec::with_capacity(parent.path.len() + 1);
+                path.push(v);
+                path.extend_from_slice(&parent.path);
+                let mut via = Vec::with_capacity(parent.via.len() + 1);
+                via.push(kind);
+                via.extend_from_slice(&parent.via);
+                let class = if kind == EdgeKind::Sibling && parent.class == LearnedFrom::Origin {
+                    // Direct sibling of the origin still re-exports freely.
+                    LearnedFrom::Sibling
+                } else if kind == EdgeKind::Sibling {
+                    LearnedFrom::Sibling
+                } else {
+                    LearnedFrom::Customer
+                };
+                best.insert(v, BestRoute { class, path, via });
+                frontier.push(v);
+            }
+        }
+
+        // ---- Phase 2: peer routes. ----
+        // An AS u with a customer-class (or origin/sibling) route exports
+        // it over p2p and extra edges; receivers without a customer route
+        // adopt the best candidate. Candidates are evaluated against the
+        // *phase-1* state only (a peer route never re-exports to peers).
+        let exports_to_peers = |r: &BestRoute| {
+            matches!(
+                r.class,
+                LearnedFrom::Origin | LearnedFrom::Customer | LearnedFrom::Sibling
+            )
+        };
+        let mut peer_candidates: BTreeMap<Asn, (usize, Asn, EdgeKind)> = BTreeMap::new();
+        let consider = |cands: &mut BTreeMap<Asn, (usize, Asn, EdgeKind)>,
+                            v: Asn,
+                            u: Asn,
+                            kind: EdgeKind,
+                            len: usize| {
+            match cands.get(&v) {
+                Some(&(l, p, _)) if (l, p) <= (len, u) => {}
+                _ => {
+                    cands.insert(v, (len, u, kind));
+                }
+            }
+        };
+        for (&u, route) in &best {
+            if !exports_to_peers(route) {
+                continue;
+            }
+            for &(v, rel) in self.graph.neighbors(u) {
+                if rel == Relationship::P2p && !best.contains_key(&v) {
+                    consider(&mut peer_candidates, v, u, EdgeKind::GraphPeer, route.path.len());
+                }
+            }
+        }
+        // Extra (IXP) edges are directed exporter → receiver.
+        for (&v, inlist) in &self.extra_in {
+            if best.contains_key(&v) {
+                continue;
+            }
+            for &(u, tag) in inlist {
+                if let Some(route) = best.get(&u) {
+                    if exports_to_peers(route) {
+                        consider(
+                            &mut peer_candidates,
+                            v,
+                            u,
+                            EdgeKind::ExtraPeer(tag),
+                            route.path.len(),
+                        );
+                    }
+                }
+            }
+        }
+        for (v, (_, u, kind)) in peer_candidates {
+            let parent = &best[&u];
+            let mut path = Vec::with_capacity(parent.path.len() + 1);
+            path.push(v);
+            path.extend_from_slice(&parent.path);
+            let mut via = Vec::with_capacity(parent.via.len() + 1);
+            via.push(kind);
+            via.extend_from_slice(&parent.via);
+            best.insert(v, BestRoute { class: LearnedFrom::Peer, path, via });
+        }
+
+        // ---- Phase 3: downhill (provider routes), best-first. ----
+        let mut heap: BinaryHeap<Reverse<(usize, u32, u32)>> = BinaryHeap::new();
+        for (&u, r) in &best {
+            heap.push(Reverse((r.path.len(), u.value(), u.value())));
+        }
+        while let Some(Reverse((len, _, u_raw))) = heap.pop() {
+            let u = Asn(u_raw);
+            let Some(route_u) = best.get(&u) else { continue };
+            if route_u.path.len() != len {
+                continue; // stale heap entry
+            }
+            let (path_u, via_u) = (route_u.path.clone(), route_u.via.clone());
+            for &(v, rel) in self.graph.neighbors(u) {
+                let kind = match rel {
+                    Relationship::P2c => EdgeKind::Transit, // v is u's customer
+                    Relationship::Sibling => EdgeKind::Sibling,
+                    _ => continue,
+                };
+                let cand_len = len + 1;
+                let better = match best.get(&v) {
+                    None => true,
+                    Some(r) => {
+                        r.class == LearnedFrom::Provider
+                            && (r.path.len() > cand_len
+                                || (r.path.len() == cand_len && r.path[1] > u))
+                    }
+                };
+                if better {
+                    let mut path = Vec::with_capacity(path_u.len() + 1);
+                    path.push(v);
+                    path.extend_from_slice(&path_u);
+                    let mut via = Vec::with_capacity(via_u.len() + 1);
+                    via.push(kind);
+                    via.extend_from_slice(&via_u);
+                    best.insert(v, BestRoute { class: LearnedFrom::Provider, path, via });
+                    heap.push(Reverse((cand_len, v.value(), v.value())));
+                }
+            }
+        }
+
+        RouteState { origin, routes: best }
+    }
+}
+
+/// The full routing state for one origin: each AS's selected best route.
+#[derive(Debug, Clone)]
+pub struct RouteState {
+    /// The origin all routes lead to.
+    pub origin: Asn,
+    routes: HashMap<Asn, BestRoute>,
+}
+
+impl RouteState {
+    /// The best route `asn` selected, if it reaches the origin at all.
+    pub fn best(&self, asn: Asn) -> Option<&BestRoute> {
+        self.routes.get(&asn)
+    }
+
+    /// Number of ASes that can reach the origin.
+    pub fn reachable_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Iterate `(asn, best)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &BestRoute)> {
+        self.routes.iter().map(|(a, r)| (*a, r))
+    }
+
+    /// Would `asn` export its best route to a neighbor related by `rel`
+    /// (from `asn`'s perspective)? Encodes valley-free export of the
+    /// *selected* route — an AS whose best is peer-learned advertises
+    /// nothing for this origin to peers or providers.
+    pub fn exports_to(&self, asn: Asn, rel: Relationship) -> bool {
+        self.routes.get(&asn).is_some_and(|r| r.class.may_export_to(rel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsInfo, GeoScope, Region, Tier};
+
+    fn node(asn: u32, tier: Tier) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier,
+            region: Region::WesternEurope,
+            scope: GeoScope::Global,
+        }
+    }
+
+    /// Classic Gao-Rexford teaching topology:
+    ///
+    /// ```text
+    ///        1 ----- 2        (tier-1 clique, p2p)
+    ///       / \       \
+    ///      3   4       5      (customers of 1 / 1 / 2)
+    ///      |  p2p\    /
+    ///      6      \  /
+    ///              7          (customer of 4 and 5; 4 p2p 7? no)
+    /// ```
+    /// Edges: 3 c2p 1, 4 c2p 1, 5 c2p 2, 6 c2p 3, 7 c2p 4, 7 c2p 5,
+    ///        4 p2p 5 (a peer edge below the clique).
+    fn teaching_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        for (asn, tier) in [
+            (1, Tier::Tier1),
+            (2, Tier::Tier1),
+            (3, Tier::Tier2),
+            (4, Tier::Tier2),
+            (5, Tier::Tier2),
+            (6, Tier::Stub),
+            (7, Tier::Stub),
+        ] {
+            g.add_node(node(asn, tier));
+        }
+        g.add_edge(Asn(1), Asn(2), Relationship::P2p);
+        g.add_edge(Asn(3), Asn(1), Relationship::C2p);
+        g.add_edge(Asn(4), Asn(1), Relationship::C2p);
+        g.add_edge(Asn(5), Asn(2), Relationship::C2p);
+        g.add_edge(Asn(6), Asn(3), Relationship::C2p);
+        g.add_edge(Asn(7), Asn(4), Relationship::C2p);
+        g.add_edge(Asn(7), Asn(5), Relationship::C2p);
+        g.add_edge(Asn(4), Asn(5), Relationship::P2p);
+        g
+    }
+
+    #[test]
+    fn origin_route_is_trivial() {
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(7));
+        let r = state.best(Asn(7)).unwrap();
+        assert_eq!(r.class, LearnedFrom::Origin);
+        assert_eq!(r.path, vec![Asn(7)]);
+        assert!(r.via.is_empty());
+    }
+
+    #[test]
+    fn providers_learn_customer_routes_uphill() {
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(7));
+        // 4 and 5 learn directly from their customer 7.
+        for p in [4u32, 5] {
+            let r = state.best(Asn(p)).unwrap();
+            assert_eq!(r.class, LearnedFrom::Customer, "AS{p}");
+            assert_eq!(r.path, vec![Asn(p), Asn(7)]);
+            assert_eq!(r.via, vec![EdgeKind::Transit]);
+        }
+        // 1 learns via its customer 4 (uphill, 2 hops).
+        let r1 = state.best(Asn(1)).unwrap();
+        assert_eq!(r1.class, LearnedFrom::Customer);
+        assert_eq!(r1.path, vec![Asn(1), Asn(4), Asn(7)]);
+    }
+
+    #[test]
+    fn peers_learn_customer_routes_one_hop() {
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(6));
+        // Origin 6 → customer route at 3 → at 1; 2 learns over the
+        // clique p2p edge, class Peer.
+        let r2 = state.best(Asn(2)).unwrap();
+        assert_eq!(r2.class, LearnedFrom::Peer);
+        assert_eq!(r2.path, vec![Asn(2), Asn(1), Asn(3), Asn(6)]);
+        assert_eq!(r2.via[0], EdgeKind::GraphPeer);
+    }
+
+    #[test]
+    fn provider_routes_descend_and_prefer_customer_first() {
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(6));
+        // 7 can reach 6 only downhill (via provider 4 → 1 → 3 → 6 or
+        // 5 → 2 → 1 → 3 → 6); 4's route to 6 is provider-learned
+        // (4 → 1 → 3 → 6), so 7 gets it downhill.
+        let r7 = state.best(Asn(7)).unwrap();
+        assert_eq!(r7.class, LearnedFrom::Provider);
+        assert_eq!(r7.path, vec![Asn(7), Asn(4), Asn(1), Asn(3), Asn(6)]);
+        // Everyone is reachable in a connected valley-free internet.
+        assert_eq!(state.reachable_count(), 7);
+    }
+
+    #[test]
+    fn peer_route_not_reexported_to_peers() {
+        // 5's route to 6: 5's provider 2 has a peer route (2-1-3-6);
+        // 2 exports it to its customer 5 (provider-learned at 5). But 4,
+        // peering with 5, must NOT receive 5's provider route. 4's own
+        // route is provider-learned via 1. Check class/via.
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(6));
+        let r4 = state.best(Asn(4)).unwrap();
+        assert_eq!(r4.class, LearnedFrom::Provider);
+        assert_eq!(r4.path, vec![Asn(4), Asn(1), Asn(3), Asn(6)]);
+        assert_ne!(r4.via[0], EdgeKind::GraphPeer, "valley through 5 forbidden");
+        // And the export predicate says 4 would only pass it downhill.
+        assert!(state.exports_to(Asn(4), Relationship::P2c));
+        assert!(!state.exports_to(Asn(4), Relationship::P2p));
+        assert!(!state.exports_to(Asn(4), Relationship::C2p));
+    }
+
+    #[test]
+    fn extra_peer_edges_create_visibility() {
+        // Without extra edges, 6's routes reach 7 only via providers.
+        // Add an IXP-style peer session 6 → 7 (6 exports to 7): 7 now
+        // learns 6's origin route directly, tagged.
+        let g = teaching_graph();
+        let prop = Propagator::with_extra_peers(
+            &g,
+            [ExtraPeerEdge { exporter: Asn(6), receiver: Asn(7), tag: 42 }],
+        );
+        let state = prop.routes_to(Asn(6));
+        let r7 = state.best(Asn(7)).unwrap();
+        assert_eq!(r7.class, LearnedFrom::Peer);
+        assert_eq!(r7.path, vec![Asn(7), Asn(6)]);
+        assert_eq!(r7.via, vec![EdgeKind::ExtraPeer(42)]);
+        assert_eq!(r7.first_extra_peer_hop(), Some((0, 42)));
+        assert_eq!(prop.extra_edge_count(), 1);
+    }
+
+    #[test]
+    fn extra_peer_edges_are_directed() {
+        // Only 6 → 7 exists; routes toward 7 must NOT use the session in
+        // reverse.
+        let g = teaching_graph();
+        let prop = Propagator::with_extra_peers(
+            &g,
+            [ExtraPeerEdge { exporter: Asn(6), receiver: Asn(7), tag: 42 }],
+        );
+        let state = prop.routes_to(Asn(7));
+        let r6 = state.best(Asn(6)).unwrap();
+        assert_eq!(r6.class, LearnedFrom::Provider, "6 must go via its provider 3");
+        assert!(r6.via.iter().all(|k| !matches!(k, EdgeKind::ExtraPeer(_))));
+    }
+
+    #[test]
+    fn customer_route_preferred_over_shorter_peer_route() {
+        // 5's route to 7: customer route (5-7, 1 hop) even though a peer
+        // route via 4 would also be 2 hops; and 2 prefers its customer
+        // route 2-5-7 over the peer route 2-1-4-7.
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(7));
+        let r2 = state.best(Asn(2)).unwrap();
+        assert_eq!(r2.class, LearnedFrom::Customer);
+        assert_eq!(r2.path, vec![Asn(2), Asn(5), Asn(7)]);
+    }
+
+    #[test]
+    fn sibling_edges_relay_routes() {
+        // Make 3 and 4 siblings; then 4 reaches 6 through the sibling
+        // link as a sibling route (exportable onward).
+        let mut g = teaching_graph();
+        g.add_edge(Asn(3), Asn(4), Relationship::Sibling);
+        let state = Propagator::new(&g).routes_to(Asn(6));
+        let r4 = state.best(Asn(4)).unwrap();
+        assert_eq!(r4.path, vec![Asn(4), Asn(3), Asn(6)]);
+        assert_eq!(r4.class, LearnedFrom::Sibling);
+        assert_eq!(r4.via[0], EdgeKind::Sibling);
+        // And 7 now hears it from 4 (customer-of-4 side).
+        let r7 = state.best(Asn(7)).unwrap();
+        assert_eq!(r7.path, vec![Asn(7), Asn(4), Asn(3), Asn(6)]);
+    }
+
+    #[test]
+    fn unknown_origin_reaches_nobody() {
+        let g = teaching_graph();
+        let state = Propagator::new(&g).routes_to(Asn(999));
+        assert_eq!(state.reachable_count(), 0);
+        assert!(state.best(Asn(1)).is_none());
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        use crate::relationship::is_valley_free;
+        let g = teaching_graph();
+        for origin in [1u32, 2, 3, 4, 5, 6, 7] {
+            let state = Propagator::new(&g).routes_to(Asn(origin));
+            for (asn, route) in state.iter() {
+                // Reconstruct the relationship sequence along the path
+                // (observer → origin) and check valley-freedom.
+                let rels: Vec<Relationship> = route
+                    .path
+                    .windows(2)
+                    .map(|w| g.relationship(w[0], w[1]).expect("edge exists"))
+                    .collect();
+                assert!(
+                    is_valley_free(&rels),
+                    "valley in path {:?} (origin {origin}, at {asn})",
+                    route.path
+                );
+            }
+        }
+    }
+}

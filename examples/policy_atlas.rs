@@ -1,0 +1,55 @@
+//! The §5.2–§5.5 policy analyses in one pass: participation by policy,
+//! export-filter bimodality, peering density, and the repeller atlas.
+//!
+//! ```text
+//! cargo run --release --example policy_atlas
+//! ```
+
+use mlpeer::analysis;
+use mlpeer_bench::run_pipeline;
+use mlpeer_ixp::{Ecosystem, EcosystemConfig, PeeringPolicy};
+
+fn main() {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny(777));
+    let p = run_pipeline(&eco, 777);
+
+    let pol = analysis::policy_participation(&eco, &p.pdb);
+    println!("policy coverage: {}/{} members report a policy", pol.with_policy, pol.total_members);
+    for (policy, (n, with_rs)) in &pol.rs_usage {
+        println!(
+            "  {policy:<12} {with_rs}/{n} connect to ≥1 route server ({:.0} %)",
+            100.0 * *with_rs as f64 / (*n).max(1) as f64
+        );
+    }
+
+    let filt = analysis::filter_patterns(&p.links, &p.conn, &p.pdb);
+    println!("\nexport-filter openness by self-reported policy (Fig. 11):");
+    for policy in [PeeringPolicy::Open, PeeringPolicy::Selective, PeeringPolicy::Restrictive] {
+        println!("  {policy:<12} mean allowed fraction {:.2}", filt.mean(policy));
+    }
+    println!("  bimodal pattern: {:.0} % of members allow >90 % or <10 %", filt.bimodal_frac() * 100.0);
+
+    let den = analysis::density(&eco, &p.links);
+    println!("\nRS peering density per IXP (Fig. 12):");
+    for (ixp, _) in &den.per_ixp {
+        println!("  {:<10} {:.2}", eco.ixp(*ixp).name, den.mean(*ixp));
+    }
+
+    let rep = analysis::repellers(&eco, &p.links, &p.pdb);
+    println!("\nrepellers (§5.5):");
+    println!("  {} EXCLUDE applications repel {} distinct ASes", rep.exclude_applications, rep.distinct_repelled);
+    println!(
+        "  {:.0} % of EXCLUDEs target the blocker's customer cone; {:.0} % a direct customer",
+        100.0 * rep.in_customer_cone as f64 / rep.exclude_applications.max(1) as f64,
+        100.0 * rep.provider_blocks_customer as f64 / rep.exclude_applications.max(1) as f64
+    );
+    if let Some((asn, blocks, blockers)) = rep.top_repelled {
+        println!(
+            "  most repelled: AS{} ({}), blocked {}× by {} ASes — each prefers its direct private peering",
+            asn.value(),
+            if asn == eco.google_like { "the Google-like giant" } else { "" },
+            blocks,
+            blockers
+        );
+    }
+}

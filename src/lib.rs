@@ -1,0 +1,1 @@
+//! Reproduction harness root: examples and integration tests live here.
