@@ -25,7 +25,10 @@ fn bench_wire(c: &mut Criterion) {
     .with_communities("0:6695 6695:8359 6695:8447 3356:2001".parse().unwrap());
     let msg = BgpMessage::Update(UpdateMessage::announce(
         attrs,
-        vec!["193.34.0.0/22".parse().unwrap(), "193.34.4.0/24".parse().unwrap()],
+        vec![
+            "193.34.0.0/22".parse().unwrap(),
+            "193.34.4.0/24".parse().unwrap(),
+        ],
     ));
     let encoded = wire::encode_to_bytes(&msg);
     c.bench_function("wire/encode_update", |b| {
@@ -92,12 +95,20 @@ fn bench_query_planner(c: &mut Criterion) {
         .unwrap();
     c.bench_function("active/query_rs_lg_decix_tiny", |b| {
         b.iter_batched(
-            || std::collections::BTreeSet::<Asn>::new(),
+            std::collections::BTreeSet::<Asn>::new,
             |skip| {
+                let mut sink = mlpeer::CountingSink::default();
                 std::hint::black_box(
-                    query_rs_lg(&sim, lg, decix.id, &dict, &skip, &ActiveConfig::default())
-                        .1
-                        .cost(),
+                    query_rs_lg(
+                        &sim,
+                        lg,
+                        decix.id,
+                        &dict,
+                        &skip,
+                        &ActiveConfig::default(),
+                        &mut sink,
+                    )
+                    .cost(),
                 )
             },
             BatchSize::SmallInput,

@@ -1,0 +1,113 @@
+//! Serial vs sharded passive harvest at `Scale::Small`, recorded to
+//! `BENCH_passive.json` (repo root when run via `cargo bench`, else the
+//! working directory).
+//!
+//! The sharded path fans collectors out across threads
+//! (`harvest_passive_sharded`); its speedup over the serial fold scales
+//! with physical cores, so the JSON records the thread count the run
+//! observed alongside the timings. Equality of the two paths' results
+//! is asserted here too — a benchmark that silently diverged from the
+//! serial semantics would be measuring the wrong thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlpeer::connectivity::gather_connectivity;
+use mlpeer::dict::dictionary_from_connectivity;
+use mlpeer::infer::LinkInferencer;
+use mlpeer::passive::{harvest_passive, harvest_passive_sharded, PassiveConfig};
+use mlpeer_bench::Scale;
+use mlpeer_bgp::Asn;
+use mlpeer_data::collector::{build_passive, CollectorConfig};
+use mlpeer_data::irr::{build_irr, IrrConfig};
+use mlpeer_data::lg::build_lg_roster;
+use mlpeer_data::Sim;
+use mlpeer_ixp::Ecosystem;
+use mlpeer_topo::infer::{infer_relationships, InferConfig};
+
+fn bench_passive_sharding(c: &mut Criterion) {
+    let seed = 20130501u64;
+    let eco = Ecosystem::generate(Scale::Small.config(seed));
+    let sim = Sim::new(&eco);
+    let irr = build_irr(&eco, &IrrConfig::default());
+    let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
+    let conn = gather_connectivity(&sim, &lgs, &irr);
+    let dict = dictionary_from_connectivity(&eco, &conn);
+    let passive = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
+    let public_paths: Vec<Vec<Asn>> = passive
+        .collectors
+        .iter()
+        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
+        .collect();
+    let rels = infer_relationships(&public_paths, &InferConfig::default());
+    let cfg = PassiveConfig::default();
+
+    // The benchmark must compare identical work.
+    let mut serial = LinkInferencer::default();
+    let serial_stats = harvest_passive(&passive, &dict, &conn, &rels, &cfg, &mut serial);
+    let (sharded, sharded_stats) =
+        harvest_passive_sharded::<LinkInferencer>(&passive, &dict, &conn, &rels, &cfg);
+    assert_eq!(
+        serial_stats, sharded_stats,
+        "sharded stats must merge to serial"
+    );
+    assert_eq!(
+        serial.finalize(&conn),
+        sharded.finalize(&conn),
+        "sharded inference state must match serial"
+    );
+
+    let mut group = c.benchmark_group("passive_small");
+    group.sample_size(10);
+    group.bench_function("harvest_serial", |b| {
+        b.iter(|| {
+            let mut sink = LinkInferencer::default();
+            harvest_passive(&passive, &dict, &conn, &rels, &cfg, &mut sink);
+            std::hint::black_box(sink.observation_count())
+        })
+    });
+    group.finish();
+    let serial_ns = take_estimate(c);
+
+    let mut group = c.benchmark_group("passive_small");
+    group.sample_size(10);
+    group.bench_function("harvest_sharded", |b| {
+        b.iter(|| {
+            let (sink, _) =
+                harvest_passive_sharded::<LinkInferencer>(&passive, &dict, &conn, &rels, &cfg);
+            std::hint::black_box(sink.observation_count())
+        })
+    });
+    group.finish();
+    let sharded_ns = take_estimate(c);
+
+    let threads = rayon::current_num_threads();
+    let speedup = serial_ns / sharded_ns;
+    let report = serde_json::json!({
+        "bench": "harvest_passive serial vs sharded",
+        "scale": "small",
+        "seed": seed,
+        "collectors": passive.collectors.len(),
+        "routes_seen": serial_stats.routes_seen,
+        "observations": serial_stats.observations,
+        "threads": threads,
+        "serial_ms": serial_ns / 1e6,
+        "sharded_ms": sharded_ns / 1e6,
+        "speedup": speedup,
+    });
+    // Anchor to the workspace root regardless of the bench's CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_passive.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_passive.json");
+    println!(
+        "serial {:.1} ms, sharded {:.1} ms on {threads} thread(s): {speedup:.2}x → wrote {path}",
+        serial_ns / 1e6,
+        sharded_ns / 1e6,
+    );
+}
+
+fn take_estimate(c: &Criterion) -> f64 {
+    c.last_estimate_ns().expect("bench just ran")
+}
+
+criterion_group!(benches, bench_passive_sharding);
+criterion_main!(benches);

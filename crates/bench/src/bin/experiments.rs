@@ -20,7 +20,10 @@ use mlpeer_ixp::{Ecosystem, PeeringPolicy};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale = args.get(1).and_then(|s| Scale::parse(s)).unwrap_or(Scale::Small);
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20130501);
     let _ = fs::create_dir_all("results");
     let mut json = serde_json::Map::new();
@@ -44,15 +47,15 @@ fn main() {
             name.to_string(),
             s.rs_asn.to_string(),
             s.encode(RsAction::All).unwrap().to_string(),
-            s.encode(RsAction::Exclude(peer)).unwrap().to_string().replace(
-                &peer.to_string(),
-                "peer",
-            ),
+            s.encode(RsAction::Exclude(peer))
+                .unwrap()
+                .to_string()
+                .replace(&peer.to_string(), "peer"),
             s.encode(RsAction::None).unwrap().to_string(),
-            s.encode(RsAction::Include(peer)).unwrap().to_string().replace(
-                &peer.to_string(),
-                "peer",
-            ),
+            s.encode(RsAction::Include(peer))
+                .unwrap()
+                .to_string()
+                .replace(&peer.to_string(), "peer"),
         ]);
     }
     println!("{}", t.render());
@@ -89,16 +92,23 @@ fn main() {
     println!("{}", t.render());
     let unique = p.links.unique_links();
     let overlap = p.links.per_ixp_total() - unique.len();
-    println!("total unique links: {}   distinct ASNs: {}", unique.len(), p.links.distinct_asns().len());
+    println!(
+        "total unique links: {}   distinct ASNs: {}",
+        unique.len(),
+        p.links.distinct_asns().len()
+    );
     println!("multi-IXP overlap:  {}", overlap);
     let ams = eco.ixp_by_name("AMS-IX").unwrap().id;
     let dec = eco.ixp_by_name("DE-CIX").unwrap().id;
     println!("AMS-IX ∩ DE-CIX:    {}\n", p.links.common_links(ams, dec));
-    json.insert("table2".into(), serde_json::json!({
-        "rows": table2_rows, "unique": unique.len(),
-        "asns": p.links.distinct_asns().len(), "overlap": overlap,
-        "ams_de_common": p.links.common_links(ams, dec),
-    }));
+    json.insert(
+        "table2".into(),
+        serde_json::json!({
+            "rows": table2_rows, "unique": unique.len(),
+            "asns": p.links.distinct_asns().len(), "overlap": overlap,
+            "ams_de_common": p.links.common_links(ams, dec),
+        }),
+    );
 
     // ---------------- Fig. 5 ----------------
     println!("== Fig. 5: CCDF of members advertising a prefix (DE-CIX; paper: 48.4 % > 1) ==");
@@ -118,7 +128,13 @@ fn main() {
 
     // ---------------- §4.3 cost ----------------
     println!("== §4.3: query cost (paper: ≈8,400 max; 18× fewer than naive; <17 h) ==");
-    let mut t = Table::new(["IXP", "cost c", "naive (no mult-sort)", "full (all prefixes)", "hours@10s"]);
+    let mut t = Table::new([
+        "IXP",
+        "cost c",
+        "naive (no mult-sort)",
+        "full (all prefixes)",
+        "hours@10s",
+    ]);
     let mut max_cost = 0usize;
     for (ixp, stats) in &p.active_stats {
         let name = &eco.ixp(*ixp).name;
@@ -135,8 +151,10 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("max per-IXP cost: {max_cost} queries → {:.1} h at 1 q/10 s (IXPs run in parallel)\n",
-        max_cost as f64 * 10.0 / 3600.0);
+    println!(
+        "max per-IXP cost: {max_cost} queries → {:.1} h at 1 q/10 s (IXPs run in parallel)\n",
+        max_cost as f64 * 10.0 / 3600.0
+    );
     json.insert("cost_max".into(), max_cost.into());
 
     // ---------------- §4.4 reciprocity ----------------
@@ -146,41 +164,78 @@ fn main() {
     let rec = mlpeer::reciprocity::study_reciprocity(&p.irr, &members);
     println!("members with IRR filters: {}", rec.members_with_filters);
     println!("violations:               {}", rec.violations.len());
-    println!("import more permissive:   {} ({:.0} %)\n",
-        rec.import_more_permissive, rec.more_permissive_frac() * 100.0);
-    json.insert("reciprocity".into(), serde_json::json!({
-        "members": rec.members_with_filters, "violations": rec.violations.len(),
-        "more_permissive_frac": rec.more_permissive_frac(),
-    }));
+    println!(
+        "import more permissive:   {} ({:.0} %)\n",
+        rec.import_more_permissive,
+        rec.more_permissive_frac() * 100.0
+    );
+    json.insert(
+        "reciprocity".into(),
+        serde_json::json!({
+            "members": rec.members_with_filters, "violations": rec.violations.len(),
+            "more_permissive_frac": rec.more_permissive_frac(),
+        }),
+    );
 
     // ---------------- Fig. 6 ----------------
     println!("== Fig. 6: visibility (paper: 11.9 % overlap w/ BGP; 88 % invisible; tiny traceroute overlap) ==");
     let vis = analysis::visibility(&eco, &p.links, &p.passive, &p.traceroute, &p.rels);
     println!("MLP links:                {}", vis.mlp_links.len());
     println!("public BGP p2p links:     {}", vis.public_p2p.len());
-    println!("MLP ∩ public p2p:         {} ({:.1} %)", vis.overlap_public,
-        100.0 * vis.overlap_public as f64 / vis.mlp_links.len().max(1) as f64);
+    println!(
+        "MLP ∩ public p2p:         {} ({:.1} %)",
+        vis.overlap_public,
+        100.0 * vis.overlap_public as f64 / vis.mlp_links.len().max(1) as f64
+    );
     println!("invisible fraction:       {:.3}", vis.invisible_frac());
-    println!("peering gain over public: {:.0} %", vis.peering_gain() * 100.0);
+    println!(
+        "peering gain over public: {:.0} %",
+        vis.peering_gain() * 100.0
+    );
     println!("MLP ∩ traceroute:         {}", vis.overlap_traceroute);
-    println!("rank  member  MLP  passive  active (first 10 of {}):", vis.per_member.len());
+    println!(
+        "rank  member  MLP  passive  active (first 10 of {}):",
+        vis.per_member.len()
+    );
     for (i, (m, mlp, pasv, act)) in vis.per_member.iter().take(10).enumerate() {
-        println!("  {:>3}  AS{:<7} {:>4} {:>5} {:>5}", i + 1, m.value(), mlp, pasv, act);
+        println!(
+            "  {:>3}  AS{:<7} {:>4} {:>5} {:>5}",
+            i + 1,
+            m.value(),
+            mlp,
+            pasv,
+            act
+        );
     }
     println!();
-    json.insert("fig6".into(), serde_json::json!({
-        "mlp": vis.mlp_links.len(), "public_p2p": vis.public_p2p.len(),
-        "overlap_public": vis.overlap_public, "invisible_frac": vis.invisible_frac(),
-        "overlap_traceroute": vis.overlap_traceroute,
-    }));
+    json.insert(
+        "fig6".into(),
+        serde_json::json!({
+            "mlp": vis.mlp_links.len(), "public_p2p": vis.public_p2p.len(),
+            "overlap_public": vis.overlap_public, "invisible_frac": vis.invisible_frac(),
+            "overlap_traceroute": vis.overlap_traceroute,
+        }),
+    );
 
     // ---------------- Fig. 7 ----------------
     println!("== Fig. 7: endpoint degrees (paper: 12.4 % stub–stub, 55.6 % ≥1 stub, 58.1 % ≤10 cust, 1.4 % visible) ==");
     let deg = analysis::degrees(&eco, &p.links, &vis.public_links);
-    println!("stub–stub links:            {:.1} %", deg.stub_stub_frac * 100.0);
-    println!("links involving a stub:     {:.1} %", deg.involves_stub_frac * 100.0);
-    println!("links w/ ≤10-customer AS:   {:.1} %", deg.leq10_frac * 100.0);
-    println!("stub–stub publicly visible: {:.1} %", deg.stub_stub_public_frac * 100.0);
+    println!(
+        "stub–stub links:            {:.1} %",
+        deg.stub_stub_frac * 100.0
+    );
+    println!(
+        "links involving a stub:     {:.1} %",
+        deg.involves_stub_frac * 100.0
+    );
+    println!(
+        "links w/ ≤10-customer AS:   {:.1} %",
+        deg.leq10_frac * 100.0
+    );
+    println!(
+        "stub–stub publicly visible: {:.1} %",
+        deg.stub_stub_public_frac * 100.0
+    );
     let small_degs: Vec<f64> = deg.pairs.iter().map(|(lo, _)| *lo as f64).collect();
     let pts = cdf(&small_degs);
     for q in [0.25, 0.5, 0.75, 0.9] {
@@ -188,10 +243,13 @@ fn main() {
         println!("  CDF smallest-degree q{:.0}: {}", q * 100.0, pts[idx].0);
     }
     println!();
-    json.insert("fig7".into(), serde_json::json!({
-        "stub_stub": deg.stub_stub_frac, "involves_stub": deg.involves_stub_frac,
-        "leq10": deg.leq10_frac, "stub_stub_public": deg.stub_stub_public_frac,
-    }));
+    json.insert(
+        "fig7".into(),
+        serde_json::json!({
+            "stub_stub": deg.stub_stub_frac, "involves_stub": deg.involves_stub_frac,
+            "leq10": deg.leq10_frac, "stub_stub_public": deg.stub_stub_public_frac,
+        }),
+    );
 
     // ---------------- Table 3 + Fig. 8 ----------------
     println!("== Table 3 / Fig. 8: validation (paper: 96.9–100 % per IXP, 98.4 % overall) ==");
@@ -200,7 +258,13 @@ fn main() {
         .iter()
         .filter(|l| matches!(l.target, LgTarget::Member(_)))
         .cloned_hosts();
-    let val = validate_links(&p.sim, &p.links, &member_lgs, &p.geo, &ValidationConfig::default());
+    let val = validate_links(
+        &p.sim,
+        &p.links,
+        &member_lgs,
+        &p.geo,
+        &ValidationConfig::default(),
+    );
     let mut t = Table::new(["IXP", "Tested", "Tested %", "Confirmed", "Confirmed %"]);
     for (ixp, (tested, confirmed)) in &val.per_ixp {
         let total = p.links.links_at(*ixp).len().max(1);
@@ -213,8 +277,12 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("links tested: {}  confirmed: {}  rate: {:.1} %", val.links_tested,
-        val.links_confirmed, val.confirm_rate() * 100.0);
+    println!(
+        "links tested: {}  confirmed: {}  rate: {:.1} %",
+        val.links_tested,
+        val.links_confirmed,
+        val.confirm_rate() * 100.0
+    );
     let mut by_display: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for lg in &val.per_lg {
         let key = match lg.display {
@@ -225,50 +293,83 @@ fn main() {
     }
     for (k, v) in &by_display {
         let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
-        println!("  {k} LGs: {} hosts, mean confirmed fraction {mean:.3}", v.len());
+        println!(
+            "  {k} LGs: {} hosts, mean confirmed fraction {mean:.3}",
+            v.len()
+        );
     }
     println!();
-    json.insert("table3".into(), serde_json::json!({
-        "tested": val.links_tested, "confirmed": val.links_confirmed,
-        "rate": val.confirm_rate(),
-    }));
+    json.insert(
+        "table3".into(),
+        serde_json::json!({
+            "tested": val.links_tested, "confirmed": val.links_confirmed,
+            "rate": val.confirm_rate(),
+        }),
+    );
 
     // ---------------- Fig. 9 / Fig. 10 ----------------
     println!("== Fig. 9/10: policy vs participation (paper: 92/75/43 % use RS; 55.8 % single-IXP+RS; 13.4 % no RS) ==");
     let pol = analysis::policy_participation(&eco, &p.pdb);
-    println!("members with reported policy: {} of {}", pol.with_policy, pol.total_members);
-    println!("mix: open {} selective {} restrictive {}", pol.mix.0, pol.mix.1, pol.mix.2);
+    println!(
+        "members with reported policy: {} of {}",
+        pol.with_policy, pol.total_members
+    );
+    println!(
+        "mix: open {} selective {} restrictive {}",
+        pol.mix.0, pol.mix.1, pol.mix.2
+    );
     for (policy, (n, with_rs)) in &pol.rs_usage {
-        println!("  {policy}: {with_rs}/{n} use ≥1 RS ({:.0} %)", 100.0 * *with_rs as f64 / (*n).max(1) as f64);
+        println!(
+            "  {policy}: {with_rs}/{n} use ≥1 RS ({:.0} %)",
+            100.0 * *with_rs as f64 / (*n).max(1) as f64
+        );
     }
-    println!("single-IXP-with-RS: {:.1} %   never-RS: {:.1} %\n",
-        pol.single_ixp_with_rs_frac() * 100.0, pol.no_rs_frac() * 100.0);
-    json.insert("fig9_10".into(), serde_json::json!({
-        "mix": [pol.mix.0, pol.mix.1, pol.mix.2],
-        "single_ixp_rs": pol.single_ixp_with_rs_frac(), "no_rs": pol.no_rs_frac(),
-    }));
+    println!(
+        "single-IXP-with-RS: {:.1} %   never-RS: {:.1} %\n",
+        pol.single_ixp_with_rs_frac() * 100.0,
+        pol.no_rs_frac() * 100.0
+    );
+    json.insert(
+        "fig9_10".into(),
+        serde_json::json!({
+            "mix": [pol.mix.0, pol.mix.1, pol.mix.2],
+            "single_ixp_rs": pol.single_ixp_with_rs_frac(), "no_rs": pol.no_rs_frac(),
+        }),
+    );
 
     // ---------------- Fig. 11 ----------------
     println!("== Fig. 11: allowed fraction by policy (paper means: 96.7 / 80.4 / 69.2 %) ==");
     let filt = analysis::filter_patterns(&p.links, &p.conn, &p.pdb);
-    for policy in [PeeringPolicy::Open, PeeringPolicy::Selective, PeeringPolicy::Restrictive] {
-        println!("  {policy}: mean {:.1} % over {} member-IXP pairs",
+    for policy in [
+        PeeringPolicy::Open,
+        PeeringPolicy::Selective,
+        PeeringPolicy::Restrictive,
+    ] {
+        println!(
+            "  {policy}: mean {:.1} % over {} member-IXP pairs",
             filt.mean(policy) * 100.0,
-            filt.fractions.get(&policy).map(Vec::len).unwrap_or(0));
+            filt.fractions.get(&policy).map(Vec::len).unwrap_or(0)
+        );
     }
-    println!("bimodal (outside 10–90 %): {:.1} %\n", filt.bimodal_frac() * 100.0);
-    json.insert("fig11".into(), serde_json::json!({
-        "open": filt.mean(PeeringPolicy::Open),
-        "selective": filt.mean(PeeringPolicy::Selective),
-        "restrictive": filt.mean(PeeringPolicy::Restrictive),
-        "bimodal": filt.bimodal_frac(),
-    }));
+    println!(
+        "bimodal (outside 10–90 %): {:.1} %\n",
+        filt.bimodal_frac() * 100.0
+    );
+    json.insert(
+        "fig11".into(),
+        serde_json::json!({
+            "open": filt.mean(PeeringPolicy::Open),
+            "selective": filt.mean(PeeringPolicy::Selective),
+            "restrictive": filt.mean(PeeringPolicy::Restrictive),
+            "bimodal": filt.bimodal_frac(),
+        }),
+    );
 
     // ---------------- Fig. 12 ----------------
     println!("== Fig. 12: peering density per IXP (paper means: 0.79–0.95) ==");
     let den = analysis::density(&eco, &p.links);
     let mut fig12 = serde_json::Map::new();
-    for (ixp, _) in &den.per_ixp {
+    for ixp in den.per_ixp.keys() {
         let name = &eco.ixp(*ixp).name;
         println!("  {name}: mean density {:.2}", den.mean(*ixp));
         fig12.insert(name.clone(), den.mean(*ixp).into());
@@ -281,13 +382,27 @@ fn main() {
     let rep = analysis::repellers(&eco, &p.links, &p.pdb);
     println!("EXCLUDE applications:       {}", rep.exclude_applications);
     println!("distinct repelled ASes:     {}", rep.distinct_repelled);
-    println!("provider blocks customer:   {:.1} %",
-        100.0 * rep.provider_blocks_customer as f64 / rep.exclude_applications.max(1) as f64);
-    println!("target in blocker's cone:   {:.1} %",
-        100.0 * rep.in_customer_cone as f64 / rep.exclude_applications.max(1) as f64);
+    println!(
+        "provider blocks customer:   {:.1} %",
+        100.0 * rep.provider_blocks_customer as f64 / rep.exclude_applications.max(1) as f64
+    );
+    println!(
+        "target in blocker's cone:   {:.1} %",
+        100.0 * rep.in_customer_cone as f64 / rep.exclude_applications.max(1) as f64
+    );
     if let Some((asn, blocks, blockers)) = rep.top_repelled {
-        let tag = if asn == eco.google_like { " (the Google-like content giant)" } else { "" };
-        println!("top repelled: AS{} blocked {}× by {} ASes{}", asn.value(), blocks, blockers, tag);
+        let tag = if asn == eco.google_like {
+            " (the Google-like content giant)"
+        } else {
+            ""
+        };
+        println!(
+            "top repelled: AS{} blocked {}× by {} ASes{}",
+            asn.value(),
+            blocks,
+            blockers,
+            tag
+        );
     }
     println!();
     json.insert("fig13".into(), serde_json::json!({
@@ -301,23 +416,41 @@ fn main() {
     let hyb = analysis::hybrid(&p.sim, &p.links, &vis.public_links, &p.rels);
     println!("p2c-classified MLP links: {}", hyb.p2c_candidates.len());
     println!("verified via tag communities: {}", hyb.verified.len());
-    println!("ground-truth hybrid pairs in ecosystem: {}\n", eco.hybrid_pairs.len());
-    json.insert("hybrid".into(), serde_json::json!({
-        "candidates": hyb.p2c_candidates.len(), "verified": hyb.verified.len(),
-        "ground_truth": eco.hybrid_pairs.len(),
-    }));
+    println!(
+        "ground-truth hybrid pairs in ecosystem: {}\n",
+        eco.hybrid_pairs.len()
+    );
+    json.insert(
+        "hybrid".into(),
+        serde_json::json!({
+            "candidates": hyb.p2c_candidates.len(), "verified": hyb.verified.len(),
+            "ground_truth": eco.hybrid_pairs.len(),
+        }),
+    );
 
     // ---------------- §5.7 estimate ----------------
     println!("== §5.7: global estimate (paper: EU 558,291 / 399,732 unique; global 686,104 / 510,870; conservative 596,011 / 422,423) ==");
     let est = analysis::estimate(&analysis::global_ixp_table(), 0.28);
-    println!("Europe total:        {:>9.0}   unique: {:>9.0}", est.europe_total, est.europe_unique);
-    println!("Global total:        {:>9.0}   unique: {:>9.0}", est.global_total, est.global_unique);
-    println!("Conservative total:  {:>9.0}   unique: {:>9.0}\n", est.conservative_total, est.conservative_unique);
-    json.insert("estimate".into(), serde_json::json!({
-        "eu_total": est.europe_total, "eu_unique": est.europe_unique,
-        "global_total": est.global_total, "global_unique": est.global_unique,
-        "conservative_total": est.conservative_total,
-    }));
+    println!(
+        "Europe total:        {:>9.0}   unique: {:>9.0}",
+        est.europe_total, est.europe_unique
+    );
+    println!(
+        "Global total:        {:>9.0}   unique: {:>9.0}",
+        est.global_total, est.global_unique
+    );
+    println!(
+        "Conservative total:  {:>9.0}   unique: {:>9.0}\n",
+        est.conservative_total, est.conservative_unique
+    );
+    json.insert(
+        "estimate".into(),
+        serde_json::json!({
+            "eu_total": est.europe_total, "eu_unique": est.europe_unique,
+            "global_total": est.global_total, "global_unique": est.global_unique,
+            "conservative_total": est.conservative_total,
+        }),
+    );
 
     let out = serde_json::Value::Object(json);
     let path = format!("results/experiments-{scale:?}-{seed}.json").to_lowercase();
@@ -333,9 +466,7 @@ trait ClonedHosts {
 
 impl<'a, I: Iterator<Item = &'a mlpeer_data::lg::LookingGlassHost>> ClonedHosts for I {
     fn cloned_hosts(self) -> Vec<mlpeer_data::lg::LookingGlassHost> {
-        self.map(|l| {
-            mlpeer_data::lg::LookingGlassHost::new(l.name.clone(), l.target, l.display)
-        })
-        .collect()
+        self.map(|l| mlpeer_data::lg::LookingGlassHost::new(l.name.clone(), l.target, l.display))
+            .collect()
     }
 }

@@ -1,19 +1,19 @@
 //! # `mlpeer-bench` — experiment harness
 //!
 //! Wires the full reproduction pipeline together: generate the
-//! calibrated ecosystem, build every data-source substrate, run passive
-//! + active inference, and hand the results to the per-figure analyses.
-//! The `experiments` binary renders every table and figure of the
-//! paper; `benches/benches.rs` holds the Criterion micro/macro
-//! benchmarks.
+//! calibrated ecosystem, build every data-source substrate, run the
+//! passive and active inference stages, and hand the results to the
+//! per-figure analyses. The `experiments` binary renders every table
+//! and figure of the paper; `benches/benches.rs` holds the Criterion
+//! micro/macro benchmarks.
 
 use std::collections::BTreeSet;
 
 use mlpeer::active::{query_member_lgs, query_rs_lg, ActiveConfig, ActiveStats};
 use mlpeer::connectivity::{gather_connectivity, ConnectivityData};
 use mlpeer::dict::{dictionary_from_connectivity, CommunityDictionary};
-use mlpeer::infer::{infer_links, MlpLinkSet, Observation, ObservationSource};
-use mlpeer::passive::{harvest_passive, PassiveConfig, PassiveStats};
+use mlpeer::infer::{LinkInferencer, MlpLinkSet, Observation, ObservationSource};
+use mlpeer::passive::{harvest_passive_sharded, PassiveConfig, PassiveStats};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_data::collector::{build_passive, CollectorConfig, PassiveDataset};
 use mlpeer_data::geo::GeoDb;
@@ -93,12 +93,21 @@ pub struct Pipeline<'e> {
 /// Run the complete inference pipeline over an ecosystem.
 pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
     let sim = Sim::new(eco);
-    let irr = build_irr(eco, &IrrConfig { seed: seed ^ 0x11, ..IrrConfig::default() });
+    let irr = build_irr(
+        eco,
+        &IrrConfig {
+            seed: seed ^ 0x11,
+            ..IrrConfig::default()
+        },
+    );
     let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
     let conn = gather_connectivity(&sim, &lgs, &irr);
     let dict = dictionary_from_connectivity(eco, &conn);
 
-    // Passive first (it reduces active cost, Eq. 2).
+    // Passive first (it reduces active cost, Eq. 2). One shard per
+    // collector; observations stream into a tee of the retained list
+    // (the per-figure analyses read it) and the incremental link
+    // inferencer, so link state never waits for a materialized batch.
     let passive = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
     let public_paths: Vec<Vec<Asn>> = passive
         .collectors
@@ -106,24 +115,41 @@ pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
         .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
         .collect();
     let rels = infer_relationships(&public_paths, &InferConfig::default());
-    let (mut observations, passive_stats) =
-        harvest_passive(&passive, &dict, &conn, &rels, &PassiveConfig::default());
+    let (mut sink, passive_stats) = harvest_passive_sharded::<(Vec<Observation>, LinkInferencer)>(
+        &passive,
+        &dict,
+        &conn,
+        &rels,
+        &PassiveConfig::default(),
+    );
 
-    // Active per IXP.
+    // Active per IXP, streaming into the same tee. The Eq. 2 skip sets
+    // (passively-covered members per IXP) come from one pass over the
+    // harvest, not one scan per IXP.
+    let mut passive_covered: mlpeer::hash::FxHashMap<IxpId, BTreeSet<Asn>> = Default::default();
+    for o in sink
+        .0
+        .iter()
+        .filter(|o| o.source == ObservationSource::Passive)
+    {
+        passive_covered.entry(o.ixp).or_default().insert(o.member);
+    }
     let mut active_stats = Vec::new();
     for ixp in &eco.ixps {
-        let covered: BTreeSet<Asn> = observations
-            .iter()
-            .filter(|o| o.ixp == ixp.id && o.source == ObservationSource::Passive)
-            .map(|o| o.member)
-            .collect();
+        let covered: BTreeSet<Asn> = passive_covered.get(&ixp.id).cloned().unwrap_or_default();
         let rs_lg = lgs
             .iter()
             .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == ixp.id));
         if let Some(lg) = rs_lg {
-            let (obs, stats) =
-                query_rs_lg(&sim, lg, ixp.id, &dict, &covered, &ActiveConfig::default());
-            observations.extend(obs);
+            let stats = query_rs_lg(
+                &sim,
+                lg,
+                ixp.id,
+                &dict,
+                &covered,
+                &ActiveConfig::default(),
+                &mut sink,
+            );
             active_stats.push((ixp.id, stats));
         } else {
             // Third-party member LGs (§4.1 fallback). Candidates: route
@@ -152,16 +178,30 @@ pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
                 .collect();
             candidates.sort_unstable();
             candidates.dedup();
-            let (obs, stats) =
-                query_member_lgs(&sim, &hosts, ixp.id, &dict, &rels, &candidates, 400);
-            observations.extend(obs);
+            let stats = query_member_lgs(
+                &sim,
+                &hosts,
+                ixp.id,
+                &dict,
+                &rels,
+                &candidates,
+                400,
+                &mut sink,
+            );
             active_stats.push((ixp.id, stats));
         }
     }
 
-    let links = infer_links(&conn, &observations);
+    let (observations, inferencer) = sink;
+    let links = inferencer.finalize(&conn);
     let traceroute = build_traceroute(&sim, seed ^ 0x44, 60);
-    let pdb = PeeringDb::build(eco, &PeeringDbConfig { seed: seed ^ 0x55, ..Default::default() });
+    let pdb = PeeringDb::build(
+        eco,
+        &PeeringDbConfig {
+            seed: seed ^ 0x55,
+            ..Default::default()
+        },
+    );
     let geo = GeoDb::build(eco);
 
     Pipeline {

@@ -131,16 +131,25 @@ impl FromStr for Asn {
     /// Parse `asplain` ("65000") or `asdot` ("1.10") notation.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let s = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        let s = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
         if let Some((hi, lo)) = s.split_once('.') {
-            let hi: u32 = hi.parse().map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
-            let lo: u32 = lo.parse().map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
+            let hi: u32 = hi
+                .parse()
+                .map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
+            let lo: u32 = lo
+                .parse()
+                .map_err(|_| BgpError::InvalidAsn(s.to_string()))?;
             if hi > u16::MAX as u32 || lo > u16::MAX as u32 {
                 return Err(BgpError::InvalidAsn(s.to_string()));
             }
             Ok(Asn((hi << 16) | lo))
         } else {
-            s.parse::<u32>().map(Asn).map_err(|_| BgpError::InvalidAsn(s.to_string()))
+            s.parse::<u32>()
+                .map(Asn)
+                .map_err(|_| BgpError::InvalidAsn(s.to_string()))
         }
     }
 }
@@ -210,6 +219,9 @@ mod tests {
     fn ordering_and_hash() {
         use std::collections::BTreeSet;
         let set: BTreeSet<Asn> = [Asn(5), Asn(1), Asn(5), Asn(9)].into_iter().collect();
-        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![Asn(1), Asn(5), Asn(9)]);
+        assert_eq!(
+            set.into_iter().collect::<Vec<_>>(),
+            vec![Asn(1), Asn(5), Asn(9)]
+        );
     }
 }

@@ -53,7 +53,9 @@ pub struct AsPath {
 impl AsPath {
     /// Empty path (as announced by the origin itself over iBGP).
     pub const fn empty() -> Self {
-        AsPath { segments: Vec::new() }
+        AsPath {
+            segments: Vec::new(),
+        }
     }
 
     /// Build a plain sequence path from a slice of ASNs, leftmost =
@@ -63,7 +65,9 @@ impl AsPath {
         if v.is_empty() {
             AsPath::empty()
         } else {
-            AsPath { segments: vec![Segment::Sequence(v)] }
+            AsPath {
+                segments: vec![Segment::Sequence(v)],
+            }
         }
     }
 
@@ -260,12 +264,17 @@ impl FromStr for AsPath {
         let mut seq: Vec<Asn> = Vec::new();
         for tok in s.split_whitespace() {
             if let Some(inner) = tok.strip_prefix('{') {
-                let inner = inner.strip_suffix('}').ok_or_else(|| BgpError::InvalidAsn(tok.into()))?;
+                let inner = inner
+                    .strip_suffix('}')
+                    .ok_or_else(|| BgpError::InvalidAsn(tok.into()))?;
                 if !seq.is_empty() {
                     segments.push(Segment::Sequence(std::mem::take(&mut seq)));
                 }
-                let set: Result<Vec<Asn>, _> =
-                    inner.split(',').filter(|t| !t.is_empty()).map(str::parse).collect();
+                let set: Result<Vec<Asn>, _> = inner
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(str::parse)
+                    .collect();
                 segments.push(Segment::Set(set?));
             } else {
                 seq.push(tok.parse()?);
@@ -288,7 +297,13 @@ mod tests {
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["", "6695", "3356 1299 6695", "3356 {64512,64513}", "3356 {1} 2"] {
+        for s in [
+            "",
+            "6695",
+            "3356 1299 6695",
+            "3356 {64512,64513}",
+            "3356 {1} 2",
+        ] {
             assert_eq!(path(s).to_string(), s);
         }
     }
@@ -339,7 +354,10 @@ mod tests {
     #[test]
     fn link_extraction_collapses_prepends_and_skips_sets() {
         let p = path("3356 3356 1299 6695");
-        assert_eq!(p.links(), vec![(Asn(3356), Asn(1299)), (Asn(1299), Asn(6695))]);
+        assert_eq!(
+            p.links(),
+            vec![(Asn(3356), Asn(1299)), (Asn(1299), Asn(6695))]
+        );
         // Links never cross an AS_SET boundary.
         let q = path("3356 {64512,64513} 6695");
         assert_eq!(q.links(), vec![]);

@@ -84,9 +84,17 @@ impl FromStr for Community {
     type Err = BgpError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (u, l) = s.split_once(':').ok_or_else(|| BgpError::InvalidCommunity(s.into()))?;
-        let u: u16 = u.trim().parse().map_err(|_| BgpError::InvalidCommunity(s.into()))?;
-        let l: u16 = l.trim().parse().map_err(|_| BgpError::InvalidCommunity(s.into()))?;
+        let (u, l) = s
+            .split_once(':')
+            .ok_or_else(|| BgpError::InvalidCommunity(s.into()))?;
+        let u: u16 = u
+            .trim()
+            .parse()
+            .map_err(|_| BgpError::InvalidCommunity(s.into()))?;
+        let l: u16 = l
+            .trim()
+            .parse()
+            .map_err(|_| BgpError::InvalidCommunity(s.into()))?;
         Ok(Community::new(u, l))
     }
 }
@@ -103,14 +111,6 @@ impl CommunitySet {
     /// Empty set.
     pub const fn new() -> Self {
         CommunitySet(Vec::new())
-    }
-
-    /// Build from any iterator, deduplicating and sorting.
-    pub fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
-        let mut v: Vec<Community> = iter.into_iter().collect();
-        v.sort_unstable();
-        v.dedup();
-        CommunitySet(v)
     }
 
     /// Insert a community; returns `true` if it was newly added.
@@ -172,9 +172,13 @@ impl CommunitySet {
     }
 }
 
+/// Build from any iterator, deduplicating and sorting.
 impl FromIterator<Community> for CommunitySet {
     fn from_iter<I: IntoIterator<Item = Community>>(iter: I) -> Self {
-        CommunitySet::from_iter(iter)
+        let mut v: Vec<Community> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        CommunitySet(v)
     }
 }
 
@@ -204,7 +208,10 @@ impl FromStr for CommunitySet {
     type Err = BgpError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        s.split_whitespace().map(|tok| tok.parse::<Community>()).collect::<Result<Vec<_>, _>>().map(CommunitySet::from_iter)
+        s.split_whitespace()
+            .map(|tok| tok.parse::<Community>())
+            .collect::<Result<Vec<_>, _>>()
+            .map(CommunitySet::from_iter)
     }
 }
 
@@ -260,8 +267,7 @@ mod tests {
 
     #[test]
     fn set_dedup_sort_and_ops() {
-        let mut set: CommunitySet =
-            "6695:8447 0:6695 6695:8359 0:6695".parse().unwrap();
+        let mut set: CommunitySet = "6695:8447 0:6695 6695:8359 0:6695".parse().unwrap();
         assert_eq!(set.len(), 3);
         assert!(set.contains("0:6695".parse().unwrap()));
         assert!(!set.insert("0:6695".parse().unwrap()));

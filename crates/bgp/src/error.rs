@@ -53,7 +53,10 @@ impl fmt::Display for BgpError {
             }
             BgpError::InvalidCommunity(s) => write!(f, "invalid community: {s:?}"),
             BgpError::Truncated { context, needed } => {
-                write!(f, "truncated input decoding {context}: {needed} more bytes needed")
+                write!(
+                    f,
+                    "truncated input decoding {context}: {needed} more bytes needed"
+                )
             }
             BgpError::UnknownMessageType(t) => write!(f, "unknown BGP message type {t}"),
             BgpError::MalformedAttribute(what) => write!(f, "malformed path attribute: {what}"),
@@ -75,13 +78,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BgpError::Truncated { context: "NLRI", needed: 3 };
+        let e = BgpError::Truncated {
+            context: "NLRI",
+            needed: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("NLRI") && s.contains('3'), "got: {s}");
         assert!(BgpError::InvalidAsn("x".into()).to_string().contains('x'));
-        assert!(BgpError::LengthMismatch { declared: 10, actual: 7 }
-            .to_string()
-            .contains("10"));
+        assert!(BgpError::LengthMismatch {
+            declared: 10,
+            actual: 7
+        }
+        .to_string()
+        .contains("10"));
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl MrtArchive {
 
     /// Look up a peer by index.
     pub fn peer(&self, index: u16) -> Result<&MrtPeer, BgpError> {
-        self.peers.get(index as usize).ok_or(BgpError::UnknownPeerIndex(index))
+        self.peers
+            .get(index as usize)
+            .ok_or(BgpError::UnknownPeerIndex(index))
     }
 
     /// Serialize the whole archive.
@@ -131,7 +133,10 @@ impl MrtArchive {
         let mut archive = MrtArchive::new();
         while data.has_remaining() {
             if data.remaining() < 6 {
-                return Err(BgpError::Truncated { context: "MRT record header", needed: 6 });
+                return Err(BgpError::Truncated {
+                    context: "MRT record header",
+                    needed: 6,
+                });
             }
             let rtype = data.get_u16();
             let rlen = data.get_u32() as usize;
@@ -146,7 +151,10 @@ impl MrtArchive {
             match rtype {
                 REC_PEER_TABLE => {
                     if body.remaining() < 2 {
-                        return Err(BgpError::Truncated { context: "peer table", needed: 2 });
+                        return Err(BgpError::Truncated {
+                            context: "peer table",
+                            needed: 2,
+                        });
                     }
                     let n = body.get_u16() as usize;
                     if body.remaining() < n * 8 {
@@ -173,14 +181,23 @@ impl MrtArchive {
                         .nlri
                         .first()
                         .ok_or(BgpError::MalformedAttribute("RIB entry without NLRI"))?;
-                    archive.rib.push(MrtRibEntry { peer_index, originated: ts, prefix, attrs });
+                    archive.rib.push(MrtRibEntry {
+                        peer_index,
+                        originated: ts,
+                        prefix,
+                        attrs,
+                    });
                 }
                 REC_UPDATE => {
                     let (peer_index, ts, update) = decode_framed_update(&mut body)?;
                     if peer_index as usize >= archive.peers.len() {
                         return Err(BgpError::UnknownPeerIndex(peer_index));
                     }
-                    archive.updates.push(MrtUpdate { peer_index, timestamp: ts, update });
+                    archive.updates.push(MrtUpdate {
+                        peer_index,
+                        timestamp: ts,
+                        update,
+                    });
                 }
                 other => return Err(BgpError::UnknownMrtType(other)),
             }
@@ -202,7 +219,10 @@ fn put_record(buf: &mut BytesMut, rtype: u16, body: &[u8]) {
 
 fn decode_framed_update(body: &mut Bytes) -> Result<(u16, u32, UpdateMessage), BgpError> {
     if body.remaining() < 10 {
-        return Err(BgpError::Truncated { context: "MRT framed update", needed: 10 });
+        return Err(BgpError::Truncated {
+            context: "MRT framed update",
+            needed: 10,
+        });
     }
     let peer_index = body.get_u16();
     let ts = body.get_u32();
@@ -217,7 +237,9 @@ fn decode_framed_update(body: &mut Bytes) -> Result<(u16, u32, UpdateMessage), B
     body.advance(flen);
     match wire::decode_frame(frame)? {
         BgpMessage::Update(u) => Ok((peer_index, ts, u)),
-        _ => Err(BgpError::MalformedAttribute("embedded frame is not an UPDATE")),
+        _ => Err(BgpError::MalformedAttribute(
+            "embedded frame is not an UPDATE",
+        )),
     }
 }
 
@@ -227,8 +249,11 @@ mod tests {
     use crate::aspath::AsPath;
 
     fn attrs(path: &str) -> RouteAttrs {
-        RouteAttrs::new(path.parse::<AsPath>().unwrap(), "80.81.192.1".parse().unwrap())
-            .with_communities("0:6695 6695:8447".parse().unwrap())
+        RouteAttrs::new(
+            path.parse::<AsPath>().unwrap(),
+            "80.81.192.1".parse().unwrap(),
+        )
+        .with_communities("0:6695 6695:8447".parse().unwrap())
     }
 
     fn sample_archive() -> MrtArchive {

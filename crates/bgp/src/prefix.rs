@@ -29,7 +29,10 @@ impl Prefix {
         if len > 32 {
             return Err(BgpError::PrefixLenOutOfRange(len));
         }
-        Ok(Prefix { addr: u32::from(addr) & Self::mask(len), len })
+        Ok(Prefix {
+            addr: u32::from(addr) & Self::mask(len),
+            len,
+        })
     }
 
     /// Build from a raw `u32` network address (canonicalizes host bits).
@@ -37,7 +40,10 @@ impl Prefix {
         if len > 32 {
             return Err(BgpError::PrefixLenOutOfRange(len));
         }
-        Ok(Prefix { addr: addr & Self::mask(len), len })
+        Ok(Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        })
     }
 
     /// The netmask for a prefix length.
@@ -62,8 +68,10 @@ impl Prefix {
         self.addr
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits (CIDR mask size, not a container length —
+    /// `/0` is a valid prefix, so there is no `is_empty`).
     #[inline]
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -99,9 +107,14 @@ impl Prefix {
         if self.len >= 32 {
             return None;
         }
-        let left = Prefix { addr: self.addr, len: self.len + 1 };
-        let right =
-            Prefix { addr: self.addr | (1u32 << (31 - self.len as u32)), len: self.len + 1 };
+        let left = Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            addr: self.addr | (1u32 << (31 - self.len as u32)),
+            len: self.len + 1,
+        };
         Some((left, right))
     }
 
@@ -111,7 +124,10 @@ impl Prefix {
             None
         } else {
             let len = self.len - 1;
-            Some(Prefix { addr: self.addr & Self::mask(len), len })
+            Some(Prefix {
+                addr: self.addr & Self::mask(len),
+                len,
+            })
         }
     }
 }
@@ -126,8 +142,12 @@ impl FromStr for Prefix {
     type Err = BgpError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| BgpError::InvalidPrefix(s.into()))?;
-        let addr: Ipv4Addr = addr.parse().map_err(|_| BgpError::InvalidPrefix(s.into()))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| BgpError::InvalidPrefix(s.into()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| BgpError::InvalidPrefix(s.into()))?;
         let len: u8 = len.parse().map_err(|_| BgpError::InvalidPrefix(s.into()))?;
         Prefix::new(addr, len)
     }

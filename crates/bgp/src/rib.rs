@@ -62,7 +62,9 @@ pub struct Rib {
 impl Rib {
     /// Empty RIB.
     pub fn new() -> Self {
-        Rib { table: BTreeMap::new() }
+        Rib {
+            table: BTreeMap::new(),
+        }
     }
 
     /// Insert or replace the route for `prefix` from `entry.peer`.
@@ -70,7 +72,10 @@ impl Rib {
     /// announcement from the same peer implicitly replaces the old one.
     pub fn insert(&mut self, prefix: Prefix, entry: RibEntry) {
         let paths = self.table.entry(prefix).or_default();
-        match paths.iter_mut().find(|e| e.peer == entry.peer && e.peer_addr == entry.peer_addr) {
+        match paths
+            .iter_mut()
+            .find(|e| e.peer == entry.peer && e.peer_addr == entry.peer_addr)
+        {
             Some(slot) => *slot = entry,
             None => paths.push(entry),
         }
@@ -129,9 +134,9 @@ impl Rib {
 
     /// Iterate `(prefix, best path)` in prefix order.
     pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &RibEntry)> {
-        self.table.iter().filter_map(|(p, v)| {
-            v.iter().min_by_key(|e| e.rank()).map(|e| (p, e))
-        })
+        self.table
+            .iter()
+            .filter_map(|(p, v)| v.iter().min_by_key(|e| e.rank()).map(|e| (p, e)))
     }
 
     /// All prefixes announced by `peer`.
@@ -150,8 +155,7 @@ impl Rib {
 
     /// Distinct peers with at least one route in the table.
     pub fn peers(&self) -> Vec<Asn> {
-        let mut v: Vec<Asn> =
-            self.table.values().flatten().map(|e| e.peer).collect();
+        let mut v: Vec<Asn> = self.table.values().flatten().map(|e| e.peer).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -242,7 +246,7 @@ mod tests {
         assert_eq!(rib.paths(&p1).len(), 1);
         assert_eq!(rib.drop_peer(Asn(1)), 1); // removes p2's only path
         assert_eq!(rib.prefix_count(), 1);
-        assert!(rib.withdraw(pfx("203.0.113.0/24"), Asn(1)) == false);
+        assert!(!rib.withdraw(pfx("203.0.113.0/24"), Asn(1)));
     }
 
     #[test]
@@ -253,7 +257,10 @@ mod tests {
         rib.insert(p, entry(2, "2 9", 100));
         rib.insert(p, entry(3, "3 9", 300));
         let ranked = rib.paths_ranked(&p);
-        assert_eq!(ranked.iter().map(|e| e.peer).collect::<Vec<_>>(), vec![Asn(3), Asn(2), Asn(1)]);
+        assert_eq!(
+            ranked.iter().map(|e| e.peer).collect::<Vec<_>>(),
+            vec![Asn(3), Asn(2), Asn(1)]
+        );
     }
 
     #[test]

@@ -14,9 +14,12 @@ use crate::community::CommunitySet;
 use crate::prefix::Prefix;
 
 /// The ORIGIN attribute (RFC 4271).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Origin {
     /// Learned from an IGP (`i`). Preferred in best-path selection.
+    #[default]
     Igp,
     /// Learned from EGP (`e`). Historic.
     Egp,
@@ -51,12 +54,6 @@ impl Origin {
             Origin::Egp => 'e',
             Origin::Incomplete => '?',
         }
-    }
-}
-
-impl Default for Origin {
-    fn default() -> Self {
-        Origin::Igp
     }
 }
 
@@ -182,9 +179,12 @@ mod tests {
 
     #[test]
     fn builder() {
-        let attrs = RouteAttrs::new(AsPath::from_seq([Asn(6695)]), "80.81.192.1".parse().unwrap())
-            .with_local_pref(200)
-            .with_communities("0:6695 6695:8359".parse().unwrap());
+        let attrs = RouteAttrs::new(
+            AsPath::from_seq([Asn(6695)]),
+            "80.81.192.1".parse().unwrap(),
+        )
+        .with_local_pref(200)
+        .with_communities("0:6695 6695:8359".parse().unwrap());
         assert_eq!(attrs.local_pref, 200);
         assert_eq!(attrs.communities.len(), 2);
     }
@@ -200,6 +200,9 @@ mod tests {
         );
         assert_eq!(ann.origin_as(), Some(Asn(3216)));
         let s = ann.to_string();
-        assert!(s.contains("193.34.0.0/22") && s.contains("8359 3216"), "got {s}");
+        assert!(
+            s.contains("193.34.0.0/22") && s.contains("8359 3216"),
+            "got {s}"
+        );
     }
 }

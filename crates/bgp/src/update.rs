@@ -28,20 +28,30 @@ pub struct UpdateMessage {
 impl UpdateMessage {
     /// An update announcing `nlri` with `attrs`.
     pub fn announce(attrs: RouteAttrs, nlri: Vec<Prefix>) -> Self {
-        UpdateMessage { withdrawn: Vec::new(), attrs: Some(attrs), nlri }
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: Some(attrs),
+            nlri,
+        }
     }
 
     /// An update withdrawing `prefixes`.
     pub fn withdraw(prefixes: Vec<Prefix>) -> Self {
-        UpdateMessage { withdrawn: prefixes, attrs: None, nlri: Vec::new() }
+        UpdateMessage {
+            withdrawn: prefixes,
+            attrs: None,
+            nlri: Vec::new(),
+        }
     }
 
     /// Explode into per-prefix [`Announcement`]s (attributes cloned).
     pub fn announcements(&self) -> Vec<Announcement> {
         match &self.attrs {
-            Some(attrs) => {
-                self.nlri.iter().map(|p| Announcement::new(*p, attrs.clone())).collect()
-            }
+            Some(attrs) => self
+                .nlri
+                .iter()
+                .map(|p| Announcement::new(*p, attrs.clone()))
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -146,7 +156,10 @@ mod tests {
         );
         let upd = UpdateMessage::announce(
             attrs,
-            vec!["193.34.0.0/22".parse().unwrap(), "193.34.4.0/22".parse().unwrap()],
+            vec![
+                "193.34.0.0/22".parse().unwrap(),
+                "193.34.4.0/22".parse().unwrap(),
+            ],
         );
         let anns = upd.announcements();
         assert_eq!(anns.len(), 2);
@@ -176,7 +189,11 @@ mod tests {
         );
         assert_eq!(BgpMessage::Update(UpdateMessage::default()).type_code(), 2);
         assert_eq!(
-            BgpMessage::Notification { code: NotificationCode::Cease, subcode: 0 }.type_code(),
+            BgpMessage::Notification {
+                code: NotificationCode::Cease,
+                subcode: 0
+            }
+            .type_code(),
             3
         );
         assert_eq!(BgpMessage::Keepalive.type_code(), 4);

@@ -59,10 +59,18 @@ pub fn encode_message(msg: &BgpMessage, dst: &mut BytesMut) {
     dst.put_u16(0); // patched below
     dst.put_u8(msg.type_code());
     match msg {
-        BgpMessage::Open { asn, hold_time, router_id } => {
+        BgpMessage::Open {
+            asn,
+            hold_time,
+            router_id,
+        } => {
             dst.put_u8(4); // version
-            // My-AS field: AS_TRANS when the ASN needs 32 bits.
-            let wire_as = if asn.is_16bit() { asn.value() as u16 } else { 23456 };
+                           // My-AS field: AS_TRANS when the ASN needs 32 bits.
+            let wire_as = if asn.is_16bit() {
+                asn.value() as u16
+            } else {
+                23456
+            };
             dst.put_u16(wire_as);
             dst.put_u16(*hold_time);
             dst.put_u32(u32::from(*router_id));
@@ -90,22 +98,28 @@ pub fn encode_message(msg: &BgpMessage, dst: &mut BytesMut) {
 
 fn encode_prefix(p: &Prefix, dst: &mut BytesMut) {
     dst.put_u8(p.len());
-    let nbytes = (p.len() as usize + 7) / 8;
+    let nbytes = (p.len() as usize).div_ceil(8);
     let octets = p.network_u32().to_be_bytes();
     dst.put_slice(&octets[..nbytes]);
 }
 
 fn decode_prefix(src: &mut Bytes) -> Result<Prefix, BgpError> {
     if src.remaining() < 1 {
-        return Err(BgpError::Truncated { context: "prefix length", needed: 1 });
+        return Err(BgpError::Truncated {
+            context: "prefix length",
+            needed: 1,
+        });
     }
     let len = src.get_u8();
     if len > 32 {
         return Err(BgpError::PrefixLenOutOfRange(len));
     }
-    let nbytes = (len as usize + 7) / 8;
+    let nbytes = (len as usize).div_ceil(8);
     if src.remaining() < nbytes {
-        return Err(BgpError::Truncated { context: "prefix octets", needed: nbytes - src.remaining() });
+        return Err(BgpError::Truncated {
+            context: "prefix octets",
+            needed: nbytes - src.remaining(),
+        });
     }
     let mut octets = [0u8; 4];
     src.copy_to_slice(&mut octets[..nbytes]);
@@ -177,7 +191,12 @@ fn encode_update_body(u: &UpdateMessage, dst: &mut BytesMut) {
             for c in a.communities.iter() {
                 b.put_u32(c.value());
             }
-            encode_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &b);
+            encode_attr(
+                &mut attrs,
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_COMMUNITIES,
+                &b,
+            );
         }
     }
     dst.put_u16(attrs.len() as u16);
@@ -208,7 +227,9 @@ pub struct FrameDecoder {
 impl FrameDecoder {
     /// New empty decoder.
     pub fn new() -> Self {
-        FrameDecoder { buf: BytesMut::new() }
+        FrameDecoder {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Append raw bytes received from the peer.
@@ -226,8 +247,11 @@ impl FrameDecoder {
             return Err(BgpError::BadMarker);
         }
         let total = u16::from_be_bytes([self.buf[16], self.buf[17]]) as usize;
-        if total < HEADER_LEN || total > MAX_MESSAGE_LEN {
-            return Err(BgpError::LengthMismatch { declared: total, actual: self.buf.len() });
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+            return Err(BgpError::LengthMismatch {
+                declared: total,
+                actual: self.buf.len(),
+            });
         }
         if self.buf.len() < total {
             return Ok(None);
@@ -245,11 +269,17 @@ impl FrameDecoder {
 /// Decode one complete frame (header + body).
 pub fn decode_frame(mut frame: Bytes) -> Result<BgpMessage, BgpError> {
     if frame.len() < HEADER_LEN {
-        return Err(BgpError::Truncated { context: "header", needed: HEADER_LEN - frame.len() });
+        return Err(BgpError::Truncated {
+            context: "header",
+            needed: HEADER_LEN - frame.len(),
+        });
     }
     let declared = u16::from_be_bytes([frame[16], frame[17]]) as usize;
     if declared != frame.len() {
-        return Err(BgpError::LengthMismatch { declared, actual: frame.len() });
+        return Err(BgpError::LengthMismatch {
+            declared,
+            actual: frame.len(),
+        });
     }
     frame.advance(18);
     let ty = frame.get_u8();
@@ -258,7 +288,10 @@ pub fn decode_frame(mut frame: Bytes) -> Result<BgpMessage, BgpError> {
         TYPE_UPDATE => decode_update(frame).map(BgpMessage::Update),
         TYPE_NOTIFICATION => {
             if frame.remaining() < 2 {
-                return Err(BgpError::Truncated { context: "notification", needed: 2 });
+                return Err(BgpError::Truncated {
+                    context: "notification",
+                    needed: 2,
+                });
             }
             let code = frame.get_u8();
             let subcode = frame.get_u8();
@@ -273,7 +306,10 @@ pub fn decode_frame(mut frame: Bytes) -> Result<BgpMessage, BgpError> {
 
 fn decode_open(mut b: Bytes) -> Result<BgpMessage, BgpError> {
     if b.remaining() < 10 {
-        return Err(BgpError::Truncated { context: "OPEN", needed: 10 - b.remaining() });
+        return Err(BgpError::Truncated {
+            context: "OPEN",
+            needed: 10 - b.remaining(),
+        });
     }
     let _version = b.get_u8();
     let wire_as = b.get_u16();
@@ -281,7 +317,10 @@ fn decode_open(mut b: Bytes) -> Result<BgpMessage, BgpError> {
     let router_id = std::net::Ipv4Addr::from(b.get_u32());
     let opt_len = b.get_u8() as usize;
     if b.remaining() < opt_len {
-        return Err(BgpError::Truncated { context: "OPEN options", needed: opt_len - b.remaining() });
+        return Err(BgpError::Truncated {
+            context: "OPEN options",
+            needed: opt_len - b.remaining(),
+        });
     }
     let mut asn = Asn(wire_as as u32);
     let mut opts = b.slice(..opt_len);
@@ -310,16 +349,26 @@ fn decode_open(mut b: Bytes) -> Result<BgpMessage, BgpError> {
             }
         }
     }
-    Ok(BgpMessage::Open { asn, hold_time, router_id })
+    Ok(BgpMessage::Open {
+        asn,
+        hold_time,
+        router_id,
+    })
 }
 
 fn decode_update(mut b: Bytes) -> Result<UpdateMessage, BgpError> {
     if b.remaining() < 2 {
-        return Err(BgpError::Truncated { context: "withdrawn length", needed: 2 });
+        return Err(BgpError::Truncated {
+            context: "withdrawn length",
+            needed: 2,
+        });
     }
     let wd_len = b.get_u16() as usize;
     if b.remaining() < wd_len {
-        return Err(BgpError::Truncated { context: "withdrawn routes", needed: wd_len - b.remaining() });
+        return Err(BgpError::Truncated {
+            context: "withdrawn routes",
+            needed: wd_len - b.remaining(),
+        });
     }
     let mut wd = b.slice(..wd_len);
     b.advance(wd_len);
@@ -329,32 +378,51 @@ fn decode_update(mut b: Bytes) -> Result<UpdateMessage, BgpError> {
     }
 
     if b.remaining() < 2 {
-        return Err(BgpError::Truncated { context: "attribute length", needed: 2 });
+        return Err(BgpError::Truncated {
+            context: "attribute length",
+            needed: 2,
+        });
     }
     let at_len = b.get_u16() as usize;
     if b.remaining() < at_len {
-        return Err(BgpError::Truncated { context: "path attributes", needed: at_len - b.remaining() });
+        return Err(BgpError::Truncated {
+            context: "path attributes",
+            needed: at_len - b.remaining(),
+        });
     }
     let mut ab = b.slice(..at_len);
     b.advance(at_len);
 
-    let mut attrs: Option<RouteAttrs> = if at_len > 0 { Some(RouteAttrs::default()) } else { None };
+    let mut attrs: Option<RouteAttrs> = if at_len > 0 {
+        Some(RouteAttrs::default())
+    } else {
+        None
+    };
     while ab.remaining() >= 3 {
         let flags = ab.get_u8();
         let ty = ab.get_u8();
         let alen = if flags & FLAG_EXTENDED != 0 {
             if ab.remaining() < 2 {
-                return Err(BgpError::Truncated { context: "extended attr length", needed: 2 });
+                return Err(BgpError::Truncated {
+                    context: "extended attr length",
+                    needed: 2,
+                });
             }
             ab.get_u16() as usize
         } else {
             if ab.remaining() < 1 {
-                return Err(BgpError::Truncated { context: "attr length", needed: 1 });
+                return Err(BgpError::Truncated {
+                    context: "attr length",
+                    needed: 1,
+                });
             }
             ab.get_u8() as usize
         };
         if ab.remaining() < alen {
-            return Err(BgpError::Truncated { context: "attr body", needed: alen - ab.remaining() });
+            return Err(BgpError::Truncated {
+                context: "attr body",
+                needed: alen - ab.remaining(),
+            });
         }
         let mut body = ab.slice(..alen);
         ab.advance(alen);
@@ -431,7 +499,11 @@ fn decode_update(mut b: Bytes) -> Result<UpdateMessage, BgpError> {
     while b.has_remaining() {
         nlri.push(decode_prefix(&mut b)?);
     }
-    Ok(UpdateMessage { withdrawn, attrs, nlri })
+    Ok(UpdateMessage {
+        withdrawn,
+        attrs,
+        nlri,
+    })
 }
 
 #[cfg(test)]
@@ -449,7 +521,10 @@ mod tests {
         UpdateMessage {
             withdrawn: vec!["10.9.0.0/16".parse().unwrap()],
             attrs: Some(attrs),
-            nlri: vec!["193.34.0.0/22".parse().unwrap(), "193.34.4.0/24".parse().unwrap()],
+            nlri: vec![
+                "193.34.0.0/22".parse().unwrap(),
+                "193.34.4.0/24".parse().unwrap(),
+            ],
         }
     }
 
@@ -484,14 +559,18 @@ mod tests {
 
     #[test]
     fn withdraw_only_roundtrip() {
-        let msg =
-            BgpMessage::Update(UpdateMessage::withdraw(vec!["193.34.0.0/22".parse().unwrap()]));
+        let msg = BgpMessage::Update(UpdateMessage::withdraw(vec!["193.34.0.0/22"
+            .parse()
+            .unwrap()]));
         assert_eq!(roundtrip(&msg), msg);
     }
 
     #[test]
     fn notification_roundtrip() {
-        let msg = BgpMessage::Notification { code: NotificationCode::Cease, subcode: 2 };
+        let msg = BgpMessage::Notification {
+            code: NotificationCode::Cease,
+            subcode: 2,
+        };
         assert_eq!(roundtrip(&msg), msg);
     }
 

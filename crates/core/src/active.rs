@@ -18,12 +18,17 @@
 //!   member), so one query covers many members;
 //! * skip members already covered passively (Eq. 2).
 //!
+//! Like the passive pipeline, the queriers *stream*: decoded
+//! observations go straight into an [`ObservationSink`] instead of a
+//! materialized `Vec`, so a long LG campaign can fold into the
+//! [`crate::infer::LinkInferencer`] as it runs.
+//!
 //! For IXPs without an RS LG, member LGs provide a partial view: "these
 //! third-party LGs cannot provide the full view … but only for those
 //! members that allow their routes to be advertised to the network that
 //! operates the LG".
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_data::lg::{
@@ -34,7 +39,9 @@ use mlpeer_data::Sim;
 use mlpeer_ixp::ixp::IxpId;
 
 use crate::dict::CommunityDictionary;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::infer::{Observation, ObservationSource};
+use crate::sink::ObservationSink;
 
 /// Active-measurement parameters (§4.3 defaults).
 #[derive(Debug, Clone)]
@@ -47,7 +54,10 @@ pub struct ActiveConfig {
 
 impl Default for ActiveConfig {
     fn default() -> Self {
-        ActiveConfig { sample_frac: 0.10, max_prefixes_per_member: 100 }
+        ActiveConfig {
+            sample_frac: 0.10,
+            max_prefixes_per_member: 100,
+        }
     }
 }
 
@@ -81,23 +91,27 @@ impl ActiveStats {
     }
 }
 
-/// Run the full §4.1 algorithm against an IXP's route-server LG.
+/// Run the full §4.1 algorithm against an IXP's route-server LG,
+/// streaming observations into `sink`.
 ///
 /// `skip` holds the members already covered by passive data (Eq. 2);
 /// their neighbor-routes and prefix queries are avoided, though their
 /// communities are still recorded when they ride along on a queried
 /// prefix (free data).
-pub fn query_rs_lg(
+pub fn query_rs_lg<S: ObservationSink>(
     sim: &Sim,
     lg: &LookingGlassHost,
     ixp: IxpId,
     dict: &CommunityDictionary,
     skip: &BTreeSet<Asn>,
     cfg: &ActiveConfig,
-) -> (Vec<Observation>, ActiveStats) {
+    sink: &mut S,
+) -> ActiveStats {
     let mut stats = ActiveStats::default();
-    let mut observations = Vec::new();
-    let entry = dict.entry(ixp).expect("dictionary entry for the queried IXP");
+    let mut members_seen: FxHashSet<Asn> = FxHashSet::default();
+    let entry = dict
+        .entry(ixp)
+        .expect("dictionary entry for the queried IXP");
 
     // Step 1: connectivity.
     let summary = lg.query(sim, &LgCommand::Summary);
@@ -105,9 +119,8 @@ pub fn query_rs_lg(
     let members: Vec<(Asn, std::net::Ipv4Addr, usize)> = parse_summary(&summary);
 
     // Step 2: per-member prefixes (skipping passive-covered members).
-    let mut prefixes_of: BTreeMap<Asn, Vec<Prefix>> = BTreeMap::new();
+    let mut prefixes_of: FxHashMap<Asn, Vec<Prefix>> = FxHashMap::default();
     for (asn, addr, _) in &members {
-        stats.full_prefix_queries += 0; // filled below once P_a is known
         if skip.contains(asn) {
             continue;
         }
@@ -117,7 +130,7 @@ pub fn query_rs_lg(
     }
 
     // Step 3: targets and the multiplicity-sorted plan.
-    let mut target: BTreeMap<Asn, usize> = BTreeMap::new();
+    let mut target: FxHashMap<Asn, usize> = FxHashMap::default();
     for (asn, prefixes) in &prefixes_of {
         let t = ((prefixes.len() as f64 * cfg.sample_frac).ceil() as usize)
             .clamp(1, cfg.max_prefixes_per_member)
@@ -126,19 +139,22 @@ pub fn query_rs_lg(
         stats.naive_prefix_queries += t;
         stats.full_prefix_queries += prefixes.len();
     }
-    let mut multiplicity: BTreeMap<Prefix, Vec<Asn>> = BTreeMap::new();
+    let mut multiplicity: FxHashMap<Prefix, Vec<Asn>> = FxHashMap::default();
     for (asn, prefixes) in &prefixes_of {
         for p in prefixes {
             multiplicity.entry(*p).or_default().push(*asn);
         }
     }
-    let mut plan: Vec<(Prefix, usize)> =
-        multiplicity.iter().map(|(p, v)| (*p, v.len())).collect();
+    // Report boundary of the planner: the (count desc, prefix asc) sort
+    // makes the plan deterministic regardless of map iteration order.
+    let mut plan: Vec<(Prefix, usize)> = multiplicity.iter().map(|(p, v)| (*p, v.len())).collect();
     plan.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    let mut covered: BTreeMap<Asn, usize> = target.keys().map(|a| (*a, 0usize)).collect();
-    let done = |covered: &BTreeMap<Asn, usize>, target: &BTreeMap<Asn, usize>| {
-        target.iter().all(|(a, t)| covered.get(a).copied().unwrap_or(0) >= *t)
+    let mut covered: FxHashMap<Asn, usize> = target.keys().map(|a| (*a, 0usize)).collect();
+    let done = |covered: &FxHashMap<Asn, usize>, target: &FxHashMap<Asn, usize>| {
+        target
+            .iter()
+            .all(|(a, t)| covered.get(a).copied().unwrap_or(0) >= *t)
     };
     for (prefix, _) in plan {
         if done(&covered, &target) {
@@ -154,11 +170,17 @@ pub fn query_rs_lg(
         let text = lg.query(sim, &LgCommand::Prefix(prefix));
         stats.prefix_queries += 1;
         for path in parse_prefix_output(&text) {
-            let Some(setter) = path.as_path.first_hop() else { continue };
+            let Some(setter) = path.as_path.first_hop() else {
+                continue;
+            };
             // On an RS LG the first hop *is* the announcing member.
-            let actions: Vec<_> =
-                path.communities.iter().filter_map(|c| entry.scheme.decode(c)).collect();
-            observations.push(Observation {
+            let actions: Vec<_> = path
+                .communities
+                .iter()
+                .filter_map(|c| entry.scheme.decode(c))
+                .collect();
+            members_seen.insert(setter);
+            sink.push(Observation {
                 ixp,
                 member: setter,
                 prefix,
@@ -170,22 +192,20 @@ pub fn query_rs_lg(
             }
         }
     }
-    stats.members_covered = observations
-        .iter()
-        .map(|o| o.member)
-        .collect::<BTreeSet<_>>()
-        .len();
-    (observations, stats)
+    stats.members_covered = members_seen.len();
+    stats
 }
 
 /// Query third-party member LGs for the RS communities of an IXP with
-/// no route-server LG. `candidates` are prefixes worth asking about
-/// (from IRR route objects and passively-seen prefixes); at most
-/// `budget` queries are spent per LG. Setters are pin-pointed with the
-/// same §4.2 three-case logic as the passive pipeline — a member LG also
-/// shows transit routes that may carry RS communities from deeper in the
-/// path, so the first hop is *not* necessarily the setter.
-pub fn query_member_lgs(
+/// no route-server LG, streaming observations into `sink`. `candidates`
+/// are prefixes worth asking about (from IRR route objects and
+/// passively-seen prefixes); at most `budget` queries are spent per LG.
+/// Setters are pin-pointed with the same §4.2 three-case logic as the
+/// passive pipeline — a member LG also shows transit routes that may
+/// carry RS communities from deeper in the path, so the first hop is
+/// *not* necessarily the setter.
+#[allow(clippy::too_many_arguments)]
+pub fn query_member_lgs<S: ObservationSink>(
     sim: &Sim,
     lgs: &[&LookingGlassHost],
     ixp: IxpId,
@@ -193,15 +213,18 @@ pub fn query_member_lgs(
     rels: &mlpeer_topo::infer::InferredRelationships,
     candidates: &[Prefix],
     budget: usize,
-) -> (Vec<Observation>, ActiveStats) {
+    sink: &mut S,
+) -> ActiveStats {
     let mut stats = ActiveStats::default();
-    let mut observations = Vec::new();
-    let members = dict
+    let mut members_seen: FxHashSet<Asn> = FxHashSet::default();
+    let members: FxHashSet<Asn> = dict
         .entry(ixp)
-        .map(|e| e.rs_members.clone())
+        .map(|e| e.rs_members.iter().copied().collect())
         .unwrap_or_default();
     for lg in lgs {
-        let LgTarget::Member(host) = lg.target else { continue };
+        let LgTarget::Member(host) = lg.target else {
+            continue;
+        };
         for prefix in candidates.iter().take(budget) {
             let text = lg.query(sim, &LgCommand::Prefix(*prefix));
             stats.prefix_queries += 1;
@@ -209,7 +232,9 @@ pub fn query_member_lgs(
                 if path.communities.is_empty() {
                     continue;
                 }
-                let Some(identified) = dict.identify(&path.communities) else { continue };
+                let Some(identified) = dict.identify(&path.communities) else {
+                    continue;
+                };
                 if identified.ixp != ixp {
                     continue;
                 }
@@ -221,7 +246,8 @@ pub fn query_member_lgs(
                 else {
                     continue;
                 };
-                observations.push(Observation {
+                members_seen.insert(setter);
+                sink.push(Observation {
                     ixp,
                     member: setter,
                     prefix: *prefix,
@@ -231,9 +257,8 @@ pub fn query_member_lgs(
             }
         }
     }
-    stats.members_covered =
-        observations.iter().map(|o| o.member).collect::<BTreeSet<_>>().len();
-    (observations, stats)
+    stats.members_covered = members_seen.len();
+    stats
 }
 
 #[cfg(test)]
@@ -249,6 +274,18 @@ mod tests {
         Ecosystem::generate(EcosystemConfig::tiny(81))
     }
 
+    fn rs_query_collect(
+        sim: &Sim,
+        lg: &LookingGlassHost,
+        ixp: IxpId,
+        dict: &CommunityDictionary,
+        skip: &BTreeSet<Asn>,
+    ) -> (Vec<Observation>, ActiveStats) {
+        let mut obs = Vec::new();
+        let stats = query_rs_lg(sim, lg, ixp, dict, skip, &ActiveConfig::default(), &mut obs);
+        (obs, stats)
+    }
+
     #[test]
     fn rs_lg_full_run_covers_all_members() {
         let eco = setup();
@@ -262,8 +299,7 @@ mod tests {
             .iter()
             .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
             .unwrap();
-        let (obs, stats) =
-            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        let (obs, stats) = rs_query_collect(&sim, lg, decix.id, &dict, &BTreeSet::new());
         assert!(!obs.is_empty());
         assert_eq!(stats.summary_queries, 1);
         assert_eq!(stats.neighbor_queries, decix.rs_member_count());
@@ -290,8 +326,7 @@ mod tests {
             .iter()
             .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
             .unwrap();
-        let (_, stats) =
-            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        let (_, stats) = rs_query_collect(&sim, lg, decix.id, &dict, &BTreeSet::new());
         assert!(
             stats.prefix_queries <= stats.naive_prefix_queries,
             "multiplicity sort never does worse: {} vs {}",
@@ -317,13 +352,10 @@ mod tests {
             .iter()
             .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
             .unwrap();
-        let (_, base) =
-            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        let (_, base) = rs_query_collect(&sim, lg, decix.id, &dict, &BTreeSet::new());
         // Skip half the members as passively covered.
-        let skip: BTreeSet<Asn> =
-            decix.rs_member_asns().into_iter().step_by(2).collect();
-        let (_, optimized) =
-            query_rs_lg(&sim, lg, decix.id, &dict, &skip, &ActiveConfig::default());
+        let skip: BTreeSet<Asn> = decix.rs_member_asns().into_iter().step_by(2).collect();
+        let (_, optimized) = rs_query_collect(&sim, lg, decix.id, &dict, &skip);
         assert!(optimized.neighbor_queries < base.neighbor_queries);
         assert!(optimized.cost() < base.cost(), "Eq. 2 < Eq. 1");
     }
@@ -341,8 +373,7 @@ mod tests {
             .iter()
             .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == decix.id))
             .unwrap();
-        let (obs, _) =
-            query_rs_lg(&sim, lg, decix.id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        let (obs, _) = rs_query_collect(&sim, lg, decix.id, &dict, &BTreeSet::new());
         // Spot-check: reconstructed policies must allow exactly what the
         // member's true effective policy allows, for observed prefixes.
         for o in obs.iter().take(200) {
@@ -393,8 +424,17 @@ mod tests {
             &[],
             &mlpeer_topo::infer::InferConfig::default(),
         );
-        let (obs, stats) =
-            query_member_lgs(&sim, &[&lg], amsix.id, &dict, &no_rels, &candidates, 500);
+        let mut obs: Vec<Observation> = Vec::new();
+        let stats = query_member_lgs(
+            &sim,
+            &[&lg],
+            amsix.id,
+            &dict,
+            &no_rels,
+            &candidates,
+            500,
+            &mut obs,
+        );
         assert!(stats.prefix_queries > 0);
         // Partial but sound: every observation names a real RS member of
         // AMS-IX allowed toward the host.

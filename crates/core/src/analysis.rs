@@ -95,8 +95,10 @@ pub fn visibility(
         .collect();
     let mlp_links = links.unique_links();
     let overlap_public = mlp_links.intersection(&public_p2p).count();
-    let overlap_traceroute =
-        mlp_links.iter().filter(|(a, b)| traceroute.contains(*a, *b)).count();
+    let overlap_traceroute = mlp_links
+        .iter()
+        .filter(|(a, b)| traceroute.contains(*a, *b))
+        .count();
 
     // Per-member series.
     let mut per_member: Vec<(Asn, usize, usize, usize)> = Vec::new();
@@ -106,7 +108,10 @@ pub fn visibility(
         if mlp == 0 {
             continue;
         }
-        let pasv = public_p2p.iter().filter(|(a, b)| *a == m || *b == m).count();
+        let pasv = public_p2p
+            .iter()
+            .filter(|(a, b)| *a == m || *b == m)
+            .count();
         let act = traceroute
             .links
             .iter()
@@ -241,7 +246,9 @@ pub fn policy_participation(eco: &Ecosystem, pdb: &PeeringDb) -> PolicyReport {
         let presences = eco.ixps_of(asn).len().min(7);
         let participations = eco.rs_participations_of(asn).min(7);
         report.matrix[presences][participations] += 1;
-        let Some(policy) = pdb.get(asn).and_then(|r| r.policy) else { continue };
+        let Some(policy) = pdb.get(asn).and_then(|r| r.policy) else {
+            continue;
+        };
         report.with_policy += 1;
         match policy {
             PeeringPolicy::Open => report.mix.0 += 1,
@@ -299,7 +306,9 @@ pub fn filter_patterns(
 ) -> FilterReport {
     let mut report = FilterReport::default();
     for ((ixp, member), policy) in &links.policies {
-        let Some(reported) = pdb.get(*member).and_then(|r| r.policy) else { continue };
+        let Some(reported) = pdb.get(*member).and_then(|r| r.policy) else {
+            continue;
+        };
         let others: BTreeSet<Asn> = conn
             .rs_members(*ixp)
             .into_iter()
@@ -564,10 +573,30 @@ pub fn global_ixp_table() -> Vec<IxpStatRow> {
     }
     // 24 further European IXPs with ≥ 50 members.
     let eu_other: [(usize, f64); 24] = [
-        (320, 0.7), (280, 0.6), (230, 0.7), (200, 0.5), (170, 0.7), (160, 0.6),
-        (150, 0.7), (140, 0.7), (130, 0.5), (120, 0.6), (110, 0.7), (105, 0.7),
-        (100, 0.6), (95, 0.7), (90, 0.5), (85, 0.7), (80, 0.6), (75, 0.7),
-        (70, 0.7), (65, 0.5), (60, 0.6), (58, 0.7), (55, 0.7), (52, 0.6),
+        (320, 0.7),
+        (280, 0.6),
+        (230, 0.7),
+        (200, 0.5),
+        (170, 0.7),
+        (160, 0.6),
+        (150, 0.7),
+        (140, 0.7),
+        (130, 0.5),
+        (120, 0.6),
+        (110, 0.7),
+        (105, 0.7),
+        (100, 0.6),
+        (95, 0.7),
+        (90, 0.5),
+        (85, 0.7),
+        (80, 0.6),
+        (75, 0.7),
+        (70, 0.7),
+        (65, 0.5),
+        (60, 0.6),
+        (58, 0.7),
+        (55, 0.7),
+        (52, 0.6),
     ];
     for (i, (members, d)) in eu_other.iter().enumerate() {
         // d encodes the pricing/RS mix: 0.7 = flat+RS, 0.6 = usage+RS,
@@ -585,9 +614,11 @@ pub fn global_ixp_table() -> Vec<IxpStatRow> {
             has_rs: rs,
         });
     }
-    for (i, members) in [380, 280, 230, 190, 170, 140, 120, 110, 100, 95, 85, 75, 65, 55]
-        .into_iter()
-        .enumerate()
+    for (i, members) in [
+        380, 280, 230, 190, 170, 140, 120, 110, 100, 95, 85, 75, 65, 55,
+    ]
+    .into_iter()
+    .enumerate()
     {
         rows.push(IxpStatRow {
             name: format!("NA-IX-{}", i + 1),
@@ -597,7 +628,9 @@ pub fn global_ixp_table() -> Vec<IxpStatRow> {
             has_rs: i % 3 == 0,
         });
     }
-    for (i, members) in [260, 190, 170, 140, 120, 110, 95, 85, 75, 65, 55].into_iter().enumerate()
+    for (i, members) in [260, 190, 170, 140, 120, 110, 95, 85, 75, 65, 55]
+        .into_iter()
+        .enumerate()
     {
         rows.push(IxpStatRow {
             name: format!("AP-IX-{}", i + 1),
@@ -659,13 +692,31 @@ mod tests {
             flat_fee,
             has_rs,
         };
-        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, true), false), 0.7);
-        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, false), false), 0.6);
-        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, false, true), false), 0.5);
-        assert_eq!(assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), false), 0.4);
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::Europe, true, true), false),
+            0.7
+        );
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::Europe, true, false), false),
+            0.6
+        );
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::Europe, false, true), false),
+            0.5
+        );
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), false),
+            0.4
+        );
         // Conservative caps at 0.6.
-        assert_eq!(assumed_density(&mk(EstimateRegion::Europe, true, true), true), 0.6);
-        assert_eq!(assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), true), 0.4);
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::Europe, true, true), true),
+            0.6
+        );
+        assert_eq!(
+            assumed_density(&mk(EstimateRegion::NorthAmerica, true, true), true),
+            0.4
+        );
     }
 
     #[test]
@@ -675,14 +726,21 @@ mod tests {
         let rows = global_ixp_table();
         assert_eq!(rows.len(), 64, "37 EU, 14 NA, 11 AP, 1 LA, 1 AF");
         assert_eq!(
-            rows.iter().filter(|r| r.region == EstimateRegion::Europe).count(),
+            rows.iter()
+                .filter(|r| r.region == EstimateRegion::Europe)
+                .count(),
             37
         );
         assert_eq!(
-            rows.iter().filter(|r| r.region == EstimateRegion::NorthAmerica).count(),
+            rows.iter()
+                .filter(|r| r.region == EstimateRegion::NorthAmerica)
+                .count(),
             14
         );
-        assert!(rows.iter().all(|r| r.members >= 50), "≥ 50 members everywhere");
+        assert!(
+            rows.iter().all(|r| r.members >= 50),
+            "≥ 50 members everywhere"
+        );
     }
 
     #[test]
@@ -704,6 +762,9 @@ mod tests {
         assert!(report.global_unique < report.global_total);
         // Unique ratio ≈ the paper's 0.716 / 0.745.
         let eu_ratio = report.europe_unique / report.europe_total;
-        assert!((0.65..0.8).contains(&eu_ratio), "EU unique ratio {eu_ratio:.3}");
+        assert!(
+            (0.65..0.8).contains(&eu_ratio),
+            "EU unique ratio {eu_ratio:.3}"
+        );
     }
 }

@@ -44,7 +44,10 @@ pub struct ConnectivityData {
 impl ConnectivityData {
     /// The RS members known at an IXP.
     pub fn rs_members(&self, ixp: IxpId) -> BTreeSet<Asn> {
-        self.per_ixp.get(&ixp).map(|m| m.keys().copied().collect()).unwrap_or_default()
+        self.per_ixp
+            .get(&ixp)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
     }
 
     /// How a member was learned (best source).
@@ -59,7 +62,12 @@ impl ConnectivityData {
 
     /// Record a member, keeping the more reliable source on conflict.
     pub fn record(&mut self, ixp: IxpId, asn: Asn, source: ConnSource) {
-        let slot = self.per_ixp.entry(ixp).or_default().entry(asn).or_insert(source);
+        let slot = self
+            .per_ixp
+            .entry(ixp)
+            .or_default()
+            .entry(asn)
+            .or_insert(source);
         if source < *slot {
             *slot = source;
         }
@@ -162,7 +170,12 @@ mod tests {
         for ixp in &eco.ixps {
             if ixp.has_lg {
                 let truth: BTreeSet<Asn> = ixp.rs_member_asns().into_iter().collect();
-                assert_eq!(conn.rs_members(ixp.id), truth, "{} via LG is exact", ixp.name);
+                assert_eq!(
+                    conn.rs_members(ixp.id),
+                    truth,
+                    "{} via LG is exact",
+                    ixp.name
+                );
                 // LG is recorded as the winning source.
                 let m = *truth.iter().next().unwrap();
                 assert_eq!(conn.source_of(ixp.id, m), Some(ConnSource::LookingGlass));
@@ -178,7 +191,10 @@ mod tests {
         let linx = eco.ixp_by_name("LINX").unwrap();
         let known = conn.rs_members(linx.id);
         let truth: BTreeSet<Asn> = linx.rs_member_asns().into_iter().collect();
-        assert!(!known.is_empty(), "aut-num search recovers some LINX members");
+        assert!(
+            !known.is_empty(),
+            "aut-num search recovers some LINX members"
+        );
         assert!(known.is_subset(&truth), "no false LINX members");
         assert!(known.len() <= truth.len());
         let m = *known.iter().next().unwrap();
@@ -205,7 +221,10 @@ mod tests {
         let mut conn = ConnectivityData::default();
         conn.record(IxpId(0), Asn(1), ConnSource::Website);
         conn.record(IxpId(0), Asn(1), ConnSource::LookingGlass);
-        assert_eq!(conn.source_of(IxpId(0), Asn(1)), Some(ConnSource::LookingGlass));
+        assert_eq!(
+            conn.source_of(IxpId(0), Asn(1)),
+            Some(ConnSource::LookingGlass)
+        );
         conn.record(IxpId(0), Asn(1), ConnSource::IrrAsSet);
         assert_eq!(
             conn.source_of(IxpId(0), Asn(1)),

@@ -84,14 +84,19 @@ impl CommunityDictionary {
         // decode under that scheme.
         let mut strong: Vec<&DictEntry> = Vec::new();
         for e in &self.entries {
-            let pins = set.iter().any(|c| e.scheme.mentions_rs(c) && e.scheme.decode(c).is_some());
+            let pins = set
+                .iter()
+                .any(|c| e.scheme.mentions_rs(c) && e.scheme.decode(c).is_some());
             if pins {
                 strong.push(e);
             }
         }
         if strong.len() == 1 {
             let e = strong[0];
-            return Some(Identified { ixp: e.ixp, actions: decode_all(e, set) });
+            return Some(Identified {
+                ixp: e.ixp,
+                actions: decode_all(e, set),
+            });
         }
         if strong.len() > 1 {
             // Extremely rare collision (one IXP's ALL is another's
@@ -101,18 +106,21 @@ impl CommunityDictionary {
                 .into_iter()
                 .max_by_key(|e| {
                     let decoded = decode_all(e, set);
-                    let member_ok = decoded
-                        .iter()
-                        .all(|a| match a {
-                            RsAction::Exclude(p) | RsAction::Include(p) => {
-                                e.rs_members.contains(p)
-                            }
-                            _ => true,
-                        });
-                    (decoded.len(), member_ok as usize, std::cmp::Reverse(e.ixp.0))
+                    let member_ok = decoded.iter().all(|a| match a {
+                        RsAction::Exclude(p) | RsAction::Include(p) => e.rs_members.contains(p),
+                        _ => true,
+                    });
+                    (
+                        decoded.len(),
+                        member_ok as usize,
+                        std::cmp::Reverse(e.ixp.0),
+                    )
                 })
                 .expect("non-empty");
-            return Some(Identified { ixp: best.ixp, actions: decode_all(best, set) });
+            return Some(Identified {
+                ixp: best.ixp,
+                actions: decode_all(best, set),
+            });
         }
         // Pass 2: bare EXCLUDE lists (`0:peer-asn`, or offset excludes).
         // Disambiguate by the member-combination rule.
@@ -140,7 +148,10 @@ impl CommunityDictionary {
         match candidates.len() {
             1 => {
                 let (e, actions) = candidates.into_iter().next().expect("len checked");
-                Some(Identified { ixp: e.ixp, actions })
+                Some(Identified {
+                    ixp: e.ixp,
+                    actions,
+                })
             }
             _ => None, // unidentifiable or ambiguous
         }
@@ -246,6 +257,50 @@ mod tests {
         assert!(got.actions.contains(&RsAction::All));
     }
 
+    /// §4.2's combination rule, exhaustively: a bare EXCLUDE list
+    /// identifies an IXP only when the *set* of excluded members exists
+    /// at exactly one route server. Members 8359 and 9002 are both at
+    /// IXP 0 *and* IXP 1, so any combination drawn from {8359, 9002}
+    /// stays ambiguous — even though each value decodes under both
+    /// schemes — while one member unique to an IXP resolves the whole
+    /// combination.
+    #[test]
+    fn exclude_combination_rule_across_two_ixps() {
+        let d = CommunityDictionary::new(vec![
+            entry(0, 6695, &[8359, 9002, 5410]),
+            entry(1, 8631, &[8359, 9002, 2854]),
+        ]);
+        // Single shared member: ambiguous.
+        assert_eq!(d.identify(&cs("0:8359")), None);
+        // A combination of members shared by both IXPs: still ambiguous.
+        assert_eq!(
+            d.identify(&cs("0:8359 0:9002")),
+            None,
+            "set {{8359, 9002}} is at both IXPs"
+        );
+        // Adding a member unique to IXP 0 makes the combination unique.
+        let got = d.identify(&cs("0:8359 0:9002 0:5410")).unwrap();
+        assert_eq!(got.ixp, IxpId(0));
+        assert_eq!(
+            got.actions,
+            vec![
+                RsAction::Exclude(Asn(5410)),
+                RsAction::Exclude(Asn(8359)),
+                RsAction::Exclude(Asn(9002)),
+            ]
+        );
+        // The mirror case resolves to IXP 1.
+        let got = d.identify(&cs("0:8359 0:2854")).unwrap();
+        assert_eq!(got.ixp, IxpId(1));
+        // A combination mixing members that never share a route server
+        // matches no single IXP at all.
+        assert_eq!(
+            d.identify(&cs("0:5410 0:2854")),
+            None,
+            "no RS hosts both 5410 and 2854"
+        );
+    }
+
     #[test]
     fn foreign_communities_unidentified() {
         let d = dict();
@@ -259,7 +314,11 @@ mod tests {
     fn classify_lists_all_interpretations() {
         let d = dict();
         let v = d.classify("0:8359".parse().unwrap());
-        assert_eq!(v.len(), 2, "bare exclude decodes under both ASN-based schemes");
+        assert_eq!(
+            v.len(),
+            2,
+            "bare exclude decodes under both ASN-based schemes"
+        );
         let v = d.classify("6695:6695".parse().unwrap());
         assert_eq!(v, vec![(IxpId(0), RsAction::All)]);
     }

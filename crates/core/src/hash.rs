@@ -1,0 +1,113 @@
+//! Deterministic hashed containers for the inference hot paths.
+//!
+//! The pipeline's inner loops key maps by `(IxpId, Asn)`, `Prefix` and
+//! `(Asn, Asn)` — small `Copy` keys hit millions of times at Table-2
+//! scale, where `BTreeMap`'s pointer-chasing comparisons dominate.
+//! These aliases use an FxHash-style multiplicative hasher: much
+//! cheaper than SipHash for short keys, and — unlike
+//! `std::collections::HashMap`'s `RandomState` — *unseeded*, so two
+//! runs of the same binary iterate identically and the end-to-end
+//! determinism tests stay meaningful. Sorted order is recovered only at
+//! report boundaries ([`crate::infer::LinkInferencer::finalize`]).
+//!
+//! The hasher is not DoS-resistant; every key here comes from our own
+//! simulation, not from untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// An FxHash-style hasher (rotate–xor–multiply per word).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Deterministic, cheap-to-hash map for hot-path keys.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Deterministic, cheap-to-hash set for hot-path keys.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseeded_and_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"multilateral peering");
+        b.write(b"multilateral peering");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"multilateral peerinG");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn containers_work_with_copy_keys() {
+        let mut m: FxHashMap<(u16, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i as u16 % 13, i), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(5, 5)], 5);
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert!(s.contains(&42));
+    }
+}

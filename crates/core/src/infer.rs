@@ -1,4 +1,4 @@
-//! Link inference (§4.1 steps 4–5).
+//! Link inference (§4.1 steps 4–5), as a streaming fold.
 //!
 //! Observations — "(IXP, setter, prefix) announced with these RS
 //! actions" — arrive from the passive and active pipelines. Per member
@@ -14,6 +14,17 @@
 //! *reciprocity assumption* validated in §4.4. Links are deduplicated
 //! across IXPs with the per-IXP provenance retained (the Table 2
 //! "Links" column vs the 206,667 unique total).
+//!
+//! [`LinkInferencer`] is an [`ObservationSink`]: instead of grouping a
+//! materialized `Vec<Observation>` at the end, it folds each
+//! observation into a per-`(ixp, member, prefix)` policy accumulator
+//! the moment it arrives — `ExportPolicy::from_actions` only ever looks
+//! at the *set* of decoded actions, so the fold is order-insensitive
+//! and per-shard inferencers [`merge`](LinkInferencer::merge) into
+//! exactly the serial state. Hot-path state lives in unseeded hashed
+//! maps ([`crate::hash`]); sorted order is recovered once, in
+//! [`finalize`](LinkInferencer::finalize), the report boundary that
+//! produces the `BTreeMap`-shaped [`MlpLinkSet`].
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -23,6 +34,8 @@ use mlpeer_ixp::policy::ExportPolicy;
 use mlpeer_ixp::scheme::RsAction;
 
 use crate::connectivity::ConnectivityData;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::sink::{MergeSink, ObservationSink};
 
 /// Where an observation came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,7 +65,7 @@ pub struct Observation {
 }
 
 /// The inferred link set.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MlpLinkSet {
     /// Per-IXP links (`a < b`).
     pub per_ixp: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>>,
@@ -83,7 +96,10 @@ impl MlpLinkSet {
                 *seen.entry(*l).or_default() += 1;
             }
         }
-        seen.into_iter().filter(|(_, n)| *n > 1).map(|(l, _)| l).collect()
+        seen.into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|(l, _)| l)
+            .collect()
     }
 
     /// Links common to two IXPs (the AMS-IX ∩ DE-CIX 7,502 statistic).
@@ -96,80 +112,196 @@ impl MlpLinkSet {
 
     /// Distinct ASNs involved in any link.
     pub fn distinct_asns(&self) -> BTreeSet<Asn> {
-        self.unique_links().into_iter().flat_map(|(a, b)| [a, b]).collect()
+        self.unique_links()
+            .into_iter()
+            .flat_map(|(a, b)| [a, b])
+            .collect()
     }
 
     /// Links at one IXP.
     pub fn links_at(&self, ixp: IxpId) -> &BTreeSet<(Asn, Asn)> {
         static EMPTY: std::sync::OnceLock<BTreeSet<(Asn, Asn)>> = std::sync::OnceLock::new();
-        self.per_ixp.get(&ixp).unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+        self.per_ixp
+            .get(&ixp)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
     }
 }
 
-/// Reconstruct `N_a` for every covered member and infer reciprocal
-/// links.
-pub fn infer_links(conn: &ConnectivityData, observations: &[Observation]) -> MlpLinkSet {
-    // Group observations per (ixp, member, prefix), merging actions from
-    // all sources.
-    let mut per_member_prefix: BTreeMap<(IxpId, Asn), BTreeMap<Prefix, Vec<RsAction>>> =
-        BTreeMap::new();
-    for obs in observations {
-        per_member_prefix
+/// The commutative fold of every action observed for one
+/// `(ixp, member, prefix)`: exactly the state
+/// [`ExportPolicy::from_actions`] extracts from an action list, so
+/// absorbing actions one observation at a time — in any arrival order,
+/// across any shard split — reconstructs the same policy as batching
+/// the concatenated list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct PolicyAcc {
+    saw_none: bool,
+    includes: BTreeSet<Asn>,
+    excludes: BTreeSet<Asn>,
+}
+
+impl PolicyAcc {
+    fn absorb(&mut self, action: RsAction) {
+        match action {
+            RsAction::All => {}
+            RsAction::None => self.saw_none = true,
+            RsAction::Include(m) => {
+                self.includes.insert(m);
+            }
+            RsAction::Exclude(m) => {
+                self.excludes.insert(m);
+            }
+        }
+    }
+
+    fn merge(&mut self, other: PolicyAcc) {
+        self.saw_none |= other.saw_none;
+        self.includes.extend(other.includes);
+        self.excludes.extend(other.excludes);
+    }
+
+    /// §4.1 step 4, with [`ExportPolicy::from_actions`]'s precedence.
+    fn policy(&self) -> ExportPolicy {
+        if self.saw_none {
+            if self.includes.is_empty() {
+                ExportPolicy::Nobody
+            } else {
+                ExportPolicy::OnlyTo(self.includes.clone())
+            }
+        } else if !self.excludes.is_empty() {
+            ExportPolicy::AllExcept(self.excludes.clone())
+        } else {
+            ExportPolicy::AllMembers
+        }
+    }
+}
+
+/// A streaming [`ObservationSink`] that folds export-reach state
+/// incrementally and emits the [`MlpLinkSet`] at
+/// [`finalize`](LinkInferencer::finalize). Per-shard inferencers
+/// [`merge`](LinkInferencer::merge) commutatively, so the sharded
+/// passive harvest reproduces the serial result exactly.
+#[derive(Debug, Clone, Default)]
+pub struct LinkInferencer {
+    /// `(ixp, member)` → prefix → folded policy state.
+    reach: FxHashMap<(IxpId, Asn), FxHashMap<Prefix, PolicyAcc>>,
+    observations: usize,
+}
+
+impl ObservationSink for LinkInferencer {
+    fn push(&mut self, obs: Observation) {
+        let acc = self
+            .reach
             .entry((obs.ixp, obs.member))
             .or_default()
             .entry(obs.prefix)
-            .or_default()
-            .extend(obs.actions.iter().copied());
+            .or_default();
+        for action in obs.actions {
+            acc.absorb(action);
+        }
+        self.observations += 1;
     }
+}
 
-    let mut out = MlpLinkSet::default();
-
-    // Per IXP: reconstruct N_a as the intersection over prefixes.
-    let mut reach: BTreeMap<IxpId, BTreeMap<Asn, BTreeSet<Asn>>> = BTreeMap::new();
-    for ((ixp, member), prefixes) in &per_member_prefix {
-        let members = conn.rs_members(*ixp);
-        if !members.contains(member) {
-            continue; // reachability data for an AS we cannot place
-        }
-        let mut na: Option<BTreeSet<Asn>> = None;
-        let mut default_policy: Option<ExportPolicy> = None;
-        for (_prefix, actions) in prefixes {
-            let policy = ExportPolicy::from_actions(actions.iter().copied());
-            let nap: BTreeSet<Asn> = policy
-                .allowed_set(&members)
-                .into_iter()
-                .filter(|&m| m != *member)
-                .collect();
-            na = Some(match na.take() {
-                None => nap,
-                Some(prev) => prev.intersection(&nap).copied().collect(),
-            });
-            // Remember the modal (first) policy for reporting.
-            if default_policy.is_none() {
-                default_policy = Some(policy);
-            }
-        }
-        let na = na.unwrap_or_default();
-        reach.entry(*ixp).or_default().insert(*member, na);
-        out.covered.entry(*ixp).or_default().insert(*member);
-        if let Some(p) = default_policy {
-            out.policies.insert((*ixp, *member), p);
-        }
-    }
-
-    // Step 5: reciprocal links.
-    for (ixp, members) in &reach {
-        let links = out.per_ixp.entry(*ixp).or_default();
-        let asns: Vec<Asn> = members.keys().copied().collect();
-        for (i, &a) in asns.iter().enumerate() {
-            for &b in &asns[i + 1..] {
-                if members[&a].contains(&b) && members[&b].contains(&a) {
-                    links.insert((a, b));
+impl MergeSink for LinkInferencer {
+    fn merge(&mut self, other: Self) {
+        for (key, prefixes) in other.reach {
+            let mine = self.reach.entry(key).or_default();
+            for (prefix, acc) in prefixes {
+                match mine.entry(prefix) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(acc),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(acc);
+                    }
                 }
             }
         }
+        self.observations += other.observations;
     }
-    out
+}
+
+impl LinkInferencer {
+    /// Observations folded so far.
+    pub fn observation_count(&self) -> usize {
+        self.observations
+    }
+
+    /// Distinct `(ixp, member)` pairs with any reachability data
+    /// (before the membership filter).
+    pub fn member_count(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// The report boundary: reconstruct `N_a` for every covered member,
+    /// infer reciprocal links, and emit the sorted [`MlpLinkSet`].
+    pub fn finalize(&self, conn: &ConnectivityData) -> MlpLinkSet {
+        let mut out = MlpLinkSet::default();
+
+        // Per-IXP member sets, fetched once (not per observation group).
+        let mut members_at: FxHashMap<IxpId, BTreeSet<Asn>> = FxHashMap::default();
+        // Per IXP: member → N_a.
+        let mut reach: BTreeMap<IxpId, BTreeMap<Asn, FxHashSet<Asn>>> = BTreeMap::new();
+
+        for ((ixp, member), prefixes) in &self.reach {
+            let members = members_at
+                .entry(*ixp)
+                .or_insert_with(|| conn.rs_members(*ixp));
+            if !members.contains(member) {
+                continue; // reachability data for an AS we cannot place
+            }
+            let mut na: Option<FxHashSet<Asn>> = None;
+            // The reported default policy is the first prefix's in sorted
+            // order, matching the previous batch grouping.
+            let mut default_policy: Option<(Prefix, ExportPolicy)> = None;
+            for (prefix, acc) in prefixes {
+                let policy = acc.policy();
+                let nap: FxHashSet<Asn> = members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != *member && policy.allows(m))
+                    .collect();
+                na = Some(match na.take() {
+                    None => nap,
+                    Some(prev) => prev.intersection(&nap).copied().collect(),
+                });
+                match &default_policy {
+                    Some((first, _)) if first <= prefix => {}
+                    _ => default_policy = Some((*prefix, policy)),
+                }
+            }
+            let na = na.unwrap_or_default();
+            reach.entry(*ixp).or_default().insert(*member, na);
+            out.covered.entry(*ixp).or_default().insert(*member);
+            if let Some((_, p)) = default_policy {
+                out.policies.insert((*ixp, *member), p);
+            }
+        }
+
+        // Step 5: reciprocal links.
+        for (ixp, members) in &reach {
+            let links = out.per_ixp.entry(*ixp).or_default();
+            let asns: Vec<Asn> = members.keys().copied().collect();
+            for (i, &a) in asns.iter().enumerate() {
+                for &b in &asns[i + 1..] {
+                    if members[&a].contains(&b) && members[&b].contains(&a) {
+                        links.insert((a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Batch convenience: fold a materialized observation list and
+/// finalize. The streaming paths push into a [`LinkInferencer`]
+/// directly instead.
+pub fn infer_links(conn: &ConnectivityData, observations: &[Observation]) -> MlpLinkSet {
+    let mut inferencer = LinkInferencer::default();
+    for obs in observations {
+        inferencer.push(obs.clone());
+    }
+    inferencer.finalize(conn)
 }
 
 #[cfg(test)]
@@ -201,11 +333,15 @@ mod tests {
     fn figure3_inference() {
         let conn = conn_with(&[1, 2, 3, 4]);
         let observations = vec![
-            obs(1, "10.1.0.0/24", vec![
-                RsAction::None,
-                RsAction::Include(Asn(2)),
-                RsAction::Include(Asn(4)),
-            ]),
+            obs(
+                1,
+                "10.1.0.0/24",
+                vec![
+                    RsAction::None,
+                    RsAction::Include(Asn(2)),
+                    RsAction::Include(Asn(4)),
+                ],
+            ),
             obs(2, "10.2.0.0/24", vec![RsAction::All]),
             obs(3, "10.3.0.0/24", vec![RsAction::All]),
             obs(4, "10.4.0.0/24", vec![RsAction::All]),
@@ -228,10 +364,11 @@ mod tests {
     fn figure2b_all_exclude() {
         let conn = conn_with(&[1, 2, 3, 4]);
         let observations = vec![
-            obs(1, "10.1.0.0/24", vec![
-                RsAction::All,
-                RsAction::Exclude(Asn(3)),
-            ]),
+            obs(
+                1,
+                "10.1.0.0/24",
+                vec![RsAction::All, RsAction::Exclude(Asn(3))],
+            ),
             obs(2, "10.2.0.0/24", vec![]),
             obs(3, "10.3.0.0/24", vec![]),
             obs(4, "10.4.0.0/24", vec![]),
@@ -256,7 +393,10 @@ mod tests {
         // Only member 1 has reachability data.
         let observations = vec![obs(1, "10.1.0.0/24", vec![RsAction::All])];
         let links = infer_links(&conn, &observations);
-        assert!(links.links_at(IxpId(0)).is_empty(), "reciprocity needs both sides covered");
+        assert!(
+            links.links_at(IxpId(0)).is_empty(),
+            "reciprocity needs both sides covered"
+        );
         assert_eq!(links.covered[&IxpId(0)].len(), 1);
     }
 
@@ -266,7 +406,11 @@ mod tests {
         let conn = conn_with(&[1, 2]);
         let observations = vec![
             obs(1, "10.1.0.0/24", vec![RsAction::All]),
-            obs(1, "10.9.0.0/24", vec![RsAction::All, RsAction::Exclude(Asn(2))]),
+            obs(
+                1,
+                "10.9.0.0/24",
+                vec![RsAction::All, RsAction::Exclude(Asn(2))],
+            ),
             obs(2, "10.2.0.0/24", vec![RsAction::All]),
         ];
         let links = infer_links(&conn, &observations);
@@ -294,10 +438,7 @@ mod tests {
         let mut conn = conn_with(&[1, 2]);
         conn.record(IxpId(1), Asn(1), ConnSource::Website);
         conn.record(IxpId(1), Asn(2), ConnSource::Website);
-        let mut observations = vec![
-            obs(1, "10.1.0.0/24", vec![]),
-            obs(2, "10.2.0.0/24", vec![]),
-        ];
+        let mut observations = vec![obs(1, "10.1.0.0/24", vec![]), obs(2, "10.2.0.0/24", vec![])];
         observations.push(Observation {
             ixp: IxpId(1),
             member: Asn(1),
@@ -323,14 +464,87 @@ mod tests {
     #[test]
     fn policy_reconstruction_recorded() {
         let conn = conn_with(&[1, 2, 3]);
-        let observations = vec![obs(1, "10.1.0.0/24", vec![
-            RsAction::All,
-            RsAction::Exclude(Asn(3)),
-        ])];
+        let observations = vec![obs(
+            1,
+            "10.1.0.0/24",
+            vec![RsAction::All, RsAction::Exclude(Asn(3))],
+        )];
         let links = infer_links(&conn, &observations);
         assert_eq!(
             links.policies.get(&(IxpId(0), Asn(1))),
             Some(&ExportPolicy::AllExcept([Asn(3)].into_iter().collect()))
         );
+    }
+
+    #[test]
+    fn default_policy_comes_from_smallest_prefix() {
+        // Pushed out of sorted order: the reported policy must still be
+        // the lexicographically-first prefix's, as the batch grouping
+        // (BTreeMap iteration) produced.
+        let conn = conn_with(&[1, 2, 3]);
+        let observations = vec![
+            obs(
+                1,
+                "10.9.0.0/24",
+                vec![RsAction::All, RsAction::Exclude(Asn(3))],
+            ),
+            obs(1, "10.1.0.0/24", vec![RsAction::All]),
+            obs(2, "10.2.0.0/24", vec![]),
+        ];
+        let links = infer_links(&conn, &observations);
+        assert_eq!(
+            links.policies.get(&(IxpId(0), Asn(1))),
+            Some(&ExportPolicy::AllMembers),
+            "10.1.0.0/24 sorts first"
+        );
+    }
+
+    #[test]
+    fn incremental_fold_matches_batch_and_merge_is_commutative() {
+        let conn = conn_with(&[1, 2, 3, 4]);
+        let observations = vec![
+            obs(
+                1,
+                "10.1.0.0/24",
+                vec![RsAction::All, RsAction::Exclude(Asn(3))],
+            ),
+            obs(1, "10.1.0.0/24", vec![RsAction::Exclude(Asn(4))]), // same prefix, more actions
+            obs(2, "10.2.0.0/24", vec![]),
+            obs(
+                3,
+                "10.3.0.0/24",
+                vec![RsAction::None, RsAction::Include(Asn(2))],
+            ),
+            obs(4, "10.4.0.0/24", vec![RsAction::All]),
+        ];
+        let batch = infer_links(&conn, &observations);
+
+        // Split the stream across two shard sinks, merge both ways.
+        let (left, right) = observations.split_at(2);
+        let mut shard_a = LinkInferencer::default();
+        for o in left {
+            shard_a.push(o.clone());
+        }
+        let mut shard_b = LinkInferencer::default();
+        for o in right {
+            shard_b.push(o.clone());
+        }
+        let mut ab = shard_a.clone();
+        ab.merge(shard_b.clone());
+        let mut ba = shard_b;
+        ba.merge(shard_a);
+        assert_eq!(ab.observation_count(), observations.len());
+        assert_eq!(ab.finalize(&conn), batch);
+        assert_eq!(ba.finalize(&conn), batch, "merge is commutative");
+    }
+
+    #[test]
+    fn member_count_tracks_distinct_pairs() {
+        let mut sink = LinkInferencer::default();
+        sink.push(obs(1, "10.1.0.0/24", vec![]));
+        sink.push(obs(1, "10.2.0.0/24", vec![]));
+        sink.push(obs(2, "10.1.0.0/24", vec![]));
+        assert_eq!(sink.observation_count(), 3);
+        assert_eq!(sink.member_count(), 2);
     }
 }

@@ -36,12 +36,15 @@ pub mod active;
 pub mod analysis;
 pub mod connectivity;
 pub mod dict;
+pub mod hash;
 pub mod infer;
 pub mod passive;
 pub mod reciprocity;
 pub mod report;
+pub mod sink;
 pub mod validate;
 
 pub use connectivity::{ConnSource, ConnectivityData};
 pub use dict::CommunityDictionary;
-pub use infer::{infer_links, MlpLinkSet, Observation, ObservationSource};
+pub use infer::{infer_links, LinkInferencer, MlpLinkSet, Observation, ObservationSource};
+pub use sink::{CountingSink, MergeSink, ObservationSink};

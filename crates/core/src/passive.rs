@@ -1,10 +1,18 @@
-//! Passive inference from collector archives (§4.2).
+//! Passive inference from collector archives (§4.2), as a streaming,
+//! shardable pipeline.
 //!
 //! Walk every archived route (RIB dumps and non-transient updates),
 //! sanitize the AS path, identify which IXP the attached RS communities
 //! belong to (via the dictionary), pin-point the *RS setter* — the
-//! member that applied them — and emit reachability observations for
-//! the link-inference stage.
+//! member that applied them — and push reachability observations into
+//! an [`ObservationSink`] for the link-inference stage.
+//!
+//! The workload is embarrassingly parallel per collector:
+//! [`harvest_passive_sharded`] fans collectors out across threads, each
+//! shard folding into its own sink ([`MergeSink`]) and
+//! [`PassiveStats`], and the shard states merge — commutatively for
+//! stats and inference state, in collector order for collected
+//! observation vectors — to exactly the serial result.
 //!
 //! Setter pin-pointing follows §4.2's three cases, given the IXP's
 //! known members on the path:
@@ -14,19 +22,23 @@
 //! 3. more than two → locate the p2p edge among them using inferred AS
 //!    relationships; the setter is the member on the origin side of it.
 
-use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign};
 
 use mlpeer_bgp::mrt::MrtArchive;
 use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::scheme::RsAction;
 use mlpeer_topo::infer::InferredRelationships;
 use mlpeer_topo::relationship::Relationship;
+use rayon::prelude::*;
 
 use mlpeer_data::collector::PassiveDataset;
 
 use crate::connectivity::ConnectivityData;
 use crate::dict::CommunityDictionary;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::infer::{Observation, ObservationSource};
+use crate::sink::{MergeSink, ObservationSink};
 
 /// Passive-pipeline parameters.
 #[derive(Debug, Clone)]
@@ -38,11 +50,15 @@ pub struct PassiveConfig {
 
 impl Default for PassiveConfig {
     fn default() -> Self {
-        PassiveConfig { transient_secs: 6 * 3600 }
+        PassiveConfig {
+            transient_secs: 6 * 3600,
+        }
     }
 }
 
-/// Statistics from a passive run (for reports and tests).
+/// Statistics from a passive run (for reports and tests). Per-shard
+/// stats sum ([`Add`] / [`merge`](PassiveStats::merge)) to exactly the
+/// serial totals — every field is a plain count.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PassiveStats {
     /// Routes examined.
@@ -61,44 +77,195 @@ pub struct PassiveStats {
     pub observations: usize,
 }
 
-/// Run the passive pipeline over a dataset.
-pub fn harvest_passive(
+impl PassiveStats {
+    /// Fold another shard's counts into this one.
+    pub fn merge(&mut self, other: &PassiveStats) {
+        self.routes_seen += other.routes_seen;
+        self.dropped_bogon += other.dropped_bogon;
+        self.dropped_cycle += other.dropped_cycle;
+        self.dropped_transient += other.dropped_transient;
+        self.unidentified += other.unidentified;
+        self.setter_unknown += other.setter_unknown;
+        self.observations += other.observations;
+    }
+}
+
+impl AddAssign for PassiveStats {
+    fn add_assign(&mut self, rhs: PassiveStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl Add for PassiveStats {
+    type Output = PassiveStats;
+
+    fn add(mut self, rhs: PassiveStats) -> PassiveStats {
+        self += rhs;
+        self
+    }
+}
+
+/// Per-IXP RS-member sets in hashed form, resolved once per harvest
+/// instead of once per route (`ConnectivityData::rs_members` builds a
+/// fresh ordered set on every call — fine at a report boundary, not in
+/// a loop over every archived route).
+#[derive(Debug, Clone, Default)]
+struct MemberIndex {
+    per_ixp: FxHashMap<IxpId, FxHashSet<Asn>>,
+}
+
+impl MemberIndex {
+    fn build(conn: &ConnectivityData) -> Self {
+        let mut per_ixp = FxHashMap::default();
+        for ixp in conn.ixps() {
+            per_ixp.insert(ixp, conn.rs_members(ixp).into_iter().collect());
+        }
+        MemberIndex { per_ixp }
+    }
+
+    fn members(&self, ixp: IxpId) -> Option<&FxHashSet<Asn>> {
+        self.per_ixp.get(&ixp)
+    }
+}
+
+/// Run the passive pipeline over a dataset, streaming observations into
+/// `sink`.
+pub fn harvest_passive<S: ObservationSink>(
     dataset: &PassiveDataset,
     dict: &CommunityDictionary,
     conn: &ConnectivityData,
     rels: &InferredRelationships,
     cfg: &PassiveConfig,
-) -> (Vec<Observation>, PassiveStats) {
-    let mut observations = Vec::new();
+    sink: &mut S,
+) -> PassiveStats {
+    let index = MemberIndex::build(conn);
     let mut stats = PassiveStats::default();
-
     for (_, archive) in &dataset.collectors {
-        // RIB snapshot entries.
-        for entry in &archive.rib {
-            stats.routes_seen += 1;
-            process_route(
-                &entry.attrs.as_path.dedup_prepends(),
-                &entry.attrs.communities,
-                entry.prefix,
-                dict,
-                conn,
-                rels,
-                &mut observations,
-                &mut stats,
-            );
+        harvest_archive(archive, dict, &index, rels, cfg, sink, &mut stats);
+    }
+    stats
+}
+
+/// One unit of sharded work. RIB entries are independent, so a
+/// collector's RIB splits into contiguous chunks; the update stream
+/// stays whole per collector because transient filtering pairs
+/// announcements with their withdrawals across the stream.
+enum ShardUnit<'a> {
+    Rib(&'a [mlpeer_bgp::mrt::MrtRibEntry]),
+    Updates(&'a MrtArchive),
+}
+
+/// Run the passive pipeline sharded across threads: per collector, and
+/// within a collector per RIB chunk, so the fan-out scales with cores
+/// rather than with the collector count. Each shard folds into its own
+/// `S`; shard sinks merge in input order and shard stats sum,
+/// reproducing the serial [`harvest_passive`] exactly — for any thread
+/// or chunk count (see the `sharded_passive_matches_serial` tests).
+pub fn harvest_passive_sharded<S>(
+    dataset: &PassiveDataset,
+    dict: &CommunityDictionary,
+    conn: &ConnectivityData,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+) -> (S, PassiveStats)
+where
+    S: ObservationSink + MergeSink + Default + Send,
+{
+    let index = MemberIndex::build(conn);
+    // ~4 chunks per worker balances stragglers without drowning in
+    // merge overhead; chunking never changes the merged result.
+    let total_rib: usize = dataset.collectors.iter().map(|(_, a)| a.rib.len()).sum();
+    let chunk_len = (total_rib / (rayon::current_num_threads() * 4).max(1)).max(512);
+    let mut units: Vec<ShardUnit<'_>> = Vec::new();
+    for (_, archive) in &dataset.collectors {
+        for chunk in archive.rib.chunks(chunk_len) {
+            units.push(ShardUnit::Rib(chunk));
         }
-        // Update stream, with transient filtering.
-        for (path, communities, prefix) in stable_updates(archive, cfg.transient_secs, &mut stats)
-        {
-            stats.routes_seen += 1;
-            process_route(
-                &path, &communities, prefix, dict, conn, rels, &mut observations, &mut stats,
-            );
+        if !archive.updates.is_empty() {
+            units.push(ShardUnit::Updates(archive));
         }
     }
-    stats.observations = observations.len();
-    (observations, stats)
+    units
+        .par_iter()
+        .map(|unit| {
+            let mut sink = S::default();
+            let mut stats = PassiveStats::default();
+            match unit {
+                ShardUnit::Rib(entries) => {
+                    process_rib_entries(entries, dict, &index, rels, &mut sink, &mut stats)
+                }
+                ShardUnit::Updates(archive) => {
+                    process_update_stream(archive, dict, &index, rels, cfg, &mut sink, &mut stats)
+                }
+            }
+            (sink, stats)
+        })
+        .reduce(
+            || (S::default(), PassiveStats::default()),
+            |(mut sink, mut stats), (shard_sink, shard_stats)| {
+                sink.merge(shard_sink);
+                stats.merge(&shard_stats);
+                (sink, stats)
+            },
+        )
 }
+
+/// One shard: every route of one collector's archive.
+fn harvest_archive<S: ObservationSink>(
+    archive: &MrtArchive,
+    dict: &CommunityDictionary,
+    index: &MemberIndex,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+    sink: &mut S,
+    stats: &mut PassiveStats,
+) {
+    process_rib_entries(&archive.rib, dict, index, rels, sink, stats);
+    process_update_stream(archive, dict, index, rels, cfg, sink, stats);
+}
+
+/// RIB snapshot entries (independent per entry).
+fn process_rib_entries<S: ObservationSink>(
+    entries: &[mlpeer_bgp::mrt::MrtRibEntry],
+    dict: &CommunityDictionary,
+    index: &MemberIndex,
+    rels: &InferredRelationships,
+    sink: &mut S,
+    stats: &mut PassiveStats,
+) {
+    for entry in entries {
+        stats.routes_seen += 1;
+        process_route(
+            &entry.attrs.as_path.dedup_prepends(),
+            &entry.attrs.communities,
+            entry.prefix,
+            dict,
+            index,
+            rels,
+            sink,
+            stats,
+        );
+    }
+}
+
+/// The update stream, with transient filtering (whole per collector).
+fn process_update_stream<S: ObservationSink>(
+    archive: &MrtArchive,
+    dict: &CommunityDictionary,
+    index: &MemberIndex,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+    sink: &mut S,
+    stats: &mut PassiveStats,
+) {
+    for (path, communities, prefix) in stable_updates(archive, cfg.transient_secs, stats) {
+        stats.routes_seen += 1;
+        process_route(&path, &communities, prefix, dict, index, rels, sink, stats);
+    }
+}
+
+/// A pending announcement: timestamp, deduplicated path, communities.
+type PendingRoute = (u32, Vec<Asn>, mlpeer_bgp::CommunitySet);
 
 /// Extract announcements from the update stream that were *not*
 /// withdrawn within the transient window.
@@ -108,9 +275,10 @@ fn stable_updates(
     stats: &mut PassiveStats,
 ) -> Vec<(Vec<Asn>, mlpeer_bgp::CommunitySet, Prefix)> {
     // (peer, prefix) → announce timestamp of the last announcement.
+    // Hashed for the hot insert/remove churn; drained through a sort at
+    // the end so downstream processing order stays deterministic.
     let mut out = Vec::new();
-    let mut pending: BTreeMap<(u16, Prefix), (u32, Vec<Asn>, mlpeer_bgp::CommunitySet)> =
-        BTreeMap::new();
+    let mut pending: FxHashMap<(u16, Prefix), PendingRoute> = FxHashMap::default();
     for u in &archive.updates {
         for w in &u.update.withdrawn {
             if let Some((t0, _, _)) = pending.get(&(u.peer_index, *w)) {
@@ -133,21 +301,23 @@ fn stable_updates(
             }
         }
     }
-    for ((_, prefix), (_, path, communities)) in pending {
+    let mut stable: Vec<((u16, Prefix), PendingRoute)> = pending.into_iter().collect();
+    stable.sort_unstable_by_key(|(key, _)| *key);
+    for ((_, prefix), (_, path, communities)) in stable {
         out.push((path, communities, prefix));
     }
     out
 }
 
 #[allow(clippy::too_many_arguments)]
-fn process_route(
+fn process_route<S: ObservationSink>(
     path: &[Asn],
     communities: &mlpeer_bgp::CommunitySet,
     prefix: Prefix,
     dict: &CommunityDictionary,
-    conn: &ConnectivityData,
+    index: &MemberIndex,
     rels: &InferredRelationships,
-    observations: &mut Vec<Observation>,
+    sink: &mut S,
     stats: &mut PassiveStats,
 ) {
     // §5 path sanitation.
@@ -168,12 +338,16 @@ fn process_route(
         return;
     };
     // Pin-point the setter among the IXP's members on the path.
-    let members = conn.rs_members(identified.ixp);
-    let Some(setter) = pinpoint_setter(path, &members, rels, &identified.actions) else {
+    static NO_MEMBERS: std::sync::OnceLock<FxHashSet<Asn>> = std::sync::OnceLock::new();
+    let members = index
+        .members(identified.ixp)
+        .unwrap_or_else(|| NO_MEMBERS.get_or_init(FxHashSet::default));
+    let Some(setter) = pinpoint_setter(path, members, rels, &identified.actions) else {
         stats.setter_unknown += 1;
         return;
     };
-    observations.push(Observation {
+    stats.observations += 1;
+    sink.push(Observation {
         ixp: identified.ixp,
         member: setter,
         prefix,
@@ -196,16 +370,18 @@ fn process_route(
 /// route server must be allowed by the setter's decoded policy.
 pub fn pinpoint_setter(
     path: &[Asn],
-    members: &std::collections::BTreeSet<Asn>,
+    members: &FxHashSet<Asn>,
     rels: &InferredRelationships,
     actions: &[RsAction],
 ) -> Option<Asn> {
-    let on_path: Vec<usize> = (0..path.len()).filter(|&i| members.contains(&path[i])).collect();
+    let on_path: Vec<usize> = (0..path.len())
+        .filter(|&i| members.contains(&path[i]))
+        .collect();
     if on_path.len() < 2 {
         return None;
     }
     let policy = mlpeer_ixp::policy::ExportPolicy::from_actions(actions.iter().copied());
-    let self_excluded: std::collections::BTreeSet<Asn> = actions
+    let self_excluded: FxHashSet<Asn> = actions
         .iter()
         .filter_map(|a| match a {
             RsAction::Exclude(p) => Some(*p),
@@ -241,11 +417,13 @@ pub fn pinpoint_setter(
     // the route on its own RS session, so the crossing is the leading
     // pair — relationship inference cannot help there because the
     // observer never appears mid-path. Then try a pair with no inferred
-    // relationship, and finally the pair closest to the origin (also
-    // where a hybrid transit-over-RS crossing sits, §5.6). The setter is
-    // always the origin-side member of the chosen pair.
+    // relationship. The setter is always the origin-side member of the
+    // chosen pair.
     let rel_of = |i: usize| rels.rel(path[i], path[i + 1]);
-    if let Some(&i) = adjacent.iter().find(|&&i| rel_of(i) == Some(Relationship::P2p)) {
+    if let Some(&i) = adjacent
+        .iter()
+        .find(|&&i| rel_of(i) == Some(Relationship::P2p))
+    {
         return Some(path[i + 1]);
     }
     if adjacent.first() == Some(&0) {
@@ -254,7 +432,18 @@ pub fn pinpoint_setter(
     if let Some(&i) = adjacent.iter().find(|&&i| rel_of(i).is_none()) {
         return Some(path[i + 1]);
     }
-    adjacent.last().map(|&i| path[i + 1])
+    // Every remaining candidate pair is classified as a transit edge. A
+    // single one is the hybrid transit-over-RS crossing of §5.6 (it
+    // sits closest to the origin). Several mean a member re-announced a
+    // customer's route into the RS with its own communities riding on
+    // the customer chain — attributing the setter by position would
+    // routinely pick the customer and fabricate its reachability, so
+    // the case stays ambiguous and is dropped (conservative, like the
+    // paper's reciprocity requirement).
+    match adjacent[..] {
+        [only] => Some(path[only + 1]),
+        _ => None,
+    }
 }
 
 fn has_cycle(path: &[Asn]) -> bool {
@@ -273,11 +462,12 @@ mod tests {
     use super::*;
     use crate::connectivity::ConnSource;
     use crate::dict::{CommunityDictionary, DictEntry};
+    use crate::infer::LinkInferencer;
+    use crate::sink::CountingSink;
     use mlpeer_bgp::mrt::{MrtRibEntry, MrtUpdate};
     use mlpeer_bgp::route::RouteAttrs;
     use mlpeer_bgp::update::UpdateMessage;
     use mlpeer_bgp::{AsPath, CommunitySet};
-    use mlpeer_ixp::ixp::IxpId;
     use mlpeer_ixp::scheme::{CommunityScheme, RsAction, SchemeStyle};
     use mlpeer_topo::infer::{infer_relationships, InferConfig};
 
@@ -317,11 +507,25 @@ mod tests {
                 attrs,
             });
         }
-        PassiveDataset { collectors: vec![("rv".into(), a)], vps: vec![] }
+        PassiveDataset {
+            collectors: vec![("rv".into(), a)],
+            vps: vec![],
+        }
     }
 
     fn no_rels() -> InferredRelationships {
         infer_relationships(&[], &InferConfig::default())
+    }
+
+    fn harvest_collect(
+        ds: &PassiveDataset,
+        dict: &CommunityDictionary,
+        conn: &ConnectivityData,
+        rels: &InferredRelationships,
+    ) -> (Vec<Observation>, PassiveStats) {
+        let mut obs = Vec::new();
+        let stats = harvest_passive(ds, dict, conn, rels, &Default::default(), &mut obs);
+        (obs, stats)
     }
 
     #[test]
@@ -330,10 +534,14 @@ mod tests {
         // Routes: E D A with A's communities, E D B with B's, E D C…
         let (dict, conn) = dict_and_conn();
         let ds = archive_with(vec![
-            (vec![999, 102, 101], "0:6695 6695:102 6695:103", "10.1.0.0/24"),
+            (
+                vec![999, 102, 101],
+                "0:6695 6695:102 6695:103",
+                "10.1.0.0/24",
+            ),
             (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
         ]);
-        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        let (obs, stats) = harvest_collect(&ds, &dict, &conn, &no_rels());
         assert_eq!(stats.observations, 2);
         // Setter = member closest to origin (case 2).
         assert_eq!(obs[0].member, Asn(101));
@@ -352,7 +560,7 @@ mod tests {
             (vec![999, 102, 999, 101], "6695:6695", "10.2.0.0/24"),
             (vec![999, 102, 101], "6695:6695", "10.3.0.0/24"),
         ]);
-        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        let (obs, stats) = harvest_collect(&ds, &dict, &conn, &no_rels());
         assert_eq!(stats.dropped_bogon, 1);
         assert_eq!(stats.dropped_cycle, 1);
         assert_eq!(obs.len(), 1);
@@ -363,7 +571,7 @@ mod tests {
         let (dict, conn) = dict_and_conn();
         // Only member 101 on the path: case 1, dropped.
         let ds = archive_with(vec![(vec![999, 101], "6695:6695", "10.1.0.0/24")]);
-        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        let (obs, stats) = harvest_collect(&ds, &dict, &conn, &no_rels());
         assert!(obs.is_empty());
         assert_eq!(stats.setter_unknown, 1);
     }
@@ -384,7 +592,10 @@ mod tests {
         ];
         let rels = infer_relationships(
             &teaching_paths,
-            &InferConfig { clique_size: 0, ..Default::default() },
+            &InferConfig {
+                clique_size: 0,
+                ..Default::default()
+            },
         );
         assert_eq!(rels.rel(Asn(101), Asn(102)), Some(Relationship::P2p));
         let ds = archive_with(vec![(
@@ -392,9 +603,13 @@ mod tests {
             "0:6695 6695:102 6695:103",
             "10.1.0.0/24",
         )]);
-        let (obs, _) = harvest_passive(&ds, &dict, &conn, &rels, &Default::default());
+        let (obs, _) = harvest_collect(&ds, &dict, &conn, &rels);
         assert_eq!(obs.len(), 1);
-        assert_eq!(obs[0].member, Asn(101), "setter is on the origin side of the p2p edge");
+        assert_eq!(
+            obs[0].member,
+            Asn(101),
+            "setter is on the origin side of the p2p edge"
+        );
     }
 
     #[test]
@@ -424,8 +639,11 @@ mod tests {
             timestamp: 2_000,
             update: UpdateMessage::announce(attrs, vec!["10.6.0.0/24".parse().unwrap()]),
         });
-        let ds = PassiveDataset { collectors: vec![("rv".into(), a)], vps: vec![] };
-        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        let ds = PassiveDataset {
+            collectors: vec![("rv".into(), a)],
+            vps: vec![],
+        };
+        let (obs, stats) = harvest_collect(&ds, &dict, &conn, &no_rels());
         assert_eq!(stats.dropped_transient, 1);
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].prefix, "10.6.0.0/24".parse().unwrap());
@@ -436,8 +654,117 @@ mod tests {
     fn unidentified_communities_counted() {
         let (dict, conn) = dict_and_conn();
         let ds = archive_with(vec![(vec![999, 102, 101], "3356:2001", "10.1.0.0/24")]);
-        let (obs, stats) = harvest_passive(&ds, &dict, &conn, &no_rels(), &Default::default());
+        let (obs, stats) = harvest_collect(&ds, &dict, &conn, &no_rels());
         assert!(obs.is_empty());
         assert_eq!(stats.unidentified, 1);
+    }
+
+    #[test]
+    fn stats_add_is_fieldwise() {
+        let a = PassiveStats {
+            routes_seen: 1,
+            dropped_bogon: 2,
+            dropped_cycle: 3,
+            dropped_transient: 4,
+            unidentified: 5,
+            setter_unknown: 6,
+            observations: 7,
+        };
+        let b = PassiveStats {
+            routes_seen: 10,
+            dropped_bogon: 20,
+            dropped_cycle: 30,
+            dropped_transient: 40,
+            unidentified: 50,
+            setter_unknown: 60,
+            observations: 70,
+        };
+        let sum = a.clone() + b.clone();
+        assert_eq!(sum.routes_seen, 11);
+        assert_eq!(sum.dropped_bogon, 22);
+        assert_eq!(sum.dropped_cycle, 33);
+        assert_eq!(sum.dropped_transient, 44);
+        assert_eq!(sum.unidentified, 55);
+        assert_eq!(sum.setter_unknown, 66);
+        assert_eq!(sum.observations, 77);
+        let mut via_merge = a;
+        via_merge.merge(&b);
+        assert_eq!(via_merge, sum);
+    }
+
+    /// The sharding contract on a hand-built multi-collector dataset:
+    /// identical observations (collector order), stats, and inference
+    /// state. The ecosystem-scale version lives in the workspace
+    /// integration tests.
+    #[test]
+    fn sharded_matches_serial_on_multi_collector_dataset() {
+        let (dict, conn) = dict_and_conn();
+        let ds_a = archive_with(vec![
+            (
+                vec![999, 102, 101],
+                "0:6695 6695:102 6695:103",
+                "10.1.0.0/24",
+            ),
+            (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
+        ]);
+        let ds_b = archive_with(vec![
+            (vec![999, 23456, 101], "6695:6695", "10.4.0.0/24"),
+            (vec![999, 103, 102], "6695:6695 0:101", "10.5.0.0/24"),
+        ]);
+        let dataset = PassiveDataset {
+            collectors: vec![
+                ("rv".into(), ds_a.collectors[0].1.clone()),
+                ("ris".into(), ds_b.collectors[0].1.clone()),
+            ],
+            vps: vec![],
+        };
+        let rels = no_rels();
+
+        let mut serial_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let serial_stats = harvest_passive(
+            &dataset,
+            &dict,
+            &conn,
+            &rels,
+            &Default::default(),
+            &mut serial_sink,
+        );
+        let (sharded_sink, sharded_stats) = harvest_passive_sharded::<(
+            Vec<Observation>,
+            LinkInferencer,
+        )>(
+            &dataset, &dict, &conn, &rels, &Default::default()
+        );
+        assert_eq!(sharded_stats, serial_stats);
+        assert_eq!(
+            sharded_sink.0, serial_sink.0,
+            "observations in collector order"
+        );
+        assert_eq!(
+            sharded_sink.1.finalize(&conn),
+            serial_sink.1.finalize(&conn),
+            "identical inference state"
+        );
+        assert!(serial_stats.observations > 0);
+    }
+
+    #[test]
+    fn counting_sink_matches_stats() {
+        let (dict, conn) = dict_and_conn();
+        let ds = archive_with(vec![
+            (vec![999, 102, 101], "6695:6695", "10.1.0.0/24"),
+            (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
+        ]);
+        let mut sink = CountingSink::default();
+        let stats = harvest_passive(
+            &ds,
+            &dict,
+            &conn,
+            &no_rels(),
+            &Default::default(),
+            &mut sink,
+        );
+        assert_eq!(sink.0, stats.observations);
+        assert_eq!(sink.0, 2);
     }
 }

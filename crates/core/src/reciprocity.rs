@@ -52,7 +52,15 @@ pub fn study_reciprocity(
     let mut report = ReciprocityReport::default();
     for db in registries.values() {
         for obj in &db.objects {
-            let RpslObject::AutNum { asn, imports, exports, .. } = obj else { continue };
+            let RpslObject::AutNum {
+                asn,
+                imports,
+                exports,
+                ..
+            } = obj
+            else {
+                continue;
+            };
             if !rs_members.contains(asn) {
                 continue;
             }
@@ -100,8 +108,15 @@ mod tests {
         let amsix = eco.ixp_by_name("AMS-IX").unwrap();
         let members: BTreeSet<Asn> = amsix.rs_member_asns().into_iter().collect();
         let report = study_reciprocity(&irr, &members);
-        assert!(report.members_with_filters > 0, "some members registered filters");
-        assert!(report.assumption_holds(), "violations: {:?}", report.violations);
+        assert!(
+            report.members_with_filters > 0,
+            "some members registered filters"
+        );
+        assert!(
+            report.assumption_holds(),
+            "violations: {:?}",
+            report.violations
+        );
         assert_eq!(
             report.members_with_filters,
             report.import_more_permissive + report.import_equal
@@ -116,10 +131,19 @@ mod tests {
         db.objects.push(RpslObject::AutNum {
             asn: Asn(10),
             as_name: "BAD".into(),
-            imports: vec![PolicyLine { peer: Asn(20), allow: false }],
+            imports: vec![PolicyLine {
+                peer: Asn(20),
+                allow: false,
+            }],
             exports: vec![
-                PolicyLine { peer: Asn(20), allow: true },
-                PolicyLine { peer: Asn(30), allow: true },
+                PolicyLine {
+                    peer: Asn(20),
+                    allow: true,
+                },
+                PolicyLine {
+                    peer: Asn(30),
+                    allow: true,
+                },
             ],
             source: Source::Ripe,
         });
@@ -139,10 +163,19 @@ mod tests {
         db.objects.push(RpslObject::AutNum {
             asn: Asn(10),
             as_name: "OK".into(),
-            imports: vec![PolicyLine { peer: Asn(20), allow: false }],
+            imports: vec![PolicyLine {
+                peer: Asn(20),
+                allow: false,
+            }],
             exports: vec![
-                PolicyLine { peer: Asn(20), allow: false },
-                PolicyLine { peer: Asn(30), allow: false },
+                PolicyLine {
+                    peer: Asn(20),
+                    allow: false,
+                },
+                PolicyLine {
+                    peer: Asn(30),
+                    allow: false,
+                },
             ],
             source: Source::Ripe,
         });

@@ -17,7 +17,10 @@ pub struct Table {
 impl Table {
     /// New table with headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (padded/truncated to the header width).
@@ -65,7 +68,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -83,7 +93,10 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in CDF input"));
     let n = v.len() as f64;
-    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
 }
 
 /// Empirical CCDF: sorted `(value, P(X > value))` points.

@@ -1,0 +1,125 @@
+//! Streaming observation delivery.
+//!
+//! The passive and active pipelines used to materialize every
+//! [`Observation`] in one `Vec` before any inference ran — fine at toy
+//! scale, hostile to the paper's actual workload (every archived route
+//! across many collectors and IXPs). They now *push* observations into
+//! an [`ObservationSink`] as they are produced, so a consumer can fold
+//! them away immediately ([`crate::infer::LinkInferencer`]), collect
+//! them (`Vec<Observation>`), count them ([`CountingSink`]), or fan one
+//! stream out to several consumers (tuple sinks).
+//!
+//! [`MergeSink`] is the sharding counterpart: each shard of a
+//! parallel harvest folds into its own sink, and shard states combine
+//! with an associative `merge` (see
+//! [`crate::passive::harvest_passive_sharded`]).
+
+use crate::infer::Observation;
+
+/// A consumer of the observation stream.
+pub trait ObservationSink {
+    /// Accept one observation.
+    fn push(&mut self, obs: Observation);
+}
+
+/// Collect observations in arrival order.
+impl ObservationSink for Vec<Observation> {
+    fn push(&mut self, obs: Observation) {
+        Vec::push(self, obs);
+    }
+}
+
+/// Count observations without keeping them (stats-only runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink(pub usize);
+
+impl ObservationSink for CountingSink {
+    fn push(&mut self, _obs: Observation) {
+        self.0 += 1;
+    }
+}
+
+/// Fan one stream out to two consumers.
+impl<A: ObservationSink, B: ObservationSink> ObservationSink for (A, B) {
+    fn push(&mut self, obs: Observation) {
+        self.0.push(obs.clone());
+        self.1.push(obs);
+    }
+}
+
+/// Per-shard sink state that combines associatively, so a sharded
+/// harvest reduces to the same state as a serial one.
+pub trait MergeSink: Sized {
+    /// Fold another shard's state into this one. Implementations must
+    /// be associative; shards arrive in input (collector) order.
+    fn merge(&mut self, other: Self);
+}
+
+impl MergeSink for Vec<Observation> {
+    fn merge(&mut self, mut other: Self) {
+        self.append(&mut other);
+    }
+}
+
+impl MergeSink for CountingSink {
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+impl<A: MergeSink, B: MergeSink> MergeSink for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::ObservationSource;
+    use mlpeer_bgp::Asn;
+    use mlpeer_ixp::ixp::IxpId;
+
+    fn obs(member: u32) -> Observation {
+        Observation {
+            ixp: IxpId(0),
+            member: Asn(member),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            actions: vec![],
+            source: ObservationSource::Passive,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink: Vec<Observation> = Vec::new();
+        // Through the trait, not Vec's inherent push.
+        ObservationSink::push(&mut sink, obs(1));
+        ObservationSink::push(&mut sink, obs(2));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink[0].member, Asn(1));
+    }
+
+    #[test]
+    fn tuple_sink_fans_out() {
+        let mut sink: (Vec<Observation>, CountingSink) = Default::default();
+        sink.push(obs(1));
+        sink.push(obs(2));
+        assert_eq!(sink.0.len(), 2);
+        assert_eq!(sink.1, CountingSink(2));
+    }
+
+    #[test]
+    fn merge_concatenates_in_shard_order() {
+        let mut a: (Vec<Observation>, CountingSink) = Default::default();
+        a.push(obs(1));
+        let mut b: (Vec<Observation>, CountingSink) = Default::default();
+        b.push(obs(2));
+        b.push(obs(3));
+        a.merge(b);
+        let members: Vec<u32> = a.0.iter().map(|o| o.member.value()).collect();
+        assert_eq!(members, vec![1, 2, 3]);
+        assert_eq!(a.1, CountingSink(3));
+    }
+}

@@ -31,7 +31,10 @@ pub struct ValidationConfig {
 
 impl Default for ValidationConfig {
     fn default() -> Self {
-        ValidationConfig { prefixes_per_link: 6, max_links_per_lg: 600 }
+        ValidationConfig {
+            prefixes_per_link: 6,
+            max_links_per_lg: 600,
+        }
     }
 }
 
@@ -89,9 +92,14 @@ impl ValidationReport {
 /// after removing any known route-server ASNs from the path (3 of the
 /// paper's 70 LGs showed the RS ASN inline).
 fn path_witnesses(path: &[Asn], a: Asn, b: Asn, rs_asns: &BTreeSet<Asn>) -> bool {
-    let cleaned: Vec<Asn> =
-        path.iter().copied().filter(|x| !rs_asns.contains(x)).collect();
-    cleaned.windows(2).any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
+    let cleaned: Vec<Asn> = path
+        .iter()
+        .copied()
+        .filter(|x| !rs_asns.contains(x))
+        .collect();
+    cleaned
+        .windows(2)
+        .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a))
 }
 
 /// Run the validation campaign.
@@ -102,8 +110,7 @@ pub fn validate_links(
     geo: &GeoDb,
     cfg: &ValidationConfig,
 ) -> ValidationReport {
-    let rs_asns: BTreeSet<Asn> =
-        sim.eco.ixps.iter().map(|x| x.route_server.asn).collect();
+    let rs_asns: BTreeSet<Asn> = sim.eco.ixps.iter().map(|x| x.route_server.asn).collect();
     let mut report = ValidationReport::default();
     let mut tested_links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
     let mut confirmed_links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
@@ -113,12 +120,19 @@ pub fn validate_links(
     let mut ixp_confirmed: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>> = BTreeMap::new();
 
     for lg in lgs {
-        let LgTarget::Member(host) = lg.target else { continue };
+        let LgTarget::Member(host) = lg.target else {
+            continue;
+        };
         // Links relevant to this LG: the host (or its providers — the
         // host being a customer of an endpoint) is an endpoint.
         let mut relevant: Vec<(IxpId, Asn, Asn)> = Vec::new();
-        let uplinks: BTreeSet<Asn> =
-            sim.eco.internet.graph.providers_of(host).into_iter().collect();
+        let uplinks: BTreeSet<Asn> = sim
+            .eco
+            .internet
+            .graph
+            .providers_of(host)
+            .into_iter()
+            .collect();
         for (ixp, set) in &links.per_ixp {
             for &(a, b) in set {
                 let endpoint = if a == host || uplinks.contains(&a) {
@@ -213,15 +227,15 @@ mod tests {
         let mut observations = Vec::new();
         for lg in &lgs {
             if let LgTarget::RouteServer(id) = lg.target {
-                let (obs, _) = query_rs_lg(
+                query_rs_lg(
                     &sim,
                     lg,
                     id,
                     &dict,
                     &BTreeSet::new(),
                     &ActiveConfig::default(),
+                    &mut observations,
                 );
-                observations.extend(obs);
             }
         }
         let links = infer_links(&conn, &observations);
@@ -231,11 +245,31 @@ mod tests {
     #[test]
     fn path_witness_handles_rs_asn_artifact() {
         let rs: BTreeSet<Asn> = [Asn(6695)].into_iter().collect();
-        assert!(path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(2), Asn(3), &rs));
-        assert!(path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(3), Asn(2), &rs));
-        assert!(!path_witnesses(&[Asn(1), Asn(2), Asn(3)], Asn(1), Asn(3), &rs));
+        assert!(path_witnesses(
+            &[Asn(1), Asn(2), Asn(3)],
+            Asn(2),
+            Asn(3),
+            &rs
+        ));
+        assert!(path_witnesses(
+            &[Asn(1), Asn(2), Asn(3)],
+            Asn(3),
+            Asn(2),
+            &rs
+        ));
+        assert!(!path_witnesses(
+            &[Asn(1), Asn(2), Asn(3)],
+            Asn(1),
+            Asn(3),
+            &rs
+        ));
         // RS ASN inline: 2–6695–3 still witnesses 2–3.
-        assert!(path_witnesses(&[Asn(2), Asn(6695), Asn(3)], Asn(2), Asn(3), &rs));
+        assert!(path_witnesses(
+            &[Asn(2), Asn(6695), Asn(3)],
+            Asn(2),
+            Asn(3),
+            &rs
+        ));
     }
 
     #[test]
@@ -281,8 +315,20 @@ mod tests {
                 })
                 .collect()
         };
-        let all = validate_links(&sim, &links, &mk(LgDisplay::AllPaths), &geo, &Default::default());
-        let best = validate_links(&sim, &links, &mk(LgDisplay::BestOnly), &geo, &Default::default());
+        let all = validate_links(
+            &sim,
+            &links,
+            &mk(LgDisplay::AllPaths),
+            &geo,
+            &Default::default(),
+        );
+        let best = validate_links(
+            &sim,
+            &links,
+            &mk(LgDisplay::BestOnly),
+            &geo,
+            &Default::default(),
+        );
         assert!(
             best.links_confirmed <= all.links_confirmed,
             "best-path LGs hide less-preferred links (Fig. 8): {} vs {}",

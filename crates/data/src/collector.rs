@@ -17,11 +17,10 @@
 //! (AMS-IX-like), customer-of-member feeders moderate coverage
 //! (DE-CIX-like), and IXPs without a feeder almost none (MSK-IX-like).
 
-
 use mlpeer_bgp::mrt::{MrtArchive, MrtRibEntry, MrtUpdate};
 use mlpeer_bgp::route::RouteAttrs;
 use mlpeer_bgp::update::UpdateMessage;
-use mlpeer_bgp::{Asn, AsPath, Community, CommunitySet};
+use mlpeer_bgp::{AsPath, Asn, Community, CommunitySet};
 use mlpeer_topo::relationship::LearnedFrom;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -117,7 +116,9 @@ pub struct PassiveDataset {
 impl PassiveDataset {
     /// Iterate all RIB entries across collectors.
     pub fn rib_entries(&self) -> impl Iterator<Item = (&MrtArchive, &MrtRibEntry)> {
-        self.collectors.iter().flat_map(|(_, a)| a.rib.iter().map(move |e| (a, e)))
+        self.collectors
+            .iter()
+            .flat_map(|(_, a)| a.rib.iter().map(move |e| (a, e)))
     }
 
     /// Total RIB entry count.
@@ -135,7 +136,9 @@ impl PassiveDataset {
 fn pick_feeders(sim: &Sim, cfg: &CollectorConfig, rng: &mut StdRng) -> Vec<VantagePoint> {
     let mut out = Vec::new();
     for (name, kind) in &cfg.feeder_plan {
-        let Some(ixp) = sim.eco.ixp_by_name(name) else { continue };
+        let Some(ixp) = sim.eco.ixp_by_name(name) else {
+            continue;
+        };
         match kind {
             FeederKind::None => {}
             FeederKind::Member => {
@@ -145,8 +148,14 @@ fn pick_feeders(sim: &Sim, cfg: &CollectorConfig, rng: &mut StdRng) -> Vec<Vanta
                 for (_, b) in ixp.directed_flows() {
                     *indeg.entry(b).or_default() += 1;
                 }
-                if let Some((&best, _)) = indeg.iter().max_by_key(|(a, n)| (**n, std::cmp::Reverse(a.value()))) {
-                    out.push(VantagePoint { asn: best, feed: FeedKind::Full });
+                if let Some((&best, _)) = indeg
+                    .iter()
+                    .max_by_key(|(a, n)| (**n, std::cmp::Reverse(a.value())))
+                {
+                    out.push(VantagePoint {
+                        asn: best,
+                        feed: FeedKind::Full,
+                    });
                 }
             }
             FeederKind::CustomerOfMember => {
@@ -160,7 +169,10 @@ fn pick_feeders(sim: &Sim, cfg: &CollectorConfig, rng: &mut StdRng) -> Vec<Vanta
                     cs.first().copied()
                 });
                 if let Some(c) = cust {
-                    out.push(VantagePoint { asn: c, feed: FeedKind::Full });
+                    out.push(VantagePoint {
+                        asn: c,
+                        feed: FeedKind::Full,
+                    });
                 }
             }
         }
@@ -194,7 +206,11 @@ pub fn build_passive(sim: &Sim, cfg: &CollectorConfig) -> PassiveDataset {
         if vps.iter().any(|v| v.asn == asn) {
             continue;
         }
-        let feed = if i % 3 == 0 { FeedKind::Full } else { FeedKind::CustomerOnly };
+        let feed = if i % 3 == 0 {
+            FeedKind::Full
+        } else {
+            FeedKind::CustomerOnly
+        };
         vps.push(VantagePoint { asn, feed });
     }
 
@@ -205,8 +221,11 @@ pub fn build_passive(sim: &Sim, cfg: &CollectorConfig) -> PassiveDataset {
     for (i, vp) in vps.iter().enumerate() {
         let to_rv = i % 2 == 0;
         let addr = std::net::Ipv4Addr::from(0xC000_0200 + i as u32);
-        let idx =
-            if to_rv { rv.add_peer(vp.asn, addr) } else { ris.add_peer(vp.asn, addr) };
+        let idx = if to_rv {
+            rv.add_peer(vp.asn, addr)
+        } else {
+            ris.add_peer(vp.asn, addr)
+        };
         vp_index.push((*vp, to_rv, idx));
     }
 
@@ -215,7 +234,9 @@ pub fn build_passive(sim: &Sim, cfg: &CollectorConfig) -> PassiveDataset {
     for origin in origins {
         let state = sim.routes_to(origin);
         for (vp, to_rv, idx) in &vp_index {
-            let Some(route) = state.best(vp.asn) else { continue };
+            let Some(route) = state.best(vp.asn) else {
+                continue;
+            };
             if vp.feed == FeedKind::CustomerOnly
                 && !matches!(
                     route.class,
@@ -255,7 +276,9 @@ pub fn build_passive(sim: &Sim, cfg: &CollectorConfig) -> PassiveDataset {
             break;
         }
         let m = all_members[rng.gen_range(0..all_members.len())];
-        let Some(&prefix) = sim.eco.internet.prefixes_of(m).first() else { continue };
+        let Some(&prefix) = sim.eco.internet.prefixes_of(m).first() else {
+            continue;
+        };
         let t0 = 100_000 + (k as u32) * 1_000;
         let mut cs = CommunitySet::new();
         cs.insert(Community::new(0, rng.gen_range(1..64_000) as u16));
@@ -299,7 +322,10 @@ pub fn build_passive(sim: &Sim, cfg: &CollectorConfig) -> PassiveDataset {
     }
 
     PassiveDataset {
-        collectors: vec![("route-views.sim".to_string(), rv), ("rrc00.sim".to_string(), ris)],
+        collectors: vec![
+            ("route-views.sim".to_string(), rv),
+            ("rrc00.sim".to_string(), ris),
+        ],
         vps,
     }
 }
@@ -310,7 +336,10 @@ mod tests {
     use mlpeer_ixp::{Ecosystem, EcosystemConfig};
 
     fn dataset() -> (Ecosystem, CollectorConfig) {
-        (Ecosystem::generate(EcosystemConfig::tiny(21)), CollectorConfig::paper_like(5))
+        (
+            Ecosystem::generate(EcosystemConfig::tiny(21)),
+            CollectorConfig::paper_like(5),
+        )
     }
 
     #[test]
@@ -354,7 +383,11 @@ mod tests {
         for (name, archive) in &ds.collectors {
             for e in &archive.rib {
                 let vp = archive.peers[e.peer_index as usize].asn;
-                assert_eq!(e.attrs.as_path.first_hop(), Some(vp), "{name}: path starts at VP");
+                assert_eq!(
+                    e.attrs.as_path.first_hop(),
+                    Some(vp),
+                    "{name}: path starts at VP"
+                );
             }
         }
     }

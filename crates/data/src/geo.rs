@@ -30,7 +30,10 @@ impl GeoDb {
                 }
             }
         }
-        GeoDb { by_prefix, by_origin }
+        GeoDb {
+            by_prefix,
+            by_origin,
+        }
     }
 
     /// Region of a prefix (exact match, then covering prefix, like a
@@ -120,7 +123,11 @@ mod tests {
         let (_, prefixes) = eco.internet.prefixes.iter().next().unwrap();
         let p = prefixes[0];
         if let Some((sub, _)) = p.split() {
-            assert_eq!(db.region_of(&sub), db.region_of(&p), "sub-prefix inherits region");
+            assert_eq!(
+                db.region_of(&sub),
+                db.region_of(&p),
+                "sub-prefix inherits region"
+            );
         }
         assert_eq!(db.region_of(&"203.0.113.0/24".parse().unwrap()), None);
     }

@@ -98,8 +98,18 @@ impl RpslObject {
     /// Render as RPSL text.
     pub fn to_rpsl(&self) -> String {
         match self {
-            RpslObject::AutNum { asn, as_name, imports, exports, source } => {
-                let mut s = format!("aut-num:        AS{}\nas-name:        {}\n", asn.value(), as_name);
+            RpslObject::AutNum {
+                asn,
+                as_name,
+                imports,
+                exports,
+                source,
+            } => {
+                let mut s = format!(
+                    "aut-num:        AS{}\nas-name:        {}\n",
+                    asn.value(),
+                    as_name
+                );
                 for l in imports {
                     s.push_str(&format!(
                         "import:         from AS{} accept {}\n",
@@ -117,7 +127,12 @@ impl RpslObject {
                 s.push_str(&format!("source:         {source}\n"));
                 s
             }
-            RpslObject::AsSet { name, members, sets, source } => {
+            RpslObject::AsSet {
+                name,
+                members,
+                sets,
+                source,
+            } => {
                 let mut s = format!("as-set:         {name}\n");
                 let all: Vec<String> = members
                     .iter()
@@ -130,7 +145,11 @@ impl RpslObject {
                 s.push_str(&format!("source:         {source}\n"));
                 s
             }
-            RpslObject::Route { prefix, origin, source } => format!(
+            RpslObject::Route {
+                prefix,
+                origin,
+                source,
+            } => format!(
                 "route:          {prefix}\norigin:         AS{}\nsource:         {source}\n",
                 origin.value()
             ),
@@ -152,7 +171,9 @@ impl RpslObject {
         let mut origin: Option<Asn> = None;
         let mut source = Source::Ripe;
         for line in text.lines() {
-            let Some((key, value)) = line.split_once(':') else { continue };
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
             let (key, value) = (key.trim(), value.trim());
             match key {
                 "aut-num" => {
@@ -172,8 +193,9 @@ impl RpslObject {
                         }
                         // A bare ASN parses; anything else is a set name.
                         match tok.parse::<Asn>() {
-                            Ok(a) if tok.to_ascii_uppercase().starts_with("AS")
-                                && !tok.contains('-') =>
+                            Ok(a)
+                                if tok.to_ascii_uppercase().starts_with("AS")
+                                    && !tok.contains('-') =>
                             {
                                 members.push(a)
                             }
@@ -214,8 +236,17 @@ impl RpslObject {
                 exports,
                 source,
             }),
-            "as-set" => Some(RpslObject::AsSet { name, members, sets, source }),
-            "route" => Some(RpslObject::Route { prefix: prefix?, origin: origin?, source }),
+            "as-set" => Some(RpslObject::AsSet {
+                name,
+                members,
+                sets,
+                source,
+            }),
+            "route" => Some(RpslObject::Route {
+                prefix: prefix?,
+                origin: origin?,
+                source,
+            }),
             _ => None,
         }
     }
@@ -241,16 +272,16 @@ pub struct IrrDatabase {
 impl IrrDatabase {
     /// Find an aut-num.
     pub fn aut_num(&self, asn: Asn) -> Option<&RpslObject> {
-        self.objects.iter().find(
-            |o| matches!(o, RpslObject::AutNum { asn: a, .. } if *a == asn),
-        )
+        self.objects
+            .iter()
+            .find(|o| matches!(o, RpslObject::AutNum { asn: a, .. } if *a == asn))
     }
 
     /// Find an as-set by name.
     pub fn as_set(&self, name: &str) -> Option<&RpslObject> {
-        self.objects.iter().find(
-            |o| matches!(o, RpslObject::AsSet { name: n, .. } if n == name),
-        )
+        self.objects
+            .iter()
+            .find(|o| matches!(o, RpslObject::AsSet { name: n, .. } if n == name))
     }
 
     /// Resolve an as-set to its full ASN membership (nested sets
@@ -331,7 +362,12 @@ pub struct IrrConfig {
 
 impl Default for IrrConfig {
     fn default() -> Self {
-        IrrConfig { seed: 99, staleness_drop: 0.03, staleness_linger: 0.02, amsix_irr_frac: 0.52 }
+        IrrConfig {
+            seed: 99,
+            staleness_drop: 0.03,
+            staleness_linger: 0.02,
+            amsix_irr_frac: 0.52,
+        }
     }
 }
 
@@ -373,16 +409,16 @@ pub fn build_irr(eco: &Ecosystem, cfg: &IrrConfig) -> BTreeMap<Source, IrrDataba
         }
         members.sort_unstable();
         members.dedup();
-        let name = format!(
-            "AS-{}-RS",
-            ixp.name.to_uppercase().replace(['-', '.'], "")
-        );
-        dbs.get_mut(&Source::Ripe).unwrap().objects.push(RpslObject::AsSet {
-            name,
-            members,
-            sets: Vec::new(),
-            source: Source::Ripe,
-        });
+        let name = format!("AS-{}-RS", ixp.name.to_uppercase().replace(['-', '.'], ""));
+        dbs.get_mut(&Source::Ripe)
+            .unwrap()
+            .objects
+            .push(RpslObject::AsSet {
+                name,
+                members,
+                sets: Vec::new(),
+                source: Source::Ripe,
+            });
     }
 
     // aut-num per RS member with RS export lines; AMS-IX members get
@@ -394,8 +430,14 @@ pub fn build_irr(eco: &Ecosystem, cfg: &IrrConfig) -> BTreeMap<Source, IrrDataba
         for ixp in &eco.ixps {
             if let Some(m) = ixp.member(asn) {
                 if m.rs_member {
-                    exports.push(PolicyLine { peer: ixp.route_server.asn, allow: true });
-                    imports.push(PolicyLine { peer: ixp.route_server.asn, allow: true });
+                    exports.push(PolicyLine {
+                        peer: ixp.route_server.asn,
+                        allow: true,
+                    });
+                    imports.push(PolicyLine {
+                        peer: ixp.route_server.asn,
+                        allow: true,
+                    });
                 }
             }
         }
@@ -411,7 +453,10 @@ pub fn build_irr(eco: &Ecosystem, cfg: &IrrConfig) -> BTreeMap<Source, IrrDataba
                             peer,
                             allow: m.export.allows(peer),
                         });
-                        imports.push(PolicyLine { peer, allow: m.import.accepts(peer) });
+                        imports.push(PolicyLine {
+                            peer,
+                            allow: m.import.accepts(peer),
+                        });
                     }
                 }
             }
@@ -421,20 +466,26 @@ pub fn build_irr(eco: &Ecosystem, cfg: &IrrConfig) -> BTreeMap<Source, IrrDataba
             7..=8 => Source::Radb,
             _ => Source::Arin,
         };
-        dbs.get_mut(&source).unwrap().objects.push(RpslObject::AutNum {
-            asn,
-            as_name: format!("NET-{}", asn.value()),
-            imports,
-            exports,
-            source,
-        });
-        // A route object for the member's first prefix.
-        if let Some(&p) = eco.internet.prefixes_of(asn).first() {
-            dbs.get_mut(&source).unwrap().objects.push(RpslObject::Route {
-                prefix: p,
-                origin: asn,
+        dbs.get_mut(&source)
+            .unwrap()
+            .objects
+            .push(RpslObject::AutNum {
+                asn,
+                as_name: format!("NET-{}", asn.value()),
+                imports,
+                exports,
                 source,
             });
+        // A route object for the member's first prefix.
+        if let Some(&p) = eco.internet.prefixes_of(asn).first() {
+            dbs.get_mut(&source)
+                .unwrap()
+                .objects
+                .push(RpslObject::Route {
+                    prefix: p,
+                    origin: asn,
+                    source,
+                });
         }
     }
     dbs
@@ -469,15 +520,27 @@ mod tests {
         let obj = RpslObject::AutNum {
             asn: Asn(8359),
             as_name: "MTS".into(),
-            imports: vec![PolicyLine { peer: Asn(6777), allow: true }],
+            imports: vec![PolicyLine {
+                peer: Asn(6777),
+                allow: true,
+            }],
             exports: vec![
-                PolicyLine { peer: Asn(6777), allow: true },
-                PolicyLine { peer: Asn(5410), allow: false },
+                PolicyLine {
+                    peer: Asn(6777),
+                    allow: true,
+                },
+                PolicyLine {
+                    peer: Asn(5410),
+                    allow: false,
+                },
             ],
             source: Source::Ripe,
         };
         let text = obj.to_rpsl();
-        assert!(text.contains("export:         to AS5410 announce NOT ANY"), "{text}");
+        assert!(
+            text.contains("export:         to AS5410 announce NOT ANY"),
+            "{text}"
+        );
         assert_eq!(RpslObject::parse(&text), Some(obj));
     }
 
@@ -515,7 +578,10 @@ mod tests {
         });
         let parsed = IrrDatabase::parse(&db.to_text());
         assert_eq!(parsed.objects.len(), 2);
-        assert_eq!(parsed.resolve_as_set("AS-TOP"), vec![Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(
+            parsed.resolve_as_set("AS-TOP"),
+            vec![Asn(1), Asn(2), Asn(3)]
+        );
         assert!(parsed.as_set("AS-NOPE").is_none());
     }
 
@@ -536,7 +602,10 @@ mod tests {
         }
         recovered.sort_unstable();
         recovered.dedup();
-        assert!(!recovered.is_empty(), "LINX members recoverable via AS8714-style search");
+        assert!(
+            !recovered.is_empty(),
+            "LINX members recoverable via AS8714-style search"
+        );
         for a in &recovered {
             assert!(
                 linx.member(*a).is_some_and(|m| m.rs_member),
@@ -552,8 +621,7 @@ mod tests {
         let ripe = &dbs[&Source::Ripe];
         let decix = eco.ixp_by_name("DE-CIX").unwrap();
         let set = ripe.resolve_as_set("AS-DECIX-RS");
-        let truth: std::collections::BTreeSet<Asn> =
-            decix.rs_member_asns().into_iter().collect();
+        let truth: std::collections::BTreeSet<Asn> = decix.rs_member_asns().into_iter().collect();
         let present = set.iter().filter(|a| truth.contains(a)).count();
         // Mostly accurate (the paper found these sources "accurate and
         // current"), but not perfect.
@@ -570,13 +638,21 @@ mod tests {
         for db in dbs.values() {
             for asn in &rs_members {
                 if let Some(RpslObject::AutNum { exports, .. }) = db.aut_num(*asn) {
-                    if exports.iter().filter(|l| rs_members.contains(&l.peer)).count() > 1 {
+                    if exports
+                        .iter()
+                        .filter(|l| rs_members.contains(&l.peer))
+                        .count()
+                        > 1
+                    {
                         with_filters += 1;
                     }
                 }
             }
         }
-        assert!(with_filters > 0, "some AMS-IX members registered per-peer filters");
+        assert!(
+            with_filters > 0,
+            "some AMS-IX members registered per-peer filters"
+        );
     }
 
     #[test]
@@ -584,10 +660,22 @@ mod tests {
         let members = vec![Asn(1), Asn(2), Asn(3), Asn(4)];
         // AllExcept(2).
         let lines = vec![
-            PolicyLine { peer: Asn(1), allow: true },
-            PolicyLine { peer: Asn(2), allow: false },
-            PolicyLine { peer: Asn(3), allow: true },
-            PolicyLine { peer: Asn(4), allow: true },
+            PolicyLine {
+                peer: Asn(1),
+                allow: true,
+            },
+            PolicyLine {
+                peer: Asn(2),
+                allow: false,
+            },
+            PolicyLine {
+                peer: Asn(3),
+                allow: true,
+            },
+            PolicyLine {
+                peer: Asn(4),
+                allow: true,
+            },
         ];
         assert_eq!(
             export_policy_from_lines(&lines, &members),
@@ -595,15 +683,30 @@ mod tests {
         );
         // OnlyTo(1).
         let lines = vec![
-            PolicyLine { peer: Asn(1), allow: true },
-            PolicyLine { peer: Asn(2), allow: false },
-            PolicyLine { peer: Asn(3), allow: false },
-            PolicyLine { peer: Asn(4), allow: false },
+            PolicyLine {
+                peer: Asn(1),
+                allow: true,
+            },
+            PolicyLine {
+                peer: Asn(2),
+                allow: false,
+            },
+            PolicyLine {
+                peer: Asn(3),
+                allow: false,
+            },
+            PolicyLine {
+                peer: Asn(4),
+                allow: false,
+            },
         ];
         assert_eq!(
             export_policy_from_lines(&lines, &members),
             ExportPolicy::OnlyTo([Asn(1)].into_iter().collect())
         );
-        assert_eq!(export_policy_from_lines(&[], &members), ExportPolicy::AllMembers);
+        assert_eq!(
+            export_policy_from_lines(&[], &members),
+            ExportPolicy::AllMembers
+        );
     }
 }

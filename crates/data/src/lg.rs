@@ -20,7 +20,7 @@ use std::cell::Cell;
 use std::net::Ipv4Addr;
 
 use mlpeer_bgp::rib::{Rib, RibEntry};
-use mlpeer_bgp::{Asn, AsPath, CommunitySet, Prefix};
+use mlpeer_bgp::{AsPath, Asn, CommunitySet, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 
 use crate::sim::Sim;
@@ -164,8 +164,18 @@ fn render_summary(rows: &[(Asn, Ipv4Addr, usize)]) -> String {
          Neighbor        V          AS MsgRcvd MsgSent   TblVer  InQ OutQ Up/Down  State/PfxRcd\n",
     );
     for (asn, addr, pfx) in rows {
-        out.push_str(&format!("{:<15} 4  {:>10} {:>7} {:>7} {:>8} {:>4} {:>4} {:>8} {:>12}\n",
-            addr, asn.value(), 1000, 1000, 1, 0, 0, "4w2d", pfx));
+        out.push_str(&format!(
+            "{:<15} 4  {:>10} {:>7} {:>7} {:>8} {:>4} {:>4} {:>8} {:>12}\n",
+            addr,
+            asn.value(),
+            1000,
+            1000,
+            1,
+            0,
+            0,
+            "4w2d",
+            pfx
+        ));
     }
     out
 }
@@ -245,8 +255,12 @@ pub fn parse_summary(text: &str) -> Vec<(Asn, Ipv4Addr, usize)> {
         if cols.len() < 10 {
             continue;
         }
-        let Ok(addr) = cols[0].parse::<Ipv4Addr>() else { continue };
-        let Ok(asn) = cols[2].parse::<u32>() else { continue };
+        let Ok(addr) = cols[0].parse::<Ipv4Addr>() else {
+            continue;
+        };
+        let Ok(asn) = cols[2].parse::<u32>() else {
+            continue;
+        };
         let pfx = cols[9].parse::<usize>().unwrap_or(0);
         out.push((Asn(asn), addr, pfx));
     }
@@ -268,7 +282,8 @@ pub fn parse_prefix_output(text: &str) -> Vec<LgPath> {
     for line in text.lines() {
         let trimmed = line.trim_start();
         let indent = line.len() - trimmed.len();
-        if line.starts_with('%') || trimmed.starts_with("BGP routing")
+        if line.starts_with('%')
+            || trimmed.starts_with("BGP routing")
             || trimmed.starts_with("Paths:")
         {
             continue;
@@ -374,7 +389,11 @@ mod tests {
         let eco = eco();
         let sim = Sim::new(&eco);
         let decix = eco.ixp_by_name("DE-CIX").unwrap();
-        let lg = LookingGlassHost::new("lg.de-cix.sim", LgTarget::RouteServer(decix.id), LgDisplay::AllPaths);
+        let lg = LookingGlassHost::new(
+            "lg.de-cix.sim",
+            LgTarget::RouteServer(decix.id),
+            LgDisplay::AllPaths,
+        );
         let text = lg.query(&sim, &LgCommand::Summary);
         let rows = parse_summary(&text);
         assert_eq!(rows.len(), decix.rs_member_count());
@@ -400,7 +419,10 @@ mod tests {
         expected.sort_unstable();
         assert_eq!(prefixes, expected);
         // Unknown neighbor errors gracefully.
-        let err = lg.query(&sim, &LgCommand::NeighborRoutes("10.255.255.1".parse().unwrap()));
+        let err = lg.query(
+            &sim,
+            &LgCommand::NeighborRoutes("10.255.255.1".parse().unwrap()),
+        );
         assert!(err.starts_with('%'));
     }
 
@@ -488,8 +510,6 @@ mod tests {
         assert_eq!(rs_lgs, expected_rs);
         let member_lgs = roster.len() - rs_lgs;
         assert!(member_lgs > 0 && member_lgs <= 12);
-        assert!(roster
-            .iter()
-            .any(|h| h.display == LgDisplay::BestOnly));
+        assert!(roster.iter().any(|h| h.display == LgDisplay::BestOnly));
     }
 }

@@ -52,7 +52,12 @@ pub struct PeeringDbConfig {
 
 impl Default for PeeringDbConfig {
     fn default() -> Self {
-        PeeringDbConfig { seed: 17, policy_coverage: 0.54, scope_missing: 0.12, lg_count: 70 }
+        PeeringDbConfig {
+            seed: 17,
+            policy_coverage: 0.54,
+            scope_missing: 0.12,
+            lg_count: 70,
+        }
     }
 }
 
@@ -123,7 +128,10 @@ impl PeeringDb {
 
     /// Networks advertising a looking glass (the §5.1 discovery query).
     pub fn networks_with_lg(&self) -> Vec<&NetworkRecord> {
-        self.records.values().filter(|r| r.lg_url.is_some()).collect()
+        self.records
+            .values()
+            .filter(|r| r.lg_url.is_some())
+            .collect()
     }
 
     /// Number of records.
@@ -159,7 +167,10 @@ mod tests {
         assert_eq!(db.len(), eco.all_member_asns().len());
         let covered = db.policy_coverage_count();
         let frac = covered as f64 / db.len() as f64;
-        assert!((0.35..0.75).contains(&frac), "policy coverage {frac:.2} (target ≈ 0.54)");
+        assert!(
+            (0.35..0.75).contains(&frac),
+            "policy coverage {frac:.2} (target ≈ 0.54)"
+        );
     }
 
     #[test]
@@ -176,7 +187,10 @@ mod tests {
     #[test]
     fn some_scopes_not_reported() {
         let (_, db) = db();
-        let na = db.iter().filter(|r| r.scope == GeoScope::NotReported).count();
+        let na = db
+            .iter()
+            .filter(|r| r.scope == GeoScope::NotReported)
+            .count();
         assert!(na > 0, "the Fig. 13 N/A bucket must exist");
     }
 
@@ -186,7 +200,11 @@ mod tests {
         let lgs = db.networks_with_lg();
         assert!(!lgs.is_empty() && lgs.len() <= 70);
         for r in lgs {
-            assert!(r.lg_url.as_ref().unwrap().contains(&r.asn.value().to_string()));
+            assert!(r
+                .lg_url
+                .as_ref()
+                .unwrap()
+                .contains(&r.asn.value().to_string()));
         }
     }
 

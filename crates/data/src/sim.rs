@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use mlpeer_bgp::rib::RibEntry;
 use mlpeer_bgp::route::RouteAttrs;
-use mlpeer_bgp::{Asn, AsPath, Community, CommunitySet, Prefix};
+use mlpeer_bgp::{AsPath, Asn, Community, CommunitySet, Prefix};
 use mlpeer_ixp::ixp::{Ixp, IxpId};
 use mlpeer_ixp::route_server::RouteServer;
 use mlpeer_ixp::Ecosystem;
@@ -96,7 +96,15 @@ impl<'e> Sim<'e> {
                 origin_of.insert(*p, *asn);
             }
         }
-        Sim { eco, prop, strippers, taggers, memo: RefCell::new(HashMap::new()), announcers, origin_of }
+        Sim {
+            eco,
+            prop,
+            strippers,
+            taggers,
+            memo: RefCell::new(HashMap::new()),
+            announcers,
+            origin_of,
+        }
     }
 
     /// The propagation state toward `origin` (memoized; cloneable Rc).
@@ -123,14 +131,20 @@ impl<'e> Sim<'e> {
     /// Members of `ixp` announcing `prefix` (the multiplicity `m_p` the
     /// §4.3 query planner sorts by, and the Fig. 5 distribution).
     pub fn announcers_at(&self, ixp: IxpId, prefix: &Prefix) -> &[Asn] {
-        self.announcers[ixp.0 as usize].get(prefix).map(Vec::as_slice).unwrap_or(&[])
+        self.announcers[ixp.0 as usize]
+            .get(prefix)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Does any AS on `path[1..=upto]` strip communities? (`path[0]` is
     /// the receiver whose view we are computing; its own stripping
     /// applies only when it re-exports.)
     fn stripped_before(&self, path: &[Asn], upto: usize) -> bool {
-        path.iter().take(upto + 1).skip(1).any(|a| self.strippers.contains(a))
+        path.iter()
+            .take(upto + 1)
+            .skip(1)
+            .any(|a| self.strippers.contains(a))
     }
 
     fn region_code(region: Region) -> u16 {
@@ -167,41 +181,41 @@ impl<'e> Sim<'e> {
     pub fn communities_on(&self, route: &BestRoute, prefix: &Prefix) -> CommunitySet {
         let mut out: Vec<Community> = Vec::new();
         for (i, kind) in route.via.iter().enumerate() {
-            match kind {
-                EdgeKind::ExtraPeer(tag) => {
-                    let (ixp_id, bilateral) = Ixp::decode_tag(*tag);
-                    if bilateral {
-                        continue;
-                    }
-                    let ixp = self.eco.ixp(ixp_id);
-                    if ixp.route_server.strips_communities || ixp.filter_portal {
-                        continue;
-                    }
-                    let setter = route.path[i + 1];
-                    if self.stripped_before(&route.path, i) {
-                        continue;
-                    }
-                    if let Some(m) = ixp.member(setter) {
-                        out.extend(
-                            RouteServer::communities_for(m, prefix, &ixp.scheme).iter(),
-                        );
-                    }
+            if let EdgeKind::ExtraPeer(tag) = kind {
+                let (ixp_id, bilateral) = Ixp::decode_tag(*tag);
+                if bilateral {
+                    continue;
                 }
-                _ => {}
+                let ixp = self.eco.ixp(ixp_id);
+                if ixp.route_server.strips_communities || ixp.filter_portal {
+                    continue;
+                }
+                let setter = route.path[i + 1];
+                if self.stripped_before(&route.path, i) {
+                    continue;
+                }
+                if let Some(m) = ixp.member(setter) {
+                    out.extend(RouteServer::communities_for(m, prefix, &ixp.scheme).iter());
+                }
             }
             // Relationship/ingress tags attached by path[i] about the AS
             // it learned the route from (path[i+1]).
             let tagger = route.path[i];
-            if i >= 1 && self.taggers.contains(&tagger) && tagger.is_16bit() {
-                if !self.stripped_before(&route.path, i - 1) {
-                    let rel =
-                        self.eco.internet.graph.relationship(tagger, route.path[i + 1]);
-                    let code = Self::rel_tag_code(kind, rel);
-                    let t16 = tagger.value() as u16;
-                    out.push(Community::new(t16, code));
-                    if let Some(info) = self.eco.internet.graph.node(route.path[i + 1]) {
-                        out.push(Community::new(t16, Self::region_code(info.region)));
-                    }
+            if i >= 1
+                && self.taggers.contains(&tagger)
+                && tagger.is_16bit()
+                && !self.stripped_before(&route.path, i - 1)
+            {
+                let rel = self
+                    .eco
+                    .internet
+                    .graph
+                    .relationship(tagger, route.path[i + 1]);
+                let code = Self::rel_tag_code(kind, rel);
+                let t16 = tagger.value() as u16;
+                out.push(Community::new(t16, code));
+                if let Some(info) = self.eco.internet.graph.node(route.path[i + 1]) {
+                    out.push(Community::new(t16, Self::region_code(info.region)));
                 }
             }
         }
@@ -246,12 +260,19 @@ impl<'e> Sim<'e> {
             )
             .with_communities(self.communities_on(route, prefix))
             .with_local_pref(lp);
-            out.push(RibEntry { peer: n, peer_addr: attrs.next_hop, attrs, learned_at: 0 });
+            out.push(RibEntry {
+                peer: n,
+                peer_addr: attrs.next_hop,
+                attrs,
+                learned_at: 0,
+            });
         }
 
         // ---- IXP sessions. ----
         for ixp in &self.eco.ixps {
-            let Some(me) = ixp.member(observer) else { continue };
+            let Some(me) = ixp.member(observer) else {
+                continue;
+            };
             // Route-server session: one entry per member whose
             // announcement of `prefix` the RS delivers to us.
             if me.rs_member {
@@ -279,8 +300,7 @@ impl<'e> Sim<'e> {
                     } else {
                         ann.as_path.clone()
                     };
-                    let communities = if ixp.route_server.strips_communities || ixp.filter_portal
-                    {
+                    let communities = if ixp.route_server.strips_communities || ixp.filter_portal {
                         CommunitySet::new()
                     } else {
                         RouteServer::communities_for(am, prefix, &ixp.scheme)
@@ -310,7 +330,12 @@ impl<'e> Sim<'e> {
                 }
                 let attrs = RouteAttrs::new(ann.as_path.clone(), bm.lan_addr)
                     .with_local_pref(me.bilateral_local_pref.max(local_pref::BILATERAL));
-                out.push(RibEntry { peer: b, peer_addr: bm.lan_addr, attrs, learned_at: 0 });
+                out.push(RibEntry {
+                    peer: b,
+                    peer_addr: bm.lan_addr,
+                    attrs,
+                    learned_at: 0,
+                });
             }
         }
         out
@@ -405,7 +430,11 @@ mod tests {
         let decix = eco.ixp_by_name("DE-CIX").unwrap();
         // Pick an RS member pair with a flow and inspect the receiver's
         // Adj-RIB-In for the announcer's own prefix.
-        let (a, b) = decix.directed_flows().into_iter().next().expect("flows exist");
+        let (a, b) = decix
+            .directed_flows()
+            .into_iter()
+            .next()
+            .expect("flows exist");
         let p = eco.internet.prefixes_of(a)[0];
         let rib = sim.adj_rib_in(b, &p);
         assert!(!rib.is_empty(), "receiver has routes for {p}");

@@ -50,7 +50,12 @@ pub fn build_traceroute(sim: &Sim, seed: u64, n_monitors: usize) -> TracerouteDa
         .internet
         .graph
         .nodes()
-        .filter(|n| matches!(n.tier, mlpeer_topo::graph::Tier::Stub | mlpeer_topo::graph::Tier::Regional))
+        .filter(|n| {
+            matches!(
+                n.tier,
+                mlpeer_topo::graph::Tier::Stub | mlpeer_topo::graph::Tier::Regional
+            )
+        })
         .map(|n| n.asn)
         .collect();
     pool.shuffle(&mut rng);
@@ -66,7 +71,9 @@ pub fn build_traceroute(sim: &Sim, seed: u64, n_monitors: usize) -> TracerouteDa
     for origin in origins {
         let state = sim.routes_to(origin);
         for &mon in &monitors {
-            let Some(route) = state.best(mon) else { continue };
+            let Some(route) = state.best(mon) else {
+                continue;
+            };
             for (i, kind) in route.via.iter().enumerate() {
                 let (a, b) = (route.path[i], route.path[i + 1]);
                 match kind {
@@ -105,8 +112,7 @@ mod tests {
         assert!(!ds.links.is_empty());
         // No direct member–member RS link may appear *as a consequence
         // of an RS crossing*; instead member–RS-ASN links appear.
-        let rs_asns: BTreeSet<Asn> =
-            eco.ixps.iter().map(|x| x.route_server.asn).collect();
+        let rs_asns: BTreeSet<Asn> = eco.ixps.iter().map(|x| x.route_server.asn).collect();
         let rs_adjacent = ds
             .links
             .iter()
@@ -126,7 +132,10 @@ mod tests {
         // overwhelming majority of RS links must be invisible (§5:
         // only 3,927 of 206K overlapped).
         let frac = seen as f64 / mutual.len().max(1) as f64;
-        assert!(frac < 0.25, "traceroute sees {frac:.2} of RS links; should be rare");
+        assert!(
+            frac < 0.25,
+            "traceroute sees {frac:.2} of RS links; should be rare"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-use mlpeer_bgp::{Asn, AsPath, Prefix};
+use mlpeer_bgp::{AsPath, Asn, Prefix};
 use mlpeer_topo::gen::{Internet, InternetConfig};
 use mlpeer_topo::graph::{Region, Tier};
 use mlpeer_topo::propagate::ExtraPeerEdge;
@@ -119,7 +119,7 @@ pub fn paper_ixp_specs() -> Vec<IxpSpec> {
         IxpSpec::new("LINX", WesternEurope, 8714, 457, 177, false),
         IxpSpec::new("MSK-IX", EasternEurope, 8631, 374, 348, true),
         IxpSpec::new("PLIX", EasternEurope, 8545, 222, 211, true),
-        IxpSpec::new("France-IX", WesternEurope, 51706 % 65536, 193, 169, true),
+        IxpSpec::new("France-IX", WesternEurope, 51706, 193, 169, true),
         IxpSpec::new("LONAP", WesternEurope, 8550, 120, 109, false),
         IxpSpec::new("ECIX", WesternEurope, 9033, 102, 83, true),
         IxpSpec::new("SPB-IX", EasternEurope, 43690, 89, 78, true),
@@ -130,8 +130,14 @@ pub fn paper_ixp_specs() -> Vec<IxpSpec> {
     ];
     // ECIX uses the offset scheme (Table 1); LINX hides its member list
     // (Table 2's asterisk).
-    v.iter_mut().find(|s| s.name == "ECIX").unwrap().offset_style = true;
-    v.iter_mut().find(|s| s.name == "LINX").unwrap().publishes_member_list = false;
+    v.iter_mut()
+        .find(|s| s.name == "ECIX")
+        .unwrap()
+        .offset_style = true;
+    v.iter_mut()
+        .find(|s| s.name == "LINX")
+        .unwrap()
+        .publishes_member_list = false;
     v
 }
 
@@ -168,7 +174,10 @@ impl EcosystemConfig {
     pub fn paper_scale(seed: u64) -> Self {
         EcosystemConfig {
             seed,
-            internet: InternetConfig { seed: seed.wrapping_mul(31).wrapping_add(7), ..InternetConfig::default() },
+            internet: InternetConfig {
+                seed: seed.wrapping_mul(31).wrapping_add(7),
+                ..InternetConfig::default()
+            },
             specs: paper_ixp_specs(),
             scale: 1.0,
             frac_implicit_all: 0.25,
@@ -271,7 +280,10 @@ impl Ecosystem {
 
     /// All ground-truth MLP links (union over IXPs, deduped).
     pub fn all_ground_truth_links(&self) -> BTreeSet<(Asn, Asn)> {
-        self.ixps.iter().flat_map(|x| x.ground_truth_links()).collect()
+        self.ixps
+            .iter()
+            .flat_map(|x| x.ground_truth_links())
+            .collect()
     }
 
     /// All mutually-allowed MLP links (what reciprocal inference can
@@ -287,12 +299,24 @@ impl Ecosystem {
         for ixp in &self.ixps {
             let tag = ixp.rs_tag();
             for (a, b) in ixp.directed_flows() {
-                out.push(ExtraPeerEdge { exporter: a, receiver: b, tag });
+                out.push(ExtraPeerEdge {
+                    exporter: a,
+                    receiver: b,
+                    tag,
+                });
             }
             let btag = ixp.bilateral_tag();
             for (a, b) in ixp.bilateral_links() {
-                out.push(ExtraPeerEdge { exporter: a, receiver: b, tag: btag });
-                out.push(ExtraPeerEdge { exporter: b, receiver: a, tag: btag });
+                out.push(ExtraPeerEdge {
+                    exporter: a,
+                    receiver: b,
+                    tag: btag,
+                });
+                out.push(ExtraPeerEdge {
+                    exporter: b,
+                    receiver: a,
+                    tag: btag,
+                });
             }
         }
         out
@@ -332,28 +356,40 @@ impl Builder {
 
         let mut specs = self.cfg.specs.clone();
         for s in &mut specs {
-            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.members_target = ((s.members_target as f64) * self.cfg.scale)
+                .round()
+                .max(6.0) as usize;
             s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
             s.rs_target = s.rs_target.min(s.members_target);
         }
         if self.cfg.include_stripping_ixp {
             let mut s = IxpSpec::new("NETNOD-SIM", Region::NorthernEurope, 52100, 60, 50, true);
             s.strips_communities = true;
-            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.members_target = ((s.members_target as f64) * self.cfg.scale)
+                .round()
+                .max(6.0) as usize;
             s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
             specs.push(s);
         }
         if self.cfg.include_portal_ixp {
             let mut s = IxpSpec::new("VIX-SIM", Region::WesternEurope, 52101, 60, 50, true);
             s.filter_portal = true;
-            s.members_target = ((s.members_target as f64) * self.cfg.scale).round().max(6.0) as usize;
+            s.members_target = ((s.members_target as f64) * self.cfg.scale)
+                .round()
+                .max(6.0) as usize;
             s.rs_target = ((s.rs_target as f64) * self.cfg.scale).round().max(4.0) as usize;
             specs.push(s);
         }
 
         let mut ixps = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
-            let ixp = self.build_ixp(IxpId(i as u16), spec, google_like, akamai_like, regional_case);
+            let ixp = self.build_ixp(
+                IxpId(i as u16),
+                spec,
+                google_like,
+                akamai_like,
+                regional_case,
+            );
             ixps.push(ixp);
         }
 
@@ -383,8 +419,12 @@ impl Builder {
     }
 
     fn assign_policies(&mut self) {
-        let nodes: Vec<(Asn, Tier)> =
-            self.internet.graph.nodes().map(|n| (n.asn, n.tier)).collect();
+        let nodes: Vec<(Asn, Tier)> = self
+            .internet
+            .graph
+            .nodes()
+            .map(|n| (n.asn, n.tier))
+            .collect();
         for (asn, tier) in nodes {
             let roll: f64 = self.rng.gen();
             let policy = match tier {
@@ -463,7 +503,10 @@ impl Builder {
             .filter(|a| a.is_16bit())
             .collect();
         contents.sort_unstable_by_key(|a| {
-            (std::cmp::Reverse(self.internet.prefixes_of(*a).len()), a.value())
+            (
+                std::cmp::Reverse(self.internet.prefixes_of(*a).len()),
+                a.value(),
+            )
         });
         let giant = contents[rank.min(contents.len() - 1)];
         // Giants behave openly via route servers (Google invites sub-
@@ -488,8 +531,7 @@ impl Builder {
             .map(|n| n.asn)
             .collect();
         for cand in candidates {
-            if self.rng.gen_bool(frac) && self.internet.graph.relationship(cand, giant).is_none()
-            {
+            if self.rng.gen_bool(frac) && self.internet.graph.relationship(cand, giant).is_none() {
                 self.internet.graph.add_edge(cand, giant, Relationship::P2p);
             }
         }
@@ -503,7 +545,10 @@ impl Builder {
             .asns_by_tier(Tier::Tier2)
             .into_iter()
             .find(|a| {
-                self.internet.graph.node(*a).is_some_and(|n| n.region.is_europe())
+                self.internet
+                    .graph
+                    .node(*a)
+                    .is_some_and(|n| n.region.is_europe())
             })
             .expect("internet has a European tier-2");
         self.policies.insert(cand, PeeringPolicy::Selective);
@@ -526,7 +571,10 @@ impl Builder {
         }
         let mut out = Vec::new();
         for p in self.internet.prefixes_of(asn) {
-            out.push(MemberAnnouncement { prefix: *p, as_path: AsPath::from_seq([asn]) });
+            out.push(MemberAnnouncement {
+                prefix: *p,
+                as_path: AsPath::from_seq([asn]),
+            });
         }
         // BFS down the cone recording the customer chain.
         let mut queue = std::collections::VecDeque::new();
@@ -610,8 +658,10 @@ impl Builder {
             "LINX" | "France-IX" | "PLIX" => vec![google_like, akamai_like],
             _ => vec![google_like],
         };
-        let missing: Vec<Asn> =
-            force.into_iter().filter(|f| !members_list.contains(f)).collect();
+        let missing: Vec<Asn> = force
+            .into_iter()
+            .filter(|f| !members_list.contains(f))
+            .collect();
         // Make room by evicting non-forced members, then add the forced
         // ones (keeps the member count on target).
         let evict: BTreeSet<Asn> = members_list
@@ -630,7 +680,12 @@ impl Builder {
         let rs_pool: Vec<(Asn, f64)> = members_list
             .iter()
             .map(|&a| {
-                let w = match self.policies.get(&a).copied().unwrap_or(PeeringPolicy::Open) {
+                let w = match self
+                    .policies
+                    .get(&a)
+                    .copied()
+                    .unwrap_or(PeeringPolicy::Open)
+                {
                     PeeringPolicy::Open => 1.0,
                     PeeringPolicy::Selective => 0.55,
                     PeeringPolicy::Restrictive => 0.16,
@@ -638,8 +693,10 @@ impl Builder {
                 (a, w)
             })
             .collect();
-        let mut rs_members: BTreeSet<Asn> =
-            self.weighted_sample(&rs_pool, spec.rs_target).into_iter().collect();
+        let mut rs_members: BTreeSet<Asn> = self
+            .weighted_sample(&rs_pool, spec.rs_target)
+            .into_iter()
+            .collect();
         // Narrative ASes participate in the RS where the story needs it.
         if members_list.contains(&google_like) {
             rs_members.insert(google_like);
@@ -650,7 +707,10 @@ impl Builder {
 
         // ---- Scheme and route server. ----
         let style = if spec.offset_style {
-            SchemeStyle::OffsetBased { exclude_upper: 64960, action_upper: 65000 }
+            SchemeStyle::OffsetBased {
+                exclude_upper: 64960,
+                action_upper: 65000,
+            }
         } else {
             SchemeStyle::AsnBased
         };
@@ -684,7 +744,11 @@ impl Builder {
             if !rs_set.contains(&asn) {
                 continue;
             }
-            let policy = self.policies.get(&asn).copied().unwrap_or(PeeringPolicy::Open);
+            let policy = self
+                .policies
+                .get(&asn)
+                .copied()
+                .unwrap_or(PeeringPolicy::Open);
             let export = self.gen_export_policy(asn, policy, &rs_set, &member_set);
             let m = members.get_mut(&asn).expect("member exists");
             m.export = export;
@@ -701,8 +765,7 @@ impl Builder {
                 .filter(|&&a| {
                     a != giant
                         && rs_set.contains(&a)
-                        && self.internet.graph.relationship(a, giant)
-                            == Some(Relationship::P2p)
+                        && self.internet.graph.relationship(a, giant) == Some(Relationship::P2p)
                 })
                 .copied()
                 .collect();
@@ -729,8 +792,12 @@ impl Builder {
         if let Some(m) = members.get_mut(&regional_case) {
             if m.rs_member {
                 m.export = if matches!(spec.region, Region::EasternEurope) {
-                    let include: BTreeSet<Asn> =
-                        rs_set.iter().copied().filter(|&a| a != regional_case).take(3).collect();
+                    let include: BTreeSet<Asn> = rs_set
+                        .iter()
+                        .copied()
+                        .filter(|&a| a != regional_case)
+                        .take(3)
+                        .collect();
                     ExportPolicy::OnlyTo(include)
                 } else {
                     ExportPolicy::AllMembers
@@ -745,9 +812,11 @@ impl Builder {
             }
             let blocked: BTreeSet<Asn> = match &m.export {
                 ExportPolicy::AllExcept(ex) => ex.clone(),
-                ExportPolicy::OnlyTo(inc) => {
-                    rs_set.iter().copied().filter(|a| !inc.contains(a) && *a != m.asn).collect()
-                }
+                ExportPolicy::OnlyTo(inc) => rs_set
+                    .iter()
+                    .copied()
+                    .filter(|a| !inc.contains(a) && *a != m.asn)
+                    .collect(),
                 _ => BTreeSet::new(),
             };
             // Half the members run an import filter equal to the export
@@ -755,9 +824,14 @@ impl Builder {
             let import_blocked: BTreeSet<Asn> = if self.rng.gen_bool(0.5) {
                 blocked
             } else {
-                blocked.into_iter().filter(|_| self.rng.gen_bool(0.6)).collect()
+                blocked
+                    .into_iter()
+                    .filter(|_| self.rng.gen_bool(0.6))
+                    .collect()
             };
-            m.import = ImportFilter { blocked: import_blocked };
+            m.import = ImportFilter {
+                blocked: import_blocked,
+            };
         }
 
         // ---- Per-prefix overrides (§4.3's < 0.5 % inconsistency). ----
@@ -767,14 +841,21 @@ impl Builder {
             .filter(|_| self.rng.gen_bool(self.cfg.per_prefix_override_frac))
             .collect();
         for asn in override_members {
-            let extra = match members_list.iter().find(|&&x| x != asn && rs_set.contains(&x)) {
+            let extra = match members_list
+                .iter()
+                .find(|&&x| x != asn && rs_set.contains(&x))
+            {
                 Some(&x) => x,
                 None => continue,
             };
             let m = members.get_mut(&asn).expect("member exists");
             let n_over = (m.announcements.len() / 50).max(1);
-            let prefixes: Vec<Prefix> =
-                m.announcements.iter().take(n_over).map(|a| a.prefix).collect();
+            let prefixes: Vec<Prefix> = m
+                .announcements
+                .iter()
+                .take(n_over)
+                .map(|a| a.prefix)
+                .collect();
             for p in prefixes {
                 let over = match &m.export {
                     ExportPolicy::AllMembers => {
@@ -792,8 +873,11 @@ impl Builder {
         }
 
         // ---- Bilateral fabric. ----
-        let non_rs: Vec<Asn> =
-            members_list.iter().copied().filter(|a| !rs_set.contains(a)).collect();
+        let non_rs: Vec<Asn> = members_list
+            .iter()
+            .copied()
+            .filter(|a| !rs_set.contains(a))
+            .collect();
         for &asn in &non_rs {
             let frac = self.rng.gen_range(0.10..0.35);
             let peers: Vec<Asn> = members_list
@@ -804,7 +888,11 @@ impl Builder {
             let m = members.get_mut(&asn).expect("member");
             m.bilateral_peers.extend(peers.iter().copied());
             for p in peers {
-                members.get_mut(&p).expect("member").bilateral_peers.insert(asn);
+                members
+                    .get_mut(&p)
+                    .expect("member")
+                    .bilateral_peers
+                    .insert(asn);
             }
         }
         // A sprinkle of RS members also peer bilaterally and *prefer*
@@ -815,14 +903,21 @@ impl Builder {
             .filter(|_| self.rng.gen_bool(0.05))
             .collect();
         for asn in preferers {
-            let peer = match members_list.iter().find(|&&x| x != asn && rs_set.contains(&x)) {
+            let peer = match members_list
+                .iter()
+                .find(|&&x| x != asn && rs_set.contains(&x))
+            {
                 Some(&x) => x,
                 None => continue,
             };
             let m = members.get_mut(&asn).expect("member");
             m.bilateral_peers.insert(peer);
             m.bilateral_local_pref = 200;
-            members.get_mut(&peer).expect("member").bilateral_peers.insert(asn);
+            members
+                .get_mut(&peer)
+                .expect("member")
+                .bilateral_peers
+                .insert(asn);
         }
 
         Ixp {
@@ -881,8 +976,7 @@ impl Builder {
                 }
             }
         } else {
-            let n = ((others.len() as f64 * incl_frac).round() as usize)
-                .clamp(1, others.len());
+            let n = ((others.len() as f64 * incl_frac).round() as usize).clamp(1, others.len());
             let pool: Vec<(Asn, f64)> = others.iter().map(|&a| (a, 1.0)).collect();
             let include: BTreeSet<Asn> = self.weighted_sample(&pool, n).into_iter().collect();
             ExportPolicy::OnlyTo(include)
@@ -894,15 +988,14 @@ impl Builder {
     /// paper measured 77 % in-cone, of which 12 %-points are direct
     /// co-located customers); the remainder hit arbitrary members
     /// (dominated by the privately-peered content giants).
-    fn pick_exclusion_targets(
-        &mut self,
-        blocker: Asn,
-        others: &[Asn],
-        n: usize,
-    ) -> BTreeSet<Asn> {
+    fn pick_exclusion_targets(&mut self, blocker: Asn, others: &[Asn], n: usize) -> BTreeSet<Asn> {
         let direct: Vec<Asn> = {
             let customers = self.internet.graph.customers_of(blocker);
-            others.iter().copied().filter(|a| customers.contains(a)).collect()
+            others
+                .iter()
+                .copied()
+                .filter(|a| customers.contains(a))
+                .collect()
         };
         let cone: Vec<Asn> = {
             let cone = self.cone_of(blocker).clone();
@@ -1000,8 +1093,16 @@ mod tests {
         for ixp in &e.ixps {
             for m in ixp.members.values() {
                 assert!(e.internet.graph.contains(m.asn), "member {} unknown", m.asn);
-                assert!(ixp.lan.contains_addr(m.lan_addr), "{} outside LAN", m.lan_addr);
-                assert!(!m.announcements.is_empty(), "member {} announces nothing", m.asn);
+                assert!(
+                    ixp.lan.contains_addr(m.lan_addr),
+                    "{} outside LAN",
+                    m.lan_addr
+                );
+                assert!(
+                    !m.announcements.is_empty(),
+                    "member {} announces nothing",
+                    m.asn
+                );
             }
         }
     }
@@ -1059,7 +1160,10 @@ mod tests {
                 }
             }
         }
-        assert!(blocks >= 2, "the content giant should be repelled (got {blocks})");
+        assert!(
+            blocks >= 2,
+            "the content giant should be repelled (got {blocks})"
+        );
     }
 
     #[test]
@@ -1081,8 +1185,14 @@ mod tests {
             .into_iter()
             .filter(|&a| e.ixps_of(a).len() > 1)
             .count();
-        assert!(multi > 3, "some ASes must co-locate at multiple IXPs (got {multi})");
-        assert!(e.ixps_of(e.google_like).len() >= 4, "the giant is everywhere");
+        assert!(
+            multi > 3,
+            "some ASes must co-locate at multiple IXPs (got {multi})"
+        );
+        assert!(
+            e.ixps_of(e.google_like).len() >= 4,
+            "the giant is everywhere"
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl Ixp {
 
     /// ASNs connected to the route server (`A_RS` in §4.1), ascending.
     pub fn rs_member_asns(&self) -> Vec<Asn> {
-        self.members.values().filter(|m| m.rs_member).map(|m| m.asn).collect()
+        self.members
+            .values()
+            .filter(|m| m.rs_member)
+            .map(|m| m.asn)
+            .collect()
     }
 
     /// Member count (the "ASes" column of Table 2).
@@ -85,7 +89,9 @@ impl Ixp {
     /// (VIX/HKIX style, §5.8) the filters exist but are configured out
     /// of band, so no RS communities appear on any route.
     pub fn rs_rib(&self) -> Rib {
-        let mut rib = self.route_server.build_rib(self.members.values(), &self.scheme);
+        let mut rib = self
+            .route_server
+            .build_rib(self.members.values(), &self.scheme);
         if self.filter_portal {
             let cleaned: Vec<(Prefix, mlpeer_bgp::rib::RibEntry)> = rib
                 .iter()
@@ -109,7 +115,9 @@ impl Ixp {
     /// What `member` receives from the route server.
     pub fn rs_export_to(&self, member: Asn) -> Vec<Announcement> {
         let mut out = match self.members.get(&member) {
-            Some(m) => self.route_server.export_to(m, self.members.values(), &self.scheme),
+            Some(m) => self
+                .route_server
+                .export_to(m, self.members.values(), &self.scheme),
             None => Vec::new(),
         };
         if self.filter_portal {
@@ -131,7 +139,10 @@ impl Ixp {
                 if a.asn == b.asn {
                     continue;
                 }
-                if a.announcements.iter().any(|ann| RouteServer::delivers(a, b, &ann.prefix)) {
+                if a.announcements
+                    .iter()
+                    .any(|ann| RouteServer::delivers(a, b, &ann.prefix))
+                {
                     out.push((a.asn, b.asn));
                 }
             }
@@ -206,12 +217,9 @@ mod tests {
     fn small_ixp() -> Ixp {
         let mut members = BTreeMap::new();
         for (i, asn) in [1001u32, 1002, 1003].into_iter().enumerate() {
-            let mut m = IxpMember::new(
-                Asn(asn),
-                Ipv4Addr::new(80, 81, 192, (i + 1) as u8),
-            );
+            let mut m = IxpMember::new(Asn(asn), Ipv4Addr::new(80, 81, 192, (i + 1) as u8));
             m.announcements = vec![MemberAnnouncement {
-                prefix: Prefix::from_u32((100 << 24) | ((asn as u32) << 8), 24).unwrap(),
+                prefix: Prefix::from_u32((100 << 24) | (asn << 8), 24).unwrap(),
                 as_path: AsPath::from_seq([Asn(asn)]),
             }];
             members.insert(Asn(asn), m);
@@ -243,7 +251,10 @@ mod tests {
         assert_eq!(ixp.rs_member_count(), 2);
         assert_eq!(ixp.member_asns(), vec![Asn(1001), Asn(1002), Asn(1003)]);
         assert_eq!(ixp.rs_member_asns(), vec![Asn(1001), Asn(1002)]);
-        assert_eq!(ixp.lan_addr_of(Asn(1001)), Some("80.81.192.1".parse().unwrap()));
+        assert_eq!(
+            ixp.lan_addr_of(Asn(1001)),
+            Some("80.81.192.1".parse().unwrap())
+        );
         assert_eq!(ixp.lan_addr_of(Asn(9999)), None);
     }
 
@@ -254,7 +265,10 @@ mod tests {
         // 1001 → 1002 yes, 1001 → 1003 no (export filter), all others yes.
         assert!(flows.contains(&(Asn(1001), Asn(1002))));
         assert!(!flows.contains(&(Asn(1001), Asn(1003))));
-        assert!(flows.contains(&(Asn(1003), Asn(1001))), "1003 is open toward 1001");
+        assert!(
+            flows.contains(&(Asn(1003), Asn(1001))),
+            "1003 is open toward 1001"
+        );
         assert!(flows.contains(&(Asn(1002), Asn(1003))));
     }
 
@@ -276,8 +290,10 @@ mod tests {
         let rib = ixp.rs_rib();
         assert_eq!(rib.prefix_count(), 3);
         let to_1003 = ixp.rs_export_to(Asn(1003));
-        let from: Vec<Asn> =
-            to_1003.iter().filter_map(|a| a.attrs.as_path.first_hop()).collect();
+        let from: Vec<Asn> = to_1003
+            .iter()
+            .filter_map(|a| a.attrs.as_path.first_hop())
+            .collect();
         assert_eq!(from, vec![Asn(1002)], "only 1002's route reaches 1003");
         assert!(ixp.rs_export_to(Asn(4040)).is_empty(), "unknown member");
     }
@@ -285,9 +301,18 @@ mod tests {
     #[test]
     fn bilateral_links_dedupe_and_ignore_outsiders() {
         let mut ixp = small_ixp();
-        ixp.member_mut(Asn(1001)).unwrap().bilateral_peers.insert(Asn(1002));
-        ixp.member_mut(Asn(1002)).unwrap().bilateral_peers.insert(Asn(1001));
-        ixp.member_mut(Asn(1002)).unwrap().bilateral_peers.insert(Asn(7777)); // not a member
+        ixp.member_mut(Asn(1001))
+            .unwrap()
+            .bilateral_peers
+            .insert(Asn(1002));
+        ixp.member_mut(Asn(1002))
+            .unwrap()
+            .bilateral_peers
+            .insert(Asn(1001));
+        ixp.member_mut(Asn(1002))
+            .unwrap()
+            .bilateral_peers
+            .insert(Asn(7777)); // not a member
         let links = ixp.bilateral_links();
         assert_eq!(links.len(), 1);
         assert!(links.contains(&(Asn(1001), Asn(1002))));

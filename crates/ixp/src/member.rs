@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
-use mlpeer_bgp::{Asn, AsPath, Prefix};
+use mlpeer_bgp::{AsPath, Asn, Prefix};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::{ExportPolicy, ImportFilter};
@@ -92,7 +92,9 @@ impl IxpMember {
     /// The export policy in force for `prefix` (per-prefix override or
     /// the member default).
     pub fn effective_export(&self, prefix: &Prefix) -> &ExportPolicy {
-        self.per_prefix_overrides.get(prefix).unwrap_or(&self.export)
+        self.per_prefix_overrides
+            .get(prefix)
+            .unwrap_or(&self.export)
     }
 
     /// Would the member's announcement of `prefix` reach `peer`, by its
@@ -177,7 +179,10 @@ mod tests {
         assert!(!m.exports_to(Asn(5410)), "excluded");
         assert!(!m.exports_to(Asn(8359)), "never exports to itself");
         m.rs_member = false;
-        assert!(!m.exports_to(Asn(1)), "non-RS member exports nothing via RS");
+        assert!(
+            !m.exports_to(Asn(1)),
+            "non-RS member exports nothing via RS"
+        );
     }
 
     #[test]

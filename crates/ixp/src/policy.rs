@@ -46,7 +46,11 @@ impl ExportPolicy {
 
     /// The members this policy reaches, out of `members`.
     pub fn allowed_set(&self, members: &BTreeSet<Asn>) -> BTreeSet<Asn> {
-        members.iter().copied().filter(|&m| self.allows(m)).collect()
+        members
+            .iter()
+            .copied()
+            .filter(|&m| self.allows(m))
+            .collect()
     }
 
     /// The fraction of `others` (candidate peers, excluding self) this
@@ -213,7 +217,10 @@ mod tests {
         // 0:6695 6695:8359 6695:8447.
         let scheme = CommunityScheme::decix();
         let p = ExportPolicy::OnlyTo(set(&[8359, 8447]));
-        assert_eq!(p.to_communities(&scheme).to_string(), "0:6695 6695:8359 6695:8447");
+        assert_eq!(
+            p.to_communities(&scheme).to_string(),
+            "0:6695 6695:8359 6695:8447"
+        );
     }
 
     #[test]
@@ -274,10 +281,19 @@ mod tests {
     fn allowed_fraction_for_fig11() {
         let others = set(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
         assert_eq!(ExportPolicy::AllMembers.allowed_fraction(&others), 1.0);
-        assert_eq!(ExportPolicy::AllExcept(set(&[1, 2])).allowed_fraction(&others), 0.8);
-        assert_eq!(ExportPolicy::OnlyTo(set(&[1])).allowed_fraction(&others), 0.1);
+        assert_eq!(
+            ExportPolicy::AllExcept(set(&[1, 2])).allowed_fraction(&others),
+            0.8
+        );
+        assert_eq!(
+            ExportPolicy::OnlyTo(set(&[1])).allowed_fraction(&others),
+            0.1
+        );
         assert_eq!(ExportPolicy::Nobody.allowed_fraction(&others), 0.0);
-        assert_eq!(ExportPolicy::AllMembers.allowed_fraction(&BTreeSet::new()), 1.0);
+        assert_eq!(
+            ExportPolicy::AllMembers.allowed_fraction(&BTreeSet::new()),
+            1.0
+        );
     }
 
     #[test]
@@ -296,7 +312,10 @@ mod tests {
         // Import blocks someone export allows: violation.
         assert!(!ImportFilter { blocked: set(&[7]) }.respects_reciprocity(&export));
         let only = ExportPolicy::OnlyTo(set(&[1]));
-        assert!(ImportFilter { blocked: set(&[2, 3]) }.respects_reciprocity(&only));
+        assert!(ImportFilter {
+            blocked: set(&[2, 3])
+        }
+        .respects_reciprocity(&only));
         assert!(!ImportFilter { blocked: set(&[1]) }.respects_reciprocity(&only));
     }
 

@@ -41,7 +41,12 @@ pub struct RouteServer {
 impl RouteServer {
     /// A standard transparent route server.
     pub fn new(asn: Asn, addr: Ipv4Addr) -> Self {
-        RouteServer { asn, addr, strips_communities: false, inserts_own_asn: false }
+        RouteServer {
+            asn,
+            addr,
+            strips_communities: false,
+            inserts_own_asn: false,
+        }
     }
 
     /// The community set member `m` attaches when announcing `prefix`,
@@ -75,12 +80,16 @@ impl RouteServer {
                 continue;
             }
             for ann in &m.announcements {
-                let attrs = RouteAttrs::new(ann.as_path.clone(), m.lan_addr).with_communities(
-                    Self::communities_for(m, &ann.prefix, scheme),
-                );
+                let attrs = RouteAttrs::new(ann.as_path.clone(), m.lan_addr)
+                    .with_communities(Self::communities_for(m, &ann.prefix, scheme));
                 rib.insert(
                     ann.prefix,
-                    RibEntry { peer: m.asn, peer_addr: m.lan_addr, attrs, learned_at: 0 },
+                    RibEntry {
+                        peer: m.asn,
+                        peer_addr: m.lan_addr,
+                        attrs,
+                        learned_at: 0,
+                    },
                 );
             }
         }
@@ -90,11 +99,7 @@ impl RouteServer {
     /// Would announcer `a`'s route for `prefix` be delivered to receiver
     /// `b`? Connectivity (both RS members), `a`'s (effective) export
     /// filter, and `b`'s import filter must all agree.
-    pub fn delivers(
-        a: &IxpMember,
-        b: &IxpMember,
-        prefix: &mlpeer_bgp::Prefix,
-    ) -> bool {
+    pub fn delivers(a: &IxpMember, b: &IxpMember, prefix: &mlpeer_bgp::Prefix) -> bool {
         b.rs_member && a.exports_prefix_to(prefix, b.asn) && b.import.accepts(a.asn)
     }
 
@@ -161,10 +166,7 @@ mod tests {
     }
 
     fn member(asn: u32, last_octet: u8) -> IxpMember {
-        let mut m = IxpMember::new(
-            Asn(asn),
-            Ipv4Addr::new(80, 81, 192, last_octet),
-        );
+        let mut m = IxpMember::new(Asn(asn), Ipv4Addr::new(80, 81, 192, last_octet));
         m.announcements = vec![MemberAnnouncement {
             prefix: format!("19{}.34.0.0/22", (asn % 5) + 3).parse().unwrap(),
             as_path: AsPath::from_seq([Asn(asn)]),
@@ -192,7 +194,10 @@ mod tests {
         let pfx = members[0].announcements[0].prefix;
         let entry = rib.path_from(&pfx, Asn(1001)).unwrap();
         // NONE + INCLUDE(B) + INCLUDE(D): 0:6695 6695:1002 6695:1004.
-        assert_eq!(entry.attrs.communities.to_string(), "0:6695 6695:1002 6695:1004");
+        assert_eq!(
+            entry.attrs.communities.to_string(),
+            "0:6695 6695:1002 6695:1004"
+        );
     }
 
     #[test]
@@ -220,8 +225,10 @@ mod tests {
         let c = members.iter().find(|m| m.asn == Asn(1003)).unwrap();
         let got = rs().export_to(c, &members, &scheme());
         // C receives from B and D (open) but not from A (excluded).
-        let from: BTreeSet<Asn> =
-            got.iter().filter_map(|ann| ann.attrs.as_path.first_hop()).collect();
+        let from: BTreeSet<Asn> = got
+            .iter()
+            .filter_map(|ann| ann.attrs.as_path.first_hop())
+            .collect();
         assert!(from.contains(&Asn(1002)) && from.contains(&Asn(1004)));
         assert!(!from.contains(&Asn(1001)), "A's export filter blocks C");
         // Transparency: next hop is the announcer's LAN address, and the
@@ -240,8 +247,10 @@ mod tests {
         members[d_idx].import.blocked.insert(Asn(1002));
         let d = &members[d_idx];
         let got = rs().export_to(d, &members, &scheme());
-        let from: BTreeSet<Asn> =
-            got.iter().filter_map(|ann| ann.attrs.as_path.first_hop()).collect();
+        let from: BTreeSet<Asn> = got
+            .iter()
+            .filter_map(|ann| ann.attrs.as_path.first_hop())
+            .collect();
         assert!(!from.contains(&Asn(1002)), "import filter dropped B");
         assert!(from.contains(&Asn(1001)), "A includes D");
     }
@@ -255,7 +264,10 @@ mod tests {
         let got = server.export_to(b, &members, &scheme());
         assert!(!got.is_empty());
         for ann in got {
-            assert!(ann.attrs.communities.is_empty(), "Netnod-style RS strips communities");
+            assert!(
+                ann.attrs.communities.is_empty(),
+                "Netnod-style RS strips communities"
+            );
         }
     }
 
@@ -267,7 +279,11 @@ mod tests {
         let b = members.iter().find(|m| m.asn == Asn(1002)).unwrap();
         let got = server.export_to(b, &members, &scheme());
         for ann in got {
-            assert_eq!(ann.attrs.as_path.first_hop(), Some(Asn(6695)), "RS ASN prepended");
+            assert_eq!(
+                ann.attrs.as_path.first_hop(),
+                Some(Asn(6695)),
+                "RS ASN prepended"
+            );
         }
     }
 
@@ -295,7 +311,11 @@ mod tests {
         m.export = ExportPolicy::AllExcept([Asn(1004)].into_iter().collect::<BTreeSet<_>>());
         let pfx = m.announcements[0].prefix;
         let cs = RouteServer::communities_for(&m, &pfx, &scheme());
-        assert_eq!(cs.to_string(), "0:1004", "bare EXCLUDE, no ALL — the §4.2 hard case");
+        assert_eq!(
+            cs.to_string(),
+            "0:1004",
+            "bare EXCLUDE, no ALL — the §4.2 hard case"
+        );
     }
 
     #[test]
@@ -304,7 +324,9 @@ mod tests {
         let b_idx = members.iter().position(|m| m.asn == Asn(1002)).unwrap();
         members[b_idx].rs_member = false;
         let rib = rs().build_rib(&members, &scheme());
-        assert!(rib.path_from(&members[b_idx].announcements[0].prefix, Asn(1002)).is_none());
+        assert!(rib
+            .path_from(&members[b_idx].announcements[0].prefix, Asn(1002))
+            .is_none());
         // And it receives nothing.
         let got = rs().export_to(&members[b_idx], &members, &scheme());
         assert!(got.is_empty());

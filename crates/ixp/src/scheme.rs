@@ -98,7 +98,10 @@ impl CommunityScheme {
     pub fn ecix() -> Self {
         CommunityScheme::new(
             Asn(9033),
-            SchemeStyle::OffsetBased { exclude_upper: 64960, action_upper: 65000 },
+            SchemeStyle::OffsetBased {
+                exclude_upper: 64960,
+                action_upper: 65000,
+            },
         )
     }
 
@@ -135,7 +138,10 @@ impl CommunityScheme {
 
     /// Resolve a 16-bit wire value back to the member ASN (alias-aware).
     pub fn resolve_peer(&self, wire: u16) -> Asn {
-        self.alias_rev.get(&wire).copied().unwrap_or(Asn(wire as u32))
+        self.alias_rev
+            .get(&wire)
+            .copied()
+            .unwrap_or(Asn(wire as u32))
     }
 
     /// Encode an action as a community value.
@@ -147,13 +153,9 @@ impl CommunityScheme {
         let rs = self.rs_asn.value() as u16;
         Some(match (self.style, action) {
             (_, RsAction::All) => Community::new(rs, rs),
-            (SchemeStyle::AsnBased, RsAction::Exclude(p)) => {
-                Community::new(0, self.peer_repr(p)?)
-            }
+            (SchemeStyle::AsnBased, RsAction::Exclude(p)) => Community::new(0, self.peer_repr(p)?),
             (SchemeStyle::AsnBased, RsAction::None) => Community::new(0, rs),
-            (SchemeStyle::AsnBased, RsAction::Include(p)) => {
-                Community::new(rs, self.peer_repr(p)?)
-            }
+            (SchemeStyle::AsnBased, RsAction::Include(p)) => Community::new(rs, self.peer_repr(p)?),
             (SchemeStyle::OffsetBased { exclude_upper, .. }, RsAction::Exclude(p)) => {
                 Community::new(exclude_upper, self.peer_repr(p)?)
             }
@@ -187,7 +189,10 @@ impl CommunityScheme {
                     None
                 }
             }
-            SchemeStyle::OffsetBased { exclude_upper, action_upper } => {
+            SchemeStyle::OffsetBased {
+                exclude_upper,
+                action_upper,
+            } => {
                 if c.upper() == rs && c.lower() == rs {
                     Some(RsAction::All)
                 } else if c.upper() == exclude_upper {
@@ -247,15 +252,24 @@ mod tests {
     fn table1_ecix_values() {
         let s = CommunityScheme::ecix();
         assert_eq!(s.encode(RsAction::All), Some(c("9033:9033")));
-        assert_eq!(s.encode(RsAction::Exclude(Asn(8447))), Some(c("64960:8447")));
+        assert_eq!(
+            s.encode(RsAction::Exclude(Asn(8447))),
+            Some(c("64960:8447"))
+        );
         assert_eq!(s.encode(RsAction::None), Some(c("65000:0")));
-        assert_eq!(s.encode(RsAction::Include(Asn(8447))), Some(c("65000:8447")));
+        assert_eq!(
+            s.encode(RsAction::Include(Asn(8447))),
+            Some(c("65000:8447"))
+        );
     }
 
     #[test]
     fn decode_is_encode_inverse() {
-        for scheme in [CommunityScheme::decix(), CommunityScheme::mskix(), CommunityScheme::ecix()]
-        {
+        for scheme in [
+            CommunityScheme::decix(),
+            CommunityScheme::mskix(),
+            CommunityScheme::ecix(),
+        ] {
             for action in [
                 RsAction::All,
                 RsAction::None,
@@ -263,7 +277,11 @@ mod tests {
                 RsAction::Include(Asn(8447)),
             ] {
                 let encoded = scheme.encode(action).unwrap();
-                assert_eq!(scheme.decode(encoded), Some(action), "{encoded} in {scheme:?}");
+                assert_eq!(
+                    scheme.decode(encoded),
+                    Some(action),
+                    "{encoded} in {scheme:?}"
+                );
             }
         }
     }
@@ -272,14 +290,22 @@ mod tests {
     fn alias_for_32bit_member_roundtrips() {
         let mut s = CommunityScheme::decix();
         let big = Asn(196_800);
-        assert_eq!(s.peer_repr(big), None, "unregistered 32-bit ASN has no repr");
+        assert_eq!(
+            s.peer_repr(big),
+            None,
+            "unregistered 32-bit ASN has no repr"
+        );
         assert_eq!(s.encode(RsAction::Exclude(big)), None);
         let alias = s.register_member(big);
         assert!((PRIVATE16_START..=PRIVATE16_END).contains(&(alias as u32)));
         assert_eq!(s.register_member(big), alias, "idempotent");
         let encoded = s.encode(RsAction::Exclude(big)).unwrap();
         assert_eq!(encoded, Community::new(0, alias));
-        assert_eq!(s.decode(encoded), Some(RsAction::Exclude(big)), "alias resolves back");
+        assert_eq!(
+            s.decode(encoded),
+            Some(RsAction::Exclude(big)),
+            "alias resolves back"
+        );
         assert_eq!(s.alias_count(), 1);
     }
 
@@ -323,7 +349,10 @@ mod tests {
         assert!(s.mentions_rs(c("6695:6695")));
         assert!(s.mentions_rs(c("0:6695")));
         assert!(s.mentions_rs(c("6695:8359")));
-        assert!(!s.mentions_rs(c("0:8359")), "bare EXCLUDE hides the IXP — the §4.2 hard case");
+        assert!(
+            !s.mentions_rs(c("0:8359")),
+            "bare EXCLUDE hides the IXP — the §4.2 hard case"
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl ConeIndex {
     /// Is `target` in `provider`'s cone? `false` if `provider` was not
     /// indexed.
     pub fn contains(&self, provider: Asn, target: Asn) -> bool {
-        self.cones.get(&provider).is_some_and(|c| c.contains(&target))
+        self.cones
+            .get(&provider)
+            .is_some_and(|c| c.contains(&target))
     }
 
     /// Cone size (0 if not indexed).

@@ -120,7 +120,11 @@ impl Internet {
 
     /// ASNs by tier, in ascending order.
     pub fn asns_by_tier(&self, tier: Tier) -> Vec<Asn> {
-        self.graph.nodes().filter(|n| n.tier == tier).map(|n| n.asn).collect()
+        self.graph
+            .nodes()
+            .filter(|n| n.tier == tier)
+            .map(|n| n.asn)
+            .collect()
     }
 
     /// European ASNs, ascending.
@@ -197,7 +201,11 @@ impl Generator {
         self.make_content();
         self.make_stubs();
         self.make_siblings();
-        Internet { graph: self.graph, prefixes: self.prefixes, config: self.config }
+        Internet {
+            graph: self.graph,
+            prefixes: self.prefixes,
+            config: self.config,
+        }
     }
 
     fn pick_region(&mut self) -> Region {
@@ -227,8 +235,21 @@ impl Generator {
         }
     }
 
-    fn add_as(&mut self, asn: Asn, tier: Tier, region: Region, scope: GeoScope, npfx: usize, plen: u8) {
-        self.graph.add_node(AsInfo { asn, tier, region, scope });
+    fn add_as(
+        &mut self,
+        asn: Asn,
+        tier: Tier,
+        region: Region,
+        scope: GeoScope,
+        npfx: usize,
+        plen: u8,
+    ) {
+        self.graph.add_node(AsInfo {
+            asn,
+            tier,
+            region,
+            scope,
+        });
         let mut v = Vec::with_capacity(npfx);
         for _ in 0..npfx {
             v.push(self.alloc.alloc(plen));
@@ -247,7 +268,8 @@ impl Generator {
         // Full clique of p2p edges.
         for i in 0..self.tier1.len() {
             for j in (i + 1)..self.tier1.len() {
-                self.graph.add_edge(self.tier1[i], self.tier1[j], Relationship::P2p);
+                self.graph
+                    .add_edge(self.tier1[i], self.tier1[j], Relationship::P2p);
             }
         }
     }
@@ -312,8 +334,12 @@ impl Generator {
     }
 
     fn make_content(&mut self) {
-        let upstream: Vec<Asn> =
-            self.tier1.iter().chain(self.tier2.iter()).copied().collect();
+        let upstream: Vec<Asn> = self
+            .tier1
+            .iter()
+            .chain(self.tier2.iter())
+            .copied()
+            .collect();
         for i in 0..self.config.n_content {
             let asn = if self.rng.gen_bool(self.config.frac_32bit_asn) {
                 Asn(200_000 + i as u32 * 17)
@@ -321,8 +347,11 @@ impl Generator {
                 Asn(30_000 + i as u32 * 9)
             };
             let region = self.pick_region();
-            let scope =
-                if self.rng.gen_bool(0.55) { GeoScope::Global } else { GeoScope::Europe };
+            let scope = if self.rng.gen_bool(0.55) {
+                GeoScope::Global
+            } else {
+                GeoScope::Europe
+            };
             let npfx = self.rng.gen_range(4..=12);
             self.add_as(asn, Tier::Content, region, scope, npfx, 22);
             let nprov = self.rng.gen_range(2..=3.min(upstream.len()));
@@ -334,8 +363,12 @@ impl Generator {
     }
 
     fn make_stubs(&mut self) {
-        let upstream: Vec<Asn> =
-            self.tier2.iter().chain(self.regional.iter()).copied().collect();
+        let upstream: Vec<Asn> = self
+            .tier2
+            .iter()
+            .chain(self.regional.iter())
+            .copied()
+            .collect();
         for i in 0..self.config.n_stub {
             let asn = if self.rng.gen_bool(self.config.frac_32bit_asn) {
                 Asn(300_000 + i as u32 * 3)
@@ -367,8 +400,12 @@ impl Generator {
     }
 
     fn make_siblings(&mut self) {
-        let pool: Vec<Asn> =
-            self.tier2.iter().chain(self.regional.iter()).copied().collect();
+        let pool: Vec<Asn> = self
+            .tier2
+            .iter()
+            .chain(self.regional.iter())
+            .copied()
+            .collect();
         for _ in 0..self.config.sibling_families {
             if pool.len() < 2 {
                 break;
@@ -424,7 +461,11 @@ mod tests {
         assert_eq!(a.graph.edges(), b.graph.edges());
         assert_eq!(a.prefixes, b.prefixes);
         let c = Internet::generate(InternetConfig::tiny(8));
-        assert_ne!(a.graph.edges(), c.graph.edges(), "different seed, different internet");
+        assert_ne!(
+            a.graph.edges(),
+            c.graph.edges(),
+            "different seed, different internet"
+        );
     }
 
     #[test]
@@ -447,7 +488,10 @@ mod tests {
         let net = Internet::generate(InternetConfig::tiny(2));
         let t1 = net.asns_by_tier(Tier::Tier1);
         for &a in &t1 {
-            assert!(net.graph.providers_of(a).is_empty(), "tier1 {a} has a provider");
+            assert!(
+                net.graph.providers_of(a).is_empty(),
+                "tier1 {a} has a provider"
+            );
             for &b in &t1 {
                 if a != b {
                     assert_eq!(net.graph.relationship(a, b), Some(Relationship::P2p));
@@ -484,7 +528,11 @@ mod tests {
         for &a in &t1 {
             covered.extend(customer_cone(&net.graph, a));
         }
-        assert_eq!(covered.len(), net.graph.node_count(), "clique cones cover everyone");
+        assert_eq!(
+            covered.len(),
+            net.graph.node_count(),
+            "clique cones cover everyone"
+        );
         for n in net.graph.nodes() {
             if n.tier == Tier::Stub {
                 let cone = customer_cone(&net.graph, n.asn);

@@ -215,7 +215,11 @@ impl AsGraph {
 
     /// The relationship from `a` toward `b`, if the edge exists.
     pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
-        self.adj.get(&a)?.iter().find(|(n, _)| *n == b).map(|(_, r)| *r)
+        self.adj
+            .get(&a)?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, r)| *r)
     }
 
     /// All neighbors of `a` with the relationship from `a`'s
@@ -258,7 +262,10 @@ impl AsGraph {
 
     /// Direct customer count (the *customer degree* of Fig. 7).
     pub fn customer_degree(&self, a: Asn) -> usize {
-        self.neighbors(a).iter().filter(|(_, r)| *r == Relationship::P2c).count()
+        self.neighbors(a)
+            .iter()
+            .filter(|(_, r)| *r == Relationship::P2c)
+            .count()
     }
 
     /// Is `a` a stub in the business sense used by the paper: an AS

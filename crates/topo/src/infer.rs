@@ -85,7 +85,11 @@ pub struct InferConfig {
 
 impl Default for InferConfig {
     fn default() -> Self {
-        InferConfig { clique_size: 16, sibling_conflict_frac: 0.2, p2p_degree_ratio: 2.5 }
+        InferConfig {
+            clique_size: 16,
+            sibling_conflict_frac: 0.2,
+            p2p_degree_ratio: 2.5,
+        }
     }
 }
 
@@ -101,8 +105,10 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
             entry.insert(path[i + 1]);
         }
     }
-    let transit_degree: HashMap<Asn, usize> =
-        middle_neighbors.iter().map(|(a, s)| (*a, s.len())).collect();
+    let transit_degree: HashMap<Asn, usize> = middle_neighbors
+        .iter()
+        .map(|(a, s)| (*a, s.len()))
+        .collect();
     let deg = |a: Asn| transit_degree.get(&a).copied().unwrap_or(0);
 
     // ---- Adjacency observed anywhere. ----
@@ -110,7 +116,11 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
     for path in paths {
         for w in path.windows(2) {
             if w[0] != w[1] {
-                let (x, y) = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                let (x, y) = if w[0] < w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                };
                 adjacent.insert((x, y));
             }
         }
@@ -167,7 +177,10 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
                 entry.1 += 1;
             }
             if customer_is_b && i >= 1 {
-                context_before.entry((a, b)).or_default().insert(path[i - 1]);
+                context_before
+                    .entry((a, b))
+                    .or_default()
+                    .insert(path[i - 1]);
             }
         }
     }
@@ -187,7 +200,9 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
         let total = down + up;
         let p = if clique.contains(&key.0) && clique.contains(&key.1) {
             Prov::Peer
-        } else if down > 0 && up > 0 && (down.min(up) as f64 / total as f64) >= config.sibling_conflict_frac
+        } else if down > 0
+            && up > 0
+            && (down.min(up) as f64 / total as f64) >= config.sibling_conflict_frac
         {
             Prov::Sibling
         } else if down >= up {
@@ -211,39 +226,49 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
         let key = if x < a { (x, a) } else { (a, x) };
         provisional.get(&key).copied()
     };
-    let upward_visible = |provisional: &BTreeMap<(Asn, Asn), Prov>, provider: Asn, customer: Asn| {
-        context_before.get(&(provider, customer)).is_some_and(|ctxs| {
-            ctxs.iter().any(|&x| {
-                // A clique member above the provider is definitionally
-                // upward context.
-                if clique.contains(&x) {
-                    return true;
-                }
-                match prov_of(provisional, x, provider) {
-                    // x is the provider of `provider` → upward.
-                    Some(Prov::FirstProvider) if x < provider => true,
-                    Some(Prov::SecondProvider) if provider < x => true,
-                    // x peers with `provider` → sideways.
-                    Some(Prov::Peer) => true,
-                    _ => false,
-                }
-            })
-        })
-    };
+    let upward_visible =
+        |provisional: &BTreeMap<(Asn, Asn), Prov>, provider: Asn, customer: Asn| {
+            context_before
+                .get(&(provider, customer))
+                .is_some_and(|ctxs| {
+                    ctxs.iter().any(|&x| {
+                        // A clique member above the provider is definitionally
+                        // upward context.
+                        if clique.contains(&x) {
+                            return true;
+                        }
+                        match prov_of(provisional, x, provider) {
+                            // x is the provider of `provider` → upward.
+                            Some(Prov::FirstProvider) if x < provider => true,
+                            Some(Prov::SecondProvider) if provider < x => true,
+                            // x peers with `provider` → sideways.
+                            Some(Prov::Peer) => true,
+                            _ => false,
+                        }
+                    })
+                })
+        };
     let mut rels: BTreeMap<(Asn, Asn), Relationship> = BTreeMap::new();
     for (&key, &p) in &provisional {
         let rel: Relationship = match p {
             Prov::Peer => Relationship::P2p,
             Prov::Sibling => Relationship::Sibling,
             Prov::FirstProvider | Prov::SecondProvider => {
-                let (provider, customer) =
-                    if p == Prov::FirstProvider { (key.0, key.1) } else { (key.1, key.0) };
+                let (provider, customer) = if p == Prov::FirstProvider {
+                    (key.0, key.1)
+                } else {
+                    (key.1, key.0)
+                };
                 // Clique members are transit-free tops: an edge from a
                 // clique member down to a non-member is transit.
                 if clique.contains(&provider) && !clique.contains(&customer) {
                     rels.insert(
                         key,
-                        if p == Prov::FirstProvider { Relationship::P2c } else { Relationship::C2p },
+                        if p == Prov::FirstProvider {
+                            Relationship::P2c
+                        } else {
+                            Relationship::C2p
+                        },
                     );
                     continue;
                 }
@@ -277,7 +302,11 @@ pub fn infer_relationships(paths: &[Vec<Asn>], config: &InferConfig) -> Inferred
         rels.insert(key, rel);
     }
 
-    InferredRelationships { rels, transit_degree, clique }
+    InferredRelationships {
+        rels,
+        transit_degree,
+        clique,
+    }
 }
 
 #[cfg(test)]
@@ -315,11 +344,22 @@ mod tests {
 
     #[test]
     fn infers_transit_chain() {
-        let cfg = InferConfig { clique_size: 1, ..InferConfig::default() };
+        let cfg = InferConfig {
+            clique_size: 1,
+            ..InferConfig::default()
+        };
         let inf = infer_relationships(&star_paths(), &cfg);
-        assert_eq!(inf.rel(Asn(2), Asn(1)), Some(Relationship::C2p), "2 is customer of 1");
+        assert_eq!(
+            inf.rel(Asn(2), Asn(1)),
+            Some(Relationship::C2p),
+            "2 is customer of 1"
+        );
         assert_eq!(inf.rel(Asn(1), Asn(2)), Some(Relationship::P2c));
-        assert_eq!(inf.rel(Asn(4), Asn(2)), Some(Relationship::C2p), "4 is customer of 2");
+        assert_eq!(
+            inf.rel(Asn(4), Asn(2)),
+            Some(Relationship::C2p),
+            "4 is customer of 2"
+        );
         assert_eq!(inf.rel(Asn(3), Asn(1)), Some(Relationship::C2p));
         assert_eq!(inf.rel(Asn(1), Asn(99)), None);
     }
@@ -338,9 +378,16 @@ mod tests {
             p(&[11, 10, 12]),
             p(&[21, 20, 22]),
         ];
-        let cfg = InferConfig { clique_size: 0, ..InferConfig::default() };
+        let cfg = InferConfig {
+            clique_size: 0,
+            ..InferConfig::default()
+        };
         let inf = infer_relationships(&paths, &cfg);
-        assert_eq!(inf.rel(Asn(10), Asn(20)), Some(Relationship::P2p), "10–20 should be p2p");
+        assert_eq!(
+            inf.rel(Asn(10), Asn(20)),
+            Some(Relationship::P2p),
+            "10–20 should be p2p"
+        );
         assert_eq!(inf.rel(Asn(11), Asn(10)), Some(Relationship::C2p));
         assert_eq!(inf.rel(Asn(22), Asn(20)), Some(Relationship::C2p));
     }
@@ -362,10 +409,21 @@ mod tests {
             p(&[10, 30, 99]),
         ];
         // 99 tops the hierarchy, so the clique seed resolves it.
-        let cfg = InferConfig { clique_size: 1, ..InferConfig::default() };
+        let cfg = InferConfig {
+            clique_size: 1,
+            ..InferConfig::default()
+        };
         let inf = infer_relationships(&paths, &cfg);
-        assert_eq!(inf.rel(Asn(10), Asn(30)), Some(Relationship::C2p), "10 buys from 30");
-        assert_eq!(inf.rel(Asn(30), Asn(99)), Some(Relationship::C2p), "30 buys from 99");
+        assert_eq!(
+            inf.rel(Asn(10), Asn(30)),
+            Some(Relationship::C2p),
+            "10 buys from 30"
+        );
+        assert_eq!(
+            inf.rel(Asn(30), Asn(99)),
+            Some(Relationship::C2p),
+            "30 buys from 99"
+        );
     }
 
     #[test]
@@ -377,7 +435,10 @@ mod tests {
             paths.push(p(&[100 + i, 1, 2, 200 + i]));
             paths.push(p(&[200 + i, 2, 1, 100 + i]));
         }
-        let cfg = InferConfig { clique_size: 2, ..InferConfig::default() };
+        let cfg = InferConfig {
+            clique_size: 2,
+            ..InferConfig::default()
+        };
         let inf = infer_relationships(&paths, &cfg);
         assert!(inf.clique().contains(&Asn(1)));
         assert!(inf.clique().contains(&Asn(2)));
@@ -391,8 +452,8 @@ mod tests {
         // ever does in both directions. 71/81 are their customers;
         // 5xx/6xx give the providers apex-grade degrees.
         let mut paths = vec![
-            p(&[99, 7, 8, 81]),  // 8's customer routes exported up via 7
-            p(&[98, 8, 7, 71]),  // 7's customer routes exported up via 8
+            p(&[99, 7, 8, 81]), // 8's customer routes exported up via 7
+            p(&[98, 8, 7, 71]), // 7's customer routes exported up via 8
             p(&[71, 7, 8, 81]),
             p(&[81, 8, 7, 71]),
         ];
@@ -402,7 +463,10 @@ mod tests {
         for y in 600..610u32 {
             paths.push(p(&[y, 98, 8, 81]));
         }
-        let cfg = InferConfig { clique_size: 0, ..InferConfig::default() };
+        let cfg = InferConfig {
+            clique_size: 0,
+            ..InferConfig::default()
+        };
         let inf = infer_relationships(&paths, &cfg);
         assert_eq!(inf.rel(Asn(7), Asn(8)), Some(Relationship::Sibling));
         assert_eq!(inf.rel(Asn(7), Asn(99)), Some(Relationship::C2p));

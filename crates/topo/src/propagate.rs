@@ -25,7 +25,7 @@
 //!    edges in best-first (Dijkstra) order.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use mlpeer_bgp::Asn;
 
@@ -102,7 +102,10 @@ pub struct Propagator<'g> {
 impl<'g> Propagator<'g> {
     /// Engine over the bare relationship graph.
     pub fn new(graph: &'g AsGraph) -> Self {
-        Propagator { graph, extra_in: HashMap::new() }
+        Propagator {
+            graph,
+            extra_in: HashMap::new(),
+        }
     }
 
     /// Engine with IXP-layer peer edges grafted on.
@@ -112,7 +115,10 @@ impl<'g> Propagator<'g> {
     {
         let mut extra_in: HashMap<Asn, Vec<(Asn, u32)>> = HashMap::new();
         for e in edges {
-            extra_in.entry(e.receiver).or_default().push((e.exporter, e.tag));
+            extra_in
+                .entry(e.receiver)
+                .or_default()
+                .push((e.exporter, e.tag));
         }
         for v in extra_in.values_mut() {
             v.sort_unstable();
@@ -130,11 +136,18 @@ impl<'g> Propagator<'g> {
     pub fn routes_to(&self, origin: Asn) -> RouteState {
         let mut best: HashMap<Asn, BestRoute> = HashMap::new();
         if !self.graph.contains(origin) {
-            return RouteState { origin, routes: best };
+            return RouteState {
+                origin,
+                routes: best,
+            };
         }
         best.insert(
             origin,
-            BestRoute { class: LearnedFrom::Origin, path: vec![origin], via: Vec::new() },
+            BestRoute {
+                class: LearnedFrom::Origin,
+                path: vec![origin],
+                via: Vec::new(),
+            },
         );
 
         // ---- Phase 1: uphill (customer/sibling routes). ----
@@ -197,10 +210,10 @@ impl<'g> Propagator<'g> {
         };
         let mut peer_candidates: BTreeMap<Asn, (usize, Asn, EdgeKind)> = BTreeMap::new();
         let consider = |cands: &mut BTreeMap<Asn, (usize, Asn, EdgeKind)>,
-                            v: Asn,
-                            u: Asn,
-                            kind: EdgeKind,
-                            len: usize| {
+                        v: Asn,
+                        u: Asn,
+                        kind: EdgeKind,
+                        len: usize| {
             match cands.get(&v) {
                 Some(&(l, p, _)) if (l, p) <= (len, u) => {}
                 _ => {
@@ -214,7 +227,13 @@ impl<'g> Propagator<'g> {
             }
             for &(v, rel) in self.graph.neighbors(u) {
                 if rel == Relationship::P2p && !best.contains_key(&v) {
-                    consider(&mut peer_candidates, v, u, EdgeKind::GraphPeer, route.path.len());
+                    consider(
+                        &mut peer_candidates,
+                        v,
+                        u,
+                        EdgeKind::GraphPeer,
+                        route.path.len(),
+                    );
                 }
             }
         }
@@ -245,7 +264,14 @@ impl<'g> Propagator<'g> {
             let mut via = Vec::with_capacity(parent.via.len() + 1);
             via.push(kind);
             via.extend_from_slice(&parent.via);
-            best.insert(v, BestRoute { class: LearnedFrom::Peer, path, via });
+            best.insert(
+                v,
+                BestRoute {
+                    class: LearnedFrom::Peer,
+                    path,
+                    via,
+                },
+            );
         }
 
         // ---- Phase 3: downhill (provider routes), best-first. ----
@@ -255,7 +281,9 @@ impl<'g> Propagator<'g> {
         }
         while let Some(Reverse((len, _, u_raw))) = heap.pop() {
             let u = Asn(u_raw);
-            let Some(route_u) = best.get(&u) else { continue };
+            let Some(route_u) = best.get(&u) else {
+                continue;
+            };
             if route_u.path.len() != len {
                 continue; // stale heap entry
             }
@@ -282,13 +310,23 @@ impl<'g> Propagator<'g> {
                     let mut via = Vec::with_capacity(via_u.len() + 1);
                     via.push(kind);
                     via.extend_from_slice(&via_u);
-                    best.insert(v, BestRoute { class: LearnedFrom::Provider, path, via });
+                    best.insert(
+                        v,
+                        BestRoute {
+                            class: LearnedFrom::Provider,
+                            path,
+                            via,
+                        },
+                    );
                     heap.push(Reverse((cand_len, v.value(), v.value())));
                 }
             }
         }
 
-        RouteState { origin, routes: best }
+        RouteState {
+            origin,
+            routes: best,
+        }
     }
 }
 
@@ -321,7 +359,9 @@ impl RouteState {
     /// *selected* route — an AS whose best is peer-learned advertises
     /// nothing for this origin to peers or providers.
     pub fn exports_to(&self, asn: Asn, rel: Relationship) -> bool {
-        self.routes.get(&asn).is_some_and(|r| r.class.may_export_to(rel))
+        self.routes
+            .get(&asn)
+            .is_some_and(|r| r.class.may_export_to(rel))
     }
 }
 
@@ -454,7 +494,11 @@ mod tests {
         let g = teaching_graph();
         let prop = Propagator::with_extra_peers(
             &g,
-            [ExtraPeerEdge { exporter: Asn(6), receiver: Asn(7), tag: 42 }],
+            [ExtraPeerEdge {
+                exporter: Asn(6),
+                receiver: Asn(7),
+                tag: 42,
+            }],
         );
         let state = prop.routes_to(Asn(6));
         let r7 = state.best(Asn(7)).unwrap();
@@ -472,11 +516,19 @@ mod tests {
         let g = teaching_graph();
         let prop = Propagator::with_extra_peers(
             &g,
-            [ExtraPeerEdge { exporter: Asn(6), receiver: Asn(7), tag: 42 }],
+            [ExtraPeerEdge {
+                exporter: Asn(6),
+                receiver: Asn(7),
+                tag: 42,
+            }],
         );
         let state = prop.routes_to(Asn(7));
         let r6 = state.best(Asn(6)).unwrap();
-        assert_eq!(r6.class, LearnedFrom::Provider, "6 must go via its provider 3");
+        assert_eq!(
+            r6.class,
+            LearnedFrom::Provider,
+            "6 must go via its provider 3"
+        );
         assert!(r6.via.iter().all(|k| !matches!(k, EdgeKind::ExtraPeer(_))));
     }
 

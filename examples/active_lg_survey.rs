@@ -26,14 +26,30 @@ fn main() {
     let dict = dictionary_from_connectivity(&eco, &conn);
 
     let mut t = Table::new([
-        "IXP", "RS members", "cost c (Eq.1)", "naive", "exhaustive", "reduction", "hours@10s",
+        "IXP",
+        "RS members",
+        "cost c (Eq.1)",
+        "naive",
+        "exhaustive",
+        "reduction",
+        "hours@10s",
     ]);
     let mut max_cost = 0;
     for lg in &lgs {
-        let LgTarget::RouteServer(id) = lg.target else { continue };
+        let LgTarget::RouteServer(id) = lg.target else {
+            continue;
+        };
         let ixp = eco.ixp(id);
-        let (obs, stats) =
-            query_rs_lg(&sim, lg, id, &dict, &BTreeSet::new(), &ActiveConfig::default());
+        let mut obs = mlpeer::CountingSink::default();
+        let stats = query_rs_lg(
+            &sim,
+            lg,
+            id,
+            &dict,
+            &BTreeSet::new(),
+            &ActiveConfig::default(),
+            &mut obs,
+        );
         let exhaustive = stats.summary_queries + stats.neighbor_queries + stats.full_prefix_queries;
         max_cost = max_cost.max(stats.cost());
         t.row([

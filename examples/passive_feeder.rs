@@ -8,8 +8,8 @@
 
 use mlpeer::connectivity::gather_connectivity;
 use mlpeer::dict::dictionary_from_connectivity;
-use mlpeer::infer::infer_links;
-use mlpeer::passive::{harvest_passive, PassiveConfig};
+use mlpeer::infer::LinkInferencer;
+use mlpeer::passive::{harvest_passive_sharded, PassiveConfig};
 use mlpeer_data::collector::{build_passive, CollectorConfig};
 use mlpeer_data::irr::{build_irr, IrrConfig};
 use mlpeer_data::lg::build_lg_roster;
@@ -40,8 +40,15 @@ fn main() {
         .collect();
     let rels = infer_relationships(&paths, &InferConfig::default());
 
-    let (observations, stats) =
-        harvest_passive(&passive, &dict, &conn, &rels, &PassiveConfig::default());
+    // One shard per collector; observations fold straight into the
+    // incremental link inferencer, never touching a materialized Vec.
+    let (inferencer, stats) = harvest_passive_sharded::<LinkInferencer>(
+        &passive,
+        &dict,
+        &conn,
+        &rels,
+        &PassiveConfig::default(),
+    );
     println!("\npassive pipeline:");
     println!("  routes examined:    {}", stats.routes_seen);
     println!("  dropped bogon:      {}", stats.dropped_bogon);
@@ -49,7 +56,7 @@ fn main() {
     println!("  dropped transient:  {}", stats.dropped_transient);
     println!("  observations:       {}", stats.observations);
 
-    let links = infer_links(&conn, &observations);
+    let links = inferencer.finalize(&conn);
     let mlp = links.unique_links();
 
     // How many of these links appear in *any* archived AS path?

@@ -14,7 +14,10 @@ fn main() {
     let p = run_pipeline(&eco, 777);
 
     let pol = analysis::policy_participation(&eco, &p.pdb);
-    println!("policy coverage: {}/{} members report a policy", pol.with_policy, pol.total_members);
+    println!(
+        "policy coverage: {}/{} members report a policy",
+        pol.with_policy, pol.total_members
+    );
     for (policy, (n, with_rs)) in &pol.rs_usage {
         println!(
             "  {policy:<12} {with_rs}/{n} connect to ≥1 route server ({:.0} %)",
@@ -24,20 +27,33 @@ fn main() {
 
     let filt = analysis::filter_patterns(&p.links, &p.conn, &p.pdb);
     println!("\nexport-filter openness by self-reported policy (Fig. 11):");
-    for policy in [PeeringPolicy::Open, PeeringPolicy::Selective, PeeringPolicy::Restrictive] {
-        println!("  {policy:<12} mean allowed fraction {:.2}", filt.mean(policy));
+    for policy in [
+        PeeringPolicy::Open,
+        PeeringPolicy::Selective,
+        PeeringPolicy::Restrictive,
+    ] {
+        println!(
+            "  {policy:<12} mean allowed fraction {:.2}",
+            filt.mean(policy)
+        );
     }
-    println!("  bimodal pattern: {:.0} % of members allow >90 % or <10 %", filt.bimodal_frac() * 100.0);
+    println!(
+        "  bimodal pattern: {:.0} % of members allow >90 % or <10 %",
+        filt.bimodal_frac() * 100.0
+    );
 
     let den = analysis::density(&eco, &p.links);
     println!("\nRS peering density per IXP (Fig. 12):");
-    for (ixp, _) in &den.per_ixp {
+    for ixp in den.per_ixp.keys() {
         println!("  {:<10} {:.2}", eco.ixp(*ixp).name, den.mean(*ixp));
     }
 
     let rep = analysis::repellers(&eco, &p.links, &p.pdb);
     println!("\nrepellers (§5.5):");
-    println!("  {} EXCLUDE applications repel {} distinct ASes", rep.exclude_applications, rep.distinct_repelled);
+    println!(
+        "  {} EXCLUDE applications repel {} distinct ASes",
+        rep.exclude_applications, rep.distinct_repelled
+    );
     println!(
         "  {:.0} % of EXCLUDEs target the blocker's customer cone; {:.0} % a direct customer",
         100.0 * rep.in_customer_cone as f64 / rep.exclude_applications.max(1) as f64,

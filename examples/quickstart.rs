@@ -11,17 +11,17 @@ use std::collections::BTreeSet;
 
 use mlpeer::connectivity::{ConnSource, ConnectivityData};
 use mlpeer::infer::{infer_links, Observation, ObservationSource};
-use mlpeer_bgp::{Asn, AsPath};
+use mlpeer_bgp::{AsPath, Asn};
+use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::member::{IxpMember, MemberAnnouncement};
 use mlpeer_ixp::policy::ExportPolicy;
 use mlpeer_ixp::route_server::RouteServer;
 use mlpeer_ixp::scheme::CommunityScheme;
-use mlpeer_ixp::ixp::IxpId;
 
 fn main() {
     // Four members A, B, C, D on a DE-CIX-style route server (Fig. 3).
     let scheme = CommunityScheme::decix();
-    let (a, b, c, d) = (Asn(64496 - 64496 + 8359), Asn(8447), Asn(5410), Asn(8732));
+    let (a, b, c, d) = (Asn(8359), Asn(8447), Asn(5410), Asn(8732));
     let mut members = Vec::new();
     for (i, asn) in [a, b, c, d].into_iter().enumerate() {
         let mut m = IxpMember::new(asn, format!("80.81.192.{}", i + 1).parse().unwrap());
@@ -38,7 +38,15 @@ fn main() {
     println!("member export filters as RS communities:");
     for m in &members {
         let cs = RouteServer::communities_for(m, &m.announcements[0].prefix, &scheme);
-        println!("  AS{:<6} {}", m.asn.value(), if cs.is_empty() { "(none — default ALL)".into() } else { cs.to_string() });
+        println!(
+            "  AS{:<6} {}",
+            m.asn.value(),
+            if cs.is_empty() {
+                "(none — default ALL)".into()
+            } else {
+                cs.to_string()
+            }
+        );
     }
 
     // What the route server delivers.
@@ -53,7 +61,16 @@ fn main() {
         for to in &members {
             let delivered = from.asn != to.asn
                 && RouteServer::delivers(from, to, &from.announcements[0].prefix);
-            print!("{:^9}", if from.asn == to.asn { "—" } else if delivered { "✓" } else { "✗" });
+            print!(
+                "{:^9}",
+                if from.asn == to.asn {
+                    "—"
+                } else if delivered {
+                    "✓"
+                } else {
+                    "✗"
+                }
+            );
         }
         println!();
     }

@@ -25,8 +25,17 @@ fn main() {
         .filter(|l| matches!(l.target, LgTarget::Member(_)))
         .map(|l| LookingGlassHost::new(l.name.clone(), l.target, l.display))
         .collect();
-    println!("validating against {} member looking glasses…", member_lgs.len());
-    let report = validate_links(&p.sim, &p.links, &member_lgs, &geo, &ValidationConfig::default());
+    println!(
+        "validating against {} member looking glasses…",
+        member_lgs.len()
+    );
+    let report = validate_links(
+        &p.sim,
+        &p.links,
+        &member_lgs,
+        &geo,
+        &ValidationConfig::default(),
+    );
 
     let mut t = Table::new(["IXP", "Tested", "Confirmed", "Rate"]);
     for (ixp, (tested, confirmed)) in &report.per_ixp {
@@ -34,7 +43,10 @@ fn main() {
             eco.ixp(*ixp).name.clone(),
             tested.to_string(),
             confirmed.to_string(),
-            format!("{:.1} %", 100.0 * *confirmed as f64 / (*tested).max(1) as f64),
+            format!(
+                "{:.1} %",
+                100.0 * *confirmed as f64 / (*tested).max(1) as f64
+            ),
         ]);
     }
     println!("{}", t.render());

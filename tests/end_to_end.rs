@@ -1,14 +1,25 @@
 //! Cross-crate integration tests: the full pipeline against ground
-//! truth, the paper-shape invariants, and the failure-injection cases.
+//! truth, the paper-shape invariants, the serial/sharded equivalence
+//! contract, and the failure-injection cases.
 
 use std::collections::BTreeSet;
 
 use mlpeer::analysis;
+use mlpeer::connectivity::gather_connectivity;
+use mlpeer::dict::dictionary_from_connectivity;
+use mlpeer::infer::LinkInferencer;
+use mlpeer::passive::{harvest_passive, harvest_passive_sharded, PassiveConfig};
 use mlpeer::validate::{validate_links, ValidationConfig};
+use mlpeer::Observation;
 use mlpeer_bench::run_pipeline;
+use mlpeer_bgp::Asn;
+use mlpeer_data::collector::{build_passive, CollectorConfig};
 use mlpeer_data::geo::GeoDb;
-use mlpeer_data::lg::{LgTarget, LookingGlassHost};
+use mlpeer_data::irr::{build_irr, IrrConfig};
+use mlpeer_data::lg::{build_lg_roster, LgTarget, LookingGlassHost};
+use mlpeer_data::Sim;
 use mlpeer_ixp::{Ecosystem, EcosystemConfig, PeeringPolicy};
+use mlpeer_topo::infer::{infer_relationships, InferConfig};
 
 fn tiny_eco(seed: u64) -> Ecosystem {
     Ecosystem::generate(EcosystemConfig::tiny(seed))
@@ -54,7 +65,11 @@ fn headline_shape_holds_more_links_than_public_bgp() {
         vis.mlp_links.len(),
         vis.public_p2p.len()
     );
-    assert!(vis.invisible_frac() > 0.5, "invisible fraction {}", vis.invisible_frac());
+    assert!(
+        vis.invisible_frac() > 0.5,
+        "invisible fraction {}",
+        vis.invisible_frac()
+    );
     // Traceroute overlap stays marginal (the RS-ASN artifact).
     assert!(
         vis.overlap_traceroute < vis.mlp_links.len() / 4,
@@ -70,8 +85,16 @@ fn stub_heavy_edge_as_in_fig7() {
     let p = run_pipeline(&eco, 1003);
     let vis = analysis::visibility(&eco, &p.links, &p.passive, &p.traceroute, &p.rels);
     let deg = analysis::degrees(&eco, &p.links, &vis.public_links);
-    assert!(deg.involves_stub_frac > 0.3, "stub involvement {}", deg.involves_stub_frac);
-    assert!(deg.stub_stub_frac > 0.02, "stub–stub {}", deg.stub_stub_frac);
+    assert!(
+        deg.involves_stub_frac > 0.3,
+        "stub involvement {}",
+        deg.involves_stub_frac
+    );
+    assert!(
+        deg.stub_stub_frac > 0.02,
+        "stub–stub {}",
+        deg.stub_stub_frac
+    );
     assert!(
         deg.stub_stub_public_frac < 0.2,
         "stub–stub links are invisible: {}",
@@ -113,7 +136,10 @@ fn open_policies_dominate_rs_usage_as_in_fig9() {
     let open = frac(PeeringPolicy::Open);
     let restrictive = frac(PeeringPolicy::Restrictive);
     assert!(open > 0.7, "open RS usage {open}");
-    assert!(open > restrictive, "open {open} vs restrictive {restrictive}");
+    assert!(
+        open > restrictive,
+        "open {open} vs restrictive {restrictive}"
+    );
     assert!(pol.single_ixp_with_rs_frac() > 0.25);
 }
 
@@ -131,7 +157,10 @@ fn stripping_ixp_defeats_passive_inference() {
         .iter()
         .filter(|o| o.ixp == netnod.id && o.source == mlpeer::ObservationSource::Passive)
         .count();
-    assert_eq!(passive_there, 0, "stripped communities must yield no passive observations");
+    assert_eq!(
+        passive_there, 0,
+        "stripped communities must yield no passive observations"
+    );
 }
 
 #[test]
@@ -163,7 +192,55 @@ fn per_ixp_links_sum_exceeds_unique_by_overlap() {
     let sum = p.links.per_ixp_total();
     let unique = p.links.unique_links().len();
     assert!(sum >= unique);
-    assert_eq!(sum - unique >= p.links.overlap_links().len(), true);
+    assert!(sum - unique >= p.links.overlap_links().len());
+}
+
+/// The sharding contract at ecosystem scale: fanning the passive
+/// harvest out one-shard-per-collector must reproduce the serial path
+/// byte for byte — identical `MlpLinkSet` (links, covered, policies),
+/// identical merged `PassiveStats`, identical observation stream in
+/// collector order.
+#[test]
+fn sharded_passive_matches_serial_at_ecosystem_scale() {
+    let eco = tiny_eco(31337);
+    let sim = Sim::new(&eco);
+    let irr = build_irr(&eco, &IrrConfig::default());
+    let lgs = build_lg_roster(&sim, 31337 ^ 0x22, 70, 0.2);
+    let conn = gather_connectivity(&sim, &lgs, &irr);
+    let dict = dictionary_from_connectivity(&eco, &conn);
+    let passive = build_passive(&sim, &CollectorConfig::paper_like(31337 ^ 0x33));
+    assert!(
+        passive.collectors.len() > 1,
+        "sharding needs several collectors"
+    );
+    let public_paths: Vec<Vec<Asn>> = passive
+        .collectors
+        .iter()
+        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
+        .collect();
+    let rels = infer_relationships(&public_paths, &InferConfig::default());
+    let cfg = PassiveConfig::default();
+
+    let mut serial: (Vec<Observation>, LinkInferencer) = Default::default();
+    let serial_stats = harvest_passive(&passive, &dict, &conn, &rels, &cfg, &mut serial);
+    let (sharded, sharded_stats) = harvest_passive_sharded::<(Vec<Observation>, LinkInferencer)>(
+        &passive, &dict, &conn, &rels, &cfg,
+    );
+
+    assert!(
+        serial_stats.observations > 0,
+        "the dataset must exercise the pipeline"
+    );
+    assert_eq!(
+        sharded_stats, serial_stats,
+        "per-shard stats merge to the serial totals"
+    );
+    assert_eq!(sharded.0, serial.0, "observation stream in collector order");
+    let serial_links = serial.1.finalize(&conn);
+    let sharded_links = sharded.1.finalize(&conn);
+    assert_eq!(sharded_links, serial_links, "identical MlpLinkSet");
+    // Byte-identical, not just Eq: the rendered reports match too.
+    assert_eq!(format!("{sharded_links:?}"), format!("{serial_links:?}"));
 }
 
 #[test]

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `bytes` crate, implementing the subset of
+//! its API that `mlpeer-bgp`'s wire and MRT codecs use: [`Bytes`] (a
+//! cheaply cloneable, sliceable view of an immutable buffer),
+//! [`BytesMut`] (a growable buffer), and the [`Buf`] / [`BufMut`]
+//! cursor traits. Big-endian accessors only, like the codecs need.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if `n > self.remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes([self.get_u8(), self.get_u8()])
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes([self.get_u8(), self.get_u8(), self.get_u8(), self.get_u8()])
+    }
+
+    /// Fill `dst` from the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        for b in v.to_be_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append `n` copies of `byte`.
+    fn put_bytes(&mut self, byte: u8, n: usize);
+}
+
+/// An immutable, cheaply cloneable byte buffer with O(1) slicing.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Length of the view.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view of this buffer (range is relative to the view).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds ({})", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance {n} past end ({})", self.len());
+        self.start += n;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `n` bytes, keeping the rest.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to {n} past end ({})", self.len());
+        let rest = self.data.split_off(n);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        self.data.into()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, byte: u8, n: usize) {
+        self.data.resize(self.data.len() + n, byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        b.put_slice(&[8, 9]);
+        b.put_bytes(0xFF, 2);
+        assert_eq!(b.len(), 11);
+        let mut f = b.freeze();
+        assert_eq!(f[0], 1);
+        let tail = f.slice(7..9);
+        assert_eq!(&tail[..], &[8, 9]);
+        assert_eq!(f.get_u8(), 1);
+        assert_eq!(f.get_u16(), 0x0203);
+        assert_eq!(f.get_u32(), 0x04050607);
+        let mut two = [0u8; 2];
+        f.copy_to_slice(&mut two);
+        assert_eq!(two, [8, 9]);
+        f.advance(1);
+        assert_eq!(f.remaining(), 1);
+    }
+
+    #[test]
+    fn split_to_keeps_rest() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3, 4]);
+        let head = b.split_to(3);
+        assert_eq!(&head[..], &[1, 2, 3]);
+        assert_eq!(&b[..], &[4]);
+    }
+}

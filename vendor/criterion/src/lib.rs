@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`: the same registration API
+//! (`criterion_group!` / `criterion_main!`, `bench_function`,
+//! `iter`/`iter_batched`, benchmark groups), backed by a simple
+//! wall-clock harness — warm up, run timed batches for a fixed budget,
+//! report the mean per iteration. No statistics engine, but the
+//! numbers are real measurements and `Criterion::last_estimate_ns`
+//! exposes them so benches can record results to disk.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// every batch here is a single routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine output.
+    SmallInput,
+    /// Large routine output.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measure_budget: Duration,
+    last_estimate_ns: Option<f64>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measure_budget: Duration::from_millis(300),
+            last_estimate_ns: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Target number of timed iterations (also a hard floor of 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measure_budget: self.measure_budget,
+            estimate_ns: None,
+        };
+        f(&mut b);
+        match b.estimate_ns {
+            Some(ns) => {
+                self.last_estimate_ns = Some(ns);
+                println!("{id:<45} time: {}", format_ns(ns));
+            }
+            None => println!("{id:<45} (no measurement)"),
+        }
+        self
+    }
+
+    /// A named group of benchmarks sharing a sample-size override.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, sample_size }
+    }
+
+    /// Mean ns/iteration from the most recent `bench_function`, for
+    /// benches that record results to disk.
+    pub fn last_estimate_ns(&self) -> Option<f64> {
+        self.last_estimate_ns
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the timed-iteration target for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let outer = self.criterion.sample_size;
+        self.criterion.sample_size = self.sample_size;
+        self.criterion.bench_function(id, f);
+        self.criterion.sample_size = outer;
+        self
+    }
+
+    /// Finish the group (a no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measure_budget: Duration,
+    estimate_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warm-up
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let deadline = Instant::now() + self.measure_budget;
+        while iters < self.sample_size as u64 || (Instant::now() < deadline && iters < 1_000_000)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            elapsed += t0.elapsed();
+            iters += 1;
+            if elapsed > self.measure_budget * 4 {
+                break; // slow routine: settle for fewer samples
+            }
+        }
+        self.estimate_ns = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let deadline = Instant::now() + self.measure_budget;
+        while iters < self.sample_size as u64 || (Instant::now() < deadline && iters < 1_000_000)
+        {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+            if elapsed > self.measure_budget * 4 {
+                break;
+            }
+        }
+        self.estimate_ns = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        c.sample_size(5).bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(c.last_estimate_ns().unwrap() > 0.0);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(c.last_estimate_ns().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `rayon`, implementing the data-parallel subset
+//! the sharded passive harvest uses: `par_iter().map(..).reduce(..)` /
+//! `.collect()` over slices, built on `std::thread::scope`.
+//!
+//! The input is split into one contiguous chunk per worker, each worker
+//! folds its chunk left-to-right, and chunk results combine in input
+//! order — so a `reduce` with an associative (not necessarily
+//! commutative) operator matches the serial fold, and `collect`
+//! preserves input order.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Worker threads a parallel iterator will fan out across.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Conversion into a by-reference parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element yielded by the iterator.
+    type Item: Sync + 'data;
+
+    /// Iterate `&self` in parallel.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator, consumed by `reduce` or `collect`.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Fold all mapped values with `op`, starting each chunk from
+    /// `identity()`. `op` must be associative; chunk results combine in
+    /// input order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let per_chunk = self.run(|mapped| mapped.reduce(|a, b| op(a, b)));
+        per_chunk.into_iter().flatten().fold(identity(), |a, b| op(a, b))
+    }
+
+    /// Collect mapped values, preserving input order.
+    pub fn collect(self) -> Vec<R> {
+        self.run(|mapped| mapped.collect::<Vec<R>>()).into_iter().flatten().collect()
+    }
+
+    /// Run `consume` over each chunk's mapped elements on its own
+    /// thread; results come back in chunk order.
+    fn run<C, O>(self, consume: C) -> Vec<O>
+    where
+        C: Fn(Box<dyn Iterator<Item = R> + '_>) -> O + Sync,
+        O: Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        let chunk_len = n.div_ceil(workers);
+        let f = &self.f;
+        let consume = &consume;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || consume(Box::new(chunk.iter().map(f)))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rayon worker panicked")).collect()
+        })
+    }
+}
+
+/// The import surface matching the real crate.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn reduce_matches_serial_fold_with_associative_op() {
+        // String concatenation is associative but NOT commutative: the
+        // parallel reduce must still preserve input order.
+        let words: Vec<String> = (0..100).map(|i| format!("{i},")).collect();
+        let serial: String = words.iter().map(String::as_str).collect();
+        let parallel =
+            words.par_iter().map(String::clone).reduce(String::new, |a, b| a + &b);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(empty.par_iter().map(|x| x * 2).collect().is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for `serde_derive`: a hand-rolled derive (no `syn`
+//! or `quote`, which are equally unavailable offline) that generates
+//! [`serde::Serialize`] impls mapping structs and enums onto the JSON
+//! value model in the vendored `serde` stub. `#[derive(Deserialize)]`
+//! is accepted and expands to nothing — no code path in this workspace
+//! deserializes.
+//!
+//! Supported shapes: named/tuple/unit structs and enums with
+//! unit/tuple/struct variants, with simple generics. Container and
+//! field `#[serde(...)]` attributes are accepted and ignored, except
+//! that single-field tuple structs always serialize transparently
+//! (which subsumes the `#[serde(transparent)]` uses in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive a `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    generate_impl(&item).parse().expect("generated impl parses")
+}
+
+/// Accept (and discard) a `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// `(lifetimes_and_params, usable_args)` rendered for the impl.
+    generics: Option<(String, String)>,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+}
+
+/// Split a token run on top-level commas. Groups count as one tree, so
+/// `{}`/`()`/`[]` nesting is free, but generic arguments are bare
+/// `<`/`>` puncts and must be depth-tracked (these are type positions,
+/// so the brackets always balance).
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+/// Drop leading `#[...]` attributes and a `pub` / `pub(...)` prefix.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + bracket group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Field name of one named-field declaration (`name: Type`).
+fn field_name(decl: &[TokenTree]) -> Result<String, String> {
+    match strip_attrs_and_vis(decl).first() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected field name, found {other:?}")),
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    split_commas(group_tokens).iter().map(|d| field_name(d)).collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = strip_attrs_and_vis(&tokens);
+    let (kind, rest) = match rest.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            (id.to_string(), &rest[1..])
+        }
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    let (name, mut rest) = match rest.first() {
+        Some(TokenTree::Ident(id)) => (id.to_string(), &rest[1..]),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    // Optional generics: collect the `<...>` run, balancing nesting.
+    let mut generics = None;
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0usize;
+        let mut end = 0usize;
+        for (i, t) in rest.iter().enumerate() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if end == 0 {
+            return Err("unbalanced generics".into());
+        }
+        let inner = &rest[1..end];
+        let mut params = Vec::new();
+        let mut args = Vec::new();
+        for param in split_commas(inner) {
+            match param.first() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    let lt: String = param.iter().take(2).map(ToString::to_string).collect();
+                    params.push(lt.clone());
+                    args.push(lt);
+                }
+                Some(TokenTree::Ident(id)) => {
+                    params.push(format!("{id}: ::serde::Serialize"));
+                    args.push(id.to_string());
+                }
+                other => return Err(format!("unsupported generic param {other:?}")),
+            }
+        }
+        generics = Some((params.join(", "), args.join(", ")));
+        rest = &rest[end + 1..];
+    }
+
+    let body = if kind == "struct" {
+        match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::NamedStruct(parse_named_fields(&toks)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::TupleStruct(split_commas(&toks).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            None => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body {other:?}")),
+        }
+    } else {
+        let group = match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        for decl in split_commas(&toks) {
+            let decl = strip_attrs_and_vis(&decl);
+            let name = match decl.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            let fields = match decl.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Tuple(split_commas(&toks).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Named(parse_named_fields(&toks)?)
+                }
+                // `Variant = 3` discriminants serialize like unit variants.
+                _ => VariantFields::Unit,
+            };
+            variants.push(Variant { name, fields });
+        }
+        Body::Enum(variants)
+    };
+
+    Ok(Item { name, generics, body })
+}
+
+fn generate_impl(item: &Item) -> String {
+    let name = &item.name;
+    let (params, args) = match &item.generics {
+        Some((p, a)) => (format!("<{p}>"), format!("<{a}>")),
+        None => (String::new(), String::new()),
+    };
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let mut b = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(m)");
+            b
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".into(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => format!("::serde::Value::String(String::from({name:?}))"),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(String::from({vname:?})),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(String::from({vname:?}), ::serde::Value::Array(vec![{}])); \
+                             ::serde::Value::Object(m) }}\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from("let mut f = ::serde::Map::new();\n");
+                        for fld in fields {
+                            inner.push_str(&format!(
+                                "f.insert(String::from({fld:?}), ::serde::Serialize::to_value({fld}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} let mut m = ::serde::Map::new(); \
+                             m.insert(String::from({vname:?}), ::serde::Value::Object(f)); \
+                             ::serde::Value::Object(m) }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{params} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
