@@ -90,6 +90,7 @@ fn bench_passive_sharding(c: &mut Criterion) {
         "routes_seen": serial_stats.routes_seen,
         "observations": serial_stats.observations,
         "threads": threads,
+        "mlpeer_threads_override": rayon::env_threads(),
         "serial_ms": serial_ns / 1e6,
         "sharded_ms": sharded_ns / 1e6,
         "speedup": speedup,

@@ -29,8 +29,24 @@ fn main() {
     let mut json = serde_json::Map::new();
     json.insert("scale".into(), format!("{scale:?}").into());
     json.insert("seed".into(), seed.into());
+    // Shard fan-out: all cores unless MLPEER_THREADS pins it lower
+    // (honored by the sharded passive harvest via rayon).
+    let threads = rayon::current_num_threads();
+    json.insert("threads".into(), threads.into());
+    json.insert(
+        "mlpeer_threads_override".into(),
+        serde_json::to_value(&rayon::env_threads()),
+    );
 
     eprintln!("# generating ecosystem ({scale:?}, seed {seed})…");
+    eprintln!(
+        "# shard fan-out: {threads} thread(s){}",
+        if rayon::env_threads().is_some() {
+            " (MLPEER_THREADS override)"
+        } else {
+            ""
+        }
+    );
     let eco = Ecosystem::generate(scale.config(seed));
     eprintln!("# running pipeline…");
     let p = run_pipeline(&eco, seed);

@@ -26,13 +26,15 @@ use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::{Ecosystem, EcosystemConfig};
 use mlpeer_topo::infer::{infer_relationships, InferConfig, InferredRelationships};
 
-/// Scale presets for the experiment binary.
+/// Scale presets for the experiment and serving binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// ~8 % of Table 2 (seconds).
     Tiny,
     /// ~25 % of Table 2 (tens of seconds).
     Small,
+    /// ~50 % of Table 2 — the serving/indexing bench scale.
+    Medium,
     /// Table 2 scale (minutes).
     Paper,
 }
@@ -43,6 +45,7 @@ impl Scale {
         match self {
             Scale::Tiny => EcosystemConfig::tiny(seed),
             Scale::Small => EcosystemConfig::small(seed),
+            Scale::Medium => EcosystemConfig::medium(seed),
             Scale::Paper => EcosystemConfig::paper_scale(seed),
         }
     }
@@ -52,6 +55,7 @@ impl Scale {
         match s {
             "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
             "paper" | "full" => Some(Scale::Paper),
             _ => None,
         }

@@ -238,4 +238,90 @@ mod tests {
         assert_eq!(p("1.2.3.4/32").size(), 1);
         assert_eq!(p("0.0.0.0/0").size(), 1 << 32);
     }
+
+    // ---- edge cases feeding the serving layer's prefix trie ----
+
+    /// `from_str` → `Display` → `from_str` is the identity on canonical
+    /// text at every length, including the /0 and /32 extremes the trie
+    /// stores at its root and leaves.
+    #[test]
+    fn from_str_roundtrips_at_every_length() {
+        for len in 0..=32u8 {
+            let canonical = Prefix::new("255.255.255.255".parse().unwrap(), len).unwrap();
+            let reparsed: Prefix = canonical.to_string().parse().unwrap();
+            assert_eq!(reparsed, canonical, "/{len}");
+            assert_eq!(reparsed.to_string(), canonical.to_string(), "/{len}");
+            assert_eq!(reparsed.len(), len);
+        }
+    }
+
+    /// `covers` and `parent` must agree: a parent covers its child, a
+    /// child never covers its parent, and walking the parent chain from
+    /// any prefix enumerates exactly its covering prefixes — the
+    /// invariant the trie's `covering` lookup is built on.
+    #[test]
+    fn covers_and_parent_agree() {
+        let start = p("198.51.100.192/28");
+        let mut chain = vec![start];
+        let mut q = start.parent();
+        while let Some(parent) = q {
+            let child = *chain.last().unwrap();
+            assert!(parent.covers(&child), "{parent} covers {child}");
+            assert!(!child.covers(&parent), "{child} must not cover {parent}");
+            assert_eq!(parent.len() + 1, child.len());
+            chain.push(parent);
+            q = parent.parent();
+        }
+        // The chain ends at /0 and has one hop per bit.
+        assert_eq!(chain.len(), 29);
+        assert!(chain.last().unwrap().is_default());
+        // Every chain member covers the start; nothing else at those
+        // lengths does.
+        for anc in &chain {
+            assert!(anc.covers(&start));
+            assert!(anc.overlaps(&start));
+        }
+        // The sibling under the same /27 does not cover the start, but
+        // their shared parent covers both.
+        let sibling = p("198.51.100.208/28");
+        assert!(!sibling.covers(&start));
+        assert_eq!(sibling.parent(), start.parent());
+        assert!(sibling.parent().unwrap().covers(&start));
+    }
+
+    /// `/0` behavior: covers everything, contains every address, has no
+    /// parent, and is its own canonical form for any input address.
+    #[test]
+    fn default_route_edge_cases() {
+        let all = p("0.0.0.0/0");
+        assert!(all.is_default());
+        assert!(all.parent().is_none());
+        for other in ["0.0.0.0/0", "10.0.0.0/8", "255.255.255.255/32"] {
+            assert!(all.covers(&p(other)), "{other}");
+        }
+        assert!(all.contains_addr("255.255.255.255".parse().unwrap()));
+        // Host bits of /0 are all host bits.
+        assert_eq!(Prefix::new("203.0.113.7".parse().unwrap(), 0).unwrap(), all);
+        assert_eq!(Prefix::from_u32(u32::MAX, 0).unwrap(), all);
+    }
+
+    /// `/32` behavior: covers only itself, splits into nothing, and its
+    /// parent chain reaches /0 in exactly 32 hops.
+    #[test]
+    fn host_route_edge_cases() {
+        let host = p("203.0.113.37/32");
+        assert!(host.covers(&host));
+        assert!(!host.covers(&p("203.0.113.36/32")));
+        assert!(!host.covers(&p("203.0.113.36/31")));
+        assert!(p("203.0.113.36/31").covers(&host));
+        assert!(host.split().is_none());
+        assert_eq!(host.size(), 1);
+        let mut hops = 0;
+        let mut q = Some(host);
+        while let Some(pfx) = q.and_then(|x| x.parent()) {
+            hops += 1;
+            q = Some(pfx);
+        }
+        assert_eq!(hops, 32);
+    }
 }

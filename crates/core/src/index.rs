@@ -1,0 +1,480 @@
+//! Query indexes over inference results — the serving layer's read
+//! path.
+//!
+//! The pipeline ends in an [`MlpLinkSet`] plus the observation stream
+//! that produced it. Operators query that artifact by *member* ("who
+//! does AS X reach over the DE-CIX route server?"), by *IXP*, and by
+//! *prefix* ("which IXPs carry prefix P multilaterally?"). A linear
+//! scan answers each of those in O(total links) or O(total
+//! observations); [`LinkIndex`] answers them in O(result) via an
+//! inverted member index and a binary [`PrefixTrie`] (longest-prefix
+//! walks built on [`Prefix::covers`] / [`Prefix::parent`] semantics).
+//!
+//! Every indexed query has a linear-scan reference implementation in
+//! [`scan`]; the unit tests (and the serve crate's benchmarks) assert
+//! the two produce byte-identical results, so the index can never
+//! silently drift from the ground truth it accelerates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::ixp::IxpId;
+
+use crate::hash::FxHashMap;
+use crate::infer::{MlpLinkSet, Observation};
+
+/// One prefix announcement retained for serving: at `.1`, member `.2`
+/// announced prefix `.0` through the route server.
+pub type Announcement = (Prefix, IxpId, Asn);
+
+/// Matches for a prefix query, split by specificity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixMatches {
+    /// Announcements of exactly the queried prefix.
+    pub exact: BTreeSet<Announcement>,
+    /// Announcements of strictly less-specific (covering) prefixes.
+    pub covering: BTreeSet<Announcement>,
+    /// Announcements of strictly more-specific (covered) prefixes.
+    pub covered: BTreeSet<Announcement>,
+}
+
+impl PrefixMatches {
+    /// Total announcements across all three specificity classes.
+    pub fn total(&self) -> usize {
+        self.exact.len() + self.covering.len() + self.covered.len()
+    }
+}
+
+/// A binary trie over [`Prefix`]es, one level per address bit, with the
+/// announcements of a prefix stored at its terminal node.
+///
+/// Exact lookups walk `len` bits; covering lookups walk the
+/// [`Prefix::parent`] chain (each hop is one exact lookup); covered
+/// lookups enumerate the subtree below the queried prefix — all
+/// O(result), never O(index).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixTrie {
+    root: TrieNode,
+    prefixes: usize,
+    announcements: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    /// The prefix terminating here, once anything was inserted for it.
+    prefix: Option<Prefix>,
+    /// Announcements of that prefix (insertion order; [`LinkIndex`]
+    /// inserts from a sorted, deduplicated set).
+    entries: Vec<(IxpId, Asn)>,
+}
+
+/// Bit `i` (0 = most significant) of a network address.
+#[inline]
+fn addr_bit(addr: u32, i: u8) -> usize {
+    ((addr >> (31 - i)) & 1) as usize
+}
+
+impl PrefixTrie {
+    /// Insert one announcement. Duplicate `(prefix, ixp, member)`
+    /// triples are the caller's to avoid (build from a set).
+    pub fn insert(&mut self, prefix: Prefix, ixp: IxpId, member: Asn) {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = addr_bit(prefix.network_u32(), i);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        if node.prefix.is_none() {
+            node.prefix = Some(prefix);
+            self.prefixes += 1;
+        }
+        node.entries.push((ixp, member));
+        self.announcements += 1;
+    }
+
+    /// Distinct prefixes with at least one announcement.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes
+    }
+
+    /// Total announcements stored.
+    pub fn announcement_count(&self) -> usize {
+        self.announcements
+    }
+
+    /// The node terminating `prefix`, if present.
+    fn node_at(&self, prefix: &Prefix) -> Option<&TrieNode> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[addr_bit(prefix.network_u32(), i)].as_deref()?;
+        }
+        Some(node)
+    }
+
+    /// Announcements of exactly `prefix`.
+    pub fn exact(&self, prefix: &Prefix) -> &[(IxpId, Asn)] {
+        match self.node_at(prefix) {
+            Some(n) if n.prefix.is_some() => &n.entries,
+            _ => &[],
+        }
+    }
+
+    /// Announcements of prefixes strictly covering `prefix`: one exact
+    /// probe per [`Prefix::parent`] hop up to `/0`.
+    pub fn covering(&self, prefix: &Prefix) -> BTreeSet<Announcement> {
+        let mut out = BTreeSet::new();
+        let mut q = prefix.parent();
+        while let Some(p) = q {
+            for &(ixp, member) in self.exact(&p) {
+                out.insert((p, ixp, member));
+            }
+            q = p.parent();
+        }
+        out
+    }
+
+    /// Announcements of prefixes strictly covered by `prefix`: the
+    /// subtree below its node, excluding the node itself.
+    pub fn covered_by(&self, prefix: &Prefix) -> BTreeSet<Announcement> {
+        let mut out = BTreeSet::new();
+        if let Some(node) = self.node_at(prefix) {
+            for child in node.children.iter().flatten() {
+                collect_subtree(child, &mut out);
+            }
+        }
+        out
+    }
+}
+
+fn collect_subtree(node: &TrieNode, out: &mut BTreeSet<Announcement>) {
+    if let Some(p) = node.prefix {
+        for &(ixp, member) in &node.entries {
+            out.insert((p, ixp, member));
+        }
+    }
+    for child in node.children.iter().flatten() {
+        collect_subtree(child, out);
+    }
+}
+
+/// Inverted indexes over an [`MlpLinkSet`] and its observation stream.
+///
+/// * **by member** — every IXP the member peers multilaterally at, with
+///   the peer set per IXP;
+/// * **by IXP** — delegated to the link set's own sorted per-IXP maps;
+/// * **by prefix** — a [`PrefixTrie`] over the announcements of covered
+///   members.
+#[derive(Debug, Clone, Default)]
+pub struct LinkIndex {
+    by_member: FxHashMap<Asn, BTreeMap<IxpId, BTreeSet<Asn>>>,
+    trie: PrefixTrie,
+    links_total: usize,
+}
+
+impl LinkIndex {
+    /// Build the index. Announcements are restricted to members the
+    /// link set covers at the announcement's IXP, so prefix answers
+    /// never cite reachability data the inference itself discarded.
+    pub fn build(links: &MlpLinkSet, observations: &[Observation]) -> LinkIndex {
+        let mut by_member: FxHashMap<Asn, BTreeMap<IxpId, BTreeSet<Asn>>> = FxHashMap::default();
+        let mut links_total = 0;
+        for (ixp, pairs) in &links.per_ixp {
+            links_total += pairs.len();
+            for &(a, b) in pairs {
+                by_member
+                    .entry(a)
+                    .or_default()
+                    .entry(*ixp)
+                    .or_default()
+                    .insert(b);
+                by_member
+                    .entry(b)
+                    .or_default()
+                    .entry(*ixp)
+                    .or_default()
+                    .insert(a);
+            }
+        }
+        let mut trie = PrefixTrie::default();
+        for (prefix, ixp, member) in scan::announcements(links, observations) {
+            trie.insert(prefix, ixp, member);
+        }
+        LinkIndex {
+            by_member,
+            trie,
+            links_total,
+        }
+    }
+
+    /// The member's peers per IXP, or `None` if the member has no
+    /// inferred multilateral link anywhere.
+    pub fn member_links(&self, asn: Asn) -> Option<&BTreeMap<IxpId, BTreeSet<Asn>>> {
+        self.by_member.get(&asn)
+    }
+
+    /// Owned form of [`member_links`](LinkIndex::member_links) (empty
+    /// map when absent), shaped exactly like [`scan::member_links`].
+    pub fn member_links_owned(&self, asn: Asn) -> BTreeMap<IxpId, BTreeSet<Asn>> {
+        self.by_member.get(&asn).cloned().unwrap_or_default()
+    }
+
+    /// All specificity classes of announcements matching `prefix`.
+    pub fn prefix_matches(&self, prefix: &Prefix) -> PrefixMatches {
+        let exact: BTreeSet<Announcement> = self
+            .trie
+            .exact(prefix)
+            .iter()
+            .map(|&(ixp, member)| (*prefix, ixp, member))
+            .collect();
+        PrefixMatches {
+            exact,
+            covering: self.trie.covering(prefix),
+            covered: self.trie.covered_by(prefix),
+        }
+    }
+
+    /// Members with at least one link.
+    pub fn member_count(&self) -> usize {
+        self.by_member.len()
+    }
+
+    /// Distinct announced prefixes in the trie.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.prefix_count()
+    }
+
+    /// Announcements in the trie.
+    pub fn announcement_count(&self) -> usize {
+        self.trie.announcement_count()
+    }
+
+    /// Per-IXP link total (equals `MlpLinkSet::per_ixp_total`).
+    pub fn links_total(&self) -> usize {
+        self.links_total
+    }
+}
+
+/// Linear-scan reference implementations of every indexed query. The
+/// serving benches measure the index against these; the tests assert
+/// byte-identical results.
+pub mod scan {
+    use super::*;
+
+    /// O(total links): the member's peers per IXP.
+    pub fn member_links(links: &MlpLinkSet, asn: Asn) -> BTreeMap<IxpId, BTreeSet<Asn>> {
+        let mut out: BTreeMap<IxpId, BTreeSet<Asn>> = BTreeMap::new();
+        for (ixp, pairs) in &links.per_ixp {
+            for &(a, b) in pairs {
+                if a == asn {
+                    out.entry(*ixp).or_default().insert(b);
+                } else if b == asn {
+                    out.entry(*ixp).or_default().insert(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// O(total observations): the deduplicated announcement set of
+    /// covered members — the corpus the trie is built from.
+    pub fn announcements(
+        links: &MlpLinkSet,
+        observations: &[Observation],
+    ) -> BTreeSet<Announcement> {
+        observations
+            .iter()
+            .filter(|o| {
+                links
+                    .covered
+                    .get(&o.ixp)
+                    .is_some_and(|c| c.contains(&o.member))
+            })
+            .map(|o| (o.prefix, o.ixp, o.member))
+            .collect()
+    }
+
+    /// O(total observations): prefix matches by full scan with
+    /// [`Prefix::covers`] on both sides.
+    pub fn prefix_matches(
+        links: &MlpLinkSet,
+        observations: &[Observation],
+        prefix: &Prefix,
+    ) -> PrefixMatches {
+        let mut out = PrefixMatches::default();
+        for ann in announcements(links, observations) {
+            let p = ann.0;
+            if p == *prefix {
+                out.exact.insert(ann);
+            } else if p.covers(prefix) {
+                out.covering.insert(ann);
+            } else if prefix.covers(&p) {
+                out.covered.insert(ann);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{ConnSource, ConnectivityData};
+    use crate::infer::{infer_links, ObservationSource};
+    use mlpeer_ixp::scheme::RsAction;
+
+    fn obs(ixp: u16, member: u32, prefix: &str, actions: Vec<RsAction>) -> Observation {
+        Observation {
+            ixp: IxpId(ixp),
+            member: Asn(member),
+            prefix: prefix.parse().unwrap(),
+            actions,
+            source: ObservationSource::Passive,
+        }
+    }
+
+    /// Two IXPs, four members, one EXCLUDE, plus an observation for a
+    /// member connectivity cannot place (must not enter the trie).
+    fn fixture() -> (MlpLinkSet, Vec<Observation>) {
+        let mut conn = ConnectivityData::default();
+        for m in [1u32, 2, 3, 4] {
+            conn.record(IxpId(0), Asn(m), ConnSource::LookingGlass);
+        }
+        for m in [1u32, 2] {
+            conn.record(IxpId(1), Asn(m), ConnSource::Website);
+        }
+        let observations = vec![
+            obs(0, 1, "10.1.0.0/24", vec![RsAction::All]),
+            obs(0, 1, "10.1.1.0/24", vec![RsAction::All]),
+            obs(
+                0,
+                2,
+                "10.2.0.0/16",
+                vec![RsAction::All, RsAction::Exclude(Asn(4))],
+            ),
+            obs(0, 3, "10.2.4.0/24", vec![RsAction::All]),
+            obs(0, 4, "0.0.0.0/0", vec![RsAction::All]),
+            obs(1, 1, "10.1.0.0/24", vec![RsAction::All]),
+            obs(1, 2, "10.2.0.0/16", vec![RsAction::All]),
+            obs(0, 99, "10.9.0.0/24", vec![RsAction::All]), // unplaceable
+        ];
+        let links = infer_links(&conn, &observations);
+        (links, observations)
+    }
+
+    #[test]
+    fn member_lookup_matches_scan_byte_for_byte() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        for asn in 0u32..=100 {
+            let fast = index.member_links_owned(Asn(asn));
+            let slow = scan::member_links(&links, Asn(asn));
+            assert_eq!(fast, slow, "AS{asn}");
+            assert_eq!(format!("{fast:?}"), format!("{slow:?}"), "AS{asn} bytes");
+        }
+        // The fixture actually links members at both IXPs.
+        assert!(index.member_links(Asn(1)).is_some_and(|m| m.len() == 2));
+    }
+
+    #[test]
+    fn prefix_lookup_matches_scan_byte_for_byte() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        for q in [
+            "10.1.0.0/24",
+            "10.1.0.0/16",
+            "10.1.1.128/25",
+            "10.2.0.0/16",
+            "10.2.4.0/24",
+            "10.0.0.0/8",
+            "0.0.0.0/0",
+            "192.0.2.0/24",
+            "10.9.0.0/24",
+        ] {
+            let p: Prefix = q.parse().unwrap();
+            let fast = index.prefix_matches(&p);
+            let slow = scan::prefix_matches(&links, &observations, &p);
+            assert_eq!(fast, slow, "{q}");
+            assert_eq!(format!("{fast:?}"), format!("{slow:?}"), "{q} bytes");
+        }
+    }
+
+    #[test]
+    fn trie_specificity_classes() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        let m = index.prefix_matches(&"10.2.4.0/24".parse().unwrap());
+        assert_eq!(m.exact.len(), 1, "exactly the /24 itself");
+        // Covering: the /16 at both IXPs, plus the default route.
+        assert_eq!(m.covering.len(), 3);
+        assert!(
+            m.covering.iter().any(|(p, _, _)| p.is_default()),
+            "the /0 covers everything"
+        );
+        assert!(m.covered.is_empty());
+
+        let wide = index.prefix_matches(&"10.0.0.0/8".parse().unwrap());
+        assert!(wide.exact.is_empty());
+        assert_eq!(wide.covering.len(), 1, "only the default route covers a /8");
+        assert_eq!(
+            wide.covered.len(),
+            6,
+            "every 10/8 announcement of a covered member"
+        );
+    }
+
+    #[test]
+    fn unplaceable_members_never_enter_the_trie() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        let m = index.prefix_matches(&"10.9.0.0/24".parse().unwrap());
+        assert!(m.exact.is_empty(), "AS99 is not covered anywhere");
+        assert_eq!(
+            index.announcement_count(),
+            scan::announcements(&links, &observations).len()
+        );
+    }
+
+    #[test]
+    fn duplicate_observations_deduplicate() {
+        let (links, mut observations) = fixture();
+        let dup = observations[0].clone();
+        observations.push(dup);
+        let index = LinkIndex::build(&links, &observations);
+        let m = index.prefix_matches(&"10.1.0.0/24".parse().unwrap());
+        // AS1 announced it at both IXPs; the duplicate adds nothing.
+        assert_eq!(m.exact.len(), 2);
+        assert_eq!(index.prefix_count(), 5);
+    }
+
+    #[test]
+    fn slash32_and_default_round_trip_through_the_trie() {
+        let mut trie = PrefixTrie::default();
+        let host: Prefix = "203.0.113.37/32".parse().unwrap();
+        let all: Prefix = "0.0.0.0/0".parse().unwrap();
+        trie.insert(host, IxpId(0), Asn(7));
+        trie.insert(all, IxpId(1), Asn(8));
+        assert_eq!(trie.exact(&host), &[(IxpId(0), Asn(7))]);
+        assert_eq!(trie.exact(&all), &[(IxpId(1), Asn(8))]);
+        // /32 has 32 covering hops ending at /0.
+        assert_eq!(
+            trie.covering(&host),
+            [(all, IxpId(1), Asn(8))].into_iter().collect()
+        );
+        // /0 covers the /32 and nothing covers /0.
+        assert_eq!(
+            trie.covered_by(&all),
+            [(host, IxpId(0), Asn(7))].into_iter().collect()
+        );
+        assert!(trie.covering(&all).is_empty());
+        assert_eq!(trie.prefix_count(), 2);
+        assert_eq!(trie.announcement_count(), 2);
+    }
+
+    #[test]
+    fn counts_reflect_link_set() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        assert_eq!(index.links_total(), links.per_ixp_total());
+        assert_eq!(index.member_count(), links.distinct_asns().len());
+    }
+}

@@ -65,7 +65,7 @@ pub struct Observation {
 }
 
 /// The inferred link set.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
 pub struct MlpLinkSet {
     /// Per-IXP links (`a < b`).
     pub per_ixp: BTreeMap<IxpId, BTreeSet<(Asn, Asn)>>,

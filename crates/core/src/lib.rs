@@ -37,6 +37,7 @@ pub mod analysis;
 pub mod connectivity;
 pub mod dict;
 pub mod hash;
+pub mod index;
 pub mod infer;
 pub mod passive;
 pub mod reciprocity;
@@ -46,5 +47,6 @@ pub mod validate;
 
 pub use connectivity::{ConnSource, ConnectivityData};
 pub use dict::CommunityDictionary;
+pub use index::{LinkIndex, PrefixMatches, PrefixTrie};
 pub use infer::{infer_links, LinkInferencer, MlpLinkSet, Observation, ObservationSource};
 pub use sink::{CountingSink, MergeSink, ObservationSink};

@@ -115,9 +115,39 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     Some(v[idx])
 }
 
-/// Serialize any value to pretty JSON (experiment outputs).
+/// Serialize any value to pretty JSON (experiment outputs, snapshot
+/// ETags). Object keys are sorted recursively, so two structurally
+/// equal values always render byte-identically — regardless of field
+/// declaration or `Map` insertion order — and snapshot ETags/diffs
+/// stay stable across runs.
 pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("experiment reports serialize")
+    serde_json::to_string_pretty(&canonical_value(value)).expect("experiment reports serialize")
+}
+
+/// Compact single-line variant of [`to_json`], same key ordering.
+pub fn to_json_compact<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(&canonical_value(value)).expect("reports serialize")
+}
+
+/// The value's JSON tree with every object's keys sorted, recursively.
+pub fn canonical_value<T: Serialize>(value: &T) -> serde_json::Value {
+    sort_keys(serde_json::to_value(value))
+}
+
+fn sort_keys(v: serde_json::Value) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    match v {
+        Value::Array(items) => Value::Array(items.into_iter().map(sort_keys).collect()),
+        Value::Object(map) => {
+            let mut entries = map.into_entries();
+            for (_, val) in &mut entries {
+                *val = sort_keys(std::mem::take(val));
+            }
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(Map::from_iter(entries))
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -194,5 +224,37 @@ mod tests {
         }
         let s = to_json(&R { links: 206_667 });
         assert!(s.contains("206667"));
+    }
+
+    /// Regression: `to_json` orders object keys deterministically, so
+    /// two structurally equal values render byte-identically no matter
+    /// the insertion (or field declaration) order. Snapshot ETags and
+    /// diffs depend on this.
+    #[test]
+    fn to_json_orders_object_keys_deterministically() {
+        let forward = serde_json::json!({
+            "alpha": 1usize,
+            "zeta": serde_json::json!({"inner_b": 2usize, "inner_a": [serde_json::json!({"y": 1usize, "x": 2usize})]}),
+            "mid": "m",
+        });
+        let mut reversed = serde_json::Map::new();
+        reversed.insert("mid".into(), serde_json::to_value(&"m"));
+        reversed.insert(
+            "zeta".into(),
+            serde_json::json!({"inner_a": [serde_json::json!({"x": 2usize, "y": 1usize})], "inner_b": 2usize}),
+        );
+        reversed.insert("alpha".into(), serde_json::to_value(&1usize));
+        let a = to_json(&forward);
+        let b = to_json(&serde_json::Value::Object(reversed));
+        assert_eq!(a, b, "key order must not depend on insertion order");
+        // Keys appear sorted in the rendered text.
+        let ia = a.find("\"alpha\"").unwrap();
+        let im = a.find("\"mid\"").unwrap();
+        let iz = a.find("\"zeta\"").unwrap();
+        assert!(ia < im && im < iz);
+        let ix = a.find("\"x\"").unwrap();
+        let iy = a.find("\"y\"").unwrap();
+        assert!(ix < iy, "nested objects inside arrays are sorted too");
+        assert_eq!(to_json_compact(&forward).lines().count(), 1);
     }
 }

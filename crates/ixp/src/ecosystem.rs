@@ -208,6 +208,16 @@ impl EcosystemConfig {
             ..EcosystemConfig::paper_scale(seed)
         }
     }
+
+    /// Half scale for serving/indexing benchmarks.
+    pub fn medium(seed: u64) -> Self {
+        EcosystemConfig {
+            scale: 0.5,
+            internet: InternetConfig::medium(seed.wrapping_mul(31).wrapping_add(7)),
+            max_announcements: 250,
+            ..EcosystemConfig::paper_scale(seed)
+        }
+    }
 }
 
 /// The generated ecosystem.

@@ -1,0 +1,358 @@
+//! The query API: routing, JSON rendering, conditional GETs.
+//!
+//! Every endpoint renders from one immutable [`Snapshot`] loaded at
+//! request time, so a response is always internally consistent even if
+//! a refresh lands mid-flight. The snapshot-addressed `/v1/*` endpoints
+//! carry the content ETag; an `If-None-Match` hit short-circuits to an
+//! empty 304 *before rendering*, which is what lets heavy read traffic
+//! revalidate for free across refreshes that changed nothing.
+//! `/v1/stats` and `/healthz` are exempt — their bodies carry live
+//! server counters the snapshot ETag does not address.
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /healthz` | liveness, current epoch/ETag |
+//! | `GET /v1/ixps` | per-IXP link and coverage counts |
+//! | `GET /v1/ixp/{id}/links` | the IXP's multilateral link list |
+//! | `GET /v1/member/{asn}` | the member's peers and policy per IXP |
+//! | `GET /v1/prefix/{p}` | announcements matching a CIDR prefix |
+//! | `GET /v1/stats` | snapshot + server counters |
+
+use mlpeer::report;
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::ixp::IxpId;
+use serde_json::{json, Value};
+
+use crate::http::{Request, Response};
+use crate::server::ServerStats;
+use crate::snapshot::Snapshot;
+
+/// Route one request against one snapshot view.
+pub fn route(req: &Request, snap: &Snapshot, stats: &ServerStats) -> Response {
+    if req.method != "GET" {
+        return error(405, "only GET is supported");
+    }
+    let path = req.path.trim_end_matches('/');
+    let path = if path.is_empty() { "/" } else { path };
+
+    if path == "/healthz" {
+        return Response::json(200, report::to_json(&healthz(snap, stats)));
+    }
+
+    let etag = format!("\"{}\"", snap.etag);
+    if path == "/v1/ixps" {
+        // The resource always exists: a matching ETag skips rendering.
+        if let Some(hit) = revalidate_hit(req, &etag) {
+            return hit;
+        }
+        return Response::json(200, report::to_json(&ixps(snap))).with_header("ETag", &etag);
+    }
+    if let Some(rest) = path.strip_prefix("/v1/ixp/") {
+        return ixp_links(req, snap, rest, &etag);
+    }
+    if let Some(rest) = path.strip_prefix("/v1/member/") {
+        return member(req, snap, rest, &etag);
+    }
+    if let Some(rest) = path.strip_prefix("/v1/prefix/") {
+        return prefix(req, snap, rest, &etag);
+    }
+    if path == "/v1/stats" {
+        // Deliberately no ETag/304: the body carries live server
+        // counters, so the snapshot ETag does not address it.
+        return Response::json(200, report::to_json(&stats_body(snap, stats)));
+    }
+    error(404, "no such endpoint")
+}
+
+/// Conditional-GET check, called by each handler *after* its resource
+/// resolved (a 304 is only valid where the fresh response would have
+/// been a 200, RFC 7232) and *before* rendering, so revalidation hits
+/// cost an index probe, not a full JSON render.
+fn revalidate_hit(req: &Request, etag: &str) -> Option<Response> {
+    let matched = req
+        .header("if-none-match")
+        .is_some_and(|inm| inm.split(',').any(|t| t.trim() == etag || t.trim() == "*"));
+    matched.then(|| Response::json(304, Vec::new()).with_header("ETag", etag))
+}
+
+/// A JSON error body with matching status.
+pub fn error(status: u16, message: &str) -> Response {
+    Response::json(status, report::to_json(&json!({ "error": message })))
+}
+
+fn healthz(snap: &Snapshot, stats: &ServerStats) -> Value {
+    json!({
+        "status": "ok",
+        "epoch": snap.epoch,
+        "etag": snap.etag,
+        "scale": snap.scale,
+        "uptime_ms": stats.uptime_ms(),
+    })
+}
+
+fn ixps(snap: &Snapshot) -> Value {
+    let rows: Vec<Value> = snap
+        .names
+        .iter()
+        .map(|(id, name)| {
+            json!({
+                "id": id.0,
+                "name": name,
+                "links": snap.links.links_at(*id).len(),
+                "covered_members": snap.links.covered.get(id).map(|c| c.len()).unwrap_or(0),
+            })
+        })
+        .collect();
+    json!({
+        "ixps": rows,
+        "unique_links": snap.unique_link_count,
+    })
+}
+
+fn ixp_links(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+    let Some(id) = rest
+        .strip_suffix("/links")
+        .and_then(|s| s.parse::<u16>().ok())
+    else {
+        return error(400, "expected /v1/ixp/{id}/links");
+    };
+    let ixp = IxpId(id);
+    if !snap.names.contains_key(&ixp) {
+        return error(404, "unknown IXP id");
+    }
+    if let Some(hit) = revalidate_hit(req, etag) {
+        return hit;
+    }
+    let links: Vec<(u32, u32)> = snap
+        .links
+        .links_at(ixp)
+        .iter()
+        .map(|(a, b)| (a.value(), b.value()))
+        .collect();
+    let body = json!({
+        "id": id,
+        "name": snap.name(ixp),
+        "count": links.len(),
+        "links": links,
+    });
+    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+}
+
+fn member(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+    // One optional "AS" prefix, then digits ("ASAS1" stays malformed).
+    let asn = match rest.strip_prefix("AS").unwrap_or(rest).parse::<u32>() {
+        Ok(n) => Asn(n),
+        Err(_) => return error(400, "expected /v1/member/{asn}"),
+    };
+    let Some(per_ixp) = snap.index.member_links(asn) else {
+        return error(404, "no multilateral links inferred for this ASN");
+    };
+    if let Some(hit) = revalidate_hit(req, etag) {
+        return hit;
+    }
+    let mut unique = std::collections::BTreeSet::new();
+    let rows: Vec<Value> = per_ixp
+        .iter()
+        .map(|(ixp, peers)| {
+            unique.extend(peers.iter().copied());
+            json!({
+                "ixp": ixp.0,
+                "name": snap.name(*ixp),
+                "peers": peers.iter().map(|p| p.value()).collect::<Vec<u32>>(),
+                "policy": snap.links.policies.get(&(*ixp, asn)),
+            })
+        })
+        .collect();
+    let body = json!({
+        "asn": asn.value(),
+        "ixps": rows,
+        "unique_peers": unique.len(),
+    });
+    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+}
+
+fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+    let Ok(p) = rest.parse::<Prefix>() else {
+        return error(400, "expected /v1/prefix/{a.b.c.d/len}");
+    };
+    if let Some(hit) = revalidate_hit(req, etag) {
+        return hit;
+    }
+    let m = snap.index.prefix_matches(&p);
+    let render = |set: &std::collections::BTreeSet<mlpeer::index::Announcement>| {
+        set.iter()
+            .map(|(pfx, ixp, member)| {
+                json!({
+                    "prefix": pfx.to_string(),
+                    "ixp": ixp.0,
+                    "name": snap.name(*ixp),
+                    "member": member.value(),
+                })
+            })
+            .collect::<Vec<Value>>()
+    };
+    let body = json!({
+        "prefix": p.to_string(),
+        "total": m.total(),
+        "exact": render(&m.exact),
+        "covering": render(&m.covering),
+        "covered": render(&m.covered),
+    });
+    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+}
+
+fn stats_body(snap: &Snapshot, stats: &ServerStats) -> Value {
+    let p = &snap.passive_stats;
+    json!({
+        "epoch": snap.epoch,
+        "etag": snap.etag,
+        "scale": snap.scale,
+        "seed": snap.seed,
+        "ixps": snap.names.len(),
+        "links_total": snap.index.links_total(),
+        "unique_links": snap.unique_link_count,
+        "distinct_asns": snap.distinct_asn_count,
+        "linked_members": snap.index.member_count(),
+        "indexed_prefixes": snap.index.prefix_count(),
+        "announcements": snap.index.announcement_count(),
+        "observations": snap.observation_count,
+        "passive": json!({
+            "routes_seen": p.routes_seen,
+            "dropped_bogon": p.dropped_bogon,
+            "dropped_cycle": p.dropped_cycle,
+            "dropped_transient": p.dropped_transient,
+            "unidentified": p.unidentified,
+            "setter_unknown": p.setter_unknown,
+            "observations": p.observations,
+        }),
+        "server": json!({
+            "requests": stats.requests(),
+            "not_modified": stats.not_modified(),
+            "client_errors": stats.client_errors(),
+            "uptime_ms": stats.uptime_ms(),
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        crate::testutil::snapshot_with(3, 7)
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            ..Request::default()
+        }
+    }
+
+    fn body(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn endpoints_answer_200_with_etag() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        for path in [
+            "/v1/ixps",
+            "/v1/ixp/0/links",
+            "/v1/member/1",
+            "/v1/prefix/10.1.0.0/24",
+            "/v1/stats",
+        ] {
+            let r = route(&get(path), &snap, &stats);
+            assert_eq!(r.status, 200, "{path}: {}", body(&r));
+            let has_etag = r
+                .headers
+                .iter()
+                .any(|(n, v)| n == "ETag" && *v == format!("\"{}\"", snap.etag));
+            // /v1/stats carries live counters, so it is deliberately
+            // not snapshot-addressed.
+            assert_eq!(has_etag, path != "/v1/stats", "{path} ETag presence");
+            assert!(body(&r).starts_with('{'), "{path} returns a JSON object");
+        }
+        let health = route(&get("/healthz"), &snap, &stats);
+        assert_eq!(health.status, 200);
+        assert!(body(&health).contains("\"status\": \"ok\""));
+    }
+
+    #[test]
+    fn conditional_get_hits_304_only_on_matching_etag() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        let mut req = get("/v1/ixps");
+        req.headers
+            .push(("if-none-match".into(), format!("\"{}\"", snap.etag)));
+        let r = route(&req, &snap, &stats);
+        assert_eq!(r.status, 304);
+        assert!(r.body.is_empty());
+
+        req.headers[0].1 = "\"somethingelse\"".into();
+        assert_eq!(route(&req, &snap, &stats).status, 200);
+
+        req.headers[0].1 = "*".into();
+        assert_eq!(route(&req, &snap, &stats).status, 304);
+
+        // A 304 is only valid where the fresh response would be a 200:
+        // misses and malformed requests pass through (RFC 7232).
+        for (path, expect) in [
+            ("/v1/member/99", 404),
+            ("/v1/member/xyz", 400),
+            ("/v1/ixp/9/links", 404),
+            ("/v1/bogus", 404),
+        ] {
+            let mut req = get(path);
+            req.headers
+                .push(("if-none-match".into(), format!("\"{}\"", snap.etag)));
+            assert_eq!(route(&req, &snap, &stats).status, expect, "{path}");
+        }
+    }
+
+    #[test]
+    fn member_answers_match_the_index() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        let r = route(&get("/v1/member/1"), &snap, &stats);
+        let b = body(&r);
+        assert!(b.contains("\"asn\": 1"));
+        assert!(b.contains("\"unique_peers\": 2"));
+        assert!(b.contains("DE-CIX"));
+        // One AS prefix accepted; repeated prefixes stay malformed.
+        assert_eq!(route(&get("/v1/member/AS1"), &snap, &stats).status, 200);
+        assert_eq!(route(&get("/v1/member/ASAS1"), &snap, &stats).status, 400);
+        // Unknown member → 404, garbage → 400.
+        assert_eq!(route(&get("/v1/member/99"), &snap, &stats).status, 404);
+        assert_eq!(route(&get("/v1/member/xyz"), &snap, &stats).status, 400);
+    }
+
+    #[test]
+    fn prefix_answers_split_specificity() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        let r = route(&get("/v1/prefix/10.1.0.0/24"), &snap, &stats);
+        let b = body(&r);
+        assert_eq!(r.status, 200);
+        assert!(b.contains("\"exact\""));
+        assert!(b.contains("\"member\": 1"));
+        let wide = route(&get("/v1/prefix/10.0.0.0/8"), &snap, &stats);
+        assert!(body(&wide).contains("\"covered\""));
+        assert_eq!(route(&get("/v1/prefix/banana"), &snap, &stats).status, 400);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_fail_cleanly() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        assert_eq!(route(&get("/nope"), &snap, &stats).status, 404);
+        assert_eq!(route(&get("/v1/ixp/9/links"), &snap, &stats).status, 404);
+        assert_eq!(route(&get("/v1/ixp/x/links"), &snap, &stats).status, 400);
+        let mut post = get("/v1/ixps");
+        post.method = "POST".into();
+        assert_eq!(route(&post, &snap, &stats).status, 405);
+    }
+}

@@ -1,0 +1,82 @@
+//! Boot the full serving stack at a chosen scale:
+//!
+//! ```text
+//! mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] [--seed=N]
+//!              [--refresh-secs=N] [--workers=N]
+//! ```
+//!
+//! Generates the ecosystem, runs the inference pipeline once, publishes
+//! the snapshot, and serves the query API. With `--refresh-secs=N` a
+//! background refresher re-runs the pipeline every `N` seconds and
+//! publishes a new epoch (readers are never blocked; identical results
+//! keep the same ETag).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlpeer_bench::Scale;
+use mlpeer_ixp::Ecosystem;
+use mlpeer_serve::refresher::spawn_refresher;
+use mlpeer_serve::{spawn_server, Snapshot, SnapshotStore};
+
+fn main() {
+    let mut scale = Scale::Small;
+    let mut addr = "127.0.0.1:8462".to_string();
+    let mut seed: u64 = 20130501;
+    let mut refresh_secs: u64 = 0;
+    let mut workers: usize = 4;
+    for arg in std::env::args().skip(1) {
+        if let Some(s) = Scale::parse(&arg) {
+            scale = s;
+        } else if let Some(v) = arg.strip_prefix("--addr=") {
+            addr = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            seed = v.parse().expect("--seed=N");
+        } else if let Some(v) = arg.strip_prefix("--refresh-secs=") {
+            refresh_secs = v.parse().expect("--refresh-secs=N");
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            workers = v.parse().expect("--workers=N");
+        } else {
+            eprintln!("unknown argument: {arg}");
+            eprintln!(
+                "usage: mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] \
+                 [--seed=N] [--refresh-secs=N] [--workers=N]"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    eprintln!("# generating ecosystem ({scale:?}, seed {seed})…");
+    let eco = Arc::new(Ecosystem::generate(scale.config(seed)));
+    eprintln!("# running inference pipeline…");
+    let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
+    eprintln!(
+        "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
+        snapshot.names.len(),
+        snapshot.unique_link_count,
+        snapshot.index.prefix_count(),
+        snapshot.etag
+    );
+    let store = SnapshotStore::new(snapshot);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut refresher = None;
+    if refresh_secs > 0 {
+        let store = Arc::clone(&store);
+        let eco = Arc::clone(&eco);
+        refresher = Some(spawn_refresher(
+            store,
+            Duration::from_secs(refresh_secs),
+            Arc::clone(&shutdown),
+            move || Snapshot::of_pipeline(&eco, scale, seed),
+        ));
+        eprintln!("# refresher: every {refresh_secs}s");
+    }
+
+    let mut server = spawn_server(store, &addr, workers).expect("bind address");
+    eprintln!("# serving on http://{} ({workers} workers)", server.addr);
+    eprintln!("#   try: curl http://{}/healthz", server.addr);
+    server.join();
+    drop(refresher);
+}

@@ -1,0 +1,459 @@
+//! Minimal std-only HTTP/1.1 plumbing: request parsing, response
+//! writing, and a fixed thread pool.
+//!
+//! The vendor tree has no async runtime, so the server is the classic
+//! shape: a blocking accept loop handing connections to a
+//! [`ThreadPool`], one keep-alive request loop per connection. The
+//! parser covers exactly what the API needs — GET requests, a path
+//! (with the raw remainder preserved so `/v1/prefix/10.0.0.0/8` keeps
+//! its slash), and the handful of headers the router reads.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Longest request head (request line + headers) accepted, bytes.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request head.
+#[derive(Debug, Clone, Default)]
+pub struct Request {
+    /// Uppercase method ("GET").
+    pub method: String,
+    /// Percent-decoded path, query string stripped.
+    pub path: String,
+    /// The raw query string after `?` (may be empty).
+    pub query: String,
+    /// Headers as (lowercased-name, value).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Percent-decode a URL path (`%2F` → `/`, `+` left alone).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let Some(hex) = bytes.get(i + 1..i + 3) {
+                if let Ok(b) = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16) {
+                    out.push(b);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Read one `\n`-terminated line, enforcing `limit` *while buffering*:
+/// a peer streaming an endless line errors out at `limit` bytes instead
+/// of growing memory until a newline arrives. `Ok(None)` is EOF before
+/// any byte of the line.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+) -> io::Result<Option<String>> {
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // A read timeout before any byte of the line is idleness,
+            // reported like clean EOF; a timeout mid-line stays an
+            // error (the peer abandoned a half-sent request).
+            Err(e)
+                if out.is_empty()
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            if out.is_empty() {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated line",
+            ));
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if out.len() + pos > limit {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+            }
+            out.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if out.last() == Some(&b'\r') {
+                out.pop();
+            }
+            return Ok(Some(String::from_utf8_lossy(&out).into_owned()));
+        }
+        let len = buf.len();
+        if out.len() + len > limit {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+        }
+        out.extend_from_slice(buf);
+        reader.consume(len);
+    }
+}
+
+/// Read one request head off the stream. `Ok(None)` means the peer
+/// closed cleanly between requests (normal keep-alive teardown); any
+/// malformed or oversized head is an `InvalidData` error. Buffering is
+/// bounded by [`MAX_HEAD`] even mid-line.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let Some(line) = read_line_bounded(reader, MAX_HEAD)? else {
+        return Ok(None);
+    };
+    if line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "empty request line",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad request line: {line:?}"),
+            ))
+        }
+    };
+    let (raw_path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q.to_string()),
+        None => (target, String::new()),
+    };
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(raw_path),
+        query,
+        headers: Vec::new(),
+    };
+    let mut head_bytes = line.len();
+    loop {
+        let h = read_line_bounded(reader, MAX_HEAD.saturating_sub(head_bytes))?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"))?;
+        head_bytes += h.len() + 2;
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            req.headers
+                .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    // This API is GET-only and GET bodies carry no semantics; a
+    // declared body is rejected outright (the connection closes after
+    // the error response, so framing is moot). Draining instead would
+    // hand a trickling client an unbounded worker-pinning primitive.
+    if req
+        .header("content-length")
+        .and_then(|v| v.parse::<u64>().ok())
+        .is_some_and(|n| n > 0)
+        || req.header("transfer-encoding").is_some()
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request bodies are not accepted",
+        ));
+    }
+    Ok(Some(req))
+}
+
+/// One parsed client-side response: status, headers, length-framed
+/// body. The single implementation the load generator and the
+/// integration tests share.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseParts {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers as (lowercased-name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl ResponseParts {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one length-framed response off a client connection.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ResponseParts> {
+    let status_line = read_line_bounded(reader, MAX_HEAD)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "closed before status line"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut parts = ResponseParts {
+        status,
+        ..ResponseParts::default()
+    };
+    loop {
+        let h = read_line_bounded(reader, MAX_HEAD)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "truncated head"))?;
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            parts
+                .headers
+                .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let len: usize = parts
+        .header("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    parts.body = vec![0u8; len];
+    reader.read_exact(&mut parts.body)?;
+    Ok(parts)
+}
+
+/// One response, written with explicit `Content-Length` framing.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (empty for 304).
+    pub body: Vec<u8>,
+    /// Extra headers (name, value) — e.g. `ETag`.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json<S: Into<Vec<u8>>>(status: u16, body: S) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serialize onto the wire.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        write!(w, "Content-Type: application/json\r\n")?;
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(
+            w,
+            "Connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of worker threads fed over an mpsc channel. Dropping
+/// the pool closes the channel and joins every worker.
+pub struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (floored at 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mlpeer-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock().expect("pool lock").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // pool dropped
+                        };
+                        job();
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Queue one job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Box::new(job));
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a raw request head through a real socket pair.
+    fn parse(raw: &str) -> io::Result<Option<Request>> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw.as_bytes()).unwrap();
+        drop(client);
+        let (server_side, _) = listener.accept().unwrap();
+        read_request(&mut BufReader::new(server_side))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let req = parse(
+            "GET /v1/prefix/10.0.0.0/8?detail=1 HTTP/1.1\r\nHost: x\r\nIf-None-Match: \"abc\"\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(
+            req.path, "/v1/prefix/10.0.0.0/8",
+            "slash inside prefix survives"
+        );
+        assert_eq!(req.query, "detail=1");
+        assert_eq!(req.header("if-none-match"), Some("\"abc\""));
+        assert_eq!(req.header("If-None-Match"), Some("\"abc\""));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn percent_encoded_paths_decode() {
+        let req = parse("GET /v1/prefix/10.0.0.0%2F8 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/v1/prefix/10.0.0.0/8");
+        assert_eq!(
+            percent_decode("a%20b%zz%4"),
+            "a b%zz%4",
+            "junk escapes pass through"
+        );
+    }
+
+    #[test]
+    fn eof_and_garbage_are_distinguished() {
+        assert!(
+            parse("").unwrap().is_none(),
+            "clean EOF is keep-alive teardown"
+        );
+        assert!(parse("NOT-HTTP\r\n\r\n").is_err());
+    }
+
+    /// The head limit binds *while buffering*: an endless line (no
+    /// newline ever sent) and an oversized header block both error out
+    /// at `MAX_HEAD` instead of growing memory.
+    #[test]
+    fn oversized_heads_are_rejected_without_buffering_them() {
+        let endless = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD + 10));
+        assert!(parse(&endless).is_err(), "oversized request line");
+        let no_newline = "x".repeat(MAX_HEAD + 10);
+        assert!(parse(&no_newline).is_err(), "endless line with no newline");
+        let fat_headers = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            format!("h: {}\r\n", "v".repeat(1000)).repeat(20)
+        );
+        assert!(parse(&fat_headers).is_err(), "cumulative header limit");
+    }
+
+    #[test]
+    fn response_writes_length_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .with_header("ETag", "\"ff\"")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("ETag: \"ff\"\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ThreadPool::new(3);
+        for _ in 0..20 {
+            let counter = counter.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins workers, so every job ran
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+    }
+}

@@ -1,0 +1,91 @@
+//! # `mlpeer-serve` — indexed snapshot store and HTTP query API
+//!
+//! The pipeline's artifact — the multilateral peering link set per IXP,
+//! member, and prefix — is exactly what operators and researchers want
+//! to *query*. This crate turns the one-shot report into a long-lived
+//! service:
+//!
+//! * **index layer** — [`mlpeer::index::LinkIndex`]: inverted
+//!   indexes per member ASN and per IXP plus a prefix trie, so lookups
+//!   are O(result) instead of linear scans;
+//! * **versioned snapshot store** — immutable [`Snapshot`]s behind
+//!   [`SnapshotStore`], swapped atomically so in-flight readers are
+//!   never blocked or torn while a background [`refresher`] re-runs the
+//!   harvest and publishes a new epoch (content-addressed ETag from
+//!   deterministic JSON);
+//! * **std-only threaded HTTP/1.1 server** — [`server`] on
+//!   `std::net::TcpListener` (no async runtime in the vendor tree)
+//!   exposing the JSON endpoints documented in the README:
+//!   `/healthz`, `/v1/ixps`, `/v1/ixp/{id}/links`, `/v1/member/{asn}`,
+//!   `/v1/prefix/{p}`, `/v1/stats`;
+//! * an in-repo [`loadgen`] whose results the `serve_load` bench
+//!   records to `BENCH_serve.json`.
+//!
+//! The `mlpeer-serve` binary boots the whole stack at any
+//! [`mlpeer_bench::Scale`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod loadgen;
+pub mod refresher;
+pub mod server;
+pub mod snapshot;
+pub mod store;
+
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use server::{spawn_server, ServerHandle, ServerStats};
+pub use snapshot::Snapshot;
+pub use store::SnapshotStore;
+
+/// Shared test fixture: a one-IXP snapshot whose content is a pure
+/// function of `(members, seed)`, so tests can verify loaded views
+/// against a re-derived expectation.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::collections::BTreeMap;
+
+    use mlpeer::connectivity::{ConnSource, ConnectivityData};
+    use mlpeer::infer::{infer_links, MlpLinkSet, Observation, ObservationSource};
+    use mlpeer::passive::PassiveStats;
+    use mlpeer_bgp::Asn;
+    use mlpeer_ixp::ixp::IxpId;
+    use mlpeer_ixp::scheme::RsAction;
+
+    use crate::snapshot::Snapshot;
+
+    /// Members `1..=n` at one IXP, each announcing `10.<m>.0.0/24`
+    /// with an open (ALL) policy, plus the inferred link set.
+    pub fn tiny_inputs(members: u32) -> (MlpLinkSet, Vec<Observation>) {
+        let mut conn = ConnectivityData::default();
+        for m in 1..=members {
+            conn.record(IxpId(0), Asn(m), ConnSource::LookingGlass);
+        }
+        let observations: Vec<Observation> = (1..=members)
+            .map(|m| Observation {
+                ixp: IxpId(0),
+                member: Asn(m),
+                prefix: format!("10.{m}.0.0/24").parse().unwrap(),
+                actions: vec![RsAction::All],
+                source: ObservationSource::Passive,
+            })
+            .collect();
+        (infer_links(&conn, &observations), observations)
+    }
+
+    /// A built snapshot over [`tiny_inputs`], named "DE-CIX".
+    pub fn snapshot_with(members: u32, seed: u64) -> Snapshot {
+        let (links, observations) = tiny_inputs(members);
+        let names: BTreeMap<IxpId, String> = [(IxpId(0), "DE-CIX".to_string())].into();
+        Snapshot::build(
+            "tiny",
+            seed,
+            names,
+            links,
+            &observations,
+            PassiveStats::default(),
+        )
+    }
+}

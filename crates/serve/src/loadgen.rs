@@ -1,0 +1,160 @@
+//! In-repo load generator: keep-alive client connections hammering the
+//! query API, with latency percentiles and throughput.
+//!
+//! The `serve_load` bench boots a real server and records this
+//! generator's report to `BENCH_serve.json`; the CI smoke job and the
+//! e2e tests use single requests instead. std-only, like the server.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::http::read_response;
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Target paths, cycled per request.
+    pub targets: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            requests_per_connection: 250,
+            targets: vec!["/v1/ixps".into(), "/healthz".into()],
+        }
+    }
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// 2xx responses.
+    pub ok: usize,
+    /// 304 revalidations.
+    pub not_modified: usize,
+    /// Everything else (including transport errors).
+    pub errors: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Per-request latencies, sorted ascending (microseconds).
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Requests per second over the run.
+    pub fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Latency at quantile `q` (0..=1), microseconds.
+    pub fn latency_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_us[idx]
+    }
+}
+
+/// One keep-alive client: issue `n` requests cycling through `targets`,
+/// recording per-request latency and status class. Every configured
+/// request is accounted: whatever could not be attempted (failed
+/// connect, broken connection mid-run) counts as both a request and an
+/// error, so the merged report always sums to the configured load.
+fn client(addr: SocketAddr, targets: &[String], n: usize, report: &mut LoadReport) {
+    // Charge all requests from `from` onward as errors.
+    let abort = |report: &mut LoadReport, from: usize| {
+        report.requests += n - from;
+        report.errors += n - from;
+    };
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return abort(report, 0);
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return abort(report, 0),
+    };
+    let mut reader = BufReader::new(stream);
+    for i in 0..n {
+        let target = &targets[i % targets.len()];
+        let t0 = Instant::now();
+        if write!(writer, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").is_err() {
+            return abort(report, i);
+        }
+        match read_response(&mut reader) {
+            Ok(parts) => {
+                report.requests += 1;
+                report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                match parts.status {
+                    200..=299 => report.ok += 1,
+                    304 => report.not_modified += 1,
+                    _ => report.errors += 1,
+                }
+            }
+            Err(_) => return abort(report, i),
+        }
+    }
+}
+
+/// Run the load: `connections` client threads in parallel, merged
+/// report with sorted latencies.
+pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let t0 = Instant::now();
+    let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut r = LoadReport::default();
+                    client(addr, &cfg.targets, cfg.requests_per_connection, &mut r);
+                    r
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let mut merged = LoadReport {
+        elapsed: t0.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in reports {
+        merged.requests += r.requests;
+        merged.ok += r.ok;
+        merged.not_modified += r.not_modified;
+        merged.errors += r.errors;
+        merged.latencies_us.extend(r.latencies_us);
+    }
+    merged.latencies_us.sort_unstable();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_empty_and_sorted_reports() {
+        let mut r = LoadReport::default();
+        assert_eq!(r.latency_us(0.5), 0);
+        r.latencies_us = vec![10, 20, 30, 40, 50];
+        r.requests = 5;
+        r.elapsed = Duration::from_secs(1);
+        assert_eq!(r.latency_us(0.0), 10);
+        assert_eq!(r.latency_us(0.5), 30);
+        assert_eq!(r.latency_us(1.0), 50);
+        assert!((r.rps() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! The background refresher: rebuild snapshots off the read path,
+//! publish new epochs atomically.
+//!
+//! The builder closure runs entirely outside the store's lock — for the
+//! real binary it re-runs the full pipeline (ecosystem routing,
+//! `harvest_passive_sharded`, active querying, link inference, index
+//! construction), which takes seconds at paper scale — and only the
+//! resulting pointer swap touches the store. Readers keep serving the
+//! previous epoch throughout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::snapshot::Snapshot;
+use crate::store::SnapshotStore;
+
+/// Spawn a refresher that calls `build` every `interval` and publishes
+/// the result, until `shutdown` flips. Returns the thread handle; the
+/// sleep is chunked so shutdown is prompt even for long intervals.
+pub fn spawn_refresher<F>(
+    store: Arc<SnapshotStore>,
+    interval: Duration,
+    shutdown: Arc<AtomicBool>,
+    build: F,
+) -> JoinHandle<()>
+where
+    F: Fn() -> Snapshot + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("mlpeer-serve-refresher".into())
+        .spawn(move || loop {
+            let mut slept = Duration::ZERO;
+            while slept < interval {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let step = Duration::from_millis(50).min(interval - slept);
+                std::thread::sleep(step);
+                slept += step;
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let next = build(); // expensive, outside any lock
+            let epoch = store.publish(next);
+            eprintln!("# refresher published epoch {epoch}");
+        })
+        .expect("spawn refresher")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Snapshot {
+        crate::testutil::snapshot_with(2, 0)
+    }
+
+    #[test]
+    fn refresher_publishes_and_stops() {
+        let store = SnapshotStore::new(tiny());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = spawn_refresher(
+            Arc::clone(&store),
+            Duration::from_millis(20),
+            Arc::clone(&shutdown),
+            tiny,
+        );
+        // Wait for at least two refreshes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.swap_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(store.swap_count() >= 2, "refresher must publish repeatedly");
+        let epoch_now = store.load().epoch;
+        assert!(epoch_now >= 2);
+        // Identical content each refresh → the ETag never changes.
+        assert_eq!(store.load().etag, tiny().etag);
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+}

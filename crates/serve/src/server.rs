@@ -1,0 +1,254 @@
+//! The TCP front end: accept loop, per-connection keep-alive request
+//! loop, shared counters, graceful shutdown.
+//!
+//! Each accepted connection is handed to the [`ThreadPool`]; each
+//! request on it loads the *current* snapshot from the store, so a
+//! long-lived connection observes refreshes between requests while any
+//! single response stays internally consistent.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::http::{read_request, ThreadPool};
+use crate::store::SnapshotStore;
+
+/// Read timeout for a connection's *first* request: a stalled client
+/// must not pin a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle timeout between keep-alive requests. The thread-per-connection
+/// model pins a pool worker for the connection's lifetime, so idle
+/// connections must age out quickly to bound how long a slow client
+/// can hold a worker (back-to-back clients like the load generator
+/// never notice).
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(2);
+
+/// Shared server counters, surfaced by `/v1/stats` and `/healthz`.
+#[derive(Debug)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    not_modified: AtomicU64,
+    client_errors: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            not_modified: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Requests routed since boot.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// 304 revalidations served.
+    pub fn not_modified(&self) -> u64 {
+        self.not_modified.load(Ordering::Relaxed)
+    }
+
+    /// 4xx responses served.
+    pub fn client_errors(&self) -> u64 {
+        self.client_errors.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since boot.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+}
+
+/// A running server: its bound address, stats, and a shutdown handle.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    /// Shared counters.
+    pub stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Ask the accept loop to exit and join it. Idempotent.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept call with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server exits (Ctrl-C for the binary).
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` and serve the store on `workers` pooled threads. Returns
+/// as soon as the listener is accepting (use port 0 for an ephemeral
+/// test port).
+pub fn spawn_server(
+    store: Arc<SnapshotStore>,
+    addr: &str,
+    workers: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let stats = Arc::clone(&stats);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("mlpeer-serve-accept".into())
+            .spawn(move || {
+                let pool = ThreadPool::new(workers);
+                for conn in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let store = Arc::clone(&store);
+                    let stats = Arc::clone(&stats);
+                    pool.execute(move || handle_connection(stream, &store, &stats));
+                }
+                // Dropping the pool joins the workers, draining
+                // in-flight connections before the handle's join
+                // returns.
+            })?
+    };
+    Ok(ServerHandle {
+        addr,
+        stats,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serve one connection: keep-alive loop, one snapshot load per
+/// request.
+fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerStats) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // `Ok(None)` covers both clean close and an idle timeout before
+        // any byte of a request; a timeout (or garbage) mid-head is a
+        // client error and draws a 400.
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(_) => {
+                stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = api::error(400, "malformed request").write_to(&mut write_half, false);
+                break;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let snapshot = store.load();
+        let response = api::route(&req, &snapshot, stats);
+        match response.status {
+            304 => {
+                stats.not_modified.fetch_add(1, Ordering::Relaxed);
+            }
+            400..=499 => {
+                stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        let keep_alive = !req.wants_close();
+        if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+        // Subsequent requests on this connection get the short idle
+        // window; the worker frees up quickly if the client goes quiet.
+        let _ = reader.get_ref().set_read_timeout(Some(KEEP_ALIVE_IDLE));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Snapshot;
+    use std::io::Write;
+
+    fn tiny_snapshot(members: u32) -> Snapshot {
+        crate::testutil::snapshot_with(members, u64::from(members))
+    }
+
+    /// Send one raw request over a fresh connection; return (status,
+    /// body text) via the shared client-side parser.
+    fn raw_get(addr: SocketAddr, path: &str, close: bool) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let conn = if close { "Connection: close\r\n" } else { "" };
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n{conn}\r\n").unwrap();
+        let parts = crate::http::read_response(&mut BufReader::new(s)).unwrap();
+        (parts.status, String::from_utf8(parts.body).unwrap())
+    }
+
+    #[test]
+    fn serves_requests_and_counts_them() {
+        let store = crate::store::SnapshotStore::new(tiny_snapshot(3));
+        let mut server = spawn_server(store, "127.0.0.1:0", 2).unwrap();
+        let (status, text) = raw_get(server.addr, "/healthz", true);
+        assert_eq!(status, 200);
+        assert!(text.contains("\"status\": \"ok\""));
+        let (status, _) = raw_get(server.addr, "/nope", true);
+        assert_eq!(status, 404);
+        assert!(server.stats.requests() >= 2);
+        assert!(server.stats.client_errors() >= 1);
+        server.stop();
+        server.stop(); // idempotent
+    }
+
+    #[test]
+    fn refresh_is_visible_between_requests_on_one_connection() {
+        let store = crate::store::SnapshotStore::new(tiny_snapshot(2));
+        let mut server = spawn_server(Arc::clone(&store), "127.0.0.1:0", 2).unwrap();
+        let s = TcpStream::connect(server.addr).unwrap();
+        let mut writer = s.try_clone().unwrap();
+        let mut reader = BufReader::new(s);
+        let read_one = |reader: &mut BufReader<TcpStream>| {
+            let parts = crate::http::read_response(reader).unwrap();
+            String::from_utf8(parts.body).unwrap()
+        };
+        write!(writer, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let first = read_one(&mut reader);
+        assert!(first.contains("\"epoch\": 0"));
+        store.publish(tiny_snapshot(4));
+        write!(writer, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let second = read_one(&mut reader);
+        assert!(
+            second.contains("\"epoch\": 1"),
+            "same connection sees the new epoch: {second}"
+        );
+        // Release the keep-alive worker before joining the pool.
+        drop(writer);
+        drop(reader);
+        server.stop();
+    }
+}

@@ -1,0 +1,197 @@
+//! Immutable, versioned views of one inference run.
+//!
+//! A [`Snapshot`] owns everything a query needs — the link set, the
+//! [`LinkIndex`] built over it, IXP names, and run provenance — and is
+//! only ever shared as `Arc<Snapshot>`: once published it never
+//! mutates, so readers hold a consistent view for as long as they keep
+//! the `Arc`, across any number of store swaps.
+//!
+//! The **ETag is content-addressed**: a hash of the deterministic JSON
+//! rendering ([`mlpeer::report::to_json`], sorted keys) of the
+//! link set and announcement corpus. Two harvests that infer the same
+//! links produce the same ETag even across epochs and process restarts,
+//! so HTTP caches and `If-None-Match` revalidation survive refreshes
+//! that change nothing.
+
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+
+use mlpeer::hash::FxHasher;
+use mlpeer::index::LinkIndex;
+use mlpeer::infer::{MlpLinkSet, Observation};
+use mlpeer::passive::PassiveStats;
+use mlpeer::report;
+use mlpeer_bgp::Asn;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::Ecosystem;
+
+/// One immutable, indexed view of the inference results.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotone version, stamped by [`crate::SnapshotStore::publish`]
+    /// (the initial snapshot is epoch 0).
+    pub epoch: u64,
+    /// Content hash of the deterministic JSON of the link set and
+    /// announcements (no surrounding quotes; the HTTP layer adds them).
+    pub etag: String,
+    /// The scale word the run was generated at ("tiny", "small", …).
+    pub scale: String,
+    /// The run's RNG seed.
+    pub seed: u64,
+    /// IXP names, for human-readable responses.
+    pub names: BTreeMap<IxpId, String>,
+    /// The inferred link set.
+    pub links: MlpLinkSet,
+    /// O(result) query indexes over `links` and the announcements.
+    pub index: LinkIndex,
+    /// Observations the run folded (passive + active).
+    pub observation_count: usize,
+    /// Unique links across IXPs, precomputed once (the full
+    /// `unique_links()` collect is O(total links) — too hot to redo
+    /// per request).
+    pub unique_link_count: usize,
+    /// Distinct ASNs involved in any link, precomputed likewise.
+    pub distinct_asn_count: usize,
+    /// Passive-pipeline statistics of the producing harvest.
+    pub passive_stats: PassiveStats,
+}
+
+impl Snapshot {
+    /// Build a snapshot (index construction + ETag) from one pipeline
+    /// run's outputs. The epoch starts at 0; publishing through a
+    /// [`crate::SnapshotStore`] re-stamps it.
+    pub fn build(
+        scale: &str,
+        seed: u64,
+        names: BTreeMap<IxpId, String>,
+        links: MlpLinkSet,
+        observations: &[Observation],
+        passive_stats: PassiveStats,
+    ) -> Snapshot {
+        let index = LinkIndex::build(&links, observations);
+        let etag = content_etag(&links, observations);
+        let unique = links.unique_links();
+        let distinct_asn_count = unique
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect::<std::collections::BTreeSet<Asn>>()
+            .len();
+        Snapshot {
+            epoch: 0,
+            etag,
+            scale: scale.to_string(),
+            seed,
+            names,
+            links,
+            index,
+            observation_count: observations.len(),
+            unique_link_count: unique.len(),
+            distinct_asn_count,
+            passive_stats,
+        }
+    }
+
+    /// Convenience: names map from a generated ecosystem.
+    pub fn names_of(eco: &Ecosystem) -> BTreeMap<IxpId, String> {
+        eco.ixps.iter().map(|x| (x.id, x.name.clone())).collect()
+    }
+
+    /// Run the full inference pipeline over `eco` and snapshot the
+    /// result — the one-call path the binary, the refresher, and the
+    /// end-to-end tests share.
+    pub fn of_pipeline(eco: &Ecosystem, scale: mlpeer_bench::Scale, seed: u64) -> Snapshot {
+        let p = mlpeer_bench::run_pipeline(eco, seed);
+        Snapshot::build(
+            &format!("{scale:?}").to_lowercase(),
+            seed,
+            Snapshot::names_of(eco),
+            p.links,
+            &p.observations,
+            p.passive_stats,
+        )
+    }
+
+    /// The IXP's name, or a stable placeholder for unknown ids.
+    pub fn name(&self, ixp: IxpId) -> &str {
+        self.names.get(&ixp).map(String::as_str).unwrap_or("?")
+    }
+}
+
+/// The content hash behind the ETag: FxHash over the canonical JSON of
+/// the link set plus the deduplicated announcement corpus.
+fn content_etag(links: &MlpLinkSet, observations: &[Observation]) -> String {
+    let announcements: Vec<(String, u16, u32)> =
+        mlpeer::index::scan::announcements(links, observations)
+            .into_iter()
+            .map(|(p, ixp, asn)| (p.to_string(), ixp.0, asn.value()))
+            .collect();
+    let corpus = report::to_json(&(links, &announcements));
+    let mut h = FxHasher::default();
+    h.write(corpus.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer::passive::PassiveStats;
+
+    fn tiny_inputs() -> (MlpLinkSet, Vec<Observation>) {
+        crate::testutil::tiny_inputs(3)
+    }
+
+    #[test]
+    fn etag_is_content_addressed_and_stable() {
+        let (links, observations) = tiny_inputs();
+        let names: BTreeMap<IxpId, String> = [(IxpId(0), "DE-CIX".to_string())].into();
+        let a = Snapshot::build(
+            "tiny",
+            7,
+            names.clone(),
+            links.clone(),
+            &observations,
+            PassiveStats::default(),
+        );
+        let b = Snapshot::build(
+            "tiny",
+            7,
+            names.clone(),
+            links.clone(),
+            &observations,
+            PassiveStats::default(),
+        );
+        assert_eq!(a.etag, b.etag, "same content, same ETag");
+        assert_eq!(a.etag.len(), 16);
+
+        // Different content must change the ETag.
+        let fewer = Snapshot::build(
+            "tiny",
+            7,
+            names,
+            links,
+            &observations[..2],
+            PassiveStats::default(),
+        );
+        assert_ne!(a.etag, fewer.etag);
+    }
+
+    #[test]
+    fn snapshot_carries_consistent_counts() {
+        let (links, observations) = tiny_inputs();
+        let snap = Snapshot::build(
+            "tiny",
+            7,
+            [(IxpId(0), "DE-CIX".to_string())].into(),
+            links.clone(),
+            &observations,
+            PassiveStats::default(),
+        );
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.observation_count, 3);
+        assert_eq!(snap.index.links_total(), links.per_ixp_total());
+        assert_eq!(snap.name(IxpId(0)), "DE-CIX");
+        assert_eq!(snap.name(IxpId(9)), "?");
+        assert_eq!(snap.distinct_asn_count, 3);
+        assert_eq!(snap.unique_link_count, 3);
+    }
+}

@@ -98,6 +98,22 @@ impl InternetConfig {
             ..InternetConfig::default()
         }
     }
+
+    /// A half-scale configuration for serving/indexing benchmarks
+    /// (~3.3k ASes): big enough that linear scans visibly lose to
+    /// indexed lookups, small enough to build in seconds.
+    pub fn medium(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 10,
+            n_tier2: 100,
+            n_regional: 360,
+            n_content: 110,
+            n_stub: 2700,
+            sibling_families: 14,
+            ..InternetConfig::default()
+        }
+    }
 }
 
 /// A generated internet: the relationship graph plus each AS's

@@ -13,8 +13,21 @@
 use std::num::NonZeroUsize;
 
 /// Worker threads a parallel iterator will fan out across.
+///
+/// Defaults to the machine's available parallelism; the
+/// `MLPEER_THREADS` environment variable (a positive integer)
+/// overrides it, so experiment binaries and benches can pin the shard
+/// fan-out below "all cores" and record reproducible thread counts.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = env_threads() {
+        return n;
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The `MLPEER_THREADS` override, if set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("MLPEER_THREADS").ok()?.parse().ok().filter(|&n| n > 0)
 }
 
 /// Conversion into a by-reference parallel iterator.
@@ -131,6 +144,21 @@ mod tests {
         let parallel =
             words.par_iter().map(String::clone).reduce(String::new, |a, b| a + &b);
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn env_threads_parses_positive_integers_only() {
+        // Avoid mutating the process environment (other tests run in
+        // parallel); exercise the parse contract directly instead.
+        assert_eq!("4".parse::<usize>().ok().filter(|&n| n > 0), Some(4));
+        assert_eq!("0".parse::<usize>().ok().filter(|&n| n > 0), None);
+        assert_eq!("x".parse::<usize>().ok().filter(|&n| n > 0), None);
+        // Without the env var set, the override is absent and the
+        // fallback is at least one thread.
+        if std::env::var("MLPEER_THREADS").is_err() {
+            assert_eq!(super::env_threads(), None);
+        }
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]

@@ -74,6 +74,12 @@ impl Map {
     pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
         self.entries.iter().map(|(k, v)| (k, v))
     }
+
+    /// Consume the object, yielding owned entries in insertion order
+    /// (lets canonicalizers re-order without cloning subtrees).
+    pub fn into_entries(self) -> Vec<(String, Value)> {
+        self.entries
+    }
 }
 
 impl FromIterator<(String, Value)> for Map {
