@@ -1,0 +1,148 @@
+//! Live mode at `Scale::Medium`: per-event delta apply vs the full
+//! re-harvest a non-incremental refresher would pay, recorded to
+//! `BENCH_live.json`.
+//!
+//! The delta path measured here is the *entire* live loop per event —
+//! churn draw, ecosystem mutation, BGP rendering, community decode,
+//! incremental link maintenance — not just the inferencer fold.
+//! Equality with a from-scratch harvest of the evolved state is
+//! asserted before timing anything: a fast-but-divergent incremental
+//! path would be measuring the wrong thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlpeer::live::{decode_message, full_harvest, LiveInferencer};
+use mlpeer::{infer_links, report};
+use mlpeer_bench::Scale;
+use mlpeer_data::churn::{event_messages, ChurnConfig, ChurnGen};
+use mlpeer_ixp::Ecosystem;
+
+/// Apply one churn event end to end; returns how many links moved.
+fn apply_one(
+    eco: &mut Ecosystem,
+    gen: &mut ChurnGen,
+    li: &mut LiveInferencer,
+    clock: u64,
+) -> usize {
+    let event = gen.next_event(eco);
+    eco.apply_churn(&event);
+    let ixp = event.ixp();
+    let scheme = &eco.ixp(ixp).scheme;
+    let mut moved = 0;
+    for msg in event_messages(eco, &event, clock) {
+        for live_event in decode_message(ixp, scheme, &msg) {
+            let d = li.apply(&live_event);
+            moved += d.added.len() + d.removed.len();
+        }
+    }
+    moved
+}
+
+fn bench_live_churn(c: &mut Criterion) {
+    let seed = 20130501u64;
+    let churn_seed = 7u64;
+    let eco_scale = Scale::Medium;
+    eprintln!("# generating {eco_scale:?} ecosystem…");
+    let mut eco = Ecosystem::generate(eco_scale.config(seed));
+    let mut gen = ChurnGen::new(
+        &eco,
+        ChurnConfig {
+            seed: churn_seed,
+            ..ChurnConfig::default()
+        },
+    );
+    eprintln!("# bootstrapping live inferencer…");
+    let mut li = LiveInferencer::from_ecosystem(&eco);
+
+    // ---- Correctness gate: warm up with churn, then compare against a
+    // full recompute of the evolved state. ----
+    let mut clock = 0u64;
+    for _ in 0..100 {
+        apply_one(&mut eco, &mut gen, &mut li, clock);
+        clock += 1;
+    }
+    let (conn, obs) = full_harvest(&eco);
+    let expected = infer_links(&conn, &obs);
+    assert_eq!(
+        report::to_json(li.current()),
+        report::to_json(&expected),
+        "incremental state must match a from-scratch harvest before timing"
+    );
+
+    // ---- Delta path: one full live-loop event per iteration. ----
+    let mut group = c.benchmark_group("live_medium");
+    group.sample_size(10);
+    let mut moved_total = 0usize;
+    let mut events_benched = 0u64;
+    group.bench_function("delta_apply_event", |b| {
+        b.iter(|| {
+            moved_total += apply_one(&mut eco, &mut gen, &mut li, clock);
+            clock += 1;
+            events_benched += 1;
+            std::hint::black_box(li.event_count())
+        })
+    });
+    group.finish();
+    let delta_ns = take_estimate(c);
+
+    // ---- Baseline: what a non-incremental refresher re-runs per
+    // change — the full state harvest plus batch inference. ----
+    let mut group = c.benchmark_group("live_medium");
+    group.sample_size(10);
+    group.bench_function("full_reharvest", |b| {
+        b.iter(|| {
+            let (conn, obs) = full_harvest(&eco);
+            std::hint::black_box(infer_links(&conn, &obs).per_ixp_total())
+        })
+    });
+    group.finish();
+    let full_ns = take_estimate(c);
+
+    // The evolved state must still agree after all benched events.
+    let (conn, obs) = full_harvest(&eco);
+    assert_eq!(
+        report::to_json(li.current()),
+        report::to_json(&infer_links(&conn, &obs)),
+        "incremental state diverged during the bench"
+    );
+
+    let speedup = full_ns / delta_ns;
+    let events_per_sec = 1e9 / delta_ns;
+    assert!(
+        speedup >= 5.0,
+        "delta apply must beat a full re-harvest by ≥5× at Medium \
+         (measured {speedup:.1}×)"
+    );
+
+    let report = serde_json::json!({
+        "bench": "live churn: incremental delta apply vs full re-harvest",
+        "scale": "medium",
+        "seed": seed,
+        "churn_seed": churn_seed,
+        "ixps": eco.ixps.len(),
+        "rs_members": eco.all_rs_member_asns().len(),
+        "unique_links": li.current().unique_links().len(),
+        "events_benched": events_benched,
+        "links_moved": moved_total,
+        "delta_apply_us_per_event": delta_ns / 1e3,
+        "events_per_sec": events_per_sec,
+        "full_reharvest_ms": full_ns / 1e6,
+        "speedup": speedup,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_live.json");
+    println!(
+        "delta {:.1} us/event ({events_per_sec:.0} events/s), full re-harvest {:.1} ms: \
+         {speedup:.0}x → wrote {path}",
+        delta_ns / 1e3,
+        full_ns / 1e6,
+    );
+}
+
+fn take_estimate(c: &Criterion) -> f64 {
+    c.last_estimate_ns().expect("bench just ran")
+}
+
+criterion_group!(benches, bench_live_churn);
+criterion_main!(benches);

@@ -2,10 +2,13 @@
 //!
 //! Wires the full reproduction pipeline together: generate the
 //! calibrated ecosystem, build every data-source substrate, run the
-//! passive and active inference stages, and hand the results to the
-//! per-figure analyses. The `experiments` binary renders every table
-//! and figure of the paper; `benches/benches.rs` holds the Criterion
-//! micro/macro benchmarks.
+//! passive and active inference stages (§4.1–§4.3), and hand the
+//! results to the per-figure analyses (§5). The `experiments` binary
+//! renders every table and figure of the paper; the Criterion benches
+//! are `benches/benches.rs` (codecs, RS engine, planner, pipeline),
+//! `benches/passive_sharding.rs` (serial vs sharded harvest →
+//! `BENCH_passive.json`) and `benches/live_churn.rs` (live-mode delta
+//! apply vs full re-harvest → `BENCH_live.json`).
 
 use std::collections::BTreeSet;
 

@@ -1,7 +1,7 @@
 //! Error types for the BGP substrate.
 //!
 //! Errors are hand-rolled enums (no `thiserror`) to keep the dependency
-//! budget at the workspace's allowed set; see `DESIGN.md` §4.
+//! budget at the workspace's allowed set (see `vendor/README.md`).
 
 use std::fmt;
 

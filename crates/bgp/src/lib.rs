@@ -23,6 +23,9 @@
 //!   routing data.
 //! * [`mrt`] — an MRT-inspired archive format for collector RIB dumps
 //!   and update streams, mirroring what Route Views / RIPE RIS publish.
+//! * [`stream`] — time-stepped BGP message streams ([`stream::TimedMessage`],
+//!   [`stream::UpdateStream`]) carrying the OPEN/UPDATE/NOTIFICATION
+//!   traffic live mode folds incrementally (member churn, §5.1).
 //!
 //! The crate is deliberately synchronous and allocation-conscious: the
 //! workload is CPU-bound analysis of in-memory routing tables, which the
@@ -39,6 +42,7 @@ pub mod mrt;
 pub mod prefix;
 pub mod rib;
 pub mod route;
+pub mod stream;
 pub mod update;
 pub mod wire;
 

@@ -1,5 +1,5 @@
 //! Property-based tests for the BGP substrate: codec round-trips and
-//! RIB invariants, following the DESIGN.md testing strategy.
+//! RIB invariants.
 //!
 //! Originally written with `proptest`; the offline build has no
 //! registry, so the same properties run as seeded randomized-input

@@ -26,8 +26,20 @@
 //!         validation via public LGs [validate] · analyses [analysis]
 //! ```
 //!
-//! Every module maps to a paper section; see `DESIGN.md` for the full
-//! experiment index.
+//! [`live`] is the pipeline's incremental counterpart: it folds a
+//! time-stepped BGP session stream (member churn, filter retunes,
+//! announce/withdraw) with *retraction*, keeping the link set
+//! byte-identical to a from-scratch harvest of the evolving state.
+//!
+//! Module → paper-section map: [`connectivity`] §4 (who sessions with
+//! each RS), [`dict`] §4.2 (community dictionary + IXP
+//! identification), [`passive`] §4.2 (archive mining, setter
+//! pin-pointing), [`active`] §4.1/§4.3 (LG querying and its economics),
+//! [`infer`] §4.1 steps 4–5 (export reach + reciprocal links),
+//! [`live`] the §5.1-churn-driven incremental variant, [`validate`]
+//! §5.1, [`reciprocity`] §4.4, [`analysis`] §5; [`index`], [`sink`],
+//! [`hash`] and [`report`] are serving/engineering substrate. The
+//! repo-wide architecture lives in `docs/ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +51,7 @@ pub mod dict;
 pub mod hash;
 pub mod index;
 pub mod infer;
+pub mod live;
 pub mod passive;
 pub mod reciprocity;
 pub mod report;
@@ -49,4 +62,5 @@ pub use connectivity::{ConnSource, ConnectivityData};
 pub use dict::CommunityDictionary;
 pub use index::{LinkIndex, PrefixMatches, PrefixTrie};
 pub use infer::{infer_links, LinkInferencer, MlpLinkSet, Observation, ObservationSource};
+pub use live::{decode_message, full_harvest, LinkDelta, LiveEvent, LiveInferencer};
 pub use sink::{CountingSink, MergeSink, ObservationSink};

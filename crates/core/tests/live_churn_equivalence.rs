@@ -1,0 +1,131 @@
+//! The live-mode correctness anchor, property-tested over random churn
+//! schedules: after ANY event sequence, the incrementally-maintained
+//! link set is byte-identical (same deterministic JSON) to a
+//! from-scratch harvest of the final ecosystem state, and the reported
+//! deltas compose exactly from one checkpoint to the next.
+//!
+//! The full loop under test is the real live path, end to end:
+//! churn event → ecosystem mutation → BGP rendering (OPEN / UPDATE
+//! with community-encoded filters / NOTIFICATION) → community decode →
+//! incremental apply. Nothing is short-circuited.
+
+use std::collections::BTreeSet;
+
+use mlpeer::live::{decode_message, full_harvest, LiveInferencer};
+use mlpeer::{infer_links, report};
+use mlpeer_bgp::Asn;
+use mlpeer_data::churn::{event_messages, ChurnConfig, ChurnGen};
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+/// Flatten a link set for delta-composition checks.
+fn flat(links: &mlpeer::MlpLinkSet) -> BTreeSet<(IxpId, Asn, Asn)> {
+    links
+        .per_ixp
+        .iter()
+        .flat_map(|(ixp, set)| set.iter().map(move |&(a, b)| (*ixp, a, b)))
+        .collect()
+}
+
+fn run_schedule(eco_seed: u64, churn_seed: u64, events: usize, checkpoint_every: usize) {
+    let mut eco = Ecosystem::generate(EcosystemConfig::tiny(eco_seed));
+    let mut gen = ChurnGen::new(
+        &eco,
+        ChurnConfig {
+            seed: churn_seed,
+            ..ChurnConfig::default()
+        },
+    );
+    let mut li = LiveInferencer::from_ecosystem(&eco);
+
+    // Delta mirror: applying every reported delta to the bootstrap
+    // links must track the maintained set exactly.
+    let mut mirror = flat(li.current());
+    let mut deltas_seen = 0usize;
+
+    for step in 0..events {
+        let event = gen.next_event(&eco);
+        assert!(eco.apply_churn(&event), "step {step}: invalid {event:?}");
+        let ixp = event.ixp();
+        let scheme = &eco.ixp(ixp).scheme;
+        for msg in event_messages(&eco, &event, step as u64) {
+            for live_event in decode_message(ixp, scheme, &msg) {
+                let delta = li.apply(&live_event);
+                deltas_seen += delta.added.len() + delta.removed.len();
+                for l in &delta.removed {
+                    assert!(mirror.remove(l), "step {step}: removed absent link {l:?}");
+                }
+                for l in &delta.added {
+                    assert!(mirror.insert(*l), "step {step}: re-added link {l:?}");
+                }
+            }
+        }
+
+        if (step + 1) % checkpoint_every == 0 || step + 1 == events {
+            let (conn, obs) = full_harvest(&eco);
+            let expected = infer_links(&conn, &obs);
+            assert_eq!(
+                report::to_json(li.current()),
+                report::to_json(&expected),
+                "step {step}: incremental state diverged from a \
+                 from-scratch harvest of the final state"
+            );
+            assert_eq!(
+                mirror,
+                flat(li.current()),
+                "step {step}: deltas do not compose to the current set"
+            );
+        }
+    }
+    assert!(
+        deltas_seen > 0,
+        "a {events}-event schedule must move at least one link"
+    );
+}
+
+#[test]
+fn incremental_matches_full_recompute_over_random_churn() {
+    // Several (ecosystem, schedule) draws; checkpoints along the way
+    // catch divergence early, the final checkpoint is the criterion.
+    run_schedule(2024, 1, 300, 50);
+    run_schedule(2025, 2, 300, 50);
+    run_schedule(7, 3, 150, 25);
+}
+
+#[test]
+fn churn_heavy_on_membership() {
+    // A join/leave-dominated schedule stresses retraction and
+    // session-reset semantics.
+    let mut eco = Ecosystem::generate(EcosystemConfig::tiny(99));
+    let mut gen = ChurnGen::new(
+        &eco,
+        ChurnConfig {
+            seed: 9,
+            w_join: 5,
+            w_leave: 5,
+            w_policy: 1,
+            w_originate: 1,
+            w_withdraw: 1,
+            ..ChurnConfig::default()
+        },
+    );
+    let mut li = LiveInferencer::from_ecosystem(&eco);
+    for step in 0..200 {
+        let event = gen.next_event(&eco);
+        assert!(eco.apply_churn(&event));
+        let ixp = event.ixp();
+        let scheme = &eco.ixp(ixp).scheme;
+        for msg in event_messages(&eco, &event, step as u64) {
+            for live_event in decode_message(ixp, scheme, &msg) {
+                li.apply(&live_event);
+            }
+        }
+    }
+    let (conn, obs) = full_harvest(&eco);
+    let expected = infer_links(&conn, &obs);
+    assert_eq!(
+        report::to_json(li.current()),
+        report::to_json(&expected),
+        "membership-churn-heavy schedule diverged"
+    );
+}

@@ -1,0 +1,600 @@
+//! The seeded churn model: a valid, deterministic event schedule over a
+//! live ecosystem, rendered as real BGP session traffic.
+//!
+//! [`ChurnGen`] draws one [`ChurnEvent`] at a time, always valid
+//! against the ecosystem state it is shown — members only leave if
+//! present, withdraw only what they announce, joiners come from the
+//! internet substrate. The caller owns the loop:
+//!
+//! 1. `let event = gen.next_event(&eco);`
+//! 2. `eco.apply_churn(&event);`
+//! 3. `let msgs = event_messages(&eco, &event, t);` — the BGP rendering
+//!    (OPEN on join, NOTIFICATION Cease on leave, UPDATEs carrying the
+//!    *new* community-encoded filters on every announce/retune), on
+//!    [`mlpeer_bgp::stream`] types.
+//!
+//! Step 3 reads the *post-apply* state on purpose: the communities on
+//! the wire are whatever the member's (new) effective policy encodes,
+//! and a freshly-joined 32-bit member already has its private 16-bit
+//! alias registered (§3). Everything downstream — the live decoder in
+//! `mlpeer::live` — sees only these messages, exactly like a collector
+//! peered with the route server.
+
+use mlpeer_bgp::stream::{TimedMessage, UpdateStream};
+use mlpeer_bgp::update::{BgpMessage, NotificationCode, UpdateMessage};
+use mlpeer_bgp::{AsPath, Asn, Prefix, RouteAttrs};
+use mlpeer_ixp::churn::ChurnEvent;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::member::{IxpMember, MemberAnnouncement};
+use mlpeer_ixp::policy::ExportPolicy;
+use mlpeer_ixp::route_server::RouteServer;
+use mlpeer_ixp::Ecosystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative weights and knobs of the churn model.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// RNG seed; the schedule is a pure function of (seed, ecosystem).
+    pub seed: u64,
+    /// Weight of member joins.
+    pub w_join: u32,
+    /// Weight of member leaves.
+    pub w_leave: u32,
+    /// Weight of export-policy retunes (the dominant real-world event:
+    /// filters change far more often than memberships).
+    pub w_policy: u32,
+    /// Weight of new prefix originations.
+    pub w_originate: u32,
+    /// Weight of prefix withdrawals.
+    pub w_withdraw: u32,
+    /// Max own-prefix announcements a joiner brings.
+    pub joiner_prefixes: usize,
+    /// Leaves are suppressed when an IXP would drop below this many
+    /// members (keeps tiny test ecosystems non-degenerate).
+    pub min_members: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            seed: 0,
+            w_join: 1,
+            w_leave: 1,
+            w_policy: 5,
+            w_originate: 3,
+            w_withdraw: 3,
+            joiner_prefixes: 4,
+            min_members: 2,
+        }
+    }
+}
+
+/// The seeded churn generator. Create once per run; feed it the
+/// *current* ecosystem each call and apply what it returns.
+#[derive(Debug)]
+pub struct ChurnGen {
+    cfg: ChurnConfig,
+    rng: StdRng,
+    /// Every AS in the internet substrate (the join candidate pool).
+    universe: Vec<Asn>,
+    /// Counter for synthetic originations (unique across the run).
+    fresh_prefix: u32,
+}
+
+impl ChurnGen {
+    /// A generator over `eco`'s internet substrate.
+    pub fn new(eco: &Ecosystem, cfg: ChurnConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0x6c69_7665);
+        let universe: Vec<Asn> = eco.internet.graph.nodes().map(|n| n.asn).collect();
+        ChurnGen {
+            cfg,
+            rng,
+            universe,
+            fresh_prefix: 0,
+        }
+    }
+
+    /// Draw the next event, valid against `eco`'s current state. The
+    /// caller must `eco.apply_churn(&event)` before the next call, or
+    /// later draws may become invalid.
+    pub fn next_event(&mut self, eco: &Ecosystem) -> ChurnEvent {
+        // A few rolls to find a kind that has a valid target at the
+        // rolled IXP; policy retunes are the always-possible fallback.
+        for _ in 0..16 {
+            let ixp = IxpId(self.rng.gen_range(0..eco.ixps.len()) as u16);
+            let mut weights = [
+                self.cfg.w_join,
+                self.cfg.w_leave,
+                self.cfg.w_policy,
+                self.cfg.w_originate,
+                self.cfg.w_withdraw,
+            ];
+            let mut total: u32 = weights.iter().sum();
+            if total == 0 {
+                // All-zero weights would make gen_range(0..0) panic;
+                // treat the degenerate config as "every kind equally".
+                weights = [1; 5];
+                total = 5;
+            }
+            let mut roll = self.rng.gen_range(0..total);
+            let mut kind = weights.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if roll < *w {
+                    kind = i;
+                    break;
+                }
+                roll -= w;
+            }
+            let event = match kind {
+                0 => self.gen_join(eco, ixp),
+                1 => self.gen_leave(eco, ixp),
+                2 => self.gen_policy(eco, ixp),
+                3 => self.gen_originate(eco, ixp),
+                _ => self.gen_withdraw(eco, ixp),
+            };
+            if let Some(e) = event {
+                return e;
+            }
+        }
+        // Degenerate ecosystem (no RS members anywhere with data, or
+        // rejection sampling kept colliding): synthesize a join
+        // deterministically — scan the universe for any AS that is not
+        // yet a member of some IXP. A panic here would silently kill
+        // the live refresher thread, so exhaust every option first.
+        for ixp_idx in 0..eco.ixps.len() {
+            let ixp = IxpId(ixp_idx as u16);
+            let joiner = self
+                .universe
+                .iter()
+                .find(|a| eco.ixp(ixp).member(**a).is_none())
+                .copied();
+            if let Some(asn) = joiner {
+                return ChurnEvent::Join {
+                    ixp,
+                    member: self.make_joiner(eco, ixp, asn),
+                };
+            }
+        }
+        // Every AS in the universe is a member of every IXP: the only
+        // always-valid event left is a fresh origination by an RS
+        // member. Only an ecosystem with no joinable AS *and* no RS
+        // session anywhere is truly unchurnable.
+        self.gen_originate(eco, IxpId(0))
+            .expect("no joinable AS and no RS member anywhere: ecosystem cannot churn")
+    }
+
+    fn pick_rs_member(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<Asn> {
+        let members = eco.ixp(ixp).rs_member_asns();
+        if members.is_empty() {
+            return None;
+        }
+        Some(members[self.rng.gen_range(0..members.len())])
+    }
+
+    /// The one place a joiner's member record is assembled — both the
+    /// weighted join path and the deterministic fallback go through it,
+    /// so the joiner shape can never drift between them.
+    fn make_joiner(&mut self, eco: &Ecosystem, ixp: IxpId, asn: Asn) -> IxpMember {
+        let x = eco.ixp(ixp);
+        let lan_base = u32::from(x.lan.network());
+        let addr = std::net::Ipv4Addr::from(lan_base + 600 + (self.rng.gen_range(0..300u32)));
+        let mut member = IxpMember::new(asn, addr);
+        member.explicit_all = !self.rng.gen_bool(0.25);
+        member.export = self.gen_export(eco, ixp, asn);
+        member.announcements = eco
+            .internet
+            .prefixes_of(asn)
+            .iter()
+            .take(self.cfg.joiner_prefixes)
+            .map(|p| MemberAnnouncement {
+                prefix: *p,
+                as_path: AsPath::from_seq([asn]),
+            })
+            .collect();
+        member
+    }
+
+    fn gen_join(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<ChurnEvent> {
+        let x = eco.ixp(ixp);
+        // Rejection-sample a non-member from the universe.
+        for _ in 0..32 {
+            let asn = self.universe[self.rng.gen_range(0..self.universe.len())];
+            if x.member(asn).is_some() {
+                continue;
+            }
+            return Some(ChurnEvent::Join {
+                ixp,
+                member: self.make_joiner(eco, ixp, asn),
+            });
+        }
+        None
+    }
+
+    fn gen_leave(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<ChurnEvent> {
+        let x = eco.ixp(ixp);
+        if x.member_count() <= self.cfg.min_members {
+            return None;
+        }
+        let members = x.member_asns();
+        let asn = members[self.rng.gen_range(0..members.len())];
+        Some(ChurnEvent::Leave { ixp, asn })
+    }
+
+    fn gen_policy(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<ChurnEvent> {
+        let asn = self.pick_rs_member(eco, ixp)?;
+        let policy = self.gen_export(eco, ixp, asn);
+        Some(ChurnEvent::SetExportPolicy { ixp, asn, policy })
+    }
+
+    fn gen_originate(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<ChurnEvent> {
+        let asn = self.pick_rs_member(eco, ixp)?;
+        // A synthetic /24 counted up from 198.18.0.0 (benchmarking
+        // space), unique across the run, so origination is always
+        // valid. Addition, not OR: the counter must carry into the
+        // second octet once it outgrows the third.
+        self.fresh_prefix += 1;
+        let addr = 0xC612_0000u32 + (self.fresh_prefix << 8);
+        let prefix = Prefix::from_u32(addr, 24).expect("valid /24");
+        Some(ChurnEvent::Originate {
+            ixp,
+            asn,
+            announcement: MemberAnnouncement {
+                prefix,
+                as_path: AsPath::from_seq([asn]),
+            },
+        })
+    }
+
+    fn gen_withdraw(&mut self, eco: &Ecosystem, ixp: IxpId) -> Option<ChurnEvent> {
+        let asn = self.pick_rs_member(eco, ixp)?;
+        let m = eco.ixp(ixp).member(asn)?;
+        if m.announcements.is_empty() {
+            return None;
+        }
+        let prefix = m.announcements[self.rng.gen_range(0..m.announcements.len())].prefix;
+        Some(ChurnEvent::Withdraw { ixp, asn, prefix })
+    }
+
+    /// A fresh export policy in the bimodal shape of Fig. 11: mostly
+    /// open, EXCLUDE lists next, INCLUDE lists for the selective tail.
+    fn gen_export(&mut self, eco: &Ecosystem, ixp: IxpId, asn: Asn) -> ExportPolicy {
+        let others: Vec<Asn> = eco
+            .ixp(ixp)
+            .rs_member_asns()
+            .into_iter()
+            .filter(|&a| a != asn)
+            .collect();
+        if others.is_empty() {
+            return ExportPolicy::AllMembers;
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.55 {
+            ExportPolicy::AllMembers
+        } else if roll < 0.85 {
+            let n = self.rng.gen_range(1..=3.min(others.len()));
+            let ex = (0..n)
+                .map(|_| others[self.rng.gen_range(0..others.len())])
+                .collect();
+            ExportPolicy::AllExcept(ex)
+        } else {
+            let n = self.rng.gen_range(1..=4.min(others.len()));
+            let inc = (0..n)
+                .map(|_| others[self.rng.gen_range(0..others.len())])
+                .collect();
+            ExportPolicy::OnlyTo(inc)
+        }
+    }
+}
+
+/// Render one *already-applied* churn event as the BGP messages the
+/// route server's session would carry at time `at`:
+///
+/// * `Join` → OPEN, then one UPDATE per announcement (communities
+///   encoding the joiner's effective filter per prefix);
+/// * `Leave` → NOTIFICATION Cease;
+/// * `SetExportPolicy` → a full re-announce of every prefix with the
+///   new communities (how a real retune propagates: BGP has no
+///   "policy changed" message, only implicit-withdraw replacement);
+/// * `Originate` → one UPDATE announce;
+/// * `Withdraw` → one UPDATE withdraw.
+///
+/// Non-RS members produce no messages beyond session lifecycle: they
+/// have no RS session to announce over.
+pub fn event_messages(eco: &Ecosystem, event: &ChurnEvent, at: u64) -> UpdateStream {
+    let ixp = eco.ixp(event.ixp());
+    let mut out = UpdateStream::new();
+    match event {
+        ChurnEvent::Join { member, .. } => {
+            out.push(TimedMessage::new(
+                at,
+                member.asn,
+                BgpMessage::Open {
+                    asn: member.asn,
+                    hold_time: 90,
+                    router_id: member.lan_addr,
+                },
+            ));
+            if member.rs_member {
+                for ann in &member.announcements {
+                    out.push(announce(ixp, member, &ann.prefix, &ann.as_path, at));
+                }
+            }
+        }
+        ChurnEvent::Leave { asn, .. } => {
+            out.push(TimedMessage::new(
+                at,
+                *asn,
+                BgpMessage::Notification {
+                    code: NotificationCode::Cease,
+                    subcode: 0,
+                },
+            ));
+        }
+        ChurnEvent::SetExportPolicy { asn, .. } => {
+            if let Some(m) = ixp.member(*asn) {
+                if m.rs_member {
+                    for ann in &m.announcements {
+                        out.push(announce(ixp, m, &ann.prefix, &ann.as_path, at));
+                    }
+                }
+            }
+        }
+        ChurnEvent::Originate {
+            asn, announcement, ..
+        } => {
+            if let Some(m) = ixp.member(*asn) {
+                if m.rs_member {
+                    out.push(announce(
+                        ixp,
+                        m,
+                        &announcement.prefix,
+                        &announcement.as_path,
+                        at,
+                    ));
+                }
+            }
+        }
+        ChurnEvent::Withdraw { asn, prefix, .. } => {
+            if let Some(m) = ixp.member(*asn) {
+                if m.rs_member {
+                    out.push(TimedMessage::new(
+                        at,
+                        *asn,
+                        BgpMessage::Update(UpdateMessage::withdraw(vec![*prefix])),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn announce(
+    ixp: &mlpeer_ixp::Ixp,
+    member: &IxpMember,
+    prefix: &Prefix,
+    as_path: &AsPath,
+    at: u64,
+) -> TimedMessage {
+    let communities = RouteServer::communities_for(member, prefix, &ixp.scheme);
+    let attrs = RouteAttrs::new(as_path.clone(), member.lan_addr).with_communities(communities);
+    TimedMessage::new(
+        at,
+        member.asn,
+        BgpMessage::Update(UpdateMessage::announce(attrs, vec![*prefix])),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_ixp::EcosystemConfig;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(17))
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_valid() {
+        let mut a = eco();
+        let mut b = eco();
+        let mut gen_a = ChurnGen::new(&a, ChurnConfig::default());
+        let mut gen_b = ChurnGen::new(&b, ChurnConfig::default());
+        for step in 0..200 {
+            let ea = gen_a.next_event(&a);
+            let eb = gen_b.next_event(&b);
+            assert_eq!(ea, eb, "step {step}: same seed, same schedule");
+            assert!(a.apply_churn(&ea), "step {step}: {ea:?} must be valid");
+            assert!(b.apply_churn(&eb));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut e1 = eco();
+        let mut g1 = ChurnGen::new(
+            &e1,
+            ChurnConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let mut e2 = eco();
+        let mut g2 = ChurnGen::new(
+            &e2,
+            ChurnConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let mut same = 0;
+        for _ in 0..30 {
+            let a = g1.next_event(&e1);
+            let b = g2.next_event(&e2);
+            if a == b {
+                same += 1;
+            }
+            e1.apply_churn(&a);
+            e2.apply_churn(&b);
+        }
+        assert!(same < 30, "schedules must depend on the seed");
+    }
+
+    #[test]
+    fn all_event_kinds_appear() {
+        let mut e = eco();
+        let mut g = ChurnGen::new(&e, ChurnConfig::default());
+        let mut kinds = [0usize; 5];
+        for _ in 0..400 {
+            let ev = g.next_event(&e);
+            let k = match ev {
+                ChurnEvent::Join { .. } => 0,
+                ChurnEvent::Leave { .. } => 1,
+                ChurnEvent::SetExportPolicy { .. } => 2,
+                ChurnEvent::Originate { .. } => 3,
+                ChurnEvent::Withdraw { .. } => 4,
+            };
+            kinds[k] += 1;
+            assert!(e.apply_churn(&ev));
+        }
+        for (k, n) in kinds.iter().enumerate() {
+            assert!(*n > 0, "event kind {k} never generated in 400 draws");
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform_instead_of_panicking() {
+        // ChurnConfig fields are public; a degenerate all-zero config
+        // must not panic the live refresher thread via gen_range(0..0).
+        let mut e = eco();
+        let mut g = ChurnGen::new(
+            &e,
+            ChurnConfig {
+                seed: 4,
+                w_join: 0,
+                w_leave: 0,
+                w_policy: 0,
+                w_originate: 0,
+                w_withdraw: 0,
+                ..ChurnConfig::default()
+            },
+        );
+        for step in 0..50 {
+            let ev = g.next_event(&e);
+            assert!(e.apply_churn(&ev), "step {step}: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn originated_prefixes_stay_unique_past_the_octet_boundary() {
+        // The synthetic counter must carry into the second octet: an
+        // OR-assembled address would repeat every 512 originations and
+        // make `apply_churn` reject the duplicate.
+        let mut e = eco();
+        let mut g = ChurnGen::new(
+            &e,
+            ChurnConfig {
+                seed: 1,
+                w_join: 0,
+                w_leave: 0,
+                w_policy: 0,
+                w_originate: 1,
+                w_withdraw: 0,
+                ..ChurnConfig::default()
+            },
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for step in 0..600 {
+            let ev = g.next_event(&e);
+            let ChurnEvent::Originate { announcement, .. } = &ev else {
+                panic!("only originates are weighted");
+            };
+            assert!(
+                seen.insert(announcement.prefix),
+                "step {step}: duplicate synthetic prefix {}",
+                announcement.prefix
+            );
+            assert!(e.apply_churn(&ev), "step {step}: originate rejected");
+        }
+    }
+
+    #[test]
+    fn rendering_matches_event_semantics() {
+        let mut e = eco();
+        let mut g = ChurnGen::new(&e, ChurnConfig::default());
+        let mut saw_open = false;
+        let mut saw_cease = false;
+        let mut saw_announce = false;
+        let mut saw_withdraw = false;
+        for t in 0..400u64 {
+            let ev = g.next_event(&e);
+            assert!(e.apply_churn(&ev));
+            for m in event_messages(&e, &ev, t) {
+                assert_eq!(m.at, t);
+                assert_eq!(m.from, ev.asn());
+                match &m.msg {
+                    BgpMessage::Open { asn, .. } => {
+                        assert_eq!(*asn, ev.asn());
+                        saw_open = true;
+                    }
+                    BgpMessage::Notification { code, .. } => {
+                        assert_eq!(*code, NotificationCode::Cease);
+                        saw_cease = true;
+                    }
+                    BgpMessage::Update(u) => {
+                        if !u.nlri.is_empty() {
+                            saw_announce = true;
+                            // The announced path's first hop is the
+                            // speaker itself.
+                            let attrs = u.attrs.as_ref().expect("announce carries attrs");
+                            assert_eq!(attrs.as_path.first_hop(), Some(ev.asn()));
+                        }
+                        if !u.withdrawn.is_empty() {
+                            saw_withdraw = true;
+                        }
+                        assert!(!u.is_empty());
+                    }
+                    BgpMessage::Keepalive => panic!("churn never renders keepalives"),
+                }
+            }
+        }
+        assert!(saw_open && saw_cease && saw_announce && saw_withdraw);
+    }
+
+    #[test]
+    fn policy_retune_reannounces_with_new_communities() {
+        let mut e = eco();
+        let ixp = IxpId(0);
+        let asn = e.ixp(ixp).rs_member_asns()[0];
+        let other = e.ixp(ixp).rs_member_asns()[1];
+        let ev = ChurnEvent::SetExportPolicy {
+            ixp,
+            asn,
+            policy: ExportPolicy::AllExcept([other].into_iter().collect()),
+        };
+        assert!(e.apply_churn(&ev));
+        let msgs = event_messages(&e, &ev, 9);
+        let n_prefixes = e.ixp(ixp).member(asn).unwrap().announcements.len();
+        assert_eq!(msgs.len(), n_prefixes, "one re-announce per prefix");
+        // Every re-announce carries the EXCLUDE community for `other`
+        // (no per-prefix override shadows a freshly-set default here
+        // only if none existed; check at least one does).
+        let scheme = &e.ixp(ixp).scheme;
+        let decoded: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match &m.msg {
+                BgpMessage::Update(u) => u.attrs.as_ref(),
+                _ => None,
+            })
+            .flat_map(|a| a.communities.iter())
+            .filter_map(|c| scheme.decode(c))
+            .collect();
+        assert!(
+            decoded
+                .iter()
+                .any(|a| matches!(a, mlpeer_ixp::scheme::RsAction::Exclude(x) if *x == other)),
+            "retune must put the new EXCLUDE on the wire: {decoded:?}"
+        );
+    }
+}

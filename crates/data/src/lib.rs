@@ -26,10 +26,15 @@
 //!   artifact that route-server links appear as member–RS-ASN links.
 //! * [`geo`] — MaxMind-style prefix geolocation for the validation
 //!   campaign's geographically diverse prefix picks (§5.1).
+//! * [`churn`] — the seeded churn model for live mode: valid
+//!   join/leave/retune/originate/withdraw schedules over a mutable
+//!   ecosystem, rendered as the BGP session traffic
+//!   ([`mlpeer_bgp::stream`]) the incremental inferencer consumes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod collector;
 pub mod geo;
 pub mod irr;

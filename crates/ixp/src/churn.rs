@@ -1,0 +1,294 @@
+//! Membership and policy churn: the ecosystem as a *moving* target.
+//!
+//! The paper harvests one frozen snapshot of every route server; the
+//! real ecosystem never holds still — members join and leave route
+//! servers (the session churn §5.1 had to filter out of the validation
+//! window), retune their community-encoded export filters, and
+//! originate or retire prefixes. A [`ChurnEvent`] is one such atomic
+//! change; [`Ecosystem::apply_churn`] applies it to the mutable
+//! ecosystem state, keeping every derived invariant (scheme alias
+//! registration, membership maps) intact.
+//!
+//! The seeded *generator* of valid event schedules lives in
+//! `mlpeer_data::churn` (it needs the internet substrate to draw
+//! joiners and prefixes from); the BGP rendering of each event — OPEN,
+//! UPDATE announce/withdraw, NOTIFICATION Cease — also lives there, on
+//! `mlpeer_bgp::stream` types.
+
+use mlpeer_bgp::{Asn, Prefix};
+use serde::Serialize;
+
+use crate::ecosystem::Ecosystem;
+use crate::ixp::IxpId;
+use crate::member::{IxpMember, MemberAnnouncement};
+use crate::policy::ExportPolicy;
+
+/// One atomic change to the ecosystem's route-server state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ChurnEvent {
+    /// A new member sessions with the route server (carries the full
+    /// member record: LAN address, initial policy, announcements).
+    Join {
+        /// The IXP joined.
+        ixp: IxpId,
+        /// The complete member record.
+        member: IxpMember,
+    },
+    /// A member tears its RS session down and leaves the IXP.
+    Leave {
+        /// The IXP left.
+        ixp: IxpId,
+        /// The leaving member.
+        asn: Asn,
+    },
+    /// A member replaces its default export policy (re-announcing every
+    /// prefix with the new community set, as a real retune does).
+    SetExportPolicy {
+        /// The IXP whose RS session is retuned.
+        ixp: IxpId,
+        /// The member retuning.
+        asn: Asn,
+        /// The new default export policy.
+        policy: ExportPolicy,
+    },
+    /// A member starts announcing one more prefix.
+    Originate {
+        /// The IXP announced at.
+        ixp: IxpId,
+        /// The announcing member.
+        asn: Asn,
+        /// The new announcement.
+        announcement: MemberAnnouncement,
+    },
+    /// A member withdraws one announced prefix.
+    Withdraw {
+        /// The IXP withdrawn at.
+        ixp: IxpId,
+        /// The withdrawing member.
+        asn: Asn,
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+}
+
+impl ChurnEvent {
+    /// The IXP the event happens at.
+    pub fn ixp(&self) -> IxpId {
+        match self {
+            ChurnEvent::Join { ixp, .. }
+            | ChurnEvent::Leave { ixp, .. }
+            | ChurnEvent::SetExportPolicy { ixp, .. }
+            | ChurnEvent::Originate { ixp, .. }
+            | ChurnEvent::Withdraw { ixp, .. } => *ixp,
+        }
+    }
+
+    /// The member the event concerns.
+    pub fn asn(&self) -> Asn {
+        match self {
+            ChurnEvent::Join { member, .. } => member.asn,
+            ChurnEvent::Leave { asn, .. }
+            | ChurnEvent::SetExportPolicy { asn, .. }
+            | ChurnEvent::Originate { asn, .. }
+            | ChurnEvent::Withdraw { asn, .. } => *asn,
+        }
+    }
+}
+
+impl Ecosystem {
+    /// Apply one churn event to the mutable ecosystem state. Returns
+    /// `false` (and changes nothing) when the event is invalid against
+    /// the current state — joining an existing member, leaving or
+    /// retuning an unknown one, withdrawing a prefix that is not
+    /// announced, originating a duplicate.
+    ///
+    /// A `Join` registers the member in the IXP's community scheme (so
+    /// 32-bit ASNs get their private 16-bit alias, §3) before
+    /// inserting; a `Leave` keeps the alias — real IXPs do not recycle
+    /// them, and stale aliases must keep decoding historical streams.
+    pub fn apply_churn(&mut self, event: &ChurnEvent) -> bool {
+        let Some(ixp) = self.ixps.get_mut(event.ixp().0 as usize) else {
+            return false;
+        };
+        match event {
+            ChurnEvent::Join { member, .. } => {
+                if ixp.members.contains_key(&member.asn) {
+                    return false;
+                }
+                ixp.scheme.register_member(member.asn);
+                ixp.members.insert(member.asn, member.clone());
+                true
+            }
+            ChurnEvent::Leave { asn, .. } => ixp.members.remove(asn).is_some(),
+            ChurnEvent::SetExportPolicy { asn, policy, .. } => match ixp.members.get_mut(asn) {
+                Some(m) => {
+                    m.export = policy.clone();
+                    true
+                }
+                None => false,
+            },
+            ChurnEvent::Originate {
+                asn, announcement, ..
+            } => match ixp.members.get_mut(asn) {
+                Some(m) => {
+                    if m.announces(&announcement.prefix) {
+                        return false;
+                    }
+                    m.announcements.push(announcement.clone());
+                    true
+                }
+                None => false,
+            },
+            ChurnEvent::Withdraw { asn, prefix, .. } => match ixp.members.get_mut(asn) {
+                Some(m) => {
+                    let before = m.announcements.len();
+                    m.announcements.retain(|a| &a.prefix != prefix);
+                    m.announcements.len() != before
+                }
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecosystem::EcosystemConfig;
+    use mlpeer_bgp::AsPath;
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(3))
+    }
+
+    fn fresh_member(asn: u32) -> IxpMember {
+        let mut m = IxpMember::new(Asn(asn), "80.81.193.200".parse().unwrap());
+        m.announcements = vec![MemberAnnouncement {
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            as_path: AsPath::from_seq([Asn(asn)]),
+        }];
+        m
+    }
+
+    #[test]
+    fn join_registers_alias_and_inserts() {
+        let mut e = eco();
+        let ixp = IxpId(0);
+        // A 32-bit ASN exercises the alias path.
+        let asn = Asn(200_000);
+        assert!(e.ixp(ixp).member(asn).is_none());
+        let joined = e.apply_churn(&ChurnEvent::Join {
+            ixp,
+            member: fresh_member(asn.value()),
+        });
+        assert!(joined);
+        assert!(e.ixp(ixp).member(asn).is_some());
+        assert!(
+            e.ixp(ixp).scheme.peer_repr(asn).is_some(),
+            "joiner must be representable in the community scheme"
+        );
+        // Joining again is invalid.
+        assert!(!e.apply_churn(&ChurnEvent::Join {
+            ixp,
+            member: fresh_member(asn.value()),
+        }));
+    }
+
+    #[test]
+    fn leave_removes_but_keeps_alias() {
+        let mut e = eco();
+        let ixp = IxpId(0);
+        let asn = *e.ixp(ixp).members.keys().next().unwrap();
+        let alias = e.ixp(ixp).scheme.peer_repr(asn);
+        assert!(e.apply_churn(&ChurnEvent::Leave { ixp, asn }));
+        assert!(e.ixp(ixp).member(asn).is_none());
+        assert_eq!(
+            e.ixp(ixp).scheme.peer_repr(asn),
+            alias,
+            "aliases are never recycled"
+        );
+        assert!(!e.apply_churn(&ChurnEvent::Leave { ixp, asn }), "gone");
+    }
+
+    #[test]
+    fn policy_and_prefix_churn_mutate_state() {
+        let mut e = eco();
+        let ixp = IxpId(0);
+        let asn = *e.ixp(ixp).members.keys().next().unwrap();
+        let new_policy = ExportPolicy::AllExcept([Asn(64_499)].into_iter().collect());
+        assert!(e.apply_churn(&ChurnEvent::SetExportPolicy {
+            ixp,
+            asn,
+            policy: new_policy.clone(),
+        }));
+        assert_eq!(e.ixp(ixp).member(asn).unwrap().export, new_policy);
+
+        let ann = MemberAnnouncement {
+            prefix: "203.0.113.0/24".parse().unwrap(),
+            as_path: AsPath::from_seq([asn]),
+        };
+        assert!(e.apply_churn(&ChurnEvent::Originate {
+            ixp,
+            asn,
+            announcement: ann.clone(),
+        }));
+        assert!(e.ixp(ixp).member(asn).unwrap().announces(&ann.prefix));
+        assert!(
+            !e.apply_churn(&ChurnEvent::Originate {
+                ixp,
+                asn,
+                announcement: ann.clone(),
+            }),
+            "duplicate originate rejected"
+        );
+        assert!(e.apply_churn(&ChurnEvent::Withdraw {
+            ixp,
+            asn,
+            prefix: ann.prefix,
+        }));
+        assert!(!e.ixp(ixp).member(asn).unwrap().announces(&ann.prefix));
+        assert!(
+            !e.apply_churn(&ChurnEvent::Withdraw {
+                ixp,
+                asn,
+                prefix: ann.prefix,
+            }),
+            "double withdraw rejected"
+        );
+    }
+
+    #[test]
+    fn events_against_unknown_targets_are_rejected() {
+        let mut e = eco();
+        let stranger = Asn(4_000_000);
+        assert!(!e.apply_churn(&ChurnEvent::Leave {
+            ixp: IxpId(0),
+            asn: stranger,
+        }));
+        assert!(!e.apply_churn(&ChurnEvent::SetExportPolicy {
+            ixp: IxpId(0),
+            asn: stranger,
+            policy: ExportPolicy::AllMembers,
+        }));
+        assert!(!e.apply_churn(&ChurnEvent::Join {
+            ixp: IxpId(999),
+            member: fresh_member(1),
+        }));
+    }
+
+    #[test]
+    fn accessors_name_the_target() {
+        let ev = ChurnEvent::Withdraw {
+            ixp: IxpId(4),
+            asn: Asn(7),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+        };
+        assert_eq!(ev.ixp(), IxpId(4));
+        assert_eq!(ev.asn(), Asn(7));
+        let join = ChurnEvent::Join {
+            ixp: IxpId(1),
+            member: fresh_member(9),
+        };
+        assert_eq!(join.asn(), Asn(9));
+    }
+}

@@ -23,10 +23,14 @@
 //!   Fig. 11, the repellers of §5.5 (including a Google-like widely
 //!   blocked content network), the region-scoped policy case of §5.2,
 //!   and hybrid transit-over-IXP pairs for §5.6.
+//! * [`churn`] — membership and policy churn over time
+//!   ([`churn::ChurnEvent`], [`Ecosystem::apply_churn`]): the mutable
+//!   counterpart live mode folds incrementally (§5.1's session churn).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod ecosystem;
 pub mod ixp;
 pub mod member;
@@ -34,6 +38,7 @@ pub mod policy;
 pub mod route_server;
 pub mod scheme;
 
+pub use churn::ChurnEvent;
 pub use ecosystem::{Ecosystem, EcosystemConfig, PeeringPolicy};
 pub use ixp::{Ixp, IxpId};
 pub use member::IxpMember;

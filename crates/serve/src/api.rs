@@ -16,19 +16,41 @@
 //! | `GET /v1/ixp/{id}/links` | the IXP's multilateral link list |
 //! | `GET /v1/member/{asn}` | the member's peers and policy per IXP |
 //! | `GET /v1/prefix/{p}` | announcements matching a CIDR prefix |
+//! | `GET /v1/changes?since=N` | link-level diff since epoch `N` |
 //! | `GET /v1/stats` | snapshot + server counters |
+//!
+//! `/v1/changes` answers from the bounded [`ChangeLog`] ring: a `since`
+//! older than the retained history (or spanning an epoch published
+//! without delta information) draws the documented full-resync signal —
+//! **HTTP 410 Gone** with `"resync": true` — telling the client to
+//! re-fetch the full resource set and restart from the current epoch.
+//! A malformed or missing `since` is a 400; a `since` ahead of the
+//! served snapshot's epoch is a 400 too (the client is confused, not
+//! stale). Like `/v1/stats`, the endpoint is deliberately not
+//! snapshot-ETag-addressed: its body depends on the query parameter and
+//! the ring, not the snapshot content alone.
 
 use mlpeer::report;
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 use serde_json::{json, Value};
 
+use crate::delta::{ChangeLog, SinceAnswer};
 use crate::http::{Request, Response};
+use crate::live::LiveStats;
 use crate::server::ServerStats;
 use crate::snapshot::Snapshot;
 
-/// Route one request against one snapshot view.
-pub fn route(req: &Request, snap: &Snapshot, stats: &ServerStats) -> Response {
+/// Route one request against one snapshot view (plus the store's
+/// change ring for `/v1/changes` and, in live mode, the live loop's
+/// counters for `/v1/stats`).
+pub fn route(
+    req: &Request,
+    snap: &Snapshot,
+    stats: &ServerStats,
+    changes: &ChangeLog,
+    live: Option<&LiveStats>,
+) -> Response {
     if req.method != "GET" {
         return error(405, "only GET is supported");
     }
@@ -56,12 +78,80 @@ pub fn route(req: &Request, snap: &Snapshot, stats: &ServerStats) -> Response {
     if let Some(rest) = path.strip_prefix("/v1/prefix/") {
         return prefix(req, snap, rest, &etag);
     }
+    if path == "/v1/changes" {
+        // Not ETag-addressed: the body is a function of `since` and
+        // the ring, not the snapshot content alone.
+        return changes_since(req, snap, changes);
+    }
     if path == "/v1/stats" {
         // Deliberately no ETag/304: the body carries live server
         // counters, so the snapshot ETag does not address it.
-        return Response::json(200, report::to_json(&stats_body(snap, stats)));
+        return Response::json(200, report::to_json(&stats_body(snap, stats, live)));
     }
     error(404, "no such endpoint")
+}
+
+/// `GET /v1/changes?since=N` — the link-level diff from epoch `N` to
+/// the served snapshot's epoch, or the 410 full-resync signal when the
+/// ring no longer covers `N`.
+fn changes_since(req: &Request, snap: &Snapshot, changes: &ChangeLog) -> Response {
+    let Some(raw) = query_param(&req.query, "since") else {
+        return error(400, "expected /v1/changes?since={epoch}");
+    };
+    let Ok(since) = raw.parse::<u64>() else {
+        return error(400, "malformed since: expected a non-negative epoch number");
+    };
+    if since > snap.epoch {
+        return error(400, "since is ahead of the current epoch");
+    }
+    match changes.since(since, snap.epoch) {
+        SinceAnswer::Delta { added, removed } => {
+            let render = |set: &std::collections::BTreeSet<(IxpId, Asn, Asn)>| {
+                set.iter()
+                    .map(|(ixp, a, b)| {
+                        json!({
+                            "ixp": ixp.0,
+                            "name": snap.name(*ixp),
+                            "a": a.value(),
+                            "b": b.value(),
+                        })
+                    })
+                    .collect::<Vec<Value>>()
+            };
+            let body = json!({
+                "since": since,
+                "epoch": snap.epoch,
+                "etag": snap.etag,
+                "resync": false,
+                "added": render(&added),
+                "removed": render(&removed),
+            });
+            Response::json(200, report::to_json(&body))
+        }
+        SinceAnswer::Truncated { oldest } => {
+            // The documented full-resync signal: 410 Gone. The client
+            // re-fetches the full link set and resumes from `epoch`.
+            let body = json!({
+                "error": "delta history no longer covers this epoch; \
+                          re-sync from a full snapshot",
+                "resync": true,
+                "since": since,
+                "epoch": snap.epoch,
+                "etag": snap.etag,
+                "oldest_since": oldest,
+            });
+            Response::json(410, report::to_json(&body))
+        }
+    }
+}
+
+/// The first value of `name` in a raw query string
+/// (`a=1&b=2`-shaped; no percent-decoding — epochs are digits).
+fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == name).then_some(v)
+    })
 }
 
 /// Conditional-GET check, called by each handler *after* its resource
@@ -201,9 +291,20 @@ fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
     Response::json(200, report::to_json(&body)).with_header("ETag", etag)
 }
 
-fn stats_body(snap: &Snapshot, stats: &ServerStats) -> Value {
+fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) -> Value {
+    use std::sync::atomic::Ordering;
     let p = &snap.passive_stats;
+    // Live-loop counters when live mode runs, JSON null otherwise.
+    let live_v = match live {
+        Some(l) => json!({
+            "ticks": l.ticks.load(Ordering::Relaxed),
+            "events": l.events.load(Ordering::Relaxed),
+            "published_epochs": l.published.load(Ordering::Relaxed),
+        }),
+        None => Value::Null,
+    };
     json!({
+        "live": live_v,
         "epoch": snap.epoch,
         "etag": snap.etag,
         "scale": snap.scale,
@@ -242,6 +343,11 @@ mod tests {
         crate::testutil::snapshot_with(3, 7)
     }
 
+    /// Route against an empty change ring (irrelevant to these tests).
+    fn rt(req: &Request, snap: &Snapshot, stats: &ServerStats) -> Response {
+        route(req, snap, stats, &ChangeLog::new(8), None)
+    }
+
     fn get(path: &str) -> Request {
         Request {
             method: "GET".into(),
@@ -265,7 +371,7 @@ mod tests {
             "/v1/prefix/10.1.0.0/24",
             "/v1/stats",
         ] {
-            let r = route(&get(path), &snap, &stats);
+            let r = rt(&get(path), &snap, &stats);
             assert_eq!(r.status, 200, "{path}: {}", body(&r));
             let has_etag = r
                 .headers
@@ -276,7 +382,7 @@ mod tests {
             assert_eq!(has_etag, path != "/v1/stats", "{path} ETag presence");
             assert!(body(&r).starts_with('{'), "{path} returns a JSON object");
         }
-        let health = route(&get("/healthz"), &snap, &stats);
+        let health = rt(&get("/healthz"), &snap, &stats);
         assert_eq!(health.status, 200);
         assert!(body(&health).contains("\"status\": \"ok\""));
     }
@@ -288,15 +394,15 @@ mod tests {
         let mut req = get("/v1/ixps");
         req.headers
             .push(("if-none-match".into(), format!("\"{}\"", snap.etag)));
-        let r = route(&req, &snap, &stats);
+        let r = rt(&req, &snap, &stats);
         assert_eq!(r.status, 304);
         assert!(r.body.is_empty());
 
         req.headers[0].1 = "\"somethingelse\"".into();
-        assert_eq!(route(&req, &snap, &stats).status, 200);
+        assert_eq!(rt(&req, &snap, &stats).status, 200);
 
         req.headers[0].1 = "*".into();
-        assert_eq!(route(&req, &snap, &stats).status, 304);
+        assert_eq!(rt(&req, &snap, &stats).status, 304);
 
         // A 304 is only valid where the fresh response would be a 200:
         // misses and malformed requests pass through (RFC 7232).
@@ -309,7 +415,7 @@ mod tests {
             let mut req = get(path);
             req.headers
                 .push(("if-none-match".into(), format!("\"{}\"", snap.etag)));
-            assert_eq!(route(&req, &snap, &stats).status, expect, "{path}");
+            assert_eq!(rt(&req, &snap, &stats).status, expect, "{path}");
         }
     }
 
@@ -317,42 +423,125 @@ mod tests {
     fn member_answers_match_the_index() {
         let snap = snap();
         let stats = ServerStats::default();
-        let r = route(&get("/v1/member/1"), &snap, &stats);
+        let r = rt(&get("/v1/member/1"), &snap, &stats);
         let b = body(&r);
         assert!(b.contains("\"asn\": 1"));
         assert!(b.contains("\"unique_peers\": 2"));
         assert!(b.contains("DE-CIX"));
         // One AS prefix accepted; repeated prefixes stay malformed.
-        assert_eq!(route(&get("/v1/member/AS1"), &snap, &stats).status, 200);
-        assert_eq!(route(&get("/v1/member/ASAS1"), &snap, &stats).status, 400);
+        assert_eq!(rt(&get("/v1/member/AS1"), &snap, &stats).status, 200);
+        assert_eq!(rt(&get("/v1/member/ASAS1"), &snap, &stats).status, 400);
         // Unknown member → 404, garbage → 400.
-        assert_eq!(route(&get("/v1/member/99"), &snap, &stats).status, 404);
-        assert_eq!(route(&get("/v1/member/xyz"), &snap, &stats).status, 400);
+        assert_eq!(rt(&get("/v1/member/99"), &snap, &stats).status, 404);
+        assert_eq!(rt(&get("/v1/member/xyz"), &snap, &stats).status, 400);
     }
 
     #[test]
     fn prefix_answers_split_specificity() {
         let snap = snap();
         let stats = ServerStats::default();
-        let r = route(&get("/v1/prefix/10.1.0.0/24"), &snap, &stats);
+        let r = rt(&get("/v1/prefix/10.1.0.0/24"), &snap, &stats);
         let b = body(&r);
         assert_eq!(r.status, 200);
         assert!(b.contains("\"exact\""));
         assert!(b.contains("\"member\": 1"));
-        let wide = route(&get("/v1/prefix/10.0.0.0/8"), &snap, &stats);
+        let wide = rt(&get("/v1/prefix/10.0.0.0/8"), &snap, &stats);
         assert!(body(&wide).contains("\"covered\""));
-        assert_eq!(route(&get("/v1/prefix/banana"), &snap, &stats).status, 400);
+        assert_eq!(rt(&get("/v1/prefix/banana"), &snap, &stats).status, 400);
     }
 
     #[test]
     fn unknown_routes_and_methods_fail_cleanly() {
         let snap = snap();
         let stats = ServerStats::default();
-        assert_eq!(route(&get("/nope"), &snap, &stats).status, 404);
-        assert_eq!(route(&get("/v1/ixp/9/links"), &snap, &stats).status, 404);
-        assert_eq!(route(&get("/v1/ixp/x/links"), &snap, &stats).status, 400);
+        assert_eq!(rt(&get("/nope"), &snap, &stats).status, 404);
+        assert_eq!(rt(&get("/v1/ixp/9/links"), &snap, &stats).status, 404);
+        assert_eq!(rt(&get("/v1/ixp/x/links"), &snap, &stats).status, 400);
         let mut post = get("/v1/ixps");
         post.method = "POST".into();
-        assert_eq!(route(&post, &snap, &stats).status, 405);
+        assert_eq!(rt(&post, &snap, &stats).status, 405);
+    }
+
+    fn get_q(path: &str, query: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.into(),
+            ..Request::default()
+        }
+    }
+
+    #[test]
+    fn changes_answers_net_diff() {
+        let mut snap = snap();
+        snap.epoch = 2;
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        ring.record(
+            1,
+            mlpeer::live::LinkDelta {
+                added: vec![(IxpId(0), Asn(1), Asn(2))],
+                removed: vec![],
+            },
+        );
+        ring.record(
+            2,
+            mlpeer::live::LinkDelta {
+                added: vec![],
+                removed: vec![(IxpId(0), Asn(2), Asn(3))],
+            },
+        );
+        let r = route(&get_q("/v1/changes", "since=0"), &snap, &stats, &ring, None);
+        assert_eq!(r.status, 200);
+        let b = body(&r);
+        assert!(b.contains("\"resync\": false"), "{b}");
+        assert!(b.contains("\"a\": 1"), "{b}");
+        assert!(b.contains("\"removed\""), "{b}");
+        assert!(
+            !r.headers.iter().any(|(n, _)| n == "ETag"),
+            "/v1/changes is not snapshot-addressed"
+        );
+        // since == current → empty diff, still 200.
+        let r = route(&get_q("/v1/changes", "since=2"), &snap, &stats, &ring, None);
+        assert_eq!(r.status, 200);
+        assert!(body(&r).contains("\"added\": []"));
+    }
+
+    #[test]
+    fn changes_since_older_than_ring_draws_resync_410() {
+        let mut snap = snap();
+        snap.epoch = 3;
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        // Only epochs 3 is retained (2 was never recorded → gap).
+        ring.record(
+            3,
+            mlpeer::live::LinkDelta {
+                added: vec![(IxpId(0), Asn(1), Asn(2))],
+                removed: vec![],
+            },
+        );
+        let r = route(&get_q("/v1/changes", "since=1"), &snap, &stats, &ring, None);
+        assert_eq!(r.status, 410, "{}", body(&r));
+        let b = body(&r);
+        assert!(b.contains("\"resync\": true"), "{b}");
+        assert!(b.contains("\"oldest_since\": 2"), "{b}");
+        // The still-covered since answers normally.
+        let r = route(&get_q("/v1/changes", "since=2"), &snap, &stats, &ring, None);
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn changes_rejects_malformed_and_future_since() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        for q in ["", "since=banana", "since=-1", "since=1.5", "other=1"] {
+            let r = route(&get_q("/v1/changes", q), &snap, &stats, &ring, None);
+            assert_eq!(r.status, 400, "query {q:?}: {}", body(&r));
+        }
+        // Snapshot epoch is 0; asking about the future is a 400.
+        let r = route(&get_q("/v1/changes", "since=5"), &snap, &stats, &ring, None);
+        assert_eq!(r.status, 400);
     }
 }

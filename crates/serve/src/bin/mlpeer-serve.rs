@@ -3,22 +3,34 @@
 //! ```text
 //! mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] [--seed=N]
 //!              [--refresh-secs=N] [--workers=N]
+//!              [--live] [--live-tick-ms=N] [--churn-per-tick=N]
+//!              [--churn-seed=N] [--delta-ring=N]
 //! ```
 //!
-//! Generates the ecosystem, runs the inference pipeline once, publishes
-//! the snapshot, and serves the query API. With `--refresh-secs=N` a
-//! background refresher re-runs the pipeline every `N` seconds and
-//! publishes a new epoch (readers are never blocked; identical results
-//! keep the same ETag).
+//! Default mode generates the ecosystem, runs the inference pipeline
+//! once, publishes the snapshot, and serves the query API; with
+//! `--refresh-secs=N` a background refresher re-runs the whole
+//! pipeline every `N` seconds.
+//!
+//! With `--live` the refresher is replaced by the incremental loop:
+//! the initial snapshot comes from the route-server-state harvest, a
+//! seeded churn model (`--churn-seed`) drives `--churn-per-tick`
+//! events every `--live-tick-ms`, deltas are applied incrementally,
+//! and a new epoch is published only when the link set changed —
+//! `GET /v1/changes?since=N` then serves the link-level diff out of a
+//! `--delta-ring`-deep history.
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
 use mlpeer_bench::Scale;
+use mlpeer_data::churn::ChurnConfig;
 use mlpeer_ixp::Ecosystem;
 use mlpeer_serve::refresher::spawn_refresher;
-use mlpeer_serve::{spawn_server, Snapshot, SnapshotStore};
+use mlpeer_serve::{
+    bootstrap, spawn_live_refresher, spawn_server, LiveConfig, LiveStats, Snapshot, SnapshotStore,
+};
 
 fn main() {
     let mut scale = Scale::Small;
@@ -26,6 +38,11 @@ fn main() {
     let mut seed: u64 = 20130501;
     let mut refresh_secs: u64 = 0;
     let mut workers: usize = 4;
+    let mut live = false;
+    let mut live_tick_ms: u64 = 2000;
+    let mut churn_per_tick: usize = 10;
+    let mut churn_seed: u64 = 20131007;
+    let mut delta_ring: usize = mlpeer_serve::store::DEFAULT_CHANGE_CAPACITY;
     for arg in std::env::args().skip(1) {
         if let Some(s) = Scale::parse(&arg) {
             scale = s;
@@ -37,42 +54,96 @@ fn main() {
             refresh_secs = v.parse().expect("--refresh-secs=N");
         } else if let Some(v) = arg.strip_prefix("--workers=") {
             workers = v.parse().expect("--workers=N");
+        } else if arg == "--live" {
+            live = true;
+        } else if let Some(v) = arg.strip_prefix("--live-tick-ms=") {
+            live_tick_ms = v.parse().expect("--live-tick-ms=N");
+        } else if let Some(v) = arg.strip_prefix("--churn-per-tick=") {
+            churn_per_tick = v.parse().expect("--churn-per-tick=N");
+        } else if let Some(v) = arg.strip_prefix("--churn-seed=") {
+            churn_seed = v.parse().expect("--churn-seed=N");
+        } else if let Some(v) = arg.strip_prefix("--delta-ring=") {
+            delta_ring = v.parse().expect("--delta-ring=N");
         } else {
             eprintln!("unknown argument: {arg}");
             eprintln!(
                 "usage: mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] \
-                 [--seed=N] [--refresh-secs=N] [--workers=N]"
+                 [--seed=N] [--refresh-secs=N] [--workers=N] [--live] \
+                 [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
+                 [--delta-ring=N]"
             );
             std::process::exit(2);
         }
     }
+    if live && refresh_secs > 0 {
+        eprintln!("--live and --refresh-secs are mutually exclusive");
+        std::process::exit(2);
+    }
 
     eprintln!("# generating ecosystem ({scale:?}, seed {seed})…");
-    let eco = Arc::new(Ecosystem::generate(scale.config(seed)));
-    eprintln!("# running inference pipeline…");
-    let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
-    eprintln!(
-        "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
-        snapshot.names.len(),
-        snapshot.unique_link_count,
-        snapshot.index.prefix_count(),
-        snapshot.etag
-    );
-    let store = SnapshotStore::new(snapshot);
-
+    let eco = Ecosystem::generate(scale.config(seed));
+    let scale_word = format!("{scale:?}").to_lowercase();
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut refresher = None;
-    if refresh_secs > 0 {
-        let store = Arc::clone(&store);
-        let eco = Arc::clone(&eco);
-        refresher = Some(spawn_refresher(
-            store,
-            Duration::from_secs(refresh_secs),
+
+    let store = if live {
+        eprintln!("# live mode: harvesting route-server state…");
+        let (inferencer, snapshot) = bootstrap(&eco, &scale_word, seed);
+        eprintln!(
+            "# snapshot ready: {} IXPs, {} unique links, etag {}",
+            snapshot.names.len(),
+            snapshot.unique_link_count,
+            snapshot.etag
+        );
+        let store = SnapshotStore::with_change_capacity(snapshot, delta_ring);
+        let stats = Arc::new(LiveStats::default());
+        refresher = Some(spawn_live_refresher(
+            Arc::clone(&store),
+            eco,
+            inferencer,
+            LiveConfig {
+                interval: Duration::from_millis(live_tick_ms),
+                events_per_tick: churn_per_tick,
+                churn: ChurnConfig {
+                    seed: churn_seed,
+                    ..ChurnConfig::default()
+                },
+                scale: scale_word,
+                seed,
+            },
+            stats,
             Arc::clone(&shutdown),
-            move || Snapshot::of_pipeline(&eco, scale, seed),
         ));
-        eprintln!("# refresher: every {refresh_secs}s");
-    }
+        eprintln!(
+            "# live churn: {churn_per_tick} events every {live_tick_ms}ms \
+             (seed {churn_seed}, ring {delta_ring})"
+        );
+        store
+    } else {
+        eprintln!("# running inference pipeline…");
+        let eco = Arc::new(eco);
+        let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
+        eprintln!(
+            "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
+            snapshot.names.len(),
+            snapshot.unique_link_count,
+            snapshot.index.prefix_count(),
+            snapshot.etag
+        );
+        let store = SnapshotStore::with_change_capacity(snapshot, delta_ring);
+        if refresh_secs > 0 {
+            let store = Arc::clone(&store);
+            let eco = Arc::clone(&eco);
+            refresher = Some(spawn_refresher(
+                store,
+                Duration::from_secs(refresh_secs),
+                Arc::clone(&shutdown),
+                move || Snapshot::of_pipeline(&eco, scale, seed),
+            ));
+            eprintln!("# refresher: every {refresh_secs}s");
+        }
+        store
+    };
 
     let mut server = spawn_server(store, &addr, workers).expect("bind address");
     eprintln!("# serving on http://{} ({workers} workers)", server.addr);

@@ -1,0 +1,246 @@
+//! The epoch delta ring: what changed between snapshot versions.
+//!
+//! Live mode publishes a new epoch only when the link set actually
+//! moved; the [`ChangeLog`] keeps a bounded ring of those per-epoch
+//! [`LinkDelta`]s so `GET /v1/changes?since=<epoch>` can answer with
+//! the *net* link-level diff instead of forcing clients to re-download
+//! the world. The ring is contiguous by construction: any gap — a
+//! full-pipeline publish without delta information, or an evicted old
+//! epoch — makes older `since` values unanswerable, and the API then
+//! returns the documented full-resync signal (HTTP 410) instead of a
+//! silently wrong diff.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Mutex;
+
+use mlpeer::live::LinkDelta;
+use mlpeer_bgp::Asn;
+use mlpeer_ixp::ixp::IxpId;
+
+/// One published epoch's link-level change.
+#[derive(Debug, Clone)]
+pub struct EpochDelta {
+    /// The epoch this delta produced (the diff `epoch-1 → epoch`).
+    pub epoch: u64,
+    /// The links that moved.
+    pub delta: LinkDelta,
+}
+
+/// The answer to "what changed since epoch N".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinceAnswer {
+    /// The net diff; both sets empty when `since` is current.
+    Delta {
+        /// Links present now but not at `since`.
+        added: BTreeSet<(IxpId, Asn, Asn)>,
+        /// Links present at `since` but gone now.
+        removed: BTreeSet<(IxpId, Asn, Asn)>,
+    },
+    /// History no longer covers `since`: the client must re-sync from a
+    /// full snapshot. `oldest` is the oldest answerable `since`, if any
+    /// epoch is still covered.
+    Truncated {
+        /// Oldest `since` the ring can still answer, if any.
+        oldest: Option<u64>,
+    },
+}
+
+/// Bounded, contiguous ring of per-epoch deltas.
+#[derive(Debug)]
+pub struct ChangeLog {
+    entries: Mutex<VecDeque<EpochDelta>>,
+    capacity: usize,
+}
+
+impl ChangeLog {
+    /// A ring holding at most `capacity` epoch deltas (older `since`
+    /// values age into the full-resync signal).
+    pub fn new(capacity: usize) -> Self {
+        ChangeLog {
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record the delta that produced `epoch`. A non-consecutive epoch
+    /// (something was published without delta information) discards the
+    /// history — a gap can never be answered honestly.
+    pub fn record(&self, epoch: u64, delta: LinkDelta) {
+        let mut entries = self.entries.lock().expect("changelog lock");
+        if entries.back().is_some_and(|b| b.epoch + 1 != epoch) {
+            entries.clear();
+        }
+        entries.push_back(EpochDelta { epoch, delta });
+        while entries.len() > self.capacity {
+            entries.pop_front();
+        }
+    }
+
+    /// Forget everything (a publish with no delta information).
+    pub fn reset(&self) {
+        self.entries.lock().expect("changelog lock").clear();
+    }
+
+    /// Epoch deltas currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("changelog lock").len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The net change from epoch `since` to epoch `current` (the
+    /// snapshot the caller is serving). Requires every epoch in
+    /// `since+1 ..= current` to be in the ring; anything else is
+    /// [`SinceAnswer::Truncated`]. `since == current` answers an empty
+    /// delta. Callers must reject `since > current` beforehand.
+    pub fn since(&self, since: u64, current: u64) -> SinceAnswer {
+        debug_assert!(since <= current);
+        let mut added: BTreeSet<(IxpId, Asn, Asn)> = BTreeSet::new();
+        let mut removed: BTreeSet<(IxpId, Asn, Asn)> = BTreeSet::new();
+        if since == current {
+            return SinceAnswer::Delta { added, removed };
+        }
+        let entries = self.entries.lock().expect("changelog lock");
+        // Clamp to epochs the caller's snapshot can see: in the
+        // ring-ahead race (a publish between the caller's load() and
+        // this call) entries newer than `current` must not leak into
+        // the advertised oldest answerable since.
+        let oldest = entries
+            .front()
+            .filter(|e| e.epoch <= current)
+            .map(|e| e.epoch.saturating_sub(1));
+        let mut expected = since + 1;
+        for e in entries.iter() {
+            if e.epoch <= since || e.epoch > current {
+                continue;
+            }
+            if e.epoch != expected {
+                return SinceAnswer::Truncated { oldest };
+            }
+            expected = e.epoch + 1;
+            for l in &e.delta.added {
+                if !removed.remove(l) {
+                    added.insert(*l);
+                }
+            }
+            for l in &e.delta.removed {
+                if !added.remove(l) {
+                    removed.insert(*l);
+                }
+            }
+        }
+        if expected != current + 1 {
+            return SinceAnswer::Truncated { oldest };
+        }
+        SinceAnswer::Delta { added, removed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(n: u32) -> (IxpId, Asn, Asn) {
+        (IxpId(0), Asn(n), Asn(n + 1))
+    }
+
+    fn d(added: &[u32], removed: &[u32]) -> LinkDelta {
+        LinkDelta {
+            added: added.iter().map(|&n| link(n)).collect(),
+            removed: removed.iter().map(|&n| link(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn accumulates_net_diff_across_epochs() {
+        let log = ChangeLog::new(8);
+        log.record(1, d(&[1], &[]));
+        log.record(2, d(&[2], &[9]));
+        log.record(3, d(&[], &[1])); // cancels epoch 1's add
+        match log.since(0, 3) {
+            SinceAnswer::Delta { added, removed } => {
+                assert_eq!(added, [link(2)].into_iter().collect());
+                assert_eq!(removed, [link(9)].into_iter().collect());
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // A later `since` sees only the tail.
+        match log.since(2, 3) {
+            SinceAnswer::Delta { added, removed } => {
+                assert!(added.is_empty());
+                assert_eq!(removed, [link(1)].into_iter().collect());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            log.since(3, 3),
+            SinceAnswer::Delta {
+                added: BTreeSet::new(),
+                removed: BTreeSet::new()
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_truncates_old_sinces() {
+        let log = ChangeLog::new(2);
+        log.record(1, d(&[1], &[]));
+        log.record(2, d(&[2], &[]));
+        log.record(3, d(&[3], &[])); // evicts epoch 1
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.since(0, 3), SinceAnswer::Truncated { oldest: Some(1) });
+        assert!(matches!(log.since(1, 3), SinceAnswer::Delta { .. }));
+    }
+
+    #[test]
+    fn gap_discards_history() {
+        let log = ChangeLog::new(8);
+        log.record(1, d(&[1], &[]));
+        log.record(5, d(&[5], &[])); // non-consecutive: full rebuild happened
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.since(1, 5), SinceAnswer::Truncated { oldest: Some(4) });
+        assert!(matches!(log.since(4, 5), SinceAnswer::Delta { .. }));
+    }
+
+    #[test]
+    fn empty_and_reset_rings_truncate() {
+        let log = ChangeLog::new(8);
+        assert!(log.is_empty());
+        assert_eq!(log.since(0, 2), SinceAnswer::Truncated { oldest: None });
+        log.record(1, d(&[1], &[]));
+        log.reset();
+        assert_eq!(log.since(0, 1), SinceAnswer::Truncated { oldest: None });
+        // since == current still answers even with no history.
+        assert!(matches!(log.since(1, 1), SinceAnswer::Delta { .. }));
+    }
+
+    #[test]
+    fn ring_ahead_of_served_snapshot_still_answers() {
+        // A publish can land between a reader's store.load() and the
+        // since() call; entries beyond `current` must be ignored.
+        let log = ChangeLog::new(8);
+        log.record(1, d(&[1], &[]));
+        log.record(2, d(&[2], &[]));
+        log.record(3, d(&[3], &[]));
+        match log.since(0, 2) {
+            SinceAnswer::Delta { added, .. } => {
+                assert_eq!(added, [link(1), link(2)].into_iter().collect());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_entirely_ahead_never_advertises_a_future_oldest() {
+        // After a reset + newer publishes, a reader still holding an
+        // old snapshot must not be told the oldest answerable since is
+        // beyond its own epoch.
+        let log = ChangeLog::new(8);
+        log.record(6, d(&[6], &[]));
+        log.record(7, d(&[7], &[]));
+        assert_eq!(log.since(3, 4), SinceAnswer::Truncated { oldest: None });
+    }
+}

@@ -126,7 +126,7 @@ fn read_line_bounded(
 /// Read one request head off the stream. `Ok(None)` means the peer
 /// closed cleanly between requests (normal keep-alive teardown); any
 /// malformed or oversized head is an `InvalidData` error. Buffering is
-/// bounded by [`MAX_HEAD`] even mid-line.
+/// bounded by `MAX_HEAD` (16 KiB) even mid-line.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
     let Some(line) = read_line_bounded(reader, MAX_HEAD)? else {
         return Ok(None);

@@ -19,22 +19,33 @@
 //!   `/healthz`, `/v1/ixps`, `/v1/ixp/{id}/links`, `/v1/member/{asn}`,
 //!   `/v1/prefix/{p}`, `/v1/stats`;
 //! * an in-repo [`loadgen`] whose results the `serve_load` bench
-//!   records to `BENCH_serve.json`.
+//!   records to `BENCH_serve.json`;
+//! * **live mode** — [`live`]: a churn-driven incremental loop
+//!   ([`mlpeer::live::LiveInferencer`]) that applies per-event link
+//!   deltas and publishes a new epoch *only when the link set moved*,
+//!   with the per-epoch [`delta::ChangeLog`] ring behind
+//!   `GET /v1/changes?since=N` (and its documented 410 full-resync
+//!   signal).
 //!
 //! The `mlpeer-serve` binary boots the whole stack at any
-//! [`mlpeer_bench::Scale`].
+//! [`mlpeer_bench::Scale`]; `--live` switches the refresher to the
+//! incremental loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod delta;
 pub mod http;
+pub mod live;
 pub mod loadgen;
 pub mod refresher;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 
+pub use delta::{ChangeLog, SinceAnswer};
+pub use live::{bootstrap, spawn_live_refresher, LiveConfig, LiveStats};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use server::{spawn_server, ServerHandle, ServerStats};
 pub use snapshot::Snapshot;

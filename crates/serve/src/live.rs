@@ -1,0 +1,293 @@
+//! The live refresher: incremental epochs from an update stream, not
+//! periodic re-harvests.
+//!
+//! The plain [`crate::refresher`] re-runs the whole pipeline each
+//! interval — minutes at `paper` scale — even when nothing changed.
+//! Live mode replaces it with a churn-driven delta loop: each tick
+//! draws the next batch of seeded churn events, mutates the ecosystem,
+//! renders the events as BGP session traffic
+//! ([`mlpeer_data::churn::event_messages`]), decodes and folds them
+//! into the [`LiveInferencer`], and then publishes **only if the link
+//! set actually moved** — via
+//! [`SnapshotStore::publish_with_delta`], so `/v1/changes` can answer
+//! the diff. A tick whose net delta is empty publishes nothing: the
+//! epoch *and* the content ETag stay stable, and conditional GETs keep
+//! revalidating for free.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mlpeer::live::{decode_message, LinkDelta, LiveInferencer};
+use mlpeer::passive::PassiveStats;
+use mlpeer_data::churn::{event_messages, ChurnConfig, ChurnGen};
+use mlpeer_ixp::Ecosystem;
+
+use crate::snapshot::Snapshot;
+use crate::store::SnapshotStore;
+
+/// Knobs of the live loop.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Time between ticks (clamped to ≥ 1 ms by the loop — a zero
+    /// interval would busy-spin a core and flood the store).
+    pub interval: Duration,
+    /// Churn events drawn per tick (0 = a heartbeat that never
+    /// changes anything — useful in tests).
+    pub events_per_tick: usize,
+    /// The seeded churn model.
+    pub churn: ChurnConfig,
+    /// Scale word stamped into published snapshots.
+    pub scale: String,
+    /// Seed stamped into published snapshots.
+    pub seed: u64,
+}
+
+/// Counters the live loop exposes (all monotone).
+#[derive(Debug, Default)]
+pub struct LiveStats {
+    /// Ticks run.
+    pub ticks: AtomicU64,
+    /// Churn events applied.
+    pub events: AtomicU64,
+    /// Epochs actually published (≤ ticks: no-op ticks skip).
+    pub published: AtomicU64,
+}
+
+/// Bootstrap the live state from an ecosystem: the inferencer over the
+/// current route-server state, and the initial snapshot to open the
+/// store on — built from the *same* live harvest, so the first
+/// `/v1/changes` delta composes against exactly what `/v1/*` serves.
+pub fn bootstrap(eco: &Ecosystem, scale: &str, seed: u64) -> (LiveInferencer, Snapshot) {
+    let li = LiveInferencer::from_ecosystem(eco);
+    let snapshot = Snapshot::build(
+        scale,
+        seed,
+        Snapshot::names_of(eco),
+        li.current().clone(),
+        &li.observations(),
+        PassiveStats::default(),
+    );
+    (li, snapshot)
+}
+
+/// Spawn the live loop. `eco` and `inferencer` must agree (use
+/// [`bootstrap`]); the loop owns both from here on. Returns the thread
+/// handle; `shutdown` stops it promptly even mid-interval.
+pub fn spawn_live_refresher(
+    store: Arc<SnapshotStore>,
+    mut eco: Ecosystem,
+    mut inferencer: LiveInferencer,
+    cfg: LiveConfig,
+    stats: Arc<LiveStats>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let mut churn = ChurnGen::new(&eco, cfg.churn.clone());
+    let names = Snapshot::names_of(&eco);
+    store.set_live_stats(Arc::clone(&stats));
+    std::thread::Builder::new()
+        .name("mlpeer-serve-live".into())
+        .spawn(move || {
+            // A zero interval must not become a 100% CPU busy-spin.
+            let interval = cfg.interval.max(Duration::from_millis(1));
+            let mut clock: u64 = 0;
+            loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let step = Duration::from_millis(50).min(interval - slept);
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+
+                // ---- One tick: apply a batch of churn. ----
+                let version_before = inferencer.state_version();
+                let mut delta = LinkDelta::default();
+                for _ in 0..cfg.events_per_tick {
+                    let event = churn.next_event(&eco);
+                    eco.apply_churn(&event);
+                    let ixp = event.ixp();
+                    let scheme = &eco.ixp(ixp).scheme;
+                    for msg in event_messages(&eco, &event, clock) {
+                        for live_event in decode_message(ixp, scheme, &msg) {
+                            delta.merge(inferencer.apply(&live_event));
+                        }
+                    }
+                    clock += 1;
+                    stats.events.fetch_add(1, Ordering::Relaxed);
+                }
+                stats.ticks.fetch_add(1, Ordering::Relaxed);
+
+                if delta.is_empty() && inferencer.state_version() == version_before {
+                    // Nothing served changed: no publish, epoch and
+                    // ETag stay. The state-version check matters —
+                    // prefixes and policies can change without any
+                    // link moving (e.g. an open member originating a
+                    // new prefix), and /v1/prefix must not go stale;
+                    // such a tick publishes a new epoch whose link
+                    // delta is empty.
+                    continue;
+                }
+                let snapshot = Snapshot::build(
+                    &cfg.scale,
+                    cfg.seed,
+                    names.clone(),
+                    inferencer.current().clone(),
+                    &inferencer.observations(),
+                    PassiveStats::default(),
+                );
+                let epoch = store.publish_with_delta(snapshot, delta);
+                stats.published.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "# live: epoch {epoch} after {} events ({} links)",
+                    stats.events.load(Ordering::Relaxed),
+                    store.load().unique_link_count,
+                );
+            }
+        })
+        .expect("spawn live refresher")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::SinceAnswer;
+    use mlpeer_ixp::EcosystemConfig;
+
+    fn live_cfg(events_per_tick: usize) -> LiveConfig {
+        LiveConfig {
+            interval: Duration::from_millis(10),
+            events_per_tick,
+            churn: ChurnConfig {
+                seed: 5,
+                ..ChurnConfig::default()
+            },
+            scale: "tiny".into(),
+            seed: 11,
+        }
+    }
+
+    fn boot() -> (Ecosystem, LiveInferencer, Snapshot) {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(11));
+        let (li, snap) = bootstrap(&eco, "tiny", 11);
+        (eco, li, snap)
+    }
+
+    #[test]
+    fn live_loop_publishes_deltas_that_compose() {
+        let (eco, li, snap) = boot();
+        let initial_links: std::collections::BTreeSet<(mlpeer_ixp::IxpId, _, _)> = snap
+            .links
+            .per_ixp
+            .iter()
+            .flat_map(|(ixp, s)| s.iter().map(move |&(a, b)| (*ixp, a, b)))
+            .collect();
+        let store = SnapshotStore::new(snap);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LiveStats::default());
+        let handle = spawn_live_refresher(
+            Arc::clone(&store),
+            eco,
+            li,
+            live_cfg(20),
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while store.load().epoch < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+        let current = store.load();
+        assert!(current.epoch >= 3, "live loop must publish epochs");
+        assert!(stats.published.load(Ordering::Relaxed) >= 3);
+
+        // The loop registered its counters on the store, and /v1/stats
+        // surfaces them.
+        assert!(store.live_stats().is_some());
+        let r = crate::api::route(
+            &crate::http::Request {
+                method: "GET".into(),
+                path: "/v1/stats".into(),
+                ..Default::default()
+            },
+            &current,
+            &crate::server::ServerStats::default(),
+            store.changes(),
+            store.live_stats(),
+        );
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"published_epochs\""), "{body}");
+        assert!(body.contains("\"ticks\""), "{body}");
+
+        // The net diff since 0 composes with the initial link set to
+        // exactly the served snapshot's links.
+        match store.changes().since(0, current.epoch) {
+            SinceAnswer::Delta { added, removed } => {
+                let mut expect = initial_links;
+                for l in &removed {
+                    assert!(expect.remove(l), "removed link {l:?} was never present");
+                }
+                for l in &added {
+                    assert!(expect.insert(*l), "added link {l:?} already present");
+                }
+                let now: std::collections::BTreeSet<_> = current
+                    .links
+                    .per_ixp
+                    .iter()
+                    .flat_map(|(ixp, s)| s.iter().map(move |&(a, b)| (*ixp, a, b)))
+                    .collect();
+                assert_eq!(expect, now, "delta chain must compose to current");
+            }
+            SinceAnswer::Truncated { .. } => {
+                panic!("ring should cover every epoch of a short run")
+            }
+        }
+    }
+
+    #[test]
+    fn noop_ticks_keep_epoch_and_etag_stable() {
+        let (eco, li, snap) = boot();
+        let etag0 = snap.etag.clone();
+        let store = SnapshotStore::new(snap);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(LiveStats::default());
+        // events_per_tick = 0: every tick is a no-op delta.
+        let handle = spawn_live_refresher(
+            Arc::clone(&store),
+            eco,
+            li,
+            live_cfg(0),
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while stats.ticks.load(Ordering::Relaxed) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+        assert!(stats.ticks.load(Ordering::Relaxed) >= 5, "loop must tick");
+        assert_eq!(stats.published.load(Ordering::Relaxed), 0);
+        let snap = store.load();
+        assert_eq!(snap.epoch, 0, "no-op deltas must not bump the epoch");
+        assert_eq!(snap.etag, etag0, "no-op deltas must not move the ETag");
+        assert_eq!(store.swap_count(), 0);
+    }
+
+    #[test]
+    fn bootstrap_snapshot_serves_live_state() {
+        let (_, li, snap) = boot();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.unique_link_count, li.current().unique_links().len());
+        assert!(snap.observation_count > 0);
+        assert_eq!(snap.observation_count, li.observations().len());
+    }
+}

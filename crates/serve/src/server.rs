@@ -170,7 +170,7 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
         };
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let snapshot = store.load();
-        let response = api::route(&req, &snapshot, stats);
+        let response = api::route(&req, &snapshot, stats, store.changes(), store.live_stats());
         match response.status {
             304 => {
                 stats.not_modified.fetch_add(1, Ordering::Relaxed);

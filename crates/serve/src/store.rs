@@ -20,23 +20,58 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mlpeer::live::LinkDelta;
+
+use crate::delta::ChangeLog;
 use crate::snapshot::Snapshot;
+
+/// Default [`ChangeLog`] depth: how many epochs back `/v1/changes` can
+/// answer before signalling a full resync.
+pub const DEFAULT_CHANGE_CAPACITY: usize = 64;
 
 /// Shared handle to the current [`Snapshot`] epoch.
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: Mutex<Arc<Snapshot>>,
     swaps: AtomicU64,
+    changes: ChangeLog,
+    /// Registered by the live refresher so `/v1/stats` can surface its
+    /// counters; absent outside live mode.
+    live_stats: std::sync::OnceLock<Arc<crate::live::LiveStats>>,
 }
 
 impl SnapshotStore {
-    /// Open a store on an initial snapshot (published as epoch 0).
-    pub fn new(mut initial: Snapshot) -> Arc<SnapshotStore> {
+    /// Open a store on an initial snapshot (published as epoch 0) with
+    /// the default change-ring depth.
+    pub fn new(initial: Snapshot) -> Arc<SnapshotStore> {
+        Self::with_change_capacity(initial, DEFAULT_CHANGE_CAPACITY)
+    }
+
+    /// Open a store with an explicit change-ring depth.
+    pub fn with_change_capacity(mut initial: Snapshot, capacity: usize) -> Arc<SnapshotStore> {
         initial.epoch = 0;
         Arc::new(SnapshotStore {
             current: Mutex::new(Arc::new(initial)),
             swaps: AtomicU64::new(0),
+            changes: ChangeLog::new(capacity),
+            live_stats: std::sync::OnceLock::new(),
         })
+    }
+
+    /// The per-epoch change ring behind `/v1/changes`.
+    pub fn changes(&self) -> &ChangeLog {
+        &self.changes
+    }
+
+    /// Register the live loop's counters (first registration wins;
+    /// called by [`crate::live::spawn_live_refresher`]).
+    pub fn set_live_stats(&self, stats: Arc<crate::live::LiveStats>) {
+        let _ = self.live_stats.set(stats);
+    }
+
+    /// The live loop's counters, if live mode is running on this store.
+    pub fn live_stats(&self) -> Option<&crate::live::LiveStats> {
+        self.live_stats.get().map(Arc::as_ref)
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a
@@ -61,6 +96,25 @@ impl SnapshotStore {
         let epoch = current.epoch + 1;
         snapshot.epoch = epoch;
         *current = Arc::new(snapshot);
+        // No delta information for this epoch: older `since` values can
+        // no longer be answered honestly, so the ring resets (still
+        // inside the lock, so the ring's view of epochs stays ordered).
+        self.changes.reset();
+        drop(current);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Publish a replacement snapshot together with the link-level
+    /// [`LinkDelta`] that produced it, recording the delta in the
+    /// change ring under the assigned epoch (atomically with the swap,
+    /// so `/v1/changes` never observes an epoch before its delta).
+    pub fn publish_with_delta(&self, mut snapshot: Snapshot, delta: LinkDelta) -> u64 {
+        let mut current = self.current.lock().expect("store lock never poisoned");
+        let epoch = current.epoch + 1;
+        snapshot.epoch = epoch;
+        *current = Arc::new(snapshot);
+        self.changes.record(epoch, delta);
         drop(current);
         self.swaps.fetch_add(1, Ordering::Relaxed);
         epoch
@@ -95,6 +149,44 @@ mod tests {
             "loaded snapshot must be exactly one published variant"
         );
         assert_eq!(expected.links, snap.links);
+    }
+
+    #[test]
+    fn publish_with_delta_records_and_plain_publish_resets() {
+        use crate::delta::SinceAnswer;
+        use mlpeer::live::LinkDelta;
+        use mlpeer_bgp::Asn;
+        use mlpeer_ixp::ixp::IxpId;
+
+        let store = SnapshotStore::new(snapshot_variant(0));
+        let delta = LinkDelta {
+            added: vec![(IxpId(0), Asn(1), Asn(2))],
+            removed: vec![],
+        };
+        let e1 = store.publish_with_delta(snapshot_variant(1), delta.clone());
+        assert_eq!(e1, 1);
+        assert!(matches!(
+            store.changes().since(0, 1),
+            SinceAnswer::Delta { .. }
+        ));
+        // A plain publish carries no delta information: history resets
+        // and older `since` values now require a full resync.
+        let e2 = store.publish(snapshot_variant(2));
+        assert_eq!(e2, 2);
+        assert!(matches!(
+            store.changes().since(0, 2),
+            SinceAnswer::Truncated { .. }
+        ));
+        // Delta publishing resumes cleanly after the gap.
+        let e3 = store.publish_with_delta(snapshot_variant(3), delta);
+        assert!(matches!(
+            store.changes().since(2, e3),
+            SinceAnswer::Delta { .. }
+        ));
+        assert!(matches!(
+            store.changes().since(1, e3),
+            SinceAnswer::Truncated { .. }
+        ));
     }
 
     #[test]

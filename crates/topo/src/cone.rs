@@ -3,7 +3,7 @@
 //! The *customer cone* of an AS is the set of ASes reachable by walking
 //! provider→customer edges — "the set of ASes in the downstream path of
 //! a provider" (§5.5). The paper uses cones (computed with the algorithm
-//! of its reference [32]) to show that 77 % of EXCLUDE filters block an
+//! of its reference \[32\]) to show that 77 % of EXCLUDE filters block an
 //! AS inside the blocker's customer cone, and uses *customer degree*
 //! (direct customers) for the stub analyses of Fig. 7.
 
@@ -14,7 +14,7 @@ use mlpeer_bgp::Asn;
 use crate::graph::AsGraph;
 
 /// The customer cone of `asn`, including `asn` itself (the convention of
-/// the paper's reference [32]). Walks provider→customer edges only;
+/// the paper's reference \[32\]). Walks provider→customer edges only;
 /// sibling edges do not extend the cone.
 pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
     let mut cone = BTreeSet::new();

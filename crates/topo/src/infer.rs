@@ -1,6 +1,6 @@
 //! AS-relationship inference from observed AS paths.
 //!
-//! A stand-in for the paper's reference [32] (Luckie et al., *AS
+//! A stand-in for the paper's reference \[32\] (Luckie et al., *AS
 //! Relationships, Customer Cones, and Validation*, IMC 2013), which the
 //! paper uses in two places:
 //!

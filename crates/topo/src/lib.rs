@@ -19,7 +19,7 @@
 //!   routing state that collector views, looking-glass RIBs and the
 //!   public-BGP baseline are derived from.
 //! * [`infer`] — a CAIDA-style relationship-inference algorithm over
-//!   observed AS paths, standing in for reference [32]; the paper uses
+//!   observed AS paths, standing in for reference \[32\]; the paper uses
 //!   it to pin-point RS setters (§4.2) and for the hybrid-relationship
 //!   study (§5.6).
 

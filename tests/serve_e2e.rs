@@ -126,6 +126,8 @@ fn boot_query_refresh_over_real_tcp() {
         },
         &snap,
         &ServerStats::default(),
+        &mlpeer_serve::ChangeLog::new(8),
+        None,
     );
     assert_eq!(
         wire_body.as_bytes(),
