@@ -1,6 +1,6 @@
-//! Live mode at `Scale::Medium`: per-event delta apply vs the full
-//! re-harvest a non-incremental refresher would pay, recorded to
-//! `BENCH_live.json`.
+//! Live mode, recorded to `BENCH_live.json` with a scale axis
+//! (`Scale::Medium` and `Scale::Large`): per-event delta apply vs the
+//! full re-harvest a non-incremental refresher would pay.
 //!
 //! The delta path measured here is the *entire* live loop per event —
 //! churn draw, ecosystem mutation, BGP rendering, community decode,
@@ -38,10 +38,7 @@ fn apply_one(
     moved
 }
 
-fn bench_live_churn(c: &mut Criterion) {
-    let seed = 20130501u64;
-    let churn_seed = 7u64;
-    let eco_scale = Scale::Medium;
+fn bench_at(c: &mut Criterion, eco_scale: Scale, seed: u64, churn_seed: u64) -> serde_json::Value {
     eprintln!("# generating {eco_scale:?} ecosystem…");
     let mut eco = Ecosystem::generate(eco_scale.config(seed));
     let mut gen = ChurnGen::new(
@@ -70,7 +67,8 @@ fn bench_live_churn(c: &mut Criterion) {
     );
 
     // ---- Delta path: one full live-loop event per iteration. ----
-    let mut group = c.benchmark_group("live_medium");
+    let group_name = format!("live_{}", eco_scale.word());
+    let mut group = c.benchmark_group(&group_name);
     group.sample_size(10);
     let mut moved_total = 0usize;
     let mut events_benched = 0u64;
@@ -87,7 +85,7 @@ fn bench_live_churn(c: &mut Criterion) {
 
     // ---- Baseline: what a non-incremental refresher re-runs per
     // change — the full state harvest plus batch inference. ----
-    let mut group = c.benchmark_group("live_medium");
+    let mut group = c.benchmark_group(&group_name);
     group.sample_size(10);
     group.bench_function("full_reharvest", |b| {
         b.iter(|| {
@@ -110,14 +108,19 @@ fn bench_live_churn(c: &mut Criterion) {
     let events_per_sec = 1e9 / delta_ns;
     assert!(
         speedup >= 5.0,
-        "delta apply must beat a full re-harvest by ≥5× at Medium \
+        "delta apply must beat a full re-harvest by ≥5× at {eco_scale:?} \
          (measured {speedup:.1}×)"
     );
+    println!(
+        "{}: delta {:.1} us/event ({events_per_sec:.0} events/s), full re-harvest {:.1} ms: \
+         {speedup:.0}x",
+        eco_scale.word(),
+        delta_ns / 1e3,
+        full_ns / 1e6,
+    );
 
-    let report = serde_json::json!({
-        "bench": "live churn: incremental delta apply vs full re-harvest",
-        "scale": "medium",
-        "seed": seed,
+    serde_json::json!({
+        "scale": eco_scale.word(),
         "churn_seed": churn_seed,
         "ixps": eco.ixps.len(),
         "rs_members": eco.all_rs_member_asns().len(),
@@ -128,16 +131,26 @@ fn bench_live_churn(c: &mut Criterion) {
         "events_per_sec": events_per_sec,
         "full_reharvest_ms": full_ns / 1e6,
         "speedup": speedup,
+    })
+}
+
+fn bench_live_churn(c: &mut Criterion) {
+    let seed = 20130501u64;
+    let churn_seed = 7u64;
+    let results: Vec<serde_json::Value> = [Scale::Medium, Scale::Large]
+        .iter()
+        .map(|&s| bench_at(c, s, seed, churn_seed))
+        .collect();
+    let report = serde_json::json!({
+        "bench": "live churn: incremental delta apply vs full re-harvest",
+        "seed": seed,
+        "threads": rayon::current_num_threads(),
+        "scales": results,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
         .expect("write BENCH_live.json");
-    println!(
-        "delta {:.1} us/event ({events_per_sec:.0} events/s), full re-harvest {:.1} ms: \
-         {speedup:.0}x → wrote {path}",
-        delta_ns / 1e3,
-        full_ns / 1e6,
-    );
+    println!("wrote {path}");
 }
 
 fn take_estimate(c: &Criterion) -> f64 {

@@ -1,13 +1,15 @@
-//! Serial vs sharded passive harvest at `Scale::Small`, recorded to
-//! `BENCH_passive.json` (repo root when run via `cargo bench`, else the
-//! working directory).
+//! Serial vs sharded passive harvest, recorded to `BENCH_passive.json`
+//! (repo root) with a scale axis: `Scale::Small` and `Scale::Large`.
 //!
 //! The sharded path fans collectors out across threads
 //! (`harvest_passive_sharded`); its speedup over the serial fold scales
 //! with physical cores, so the JSON records the thread count the run
-//! observed alongside the timings. Equality of the two paths' results
-//! is asserted here too — a benchmark that silently diverged from the
-//! serial semantics would be measuring the wrong thing.
+//! observed alongside the timings. On a single thread the sharded entry
+//! point falls back to the serial fold — the floor asserted here is
+//! **sharded ≥ 0.98× serial at 1 thread** (the 0.92× regression this
+//! fallback fixes). Equality of the two paths' results is asserted
+//! before timing — a benchmark that silently diverged from the serial
+//! semantics would be measuring the wrong thing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -24,9 +26,23 @@ use mlpeer_data::Sim;
 use mlpeer_ixp::Ecosystem;
 use mlpeer_topo::infer::{infer_relationships, InferConfig};
 
-fn bench_passive_sharding(c: &mut Criterion) {
-    let seed = 20130501u64;
-    let eco = Ecosystem::generate(Scale::Small.config(seed));
+/// Min-of-3 estimates: the vendored harness reports a mean, and the
+/// 1-thread floor below needs shared-core jitter squeezed out.
+fn bench_min(c: &mut Criterion, group: &str, id: &str, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut g = c.benchmark_group(group);
+        g.sample_size(10);
+        g.bench_function(id, |b| b.iter(|| std::hint::black_box(f())));
+        g.finish();
+        best = best.min(c.last_estimate_ns().expect("bench just ran"));
+    }
+    best
+}
+
+fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
+    eprintln!("# building {} dataset…", scale.word());
+    let eco = Ecosystem::generate(scale.config(seed));
     let sim = Sim::new(&eco);
     let irr = build_irr(&eco, &IrrConfig::default());
     let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
@@ -56,58 +72,73 @@ fn bench_passive_sharding(c: &mut Criterion) {
         "sharded inference state must match serial"
     );
 
-    let mut group = c.benchmark_group("passive_small");
-    group.sample_size(10);
-    group.bench_function("harvest_serial", |b| {
-        b.iter(|| {
+    let group = format!("passive_{}", scale.word());
+    let threads = rayon::current_num_threads();
+    let mut serial_ns = f64::INFINITY;
+    let mut sharded_ns = f64::INFINITY;
+    // Alternating rounds with retry, like harvest_hot: at 1 thread the
+    // two paths are the same code, and the 2% floor must not flake on
+    // scheduling jitter.
+    for round in 0..4 {
+        serial_ns = serial_ns.min(bench_min(c, &group, "harvest_serial", || {
             let mut sink = LinkInferencer::default();
             harvest_passive(&passive, &dict, &conn, &rels, &cfg, &mut sink);
-            std::hint::black_box(sink.observation_count())
-        })
-    });
-    group.finish();
-    let serial_ns = take_estimate(c);
-
-    let mut group = c.benchmark_group("passive_small");
-    group.sample_size(10);
-    group.bench_function("harvest_sharded", |b| {
-        b.iter(|| {
+            sink.observation_count()
+        }));
+        sharded_ns = sharded_ns.min(bench_min(c, &group, "harvest_sharded", || {
             let (sink, _) =
                 harvest_passive_sharded::<LinkInferencer>(&passive, &dict, &conn, &rels, &cfg);
-            std::hint::black_box(sink.observation_count())
-        })
-    });
-    group.finish();
-    let sharded_ns = take_estimate(c);
-
-    let threads = rayon::current_num_threads();
+            sink.observation_count()
+        }));
+        if serial_ns / sharded_ns >= 0.98 || threads > 1 {
+            break;
+        }
+        eprintln!("# sharded floor unmet in round {round}, re-measuring…");
+    }
     let speedup = serial_ns / sharded_ns;
-    let report = serde_json::json!({
-        "bench": "harvest_passive serial vs sharded",
-        "scale": "small",
-        "seed": seed,
+    if threads == 1 {
+        assert!(
+            speedup >= 0.98,
+            "acceptance: sharded must hold ≥0.98x serial at 1 thread \
+             (measured {speedup:.3}x at {})",
+            scale.word()
+        );
+    }
+    println!(
+        "{}: serial {:.1} ms, sharded {:.1} ms on {threads} thread(s): {speedup:.2}x",
+        scale.word(),
+        serial_ns / 1e6,
+        sharded_ns / 1e6,
+    );
+    serde_json::json!({
+        "scale": scale.word(),
         "collectors": passive.collectors.len(),
         "routes_seen": serial_stats.routes_seen,
         "observations": serial_stats.observations,
-        "threads": threads,
-        "mlpeer_threads_override": rayon::env_threads(),
         "serial_ms": serial_ns / 1e6,
         "sharded_ms": sharded_ns / 1e6,
         "speedup": speedup,
+    })
+}
+
+fn bench_passive_sharding(c: &mut Criterion) {
+    let seed = 20130501u64;
+    let results: Vec<serde_json::Value> = [Scale::Small, Scale::Large]
+        .iter()
+        .map(|&s| bench_at(c, s, seed))
+        .collect();
+    let report = serde_json::json!({
+        "bench": "harvest_passive serial vs sharded",
+        "seed": seed,
+        "threads": rayon::current_num_threads(),
+        "mlpeer_threads_override": rayon::env_threads(),
+        "scales": results,
     });
     // Anchor to the workspace root regardless of the bench's CWD.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_passive.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
         .expect("write BENCH_passive.json");
-    println!(
-        "serial {:.1} ms, sharded {:.1} ms on {threads} thread(s): {speedup:.2}x → wrote {path}",
-        serial_ns / 1e6,
-        sharded_ns / 1e6,
-    );
-}
-
-fn take_estimate(c: &Criterion) -> f64 {
-    c.last_estimate_ns().expect("bench just ran")
+    println!("wrote {path}");
 }
 
 criterion_group!(benches, bench_passive_sharding);

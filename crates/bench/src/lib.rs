@@ -38,6 +38,9 @@ pub enum Scale {
     Small,
     /// ~50 % of Table 2 — the serving/indexing bench scale.
     Medium,
+    /// ~75 % of Table 2 — the second point of the benchmark scale
+    /// axis (`BENCH_*.json` records at Medium *and* Large).
+    Large,
     /// Table 2 scale (minutes).
     Paper,
 }
@@ -49,6 +52,7 @@ impl Scale {
             Scale::Tiny => EcosystemConfig::tiny(seed),
             Scale::Small => EcosystemConfig::small(seed),
             Scale::Medium => EcosystemConfig::medium(seed),
+            Scale::Large => EcosystemConfig::large(seed),
             Scale::Paper => EcosystemConfig::paper_scale(seed),
         }
     }
@@ -59,8 +63,20 @@ impl Scale {
             "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
             "paper" | "full" => Some(Scale::Paper),
             _ => None,
+        }
+    }
+
+    /// The lowercase word used in CLI flags and BENCH records.
+    pub fn word(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+            Scale::Paper => "paper",
         }
     }
 }

@@ -1,0 +1,782 @@
+//! Zero-copy views over wire-encoded MRT archives.
+//!
+//! [`MrtArchive::decode`](crate::mrt::MrtArchive::decode) materializes
+//! every record into heap-backed structs — an `AsPath` (a `Vec` of
+//! segment `Vec`s), a `CommunitySet`, NLRI and withdrawn `Vec`s — per
+//! archived route. That is the right shape for manipulating routes, but
+//! the passive harvest only *reads* each route once, so at collector
+//! scale the allocator dominates the hot loop.
+//!
+//! [`MrtBytes`] is the columnar alternative: it validates the archive's
+//! structure in one pass at construction and then serves **borrowed
+//! views** straight off the byte arena. [`RibCursor`] /
+//! [`UpdateCursor`] walk precomputed record offsets; each yielded
+//! [`RouteView`] holds slices into the arena, and its accessors
+//! (AS-path flattening with prepend collapse, community iteration,
+//! NLRI walks) decode the wire bytes in place. A harvest over views
+//! performs zero heap allocations per route — callers bring reusable
+//! scratch buffers — and is byte-identical to the struct path (asserted
+//! by the `view_matches_struct_decode` property test in
+//! `tests/proptests.rs` and by the equality tests in `mlpeer::passive`).
+//!
+//! Because validation happens once in [`MrtBytes::new`], the view
+//! accessors are infallible: every bound they rely on was checked up
+//! front, so the hot loop carries no `Result` plumbing.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use crate::asn::Asn;
+use crate::community::{Community, CommunitySet};
+use crate::error::BgpError;
+use crate::mrt::{MrtArchive, MrtPeer, REC_PEER_TABLE, REC_RIB_ENTRY, REC_UPDATE};
+use crate::prefix::Prefix;
+use crate::route::Origin;
+use crate::wire::{
+    ATTR_AS_PATH, ATTR_COMMUNITIES, ATTR_LOCAL_PREF, ATTR_MED, ATTR_NEXT_HOP, ATTR_ORIGIN,
+    FLAG_EXTENDED, HEADER_LEN, SEG_SEQUENCE, SEG_SET, TYPE_UPDATE_CODE,
+};
+
+#[inline]
+fn be16(b: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([b[at], b[at + 1]])
+}
+
+#[inline]
+fn be32(b: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+#[inline]
+fn need(b: &[u8], at: usize, n: usize, context: &'static str) -> Result<(), BgpError> {
+    if b.len() < at + n {
+        Err(BgpError::Truncated {
+            context,
+            needed: at + n - b.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// A wire-encoded MRT archive, validated once, served as borrowed
+/// views. The compact counterpart of [`MrtArchive`]: same bytes
+/// ([`MrtArchive::encode`] output), no per-record heap structures.
+#[derive(Debug, Clone)]
+pub struct MrtBytes {
+    data: Bytes,
+    peers: Vec<MrtPeer>,
+    /// `(start, end)` byte ranges of each RIB record body in `data`.
+    rib: Vec<(u32, u32)>,
+    /// `(start, end)` byte ranges of each update record body.
+    updates: Vec<(u32, u32)>,
+}
+
+impl MrtBytes {
+    /// Validate a wire-encoded archive and index its record offsets.
+    ///
+    /// The single pass checks everything the struct decoder would —
+    /// record framing, peer-index bounds, embedded UPDATE frame
+    /// structure down to attribute TLVs, segment and prefix bounds —
+    /// so the cursors and views can be infallible afterwards.
+    ///
+    /// One arena is limited to 4 GiB (offsets are stored as u32 to
+    /// halve the index footprint); a larger input panics explicitly
+    /// rather than truncating offsets. Shard collectors into multiple
+    /// archives before hitting that.
+    pub fn new(data: Bytes) -> Result<Self, BgpError> {
+        assert!(
+            u32::try_from(data.len()).is_ok(),
+            "MrtBytes arena limited to 4 GiB ({} bytes given); split the archive",
+            data.len()
+        );
+        let buf: &[u8] = &data;
+        let mut peers: Vec<MrtPeer> = Vec::new();
+        let mut rib = Vec::new();
+        let mut updates = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            need(buf, pos, 6, "MRT record header")?;
+            let rtype = be16(buf, pos);
+            let rlen = be32(buf, pos + 2) as usize;
+            pos += 6;
+            need(buf, pos, rlen, "MRT record body")?;
+            let body = &buf[pos..pos + rlen];
+            match rtype {
+                REC_PEER_TABLE => {
+                    need(body, 0, 2, "peer table")?;
+                    let n = be16(body, 0) as usize;
+                    need(body, 2, n * 8, "peer table entries")?;
+                    for i in 0..n {
+                        peers.push(MrtPeer {
+                            asn: Asn(be32(body, 2 + i * 8)),
+                            addr: Ipv4Addr::from(be32(body, 6 + i * 8)),
+                        });
+                    }
+                }
+                REC_RIB_ENTRY => {
+                    validate_record(body, peers.len(), true)?;
+                    rib.push((pos as u32, (pos + rlen) as u32));
+                }
+                REC_UPDATE => {
+                    validate_record(body, peers.len(), false)?;
+                    updates.push((pos as u32, (pos + rlen) as u32));
+                }
+                other => return Err(BgpError::UnknownMrtType(other)),
+            }
+            pos += rlen;
+        }
+        Ok(MrtBytes {
+            data,
+            peers,
+            rib,
+            updates,
+        })
+    }
+
+    /// Encode a struct archive into its columnar form.
+    pub fn from_archive(archive: &MrtArchive) -> MrtBytes {
+        MrtBytes::new(archive.encode()).expect("self-encoded archives are structurally valid")
+    }
+
+    /// Decode back into the struct form (tests, interop).
+    pub fn to_archive(&self) -> MrtArchive {
+        MrtArchive::decode(self.data.clone()).expect("validated at construction")
+    }
+
+    /// The underlying wire bytes.
+    pub fn as_bytes(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// Size of the byte arena.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The vantage-point peer table.
+    pub fn peers(&self) -> &[MrtPeer] {
+        &self.peers
+    }
+
+    /// Look up a peer by index.
+    pub fn peer(&self, index: u16) -> Result<&MrtPeer, BgpError> {
+        self.peers
+            .get(index as usize)
+            .ok_or(BgpError::UnknownPeerIndex(index))
+    }
+
+    /// Number of RIB records.
+    pub fn rib_len(&self) -> usize {
+        self.rib.len()
+    }
+
+    /// Number of update records.
+    pub fn update_len(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Cursor over every RIB record.
+    pub fn rib_cursor(&self) -> RibCursor<'_> {
+        self.rib_range(0, self.rib.len())
+    }
+
+    /// Cursor over RIB records `[start, end)` — the sharding unit of
+    /// the view-based harvest (record-index ranges are cheap to split
+    /// without touching the arena).
+    pub fn rib_range(&self, start: usize, end: usize) -> RibCursor<'_> {
+        assert!(start <= end && end <= self.rib.len(), "rib range in bounds");
+        RibCursor {
+            arch: self,
+            idx: start,
+            end,
+        }
+    }
+
+    /// Cursor over the update stream, in archive order.
+    pub fn update_cursor(&self) -> UpdateCursor<'_> {
+        UpdateCursor { arch: self, idx: 0 }
+    }
+}
+
+/// Validate one RIB/update record body: peer bounds plus the embedded
+/// UPDATE frame, mirroring every check the struct decoder performs.
+fn validate_record(body: &[u8], peer_count: usize, rib_shape: bool) -> Result<(), BgpError> {
+    need(body, 0, 10, "MRT framed update")?;
+    let peer_index = be16(body, 0);
+    if peer_index as usize >= peer_count {
+        return Err(BgpError::UnknownPeerIndex(peer_index));
+    }
+    let flen = be32(body, 6) as usize;
+    need(body, 10, flen, "embedded frame")?;
+    let frame = &body[10..10 + flen];
+
+    // Frame header (decode_frame's checks).
+    if frame.len() < HEADER_LEN {
+        return Err(BgpError::Truncated {
+            context: "header",
+            needed: HEADER_LEN - frame.len(),
+        });
+    }
+    let declared = be16(frame, 16) as usize;
+    if declared != frame.len() {
+        return Err(BgpError::LengthMismatch {
+            declared,
+            actual: frame.len(),
+        });
+    }
+    if frame[18] != TYPE_UPDATE_CODE {
+        return Err(BgpError::MalformedAttribute(
+            "embedded frame is not an UPDATE",
+        ));
+    }
+    let b = &frame[HEADER_LEN..];
+
+    // Withdrawn routes.
+    need(b, 0, 2, "withdrawn length")?;
+    let wd_len = be16(b, 0) as usize;
+    need(b, 2, wd_len, "withdrawn routes")?;
+    validate_prefixes(&b[2..2 + wd_len])?;
+
+    // Path attributes.
+    let rest = &b[2 + wd_len..];
+    need(rest, 0, 2, "attribute length")?;
+    let at_len = be16(rest, 0) as usize;
+    need(rest, 2, at_len, "path attributes")?;
+    let mut attrs = &rest[2..2 + at_len];
+    while attrs.len() >= 3 {
+        let flags = attrs[0];
+        let ty = attrs[1];
+        let (alen, hdr) = if flags & FLAG_EXTENDED != 0 {
+            need(attrs, 2, 2, "extended attr length")?;
+            (be16(attrs, 2) as usize, 4)
+        } else {
+            (attrs[2] as usize, 3)
+        };
+        need(attrs, hdr, alen, "attr body")?;
+        let abody = &attrs[hdr..hdr + alen];
+        attrs = &attrs[hdr + alen..];
+        match ty {
+            ATTR_ORIGIN => {
+                if abody.is_empty() {
+                    return Err(BgpError::MalformedAttribute("ORIGIN empty"));
+                }
+                if Origin::from_code(abody[0]).is_none() {
+                    return Err(BgpError::MalformedAttribute("ORIGIN code"));
+                }
+            }
+            ATTR_AS_PATH => {
+                let mut p = abody;
+                while p.len() >= 2 {
+                    let sty = p[0];
+                    let count = p[1] as usize;
+                    if p.len() < 2 + count * 4 {
+                        return Err(BgpError::MalformedAttribute("AS_PATH segment"));
+                    }
+                    if sty != SEG_SET && sty != SEG_SEQUENCE {
+                        return Err(BgpError::MalformedAttribute("AS_PATH segment type"));
+                    }
+                    p = &p[2 + count * 4..];
+                }
+            }
+            ATTR_NEXT_HOP if abody.len() < 4 => {
+                return Err(BgpError::MalformedAttribute("NEXT_HOP length"));
+            }
+            ATTR_MED if abody.len() < 4 => {
+                return Err(BgpError::MalformedAttribute("MED length"));
+            }
+            ATTR_LOCAL_PREF if abody.len() < 4 => {
+                return Err(BgpError::MalformedAttribute("LOCAL_PREF length"));
+            }
+            ATTR_COMMUNITIES if alen % 4 != 0 => {
+                return Err(BgpError::MalformedAttribute("COMMUNITIES length"));
+            }
+            _ => {} // fixed-width attrs of valid length, or unknown
+                    // attributes skipped like the struct decoder
+        }
+    }
+
+    // NLRI.
+    let nlri = &rest[2 + at_len..];
+    let nlri_count = validate_prefixes(nlri)?;
+
+    if rib_shape {
+        if at_len == 0 {
+            return Err(BgpError::MalformedAttribute("RIB entry without attributes"));
+        }
+        if nlri_count == 0 {
+            return Err(BgpError::MalformedAttribute("RIB entry without NLRI"));
+        }
+    }
+    Ok(())
+}
+
+/// Walk a packed prefix list, checking lengths; returns the count.
+fn validate_prefixes(mut b: &[u8]) -> Result<usize, BgpError> {
+    let mut count = 0;
+    while !b.is_empty() {
+        let len = b[0];
+        if len > 32 {
+            return Err(BgpError::PrefixLenOutOfRange(len));
+        }
+        let nbytes = (len as usize).div_ceil(8);
+        need(b, 1, nbytes, "prefix octets")?;
+        b = &b[1 + nbytes..];
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// One archived route, borrowed from the byte arena: scalar attributes
+/// decoded inline (they are fixed-width u32 reads), variable-width
+/// attributes kept as wire slices and decoded on demand.
+///
+/// For a RIB record, [`timestamp`](RouteView::timestamp) is the
+/// `originated` field and [`prefix`](RouteView::prefix) the single
+/// NLRI; for an update record the view exposes the full
+/// withdrawn/NLRI lists.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteView<'a> {
+    peer_index: u16,
+    timestamp: u32,
+    withdrawn: &'a [u8],
+    as_path: &'a [u8],
+    communities: &'a [u8],
+    nlri: &'a [u8],
+    next_hop: Ipv4Addr,
+    local_pref: u32,
+    med: u32,
+    origin: Origin,
+    has_attrs: bool,
+}
+
+impl<'a> RouteView<'a> {
+    /// Parse one validated record body into a view. All bounds were
+    /// checked by [`MrtBytes::new`]; this is a single allocation-free
+    /// pass over the record.
+    fn parse(body: &'a [u8]) -> RouteView<'a> {
+        let peer_index = be16(body, 0);
+        let timestamp = be32(body, 2);
+        let flen = be32(body, 6) as usize;
+        let frame = &body[10..10 + flen];
+        let b = &frame[HEADER_LEN..];
+        let wd_len = be16(b, 0) as usize;
+        let withdrawn = &b[2..2 + wd_len];
+        let rest = &b[2 + wd_len..];
+        let at_len = be16(rest, 0) as usize;
+        let mut attrs = &rest[2..2 + at_len];
+        let nlri = &rest[2 + at_len..];
+
+        let mut view = RouteView {
+            peer_index,
+            timestamp,
+            withdrawn,
+            as_path: &[],
+            communities: &[],
+            nlri,
+            // Defaults match `RouteAttrs::default()`, which the struct
+            // decoder starts from when attributes are present.
+            next_hop: Ipv4Addr::UNSPECIFIED,
+            local_pref: 100,
+            med: 0,
+            origin: Origin::Igp,
+            has_attrs: at_len > 0,
+        };
+        while attrs.len() >= 3 {
+            let flags = attrs[0];
+            let ty = attrs[1];
+            let (alen, hdr) = if flags & FLAG_EXTENDED != 0 {
+                (be16(attrs, 2) as usize, 4)
+            } else {
+                (attrs[2] as usize, 3)
+            };
+            let abody = &attrs[hdr..hdr + alen];
+            attrs = &attrs[hdr + alen..];
+            match ty {
+                ATTR_ORIGIN => {
+                    view.origin = Origin::from_code(abody[0]).expect("validated ORIGIN code");
+                }
+                ATTR_AS_PATH => view.as_path = abody,
+                ATTR_NEXT_HOP => view.next_hop = Ipv4Addr::from(be32(abody, 0)),
+                ATTR_MED => view.med = be32(abody, 0),
+                ATTR_LOCAL_PREF => view.local_pref = be32(abody, 0),
+                ATTR_COMMUNITIES => view.communities = abody,
+                _ => {}
+            }
+        }
+        view
+    }
+
+    /// Index into the archive's peer table.
+    pub fn peer_index(&self) -> u16 {
+        self.peer_index
+    }
+
+    /// RIB `originated` / update receive timestamp (simulation seconds).
+    pub fn timestamp(&self) -> u32 {
+        self.timestamp
+    }
+
+    /// True if the record carried a path-attribute section (always true
+    /// for RIB records; false for withdraw-only updates).
+    pub fn has_attrs(&self) -> bool {
+        self.has_attrs
+    }
+
+    /// LOCAL_PREF (default 100).
+    pub fn local_pref(&self) -> u32 {
+        self.local_pref
+    }
+
+    /// MED (default 0).
+    pub fn med(&self) -> u32 {
+        self.med
+    }
+
+    /// ORIGIN (default IGP).
+    pub fn origin(&self) -> Origin {
+        self.origin
+    }
+
+    /// NEXT_HOP (default unspecified).
+    pub fn next_hop(&self) -> Ipv4Addr {
+        self.next_hop
+    }
+
+    /// The RIB entry's prefix (first NLRI). Panics on withdraw-only
+    /// update views — RIB records always carry exactly one NLRI
+    /// (enforced at validation).
+    pub fn prefix(&self) -> Prefix {
+        self.nlri()
+            .next()
+            .expect("RIB records carry one NLRI (validated)")
+    }
+
+    /// Announced prefixes.
+    pub fn nlri(&self) -> PrefixIter<'a> {
+        PrefixIter { b: self.nlri }
+    }
+
+    /// Withdrawn prefixes.
+    pub fn withdrawn(&self) -> PrefixIter<'a> {
+        PrefixIter { b: self.withdrawn }
+    }
+
+    /// Every ASN in the AS path in order of appearance (sets flattened
+    /// in stored order) — `AsPath::iter` semantics, straight off the
+    /// wire.
+    pub fn path_hops(&self) -> AsnIter<'a> {
+        AsnIter {
+            b: self.as_path,
+            remaining_in_seg: 0,
+        }
+    }
+
+    /// The AS path with consecutive duplicates collapsed — exactly
+    /// `AsPath::dedup_prepends`, written into a caller-owned scratch
+    /// buffer so the hot loop performs no allocation after warm-up.
+    pub fn path_dedup_into(&self, out: &mut Vec<Asn>) {
+        out.clear();
+        for asn in self.path_hops() {
+            if out.last() != Some(&asn) {
+                out.push(asn);
+            }
+        }
+    }
+
+    /// True if the route carries no COMMUNITIES attribute (or an empty
+    /// one).
+    pub fn communities_is_empty(&self) -> bool {
+        self.communities.is_empty()
+    }
+
+    /// Attached communities in wire order (ascending: the encoder
+    /// writes the sorted set).
+    pub fn communities(&self) -> CommunityIter<'a> {
+        CommunityIter {
+            b: self.communities,
+        }
+    }
+
+    /// Rebuild the community set into a caller-owned scratch
+    /// `CommunitySet`, byte-identical to the struct decoder's result.
+    pub fn communities_into(&self, out: &mut CommunitySet) {
+        out.clear();
+        for c in self.communities() {
+            out.insert(c);
+        }
+    }
+}
+
+/// Iterator over a packed wire prefix list.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixIter<'a> {
+    b: &'a [u8],
+}
+
+impl Iterator for PrefixIter<'_> {
+    type Item = Prefix;
+
+    fn next(&mut self) -> Option<Prefix> {
+        if self.b.is_empty() {
+            return None;
+        }
+        let len = self.b[0];
+        let nbytes = (len as usize).div_ceil(8);
+        let mut octets = [0u8; 4];
+        octets[..nbytes].copy_from_slice(&self.b[1..1 + nbytes]);
+        self.b = &self.b[1 + nbytes..];
+        Some(Prefix::from_u32(u32::from_be_bytes(octets), len).expect("validated prefix length"))
+    }
+}
+
+/// Iterator over the flattened ASNs of a wire AS_PATH attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct AsnIter<'a> {
+    b: &'a [u8],
+    remaining_in_seg: usize,
+}
+
+impl Iterator for AsnIter<'_> {
+    type Item = Asn;
+
+    fn next(&mut self) -> Option<Asn> {
+        while self.remaining_in_seg == 0 {
+            // The struct decoder reads segment headers while ≥ 2 bytes
+            // remain; a trailing odd byte is ignored the same way.
+            if self.b.len() < 2 {
+                return None;
+            }
+            self.remaining_in_seg = self.b[1] as usize;
+            self.b = &self.b[2..];
+        }
+        let asn = Asn(be32(self.b, 0));
+        self.b = &self.b[4..];
+        self.remaining_in_seg -= 1;
+        Some(asn)
+    }
+}
+
+/// Iterator over a wire COMMUNITIES attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityIter<'a> {
+    b: &'a [u8],
+}
+
+impl Iterator for CommunityIter<'_> {
+    type Item = Community;
+
+    fn next(&mut self) -> Option<Community> {
+        if self.b.len() < 4 {
+            return None;
+        }
+        let c = Community(be32(self.b, 0));
+        self.b = &self.b[4..];
+        Some(c)
+    }
+}
+
+/// Cursor over a range of RIB records, yielding borrowed views.
+#[derive(Debug, Clone)]
+pub struct RibCursor<'a> {
+    arch: &'a MrtBytes,
+    idx: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for RibCursor<'a> {
+    type Item = RouteView<'a>;
+
+    fn next(&mut self) -> Option<RouteView<'a>> {
+        if self.idx >= self.end {
+            return None;
+        }
+        let (s, e) = self.arch.rib[self.idx];
+        self.idx += 1;
+        Some(RouteView::parse(&self.arch.data[s as usize..e as usize]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.idx;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RibCursor<'_> {}
+
+/// Cursor over the update stream, yielding borrowed views.
+#[derive(Debug, Clone)]
+pub struct UpdateCursor<'a> {
+    arch: &'a MrtBytes,
+    idx: usize,
+}
+
+impl<'a> Iterator for UpdateCursor<'a> {
+    type Item = RouteView<'a>;
+
+    fn next(&mut self) -> Option<RouteView<'a>> {
+        let (s, e) = *self.arch.updates.get(self.idx)?;
+        self.idx += 1;
+        Some(RouteView::parse(&self.arch.data[s as usize..e as usize]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.arch.updates.len() - self.idx;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for UpdateCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+    use crate::mrt::{MrtRibEntry, MrtUpdate};
+    use crate::route::RouteAttrs;
+    use crate::update::UpdateMessage;
+
+    fn attrs(path: &str) -> RouteAttrs {
+        RouteAttrs::new(
+            path.parse::<AsPath>().unwrap(),
+            "80.81.192.1".parse().unwrap(),
+        )
+        .with_communities("0:6695 6695:8447".parse().unwrap())
+    }
+
+    fn sample_archive() -> MrtArchive {
+        let mut a = MrtArchive::new();
+        let p0 = a.add_peer(Asn(11666), "203.0.113.1".parse().unwrap());
+        let p1 = a.add_peer(Asn(3356), "203.0.113.2".parse().unwrap());
+        a.rib.push(MrtRibEntry {
+            peer_index: p0,
+            originated: 1_000,
+            prefix: "193.34.0.0/22".parse().unwrap(),
+            attrs: attrs("11666 11666 8714 8359"),
+        });
+        a.rib.push(MrtRibEntry {
+            peer_index: p1,
+            originated: 1_005,
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            attrs: attrs("3356 8359"),
+        });
+        a.updates.push(MrtUpdate {
+            peer_index: p1,
+            timestamp: 2_000,
+            update: UpdateMessage::withdraw(vec!["193.34.0.0/22".parse().unwrap()]),
+        });
+        a.updates.push(MrtUpdate {
+            peer_index: p0,
+            timestamp: 2_500,
+            update: UpdateMessage::announce(
+                attrs("11666 {64496,64497} 8359"),
+                vec![
+                    "10.0.0.0/8".parse().unwrap(),
+                    "203.0.113.37/32".parse().unwrap(),
+                ],
+            ),
+        });
+        a
+    }
+
+    #[test]
+    fn views_match_struct_decode() {
+        let archive = sample_archive();
+        let bytes = MrtBytes::from_archive(&archive);
+        assert_eq!(bytes.peers(), &archive.peers[..]);
+        assert_eq!(bytes.rib_len(), archive.rib.len());
+        assert_eq!(bytes.update_len(), archive.updates.len());
+
+        for (view, entry) in bytes.rib_cursor().zip(&archive.rib) {
+            assert_eq!(view.peer_index(), entry.peer_index);
+            assert_eq!(view.timestamp(), entry.originated);
+            assert_eq!(view.prefix(), entry.prefix);
+            assert_eq!(
+                view.path_hops().collect::<Vec<_>>(),
+                entry.attrs.as_path.to_vec()
+            );
+            let mut dedup = Vec::new();
+            view.path_dedup_into(&mut dedup);
+            assert_eq!(dedup, entry.attrs.as_path.dedup_prepends());
+            let mut cs = CommunitySet::new();
+            view.communities_into(&mut cs);
+            assert_eq!(cs, entry.attrs.communities);
+            assert_eq!(view.local_pref(), entry.attrs.local_pref);
+            assert_eq!(view.med(), entry.attrs.med);
+            assert_eq!(view.origin(), entry.attrs.origin);
+            assert_eq!(view.next_hop(), entry.attrs.next_hop);
+        }
+
+        for (view, u) in bytes.update_cursor().zip(&archive.updates) {
+            assert_eq!(view.peer_index(), u.peer_index);
+            assert_eq!(view.timestamp(), u.timestamp);
+            assert_eq!(view.withdrawn().collect::<Vec<_>>(), u.update.withdrawn);
+            assert_eq!(view.nlri().collect::<Vec<_>>(), u.update.nlri);
+            assert_eq!(view.has_attrs(), u.update.attrs.is_some());
+            if let Some(a) = &u.update.attrs {
+                assert_eq!(view.path_hops().collect::<Vec<_>>(), a.as_path.to_vec());
+                let mut cs = CommunitySet::new();
+                view.communities_into(&mut cs);
+                assert_eq!(cs, a.communities);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrips_to_archive() {
+        let archive = sample_archive();
+        let bytes = MrtBytes::from_archive(&archive);
+        assert_eq!(bytes.to_archive(), archive);
+        assert_eq!(bytes.byte_len(), archive.encode().len());
+    }
+
+    #[test]
+    fn rib_range_splits_cover_the_whole_cursor() {
+        let archive = sample_archive();
+        let bytes = MrtBytes::from_archive(&archive);
+        let all: Vec<Prefix> = bytes.rib_cursor().map(|v| v.prefix()).collect();
+        let mut split: Vec<Prefix> = bytes.rib_range(0, 1).map(|v| v.prefix()).collect();
+        split.extend(bytes.rib_range(1, bytes.rib_len()).map(|v| v.prefix()));
+        assert_eq!(all, split);
+        assert_eq!(bytes.rib_cursor().len(), 2);
+        assert_eq!(bytes.update_cursor().len(), 2);
+        assert_eq!(bytes.rib_range(1, 1).count(), 0);
+    }
+
+    #[test]
+    fn rejects_what_the_struct_decoder_rejects() {
+        let archive = sample_archive();
+        let encoded = archive.encode();
+        for cut in [1usize, 5, 9, encoded.len() - 1] {
+            let sliced = encoded.slice(..cut.min(encoded.len() - 1));
+            assert!(MrtBytes::new(sliced).is_err(), "cut at {cut}");
+        }
+        // Dangling peer index.
+        let mut bad = archive.clone();
+        bad.rib[0].peer_index = 77;
+        assert_eq!(
+            MrtBytes::new(bad.encode()).unwrap_err(),
+            BgpError::UnknownPeerIndex(77)
+        );
+        // Unknown peer lookup mirrors the struct API.
+        let bytes = MrtBytes::from_archive(&archive);
+        assert_eq!(bytes.peer(9), Err(BgpError::UnknownPeerIndex(9)));
+        assert!(bytes.peer(0).is_ok());
+    }
+
+    #[test]
+    fn empty_archive() {
+        let bytes = MrtBytes::from_archive(&MrtArchive::new());
+        assert_eq!(bytes.rib_len(), 0);
+        assert_eq!(bytes.update_len(), 0);
+        assert_eq!(bytes.rib_cursor().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rib range in bounds")]
+    fn out_of_bounds_range_panics() {
+        let bytes = MrtBytes::from_archive(&MrtArchive::new());
+        let _ = bytes.rib_range(0, 1);
+    }
+}

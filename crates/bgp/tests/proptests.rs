@@ -266,3 +266,120 @@ fn rib_best_is_among_paths() {
         assert_eq!(rib.paths_ranked(&p)[0], best);
     });
 }
+
+// ---- columnar archive views (MrtBytes) vs the struct decoder ----
+
+use mlpeer_bgp::mrt::{MrtArchive, MrtRibEntry, MrtUpdate};
+use mlpeer_bgp::view::MrtBytes;
+
+/// A random archive with a peer table, RIB entries and an update
+/// stream. RIB attrs always carry ≥ 1 NLRI by construction.
+fn arb_archive(rng: &mut StdRng) -> MrtArchive {
+    let mut a = MrtArchive::new();
+    let npeers = rng.gen_range(1..5usize);
+    for i in 0..npeers {
+        a.add_peer(arb_asn(rng), std::net::Ipv4Addr::from(rng.gen::<u32>()));
+        let _ = i;
+    }
+    for _ in 0..rng.gen_range(0..12usize) {
+        a.rib.push(MrtRibEntry {
+            peer_index: rng.gen_range(0..npeers) as u16,
+            originated: rng.gen::<u32>(),
+            prefix: arb_prefix(rng),
+            attrs: arb_attrs(rng),
+        });
+    }
+    for _ in 0..rng.gen_range(0..8usize) {
+        let mut update = arb_update(rng);
+        // An empty UPDATE decodes to attrs=None with no routes, which
+        // encodes identically; keep it, the views must cope.
+        if update.withdrawn.is_empty() && update.nlri.is_empty() {
+            update.attrs = None;
+        }
+        a.updates.push(MrtUpdate {
+            peer_index: rng.gen_range(0..npeers) as u16,
+            timestamp: rng.gen::<u32>(),
+            update,
+        });
+    }
+    a
+}
+
+/// The tentpole contract: for any archive, the zero-copy views yield
+/// exactly what the struct decoder materializes — same peers, same
+/// per-record fields, same flattened/deduplicated AS paths, same
+/// community sets — and `to_archive` round-trips.
+#[test]
+fn view_matches_struct_decode() {
+    for_cases(0x0C, |rng| {
+        let archive = arb_archive(rng);
+        let encoded = archive.encode();
+        let decoded = MrtArchive::decode(encoded.clone()).expect("struct decode");
+        let bytes = MrtBytes::new(encoded).expect("view validation");
+        assert_eq!(bytes.peers(), &decoded.peers[..]);
+        assert_eq!(bytes.rib_len(), decoded.rib.len());
+        assert_eq!(bytes.update_len(), decoded.updates.len());
+        assert_eq!(bytes.to_archive(), decoded);
+
+        let mut dedup = Vec::new();
+        let mut cs = CommunitySet::new();
+        for (view, entry) in bytes.rib_cursor().zip(&decoded.rib) {
+            assert_eq!(view.peer_index(), entry.peer_index);
+            assert_eq!(view.timestamp(), entry.originated);
+            assert_eq!(view.prefix(), entry.prefix);
+            assert_eq!(
+                view.path_hops().collect::<Vec<_>>(),
+                entry.attrs.as_path.to_vec()
+            );
+            view.path_dedup_into(&mut dedup);
+            assert_eq!(dedup, entry.attrs.as_path.dedup_prepends());
+            view.communities_into(&mut cs);
+            assert_eq!(cs, entry.attrs.communities);
+            assert_eq!(
+                view.communities_is_empty(),
+                entry.attrs.communities.is_empty()
+            );
+            assert_eq!(view.local_pref(), entry.attrs.local_pref);
+            assert_eq!(view.med(), entry.attrs.med);
+            assert_eq!(view.origin(), entry.attrs.origin);
+            assert_eq!(view.next_hop(), entry.attrs.next_hop);
+        }
+        for (view, u) in bytes.update_cursor().zip(&decoded.updates) {
+            assert_eq!(view.peer_index(), u.peer_index);
+            assert_eq!(view.timestamp(), u.timestamp);
+            assert_eq!(view.withdrawn().collect::<Vec<_>>(), u.update.withdrawn);
+            assert_eq!(view.nlri().collect::<Vec<_>>(), u.update.nlri);
+            assert_eq!(view.has_attrs(), u.update.attrs.is_some());
+            if let Some(a) = &u.update.attrs {
+                assert_eq!(view.path_hops().collect::<Vec<_>>(), a.as_path.to_vec());
+                view.path_dedup_into(&mut dedup);
+                assert_eq!(dedup, a.as_path.dedup_prepends());
+                view.communities_into(&mut cs);
+                assert_eq!(cs, a.communities);
+            }
+        }
+    });
+}
+
+/// Truncations rejected by the struct decoder are rejected by the view
+/// validator too — nothing malformed survives to the infallible views.
+#[test]
+fn view_rejects_truncations_like_struct_decode() {
+    for_cases(0x0D, |rng| {
+        let archive = arb_archive(rng);
+        let encoded = archive.encode();
+        if encoded.len() < 2 {
+            return;
+        }
+        let cut = rng.gen_range(1..encoded.len());
+        let sliced = encoded.slice(..cut);
+        let struct_err = MrtArchive::decode(sliced.clone()).is_err();
+        let view_err = MrtBytes::new(sliced).is_err();
+        assert_eq!(
+            struct_err,
+            view_err,
+            "struct and view decoders must agree at cut {cut}/{}",
+            encoded.len()
+        );
+    });
+}

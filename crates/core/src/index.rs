@@ -20,8 +20,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 
-use crate::hash::FxHashMap;
 use crate::infer::{MlpLinkSet, Observation};
+use crate::intern::AsnTable;
 
 /// One prefix announcement retained for serving: at `.1`, member `.2`
 /// announced prefix `.0` through the route server.
@@ -144,6 +144,23 @@ impl PrefixTrie {
         }
         out
     }
+
+    /// Every distinct prefix with at least one announcement, in trie
+    /// (depth-first address) order — the corpus the serving layer's
+    /// publish-time body cache pre-renders.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::with_capacity(self.prefixes);
+        fn walk(node: &TrieNode, out: &mut Vec<Prefix>) {
+            if let Some(p) = node.prefix {
+                out.push(p);
+            }
+            for child in node.children.iter().flatten() {
+                walk(child, out);
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
 }
 
 fn collect_subtree(node: &TrieNode, out: &mut BTreeSet<Announcement>) {
@@ -166,7 +183,12 @@ fn collect_subtree(node: &TrieNode, out: &mut BTreeSet<Announcement>) {
 ///   members.
 #[derive(Debug, Clone, Default)]
 pub struct LinkIndex {
-    by_member: FxHashMap<Asn, BTreeMap<IxpId, BTreeSet<Asn>>>,
+    /// ASN → dense [`crate::intern::AsnId`] over the linked members.
+    members: AsnTable,
+    /// Indexed by the interned id: the member's peer set per IXP. The
+    /// lookup path is one u32-keyed hash probe plus a `Vec` index —
+    /// never a wide-key hash.
+    by_member: Vec<BTreeMap<IxpId, BTreeSet<Asn>>>,
     trie: PrefixTrie,
     links_total: usize,
 }
@@ -176,20 +198,28 @@ impl LinkIndex {
     /// link set covers at the announcement's IXP, so prefix answers
     /// never cite reachability data the inference itself discarded.
     pub fn build(links: &MlpLinkSet, observations: &[Observation]) -> LinkIndex {
-        let mut by_member: FxHashMap<Asn, BTreeMap<IxpId, BTreeSet<Asn>>> = FxHashMap::default();
+        let mut members = AsnTable::default();
+        let mut by_member: Vec<BTreeMap<IxpId, BTreeSet<Asn>>> = Vec::new();
         let mut links_total = 0;
+        fn slot<'m>(
+            members: &mut AsnTable,
+            by_member: &'m mut Vec<BTreeMap<IxpId, BTreeSet<Asn>>>,
+            asn: Asn,
+        ) -> &'m mut BTreeMap<IxpId, BTreeSet<Asn>> {
+            let id = members.intern(asn);
+            if id.index() == by_member.len() {
+                by_member.push(BTreeMap::new());
+            }
+            &mut by_member[id.index()]
+        }
         for (ixp, pairs) in &links.per_ixp {
             links_total += pairs.len();
             for &(a, b) in pairs {
-                by_member
-                    .entry(a)
-                    .or_default()
+                slot(&mut members, &mut by_member, a)
                     .entry(*ixp)
                     .or_default()
                     .insert(b);
-                by_member
-                    .entry(b)
-                    .or_default()
+                slot(&mut members, &mut by_member, b)
                     .entry(*ixp)
                     .or_default()
                     .insert(a);
@@ -200,6 +230,7 @@ impl LinkIndex {
             trie.insert(prefix, ixp, member);
         }
         LinkIndex {
+            members,
             by_member,
             trie,
             links_total,
@@ -209,13 +240,13 @@ impl LinkIndex {
     /// The member's peers per IXP, or `None` if the member has no
     /// inferred multilateral link anywhere.
     pub fn member_links(&self, asn: Asn) -> Option<&BTreeMap<IxpId, BTreeSet<Asn>>> {
-        self.by_member.get(&asn)
+        self.members.get(asn).map(|id| &self.by_member[id.index()])
     }
 
     /// Owned form of [`member_links`](LinkIndex::member_links) (empty
     /// map when absent), shaped exactly like [`scan::member_links`].
     pub fn member_links_owned(&self, asn: Asn) -> BTreeMap<IxpId, BTreeSet<Asn>> {
-        self.by_member.get(&asn).cloned().unwrap_or_default()
+        self.member_links(asn).cloned().unwrap_or_default()
     }
 
     /// All specificity classes of announcements matching `prefix`.
@@ -235,7 +266,17 @@ impl LinkIndex {
 
     /// Members with at least one link.
     pub fn member_count(&self) -> usize {
-        self.by_member.len()
+        self.members.len()
+    }
+
+    /// The linked members, in interning (first-seen) order.
+    pub fn members(&self) -> &[Asn] {
+        self.members.asns()
+    }
+
+    /// Every distinct announced prefix in the trie.
+    pub fn announced_prefixes(&self) -> Vec<Prefix> {
+        self.trie.prefixes()
     }
 
     /// Distinct announced prefixes in the trie.

@@ -21,8 +21,12 @@
 //! the moment it arrives — `ExportPolicy::from_actions` only ever looks
 //! at the *set* of decoded actions, so the fold is order-insensitive
 //! and per-shard inferencers [`merge`](LinkInferencer::merge) into
-//! exactly the serial state. Hot-path state lives in unseeded hashed
-//! maps ([`crate::hash`]); sorted order is recovered once, in
+//! exactly the serial state. Hot-path state is **interned**
+//! ([`crate::intern`]): `(ixp, member)` pairs become dense u32 handles,
+//! so the per-member reach table is a flat `Vec` indexed by
+//! [`MemberId`]; only the sparse per-member prefix edges hash at all,
+//! and those hash one packed word ([`pack_prefix`]) instead of a
+//! multi-field key. Sorted order is recovered once, in
 //! [`finalize`](LinkInferencer::finalize), the report boundary that
 //! produces the `BTreeMap`-shaped [`MlpLinkSet`].
 
@@ -35,6 +39,7 @@ use mlpeer_ixp::scheme::RsAction;
 
 use crate::connectivity::ConnectivityData;
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::intern::{pack_prefix, unpack_prefix, MemberId, MemberTable};
 use crate::sink::{MergeSink, ObservationSink};
 
 /// Where an observation came from.
@@ -183,18 +188,25 @@ impl PolicyAcc {
 /// passive harvest reproduces the serial result exactly.
 #[derive(Debug, Clone, Default)]
 pub struct LinkInferencer {
-    /// `(ixp, member)` → prefix → folded policy state.
-    reach: FxHashMap<(IxpId, Asn), FxHashMap<Prefix, PolicyAcc>>,
+    /// `(ixp, member)` → dense [`MemberId`] (the reach-table index).
+    members: MemberTable,
+    /// Indexed by [`MemberId`]: per-member packed-prefix → folded
+    /// policy state. The outer dimension is dense (every interned
+    /// member has a slot); only the sparse per-member prefix edges are
+    /// hashed, and they hash a single packed word
+    /// ([`pack_prefix`]) — no global-table indirection in the loop.
+    reach: Vec<FxHashMap<u64, PolicyAcc>>,
     observations: usize,
 }
 
 impl ObservationSink for LinkInferencer {
     fn push(&mut self, obs: Observation) {
-        let acc = self
-            .reach
-            .entry((obs.ixp, obs.member))
-            .or_default()
-            .entry(obs.prefix)
+        let mid = self.members.intern(obs.ixp, obs.member);
+        if mid.index() == self.reach.len() {
+            self.reach.push(FxHashMap::default());
+        }
+        let acc = self.reach[mid.index()]
+            .entry(pack_prefix(obs.prefix))
             .or_default();
         for action in obs.actions {
             acc.absorb(action);
@@ -205,10 +217,14 @@ impl ObservationSink for LinkInferencer {
 
 impl MergeSink for LinkInferencer {
     fn merge(&mut self, other: Self) {
-        for (key, prefixes) in other.reach {
-            let mine = self.reach.entry(key).or_default();
-            for (prefix, acc) in prefixes {
-                match mine.entry(prefix) {
+        for (i, prefixes) in other.reach.into_iter().enumerate() {
+            let (ixp, member) = other.members.resolve(MemberId(i as u32));
+            let mid = self.members.intern(ixp, member);
+            if mid.index() == self.reach.len() {
+                self.reach.push(FxHashMap::default());
+            }
+            for (packed, acc) in prefixes {
+                match self.reach[mid.index()].entry(packed) {
                     std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(acc),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(acc);
@@ -229,7 +245,12 @@ impl LinkInferencer {
     /// Distinct `(ixp, member)` pairs with any reachability data
     /// (before the membership filter).
     pub fn member_count(&self) -> usize {
-        self.reach.len()
+        self.members.len()
+    }
+
+    /// Distinct `(member, prefix)` reach edges folded so far.
+    pub fn edge_count(&self) -> usize {
+        self.reach.iter().map(FxHashMap::len).sum()
     }
 
     /// The report boundary: reconstruct `N_a` for every covered member,
@@ -242,38 +263,40 @@ impl LinkInferencer {
         // Per IXP: member → N_a.
         let mut reach: BTreeMap<IxpId, BTreeMap<Asn, FxHashSet<Asn>>> = BTreeMap::new();
 
-        for ((ixp, member), prefixes) in &self.reach {
+        for (i, prefixes) in self.reach.iter().enumerate() {
+            let (ixp, member) = self.members.resolve(MemberId(i as u32));
             let members = members_at
-                .entry(*ixp)
-                .or_insert_with(|| conn.rs_members(*ixp));
-            if !members.contains(member) {
+                .entry(ixp)
+                .or_insert_with(|| conn.rs_members(ixp));
+            if !members.contains(&member) {
                 continue; // reachability data for an AS we cannot place
             }
             let mut na: Option<FxHashSet<Asn>> = None;
             // The reported default policy is the first prefix's in sorted
             // order, matching the previous batch grouping.
             let mut default_policy: Option<(Prefix, ExportPolicy)> = None;
-            for (prefix, acc) in prefixes {
+            for (packed, acc) in prefixes {
+                let prefix = unpack_prefix(*packed);
                 let policy = acc.policy();
                 let nap: FxHashSet<Asn> = members
                     .iter()
                     .copied()
-                    .filter(|&m| m != *member && policy.allows(m))
+                    .filter(|&m| m != member && policy.allows(m))
                     .collect();
                 na = Some(match na.take() {
                     None => nap,
                     Some(prev) => prev.intersection(&nap).copied().collect(),
                 });
                 match &default_policy {
-                    Some((first, _)) if first <= prefix => {}
-                    _ => default_policy = Some((*prefix, policy)),
+                    Some((first, _)) if *first <= prefix => {}
+                    _ => default_policy = Some((prefix, policy)),
                 }
             }
             let na = na.unwrap_or_default();
-            reach.entry(*ixp).or_default().insert(*member, na);
-            out.covered.entry(*ixp).or_default().insert(*member);
+            reach.entry(ixp).or_default().insert(member, na);
+            out.covered.entry(ixp).or_default().insert(member);
             if let Some((_, p)) = default_policy {
-                out.policies.insert((*ixp, *member), p);
+                out.policies.insert((ixp, member), p);
             }
         }
 

@@ -38,8 +38,10 @@
 //! [`infer`] §4.1 steps 4–5 (export reach + reciprocal links),
 //! [`live`] the §5.1-churn-driven incremental variant, [`validate`]
 //! §5.1, [`reciprocity`] §4.4, [`analysis`] §5; [`index`], [`sink`],
-//! [`hash`] and [`report`] are serving/engineering substrate. The
-//! repo-wide architecture lives in `docs/ARCHITECTURE.md`.
+//! [`hash`], [`intern`] and [`report`] are serving/engineering
+//! substrate ([`intern`] is the dense-id layer the hot paths key on;
+//! see the "Hot path & memory layout" section of
+//! `docs/ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +53,7 @@ pub mod dict;
 pub mod hash;
 pub mod index;
 pub mod infer;
+pub mod intern;
 pub mod live;
 pub mod passive;
 pub mod reciprocity;
@@ -62,5 +65,6 @@ pub use connectivity::{ConnSource, ConnectivityData};
 pub use dict::CommunityDictionary;
 pub use index::{LinkIndex, PrefixMatches, PrefixTrie};
 pub use infer::{infer_links, LinkInferencer, MlpLinkSet, Observation, ObservationSource};
+pub use intern::{AsnId, AsnTable, MemberId, MemberTable, PrefixId, PrefixTable};
 pub use live::{decode_message, full_harvest, LinkDelta, LiveEvent, LiveInferencer};
 pub use sink::{CountingSink, MergeSink, ObservationSink};

@@ -218,6 +218,18 @@ impl EcosystemConfig {
             ..EcosystemConfig::paper_scale(seed)
         }
     }
+
+    /// Three-quarter scale: the benchmark scale axis's second point
+    /// (between [`medium`](EcosystemConfig::medium) and full
+    /// [`paper_scale`](EcosystemConfig::paper_scale)).
+    pub fn large(seed: u64) -> Self {
+        EcosystemConfig {
+            scale: 0.75,
+            internet: InternetConfig::large(seed.wrapping_mul(31).wrapping_add(7)),
+            max_announcements: 320,
+            ..EcosystemConfig::paper_scale(seed)
+        }
+    }
 }
 
 /// The generated ecosystem.

@@ -1,12 +1,15 @@
-//! The serving bench, recorded to `BENCH_serve.json` at the repo root:
+//! The serving bench, recorded to `BENCH_serve.json` at the repo root
+//! with a scale axis (`Scale::Medium` and `Scale::Large`):
 //!
-//! 1. **index vs linear scan** at `Scale::Medium` — member and prefix
-//!    lookups through [`LinkIndex`] against the [`scan`] reference
-//!    implementations, after asserting byte-identical results (the
-//!    acceptance criterion asks for ≥ 10× on indexed lookups);
+//! 1. **index vs linear scan** — member and prefix lookups through
+//!    [`LinkIndex`] against the [`scan`] reference implementations,
+//!    after asserting byte-identical results (the acceptance criterion
+//!    asks for ≥ 10× on indexed lookups);
 //! 2. **HTTP load** — boot a real server on an ephemeral port and run
 //!    the in-repo load generator over the query endpoints, recording
 //!    throughput and latency percentiles, plus a 304-revalidation run.
+//!    Since the pre-rendered body cache landed, the 200 hot path is a
+//!    lookup + memcpy — the recorded latencies measure that path.
 
 use std::collections::BTreeSet;
 
@@ -18,9 +21,7 @@ use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::Ecosystem;
 use mlpeer_serve::{run_load, spawn_server, LoadConfig, Snapshot, SnapshotStore};
 
-fn bench_serve(c: &mut Criterion) {
-    let seed = 20130501u64;
-    let scale = Scale::Medium;
+fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
     eprintln!("# generating ecosystem ({scale:?})…");
     let eco = Ecosystem::generate(scale.config(seed));
     eprintln!("# running pipeline…");
@@ -66,16 +67,17 @@ fn bench_serve(c: &mut Criterion) {
     );
 
     // -------- 1. indexed vs scan lookups --------
+    let group_name = format!("serve_index_{}", scale.word());
     let bench_pair =
         |c: &mut Criterion, name: &str, fast: &dyn Fn() -> usize, slow: &dyn Fn() -> usize| {
-            let mut group = c.benchmark_group("serve_index_medium");
+            let mut group = c.benchmark_group(&group_name);
             group.sample_size(10);
             group.bench_function(&format!("{name}_indexed"), |b| {
                 b.iter(|| std::hint::black_box(fast()))
             });
             group.finish();
             let fast_ns = c.last_estimate_ns().expect("bench ran");
-            let mut group = c.benchmark_group("serve_index_medium");
+            let mut group = c.benchmark_group(&group_name);
             group.sample_size(10);
             group.bench_function(&format!("{name}_scan"), |b| {
                 b.iter(|| std::hint::black_box(slow()))
@@ -131,13 +133,15 @@ fn bench_serve(c: &mut Criterion) {
 
     // -------- 2. HTTP load over a real server --------
     let snapshot = Snapshot::build(
-        "medium",
+        scale.word(),
         seed,
         Snapshot::names_of(&eco),
         links.clone(),
         &observations,
         p.passive_stats.clone(),
     );
+    let cache_bodies = snapshot.cache.body_count();
+    let cache_bytes = snapshot.cache.byte_len();
     let etag = snapshot.etag.clone();
     let store = SnapshotStore::new(snapshot);
     let mut server = spawn_server(store, "127.0.0.1:0", 4).expect("bind ephemeral port");
@@ -158,7 +162,7 @@ fn bench_serve(c: &mut Criterion) {
     assert_eq!(load.errors, 0, "load run must be error-free");
     assert_eq!(load.ok, load.requests);
     eprintln!(
-        "# load: {} requests, {:.0} rps, p50 {}us p99 {}us",
+        "# load: {} requests, {:.0} rps, p50 {}us p99 {}us (cache: {cache_bodies} bodies, {cache_bytes} bytes)",
         load.requests,
         load.rps(),
         load.latency_us(0.5),
@@ -178,10 +182,8 @@ fn bench_serve(c: &mut Criterion) {
     assert!(text.starts_with("HTTP/1.1 304"), "revalidation hit: {text}");
     server.stop();
 
-    let report = serde_json::json!({
-        "bench": "mlpeer-serve index + HTTP load",
-        "scale": "medium",
-        "seed": seed,
+    serde_json::json!({
+        "scale": scale.word(),
         "corpus": serde_json::json!({
             "members": members.len(),
             "sampled_members": sample_members.len(),
@@ -197,6 +199,10 @@ fn bench_serve(c: &mut Criterion) {
             "prefix_lookup_scan_us": prefix_slow_ns / 1e3,
             "prefix_speedup": prefix_speedup,
         }),
+        "body_cache": serde_json::json!({
+            "bodies": cache_bodies,
+            "bytes": cache_bytes,
+        }),
         "load": serde_json::json!({
             "connections": cfg.connections,
             "requests": load.requests,
@@ -207,7 +213,20 @@ fn bench_serve(c: &mut Criterion) {
             "latency_p90_us": load.latency_us(0.9),
             "latency_p99_us": load.latency_us(0.99),
         }),
+    })
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let seed = 20130501u64;
+    let results: Vec<serde_json::Value> = [Scale::Medium, Scale::Large]
+        .iter()
+        .map(|&s| bench_at(c, s, seed))
+        .collect();
+    let report = serde_json::json!({
+        "bench": "mlpeer-serve index + HTTP load",
+        "seed": seed,
         "threads": rayon::current_num_threads(),
+        "scales": results,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())

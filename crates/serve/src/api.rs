@@ -1,11 +1,15 @@
 //! The query API: routing, JSON rendering, conditional GETs.
 //!
-//! Every endpoint renders from one immutable [`Snapshot`] loaded at
+//! Every endpoint answers from one immutable [`Snapshot`] loaded at
 //! request time, so a response is always internally consistent even if
 //! a refresh lands mid-flight. The snapshot-addressed `/v1/*` endpoints
 //! carry the content ETag; an `If-None-Match` hit short-circuits to an
 //! empty 304 *before rendering*, which is what lets heavy read traffic
-//! revalidate for free across refreshes that changed nothing.
+//! revalidate for free across refreshes that changed nothing. The 200
+//! path is pre-rendered too: ixp, member and announced-prefix bodies
+//! come out of the snapshot's publish-time [`crate::cache::BodyCache`]
+//! as a lookup + memcpy — JSON rendering happens once per publish, not
+//! once per request (only un-announced CIDR queries render live).
 //! `/v1/stats` and `/healthz` are exempt — their bodies carry live
 //! server counters the snapshot ETag does not address.
 //!
@@ -67,7 +71,15 @@ pub fn route(
         if let Some(hit) = revalidate_hit(req, &etag) {
             return hit;
         }
-        return Response::json(200, report::to_json(&ixps(snap))).with_header("ETag", &etag);
+        // Pre-rendered at publish: the 200 path is a memcpy. Uncached
+        // snapshots (live-tick publishes) render live, like the
+        // sibling endpoints.
+        let body = snap
+            .cache
+            .ixps_body()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_else(|| render_ixps(snap));
+        return Response::json(200, body).with_header("ETag", &etag);
     }
     if let Some(rest) = path.strip_prefix("/v1/ixp/") {
         return ixp_links(req, snap, rest, &etag);
@@ -180,7 +192,9 @@ fn healthz(snap: &Snapshot, stats: &ServerStats) -> Value {
     })
 }
 
-fn ixps(snap: &Snapshot) -> Value {
+/// Render the `/v1/ixps` body — called once per publish by the
+/// [`crate::cache::BodyCache`], never on the request path.
+pub(crate) fn render_ixps(snap: &Snapshot) -> Vec<u8> {
     let rows: Vec<Value> = snap
         .names
         .iter()
@@ -193,10 +207,80 @@ fn ixps(snap: &Snapshot) -> Value {
             })
         })
         .collect();
-    json!({
+    report::to_json(&json!({
         "ixps": rows,
         "unique_links": snap.unique_link_count,
-    })
+    }))
+    .into_bytes()
+}
+
+/// Render one `/v1/ixp/{id}/links` body.
+pub(crate) fn render_ixp_links(snap: &Snapshot, ixp: IxpId) -> Vec<u8> {
+    let links: Vec<(u32, u32)> = snap
+        .links
+        .links_at(ixp)
+        .iter()
+        .map(|(a, b)| (a.value(), b.value()))
+        .collect();
+    report::to_json(&json!({
+        "id": ixp.0,
+        "name": snap.name(ixp),
+        "count": links.len(),
+        "links": links,
+    }))
+    .into_bytes()
+}
+
+/// Render one `/v1/member/{asn}` body; `None` when the member has no
+/// inferred link anywhere (the 404 case).
+pub(crate) fn render_member(snap: &Snapshot, asn: Asn) -> Option<Vec<u8>> {
+    let per_ixp = snap.index.member_links(asn)?;
+    let mut unique = std::collections::BTreeSet::new();
+    let rows: Vec<Value> = per_ixp
+        .iter()
+        .map(|(ixp, peers)| {
+            unique.extend(peers.iter().copied());
+            json!({
+                "ixp": ixp.0,
+                "name": snap.name(*ixp),
+                "peers": peers.iter().map(|p| p.value()).collect::<Vec<u32>>(),
+                "policy": snap.links.policies.get(&(*ixp, asn)),
+            })
+        })
+        .collect();
+    Some(
+        report::to_json(&json!({
+            "asn": asn.value(),
+            "ixps": rows,
+            "unique_peers": unique.len(),
+        }))
+        .into_bytes(),
+    )
+}
+
+/// Render one `/v1/prefix/{p}` body.
+pub(crate) fn render_prefix(snap: &Snapshot, p: &Prefix) -> Vec<u8> {
+    let m = snap.index.prefix_matches(p);
+    let render = |set: &std::collections::BTreeSet<mlpeer::index::Announcement>| {
+        set.iter()
+            .map(|(pfx, ixp, member)| {
+                json!({
+                    "prefix": pfx.to_string(),
+                    "ixp": ixp.0,
+                    "name": snap.name(*ixp),
+                    "member": member.value(),
+                })
+            })
+            .collect::<Vec<Value>>()
+    };
+    report::to_json(&json!({
+        "prefix": p.to_string(),
+        "total": m.total(),
+        "exact": render(&m.exact),
+        "covering": render(&m.covering),
+        "covered": render(&m.covered),
+    }))
+    .into_bytes()
 }
 
 fn ixp_links(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
@@ -213,19 +297,14 @@ fn ixp_links(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response
     if let Some(hit) = revalidate_hit(req, etag) {
         return hit;
     }
-    let links: Vec<(u32, u32)> = snap
-        .links
-        .links_at(ixp)
-        .iter()
-        .map(|(a, b)| (a.value(), b.value()))
-        .collect();
-    let body = json!({
-        "id": id,
-        "name": snap.name(ixp),
-        "count": links.len(),
-        "links": links,
-    });
-    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+    // Every known IXP is pre-rendered at publish; the fallback renders
+    // live only if a cache ever ships without the entry.
+    let body = snap
+        .cache
+        .ixp_links_body(ixp)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_else(|| render_ixp_links(snap, ixp));
+    Response::json(200, body).with_header("ETag", etag)
 }
 
 fn member(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
@@ -234,31 +313,19 @@ fn member(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
         Ok(n) => Asn(n),
         Err(_) => return error(400, "expected /v1/member/{asn}"),
     };
-    let Some(per_ixp) = snap.index.member_links(asn) else {
+    if snap.index.member_links(asn).is_none() {
         return error(404, "no multilateral links inferred for this ASN");
-    };
+    }
     if let Some(hit) = revalidate_hit(req, etag) {
         return hit;
     }
-    let mut unique = std::collections::BTreeSet::new();
-    let rows: Vec<Value> = per_ixp
-        .iter()
-        .map(|(ixp, peers)| {
-            unique.extend(peers.iter().copied());
-            json!({
-                "ixp": ixp.0,
-                "name": snap.name(*ixp),
-                "peers": peers.iter().map(|p| p.value()).collect::<Vec<u32>>(),
-                "policy": snap.links.policies.get(&(*ixp, asn)),
-            })
-        })
-        .collect();
-    let body = json!({
-        "asn": asn.value(),
-        "ixps": rows,
-        "unique_peers": unique.len(),
-    });
-    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+    // Every linked member is pre-rendered at publish.
+    let body = snap
+        .cache
+        .member_body(asn)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_else(|| render_member(snap, asn).expect("member has links"));
+    Response::json(200, body).with_header("ETag", etag)
 }
 
 fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
@@ -268,27 +335,14 @@ fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
     if let Some(hit) = revalidate_hit(req, etag) {
         return hit;
     }
-    let m = snap.index.prefix_matches(&p);
-    let render = |set: &std::collections::BTreeSet<mlpeer::index::Announcement>| {
-        set.iter()
-            .map(|(pfx, ixp, member)| {
-                json!({
-                    "prefix": pfx.to_string(),
-                    "ixp": ixp.0,
-                    "name": snap.name(*ixp),
-                    "member": member.value(),
-                })
-            })
-            .collect::<Vec<Value>>()
-    };
-    let body = json!({
-        "prefix": p.to_string(),
-        "total": m.total(),
-        "exact": render(&m.exact),
-        "covering": render(&m.covering),
-        "covered": render(&m.covered),
-    });
-    Response::json(200, report::to_json(&body)).with_header("ETag", etag)
+    // Announced prefixes are pre-rendered at publish; arbitrary CIDR
+    // queries (aggregates, absent prefixes) render live.
+    let body = snap
+        .cache
+        .prefix_body(&p)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_else(|| render_prefix(snap, &p));
+    Response::json(200, body).with_header("ETag", etag)
 }
 
 fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) -> Value {
@@ -317,6 +371,10 @@ fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) ->
         "indexed_prefixes": snap.index.prefix_count(),
         "announcements": snap.index.announcement_count(),
         "observations": snap.observation_count,
+        "cache": json!({
+            "bodies": snap.cache.body_count(),
+            "bytes": snap.cache.byte_len(),
+        }),
         "passive": json!({
             "routes_seen": p.routes_seen,
             "dropped_bogon": p.dropped_bogon,

@@ -1,7 +1,7 @@
 //! Boot the full serving stack at a chosen scale:
 //!
 //! ```text
-//! mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] [--seed=N]
+//! mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] [--seed=N]
 //!              [--refresh-secs=N] [--workers=N]
 //!              [--live] [--live-tick-ms=N] [--churn-per-tick=N]
 //!              [--churn-seed=N] [--delta-ring=N]
@@ -67,7 +67,7 @@ fn main() {
         } else {
             eprintln!("unknown argument: {arg}");
             eprintln!(
-                "usage: mlpeer-serve [tiny|small|medium|paper] [--addr=HOST:PORT] \
+                "usage: mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] \
                  [--seed=N] [--refresh-secs=N] [--workers=N] [--live] \
                  [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
                  [--delta-ring=N]"

@@ -13,6 +13,10 @@
 //!   never blocked or torn while a background [`refresher`] re-runs the
 //!   harvest and publishes a new epoch (content-addressed ETag from
 //!   deterministic JSON);
+//! * **publish-time body cache** — [`cache::BodyCache`]: every
+//!   snapshot-addressed GET body (ixps, per-IXP links, per-member,
+//!   announced prefixes) is rendered once when the snapshot is built,
+//!   so the 200 hot path is a lookup + memcpy instead of a JSON render;
 //! * **std-only threaded HTTP/1.1 server** — [`server`] on
 //!   `std::net::TcpListener` (no async runtime in the vendor tree)
 //!   exposing the JSON endpoints documented in the README:
@@ -35,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod delta;
 pub mod http;
 pub mod live;
@@ -44,6 +49,7 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 
+pub use cache::BodyCache;
 pub use delta::{ChangeLog, SinceAnswer};
 pub use live::{bootstrap, spawn_live_refresher, LiveConfig, LiveStats};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
@@ -91,6 +97,20 @@ pub(crate) mod testutil {
         let (links, observations) = tiny_inputs(members);
         let names: BTreeMap<IxpId, String> = [(IxpId(0), "DE-CIX".to_string())].into();
         Snapshot::build(
+            "tiny",
+            seed,
+            names,
+            links,
+            &observations,
+            PassiveStats::default(),
+        )
+    }
+
+    /// [`snapshot_with`] through the cache-less live-tick build path.
+    pub fn snapshot_with_uncached(members: u32, seed: u64) -> Snapshot {
+        let (links, observations) = tiny_inputs(members);
+        let names: BTreeMap<IxpId, String> = [(IxpId(0), "DE-CIX".to_string())].into();
+        Snapshot::build_uncached(
             "tiny",
             seed,
             names,

@@ -134,7 +134,11 @@ pub fn spawn_live_refresher(
                     // delta is empty.
                     continue;
                 }
-                let snapshot = Snapshot::build(
+                // Uncached build: a tick that moved a handful of links
+                // must not pay an O(announcement-corpus) body
+                // pre-render — live-mode GETs render on demand (the
+                // pre-cache behavior), batch publishes keep the cache.
+                let snapshot = Snapshot::build_uncached(
                     &cfg.scale,
                     cfg.seed,
                     names.clone(),

@@ -54,13 +54,39 @@ pub struct Snapshot {
     pub distinct_asn_count: usize,
     /// Passive-pipeline statistics of the producing harvest.
     pub passive_stats: PassiveStats,
+    /// Pre-rendered GET bodies, built once here so the serve hot path
+    /// is a lookup + memcpy (see [`crate::cache::BodyCache`]).
+    pub cache: crate::cache::BodyCache,
 }
 
 impl Snapshot {
     /// Build a snapshot (index construction + ETag) from one pipeline
-    /// run's outputs. The epoch starts at 0; publishing through a
-    /// [`crate::SnapshotStore`] re-stamps it.
+    /// run's outputs, pre-rendering every addressable GET body into the
+    /// [`crate::cache::BodyCache`]. The epoch starts at 0; publishing
+    /// through a [`crate::SnapshotStore`] re-stamps it.
     pub fn build(
+        scale: &str,
+        seed: u64,
+        names: BTreeMap<IxpId, String>,
+        links: MlpLinkSet,
+        observations: &[Observation],
+        passive_stats: PassiveStats,
+    ) -> Snapshot {
+        let mut snapshot =
+            Snapshot::build_uncached(scale, seed, names, links, observations, passive_stats);
+        // Render every addressable body once, at build time. Safe to do
+        // before the store stamps the epoch: ETag-addressed bodies never
+        // mention the epoch.
+        snapshot.cache = crate::cache::BodyCache::build(&snapshot);
+        snapshot
+    }
+
+    /// [`build`](Snapshot::build) without the body pre-render: the
+    /// shape live-mode tick publishes use, where a per-link delta must
+    /// not pay an O(announcement-corpus) render. Every endpoint falls
+    /// back to rendering live on a cache miss, so the served bytes are
+    /// identical — only the per-request cost differs.
+    pub fn build_uncached(
         scale: &str,
         seed: u64,
         names: BTreeMap<IxpId, String>,
@@ -88,6 +114,7 @@ impl Snapshot {
             unique_link_count: unique.len(),
             distinct_asn_count,
             passive_stats,
+            cache: crate::cache::BodyCache::default(),
         }
     }
 

@@ -114,6 +114,23 @@ impl InternetConfig {
             ..InternetConfig::default()
         }
     }
+
+    /// A three-quarter-scale configuration (~5.5k ASes): the second
+    /// point of the benchmark scale axis, between the serving bench
+    /// default and the full Table 2 internet, so `BENCH_*.json` can
+    /// show how hot paths scale rather than a single operating point.
+    pub fn large(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            n_tier1: 11,
+            n_tier2: 130,
+            n_regional: 480,
+            n_content: 145,
+            n_stub: 4700,
+            sibling_families: 19,
+            ..InternetConfig::default()
+        }
+    }
 }
 
 /// A generated internet: the relationship graph plus each AS's

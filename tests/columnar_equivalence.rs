@@ -1,0 +1,82 @@
+//! Ecosystem-scale contract for the columnar hot path: harvesting
+//! wire-encoded archives through zero-copy views — serial or sharded —
+//! is byte-identical to the struct path on a full generated dataset,
+//! and the wire bytes round-trip between the two representations.
+
+use mlpeer::connectivity::gather_connectivity;
+use mlpeer::dict::dictionary_from_connectivity;
+use mlpeer::infer::LinkInferencer;
+use mlpeer::passive::{
+    harvest_passive, harvest_passive_bytes, harvest_passive_bytes_sharded, PassiveConfig,
+};
+use mlpeer::Observation;
+use mlpeer_bgp::view::MrtBytes;
+use mlpeer_bgp::Asn;
+use mlpeer_data::collector::{build_passive, CollectorConfig};
+use mlpeer_data::irr::{build_irr, IrrConfig};
+use mlpeer_data::lg::build_lg_roster;
+use mlpeer_data::Sim;
+use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+use mlpeer_topo::infer::{infer_relationships, InferConfig};
+
+#[test]
+fn columnar_harvest_matches_struct_harvest_at_ecosystem_scale() {
+    let seed = 4242u64;
+    let eco = Ecosystem::generate(EcosystemConfig::tiny(seed));
+    let sim = Sim::new(&eco);
+    let irr = build_irr(&eco, &IrrConfig::default());
+    let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
+    let conn = gather_connectivity(&sim, &lgs, &irr);
+    let dict = dictionary_from_connectivity(&eco, &conn);
+    let dataset = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
+    let public_paths: Vec<Vec<Asn>> = dataset
+        .collectors
+        .iter()
+        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
+        .collect();
+    let rels = infer_relationships(&public_paths, &InferConfig::default());
+    let cfg = PassiveConfig::default();
+
+    // Struct lane.
+    let mut struct_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+    let struct_stats = harvest_passive(&dataset, &dict, &conn, &rels, &cfg, &mut struct_sink);
+    assert!(struct_stats.observations > 0, "non-trivial dataset");
+
+    // The columnar lane consumes the same wire bytes a collector would
+    // serve; both directions of the representation round-trip.
+    let bytes = dataset.to_bytes();
+    assert_eq!(bytes.rib_len(), dataset.rib_len());
+    assert_eq!(bytes.update_len(), dataset.update_len());
+    for ((name_a, archive), (name_b, wire)) in dataset.collectors.iter().zip(&bytes.collectors) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(&wire.to_archive(), archive, "{name_a} round-trips");
+        assert_eq!(
+            MrtBytes::from_archive(archive).as_bytes(),
+            wire.as_bytes(),
+            "{name_a} re-encodes to identical bytes"
+        );
+    }
+
+    // Serial view lane.
+    let mut view_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+    let view_stats = harvest_passive_bytes(&bytes, &dict, &conn, &rels, &cfg, &mut view_sink);
+    assert_eq!(view_stats, struct_stats, "stats identical");
+    assert_eq!(view_sink.0, struct_sink.0, "observations identical");
+    assert_eq!(
+        view_sink.1.finalize(&conn),
+        struct_sink.1.finalize(&conn),
+        "inference state identical"
+    );
+
+    // Sharded view lane (whatever thread count this container has).
+    let (sharded_sink, sharded_stats) = harvest_passive_bytes_sharded::<(
+        Vec<Observation>,
+        LinkInferencer,
+    )>(&bytes, &dict, &conn, &rels, &cfg);
+    assert_eq!(sharded_stats, struct_stats);
+    assert_eq!(sharded_sink.0, struct_sink.0);
+    assert_eq!(
+        sharded_sink.1.finalize(&conn),
+        struct_sink.1.finalize(&conn)
+    );
+}
