@@ -10,8 +10,20 @@
 //!    throughput and latency percentiles, plus a 304-revalidation run.
 //!    Since the pre-rendered body cache landed, the 200 hot path is a
 //!    lookup + memcpy — the recorded latencies measure that path.
+//! 3. **keep-alive concurrency sweep** (Medium only) — boot the epoll
+//!    reactor engine and hold 64 / 256 / 1024 / 4096 keep-alive
+//!    connections open while a bounded worker pool drives requests
+//!    across them (the loadgen *hold* mode). The `connections` axis in
+//!    `BENCH_serve.json` records throughput per population; the bench
+//!    asserts the ≥ 15k rps floor at 1024 held connections.
+//!
+//! `MLPEER_BENCH_SMOKE=1` skips the scales and the JSON rewrite and
+//! runs only the 1024-connection reactor hold at `Scale::Small`,
+//! still asserting the rps floor — the CI bench-smoke job uses it to
+//! keep the floor enforced on every PR.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -19,7 +31,57 @@ use mlpeer::index::{scan, LinkIndex};
 use mlpeer_bench::{run_pipeline, Scale};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::Ecosystem;
-use mlpeer_serve::{run_load, spawn_server, LoadConfig, Snapshot, SnapshotStore};
+use mlpeer_serve::{
+    run_hold_load, run_load, spawn_reactor, HoldConfig, LoadConfig, ReactorConfig, Snapshot,
+    SnapshotStore,
+};
+use mlpeer_serve::{spawn_server, ServerHandle};
+
+/// Acceptance floor: held keep-alive population of 1024 must still
+/// clear this throughput on the reactor engine (single-core container).
+const HOLD_RPS_FLOOR: f64 = 15_000.0;
+
+/// Hold-mode run at one connection count; returns the JSON record.
+fn hold_point(server: &ServerHandle, connections: usize, targets: &[String]) -> serde_json::Value {
+    let cfg = HoldConfig {
+        connections,
+        client_threads: 8,
+        requests_total: 20_000,
+        targets: targets.to_vec(),
+    };
+    let r = run_hold_load(server.addr, &cfg);
+    assert_eq!(r.errors, 0, "hold run must be error-free at {connections}");
+    let open = server
+        .reactor_stats
+        .as_ref()
+        .map(|s| s.accepted())
+        .unwrap_or(0);
+    eprintln!(
+        "# hold {connections} conns: {:.0} rps, p50 {}us p99 {}us ({} accepted so far)",
+        r.rps(),
+        r.latency_us(0.5),
+        r.latency_us(0.99),
+        open
+    );
+    if connections == 1024 {
+        assert!(
+            r.rps() >= HOLD_RPS_FLOOR,
+            "acceptance: >=1024 held keep-alive connections must clear \
+             {HOLD_RPS_FLOOR:.0} rps (got {:.0})",
+            r.rps()
+        );
+    }
+    serde_json::json!({
+        "connections": connections,
+        "requests": r.requests,
+        "errors": r.errors,
+        "elapsed_ms": r.elapsed.as_millis() as u64,
+        "rps": r.rps(),
+        "latency_p50_us": r.latency_us(0.5),
+        "latency_p90_us": r.latency_us(0.9),
+        "latency_p99_us": r.latency_us(0.99),
+    })
+}
 
 fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
     eprintln!("# generating ecosystem ({scale:?})…");
@@ -144,7 +206,8 @@ fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
     let cache_bytes = snapshot.cache.byte_len();
     let etag = snapshot.etag.clone();
     let store = SnapshotStore::new(snapshot);
-    let mut server = spawn_server(store, "127.0.0.1:0", 4).expect("bind ephemeral port");
+    let mut server =
+        spawn_server(Arc::clone(&store), "127.0.0.1:0", 4).expect("bind ephemeral port");
     let sample_asn = members[members.len() / 2].value();
     let sample_prefix = announced.iter().next().copied().unwrap();
     let cfg = LoadConfig {
@@ -182,6 +245,20 @@ fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
     assert!(text.starts_with("HTTP/1.1 304"), "revalidation hit: {text}");
     server.stop();
 
+    // -------- 3. reactor keep-alive concurrency sweep (Medium) --------
+    let connections_axis = if scale == Scale::Medium {
+        let mut reactor = spawn_reactor(store, "127.0.0.1:0", ReactorConfig::default())
+            .expect("bind reactor port");
+        let points: Vec<serde_json::Value> = [64usize, 256, 1024, 4096]
+            .iter()
+            .map(|&n| hold_point(&reactor, n, &cfg.targets))
+            .collect();
+        reactor.stop();
+        serde_json::Value::Array(points)
+    } else {
+        serde_json::Value::Null
+    };
+
     serde_json::json!({
         "scale": scale.word(),
         "corpus": serde_json::json!({
@@ -213,11 +290,34 @@ fn bench_at(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value {
             "latency_p90_us": load.latency_us(0.9),
             "latency_p99_us": load.latency_us(0.99),
         }),
+        "connections": connections_axis,
     })
+}
+
+/// Smoke mode: one reactor boot at `Scale::Small`, one 1024-connection
+/// hold run, floor asserted, nothing written.
+fn smoke(seed: u64) {
+    eprintln!("# smoke: reactor hold run at Scale::Small…");
+    let eco = Ecosystem::generate(Scale::Small.config(seed));
+    let snapshot = Snapshot::of_pipeline(&eco, Scale::Small, seed);
+    let store = SnapshotStore::new(snapshot);
+    let mut reactor =
+        spawn_reactor(store, "127.0.0.1:0", ReactorConfig::default()).expect("bind reactor port");
+    let targets = vec!["/v1/ixps".to_string(), "/healthz".to_string()];
+    let point = hold_point(&reactor, 1024, &targets);
+    reactor.stop();
+    eprintln!(
+        "# smoke point: {}",
+        serde_json::to_string(&point).unwrap_or_default()
+    );
 }
 
 fn bench_serve(c: &mut Criterion) {
     let seed = 20130501u64;
+    if std::env::var("MLPEER_BENCH_SMOKE").is_ok() {
+        smoke(seed);
+        return;
+    }
     let results: Vec<serde_json::Value> = [Scale::Medium, Scale::Large]
         .iter()
         .map(|&s| bench_at(c, s, seed))

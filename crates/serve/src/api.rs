@@ -34,26 +34,35 @@
 //! snapshot-ETag-addressed: its body depends on the query parameter and
 //! the ring, not the snapshot content alone.
 
+use std::sync::Arc;
+
 use mlpeer::report;
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 use serde_json::{json, Value};
 
+use crate::cache::{CacheKey, CacheSlice};
 use crate::delta::{ChangeLog, SinceAnswer};
 use crate::http::{Request, Response};
 use crate::live::LiveStats;
+use crate::reactor::ReactorStats;
 use crate::server::ServerStats;
 use crate::snapshot::Snapshot;
 
 /// Route one request against one snapshot view (plus the store's
-/// change ring for `/v1/changes` and, in live mode, the live loop's
-/// counters for `/v1/stats`).
+/// change ring for `/v1/changes`, and — when the respective subsystem
+/// runs — the live loop's and the reactor's counters for `/v1/stats`).
+///
+/// The snapshot arrives as an `&Arc` so cache hits can answer with a
+/// zero-copy [`CacheSlice`] that pins the snapshot instead of copying
+/// the body out of the cache.
 pub fn route(
     req: &Request,
-    snap: &Snapshot,
+    snap: &Arc<Snapshot>,
     stats: &ServerStats,
     changes: &ChangeLog,
     live: Option<&LiveStats>,
+    reactor: Option<&ReactorStats>,
 ) -> Response {
     if req.method != "GET" {
         return error(405, "only GET is supported");
@@ -71,15 +80,15 @@ pub fn route(
         if let Some(hit) = revalidate_hit(req, &etag) {
             return hit;
         }
-        // Pre-rendered at publish: the 200 path is a memcpy. Uncached
-        // snapshots (live-tick publishes) render live, like the
-        // sibling endpoints.
-        let body = snap
-            .cache
-            .ixps_body()
-            .map(<[u8]>::to_vec)
-            .unwrap_or_else(|| render_ixps(snap));
-        return Response::json(200, body).with_header("ETag", &etag);
+        // Pre-rendered at publish: the 200 path is zero-copy — the
+        // response pins the cached body instead of copying it.
+        // Uncached snapshots (live-tick publishes) render live, like
+        // the sibling endpoints.
+        let body = match CacheSlice::new(snap, CacheKey::Ixps) {
+            Some(slice) => Response::shared(200, slice),
+            None => Response::json(200, render_ixps(snap)),
+        };
+        return body.with_header("ETag", &etag);
     }
     if let Some(rest) = path.strip_prefix("/v1/ixp/") {
         return ixp_links(req, snap, rest, &etag);
@@ -93,29 +102,48 @@ pub fn route(
     if path == "/v1/changes" {
         // Not ETag-addressed: the body is a function of `since` and
         // the ring, not the snapshot content alone.
-        return changes_since(req, snap, changes);
+        return match changes_since_param(req, snap) {
+            Ok(since) => render_changes(snap, changes, since),
+            Err(resp) => resp,
+        };
     }
     if path == "/v1/stats" {
         // Deliberately no ETag/304: the body carries live server
         // counters, so the snapshot ETag does not address it.
-        return Response::json(200, report::to_json(&stats_body(snap, stats, live)));
+        return Response::json(
+            200,
+            report::to_json(&stats_body(snap, stats, live, reactor)),
+        );
     }
     error(404, "no such endpoint")
 }
 
-/// `GET /v1/changes?since=N` — the link-level diff from epoch `N` to
-/// the served snapshot's epoch, or the 410 full-resync signal when the
-/// ring no longer covers `N`.
-fn changes_since(req: &Request, snap: &Snapshot, changes: &ChangeLog) -> Response {
+/// Validate the `since` query parameter of a `/v1/changes` request
+/// against the served snapshot: the parsed epoch, or the 400 response
+/// to send instead. Shared by the plain endpoint and the reactor's
+/// long-poll/SSE variants so all three reject identically.
+pub(crate) fn changes_since_param(req: &Request, snap: &Snapshot) -> Result<u64, Response> {
     let Some(raw) = query_param(&req.query, "since") else {
-        return error(400, "expected /v1/changes?since={epoch}");
+        return Err(error(400, "expected /v1/changes?since={epoch}"));
     };
     let Ok(since) = raw.parse::<u64>() else {
-        return error(400, "malformed since: expected a non-negative epoch number");
+        return Err(error(
+            400,
+            "malformed since: expected a non-negative epoch number",
+        ));
     };
     if since > snap.epoch {
-        return error(400, "since is ahead of the current epoch");
+        return Err(error(400, "since is ahead of the current epoch"));
     }
+    Ok(since)
+}
+
+/// The `/v1/changes` answer for a validated `since`: the link-level
+/// diff from epoch `since` to the served snapshot's epoch, or the 410
+/// full-resync signal when the ring no longer covers it. The reactor's
+/// push paths (long-poll completion, SSE frames) render through this
+/// same function, so pushed deltas are byte-identical to polled ones.
+pub(crate) fn render_changes(snap: &Snapshot, changes: &ChangeLog, since: u64) -> Response {
     match changes.since(since, snap.epoch) {
         SinceAnswer::Delta { added, removed } => {
             let render = |set: &std::collections::BTreeSet<(IxpId, Asn, Asn)>| {
@@ -159,7 +187,7 @@ fn changes_since(req: &Request, snap: &Snapshot, changes: &ChangeLog) -> Respons
 
 /// The first value of `name` in a raw query string
 /// (`a=1&b=2`-shaped; no percent-decoding — epochs are digits).
-fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
+pub(crate) fn query_param<'q>(query: &'q str, name: &str) -> Option<&'q str> {
     query.split('&').find_map(|pair| {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         (k == name).then_some(v)
@@ -283,7 +311,7 @@ pub(crate) fn render_prefix(snap: &Snapshot, p: &Prefix) -> Vec<u8> {
     .into_bytes()
 }
 
-fn ixp_links(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+fn ixp_links(req: &Request, snap: &Arc<Snapshot>, rest: &str, etag: &str) -> Response {
     let Some(id) = rest
         .strip_suffix("/links")
         .and_then(|s| s.parse::<u16>().ok())
@@ -299,15 +327,14 @@ fn ixp_links(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response
     }
     // Every known IXP is pre-rendered at publish; the fallback renders
     // live only if a cache ever ships without the entry.
-    let body = snap
-        .cache
-        .ixp_links_body(ixp)
-        .map(<[u8]>::to_vec)
-        .unwrap_or_else(|| render_ixp_links(snap, ixp));
-    Response::json(200, body).with_header("ETag", etag)
+    let body = match CacheSlice::new(snap, CacheKey::IxpLinks(ixp)) {
+        Some(slice) => Response::shared(200, slice),
+        None => Response::json(200, render_ixp_links(snap, ixp)),
+    };
+    body.with_header("ETag", etag)
 }
 
-fn member(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+fn member(req: &Request, snap: &Arc<Snapshot>, rest: &str, etag: &str) -> Response {
     // One optional "AS" prefix, then digits ("ASAS1" stays malformed).
     let asn = match rest.strip_prefix("AS").unwrap_or(rest).parse::<u32>() {
         Ok(n) => Asn(n),
@@ -320,15 +347,14 @@ fn member(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
         return hit;
     }
     // Every linked member is pre-rendered at publish.
-    let body = snap
-        .cache
-        .member_body(asn)
-        .map(<[u8]>::to_vec)
-        .unwrap_or_else(|| render_member(snap, asn).expect("member has links"));
-    Response::json(200, body).with_header("ETag", etag)
+    let body = match CacheSlice::new(snap, CacheKey::Member(asn)) {
+        Some(slice) => Response::shared(200, slice),
+        None => Response::json(200, render_member(snap, asn).expect("member has links")),
+    };
+    body.with_header("ETag", etag)
 }
 
-fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
+fn prefix(req: &Request, snap: &Arc<Snapshot>, rest: &str, etag: &str) -> Response {
     let Ok(p) = rest.parse::<Prefix>() else {
         return error(400, "expected /v1/prefix/{a.b.c.d/len}");
     };
@@ -337,15 +363,19 @@ fn prefix(req: &Request, snap: &Snapshot, rest: &str, etag: &str) -> Response {
     }
     // Announced prefixes are pre-rendered at publish; arbitrary CIDR
     // queries (aggregates, absent prefixes) render live.
-    let body = snap
-        .cache
-        .prefix_body(&p)
-        .map(<[u8]>::to_vec)
-        .unwrap_or_else(|| render_prefix(snap, &p));
-    Response::json(200, body).with_header("ETag", etag)
+    let body = match CacheSlice::new(snap, CacheKey::Prefix(p)) {
+        Some(slice) => Response::shared(200, slice),
+        None => Response::json(200, render_prefix(snap, &p)),
+    };
+    body.with_header("ETag", etag)
 }
 
-fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) -> Value {
+fn stats_body(
+    snap: &Snapshot,
+    stats: &ServerStats,
+    live: Option<&LiveStats>,
+    reactor: Option<&ReactorStats>,
+) -> Value {
     use std::sync::atomic::Ordering;
     let p = &snap.passive_stats;
     // Live-loop counters when live mode runs, JSON null otherwise.
@@ -357,8 +387,22 @@ fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) ->
         }),
         None => Value::Null,
     };
+    // Reactor counters when the reactor engine serves, null under the
+    // threaded engine.
+    let reactor_v = match reactor {
+        Some(r) => json!({
+            "accepted": r.accepted(),
+            "open": r.open(),
+            "wakeups": r.wakeups(),
+            "writev_continuations": r.writev_continuations(),
+            "sse_subscribers": r.sse_subscribers(),
+            "idle_timeouts": r.idle_timeouts(),
+        }),
+        None => Value::Null,
+    };
     json!({
         "live": live_v,
+        "reactor": reactor_v,
         "epoch": snap.epoch,
         "etag": snap.etag,
         "scale": snap.scale,
@@ -397,13 +441,13 @@ fn stats_body(snap: &Snapshot, stats: &ServerStats, live: Option<&LiveStats>) ->
 mod tests {
     use super::*;
 
-    fn snap() -> Snapshot {
-        crate::testutil::snapshot_with(3, 7)
+    fn snap() -> Arc<Snapshot> {
+        Arc::new(crate::testutil::snapshot_with(3, 7))
     }
 
     /// Route against an empty change ring (irrelevant to these tests).
-    fn rt(req: &Request, snap: &Snapshot, stats: &ServerStats) -> Response {
-        route(req, snap, stats, &ChangeLog::new(8), None)
+    fn rt(req: &Request, snap: &Arc<Snapshot>, stats: &ServerStats) -> Response {
+        route(req, snap, stats, &ChangeLog::new(8), None, None)
     }
 
     fn get(path: &str) -> Request {
@@ -415,7 +459,7 @@ mod tests {
     }
 
     fn body(r: &Response) -> String {
-        String::from_utf8(r.body.clone()).unwrap()
+        String::from_utf8(r.body.to_vec()).unwrap()
     }
 
     #[test]
@@ -529,10 +573,17 @@ mod tests {
         }
     }
 
+    /// A test snapshot re-stamped to a given epoch (the store normally
+    /// does this at publish).
+    fn snap_at_epoch(epoch: u64) -> Arc<Snapshot> {
+        let mut s = crate::testutil::snapshot_with(3, 7);
+        s.epoch = epoch;
+        Arc::new(s)
+    }
+
     #[test]
     fn changes_answers_net_diff() {
-        let mut snap = snap();
-        snap.epoch = 2;
+        let snap = snap_at_epoch(2);
         let stats = ServerStats::default();
         let ring = ChangeLog::new(8);
         ring.record(
@@ -549,7 +600,14 @@ mod tests {
                 removed: vec![(IxpId(0), Asn(2), Asn(3))],
             },
         );
-        let r = route(&get_q("/v1/changes", "since=0"), &snap, &stats, &ring, None);
+        let r = route(
+            &get_q("/v1/changes", "since=0"),
+            &snap,
+            &stats,
+            &ring,
+            None,
+            None,
+        );
         assert_eq!(r.status, 200);
         let b = body(&r);
         assert!(b.contains("\"resync\": false"), "{b}");
@@ -560,15 +618,21 @@ mod tests {
             "/v1/changes is not snapshot-addressed"
         );
         // since == current → empty diff, still 200.
-        let r = route(&get_q("/v1/changes", "since=2"), &snap, &stats, &ring, None);
+        let r = route(
+            &get_q("/v1/changes", "since=2"),
+            &snap,
+            &stats,
+            &ring,
+            None,
+            None,
+        );
         assert_eq!(r.status, 200);
         assert!(body(&r).contains("\"added\": []"));
     }
 
     #[test]
     fn changes_since_older_than_ring_draws_resync_410() {
-        let mut snap = snap();
-        snap.epoch = 3;
+        let snap = snap_at_epoch(3);
         let stats = ServerStats::default();
         let ring = ChangeLog::new(8);
         // Only epochs 3 is retained (2 was never recorded → gap).
@@ -579,13 +643,27 @@ mod tests {
                 removed: vec![],
             },
         );
-        let r = route(&get_q("/v1/changes", "since=1"), &snap, &stats, &ring, None);
+        let r = route(
+            &get_q("/v1/changes", "since=1"),
+            &snap,
+            &stats,
+            &ring,
+            None,
+            None,
+        );
         assert_eq!(r.status, 410, "{}", body(&r));
         let b = body(&r);
         assert!(b.contains("\"resync\": true"), "{b}");
         assert!(b.contains("\"oldest_since\": 2"), "{b}");
         // The still-covered since answers normally.
-        let r = route(&get_q("/v1/changes", "since=2"), &snap, &stats, &ring, None);
+        let r = route(
+            &get_q("/v1/changes", "since=2"),
+            &snap,
+            &stats,
+            &ring,
+            None,
+            None,
+        );
         assert_eq!(r.status, 200);
     }
 
@@ -595,11 +673,18 @@ mod tests {
         let stats = ServerStats::default();
         let ring = ChangeLog::new(8);
         for q in ["", "since=banana", "since=-1", "since=1.5", "other=1"] {
-            let r = route(&get_q("/v1/changes", q), &snap, &stats, &ring, None);
+            let r = route(&get_q("/v1/changes", q), &snap, &stats, &ring, None, None);
             assert_eq!(r.status, 400, "query {q:?}: {}", body(&r));
         }
         // Snapshot epoch is 0; asking about the future is a 400.
-        let r = route(&get_q("/v1/changes", "since=5"), &snap, &stats, &ring, None);
+        let r = route(
+            &get_q("/v1/changes", "since=5"),
+            &snap,
+            &stats,
+            &ring,
+            None,
+            None,
+        );
         assert_eq!(r.status, 400);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] [--seed=N]
-//!              [--refresh-secs=N] [--workers=N]
+//!              [--engine=reactor|threaded] [--shards=N] [--max-conns=N]
+//!              [--idle-ms=N] [--refresh-secs=N] [--workers=N]
 //!              [--live] [--live-tick-ms=N] [--churn-per-tick=N]
 //!              [--churn-seed=N] [--delta-ring=N]
 //! ```
@@ -11,6 +12,13 @@
 //! once, publishes the snapshot, and serves the query API; with
 //! `--refresh-secs=N` a background refresher re-runs the whole
 //! pipeline every `N` seconds.
+//!
+//! The default engine is the epoll **reactor** (`--shards` event-loop
+//! threads, `--max-conns` connections each, `--idle-ms` keep-alive
+//! read deadline) with long-poll and SSE push on `/v1/changes`;
+//! `--engine=threaded` selects the original thread-per-connection
+//! server with `--workers` pool threads. Both serve byte-identical
+//! responses.
 //!
 //! With `--live` the refresher is replaced by the incremental loop:
 //! the initial snapshot comes from the route-server-state harvest, a
@@ -29,7 +37,8 @@ use mlpeer_data::churn::ChurnConfig;
 use mlpeer_ixp::Ecosystem;
 use mlpeer_serve::refresher::spawn_refresher;
 use mlpeer_serve::{
-    bootstrap, spawn_live_refresher, spawn_server, LiveConfig, LiveStats, Snapshot, SnapshotStore,
+    bootstrap, spawn_live_refresher, spawn_reactor, spawn_server, LiveConfig, LiveStats,
+    ReactorConfig, Snapshot, SnapshotStore,
 };
 
 fn main() {
@@ -38,6 +47,8 @@ fn main() {
     let mut seed: u64 = 20130501;
     let mut refresh_secs: u64 = 0;
     let mut workers: usize = 4;
+    let mut engine = "reactor".to_string();
+    let mut reactor_cfg = ReactorConfig::default();
     let mut live = false;
     let mut live_tick_ms: u64 = 2000;
     let mut churn_per_tick: usize = 10;
@@ -54,6 +65,18 @@ fn main() {
             refresh_secs = v.parse().expect("--refresh-secs=N");
         } else if let Some(v) = arg.strip_prefix("--workers=") {
             workers = v.parse().expect("--workers=N");
+        } else if let Some(v) = arg.strip_prefix("--engine=") {
+            if v != "reactor" && v != "threaded" {
+                eprintln!("--engine must be `reactor` or `threaded`, got `{v}`");
+                std::process::exit(2);
+            }
+            engine = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            reactor_cfg.shards = v.parse().expect("--shards=N");
+        } else if let Some(v) = arg.strip_prefix("--max-conns=") {
+            reactor_cfg.max_conns = v.parse().expect("--max-conns=N");
+        } else if let Some(v) = arg.strip_prefix("--idle-ms=") {
+            reactor_cfg.idle = Duration::from_millis(v.parse().expect("--idle-ms=N"));
         } else if arg == "--live" {
             live = true;
         } else if let Some(v) = arg.strip_prefix("--live-tick-ms=") {
@@ -68,7 +91,8 @@ fn main() {
             eprintln!("unknown argument: {arg}");
             eprintln!(
                 "usage: mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] \
-                 [--seed=N] [--refresh-secs=N] [--workers=N] [--live] \
+                 [--seed=N] [--engine=reactor|threaded] [--shards=N] [--max-conns=N] \
+                 [--idle-ms=N] [--refresh-secs=N] [--workers=N] [--live] \
                  [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
                  [--delta-ring=N]"
             );
@@ -145,8 +169,23 @@ fn main() {
         store
     };
 
-    let mut server = spawn_server(store, &addr, workers).expect("bind address");
-    eprintln!("# serving on http://{} ({workers} workers)", server.addr);
+    let mut server = if engine == "reactor" {
+        let shards = reactor_cfg.shards.max(1);
+        let server = spawn_reactor(store, &addr, reactor_cfg).expect("bind address");
+        eprintln!(
+            "# serving on http://{} (reactor engine, {shards} shard{})",
+            server.addr,
+            if shards == 1 { "" } else { "s" }
+        );
+        server
+    } else {
+        let server = spawn_server(store, &addr, workers).expect("bind address");
+        eprintln!(
+            "# serving on http://{} (threaded engine, {workers} workers)",
+            server.addr
+        );
+        server
+    };
     eprintln!("#   try: curl http://{}/healthz", server.addr);
     server.join();
     drop(refresher);

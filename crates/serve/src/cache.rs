@@ -33,6 +33,8 @@
 //! on a cache miss, so an uncached snapshot serves identical bytes at
 //! pre-cache cost.
 
+use std::sync::Arc;
+
 use mlpeer::intern::{AsnTable, PrefixTable};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
@@ -129,12 +131,90 @@ impl BodyCache {
     }
 }
 
+/// Which pre-rendered body a [`CacheSlice`] points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKey {
+    /// The `/v1/ixps` body.
+    Ixps,
+    /// One `/v1/ixp/{id}/links` body.
+    IxpLinks(IxpId),
+    /// One `/v1/member/{asn}` body.
+    Member(Asn),
+    /// One `/v1/prefix/{p}` body.
+    Prefix(Prefix),
+}
+
+/// A zero-copy view of one cached body: the `Arc<Snapshot>` pins the
+/// cache storage, so the slice stays valid for as long as the response
+/// is in flight — across store swaps and partial-write continuations —
+/// without copying the body out of the cache.
+pub struct CacheSlice {
+    snap: Arc<Snapshot>,
+    key: CacheKey,
+}
+
+impl CacheSlice {
+    /// A slice for `key` in `snap`'s cache, or `None` on a cache miss
+    /// (the caller falls back to a live render).
+    pub fn new(snap: &Arc<Snapshot>, key: CacheKey) -> Option<CacheSlice> {
+        probe(snap, key)?;
+        Some(CacheSlice {
+            snap: Arc::clone(snap),
+            key,
+        })
+    }
+}
+
+fn probe(snap: &Snapshot, key: CacheKey) -> Option<&[u8]> {
+    match key {
+        CacheKey::Ixps => snap.cache.ixps_body(),
+        CacheKey::IxpLinks(ixp) => snap.cache.ixp_links_body(ixp),
+        CacheKey::Member(asn) => snap.cache.member_body(asn),
+        CacheKey::Prefix(p) => snap.cache.prefix_body(&p),
+    }
+}
+
+impl AsRef<[u8]> for CacheSlice {
+    fn as_ref(&self) -> &[u8] {
+        // The constructor verified the hit and the snapshot is
+        // immutable, so the re-probe cannot miss.
+        probe(&self.snap, self.key).expect("cache entry verified at construction")
+    }
+}
+
+impl std::fmt::Debug for CacheSlice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheSlice")
+            .field("key", &self.key)
+            .field("len", &self.as_ref().len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn snap() -> Snapshot {
         crate::testutil::snapshot_with(4, 11)
+    }
+
+    /// A `CacheSlice` yields the cached bytes, pins them across a drop
+    /// of every other handle, and misses stay `None`.
+    #[test]
+    fn cache_slice_pins_and_matches() {
+        let snap = Arc::new(snap());
+        let expect = snap.cache.ixps_body().unwrap().to_vec();
+        let slice = CacheSlice::new(&snap, CacheKey::Ixps).expect("hit");
+        let member = CacheSlice::new(&snap, CacheKey::Member(Asn(1))).expect("hit");
+        drop(snap); // the slices keep the snapshot alive
+        assert_eq!(slice.as_ref(), &expect[..]);
+        assert!(!member.as_ref().is_empty());
+        assert!(format!("{slice:?}").contains("Ixps"));
+
+        let uncached = Arc::new(crate::testutil::snapshot_with_uncached(4, 11));
+        assert!(CacheSlice::new(&uncached, CacheKey::Ixps).is_none());
+        assert!(CacheSlice::new(&uncached, CacheKey::Member(Asn(999))).is_none());
     }
 
     /// The cache contract: every pre-rendered body is byte-identical to

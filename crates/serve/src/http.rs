@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Longest request head (request line + headers) accepted, bytes.
-const MAX_HEAD: usize = 16 * 1024;
+pub(crate) const MAX_HEAD: usize = 16 * 1024;
 
 /// One parsed request head.
 #[derive(Debug, Clone, Default)]
@@ -188,6 +188,82 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
     Ok(Some(req))
 }
 
+/// Parse one request head from an in-memory buffer — the nonblocking
+/// twin of [`read_request`] for the reactor's incremental reads.
+/// `Ok(Some((req, consumed)))` hands back the parsed head and how many
+/// buffer bytes it spanned (the caller drains them and re-parses for
+/// pipelined requests); `Ok(None)` means the head is still incomplete
+/// (read more). The same bounds and shape rules apply: a head that has
+/// not terminated within [`MAX_HEAD`] bytes, a malformed request line,
+/// or a declared body are all `InvalidData` errors.
+pub(crate) fn parse_head(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut offset = 0usize;
+    let mut req: Option<Request> = None;
+    loop {
+        let Some(nl) = buf[offset..].iter().position(|&b| b == b'\n') else {
+            // No newline yet: incomplete, unless the head already blew
+            // the limit while buffering (the `read_line_bounded` rule).
+            if buf.len() >= MAX_HEAD {
+                return Err(bad("head too large".into()));
+            }
+            return Ok(None);
+        };
+        let consumed = offset + nl + 1;
+        if consumed > MAX_HEAD {
+            return Err(bad("head too large".into()));
+        }
+        let mut line = &buf[offset..offset + nl];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let line = String::from_utf8_lossy(line);
+        match &mut req {
+            None => {
+                // The request line.
+                if line.is_empty() {
+                    return Err(bad("empty request line".into()));
+                }
+                let mut parts = line.split_whitespace();
+                let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+                    (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+                    _ => return Err(bad(format!("bad request line: {line:?}"))),
+                };
+                let (raw_path, query) = match target.split_once('?') {
+                    Some((p, q)) => (p, q.to_string()),
+                    None => (target, String::new()),
+                };
+                req = Some(Request {
+                    method: method.to_ascii_uppercase(),
+                    path: percent_decode(raw_path),
+                    query,
+                    headers: Vec::new(),
+                });
+            }
+            Some(req) if line.is_empty() => {
+                // End of head. Same body rejection as `read_request`:
+                // the API is GET-only, declared bodies draw an error.
+                if req
+                    .header("content-length")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .is_some_and(|n| n > 0)
+                    || req.header("transfer-encoding").is_some()
+                {
+                    return Err(bad("request bodies are not accepted".into()));
+                }
+                return Ok(Some((std::mem::take(req), consumed)));
+            }
+            Some(req) => {
+                if let Some((name, value)) = line.split_once(':') {
+                    req.headers
+                        .push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+                }
+            }
+        }
+        offset = consumed;
+    }
+}
+
 /// One parsed client-side response: status, headers, length-framed
 /// body. The single implementation the load generator and the
 /// integration tests share.
@@ -246,23 +322,95 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<ResponsePa
     Ok(parts)
 }
 
+/// A response body: either owned bytes (rendered for this response) or
+/// a shared slice pinned by an `Arc` — the zero-copy path the reactor
+/// writes straight from the snapshot's pre-rendered
+/// [`crate::cache::BodyCache`] without ever copying the body.
+pub enum Body {
+    /// Bytes owned by this response (live renders, error bodies).
+    Owned(Vec<u8>),
+    /// A shared view (e.g. [`crate::cache::CacheSlice`]): the `Arc`
+    /// keeps the backing storage alive for as long as the response is
+    /// in flight, including across partial-write continuations.
+    Shared(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+impl Body {
+    /// The body bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(s) => s.as_ref().as_ref(),
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Is the body empty (304s, long-poll parks)?
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copy out as owned bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Clone for Body {
+    fn clone(&self) -> Body {
+        match self {
+            Body::Owned(v) => Body::Owned(v.clone()),
+            Body::Shared(s) => Body::Shared(Arc::clone(s)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Body {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Body::Owned(v) => write!(f, "Body::Owned({} bytes)", v.len()),
+            Body::Shared(s) => write!(f, "Body::Shared({} bytes)", s.as_ref().as_ref().len()),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
 /// One response, written with explicit `Content-Length` framing.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Body bytes (empty for 304).
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Extra headers (name, value) — e.g. `ETag`.
     pub headers: Vec<(String, String)>,
 }
 
 impl Response {
-    /// A JSON response.
+    /// A JSON response with an owned body.
     pub fn json<S: Into<Vec<u8>>>(status: u16, body: S) -> Response {
         Response {
             status,
-            body: body.into(),
+            body: Body::Owned(body.into()),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A JSON response whose body is a shared slice — no copy; the
+    /// `Arc` pins the backing storage until the response is written.
+    pub fn shared<S: AsRef<[u8]> + Send + Sync + 'static>(status: u16, body: S) -> Response {
+        Response {
+            status,
+            body: Body::Shared(Arc::new(body)),
             headers: Vec::new(),
         }
     }
@@ -280,25 +428,37 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            410 => "Gone",
             _ => "Internal Server Error",
         }
     }
 
-    /// Serialize onto the wire.
-    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
-        write!(w, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
-        write!(w, "Content-Type: application/json\r\n")?;
-        write!(w, "Content-Length: {}\r\n", self.body.len())?;
-        write!(
-            w,
+    /// The serialized head (status line + headers + blank line) —
+    /// exactly the bytes [`write_to`](Response::write_to) puts before
+    /// the body, so both engines frame responses identically.
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = Vec::with_capacity(128);
+        // Writes into a Vec cannot fail.
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        let _ = write!(head, "Content-Type: application/json\r\n");
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        let _ = write!(
+            head,
             "Connection: {}\r\n",
             if keep_alive { "keep-alive" } else { "close" }
-        )?;
+        );
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(head, "{name}: {value}\r\n");
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        head.extend_from_slice(b"\r\n");
+        head
+    }
+
+    /// Serialize onto the wire.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        w.write_all(&self.head_bytes(keep_alive))?;
+        w.write_all(self.body.as_slice())?;
         w.flush()
     }
 }
@@ -425,6 +585,61 @@ mod tests {
             format!("h: {}\r\n", "v".repeat(1000)).repeat(20)
         );
         assert!(parse(&fat_headers).is_err(), "cumulative header limit");
+    }
+
+    /// `parse_head` agrees with `read_request` on shape and limits, and
+    /// reports exactly the bytes a head consumed (pipelining relies on
+    /// it).
+    #[test]
+    fn parse_head_is_incremental_and_bounded() {
+        let raw = b"GET /v1/ixps?x=1 HTTP/1.1\r\nHost: a\r\n\r\nGET /next HTTP/1.1\r\n\r\n";
+        // Every strict prefix short of the first terminator is
+        // incomplete, never an error.
+        let first_head = b"GET /v1/ixps?x=1 HTTP/1.1\r\nHost: a\r\n\r\n".len();
+        for cut in 0..first_head {
+            assert!(
+                parse_head(&raw[..cut]).unwrap().is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        let (req, consumed) = parse_head(raw).unwrap().unwrap();
+        assert_eq!(consumed, first_head);
+        assert_eq!(req.path, "/v1/ixps");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("a"));
+        // The remainder parses as the pipelined second request.
+        let (req2, consumed2) = parse_head(&raw[consumed..]).unwrap().unwrap();
+        assert_eq!(req2.path, "/next");
+        assert_eq!(consumed + consumed2, raw.len());
+
+        // Same rejections as the blocking parser.
+        assert!(parse_head(b"\r\n\r\n").is_err(), "empty request line");
+        assert!(parse_head(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(
+            parse_head(b"GET / HTTP/1.1\r\nContent-Length: 3\r\n\r\n").is_err(),
+            "declared bodies are rejected"
+        );
+        let endless = vec![b'a'; MAX_HEAD + 1];
+        assert!(parse_head(&endless).is_err(), "no newline within the limit");
+        let fat = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            format!("h: {}\r\n", "v".repeat(1000)).repeat(20)
+        );
+        assert!(parse_head(fat.as_bytes()).is_err(), "cumulative limit");
+    }
+
+    #[test]
+    fn shared_bodies_write_identically_to_owned() {
+        let owned = Response::json(200, "{\"ok\":true}").with_header("ETag", "\"ff\"");
+        let shared = Response::shared(200, b"{\"ok\":true}".to_vec()).with_header("ETag", "\"ff\"");
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        owned.write_to(&mut a, true).unwrap();
+        shared.write_to(&mut b, true).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(shared.head_bytes(true), owned.head_bytes(true));
+        assert_eq!(shared.body.len(), 11);
+        assert!(!shared.body.is_empty());
+        assert_eq!(shared.body.clone().to_vec(), owned.body.to_vec());
     }
 
     #[test]

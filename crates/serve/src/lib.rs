@@ -17,13 +17,18 @@
 //!   snapshot-addressed GET body (ixps, per-IXP links, per-member,
 //!   announced prefixes) is rendered once when the snapshot is built,
 //!   so the 200 hot path is a lookup + memcpy instead of a JSON render;
-//! * **std-only threaded HTTP/1.1 server** — [`server`] on
-//!   `std::net::TcpListener` (no async runtime in the vendor tree)
-//!   exposing the JSON endpoints documented in the README:
-//!   `/healthz`, `/v1/ixps`, `/v1/ixp/{id}/links`, `/v1/member/{asn}`,
-//!   `/v1/prefix/{p}`, `/v1/stats`;
-//! * an in-repo [`loadgen`] whose results the `serve_load` bench
-//!   records to `BENCH_serve.json`;
+//! * **two HTTP/1.1 engines behind one handle** — the std-only
+//!   threaded [`server`] (thread per connection, the original engine)
+//!   and the epoll [`reactor`] (one event loop per shard, vectored
+//!   zero-copy writes, massive keep-alive concurrency, push delivery
+//!   for `/v1/changes`), both exposing the JSON endpoints documented
+//!   in the README: `/healthz`, `/v1/ixps`, `/v1/ixp/{id}/links`,
+//!   `/v1/member/{asn}`, `/v1/prefix/{p}`, `/v1/stats`,
+//!   `/v1/changes` — byte-identical across engines (asserted by the
+//!   `engine_equivalence` test);
+//! * an in-repo [`loadgen`] (closed-loop sweeps plus a keep-alive
+//!   hold mode for connection-count scaling) whose results the
+//!   `serve_load` bench records to `BENCH_serve.json`;
 //! * **live mode** — [`live`]: a churn-driven incremental loop
 //!   ([`mlpeer::live::LiveInferencer`]) that applies per-event link
 //!   deltas and publishes a new epoch *only when the link set moved*,
@@ -44,6 +49,7 @@ pub mod delta;
 pub mod http;
 pub mod live;
 pub mod loadgen;
+pub mod reactor;
 pub mod refresher;
 pub mod server;
 pub mod snapshot;
@@ -52,7 +58,8 @@ pub mod store;
 pub use cache::BodyCache;
 pub use delta::{ChangeLog, SinceAnswer};
 pub use live::{bootstrap, spawn_live_refresher, LiveConfig, LiveStats};
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{run_hold_load, run_load, HoldConfig, LoadConfig, LoadReport};
+pub use reactor::{spawn_reactor, ReactorConfig, ReactorStats};
 pub use server::{spawn_server, ServerHandle, ServerStats};
 pub use snapshot::Snapshot;
 pub use store::SnapshotStore;

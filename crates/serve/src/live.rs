@@ -226,8 +226,9 @@ mod tests {
             &crate::server::ServerStats::default(),
             store.changes(),
             store.live_stats(),
+            None,
         );
-        let body = String::from_utf8(r.body).unwrap();
+        let body = String::from_utf8(r.body.to_vec()).unwrap();
         assert!(body.contains("\"published_epochs\""), "{body}");
         assert!(body.contains("\"ticks\""), "{body}");
 

@@ -1,6 +1,20 @@
 //! In-repo load generator: keep-alive client connections hammering the
 //! query API, with latency percentiles and throughput.
 //!
+//! Two modes:
+//!
+//! * [`run_load`] — the closed-loop sweep: one thread per connection,
+//!   each issuing a fixed request count. Right for small connection
+//!   counts (the bench's latency sweeps).
+//! * [`run_hold_load`] — the keep-alive *hold* mode: open `connections`
+//!   sockets first, **hold every one of them open for the whole run**,
+//!   and drive them from a bounded worker pool. That separates "how
+//!   many connections does the server hold" from "how many client
+//!   threads exist", so a single machine can hold thousands of
+//!   keep-alive connections against the reactor engine without
+//!   spawning thousands of threads. The bench's `connections` axis in
+//!   `BENCH_serve.json` is measured this way.
+//!
 //! The `serve_load` bench boots a real server and records this
 //! generator's report to `BENCH_serve.json`; the CI smoke job and the
 //! e2e tests use single requests instead. std-only, like the server.
@@ -128,6 +142,138 @@ pub fn run_load(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     });
     let mut merged = LoadReport {
         elapsed: t0.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in reports {
+        merged.requests += r.requests;
+        merged.ok += r.ok;
+        merged.not_modified += r.not_modified;
+        merged.errors += r.errors;
+        merged.latencies_us.extend(r.latencies_us);
+    }
+    merged.latencies_us.sort_unstable();
+    merged
+}
+
+/// What the keep-alive hold mode throws at the server.
+#[derive(Debug, Clone)]
+pub struct HoldConfig {
+    /// Keep-alive connections opened up front and held for the whole
+    /// run.
+    pub connections: usize,
+    /// Worker threads driving requests across the held connections.
+    pub client_threads: usize,
+    /// Total requests across the run (spread over the connections).
+    pub requests_total: usize,
+    /// Target paths, cycled per request.
+    pub targets: Vec<String>,
+}
+
+impl Default for HoldConfig {
+    fn default() -> Self {
+        HoldConfig {
+            connections: 256,
+            client_threads: 8,
+            requests_total: 20_000,
+            targets: vec!["/v1/ixps".into(), "/healthz".into()],
+        }
+    }
+}
+
+/// Open one held connection, retrying briefly: under thousands of
+/// near-simultaneous connects the kernel may transiently refuse.
+fn connect_held(addr: SocketAddr) -> Option<TcpStream> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+                return Some(s);
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Hold-mode run: open `cfg.connections` keep-alive sockets, then let
+/// `cfg.client_threads` workers round-robin requests over their share
+/// of the held connections. Every connection stays open until the run
+/// ends, so the server holds the full population for the whole
+/// measurement — the point of the `connections` scaling axis.
+///
+/// The wall clock starts *after* the connections are open: the report
+/// measures steady-state keep-alive throughput, not connect storms.
+pub fn run_hold_load(addr: SocketAddr, cfg: &HoldConfig) -> LoadReport {
+    let connections = cfg.connections.max(1);
+    let threads = cfg.client_threads.max(1).min(connections);
+    // Room for held sockets on the client side too (the soft NOFILE
+    // default of 1024 is below the interesting sweep points).
+    #[cfg(target_os = "linux")]
+    let _ = polling::os::raise_nofile_limit(connections as u64 * 2 + 64);
+
+    let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(connections);
+    let mut failed_connects = 0usize;
+    for _ in 0..connections {
+        match connect_held(addr).and_then(|s| {
+            let writer = s.try_clone().ok()?;
+            Some((writer, BufReader::new(s)))
+        }) {
+            Some(pair) => conns.push(pair),
+            None => failed_connects += 1,
+        }
+    }
+
+    // Split the held connections into one contiguous chunk per worker;
+    // each worker cycles its chunk so every connection sees traffic.
+    let per_thread = conns.len().div_ceil(threads);
+    let requests_each = cfg.requests_total / threads.max(1);
+    let t0 = Instant::now();
+    let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = conns;
+        while !rest.is_empty() {
+            let mut chunk: Vec<_> = rest.drain(..per_thread.min(rest.len())).collect();
+            let targets = &cfg.targets;
+            handles.push(scope.spawn(move || {
+                let mut report = LoadReport::default();
+                for i in 0..requests_each {
+                    let slot = i % chunk.len();
+                    let (writer, reader) = &mut chunk[slot];
+                    let target = &targets[i % targets.len()];
+                    let t0 = Instant::now();
+                    report.requests += 1;
+                    let sent =
+                        write!(writer, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n").is_ok();
+                    match sent.then(|| read_response(reader)) {
+                        Some(Ok(parts)) => {
+                            report.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            match parts.status {
+                                200..=299 => report.ok += 1,
+                                304 => report.not_modified += 1,
+                                _ => report.errors += 1,
+                            }
+                        }
+                        _ => report.errors += 1,
+                    }
+                }
+                // `chunk` drops here: connections stay open (held) for
+                // the entire run and close together at the end.
+                report
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("hold-load worker panicked"))
+            .collect()
+    });
+    let mut merged = LoadReport {
+        elapsed: t0.elapsed(),
+        errors: failed_connects,
+        requests: failed_connects,
         ..LoadReport::default()
     };
     for r in reports {

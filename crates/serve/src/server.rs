@@ -67,32 +67,51 @@ impl ServerStats {
     pub fn uptime_ms(&self) -> u64 {
         self.started.elapsed().as_millis() as u64
     }
+
+    /// Count one routed request (both engines call this right after a
+    /// head parses, before routing).
+    pub(crate) fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one malformed request (the parse-failure 400 path).
+    pub(crate) fn record_client_error(&self) {
+        self.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
-/// A running server: its bound address, stats, and a shutdown handle.
+/// A running server — threaded or reactor engine — with its bound
+/// address, stats, and a shutdown handle.
 pub struct ServerHandle {
     /// The actually-bound address (resolves port 0).
     pub addr: SocketAddr,
     /// Shared counters.
     pub stats: Arc<ServerStats>,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Reactor counters when the reactor engine runs this server,
+    /// `None` under the threaded engine.
+    pub reactor_stats: Option<Arc<crate::reactor::ReactorStats>>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// The accept thread (threaded engine) or one thread per reactor
+    /// shard.
+    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// Ask the accept loop to exit and join it. Idempotent.
+    /// Ask the serve threads to exit and join them. Idempotent.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the accept call with one throwaway connection.
+        // Unblock a blocking accept (threaded) or wake a poller shard
+        // (reactor) with one throwaway connection; remaining reactor
+        // shards notice the flag on their next wait timeout.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 
     /// Block until the server exits (Ctrl-C for the binary).
     pub fn join(&mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -140,9 +159,24 @@ pub fn spawn_server(
     Ok(ServerHandle {
         addr,
         stats,
+        reactor_stats: None,
         shutdown,
-        accept_thread: Some(accept_thread),
+        threads: vec![accept_thread],
     })
+}
+
+/// Bump the post-route counters for one response — shared by both
+/// engines so `/v1/stats`'s server section counts identically.
+pub(crate) fn count_response(stats: &ServerStats, status: u16) {
+    match status {
+        304 => {
+            stats.not_modified.fetch_add(1, Ordering::Relaxed);
+        }
+        400..=499 => {
+            stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
 }
 
 /// Serve one connection: keep-alive loop, one snapshot load per
@@ -163,23 +197,22 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
             Ok(Some(req)) => req,
             Ok(None) => break,
             Err(_) => {
-                stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                stats.record_client_error();
                 let _ = api::error(400, "malformed request").write_to(&mut write_half, false);
                 break;
             }
         };
-        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats.record_request();
         let snapshot = store.load();
-        let response = api::route(&req, &snapshot, stats, store.changes(), store.live_stats());
-        match response.status {
-            304 => {
-                stats.not_modified.fetch_add(1, Ordering::Relaxed);
-            }
-            400..=499 => {
-                stats.client_errors.fetch_add(1, Ordering::Relaxed);
-            }
-            _ => {}
-        }
+        let response = api::route(
+            &req,
+            &snapshot,
+            stats,
+            store.changes(),
+            store.live_stats(),
+            None,
+        );
+        count_response(stats, response.status);
         let keep_alive = !req.wants_close();
         if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
             break;

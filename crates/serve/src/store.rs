@@ -25,12 +25,14 @@ use mlpeer::live::LinkDelta;
 use crate::delta::ChangeLog;
 use crate::snapshot::Snapshot;
 
+/// A registered publish observer (see [`SnapshotStore::on_publish`]).
+type PublishHook = Box<dyn Fn(u64) + Send + Sync>;
+
 /// Default [`ChangeLog`] depth: how many epochs back `/v1/changes` can
 /// answer before signalling a full resync.
 pub const DEFAULT_CHANGE_CAPACITY: usize = 64;
 
 /// Shared handle to the current [`Snapshot`] epoch.
-#[derive(Debug)]
 pub struct SnapshotStore {
     current: Mutex<Arc<Snapshot>>,
     swaps: AtomicU64,
@@ -38,6 +40,10 @@ pub struct SnapshotStore {
     /// Registered by the live refresher so `/v1/stats` can surface its
     /// counters; absent outside live mode.
     live_stats: std::sync::OnceLock<Arc<crate::live::LiveStats>>,
+    /// Publish observers (the reactor registers one per shard to wake
+    /// parked push subscribers). Must stay cheap and non-blocking —
+    /// they run on the publisher's thread after every swap.
+    hooks: Mutex<Vec<PublishHook>>,
 }
 
 impl SnapshotStore {
@@ -55,7 +61,28 @@ impl SnapshotStore {
             swaps: AtomicU64::new(0),
             changes: ChangeLog::new(capacity),
             live_stats: std::sync::OnceLock::new(),
+            hooks: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Register a publish observer: called with the new epoch after
+    /// every successful [`publish`](SnapshotStore::publish) or
+    /// [`publish_with_delta`](SnapshotStore::publish_with_delta) swap
+    /// (outside the swap lock). The reactor uses this to wake parked
+    /// long-poll and SSE subscribers the moment a new epoch lands.
+    pub fn on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        self.hooks
+            .lock()
+            .expect("hook lock never poisoned")
+            .push(Box::new(hook));
+    }
+
+    /// Run every publish observer (after the swap lock is released, so
+    /// a hook can call [`load`](SnapshotStore::load) freely).
+    fn notify(&self, epoch: u64) {
+        for hook in self.hooks.lock().expect("hook lock never poisoned").iter() {
+            hook(epoch);
+        }
     }
 
     /// The per-epoch change ring behind `/v1/changes`.
@@ -102,6 +129,7 @@ impl SnapshotStore {
         self.changes.reset();
         drop(current);
         self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.notify(epoch);
         epoch
     }
 
@@ -117,12 +145,23 @@ impl SnapshotStore {
         self.changes.record(epoch, delta);
         drop(current);
         self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.notify(epoch);
         epoch
     }
 
     /// Number of swaps since the store opened.
     pub fn swap_count(&self) -> u64 {
         self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("epoch", &self.load().epoch)
+            .field("swaps", &self.swap_count())
+            .field("changes", &self.changes)
+            .finish_non_exhaustive()
     }
 }
 
@@ -187,6 +226,17 @@ mod tests {
             store.changes().since(1, e3),
             SinceAnswer::Truncated { .. }
         ));
+    }
+
+    #[test]
+    fn publish_hooks_fire_on_both_publish_paths() {
+        let store = SnapshotStore::new(snapshot_variant(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        store.on_publish(move |epoch| sink.lock().unwrap().push(epoch));
+        store.publish(snapshot_variant(1));
+        store.publish_with_delta(snapshot_variant(2), LinkDelta::default());
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
     }
 
     #[test]

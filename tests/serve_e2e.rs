@@ -128,10 +128,11 @@ fn boot_query_refresh_over_real_tcp() {
         &ServerStats::default(),
         &mlpeer_serve::ChangeLog::new(8),
         None,
+        None,
     );
     assert_eq!(
         wire_body.as_bytes(),
-        &direct.body[..],
+        direct.body.as_slice(),
         "wire == direct render"
     );
 

@@ -1,0 +1,703 @@
+//! Offline stand-in for a mio-style readiness poller: a thin safe
+//! wrapper over `epoll_create1`/`epoll_ctl`/`epoll_wait`, with a
+//! portable `poll(2)` fallback backend.
+//!
+//! The build environment has no registry access, so — like the sibling
+//! `rayon`/`serde` stand-ins — this crate implements exactly the
+//! surface the workspace uses: register a file descriptor under a
+//! `usize` key with read/write [`Interest`], block in [`Poller::wait`]
+//! until something is ready (or a timeout passes), get back level-
+//! triggered [`Event`]s. No arenas, no wakers, no edge triggering.
+//!
+//! All syscalls go through the C symbols the Rust standard library
+//! already links (`std` links libc on every unix target), so nothing
+//! here needs a registry dependency. `unsafe` is confined to this
+//! crate; callers see a safe API. The [`os`] module adds the handful of
+//! socket/rlimit helpers the reactor front end needs (`SO_REUSEPORT`
+//! listener sharding, `SO_SNDBUF` shrinking for partial-write tests,
+//! `RLIMIT_NOFILE` raising for high-connection-count load runs).
+//!
+//! Backend selection: Linux defaults to epoll; every other unix uses
+//! `poll(2)`. [`Poller::with_backend`] forces the `poll(2)` backend on
+//! Linux too, so the fallback stays tested where CI actually runs.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+mod sys {
+    //! The C symbols this shim calls, as `std`'s libc exports them.
+    #![allow(non_camel_case_types)]
+
+    pub use std::os::raw::{c_int, c_ulong, c_void};
+
+    /// Kernel epoll event record. x86_64 is the one Linux ABI where
+    /// this struct is packed; everywhere else it has natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLPRI: u32 = 0x002;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLL_CLOEXEC: c_int = 0x80000;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLPRI: i16 = 0x002;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        pub fn close(fd: c_int) -> c_int;
+        pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: u32,
+        ) -> c_int;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+}
+
+/// The last `errno`, as an [`io::Error`].
+fn last_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Which readiness the caller wants to hear about for a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable (incoming bytes, incoming connections, EOF).
+    pub readable: bool,
+    /// Wake on writable (socket send buffer has room).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification. Errors and hangups surface as *both*
+/// readable and writable — the owner's next read/write reports the
+/// concrete error, which is how mio-style loops discover them.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The key the file descriptor was registered under.
+    pub key: usize,
+    /// Readable (or errored/hung up).
+    pub readable: bool,
+    /// Writable (or errored/hung up).
+    pub writable: bool,
+}
+
+/// Which kernel interface backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `epoll` (Linux only; the default there).
+    Epoll,
+    /// `poll(2)` — the portable fallback, O(registrations) per wait.
+    Poll,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll { epfd: RawFd },
+    Poll { regs: Mutex<Vec<Registration>> },
+}
+
+struct Registration {
+    fd: RawFd,
+    key: usize,
+    interest: Interest,
+}
+
+/// A level-triggered readiness poller over raw file descriptors.
+///
+/// Registrations are keyed by a caller-chosen `usize`; [`wait`]
+/// returns the keys that are ready. The caller owns the file
+/// descriptors — the poller never closes them. Intended use is one
+/// waiting thread per poller (the `poll(2)` backend holds its
+/// registration lock across the blocking wait).
+///
+/// [`wait`]: Poller::wait
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// A poller on the platform's default backend (epoll on Linux,
+    /// `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Poller::with_backend(BackendKind::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(BackendKind::Poll)
+        }
+    }
+
+    /// A poller on an explicit backend. Asking for epoll off Linux is
+    /// an `Unsupported` error.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poller> {
+        match kind {
+            BackendKind::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    // SAFETY: plain syscall, no pointers.
+                    let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+                    if epfd < 0 {
+                        return Err(last_error());
+                    }
+                    Ok(Poller {
+                        backend: Backend::Epoll { epfd },
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "epoll is Linux-only; use BackendKind::Poll",
+                    ))
+                }
+            }
+            BackendKind::Poll => Ok(Poller {
+                backend: Backend::Poll {
+                    regs: Mutex::new(Vec::new()),
+                },
+            }),
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn kind(&self) -> BackendKind {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => BackendKind::Epoll,
+            Backend::Poll { .. } => BackendKind::Poll,
+        }
+    }
+
+    /// Register `fd` under `key` with the given interest. One
+    /// registration per fd; re-adding an fd is an error (use
+    /// [`modify`](Poller::modify)).
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => epoll_ctl(*epfd, sys::EPOLL_CTL_ADD, fd, key, interest),
+            Backend::Poll { regs } => {
+                let mut regs = regs.lock().expect("poller lock");
+                if regs.iter().any(|r| r.fd == fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                regs.push(Registration { fd, key, interest });
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the interest (and key) of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => epoll_ctl(*epfd, sys::EPOLL_CTL_MOD, fd, key, interest),
+            Backend::Poll { regs } => {
+                let mut regs = regs.lock().expect("poller lock");
+                match regs.iter_mut().find(|r| r.fd == fd) {
+                    Some(r) => {
+                        r.key = key;
+                        r.interest = interest;
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Remove an fd's registration. Call *before* closing the fd (epoll
+    /// drops closed fds on its own, `poll(2)` does not).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev = sys::epoll_event { events: 0, data: 0 };
+                // SAFETY: valid pointers; DEL ignores the event.
+                let rc = unsafe { sys::epoll_ctl(*epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) };
+                if rc < 0 {
+                    Err(last_error())
+                } else {
+                    Ok(())
+                }
+            }
+            Backend::Poll { regs } => {
+                let mut regs = regs.lock().expect("poller lock");
+                match regs.iter().position(|r| r.fd == fd) {
+                    Some(i) => {
+                        regs.swap_remove(i);
+                        Ok(())
+                    }
+                    None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+                }
+            }
+        }
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// passes (`None` blocks indefinitely). Ready events are *appended*
+    /// to `events`; returns how many were appended (0 on timeout).
+    /// Level-triggered: a ready fd keeps reporting until drained.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: sys::c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                // Round sub-millisecond waits up so a short timeout
+                // never degenerates into a busy spin.
+                let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+                ms.min(i32::MAX as u128) as sys::c_int
+            }
+        };
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut buf = [sys::epoll_event { events: 0, data: 0 }; 256];
+                // SAFETY: buf is a valid, writable array of its length.
+                let n = unsafe {
+                    sys::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as sys::c_int, timeout_ms)
+                };
+                if n < 0 {
+                    return Err(last_error());
+                }
+                for ev in &buf[..n as usize] {
+                    let bits = ev.events;
+                    let oob = bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+                    // Copy out of the (possibly packed) struct first.
+                    let data = ev.data;
+                    events.push(Event {
+                        key: data as usize,
+                        readable: bits & (sys::EPOLLIN | sys::EPOLLPRI) != 0 || oob,
+                        writable: bits & sys::EPOLLOUT != 0 || oob,
+                    });
+                }
+                Ok(n as usize)
+            }
+            Backend::Poll { regs } => {
+                let regs = regs.lock().expect("poller lock");
+                let mut fds: Vec<sys::pollfd> = regs
+                    .iter()
+                    .map(|r| sys::pollfd {
+                        fd: r.fd,
+                        events: (if r.interest.readable {
+                            sys::POLLIN | sys::POLLPRI
+                        } else {
+                            0
+                        }) | (if r.interest.writable { sys::POLLOUT } else { 0 }),
+                        revents: 0,
+                    })
+                    .collect();
+                // SAFETY: fds is a valid, writable array of its length.
+                let n = unsafe {
+                    sys::poll(fds.as_mut_ptr(), fds.len() as sys::c_ulong, timeout_ms)
+                };
+                if n < 0 {
+                    return Err(last_error());
+                }
+                let mut appended = 0;
+                for (pfd, reg) in fds.iter().zip(regs.iter()) {
+                    let bits = pfd.revents;
+                    if bits == 0 {
+                        continue;
+                    }
+                    let oob = bits & (sys::POLLERR | sys::POLLHUP) != 0;
+                    events.push(Event {
+                        key: reg.key,
+                        readable: bits & (sys::POLLIN | sys::POLLPRI) != 0 || oob,
+                        writable: bits & sys::POLLOUT != 0 || oob,
+                    });
+                    appended += 1;
+                }
+                Ok(appended)
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll { epfd } = self.backend {
+            // SAFETY: epfd came from epoll_create1 and is owned here.
+            unsafe { sys::close(epfd) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("kind", &self.kind()).finish()
+    }
+}
+
+/// Socket and rlimit helpers for the reactor front end (Linux only —
+/// the constants below are Linux ABI values).
+#[cfg(target_os = "linux")]
+pub mod os {
+    use super::{last_error, sys};
+    use std::io;
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const SOL_SOCKET: sys::c_int = 1;
+    const SO_REUSEADDR: sys::c_int = 2;
+    const SO_SNDBUF: sys::c_int = 7;
+    const SO_RCVBUF: sys::c_int = 8;
+    const SO_REUSEPORT: sys::c_int = 15;
+    const AF_INET: sys::c_int = 2;
+    const SOCK_STREAM: sys::c_int = 1;
+    const SOCK_CLOEXEC: sys::c_int = 0x80000;
+    const RLIMIT_NOFILE: sys::c_int = 7;
+
+    fn sockopt_int(fd: RawFd, name: sys::c_int, value: sys::c_int) -> io::Result<()> {
+        // SAFETY: value outlives the call; size matches.
+        let rc = unsafe {
+            sys::setsockopt(
+                fd,
+                SOL_SOCKET,
+                name,
+                &value as *const sys::c_int as *const sys::c_void,
+                std::mem::size_of::<sys::c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            Err(last_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Set `SO_REUSEPORT` so several listeners can share one port (the
+    /// kernel load-balances accepts across them).
+    pub fn set_reuseport(fd: RawFd) -> io::Result<()> {
+        sockopt_int(fd, SO_REUSEPORT, 1)
+    }
+
+    /// Shrink (or grow) the socket send buffer — the test hook that
+    /// forces partial writes deterministically.
+    pub fn set_sndbuf(fd: RawFd, bytes: usize) -> io::Result<()> {
+        sockopt_int(fd, SO_SNDBUF, bytes.min(i32::MAX as usize) as sys::c_int)
+    }
+
+    /// Shrink (or grow) the socket receive buffer — paired with
+    /// [`set_sndbuf`] to bound in-flight bytes in partial-write tests.
+    pub fn set_rcvbuf(fd: RawFd, bytes: usize) -> io::Result<()> {
+        sockopt_int(fd, SO_RCVBUF, bytes.min(i32::MAX as usize) as sys::c_int)
+    }
+
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    /// Bind an IPv4 listener with `SO_REUSEPORT` (and `SO_REUSEADDR`)
+    /// set *before* bind, which `std::net::TcpListener::bind` cannot
+    /// do. Each reactor shard binds its own listener on the same port.
+    pub fn bind_reuseport_v4(addr: SocketAddrV4, backlog: i32) -> io::Result<TcpListener> {
+        // SAFETY: plain syscall.
+        let fd = unsafe { sys::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(last_error());
+        }
+        // Close on any error path below.
+        struct Guard(Option<RawFd>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                if let Some(fd) = self.0 {
+                    // SAFETY: fd is owned and unconsumed.
+                    unsafe { sys::close(fd) };
+                }
+            }
+        }
+        let mut guard = Guard(Some(fd));
+        sockopt_int(fd, SO_REUSEADDR, 1)?;
+        set_reuseport(fd)?;
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port_be: addr.port().to_be(),
+            addr_be: u32::from(*addr.ip()).to_be(),
+            zero: [0; 8],
+        };
+        // SAFETY: sa outlives the call; length matches the struct.
+        let rc = unsafe {
+            sys::bind(
+                fd,
+                &sa as *const SockaddrIn as *const sys::c_void,
+                std::mem::size_of::<SockaddrIn>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(last_error());
+        }
+        // SAFETY: plain syscall on the owned fd.
+        if unsafe { sys::listen(fd, backlog) } < 0 {
+            return Err(last_error());
+        }
+        guard.0 = None;
+        // SAFETY: fd is a freshly created, listening socket we own.
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
+    }
+
+    /// Raise the soft open-files limit toward `want` (clamped to the
+    /// hard limit). Returns the resulting soft limit. High-connection
+    /// load runs call this so 4096 keep-alive sockets fit under
+    /// environments whose default soft limit is 1024.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = sys::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: lim is valid and writable.
+        if unsafe { sys::getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(last_error());
+        }
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        let next = sys::rlimit {
+            rlim_cur: want.min(lim.rlim_max),
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: next is valid for the duration of the call.
+        if unsafe { sys::setrlimit(RLIMIT_NOFILE, &next) } < 0 {
+            return Err(last_error());
+        }
+        Ok(next.rlim_cur)
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn epoll_ctl(
+    epfd: RawFd,
+    op: sys::c_int,
+    fd: RawFd,
+    key: usize,
+    interest: Interest,
+) -> io::Result<()> {
+    let mut ev = sys::epoll_event {
+        events: (if interest.readable {
+            sys::EPOLLIN | sys::EPOLLPRI
+        } else {
+            0
+        }) | (if interest.writable { sys::EPOLLOUT } else { 0 })
+            | sys::EPOLLRDHUP,
+        data: key as u64,
+    };
+    // SAFETY: ev is a valid epoll_event for the duration of the call.
+    let rc = unsafe { sys::epoll_ctl(epfd, op, fd, &mut ev) };
+    if rc < 0 {
+        Err(last_error())
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::with_backend(BackendKind::Poll).unwrap()];
+        #[cfg(target_os = "linux")]
+        v.push(Poller::with_backend(BackendKind::Epoll).unwrap());
+        v
+    }
+
+    /// A connected nonblocking socket pair via loopback.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readiness_round_trip_on_both_backends() {
+        for poller in backends() {
+            let (mut a, mut b) = pair();
+            poller.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+            // Nothing ready yet: timeout elapses with zero events.
+            let mut events = Vec::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "{:?}", poller.kind());
+
+            a.write_all(b"x").unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1, "{:?}", poller.kind());
+            assert_eq!(events[0].key, 7);
+            assert!(events[0].readable);
+
+            // Level-triggered: still ready until drained.
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1);
+            let mut buf = [0u8; 8];
+            assert_eq!(b.read(&mut buf).unwrap(), 1);
+            events.clear();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert_eq!(n, 0, "drained fd stops reporting");
+
+            poller.delete(b.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn modify_switches_interest_and_peer_close_reports() {
+        for poller in backends() {
+            let (a, b) = pair();
+            // Write interest on an idle socket: immediately writable.
+            poller.add(b.as_raw_fd(), 1, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(events[0].writable, "{:?}", poller.kind());
+
+            // Switch to read-only interest; a peer close shows up
+            // readable (EOF).
+            poller.modify(b.as_raw_fd(), 2, Interest::READ).unwrap();
+            drop(a);
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events[0].key, 2);
+            assert!(events[0].readable);
+            poller.delete(b.as_raw_fd()).unwrap();
+            drop(b);
+        }
+    }
+
+    #[test]
+    fn add_rejects_duplicates_on_poll_backend() {
+        let poller = Poller::with_backend(BackendKind::Poll).unwrap();
+        let (_a, b) = pair();
+        poller.add(b.as_raw_fd(), 1, Interest::READ).unwrap();
+        assert!(poller.add(b.as_raw_fd(), 2, Interest::READ).is_err());
+        assert!(poller.delete(b.as_raw_fd()).is_ok());
+        assert!(poller.delete(b.as_raw_fd()).is_err());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_listeners_share_one_port() {
+        use std::net::SocketAddrV4;
+        let first = os::bind_reuseport_v4("127.0.0.1:0".parse().unwrap(), 64).unwrap();
+        let port = first.local_addr().unwrap().port();
+        let again: SocketAddrV4 = format!("127.0.0.1:{port}").parse().unwrap();
+        let second = os::bind_reuseport_v4(again, 64).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), port);
+        // Both listeners accept: connect twice, each connection lands
+        // somewhere and completes.
+        let c1 = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let c2 = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        drop((c1, c2, first, second));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let now = os::raise_nofile_limit(64).unwrap();
+        assert!(now >= 64);
+        let bigger = os::raise_nofile_limit(now).unwrap();
+        assert!(bigger >= now);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sndbuf_is_settable() {
+        let (_a, b) = pair();
+        os::set_sndbuf(b.as_raw_fd(), 4096).unwrap();
+    }
+}
