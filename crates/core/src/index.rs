@@ -198,6 +198,19 @@ impl LinkIndex {
     /// link set covers at the announcement's IXP, so prefix answers
     /// never cite reachability data the inference itself discarded.
     pub fn build(links: &MlpLinkSet, observations: &[Observation]) -> LinkIndex {
+        Self::build_from_announcements(links, scan::announcements(links, observations))
+    }
+
+    /// Build the index from an already-filtered announcement corpus —
+    /// the durable-store recovery path, where the corpus was persisted
+    /// (it is exactly [`LinkIndex::announcements`] of the original
+    /// index) and the raw observation stream no longer exists. Feeding
+    /// [`scan::announcements`] back through this constructor is
+    /// identical to [`LinkIndex::build`].
+    pub fn build_from_announcements(
+        links: &MlpLinkSet,
+        announcements: impl IntoIterator<Item = Announcement>,
+    ) -> LinkIndex {
         let mut members = AsnTable::default();
         let mut by_member: Vec<BTreeMap<IxpId, BTreeSet<Asn>>> = Vec::new();
         let mut links_total = 0;
@@ -226,7 +239,7 @@ impl LinkIndex {
             }
         }
         let mut trie = PrefixTrie::default();
-        for (prefix, ixp, member) in scan::announcements(links, observations) {
+        for (prefix, ixp, member) in announcements {
             trie.insert(prefix, ixp, member);
         }
         LinkIndex {
@@ -277,6 +290,18 @@ impl LinkIndex {
     /// Every distinct announced prefix in the trie.
     pub fn announced_prefixes(&self) -> Vec<Prefix> {
         self.trie.prefixes()
+    }
+
+    /// The full announcement corpus the trie holds, reconstructed as
+    /// the sorted set it was built from. This is what the durable
+    /// store persists per epoch: round-tripping it through
+    /// [`LinkIndex::build_from_announcements`] reproduces the trie
+    /// exactly, so recovered snapshots answer prefix queries (and hash
+    /// to content ETags) byte-identically.
+    pub fn announcements(&self) -> BTreeSet<Announcement> {
+        let mut out = BTreeSet::new();
+        collect_subtree(&self.trie.root, &mut out);
+        out
     }
 
     /// Distinct announced prefixes in the trie.
@@ -509,6 +534,33 @@ mod tests {
         assert!(trie.covering(&all).is_empty());
         assert_eq!(trie.prefix_count(), 2);
         assert_eq!(trie.announcement_count(), 2);
+    }
+
+    #[test]
+    fn announcements_round_trip_through_rebuild() {
+        let (links, observations) = fixture();
+        let index = LinkIndex::build(&links, &observations);
+        let corpus = index.announcements();
+        assert_eq!(corpus, scan::announcements(&links, &observations));
+        let rebuilt = LinkIndex::build_from_announcements(&links, corpus.iter().copied());
+        assert_eq!(rebuilt.announcements(), corpus);
+        assert_eq!(rebuilt.member_count(), index.member_count());
+        assert_eq!(rebuilt.prefix_count(), index.prefix_count());
+        assert_eq!(rebuilt.announcement_count(), index.announcement_count());
+        for q in ["10.1.0.0/24", "10.2.4.0/24", "10.0.0.0/8", "0.0.0.0/0"] {
+            let p: Prefix = q.parse().unwrap();
+            assert_eq!(
+                format!("{:?}", rebuilt.prefix_matches(&p)),
+                format!("{:?}", index.prefix_matches(&p)),
+                "{q}"
+            );
+        }
+        for asn in 0u32..=100 {
+            assert_eq!(
+                rebuilt.member_links_owned(Asn(asn)),
+                index.member_links_owned(Asn(asn))
+            );
+        }
     }
 
     #[test]

@@ -142,6 +142,31 @@ impl LinkDelta {
         self.added.is_empty() && self.removed.is_empty()
     }
 
+    /// The link-level diff turning `old` into `new`: what a restart
+    /// bridge must publish so `/v1/changes` composes across the last
+    /// persisted link set and a freshly bootstrapped one.
+    pub fn between(old: &MlpLinkSet, new: &MlpLinkSet) -> LinkDelta {
+        let empty = BTreeSet::new();
+        let ixps: BTreeSet<IxpId> = old
+            .per_ixp
+            .keys()
+            .chain(new.per_ixp.keys())
+            .copied()
+            .collect();
+        let mut delta = LinkDelta::default();
+        for ixp in ixps {
+            let o = old.per_ixp.get(&ixp).unwrap_or(&empty);
+            let n = new.per_ixp.get(&ixp).unwrap_or(&empty);
+            for &(a, b) in n.difference(o) {
+                delta.added.push((ixp, a, b));
+            }
+            for &(a, b) in o.difference(n) {
+                delta.removed.push((ixp, a, b));
+            }
+        }
+        delta
+    }
+
     /// Fold another delta in (sequential composition). An add then
     /// remove of the same link cancels out, and vice versa.
     pub fn merge(&mut self, other: LinkDelta) {
@@ -845,5 +870,57 @@ mod tests {
             removed: vec![(IxpId(0), Asn(2), Asn(3))],
         });
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_between_diffs_link_sets() {
+        let mut old = MlpLinkSet::default();
+        old.per_ixp
+            .entry(IxpId(0))
+            .or_default()
+            .extend([(Asn(1), Asn(2)), (Asn(1), Asn(3))]);
+        old.per_ixp
+            .entry(IxpId(1))
+            .or_default()
+            .insert((Asn(7), Asn(8)));
+        let mut new = MlpLinkSet::default();
+        new.per_ixp
+            .entry(IxpId(0))
+            .or_default()
+            .extend([(Asn(1), Asn(2)), (Asn(2), Asn(3))]);
+        new.per_ixp
+            .entry(IxpId(2))
+            .or_default()
+            .insert((Asn(9), Asn(10)));
+
+        let d = LinkDelta::between(&old, &new);
+        assert_eq!(
+            d.added,
+            vec![(IxpId(0), Asn(2), Asn(3)), (IxpId(2), Asn(9), Asn(10))]
+        );
+        assert_eq!(
+            d.removed,
+            vec![(IxpId(0), Asn(1), Asn(3)), (IxpId(1), Asn(7), Asn(8))]
+        );
+        assert!(LinkDelta::between(&new, &new).is_empty());
+
+        // Applying the delta to `old` reproduces `new` exactly.
+        let mut applied: BTreeSet<(IxpId, Asn, Asn)> = old
+            .per_ixp
+            .iter()
+            .flat_map(|(ixp, s)| s.iter().map(move |&(a, b)| (*ixp, a, b)))
+            .collect();
+        for l in &d.removed {
+            assert!(applied.remove(l));
+        }
+        for l in &d.added {
+            assert!(applied.insert(*l));
+        }
+        let want: BTreeSet<_> = new
+            .per_ixp
+            .iter()
+            .flat_map(|(ixp, s)| s.iter().map(move |&(a, b)| (*ixp, a, b)))
+            .collect();
+        assert_eq!(applied, want);
     }
 }

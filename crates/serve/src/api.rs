@@ -23,16 +23,28 @@
 //! | `GET /v1/changes?since=N` | link-level diff since epoch `N` |
 //! | `GET /v1/stats` | snapshot + server counters |
 //!
-//! `/v1/changes` answers from the bounded [`ChangeLog`] ring: a `since`
-//! older than the retained history (or spanning an epoch published
-//! without delta information) draws the documented full-resync signal —
-//! **HTTP 410 Gone** with `"resync": true` — telling the client to
-//! re-fetch the full resource set and restart from the current epoch.
-//! A malformed or missing `since` is a 400; a `since` ahead of the
-//! served snapshot's epoch is a 400 too (the client is confused, not
-//! stale). Like `/v1/stats`, the endpoint is deliberately not
-//! snapshot-ETag-addressed: its body depends on the query parameter and
-//! the ring, not the snapshot content alone.
+//! `/v1/changes` answers from the bounded [`ChangeLog`] ring first;
+//! when the ring has evicted `since`, the durable epoch log (when the
+//! process runs with `--data-dir`) folds the stored per-epoch deltas
+//! instead, so arbitrarily deep `since` values answer without a
+//! resync. Only a span genuinely missing delta information — compacted
+//! away, published without a delta, or no data dir at all — draws the
+//! documented full-resync signal: **HTTP 410 Gone** with
+//! `"resync": true`, telling the client to re-fetch the full resource
+//! set and restart from the current epoch. A malformed or missing
+//! `since` is a 400; a `since` ahead of the served snapshot's epoch is
+//! a 400 too (the client is confused, not stale). Like `/v1/stats`,
+//! the endpoint is deliberately not snapshot-ETag-addressed: its body
+//! depends on the query parameter and the history, not the snapshot
+//! content alone.
+//!
+//! **Time travel:** with a durable store attached, every
+//! snapshot-addressed endpoint accepts `?at=<epoch>` and answers from
+//! that epoch's recovered snapshot (the live epoch answers from the
+//! in-memory snapshot and its publish-time body cache; historical
+//! epochs rebuild on demand from the log). An epoch beyond the current
+//! one is a 400; an epoch whose full snapshot is gone — never stored,
+//! compacted away, or no `--data-dir` — is a 410.
 
 use std::sync::Arc;
 
@@ -50,8 +62,10 @@ use crate::server::ServerStats;
 use crate::snapshot::Snapshot;
 
 /// Route one request against one snapshot view (plus the store's
-/// change ring for `/v1/changes`, and — when the respective subsystem
-/// runs — the live loop's and the reactor's counters for `/v1/stats`).
+/// change ring for `/v1/changes`, the durable epoch log for `?at=`
+/// time travel and deep `since` history when the process runs with
+/// `--data-dir`, and — when the respective subsystem runs — the live
+/// loop's and the reactor's counters for `/v1/stats`).
 ///
 /// The snapshot arrives as an `&Arc` so cache hits can answer with a
 /// zero-copy [`CacheSlice`] that pins the snapshot instead of copying
@@ -61,6 +75,7 @@ pub fn route(
     snap: &Arc<Snapshot>,
     stats: &ServerStats,
     changes: &ChangeLog,
+    history: Option<&crate::durable::DurableStore>,
     live: Option<&LiveStats>,
     reactor: Option<&ReactorStats>,
 ) -> Response {
@@ -73,6 +88,29 @@ pub fn route(
     if path == "/healthz" {
         return Response::json(200, report::to_json(&healthz(snap, stats)));
     }
+
+    // Time travel: `?at=<epoch>` re-roots a snapshot-addressed request
+    // at a historical epoch. The live epoch stays on the in-memory
+    // snapshot (and its publish-time body cache); historical epochs
+    // rebuild on demand from the durable log.
+    let travelled: Arc<Snapshot>;
+    let snap: &Arc<Snapshot> = match query_param(&req.query, "at") {
+        Some(raw) if snapshot_addressed(path) => match resolve_at(raw, snap, history) {
+            Ok(Some(historical)) => {
+                travelled = historical;
+                &travelled
+            }
+            Ok(None) => snap,
+            Err(resp) => return resp,
+        },
+        Some(_) => {
+            return error(
+                400,
+                "at={epoch} applies to snapshot-addressed endpoints only",
+            );
+        }
+        None => snap,
+    };
 
     let etag = format!("\"{}\"", snap.etag);
     if path == "/v1/ixps" {
@@ -101,9 +139,9 @@ pub fn route(
     }
     if path == "/v1/changes" {
         // Not ETag-addressed: the body is a function of `since` and
-        // the ring, not the snapshot content alone.
+        // the history, not the snapshot content alone.
         return match changes_since_param(req, snap) {
-            Ok(since) => render_changes(snap, changes, since),
+            Ok(since) => render_changes(snap, changes, history, since),
             Err(resp) => resp,
         };
     }
@@ -116,6 +154,53 @@ pub fn route(
         );
     }
     error(404, "no such endpoint")
+}
+
+/// Is this path addressed by the snapshot content (and therefore
+/// eligible for `?at=` time travel)?
+fn snapshot_addressed(path: &str) -> bool {
+    path == "/v1/ixps"
+        || path.starts_with("/v1/ixp/")
+        || path.starts_with("/v1/member/")
+        || path.starts_with("/v1/prefix/")
+}
+
+/// Resolve `?at=<epoch>`: `Ok(None)` means "the live epoch — serve the
+/// in-memory snapshot", `Ok(Some(snap))` is a revived historical
+/// epoch, and `Err` is the response to send instead (400 for epochs
+/// ahead of the present or malformed values; 410 when the epoch's full
+/// snapshot is genuinely gone — never stored, compacted away, or no
+/// durable store attached).
+fn resolve_at(
+    raw: &str,
+    snap: &Arc<Snapshot>,
+    history: Option<&crate::durable::DurableStore>,
+) -> Result<Option<Arc<Snapshot>>, Response> {
+    let Ok(at) = raw.parse::<u64>() else {
+        return Err(error(
+            400,
+            "malformed at: expected a non-negative epoch number",
+        ));
+    };
+    if at > snap.epoch {
+        return Err(error(400, "at is ahead of the current epoch"));
+    }
+    if at == snap.epoch {
+        return Ok(None);
+    }
+    let Some(history) = history else {
+        return Err(error(
+            410,
+            "epoch history is not retained; run the server with --data-dir",
+        ));
+    };
+    match history.snapshot_at(at) {
+        Some(historical) => Ok(Some(Arc::new(historical))),
+        None => Err(error(
+            410,
+            "this epoch's full snapshot is no longer retained",
+        )),
+    }
 }
 
 /// Validate the `since` query parameter of a `/v1/changes` request
@@ -140,12 +225,22 @@ pub(crate) fn changes_since_param(req: &Request, snap: &Snapshot) -> Result<u64,
 
 /// The `/v1/changes` answer for a validated `since`: the link-level
 /// diff from epoch `since` to the served snapshot's epoch, or the 410
-/// full-resync signal when the ring no longer covers it. The reactor's
-/// push paths (long-poll completion, SSE frames) render through this
-/// same function, so pushed deltas are byte-identical to polled ones.
-pub(crate) fn render_changes(snap: &Snapshot, changes: &ChangeLog, since: u64) -> Response {
-    match changes.since(since, snap.epoch) {
-        SinceAnswer::Delta { added, removed } => {
+/// full-resync signal when no retained history covers it. The
+/// in-memory ring answers first (the hot path — recent `since` values
+/// under push traffic); a ring miss falls back to folding the durable
+/// log's per-epoch deltas, so any epoch still on disk answers without
+/// a resync. The reactor's push paths (long-poll completion, SSE
+/// frames) render through this same function, so pushed deltas are
+/// byte-identical to polled ones.
+pub(crate) fn render_changes(
+    snap: &Snapshot,
+    changes: &ChangeLog,
+    history: Option<&crate::durable::DurableStore>,
+    since: u64,
+) -> Response {
+    let delta_response =
+        |added: &std::collections::BTreeSet<(IxpId, Asn, Asn)>,
+         removed: &std::collections::BTreeSet<(IxpId, Asn, Asn)>| {
             let render = |set: &std::collections::BTreeSet<(IxpId, Asn, Asn)>| {
                 set.iter()
                     .map(|(ixp, a, b)| {
@@ -163,14 +258,27 @@ pub(crate) fn render_changes(snap: &Snapshot, changes: &ChangeLog, since: u64) -
                 "epoch": snap.epoch,
                 "etag": snap.etag,
                 "resync": false,
-                "added": render(&added),
-                "removed": render(&removed),
+                "added": render(added),
+                "removed": render(removed),
             });
             Response::json(200, report::to_json(&body))
-        }
+        };
+    match changes.since(since, snap.epoch) {
+        SinceAnswer::Delta { added, removed } => delta_response(&added, &removed),
         SinceAnswer::Truncated { oldest } => {
-            // The documented full-resync signal: 410 Gone. The client
-            // re-fetches the full link set and resumes from `epoch`.
+            // The ring evicted (or never held) this span — the durable
+            // log may still cover it, delta for delta.
+            if let Some((added, removed)) = history.and_then(|h| h.fold_since(since, snap.epoch)) {
+                return delta_response(&added, &removed);
+            }
+            // Genuinely gone: 410, the documented full-resync signal.
+            // The client re-fetches the full link set and resumes from
+            // `epoch`. With a durable store, `oldest_since` reflects
+            // what the *log* can still answer, not the ring.
+            let oldest = match history {
+                Some(h) => Some(h.oldest_since(snap.epoch)),
+                None => oldest,
+            };
             let body = json!({
                 "error": "delta history no longer covers this epoch; \
                           re-sync from a full snapshot",
@@ -447,7 +555,7 @@ mod tests {
 
     /// Route against an empty change ring (irrelevant to these tests).
     fn rt(req: &Request, snap: &Arc<Snapshot>, stats: &ServerStats) -> Response {
-        route(req, snap, stats, &ChangeLog::new(8), None, None)
+        route(req, snap, stats, &ChangeLog::new(8), None, None, None)
     }
 
     fn get(path: &str) -> Request {
@@ -607,6 +715,7 @@ mod tests {
             &ring,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200);
         let b = body(&r);
@@ -623,6 +732,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
         );
@@ -650,6 +760,7 @@ mod tests {
             &ring,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410, "{}", body(&r));
         let b = body(&r);
@@ -663,8 +774,182 @@ mod tests {
             &ring,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200);
+    }
+
+    /// A durable store holding epochs 0..=3 (members vary per epoch so
+    /// each has a distinct ETag; epochs 1..=3 carry deltas).
+    fn durable_history() -> (Arc<crate::durable::DurableStore>, std::path::PathBuf) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mlpeer-api-at-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = Arc::new(crate::durable::DurableStore::open(&dir).unwrap());
+        for e in 0..=3u64 {
+            let mut s = crate::testutil::snapshot_with(2 + (e as u32 % 3), e);
+            s.epoch = e;
+            let delta = (e > 0).then(|| mlpeer::live::LinkDelta {
+                added: vec![(IxpId(0), Asn(10 + e as u32), Asn(20 + e as u32))],
+                removed: vec![],
+            });
+            durable.append_epoch(&s, delta.as_ref()).unwrap();
+        }
+        (durable, dir)
+    }
+
+    /// The snapshot that served as epoch `e` in [`durable_history`].
+    fn history_snap(e: u64) -> Arc<Snapshot> {
+        let mut s = crate::testutil::snapshot_with(2 + (e as u32 % 3), e);
+        s.epoch = e;
+        Arc::new(s)
+    }
+
+    #[test]
+    fn at_param_time_travels_to_any_retained_epoch() {
+        let (durable, dir) = durable_history();
+        let current = history_snap(3);
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        let rth = |path: &str, query: &str| {
+            route(
+                &get_q(path, query),
+                &current,
+                &stats,
+                &ring,
+                Some(&durable),
+                None,
+                None,
+            )
+        };
+        // Every historical epoch answers with its own body and ETag.
+        for e in 0..3u64 {
+            let expect = history_snap(e);
+            let r = rth("/v1/ixps", &format!("at={e}"));
+            assert_eq!(r.status, 200, "at={e}: {}", body(&r));
+            assert_eq!(r.body.to_vec(), render_ixps(&expect), "at={e} body");
+            assert!(
+                r.headers
+                    .iter()
+                    .any(|(n, v)| n == "ETag" && *v == format!("\"{}\"", expect.etag)),
+                "at={e} carries the historical ETag"
+            );
+        }
+        // The live epoch stays on the in-memory snapshot.
+        let r = rth("/v1/ixps", "at=3");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body.to_vec(), render_ixps(&current));
+        // Sibling endpoints time-travel too.
+        assert_eq!(rth("/v1/ixp/0/links", "at=1").status, 200);
+        assert_eq!(rth("/v1/member/1", "at=1").status, 200);
+        assert_eq!(rth("/v1/prefix/10.1.0.0/24", "at=1").status, 200);
+        // Ahead of the present or malformed → 400.
+        assert_eq!(rth("/v1/ixps", "at=9").status, 400);
+        assert_eq!(rth("/v1/ixps", "at=banana").status, 400);
+        // Non-snapshot-addressed endpoints reject `at`.
+        assert_eq!(rth("/v1/changes", "since=0&at=1").status, 400);
+        assert_eq!(rth("/v1/stats", "at=1").status, 400);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn at_param_without_history_or_retention_draws_410() {
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        // No durable store attached: any historical epoch is gone.
+        let current = snap_at_epoch(5);
+        let r = route(
+            &get_q("/v1/ixps", "at=2"),
+            &current,
+            &stats,
+            &ring,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(r.status, 410, "{}", body(&r));
+        // With a store, an epoch that was never written is gone too.
+        let (durable, dir) = durable_history();
+        let current = snap_at_epoch(9);
+        let r = route(
+            &get_q("/v1/ixps", "at=7"),
+            &current,
+            &stats,
+            &ring,
+            Some(&durable),
+            None,
+            None,
+        );
+        assert_eq!(r.status, 410, "{}", body(&r));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The 410-contract fix: a `since` the in-memory ring evicted but
+    /// the durable log still covers is served as a normal delta — 410
+    /// is reserved for epochs genuinely compacted away.
+    #[test]
+    fn changes_fall_back_to_durable_history_beyond_the_ring() {
+        let (durable, dir) = durable_history();
+        let current = history_snap(3);
+        let stats = ServerStats::default();
+        // A ring that only ever saw epoch 3: since=0 is evicted there.
+        let ring = ChangeLog::new(2);
+        ring.record(
+            3,
+            mlpeer::live::LinkDelta {
+                added: vec![(IxpId(0), Asn(13), Asn(23))],
+                removed: vec![],
+            },
+        );
+        // Without the durable store this is the old 410.
+        let r = route(
+            &get_q("/v1/changes", "since=0"),
+            &current,
+            &stats,
+            &ring,
+            None,
+            None,
+            None,
+        );
+        assert_eq!(r.status, 410);
+        // With it, the stored deltas fold into a full answer.
+        let r = route(
+            &get_q("/v1/changes", "since=0"),
+            &current,
+            &stats,
+            &ring,
+            Some(&durable),
+            None,
+            None,
+        );
+        assert_eq!(r.status, 200, "{}", body(&r));
+        let b = body(&r);
+        assert!(b.contains("\"resync\": false"), "{b}");
+        for e in 1..=3u64 {
+            assert!(
+                b.contains(&format!("\"a\": {}", 10 + e)),
+                "epoch {e}'s delta must be in the fold: {b}"
+            );
+        }
+        // Epoch 0 itself has no delta on disk, so since-before-genesis
+        // stays a 410 — with oldest_since reported from the *log*.
+        let current_deeper = snap_at_epoch(3);
+        let r = route(
+            &get_q("/v1/changes", "since=0"),
+            &current_deeper,
+            &stats,
+            &ChangeLog::new(2),
+            Some(&durable),
+            None,
+            None,
+        );
+        assert_eq!(r.status, 200, "durable alone also answers: {}", body(&r));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -673,7 +958,15 @@ mod tests {
         let stats = ServerStats::default();
         let ring = ChangeLog::new(8);
         for q in ["", "since=banana", "since=-1", "since=1.5", "other=1"] {
-            let r = route(&get_q("/v1/changes", q), &snap, &stats, &ring, None, None);
+            let r = route(
+                &get_q("/v1/changes", q),
+                &snap,
+                &stats,
+                &ring,
+                None,
+                None,
+                None,
+            );
             assert_eq!(r.status, 400, "query {q:?}: {}", body(&r));
         }
         // Snapshot epoch is 0; asking about the future is a 400.
@@ -682,6 +975,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
         );

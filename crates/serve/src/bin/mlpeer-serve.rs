@@ -5,7 +5,7 @@
 //!              [--engine=reactor|threaded] [--shards=N] [--max-conns=N]
 //!              [--idle-ms=N] [--refresh-secs=N] [--workers=N]
 //!              [--live] [--live-tick-ms=N] [--churn-per-tick=N]
-//!              [--churn-seed=N] [--delta-ring=N]
+//!              [--churn-seed=N] [--delta-ring=N] [--data-dir=PATH]
 //! ```
 //!
 //! Default mode generates the ecosystem, runs the inference pipeline
@@ -27,6 +27,17 @@
 //! and a new epoch is published only when the link set changed —
 //! `GET /v1/changes?since=N` then serves the link-level diff out of a
 //! `--delta-ring`-deep history.
+//!
+//! With `--data-dir=PATH` every published epoch also appends to the
+//! durable segment log there. On the next boot the latest persisted
+//! epoch is recovered byte-identically (same ETag); batch mode then
+//! serves it directly instead of re-running the pipeline, while live
+//! mode re-bootstraps from the route servers and publishes a *bridge*
+//! epoch carrying the link diff from the recovered state, so
+//! `/v1/changes` composes across the restart. Snapshot-addressed
+//! endpoints additionally answer `?at=<epoch>` time-travel reads, and
+//! `/v1/changes?since=N` falls back to the on-disk history when `N`
+//! predates the in-memory ring.
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -54,6 +65,7 @@ fn main() {
     let mut churn_per_tick: usize = 10;
     let mut churn_seed: u64 = 20131007;
     let mut delta_ring: usize = mlpeer_serve::store::DEFAULT_CHANGE_CAPACITY;
+    let mut data_dir: Option<std::path::PathBuf> = None;
     for arg in std::env::args().skip(1) {
         if let Some(s) = Scale::parse(&arg) {
             scale = s;
@@ -87,6 +99,8 @@ fn main() {
             churn_seed = v.parse().expect("--churn-seed=N");
         } else if let Some(v) = arg.strip_prefix("--delta-ring=") {
             delta_ring = v.parse().expect("--delta-ring=N");
+        } else if let Some(v) = arg.strip_prefix("--data-dir=") {
+            data_dir = Some(v.into());
         } else {
             eprintln!("unknown argument: {arg}");
             eprintln!(
@@ -94,7 +108,7 @@ fn main() {
                  [--seed=N] [--engine=reactor|threaded] [--shards=N] [--max-conns=N] \
                  [--idle-ms=N] [--refresh-secs=N] [--workers=N] [--live] \
                  [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
-                 [--delta-ring=N]"
+                 [--delta-ring=N] [--data-dir=PATH]"
             );
             std::process::exit(2);
         }
@@ -103,6 +117,37 @@ fn main() {
         eprintln!("--live and --refresh-secs are mutually exclusive");
         std::process::exit(2);
     }
+
+    let durable = data_dir.map(|dir| {
+        let d = mlpeer_serve::DurableStore::open(&dir).unwrap_or_else(|e| {
+            eprintln!("cannot open --data-dir {}: {e}", dir.display());
+            std::process::exit(2);
+        });
+        let st = d.stats();
+        eprintln!(
+            "# durable log {}: {} records ({} full) in {} segment(s), {} bytes",
+            dir.display(),
+            st.records,
+            st.full_records,
+            st.segments,
+            st.bytes
+        );
+        Arc::new(d)
+    });
+    let recovered = durable.as_ref().and_then(|d| d.latest());
+    if let Some(s) = &recovered {
+        eprintln!(
+            "# recovered epoch {} (etag {}) from durable log",
+            s.epoch, s.etag
+        );
+    }
+    let attach = |store: &Arc<SnapshotStore>| {
+        if let Some(d) = &durable {
+            store
+                .attach_durable(Arc::clone(d))
+                .expect("attach durable store");
+        }
+    };
 
     eprintln!("# generating ecosystem ({scale:?}, seed {seed})…");
     let eco = Ecosystem::generate(scale.config(seed));
@@ -119,7 +164,30 @@ fn main() {
             snapshot.unique_link_count,
             snapshot.etag
         );
-        let store = SnapshotStore::with_change_capacity(snapshot, delta_ring);
+        let store = if let Some(prev) = recovered {
+            // Resume the epoch counter where the log left off, then
+            // bridge to the fresh bootstrap: one published delta makes
+            // `/v1/changes` compose across the restart.
+            let store = SnapshotStore::resume(prev, delta_ring);
+            attach(&store);
+            let prev = store.load();
+            if prev.etag == snapshot.etag {
+                eprintln!(
+                    "# live bootstrap matches recovered epoch {}; no bridge needed",
+                    prev.epoch
+                );
+            } else {
+                let bridge = mlpeer::live::LinkDelta::between(&prev.links, &snapshot.links);
+                let (plus, minus) = (bridge.added.len(), bridge.removed.len());
+                let epoch = store.publish_with_delta(snapshot, bridge);
+                eprintln!("# bridge epoch {epoch}: +{plus} -{minus} links vs recovered state");
+            }
+            store
+        } else {
+            let store = SnapshotStore::with_change_capacity(snapshot, delta_ring);
+            attach(&store);
+            store
+        };
         let stats = Arc::new(LiveStats::default());
         refresher = Some(spawn_live_refresher(
             Arc::clone(&store),
@@ -144,17 +212,29 @@ fn main() {
         );
         store
     } else {
-        eprintln!("# running inference pipeline…");
         let eco = Arc::new(eco);
-        let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
-        eprintln!(
-            "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
-            snapshot.names.len(),
-            snapshot.unique_link_count,
-            snapshot.index.prefix_count(),
-            snapshot.etag
-        );
-        let store = SnapshotStore::with_change_capacity(snapshot, delta_ring);
+        let store = if let Some(prev) = recovered {
+            // The pipeline is deterministic in (scale, seed), so the
+            // recovered snapshot is exactly what a re-run would
+            // publish — serve it directly and skip the pipeline.
+            eprintln!(
+                "# serving recovered snapshot (epoch {}, {} unique links)",
+                prev.epoch, prev.unique_link_count
+            );
+            SnapshotStore::resume(prev, delta_ring)
+        } else {
+            eprintln!("# running inference pipeline…");
+            let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
+            eprintln!(
+                "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
+                snapshot.names.len(),
+                snapshot.unique_link_count,
+                snapshot.index.prefix_count(),
+                snapshot.etag
+            );
+            SnapshotStore::with_change_capacity(snapshot, delta_ring)
+        };
+        attach(&store);
         if refresh_secs > 0 {
             let store = Arc::clone(&store);
             let eco = Arc::clone(&eco);

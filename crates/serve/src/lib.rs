@@ -34,7 +34,14 @@
 //!   deltas and publishes a new epoch *only when the link set moved*,
 //!   with the per-epoch [`delta::ChangeLog`] ring behind
 //!   `GET /v1/changes?since=N` (and its documented 410 full-resync
-//!   signal).
+//!   signal);
+//! * **durable epoch store** — [`durable::DurableStore`] over the
+//!   `mlpeer_store` append-only segment log: with `--data-dir` every
+//!   published epoch persists (snapshot parts + delta), a restart
+//!   recovers the full history byte-identically (ETags included),
+//!   snapshot-addressed endpoints answer `?at=<epoch>` time-travel
+//!   queries, and `/v1/changes?since=N` reaches arbitrarily far back —
+//!   410 is reserved for epochs genuinely compacted away.
 //!
 //! The `mlpeer-serve` binary boots the whole stack at any
 //! [`mlpeer_bench::Scale`]; `--live` switches the refresher to the
@@ -46,6 +53,7 @@
 pub mod api;
 pub mod cache;
 pub mod delta;
+pub mod durable;
 pub mod http;
 pub mod live;
 pub mod loadgen;
@@ -57,11 +65,12 @@ pub mod store;
 
 pub use cache::BodyCache;
 pub use delta::{ChangeLog, SinceAnswer};
+pub use durable::DurableStore;
 pub use live::{bootstrap, spawn_live_refresher, LiveConfig, LiveStats};
 pub use loadgen::{run_hold_load, run_load, HoldConfig, LoadConfig, LoadReport};
 pub use reactor::{spawn_reactor, ReactorConfig, ReactorStats};
 pub use server::{spawn_server, ServerHandle, ServerStats};
-pub use snapshot::Snapshot;
+pub use snapshot::{Snapshot, SnapshotParts};
 pub use store::SnapshotStore;
 
 /// Shared test fixture: a one-IXP snapshot whose content is a pure

@@ -225,6 +225,7 @@ mod tests {
             &current,
             &crate::server::ServerStats::default(),
             store.changes(),
+            store.durable(),
             store.live_stats(),
             None,
         );

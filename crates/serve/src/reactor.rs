@@ -611,7 +611,12 @@ impl Shard {
                         }
                     }
                     Ok(since) => {
-                        let resp = api::render_changes(&snap, self.store.changes(), since);
+                        let resp = api::render_changes(
+                            &snap,
+                            self.store.changes(),
+                            self.store.durable(),
+                            since,
+                        );
                         count_response(&self.stats, resp.status);
                         self.queue_response(idx, resp, keep_alive);
                     }
@@ -628,6 +633,7 @@ impl Shard {
             &snap,
             &self.stats,
             self.store.changes(),
+            self.store.durable(),
             self.store.live_stats(),
             Some(&self.rstats),
         );
@@ -639,7 +645,7 @@ impl Shard {
     /// catch-up event, then one pushed event per publish. A `since`
     /// that already fell off the ring draws a terminal `resync` event.
     fn subscribe_sse(&mut self, idx: usize, snap: &Arc<Snapshot>, since: u64) {
-        let resp = api::render_changes(snap, self.store.changes(), since);
+        let resp = api::render_changes(snap, self.store.changes(), self.store.durable(), since);
         count_response(&self.stats, resp.status);
         let resync = resp.status != 200;
         let event = if resync { "resync" } else { "changes" };
@@ -696,7 +702,12 @@ impl Shard {
                 Mode::Sse { last_epoch } if last_epoch < epoch => {
                     let (resync, frame) = {
                         let (resync, frame) = frames.entry(last_epoch).or_insert_with(|| {
-                            let r = api::render_changes(&snap, self.store.changes(), last_epoch);
+                            let r = api::render_changes(
+                                &snap,
+                                self.store.changes(),
+                                self.store.durable(),
+                                last_epoch,
+                            );
                             let resync = r.status != 200;
                             let event = if resync { "resync" } else { "changes" };
                             (resync, Arc::new(sse_frame(epoch, event, r.body.as_slice())))
@@ -719,7 +730,12 @@ impl Shard {
                 Mode::LongPoll { since, keep_alive } if since < epoch => {
                     let (status, body) = {
                         let (status, body) = rendered.entry(since).or_insert_with(|| {
-                            let r = api::render_changes(&snap, self.store.changes(), since);
+                            let r = api::render_changes(
+                                &snap,
+                                self.store.changes(),
+                                self.store.durable(),
+                                since,
+                            );
                             (r.status, Arc::new(r.body.to_vec()))
                         });
                         (*status, Arc::clone(body))
@@ -781,7 +797,12 @@ impl Shard {
                     // The wait cap passed with no publish: answer the
                     // (empty) delta now, exactly as a plain poll would.
                     let snap = self.store.load();
-                    let resp = api::render_changes(&snap, self.store.changes(), since);
+                    let resp = api::render_changes(
+                        &snap,
+                        self.store.changes(),
+                        self.store.durable(),
+                        since,
+                    );
                     count_response(&self.stats, resp.status);
                     if let Some(conn) = self.conns[idx].as_mut() {
                         conn.mode = Mode::Http;

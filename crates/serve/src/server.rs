@@ -209,6 +209,7 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
             &snapshot,
             stats,
             store.changes(),
+            store.durable(),
             store.live_stats(),
             None,
         );

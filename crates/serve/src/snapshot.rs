@@ -13,11 +13,11 @@
 //! so HTTP caches and `If-None-Match` revalidation survive refreshes
 //! that change nothing.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::Hasher;
 
 use mlpeer::hash::FxHasher;
-use mlpeer::index::LinkIndex;
+use mlpeer::index::{Announcement, LinkIndex};
 use mlpeer::infer::{MlpLinkSet, Observation};
 use mlpeer::passive::PassiveStats;
 use mlpeer::report;
@@ -118,6 +118,51 @@ impl Snapshot {
         }
     }
 
+    /// Rebuild a full serving snapshot from its persisted
+    /// deterministic parts — the durable-store recovery and `?at=`
+    /// time-travel path. The index comes back via
+    /// [`LinkIndex::build_from_announcements`] and the ETag via the
+    /// same hash [`Snapshot::build`] uses, so a recovered snapshot
+    /// serves byte-identical bodies and ETags to the one originally
+    /// published (the caller re-verifies the stored ETag against the
+    /// rebuilt one as the end-to-end integrity check).
+    pub fn from_parts(parts: SnapshotParts) -> Snapshot {
+        let SnapshotParts {
+            epoch,
+            scale,
+            seed,
+            names,
+            links,
+            announcements,
+            observation_count,
+            passive_stats,
+        } = parts;
+        let index = LinkIndex::build_from_announcements(&links, announcements.iter().copied());
+        let etag = etag_of(&links, &announcements);
+        let unique = links.unique_links();
+        let distinct_asn_count = unique
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect::<std::collections::BTreeSet<Asn>>()
+            .len();
+        let mut snapshot = Snapshot {
+            epoch,
+            etag,
+            scale,
+            seed,
+            names,
+            links,
+            index,
+            observation_count,
+            unique_link_count: unique.len(),
+            distinct_asn_count,
+            passive_stats,
+            cache: crate::cache::BodyCache::default(),
+        };
+        snapshot.cache = crate::cache::BodyCache::build(&snapshot);
+        snapshot
+    }
+
     /// Convenience: names map from a generated ecosystem.
     pub fn names_of(eco: &Ecosystem) -> BTreeMap<IxpId, String> {
         eco.ixps.iter().map(|x| (x.id, x.name.clone())).collect()
@@ -144,14 +189,47 @@ impl Snapshot {
     }
 }
 
+/// The deterministic parts the durable store persists for one epoch —
+/// everything [`Snapshot::from_parts`] needs to rebuild the serving
+/// snapshot (index, body cache, content ETag) byte-identically.
+#[derive(Debug, Clone)]
+pub struct SnapshotParts {
+    /// The epoch the snapshot served as.
+    pub epoch: u64,
+    /// Scale word of the producing run.
+    pub scale: String,
+    /// RNG seed of the producing run.
+    pub seed: u64,
+    /// IXP names.
+    pub names: BTreeMap<IxpId, String>,
+    /// The inferred link set.
+    pub links: MlpLinkSet,
+    /// The deduplicated covered-member announcement corpus — exactly
+    /// [`LinkIndex::announcements`] of the original snapshot's index.
+    pub announcements: BTreeSet<Announcement>,
+    /// Observations the producing run folded.
+    pub observation_count: usize,
+    /// Passive-pipeline statistics of the producing harvest.
+    pub passive_stats: PassiveStats,
+}
+
 /// The content hash behind the ETag: FxHash over the canonical JSON of
 /// the link set plus the deduplicated announcement corpus.
 fn content_etag(links: &MlpLinkSet, observations: &[Observation]) -> String {
-    let announcements: Vec<(String, u16, u32)> =
-        mlpeer::index::scan::announcements(links, observations)
-            .into_iter()
-            .map(|(p, ixp, asn)| (p.to_string(), ixp.0, asn.value()))
-            .collect();
+    etag_of(
+        links,
+        &mlpeer::index::scan::announcements(links, observations),
+    )
+}
+
+/// The same hash over an already-extracted corpus — shared by the
+/// build path (above) and the durable-store recovery path, so the two
+/// can never drift.
+pub(crate) fn etag_of(links: &MlpLinkSet, announcements: &BTreeSet<Announcement>) -> String {
+    let announcements: Vec<(String, u16, u32)> = announcements
+        .iter()
+        .map(|&(p, ixp, asn)| (p.to_string(), ixp.0, asn.value()))
+        .collect();
     let corpus = report::to_json(&(links, &announcements));
     let mut h = FxHasher::default();
     h.write(corpus.as_bytes());
@@ -200,6 +278,58 @@ mod tests {
             PassiveStats::default(),
         );
         assert_ne!(a.etag, fewer.etag);
+    }
+
+    #[test]
+    fn from_parts_rebuilds_byte_identically() {
+        let (links, observations) = tiny_inputs();
+        let original = Snapshot::build(
+            "tiny",
+            7,
+            [(IxpId(0), "DE-CIX".to_string())].into(),
+            links,
+            &observations,
+            PassiveStats::default(),
+        );
+        let rebuilt = Snapshot::from_parts(SnapshotParts {
+            epoch: 3,
+            scale: original.scale.clone(),
+            seed: original.seed,
+            names: original.names.clone(),
+            links: original.links.clone(),
+            announcements: original.index.announcements(),
+            observation_count: original.observation_count,
+            passive_stats: original.passive_stats.clone(),
+        });
+        assert_eq!(rebuilt.epoch, 3);
+        assert_eq!(
+            rebuilt.etag, original.etag,
+            "content hash survives the round trip"
+        );
+        // Every addressable body renders byte-identically.
+        assert_eq!(
+            crate::api::render_ixps(&rebuilt),
+            crate::api::render_ixps(&original)
+        );
+        assert_eq!(
+            crate::api::render_ixp_links(&rebuilt, IxpId(0)),
+            crate::api::render_ixp_links(&original, IxpId(0))
+        );
+        for &asn in original.index.members() {
+            assert_eq!(
+                crate::api::render_member(&rebuilt, asn),
+                crate::api::render_member(&original, asn),
+                "AS{}",
+                asn.value()
+            );
+        }
+        for p in original.index.announced_prefixes() {
+            assert_eq!(
+                crate::api::render_prefix(&rebuilt, &p),
+                crate::api::render_prefix(&original, &p),
+                "{p}"
+            );
+        }
     }
 
     #[test]

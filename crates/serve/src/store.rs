@@ -44,6 +44,11 @@ pub struct SnapshotStore {
     /// parked push subscribers). Must stay cheap and non-blocking —
     /// they run on the publisher's thread after every swap.
     hooks: Mutex<Vec<PublishHook>>,
+    /// The on-disk epoch log, when the process runs with `--data-dir`.
+    /// Appends happen *inside* the swap lock so log order always
+    /// matches publish order; an append failure is reported and served
+    /// past (availability over durability), never a panic.
+    durable: std::sync::OnceLock<Arc<crate::durable::DurableStore>>,
 }
 
 impl SnapshotStore {
@@ -56,13 +61,67 @@ impl SnapshotStore {
     /// Open a store with an explicit change-ring depth.
     pub fn with_change_capacity(mut initial: Snapshot, capacity: usize) -> Arc<SnapshotStore> {
         initial.epoch = 0;
+        Self::resume(initial, capacity)
+    }
+
+    /// Open a store on a snapshot that keeps the epoch it already
+    /// carries — the durable-recovery boot path, where the initial
+    /// snapshot is a revived epoch N and the next publish must be
+    /// N + 1, not 1.
+    pub fn resume(initial: Snapshot, capacity: usize) -> Arc<SnapshotStore> {
         Arc::new(SnapshotStore {
             current: Mutex::new(Arc::new(initial)),
             swaps: AtomicU64::new(0),
             changes: ChangeLog::new(capacity),
             live_stats: std::sync::OnceLock::new(),
             hooks: Mutex::new(Vec::new()),
+            durable: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attach the on-disk epoch log (first attach wins). From here on,
+    /// every publish also appends to the log. If the log is empty —
+    /// a fresh `--data-dir` — the current snapshot is appended
+    /// immediately so epoch 0 (or the resumed epoch) is on disk before
+    /// any traffic is served.
+    pub fn attach_durable(
+        &self,
+        durable: Arc<crate::durable::DurableStore>,
+    ) -> std::io::Result<()> {
+        // Hold the swap lock across the attach + catch-up append so a
+        // concurrent publish cannot interleave between them.
+        let current = self.current.lock().expect("store lock never poisoned");
+        let attached = Arc::clone(&durable);
+        if self.durable.set(durable).is_err() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "durable store already attached",
+            ));
+        }
+        if attached.latest_epoch().is_none() {
+            attached.append_epoch(&current, None)?;
+        }
+        Ok(())
+    }
+
+    /// The attached durable store, if this process runs with
+    /// `--data-dir`.
+    pub fn durable(&self) -> Option<&crate::durable::DurableStore> {
+        self.durable.get().map(Arc::as_ref)
+    }
+
+    /// Append a freshly published epoch to the attached log (called
+    /// with the swap lock held). Failures degrade durability, not
+    /// availability: the epoch still serves, the error is reported.
+    fn persist_published(&self, snapshot: &Snapshot, delta: Option<&LinkDelta>) {
+        if let Some(durable) = self.durable.get() {
+            if let Err(err) = durable.append_epoch(snapshot, delta) {
+                eprintln!(
+                    "mlpeer-serve: failed to persist epoch {}: {err}",
+                    snapshot.epoch
+                );
+            }
+        }
     }
 
     /// Register a publish observer: called with the new epoch after
@@ -127,6 +186,7 @@ impl SnapshotStore {
         // no longer be answered honestly, so the ring resets (still
         // inside the lock, so the ring's view of epochs stays ordered).
         self.changes.reset();
+        self.persist_published(&current, None);
         drop(current);
         self.swaps.fetch_add(1, Ordering::Relaxed);
         self.notify(epoch);
@@ -142,7 +202,8 @@ impl SnapshotStore {
         let epoch = current.epoch + 1;
         snapshot.epoch = epoch;
         *current = Arc::new(snapshot);
-        self.changes.record(epoch, delta);
+        self.changes.record(epoch, delta.clone());
+        self.persist_published(&current, Some(&delta));
         drop(current);
         self.swaps.fetch_add(1, Ordering::Relaxed);
         self.notify(epoch);
@@ -237,6 +298,55 @@ mod tests {
         store.publish(snapshot_variant(1));
         store.publish_with_delta(snapshot_variant(2), LinkDelta::default());
         assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn attached_durable_log_records_every_publish_and_resume_continues() {
+        use mlpeer::live::LinkDelta;
+        use mlpeer_bgp::Asn;
+        use mlpeer_ixp::ixp::IxpId;
+
+        let dir = std::env::temp_dir().join(format!("mlpeer-store-attach-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = Arc::new(crate::durable::DurableStore::open(&dir).unwrap());
+        let store = SnapshotStore::new(snapshot_variant(0));
+        store.attach_durable(Arc::clone(&durable)).unwrap();
+        // Attaching to an empty log writes the current epoch first.
+        assert_eq!(durable.latest_epoch(), Some(0));
+        // A second attach is refused.
+        assert!(store.attach_durable(Arc::clone(&durable)).is_err());
+
+        let delta = LinkDelta {
+            added: vec![(IxpId(0), Asn(1), Asn(2))],
+            removed: vec![],
+        };
+        store.publish_with_delta(snapshot_variant(1), delta);
+        store.publish(snapshot_variant(2));
+        assert_eq!(durable.latest_epoch(), Some(2));
+        // Every epoch revives with its original ETag; the delta rode
+        // along only where the publish carried one.
+        for epoch in 0..=2u64 {
+            let revived = durable.snapshot_at(epoch).unwrap();
+            assert_eq!(revived.etag, snapshot_variant(epoch as u32).etag);
+        }
+        assert!(durable.fold_since(0, 1).is_some());
+        assert!(
+            durable.fold_since(1, 2).is_none(),
+            "plain publish has no delta"
+        );
+        drop(store);
+
+        // Restart: recover the latest epoch and keep counting from it.
+        let reopened = Arc::new(crate::durable::DurableStore::open(&dir).unwrap());
+        let recovered = reopened.latest().unwrap();
+        assert_eq!(recovered.epoch, 2);
+        let resumed = SnapshotStore::resume(recovered, DEFAULT_CHANGE_CAPACITY);
+        resumed.attach_durable(Arc::clone(&reopened)).unwrap();
+        assert_eq!(resumed.load().epoch, 2);
+        let e3 = resumed.publish(snapshot_variant(3));
+        assert_eq!(e3, 3, "epochs resume, they do not restart at 1");
+        assert_eq!(reopened.latest_epoch(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The on-disk binary codec.
+//!
+//! The vendored `serde_json` stand-in can *render* JSON but cannot
+//! parse it back (no deserializer — see `vendor/README.md`), so the
+//! epoch store serializes with a hand-rolled, little-endian,
+//! length-prefixed binary format instead. The codec is deliberately
+//! dumb: fixed-width integers, `u32`-length-prefixed byte strings, and
+//! explicit per-type encoders — every field written in a fixed order,
+//! every decoder bounds-checked, no self-description. Versioning lives
+//! one layer up, in the record header (`log::RECORD_VERSION`).
+//!
+//! What gets persisted per epoch is a [`PersistedSnapshot`]: the
+//! deterministic *inputs* of a serving snapshot — the link set
+//! (including reconstructed export policies), the deduplicated
+//! announcement corpus, IXP names, and provenance — rather than any
+//! rendered output. The serving layer rebuilds its `LinkIndex`, body
+//! cache, and content ETag from those parts; the stored `etag` is
+//! carried along and re-verified against the rebuilt value on
+//! recovery, anchoring byte-identical restoration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mlpeer::infer::MlpLinkSet;
+use mlpeer::live::LinkDelta;
+use mlpeer::passive::PassiveStats;
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::policy::ExportPolicy;
+
+/// Why a decode failed. Any error means the surrounding record is
+/// treated as corrupt (recovery truncates there; reads return nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the field needed.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A value failed domain validation (bad enum tag, prefix length
+    /// out of range, …).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record truncated mid-field"),
+            CodecError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            CodecError::BadValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Nothing written yet?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `u32` length prefix + raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A string, as [`put_bytes`](Writer::put_bytes) of its UTF-8.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, starting at its first byte.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Everything consumed?
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// A collection length, sanity-capped so a corrupt length cannot
+    /// drive a pre-allocation into the gigabytes: the count can never
+    /// exceed the remaining bytes (every element is ≥ 1 byte).
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+// ---- domain types ----
+
+fn put_asn(w: &mut Writer, a: Asn) {
+    w.put_u32(a.value());
+}
+
+fn get_asn(r: &mut Reader<'_>) -> Result<Asn, CodecError> {
+    Ok(Asn(r.u32()?))
+}
+
+fn put_ixp(w: &mut Writer, i: IxpId) {
+    w.put_u16(i.0);
+}
+
+fn get_ixp(r: &mut Reader<'_>) -> Result<IxpId, CodecError> {
+    Ok(IxpId(r.u16()?))
+}
+
+fn put_prefix(w: &mut Writer, p: &Prefix) {
+    w.put_u32(p.network_u32());
+    w.put_u8(p.len());
+}
+
+fn get_prefix(r: &mut Reader<'_>) -> Result<Prefix, CodecError> {
+    let addr = r.u32()?;
+    let len = r.u8()?;
+    Prefix::from_u32(addr, len).map_err(|_| CodecError::BadValue("prefix length"))
+}
+
+fn put_asn_set(w: &mut Writer, set: &std::collections::BTreeSet<Asn>) {
+    w.put_u32(set.len() as u32);
+    for &a in set {
+        put_asn(w, a);
+    }
+}
+
+fn get_asn_set(r: &mut Reader<'_>) -> Result<std::collections::BTreeSet<Asn>, CodecError> {
+    let n = r.count()?;
+    let mut out = std::collections::BTreeSet::new();
+    for _ in 0..n {
+        out.insert(get_asn(r)?);
+    }
+    Ok(out)
+}
+
+fn put_policy(w: &mut Writer, p: &ExportPolicy) {
+    match p {
+        ExportPolicy::AllMembers => w.put_u8(0),
+        ExportPolicy::AllExcept(e) => {
+            w.put_u8(1);
+            put_asn_set(w, e);
+        }
+        ExportPolicy::OnlyTo(i) => {
+            w.put_u8(2);
+            put_asn_set(w, i);
+        }
+        ExportPolicy::Nobody => w.put_u8(3),
+    }
+}
+
+fn get_policy(r: &mut Reader<'_>) -> Result<ExportPolicy, CodecError> {
+    match r.u8()? {
+        0 => Ok(ExportPolicy::AllMembers),
+        1 => Ok(ExportPolicy::AllExcept(get_asn_set(r)?)),
+        2 => Ok(ExportPolicy::OnlyTo(get_asn_set(r)?)),
+        3 => Ok(ExportPolicy::Nobody),
+        _ => Err(CodecError::BadValue("export policy tag")),
+    }
+}
+
+fn put_links(w: &mut Writer, links: &MlpLinkSet) {
+    w.put_u32(links.per_ixp.len() as u32);
+    for (ixp, pairs) in &links.per_ixp {
+        put_ixp(w, *ixp);
+        w.put_u32(pairs.len() as u32);
+        for &(a, b) in pairs {
+            put_asn(w, a);
+            put_asn(w, b);
+        }
+    }
+    w.put_u32(links.covered.len() as u32);
+    for (ixp, members) in &links.covered {
+        put_ixp(w, *ixp);
+        put_asn_set(w, members);
+    }
+    w.put_u32(links.policies.len() as u32);
+    for ((ixp, asn), policy) in &links.policies {
+        put_ixp(w, *ixp);
+        put_asn(w, *asn);
+        put_policy(w, policy);
+    }
+}
+
+fn get_links(r: &mut Reader<'_>) -> Result<MlpLinkSet, CodecError> {
+    let mut links = MlpLinkSet::default();
+    for _ in 0..r.count()? {
+        let ixp = get_ixp(r)?;
+        let n = r.count()?;
+        let mut pairs = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            pairs.insert((get_asn(r)?, get_asn(r)?));
+        }
+        links.per_ixp.insert(ixp, pairs);
+    }
+    for _ in 0..r.count()? {
+        let ixp = get_ixp(r)?;
+        links.covered.insert(ixp, get_asn_set(r)?);
+    }
+    for _ in 0..r.count()? {
+        let ixp = get_ixp(r)?;
+        let asn = get_asn(r)?;
+        links.policies.insert((ixp, asn), get_policy(r)?);
+    }
+    Ok(links)
+}
+
+fn put_passive(w: &mut Writer, p: &PassiveStats) {
+    for v in [
+        p.routes_seen,
+        p.dropped_bogon,
+        p.dropped_cycle,
+        p.dropped_transient,
+        p.unidentified,
+        p.setter_unknown,
+        p.observations,
+    ] {
+        w.put_u64(v as u64);
+    }
+}
+
+fn get_passive(r: &mut Reader<'_>) -> Result<PassiveStats, CodecError> {
+    Ok(PassiveStats {
+        routes_seen: r.u64()? as usize,
+        dropped_bogon: r.u64()? as usize,
+        dropped_cycle: r.u64()? as usize,
+        dropped_transient: r.u64()? as usize,
+        unidentified: r.u64()? as usize,
+        setter_unknown: r.u64()? as usize,
+        observations: r.u64()? as usize,
+    })
+}
+
+/// Encode a [`LinkDelta`] into `w`.
+pub fn put_delta(w: &mut Writer, d: &LinkDelta) {
+    for set in [&d.added, &d.removed] {
+        w.put_u32(set.len() as u32);
+        for (ixp, a, b) in set {
+            put_ixp(w, *ixp);
+            put_asn(w, *a);
+            put_asn(w, *b);
+        }
+    }
+}
+
+/// Decode a [`LinkDelta`] from `r`.
+pub fn get_delta(r: &mut Reader<'_>) -> Result<LinkDelta, CodecError> {
+    let mut d = LinkDelta::default();
+    for _ in 0..r.count()? {
+        d.added.push((get_ixp(r)?, get_asn(r)?, get_asn(r)?));
+    }
+    for _ in 0..r.count()? {
+        d.removed.push((get_ixp(r)?, get_asn(r)?, get_asn(r)?));
+    }
+    Ok(d)
+}
+
+/// The deterministic parts of one published snapshot — everything the
+/// serving layer needs to rebuild a byte-identical epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedSnapshot {
+    /// Scale word the run was generated at ("tiny", "small", …).
+    pub scale: String,
+    /// The run's RNG seed.
+    pub seed: u64,
+    /// The content ETag the snapshot served under. Recovery recomputes
+    /// the ETag from the rebuilt parts and rejects the record on
+    /// mismatch — the codec's end-to-end integrity anchor.
+    pub etag: String,
+    /// IXP names.
+    pub names: BTreeMap<IxpId, String>,
+    /// The inferred link set (with per-member export policies).
+    pub links: MlpLinkSet,
+    /// The deduplicated, covered-member announcement corpus — exactly
+    /// the set `LinkIndex` and the content ETag are derived from, in
+    /// sorted order.
+    pub announcements: Vec<(Prefix, IxpId, Asn)>,
+    /// Observations the producing run folded.
+    pub observation_count: u64,
+    /// Passive-pipeline statistics of the producing harvest.
+    pub passive_stats: PassiveStats,
+}
+
+impl PersistedSnapshot {
+    /// Encode into `w`.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.put_str(&self.scale);
+        w.put_u64(self.seed);
+        w.put_str(&self.etag);
+        w.put_u32(self.names.len() as u32);
+        for (ixp, name) in &self.names {
+            put_ixp(w, *ixp);
+            w.put_str(name);
+        }
+        put_links(w, &self.links);
+        w.put_u32(self.announcements.len() as u32);
+        for (prefix, ixp, asn) in &self.announcements {
+            put_prefix(w, prefix);
+            put_ixp(w, *ixp);
+            put_asn(w, *asn);
+        }
+        w.put_u64(self.observation_count);
+        put_passive(w, &self.passive_stats);
+    }
+
+    /// Encode to fresh bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from `r` (leaves trailing bytes unconsumed — the record
+    /// layer appends the optional delta after the snapshot).
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<PersistedSnapshot, CodecError> {
+        let scale = r.str()?;
+        let seed = r.u64()?;
+        let etag = r.str()?;
+        let mut names = BTreeMap::new();
+        for _ in 0..r.count()? {
+            let ixp = get_ixp(r)?;
+            names.insert(ixp, r.str()?);
+        }
+        let links = get_links(r)?;
+        let mut announcements = Vec::new();
+        for _ in 0..r.count()? {
+            announcements.push((get_prefix(r)?, get_ixp(r)?, get_asn(r)?));
+        }
+        let observation_count = r.u64()?;
+        let passive_stats = get_passive(r)?;
+        Ok(PersistedSnapshot {
+            scale,
+            seed,
+            etag,
+            names,
+            links,
+            announcements,
+            observation_count,
+            passive_stats,
+        })
+    }
+
+    /// Decode from exactly `buf` (trailing bytes are an error).
+    pub fn decode(buf: &[u8]) -> Result<PersistedSnapshot, CodecError> {
+        let mut r = Reader::new(buf);
+        let out = Self::decode_from(&mut r)?;
+        if !r.is_done() {
+            return Err(CodecError::BadValue("trailing bytes after snapshot"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    pub(crate) fn sample_snapshot(seed: u64) -> PersistedSnapshot {
+        let mut links = MlpLinkSet::default();
+        links.per_ixp.insert(
+            IxpId(0),
+            [(Asn(1), Asn(2)), (Asn(1), Asn(3))].into_iter().collect(),
+        );
+        links
+            .per_ixp
+            .insert(IxpId(1), [(Asn(2), Asn(3))].into_iter().collect());
+        links
+            .covered
+            .insert(IxpId(0), [Asn(1), Asn(2), Asn(3)].into_iter().collect());
+        links
+            .policies
+            .insert((IxpId(0), Asn(1)), ExportPolicy::AllMembers);
+        links.policies.insert(
+            (IxpId(0), Asn(2)),
+            ExportPolicy::AllExcept([Asn(9)].into_iter().collect()),
+        );
+        links.policies.insert(
+            (IxpId(1), Asn(3)),
+            ExportPolicy::OnlyTo([Asn(1), Asn(2)].into_iter().collect()),
+        );
+        links
+            .policies
+            .insert((IxpId(1), Asn(2)), ExportPolicy::Nobody);
+        PersistedSnapshot {
+            scale: "tiny".into(),
+            seed,
+            etag: format!("{seed:016x}"),
+            names: [
+                (IxpId(0), "DE-CIX".to_string()),
+                (IxpId(1), "AMS-IX".to_string()),
+            ]
+            .into(),
+            links,
+            announcements: vec![
+                ("0.0.0.0/0".parse().unwrap(), IxpId(0), Asn(3)),
+                ("10.1.0.0/24".parse().unwrap(), IxpId(0), Asn(1)),
+                ("10.2.0.0/16".parse().unwrap(), IxpId(1), Asn(2)),
+                ("203.0.113.37/32".parse().unwrap(), IxpId(0), Asn(2)),
+            ],
+            observation_count: 17,
+            passive_stats: PassiveStats {
+                routes_seen: 100,
+                dropped_bogon: 1,
+                dropped_cycle: 2,
+                dropped_transient: 3,
+                unidentified: 4,
+                setter_unknown: 5,
+                observations: 85,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = sample_snapshot(7);
+        let bytes = snap.encode();
+        let back = PersistedSnapshot::decode(&bytes).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn delta_round_trips() {
+        let d = LinkDelta {
+            added: vec![(IxpId(0), Asn(1), Asn(2)), (IxpId(3), Asn(7), Asn(9))],
+            removed: vec![(IxpId(1), Asn(2), Asn(3))],
+        };
+        let mut w = Writer::new();
+        put_delta(&mut w, &d);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_delta(&mut r).unwrap(), d);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_never_a_panic() {
+        let bytes = sample_snapshot(3).encode();
+        for cut in 0..bytes.len() {
+            let err = PersistedSnapshot::decode(&bytes[..cut]);
+            assert!(err.is_err(), "cut at {cut} must fail to decode");
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_lengths_are_rejected() {
+        // A policy tag outside 0..=3.
+        let mut w = Writer::new();
+        w.put_u8(9);
+        assert_eq!(
+            get_policy(&mut Reader::new(&w.into_bytes())),
+            Err(CodecError::BadValue("export policy tag"))
+        );
+        // A prefix length > 32.
+        let mut w = Writer::new();
+        w.put_u32(0x0a000000);
+        w.put_u8(33);
+        assert_eq!(
+            get_prefix(&mut Reader::new(&w.into_bytes())),
+            Err(CodecError::BadValue("prefix length"))
+        );
+        // A huge collection count with no backing bytes must not
+        // attempt a giant allocation.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_asn_set(&mut r), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_after_snapshot_are_rejected() {
+        let mut bytes = sample_snapshot(3).encode();
+        bytes.push(0);
+        assert!(PersistedSnapshot::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_sets_round_trip() {
+        let snap = PersistedSnapshot {
+            scale: String::new(),
+            seed: 0,
+            etag: String::new(),
+            names: BTreeMap::new(),
+            links: MlpLinkSet::default(),
+            announcements: Vec::new(),
+            observation_count: 0,
+            passive_stats: PassiveStats::default(),
+        };
+        assert_eq!(PersistedSnapshot::decode(&snap.encode()).unwrap(), snap);
+        let mut w = Writer::new();
+        put_delta(&mut w, &LinkDelta::default());
+        let bytes = w.into_bytes();
+        assert_eq!(
+            get_delta(&mut Reader::new(&bytes)).unwrap(),
+            LinkDelta::default()
+        );
+        let _ = BTreeSet::<Asn>::new(); // keep the import honest
+    }
+}

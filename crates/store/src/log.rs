@@ -1,0 +1,981 @@
+//! The append-only, segmented epoch log.
+//!
+//! ```text
+//!  data-dir/
+//!    seg-00000000000000000000.log   ← sealed (read via mmap)
+//!    seg-00000000000000000041.log   ← sealed
+//!    seg-00000000000000000087.log   ← active (append handle)
+//!
+//!  one record:
+//!    ┌───────┬─────┬──────┬───────┬───────┬─────────────┬─────────┬──────────┐
+//!    │ magic │ ver │ kind │ flags │ epoch │ payload_len │ payload │ checksum │
+//!    │ 4 B   │ 1 B │ 1 B  │ 1 B   │ 8 B   │ 4 B         │ n B     │ 8 B      │
+//!    └───────┴─────┴──────┴───────┴───────┴─────────────┴─────────┴──────────┘
+//! ```
+//!
+//! * **Append-only**: every published epoch appends exactly one record
+//!   to the active segment; nothing is ever rewritten in place. When
+//!   the active segment crosses the configured size threshold it is
+//!   *sealed* (immutable from then on, read through the vendored
+//!   [`mmap`] shim) and a new active segment named after its first
+//!   epoch starts.
+//! * **Checksummed**: the trailing u64 is an FxHash over everything
+//!   between magic and checksum. Recovery re-verifies it per record.
+//! * **Torn-tail recovery**: [`EpochLog::open`] replays every segment
+//!   in order; the first invalid record (bad magic/version/checksum,
+//!   truncated frame, non-monotone epoch) truncates the log right
+//!   there — the file is cut back to the last valid record boundary
+//!   and later segments are discarded. A crash mid-append therefore
+//!   loses at most the record being written, never the log.
+//! * **Record kinds**: [`RecordKind::Full`] carries a complete
+//!   [`PersistedSnapshot`] (optionally preceded by the epoch's
+//!   [`LinkDelta`], flag bit 0); [`RecordKind::DeltaOnly`] carries only
+//!   the delta — the shape compaction leaves behind for epochs whose
+//!   full snapshot was dropped.
+//! * **Compaction**: [`EpochLog::compact`] rewrites *sealed* segments,
+//!   keeping every `compact_keep_every`-th full snapshot (and the
+//!   latest one) and demoting the rest to delta-only records, so disk
+//!   stays bounded while `?since=` history stays complete. The active
+//!   segment is never touched.
+//!
+//! Durability is flush-on-append (`File::flush`), not fsync-per-record:
+//! a kernel crash can lose the tail, which recovery then truncates —
+//! exactly the torn-tail contract above.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use mlpeer::hash::FxHasher;
+use mlpeer::live::LinkDelta;
+use mmap::Mmap;
+
+use crate::codec::{get_delta, put_delta, PersistedSnapshot, Reader, Writer};
+
+/// Record magic: `MLPS` as raw bytes.
+pub const RECORD_MAGIC: [u8; 4] = *b"MLPS";
+/// On-disk format version of the record *payloads*.
+pub const RECORD_VERSION: u8 = 1;
+/// Bytes before the payload (magic + version + kind + flags + epoch +
+/// payload_len).
+const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 8 + 4;
+/// Trailing checksum bytes.
+const TRAILER_LEN: usize = 8;
+/// Flag bit 0: a `Full` record's payload is prefixed with the epoch's
+/// delta (u32 length + delta bytes) before the snapshot bytes.
+const FLAG_HAS_DELTA: u8 = 1;
+
+/// What one record holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A complete snapshot (and, usually, the delta that produced it).
+    Full,
+    /// Only the epoch's delta — a compacted epoch.
+    DeltaOnly,
+}
+
+impl RecordKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            RecordKind::Full => 1,
+            RecordKind::DeltaOnly => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<RecordKind> {
+        match v {
+            1 => Some(RecordKind::Full),
+            2 => Some(RecordKind::DeltaOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs of the on-disk log.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Seal the active segment once it crosses this size (bytes).
+    pub segment_bytes: u64,
+    /// Compaction keeps every `k`-th epoch's full snapshot (plus the
+    /// latest full in the log); the rest are demoted to delta-only.
+    pub compact_keep_every: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            segment_bytes: 4 * 1024 * 1024,
+            compact_keep_every: 8,
+        }
+    }
+}
+
+/// Where one epoch's record lives.
+#[derive(Debug, Clone, Copy)]
+struct RecordEntry {
+    seg: usize,
+    /// Offset of the record header within the segment file.
+    offset: u64,
+    /// Payload length.
+    payload_len: u32,
+    kind: RecordKind,
+    /// Does the record carry the epoch's delta (always true for
+    /// `DeltaOnly`)?
+    has_delta: bool,
+}
+
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    /// Total file bytes (valid records only, post-recovery).
+    bytes: u64,
+    /// Sealed segments are immutable; their mapping is cached.
+    sealed: bool,
+    map: Option<Mmap>,
+}
+
+/// Summary counters of an open log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogStats {
+    /// Segment files on disk.
+    pub segments: usize,
+    /// Records across all segments.
+    pub records: usize,
+    /// Full-snapshot records among them.
+    pub full_records: usize,
+    /// Total valid bytes on disk.
+    pub bytes: u64,
+    /// The oldest epoch with any record.
+    pub oldest_epoch: Option<u64>,
+    /// The newest epoch with any record.
+    pub latest_epoch: Option<u64>,
+    /// Bytes the last [`EpochLog::open`] cut off as a torn tail.
+    pub truncated_tail_bytes: u64,
+}
+
+/// What a [`EpochLog::compact`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Sealed segments rewritten.
+    pub segments_rewritten: usize,
+    /// Full records demoted to delta-only.
+    pub fulls_demoted: usize,
+    /// Full records dropped entirely (no delta information to keep).
+    pub fulls_dropped: usize,
+    /// Disk bytes before the pass.
+    pub bytes_before: u64,
+    /// Disk bytes after the pass.
+    pub bytes_after: u64,
+}
+
+/// The append-only, segmented, checksummed epoch log.
+pub struct EpochLog {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    segments: Vec<Segment>,
+    index: BTreeMap<u64, RecordEntry>,
+    /// Append handle for the last (active) segment.
+    active: Option<File>,
+    truncated_tail: u64,
+}
+
+/// FxHash over the checksummed span of a serialized record.
+fn record_checksum(body: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(body);
+    h.finish()
+}
+
+/// One record parsed out of a raw segment at `offset`; `None` when the
+/// bytes there are not a valid record (torn tail, corruption).
+struct Scanned {
+    epoch: u64,
+    kind: RecordKind,
+    has_delta: bool,
+    payload_len: u32,
+    total_len: usize,
+}
+
+fn scan_record(buf: &[u8], offset: usize) -> Option<Scanned> {
+    let rest = buf.get(offset..)?;
+    if rest.len() < HEADER_LEN + TRAILER_LEN {
+        return None;
+    }
+    if rest[..4] != RECORD_MAGIC || rest[4] != RECORD_VERSION {
+        return None;
+    }
+    let kind = RecordKind::from_u8(rest[5])?;
+    let flags = rest[6];
+    if flags & !FLAG_HAS_DELTA != 0 {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(rest[7..15].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(rest[15..19].try_into().unwrap());
+    let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+    if rest.len() < total {
+        return None;
+    }
+    let stored = u64::from_le_bytes(rest[total - TRAILER_LEN..total].try_into().unwrap());
+    if record_checksum(&rest[4..total - TRAILER_LEN]) != stored {
+        return None;
+    }
+    // A DeltaOnly record implicitly carries its delta.
+    let has_delta = kind == RecordKind::DeltaOnly || flags & FLAG_HAS_DELTA != 0;
+    Some(Scanned {
+        epoch,
+        kind,
+        has_delta,
+        payload_len,
+        total_len: total,
+    })
+}
+
+/// Serialize one record (header + payload + checksum).
+fn frame_record(epoch: u64, kind: RecordKind, has_delta: bool, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.push(RECORD_VERSION);
+    out.push(kind.to_u8());
+    out.push(if has_delta && kind == RecordKind::Full {
+        FLAG_HAS_DELTA
+    } else {
+        0
+    });
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = record_checksum(&out[4..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn segment_path(dir: &Path, first_epoch: u64) -> PathBuf {
+    dir.join(format!("seg-{first_epoch:020}.log"))
+}
+
+impl EpochLog {
+    /// Open (or create) the log at `dir`, replaying every segment to
+    /// rebuild the epoch index. A torn or corrupt tail is truncated to
+    /// the last valid record boundary — recovery never fails on bad
+    /// trailing bytes, it cuts them off (and deletes any segments
+    /// after the cut, which a sequential writer could only have
+    /// produced before the corruption point… i.e. never; they are
+    /// garbage by construction).
+    pub fn open(dir: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<EpochLog> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".log"))
+            })
+            .collect();
+        names.sort();
+
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut index: BTreeMap<u64, RecordEntry> = BTreeMap::new();
+        let mut truncated_tail: u64 = 0;
+        let mut last_epoch: Option<u64> = None;
+        let mut corrupted = false;
+
+        for path in names {
+            if corrupted {
+                // Everything after the corruption point is untrusted.
+                truncated_tail += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            let file = File::open(&path)?;
+            let map = Mmap::map(&file)?;
+            let seg_idx = segments.len();
+            let mut offset = 0usize;
+            while offset < map.len() {
+                let Some(rec) = scan_record(&map, offset) else {
+                    corrupted = true;
+                    break;
+                };
+                // Epochs must be strictly monotone across the log; a
+                // regression means the writer never wrote this — treat
+                // as corruption at this boundary.
+                if last_epoch.is_some_and(|prev| rec.epoch <= prev) {
+                    corrupted = true;
+                    break;
+                }
+                last_epoch = Some(rec.epoch);
+                index.insert(
+                    rec.epoch,
+                    RecordEntry {
+                        seg: seg_idx,
+                        offset: offset as u64,
+                        payload_len: rec.payload_len,
+                        kind: rec.kind,
+                        has_delta: rec.has_delta,
+                    },
+                );
+                offset += rec.total_len;
+            }
+            drop(map);
+            if corrupted {
+                truncated_tail += std::fs::metadata(&path)?.len() - offset as u64;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(offset as u64)?;
+                f.sync_all()?;
+            }
+            if offset == 0 && corrupted {
+                // Nothing valid in this file at all.
+                std::fs::remove_file(&path)?;
+                continue;
+            }
+            segments.push(Segment {
+                path,
+                bytes: offset as u64,
+                sealed: true, // demoted to active below if last
+                map: None,
+            });
+        }
+
+        // The last surviving segment is the active one (append target);
+        // all earlier segments are sealed.
+        let active = match segments.last_mut() {
+            Some(seg) => {
+                seg.sealed = false;
+                Some(OpenOptions::new().append(true).open(&seg.path)?)
+            }
+            None => None,
+        };
+
+        Ok(EpochLog {
+            dir,
+            cfg,
+            segments,
+            index,
+            active,
+            truncated_tail,
+        })
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The newest epoch with any record.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.index.keys().next_back().copied()
+    }
+
+    /// The oldest epoch with any record.
+    pub fn oldest_epoch(&self) -> Option<u64> {
+        self.index.keys().next().copied()
+    }
+
+    /// Epochs that still have a full snapshot on disk (answerable by
+    /// `?at=`), ascending.
+    pub fn full_epochs(&self) -> Vec<u64> {
+        self.index
+            .iter()
+            .filter(|(_, e)| e.kind == RecordKind::Full)
+            .map(|(&epoch, _)| epoch)
+            .collect()
+    }
+
+    /// Append one published epoch: its full snapshot and (when the
+    /// publish carried one) the delta that produced it. Epochs must be
+    /// appended in strictly increasing order.
+    pub fn append_full(
+        &mut self,
+        epoch: u64,
+        snapshot: &PersistedSnapshot,
+        delta: Option<&LinkDelta>,
+    ) -> io::Result<()> {
+        if self.latest_epoch().is_some_and(|latest| epoch <= latest) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("epoch {epoch} not after latest {:?}", self.latest_epoch()),
+            ));
+        }
+        let mut w = Writer::new();
+        if let Some(d) = delta {
+            let mut dw = Writer::new();
+            put_delta(&mut dw, d);
+            let bytes = dw.into_bytes();
+            w.put_u32(bytes.len() as u32);
+            let mut payload = w.into_bytes();
+            payload.extend_from_slice(&bytes);
+            let mut sw = Writer::new();
+            snapshot.encode_into(&mut sw);
+            payload.extend_from_slice(&sw.into_bytes());
+            self.append_record(epoch, RecordKind::Full, true, &payload)
+        } else {
+            snapshot.encode_into(&mut w);
+            self.append_record(epoch, RecordKind::Full, false, &w.into_bytes())
+        }
+    }
+
+    fn append_record(
+        &mut self,
+        epoch: u64,
+        kind: RecordKind,
+        has_delta: bool,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        // Roll: seal the active segment once it crossed the threshold.
+        let need_new = match self.segments.last() {
+            None => true,
+            Some(seg) => seg.bytes >= self.cfg.segment_bytes,
+        };
+        if need_new {
+            if let Some(seg) = self.segments.last_mut() {
+                seg.sealed = true;
+            }
+            if let Some(f) = self.active.take() {
+                f.sync_all()?;
+            }
+            let path = segment_path(&self.dir, epoch);
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            self.segments.push(Segment {
+                path,
+                bytes: 0,
+                sealed: false,
+                map: None,
+            });
+            self.active = Some(file);
+        }
+        let seg_idx = self.segments.len() - 1;
+        let seg = &mut self.segments[seg_idx];
+        let offset = seg.bytes;
+        let frame = frame_record(epoch, kind, has_delta, payload);
+        let file = self.active.as_mut().expect("active segment open");
+        file.write_all(&frame)?;
+        file.flush()?;
+        seg.bytes += frame.len() as u64;
+        self.index.insert(
+            epoch,
+            RecordEntry {
+                seg: seg_idx,
+                offset,
+                payload_len: payload.len() as u32,
+                kind,
+                has_delta: kind == RecordKind::DeltaOnly || has_delta,
+            },
+        );
+        Ok(())
+    }
+
+    /// The raw payload bytes of one record. Sealed segments answer out
+    /// of a cached mapping; the active segment is mapped fresh per read
+    /// (its tail grows, so the cache would go stale).
+    fn payload_bytes(&mut self, epoch: u64) -> Option<Vec<u8>> {
+        let entry = *self.index.get(&epoch)?;
+        let seg = &mut self.segments[entry.seg];
+        let start = entry.offset as usize + HEADER_LEN;
+        let end = start + entry.payload_len as usize;
+        if seg.sealed {
+            if seg.map.is_none() {
+                let file = File::open(&seg.path).ok()?;
+                seg.map = Some(Mmap::map(&file).ok()?);
+            }
+            seg.map.as_ref()?.get(start..end).map(<[u8]>::to_vec)
+        } else {
+            let file = File::open(&seg.path).ok()?;
+            let map = Mmap::map(&file).ok()?;
+            map.get(start..end).map(<[u8]>::to_vec)
+        }
+    }
+
+    /// The full snapshot stored for `epoch`, with its delta when the
+    /// record carries one. `None` when the epoch has no record or was
+    /// compacted down to delta-only.
+    pub fn snapshot_at(&mut self, epoch: u64) -> Option<(PersistedSnapshot, Option<LinkDelta>)> {
+        let entry = *self.index.get(&epoch)?;
+        if entry.kind != RecordKind::Full {
+            return None;
+        }
+        let payload = self.payload_bytes(epoch)?;
+        let mut r = Reader::new(&payload);
+        let delta = if entry.has_delta {
+            let len = r.u32().ok()? as usize;
+            let mut dr = Reader::new(payload.get(4..4 + len)?);
+            let d = get_delta(&mut dr).ok()?;
+            r = Reader::new(payload.get(4 + len..)?);
+            Some(d)
+        } else {
+            None
+        };
+        let snap = PersistedSnapshot::decode_from(&mut r).ok()?;
+        if !r.is_done() {
+            return None;
+        }
+        Some((snap, delta))
+    }
+
+    /// The newest epoch whose full snapshot is on disk, decoded — what
+    /// recovery boots from.
+    pub fn latest_full(&mut self) -> Option<(u64, PersistedSnapshot)> {
+        let epoch = self
+            .index
+            .iter()
+            .rev()
+            .find(|(_, e)| e.kind == RecordKind::Full)
+            .map(|(&epoch, _)| epoch)?;
+        let (snap, _) = self.snapshot_at(epoch)?;
+        Some((epoch, snap))
+    }
+
+    /// The delta that produced `epoch`, from either record kind.
+    pub fn delta_of(&mut self, epoch: u64) -> Option<LinkDelta> {
+        let entry = *self.index.get(&epoch)?;
+        if !entry.has_delta {
+            return None;
+        }
+        let payload = self.payload_bytes(epoch)?;
+        let mut r = Reader::new(&payload);
+        match entry.kind {
+            RecordKind::DeltaOnly => {
+                let d = get_delta(&mut r).ok()?;
+                r.is_done().then_some(d)
+            }
+            RecordKind::Full => {
+                let len = r.u32().ok()? as usize;
+                let mut dr = Reader::new(payload.get(4..4 + len)?);
+                let d = get_delta(&mut dr).ok()?;
+                dr.is_done().then_some(d)
+            }
+        }
+    }
+
+    /// The net link-level diff from `since` to `current`, folded over
+    /// the stored per-epoch deltas with add/remove cancellation —
+    /// `None` when any epoch in `since+1 ..= current` lacks delta
+    /// information (compacted away entirely, or published without a
+    /// delta). `since == current` is the empty diff.
+    #[allow(clippy::type_complexity)]
+    pub fn fold_since(
+        &mut self,
+        since: u64,
+        current: u64,
+    ) -> Option<(
+        std::collections::BTreeSet<(mlpeer_ixp::ixp::IxpId, mlpeer_bgp::Asn, mlpeer_bgp::Asn)>,
+        std::collections::BTreeSet<(mlpeer_ixp::ixp::IxpId, mlpeer_bgp::Asn, mlpeer_bgp::Asn)>,
+    )> {
+        if since > current {
+            return None;
+        }
+        let mut added = std::collections::BTreeSet::new();
+        let mut removed = std::collections::BTreeSet::new();
+        for epoch in since + 1..=current {
+            let d = self.delta_of(epoch)?;
+            for l in d.added {
+                if !removed.remove(&l) {
+                    added.insert(l);
+                }
+            }
+            for l in d.removed {
+                if !added.remove(&l) {
+                    removed.insert(l);
+                }
+            }
+        }
+        Some((added, removed))
+    }
+
+    /// The oldest `since` value [`fold_since`](EpochLog::fold_since)
+    /// can answer against `current`: the start of the contiguous delta
+    /// chain ending at `current` (every epoch in `oldest+1 ..= current`
+    /// has a stored delta). `since == current` is always answerable, so
+    /// this is at most `current`.
+    pub fn oldest_since(&self, current: u64) -> u64 {
+        let mut s = current;
+        while s > 0 {
+            match self.index.get(&s) {
+                Some(e) if e.has_delta => s -= 1,
+                _ => break,
+            }
+        }
+        s
+    }
+
+    /// Rewrite sealed segments so disk stays bounded: every
+    /// `compact_keep_every`-th epoch (and the newest full in the log)
+    /// keeps its full snapshot; other full records are demoted to
+    /// delta-only (or dropped entirely when they carry no delta). The
+    /// active segment is never touched. The in-memory index is rebuilt
+    /// from disk afterwards, so a compaction is also a self-check.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        let keep_every = self.cfg.compact_keep_every.max(1);
+        let latest_full = self
+            .index
+            .iter()
+            .rev()
+            .find(|(_, e)| e.kind == RecordKind::Full)
+            .map(|(&epoch, _)| epoch);
+        let mut stats = CompactStats {
+            bytes_before: self.segments.iter().map(|s| s.bytes).sum(),
+            ..CompactStats::default()
+        };
+
+        let sealed: Vec<usize> = (0..self.segments.len())
+            .filter(|&i| self.segments[i].sealed)
+            .collect();
+        for seg_idx in sealed {
+            // Records of this segment, in offset order.
+            let epochs: Vec<(u64, RecordEntry)> = self
+                .index
+                .iter()
+                .filter(|(_, e)| e.seg == seg_idx)
+                .map(|(&epoch, &e)| (epoch, e))
+                .collect();
+            let droppable = epochs.iter().any(|(epoch, e)| {
+                e.kind == RecordKind::Full && epoch % keep_every != 0 && Some(*epoch) != latest_full
+            });
+            if !droppable {
+                continue;
+            }
+            let mut out: Vec<u8> = Vec::new();
+            for (epoch, entry) in &epochs {
+                let keep_full = *epoch % keep_every == 0 || Some(*epoch) == latest_full;
+                match entry.kind {
+                    RecordKind::Full if !keep_full => {
+                        match self.delta_of(*epoch) {
+                            Some(d) => {
+                                let mut w = Writer::new();
+                                put_delta(&mut w, &d);
+                                out.extend_from_slice(&frame_record(
+                                    *epoch,
+                                    RecordKind::DeltaOnly,
+                                    true,
+                                    &w.into_bytes(),
+                                ));
+                                stats.fulls_demoted += 1;
+                            }
+                            None => {
+                                // No delta information to preserve:
+                                // the epoch is genuinely gone (the 410
+                                // case).
+                                stats.fulls_dropped += 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        // Keep the record verbatim.
+                        let start = entry.offset as usize;
+                        let end = start + HEADER_LEN + entry.payload_len as usize + TRAILER_LEN;
+                        let seg = &mut self.segments[entry.seg];
+                        if seg.map.is_none() {
+                            let file = File::open(&seg.path)?;
+                            seg.map = Some(Mmap::map(&file)?);
+                        }
+                        let map = seg.map.as_ref().expect("mapped above");
+                        out.extend_from_slice(&map[start..end]);
+                    }
+                }
+            }
+            // Atomic replace: write the rewritten segment beside the
+            // original, fsync, rename over it.
+            let seg = &mut self.segments[seg_idx];
+            let tmp = seg.path.with_extension("log.tmp");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(&out)?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &seg.path)?;
+            seg.map = None;
+            seg.bytes = out.len() as u64;
+            stats.segments_rewritten += 1;
+        }
+
+        // Rebuild the index (and re-verify every surviving record) by
+        // reopening from disk.
+        let reopened = EpochLog::open(self.dir.clone(), self.cfg.clone())?;
+        stats.bytes_after = reopened.segments.iter().map(|s| s.bytes).sum();
+        *self = reopened;
+        Ok(stats)
+    }
+
+    /// Summary counters.
+    pub fn stats(&self) -> LogStats {
+        LogStats {
+            segments: self.segments.len(),
+            records: self.index.len(),
+            full_records: self
+                .index
+                .values()
+                .filter(|e| e.kind == RecordKind::Full)
+                .count(),
+            bytes: self.segments.iter().map(|s| s.bytes).sum(),
+            oldest_epoch: self.oldest_epoch(),
+            latest_epoch: self.latest_epoch(),
+            truncated_tail_bytes: self.truncated_tail,
+        }
+    }
+}
+
+impl std::fmt::Debug for EpochLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochLog")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlpeer_bgp::Asn;
+    use mlpeer_ixp::ixp::IxpId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mlpeer-store-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(seed: u64) -> PersistedSnapshot {
+        crate::codec::tests::sample_snapshot(seed)
+    }
+
+    fn delta(n: u32) -> LinkDelta {
+        LinkDelta {
+            added: vec![(IxpId(0), Asn(n), Asn(n + 1))],
+            removed: vec![],
+        }
+    }
+
+    #[test]
+    fn append_reopen_round_trips_every_epoch() {
+        let dir = temp_dir("roundtrip");
+        {
+            let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+            log.append_full(0, &snap(0), None).unwrap();
+            for e in 1..=5u64 {
+                log.append_full(e, &snap(e), Some(&delta(e as u32)))
+                    .unwrap();
+            }
+        }
+        let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(log.latest_epoch(), Some(5));
+        assert_eq!(log.oldest_epoch(), Some(0));
+        assert_eq!(log.stats().truncated_tail_bytes, 0);
+        for e in 0..=5u64 {
+            let (s, d) = log.snapshot_at(e).unwrap();
+            assert_eq!(s, snap(e), "epoch {e}");
+            assert_eq!(d, (e > 0).then(|| delta(e as u32)), "epoch {e} delta");
+        }
+        assert!(log.snapshot_at(6).is_none());
+        let (latest_epoch, latest) = log.latest_full().unwrap();
+        assert_eq!((latest_epoch, latest), (5, snap(5)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_at_threshold_and_sealed_reads_work() {
+        let dir = temp_dir("roll");
+        let cfg = StoreConfig {
+            segment_bytes: 512, // tiny: every few records rolls
+            ..StoreConfig::default()
+        };
+        let mut log = EpochLog::open(&dir, cfg.clone()).unwrap();
+        for e in 0..20u64 {
+            log.append_full(e, &snap(e), Some(&delta(e as u32)))
+                .unwrap();
+        }
+        assert!(
+            log.stats().segments > 1,
+            "tiny threshold must roll: {:?}",
+            log.stats()
+        );
+        // Reads hit sealed (mmap-cached) and active segments alike.
+        for e in 0..20u64 {
+            assert_eq!(log.snapshot_at(e).unwrap().0, snap(e));
+        }
+        // And a reopen agrees byte for byte.
+        let mut again = EpochLog::open(&dir, cfg).unwrap();
+        assert_eq!(again.stats(), log.stats());
+        for e in 0..20u64 {
+            assert_eq!(again.snapshot_at(e).unwrap().0, snap(e));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_valid_record() {
+        let dir = temp_dir("torn");
+        {
+            let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+            for e in 0..=3u64 {
+                log.append_full(e, &snap(e), None).unwrap();
+            }
+        }
+        // Append garbage: a half-written record.
+        let seg = segment_path(&dir, 0);
+        let valid_len = std::fs::metadata(&seg).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+            f.write_all(&RECORD_MAGIC).unwrap();
+            f.write_all(&[RECORD_VERSION, 1, 0, 0, 0, 0]).unwrap();
+        }
+        let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(log.latest_epoch(), Some(3), "valid prefix survives");
+        assert!(log.stats().truncated_tail_bytes > 0);
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), valid_len);
+        assert_eq!(log.snapshot_at(3).unwrap().0, snap(3));
+        // The log keeps appending cleanly after the cut.
+        log.append_full(4, &snap(4), Some(&delta(4))).unwrap();
+        let mut again = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(again.latest_epoch(), Some(4));
+        assert_eq!(again.snapshot_at(4).unwrap().0, snap(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_invalidates_exactly_from_there() {
+        let dir = temp_dir("flip");
+        {
+            let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+            for e in 0..=4u64 {
+                log.append_full(e, &snap(e), Some(&delta(e as u32)))
+                    .unwrap();
+            }
+        }
+        let seg = segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // Flip a byte well past the first record's frame.
+        let hit = bytes.len() / 2;
+        bytes[hit] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+        let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        let latest = log.latest_epoch().expect("a valid prefix survives");
+        assert!(latest < 4, "corruption must cut the tail");
+        for e in 0..=latest {
+            assert_eq!(log.snapshot_at(e).unwrap().0, snap(e), "epoch {e}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fold_since_composes_and_reports_gaps() {
+        let dir = temp_dir("fold");
+        let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        log.append_full(0, &snap(0), None).unwrap();
+        log.append_full(
+            1,
+            &snap(1),
+            Some(&LinkDelta {
+                added: vec![(IxpId(0), Asn(1), Asn(2))],
+                removed: vec![],
+            }),
+        )
+        .unwrap();
+        log.append_full(
+            2,
+            &snap(2),
+            Some(&LinkDelta {
+                added: vec![(IxpId(0), Asn(3), Asn(4))],
+                removed: vec![(IxpId(0), Asn(1), Asn(2))],
+            }),
+        )
+        .unwrap();
+        let (added, removed) = log.fold_since(0, 2).unwrap();
+        // 1-2 added then removed: cancels. 3-4 remains.
+        assert_eq!(added, [(IxpId(0), Asn(3), Asn(4))].into_iter().collect());
+        assert!(removed.is_empty());
+        assert_eq!(log.fold_since(2, 2), Some(Default::default()));
+        // Epoch 0 has no delta: nothing before it is answerable…
+        assert_eq!(log.oldest_since(2), 0);
+        // …and a fold crossing a gap (epoch 0 itself) fails.
+        let mut gappy = EpochLog::open(temp_dir("gap"), StoreConfig::default()).unwrap();
+        gappy.append_full(5, &snap(5), None).unwrap();
+        gappy.append_full(6, &snap(6), Some(&delta(6))).unwrap();
+        assert!(gappy.fold_since(4, 6).is_none());
+        assert_eq!(gappy.oldest_since(6), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(gappy.dir()).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_every_kth_full_and_all_deltas() {
+        let dir = temp_dir("compact");
+        let cfg = StoreConfig {
+            segment_bytes: 600,
+            compact_keep_every: 4,
+        };
+        let mut log = EpochLog::open(&dir, cfg).unwrap();
+        log.append_full(0, &snap(0), None).unwrap();
+        for e in 1..=16u64 {
+            log.append_full(e, &snap(e), Some(&delta(e as u32)))
+                .unwrap();
+        }
+        let before = log.stats();
+        assert!(before.segments > 2);
+        let cstats = log.compact().unwrap();
+        assert!(cstats.segments_rewritten > 0);
+        assert!(cstats.fulls_demoted > 0);
+        assert!(cstats.bytes_after < cstats.bytes_before);
+        // Every epoch still has delta info ⇒ deep since still answers.
+        assert_eq!(log.oldest_since(16), 0);
+        let (added, _) = log.fold_since(0, 16).unwrap();
+        assert_eq!(added.len(), 16);
+        // Multiples of 4 (and the sealed-segment survivors + active
+        // tail) keep their fulls; demoted epochs answer None for ?at=.
+        let fulls = log.full_epochs();
+        for e in fulls.iter() {
+            assert_eq!(log.snapshot_at(*e).unwrap().0, snap(*e));
+        }
+        for e in [0u64, 4, 8, 12] {
+            assert!(fulls.contains(&e), "kept multiple {e} in {fulls:?}");
+        }
+        assert!(
+            fulls.contains(&16),
+            "the latest full must survive compaction"
+        );
+        let demoted: Vec<u64> = (0..=16).filter(|e| !fulls.contains(e)).collect();
+        assert!(!demoted.is_empty());
+        for e in &demoted {
+            assert!(log.snapshot_at(*e).is_none(), "epoch {e} demoted");
+            assert!(log.delta_of(*e).is_some(), "epoch {e} keeps its delta");
+        }
+        // Idempotent: a second pass rewrites nothing.
+        let again = log.compact().unwrap();
+        assert_eq!(again.segments_rewritten, 0);
+        // And a reopen agrees.
+        let mut re = EpochLog::open(log.dir().to_path_buf(), StoreConfig::default()).unwrap();
+        assert_eq!(re.full_epochs(), fulls);
+        assert_eq!(re.fold_since(0, 16).unwrap().0.len(), 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_rejects_non_monotone_epochs() {
+        let dir = temp_dir("monotone");
+        let mut log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        log.append_full(3, &snap(3), None).unwrap();
+        assert!(log.append_full(3, &snap(3), None).is_err());
+        assert!(log.append_full(2, &snap(2), None).is_err());
+        log.append_full(4, &snap(4), None).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_opens_empty() {
+        let dir = temp_dir("empty");
+        let log = EpochLog::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(log.latest_epoch(), None);
+        assert_eq!(log.stats().records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

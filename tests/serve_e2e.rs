@@ -129,6 +129,7 @@ fn boot_query_refresh_over_real_tcp() {
         &mlpeer_serve::ChangeLog::new(8),
         None,
         None,
+        None,
     );
     assert_eq!(
         wire_body.as_bytes(),

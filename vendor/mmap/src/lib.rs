@@ -1,0 +1,193 @@
+//! Offline stand-in for a memmap2-style **read-only** file mapping.
+//!
+//! The build environment has no registry access, so — like the sibling
+//! `polling`/`rayon` stand-ins — this crate implements exactly the
+//! surface the workspace uses: map a whole file read-only with
+//! [`Mmap::map`], read it as a `&[u8]` (via `Deref`), unmap on drop.
+//! No writable mappings, no flushing, no partial ranges.
+//!
+//! All syscalls go through the C symbols the Rust standard library
+//! already links (`std` links libc on every unix target), so nothing
+//! here needs a registry dependency. `unsafe` is confined to this
+//! crate; callers see a safe API — sound because the mapping is
+//! `PROT_READ`/`MAP_PRIVATE` (writes by other processes may or may not
+//! be visible, exactly memmap2's documented caveat; the epoch store
+//! only maps **sealed** segments, which are never rewritten in place).
+//!
+//! Zero-length files are handled without a syscall: `mmap(2)` rejects
+//! `len == 0`, so an empty file maps to an empty slice.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::os::fd::AsRawFd;
+
+mod sys {
+    //! The C symbols this shim calls, as `std`'s libc exports them.
+    #![allow(non_camel_case_types)]
+
+    pub use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// `MAP_FAILED`: `mmap` returns `(void *) -1` on error, not null.
+const MAP_FAILED: *mut sys::c_void = !0usize as *mut sys::c_void;
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dereferences to `&[u8]`. The mapping is private (`MAP_PRIVATE`), so
+/// it is a stable view of the file's bytes at map time as long as no
+/// one truncates or rewrites the file in place — the epoch store
+/// upholds that by only mapping sealed, append-complete segments.
+pub struct Mmap {
+    /// Null iff the mapping is empty (zero-length file, no syscall).
+    ptr: *mut sys::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and owned; the raw pointer is only
+// ever dereferenced through the `&self` slice accessor.
+unsafe impl Send for Mmap {}
+// SAFETY: shared access is plain `&[u8]` reads of an immutable mapping.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the whole of `file` read-only. The file handle may be closed
+    /// afterwards — the mapping keeps the pages alive.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: plain syscall; the kernel validates fd and length.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len come from a successful mmap held until drop;
+        // the mapping is PROT_READ and never mutated through this type.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the mapping empty (zero-length file)?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if !self.ptr.is_null() {
+            // SAFETY: ptr/len are the exact values a successful mmap
+            // returned; the mapping is unmapped exactly once.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mlpeer-mmap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents_byte_identical() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        drop(file); // the mapping must outlive the handle
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&*map, &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        assert_eq!(&*map, &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}
