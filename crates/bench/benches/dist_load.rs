@@ -1,0 +1,248 @@
+//! Multi-process passive harvest, recorded to `BENCH_dist.json` (repo
+//! root) with a **procs** axis: `workers ∈ {1, 2, 4}` at `Scale::Small`
+//! and `Scale::Large`.
+//!
+//! Two baselines are timed per scale. `serial_ms` is the warm in-process
+//! harvest over an already-built dataset — the number the `procs: 1`
+//! floor is held against (that configuration short-circuits to the
+//! thread-sharded fold, so it must stay ≥ 1.0x serial within a 2 %
+//! measurement tolerance, mirroring `passive_sharding`'s floor).
+//! `cold_ms` is dataset build + harvest, which is the honest comparand
+//! for `procs > 1`: each worker process regenerates its dataset from
+//! `(scale, seed)` — that is what makes the wire format compact and the
+//! workers stateless — so one worker's end-to-end cost is ≈ `cold_ms`,
+//! and a `k`-worker run on one core degenerates to ≈ `k × cold_ms`.
+//! The multi-core assertion, made only when more than one CPU is
+//! detected, is therefore an *overlap* floor: for `k ≤ cpus`, the
+//! distributed wall must stay ≤ 0.75 × k × cold — workers genuinely
+//! ran concurrently instead of serializing. On a 1-core container the
+//! per-procs numbers are recorded as-is (and show the expected k×
+//! degeneration, which is itself the honest datum ROADMAP asked for).
+//!
+//! Result equality against the serial fold is asserted before any
+//! timing, per the repo's bench convention. `MLPEER_BENCH_SMOKE=1`
+//! runs `Scale::Small` only, asserts the floors, and leaves
+//! `BENCH_dist.json` untouched.
+
+use std::time::Instant;
+
+use mlpeer::passive::{harvest_passive, PassiveConfig};
+use mlpeer::pipeline::{prepare, TeeSink};
+use mlpeer_bench::Scale;
+use mlpeer_dist::{default_worker_cmd, harvest_passive_dist, DistConfig, DistStats};
+use mlpeer_ixp::Ecosystem;
+
+/// Minimum over `rounds` wall-clock measurements, in nanoseconds.
+fn time_min<T>(rounds: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn dist_cfg(procs: usize) -> DistConfig {
+    DistConfig {
+        workers: procs,
+        worker_cmd: default_worker_cmd(),
+        // A Large worker's cold build+harvest runs ~32 s alone and k×
+        // that when k workers contend for one core; the default 60 s
+        // deadline would time every shard out and record the timeout
+        // constant instead of the fleet. The bench is not measuring
+        // fault handling, so give workers all the time they need.
+        timeout: std::time::Duration::from_secs(600),
+        ..DistConfig::new(procs)
+    }
+}
+
+fn bench_scale(scale: Scale, seed: u64, cpus: usize) -> serde_json::Value {
+    eprintln!("# building {} dataset…", scale.word());
+    let eco = Ecosystem::generate(scale.config(seed));
+    let prep = prepare(&eco, seed);
+    let cfg = PassiveConfig::default();
+
+    // Equality before timing, at every worker count on the axis: the
+    // distributed fold must be byte-identical to the serial one.
+    let mut serial: TeeSink = Default::default();
+    let serial_stats = harvest_passive(
+        &prep.passive,
+        &prep.dict,
+        &prep.conn,
+        &prep.rels,
+        &cfg,
+        &mut serial,
+    );
+    let serial_links = serial.1.finalize(&prep.conn);
+    let procs_axis = [1usize, 2, 4];
+    for &procs in &procs_axis {
+        let stats = DistStats::new(procs as u64);
+        let (sink, dist_stats) =
+            harvest_passive_dist(scale.word(), seed, &prep, &dist_cfg(procs), &stats);
+        assert_eq!(dist_stats, serial_stats, "{procs} procs: stats diverged");
+        assert_eq!(sink.0, serial.0, "{procs} procs: observations diverged");
+        assert_eq!(
+            sink.1.finalize(&prep.conn),
+            serial_links,
+            "{procs} procs: links diverged"
+        );
+    }
+
+    // Warm in-process baseline, and the cold build+harvest baseline the
+    // multi-process runs are honestly compared against.
+    let serial_ns = time_min(5, || {
+        let mut sink: TeeSink = Default::default();
+        harvest_passive(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &cfg,
+            &mut sink,
+        );
+        sink.0.len()
+    });
+    let cold_ns = time_min(3, || {
+        let eco = Ecosystem::generate(scale.config(seed));
+        let prep = prepare(&eco, seed);
+        let mut sink: TeeSink = Default::default();
+        harvest_passive(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &cfg,
+            &mut sink,
+        );
+        sink.0.len()
+    });
+
+    let workers_available = default_worker_cmd().is_some();
+    let mut entries = Vec::new();
+    let mut overlap = Vec::new(); // (procs, wall_ns) for procs > 1
+    let mut dist1_ns = f64::INFINITY;
+    for &procs in &procs_axis {
+        let stats = DistStats::new(procs as u64);
+        let ns = time_min(3, || {
+            let (sink, _) =
+                harvest_passive_dist(scale.word(), seed, &prep, &dist_cfg(procs), &stats);
+            sink.0.len()
+        });
+        if procs == 1 {
+            dist1_ns = ns;
+        } else {
+            overlap.push((procs, ns));
+        }
+        let snap = stats.snapshot();
+        println!(
+            "{} @ {procs} procs: {:.1} ms (serial {:.1} ms warm, {:.1} ms cold; \
+             spawned {}, degraded {})",
+            scale.word(),
+            ns / 1e6,
+            serial_ns / 1e6,
+            cold_ns / 1e6,
+            snap.spawned,
+            snap.degraded,
+        );
+        entries.push(serde_json::json!({
+            "procs": procs,
+            "dist_ms": ns / 1e6,
+            "speedup_vs_warm_serial": serial_ns / ns,
+            "speedup_vs_cold_serial": cold_ns / ns,
+            "spawned": snap.spawned,
+            "degraded": snap.degraded,
+            "frames": snap.frames,
+            "bytes": snap.bytes,
+        }));
+    }
+
+    // Floor: procs=1 is the in-process sharded fold — it must not
+    // regress below serial (2% tolerance). Alternating re-measurement
+    // rounds squeeze out shared-core jitter, as in passive_sharding.
+    let mut floor = serial_ns / dist1_ns;
+    for round in 0..4 {
+        if floor >= 0.98 {
+            break;
+        }
+        eprintln!("# procs=1 floor unmet in round {round} ({floor:.3}x), re-measuring…");
+        let retry_serial = time_min(5, || {
+            let mut sink: TeeSink = Default::default();
+            harvest_passive(
+                &prep.passive,
+                &prep.dict,
+                &prep.conn,
+                &prep.rels,
+                &cfg,
+                &mut sink,
+            );
+            sink.0.len()
+        });
+        let retry_dist = time_min(5, || {
+            let stats = DistStats::new(1);
+            let (sink, _) = harvest_passive_dist(scale.word(), seed, &prep, &dist_cfg(1), &stats);
+            sink.0.len()
+        });
+        floor = floor.max(retry_serial / retry_dist);
+    }
+    assert!(
+        floor >= 0.98,
+        "acceptance: procs=1 must hold ≥1.0x serial (2% tolerance), got {floor:.3}x at {}",
+        scale.word()
+    );
+    // Multi-core overlap floor: only assertable with real parallelism
+    // and a spawnable worker binary. A k-worker run whose workers truly
+    // overlap costs ≈ one worker's end-to-end time (≈ cold), far under
+    // the k × cold a serialized fleet degenerates to.
+    if cpus > 1 && workers_available {
+        for &(procs, ns) in overlap.iter().filter(|&&(p, _)| p <= cpus) {
+            let bound = 0.75 * procs as f64 * cold_ns;
+            assert!(
+                ns <= bound,
+                "acceptance: with {cpus} CPUs, {procs} workers must overlap \
+                 (wall {:.0} ms > 0.75 × {procs} × cold {:.0} ms) at {}",
+                ns / 1e6,
+                cold_ns / 1e6,
+                scale.word()
+            );
+        }
+    }
+
+    serde_json::json!({
+        "scale": scale.word(),
+        "routes_seen": serial_stats.routes_seen,
+        "observations": serial_stats.observations,
+        "serial_ms": serial_ns / 1e6,
+        "cold_ms": cold_ns / 1e6,
+        "workers_available": workers_available,
+        "procs": entries,
+    })
+}
+
+fn main() {
+    let seed = 20130501u64;
+    let smoke = std::env::var("MLPEER_BENCH_SMOKE").is_ok();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scales: &[Scale] = if smoke {
+        &[Scale::Small]
+    } else {
+        &[Scale::Small, Scale::Large]
+    };
+    let results: Vec<serde_json::Value> =
+        scales.iter().map(|&s| bench_scale(s, seed, cpus)).collect();
+    if smoke {
+        println!("smoke mode: floors asserted, BENCH_dist.json left untouched");
+        return;
+    }
+    let report = serde_json::json!({
+        "bench": "multi-process passive harvest: serial vs worker processes",
+        "seed": seed,
+        "cpus": cpus,
+        "threads": rayon::current_num_threads(),
+        "scales": results,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dist.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_dist.json");
+    println!("wrote {path}");
+}

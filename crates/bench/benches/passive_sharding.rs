@@ -131,6 +131,10 @@ fn bench_passive_sharding(c: &mut Criterion) {
         "bench": "harvest_passive serial vs sharded",
         "seed": seed,
         "threads": rayon::current_num_threads(),
+        // Process axis: this bench is in-process by construction; the
+        // multi-process sweep over the same harvest lives in
+        // BENCH_dist.json (benches/dist_load.rs).
+        "procs": 1,
         "mlpeer_threads_override": rayon::env_threads(),
         "scales": results,
     });

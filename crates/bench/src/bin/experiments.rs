@@ -1,12 +1,16 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! experiments [tiny|small|paper] [seed]
+//! experiments [tiny|small|paper] [seed] [--procs=N]
 //! ```
 //!
 //! Prints each experiment in the paper's layout and writes the raw data
 //! as JSON to `results/`. Absolute counts scale with the chosen
 //! ecosystem size; `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! `--procs=N` (N > 1) runs the passive harvest across N worker
+//! processes via `mlpeer_dist` — byte-identical results, recorded under
+//! the `procs` key alongside `threads` in the output JSON.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -19,7 +23,17 @@ use mlpeer_data::lg::{LgDisplay, LgTarget};
 use mlpeer_ixp::{Ecosystem, PeeringPolicy};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut procs: usize = 1;
+    let args: Vec<String> = std::env::args()
+        .filter(|a| {
+            if let Some(v) = a.strip_prefix("--procs=") {
+                procs = v.parse().expect("--procs=N");
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let scale = args
         .get(1)
         .and_then(|s| Scale::parse(s))
@@ -30,9 +44,11 @@ fn main() {
     json.insert("scale".into(), format!("{scale:?}").into());
     json.insert("seed".into(), seed.into());
     // Shard fan-out: all cores unless MLPEER_THREADS pins it lower
-    // (honored by the sharded passive harvest via rayon).
+    // (honored by the sharded passive harvest via rayon), and worker
+    // processes when --procs asks for them.
     let threads = rayon::current_num_threads();
     json.insert("threads".into(), threads.into());
+    json.insert("procs".into(), procs.into());
     json.insert(
         "mlpeer_threads_override".into(),
         serde_json::to_value(&rayon::env_threads()),
@@ -49,7 +65,26 @@ fn main() {
     );
     let eco = Ecosystem::generate(scale.config(seed));
     eprintln!("# running pipeline…");
-    let p = run_pipeline(&eco, seed);
+    let dist_stats = mlpeer_dist::DistStats::new(procs as u64);
+    let p = if procs > 1 {
+        eprintln!("# passive harvest across {procs} worker processes…");
+        mlpeer_bench::run_pipeline_dist(
+            &eco,
+            scale.word(),
+            seed,
+            &mlpeer_dist::DistConfig::new(procs),
+            &dist_stats,
+        )
+    } else {
+        run_pipeline(&eco, seed)
+    };
+    if procs > 1 {
+        let s = dist_stats.snapshot();
+        eprintln!(
+            "# dist: spawned {}, retried {}, degraded {}, {} frames / {} bytes",
+            s.spawned, s.retried, s.degraded, s.frames, s.bytes
+        );
+    }
 
     // ---------------- Table 1 ----------------
     println!("== Table 1: RS community patterns ==");

@@ -7,27 +7,34 @@
 //! renders every table and figure of the paper; the Criterion benches
 //! are `benches/benches.rs` (codecs, RS engine, planner, pipeline),
 //! `benches/passive_sharding.rs` (serial vs sharded harvest →
-//! `BENCH_passive.json`) and `benches/live_churn.rs` (live-mode delta
-//! apply vs full re-harvest → `BENCH_live.json`).
+//! `BENCH_passive.json`), `benches/live_churn.rs` (live-mode delta
+//! apply vs full re-harvest → `BENCH_live.json`) and
+//! `benches/dist_load.rs` (multi-process harvest → `BENCH_dist.json`).
+//!
+//! The stages themselves live in [`mlpeer::pipeline`] (shared with the
+//! multi-process coordinator); this crate composes them — serially in
+//! [`run_pipeline`], or with the passive stage swapped out via
+//! [`run_pipeline_with`] / [`run_pipeline_dist`]. Every variant is
+//! byte-identical by construction: only the passive harvest's
+//! execution strategy differs, never its fold.
 
-use std::collections::BTreeSet;
-
-use mlpeer::active::{query_member_lgs, query_rs_lg, ActiveConfig, ActiveStats};
-use mlpeer::connectivity::{gather_connectivity, ConnectivityData};
-use mlpeer::dict::{dictionary_from_connectivity, CommunityDictionary};
-use mlpeer::infer::{LinkInferencer, MlpLinkSet, Observation, ObservationSource};
+use mlpeer::active::ActiveStats;
+use mlpeer::connectivity::ConnectivityData;
+use mlpeer::dict::CommunityDictionary;
+use mlpeer::infer::{MlpLinkSet, Observation};
 use mlpeer::passive::{harvest_passive_sharded, PassiveConfig, PassiveStats};
-use mlpeer_bgp::{Asn, Prefix};
-use mlpeer_data::collector::{build_passive, CollectorConfig, PassiveDataset};
+use mlpeer::pipeline::{prepare, run_active_stage, PipelinePrep, TeeSink};
+use mlpeer_data::collector::PassiveDataset;
 use mlpeer_data::geo::GeoDb;
-use mlpeer_data::irr::{build_irr, IrrConfig, IrrDatabase, Source};
-use mlpeer_data::lg::{build_lg_roster, LgTarget, LookingGlassHost};
+use mlpeer_data::irr::{IrrDatabase, Source};
+use mlpeer_data::lg::LookingGlassHost;
 use mlpeer_data::peeringdb::{PeeringDb, PeeringDbConfig};
 use mlpeer_data::traceroute::{build_traceroute, TracerouteDataset};
 use mlpeer_data::Sim;
+use mlpeer_dist::{harvest_passive_dist, DistConfig, DistStats};
 use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::{Ecosystem, EcosystemConfig};
-use mlpeer_topo::infer::{infer_relationships, InferConfig, InferredRelationships};
+use mlpeer_topo::infer::InferredRelationships;
 
 /// Scale presets for the experiment and serving binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,111 +120,27 @@ pub struct Pipeline<'e> {
     pub geo: GeoDb,
 }
 
-/// Run the complete inference pipeline over an ecosystem.
-pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
-    let sim = Sim::new(eco);
-    let irr = build_irr(
-        eco,
-        &IrrConfig {
-            seed: seed ^ 0x11,
-            ..IrrConfig::default()
-        },
-    );
-    let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
-    let conn = gather_connectivity(&sim, &lgs, &irr);
-    let dict = dictionary_from_connectivity(eco, &conn);
+/// Run the complete inference pipeline over an ecosystem, with the
+/// passive stage supplied by `passive`: a closure given the prepared
+/// substrates that returns the filled tee and the harvest stats. Every
+/// stage around it is identical across callers, which is what makes
+/// the serial, thread-sharded, and multi-process variants
+/// byte-identical end to end.
+pub fn run_pipeline_with<'e>(
+    eco: &'e Ecosystem,
+    seed: u64,
+    passive: impl FnOnce(&PipelinePrep<'e>) -> (TeeSink, PassiveStats),
+) -> Pipeline<'e> {
+    let prep = prepare(eco, seed);
 
-    // Passive first (it reduces active cost, Eq. 2). One shard per
-    // collector; observations stream into a tee of the retained list
-    // (the per-figure analyses read it) and the incremental link
-    // inferencer, so link state never waits for a materialized batch.
-    let passive = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
-    let public_paths: Vec<Vec<Asn>> = passive
-        .collectors
-        .iter()
-        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
-        .collect();
-    let rels = infer_relationships(&public_paths, &InferConfig::default());
-    let (mut sink, passive_stats) = harvest_passive_sharded::<(Vec<Observation>, LinkInferencer)>(
-        &passive,
-        &dict,
-        &conn,
-        &rels,
-        &PassiveConfig::default(),
-    );
-
-    // Active per IXP, streaming into the same tee. The Eq. 2 skip sets
-    // (passively-covered members per IXP) come from one pass over the
-    // harvest, not one scan per IXP.
-    let mut passive_covered: mlpeer::hash::FxHashMap<IxpId, BTreeSet<Asn>> = Default::default();
-    for o in sink
-        .0
-        .iter()
-        .filter(|o| o.source == ObservationSource::Passive)
-    {
-        passive_covered.entry(o.ixp).or_default().insert(o.member);
-    }
-    let mut active_stats = Vec::new();
-    for ixp in &eco.ixps {
-        let covered: BTreeSet<Asn> = passive_covered.get(&ixp.id).cloned().unwrap_or_default();
-        let rs_lg = lgs
-            .iter()
-            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == ixp.id));
-        if let Some(lg) = rs_lg {
-            let stats = query_rs_lg(
-                &sim,
-                lg,
-                ixp.id,
-                &dict,
-                &covered,
-                &ActiveConfig::default(),
-                &mut sink,
-            );
-            active_stats.push((ixp.id, stats));
-        } else {
-            // Third-party member LGs (§4.1 fallback). Candidates: route
-            // objects of known members plus passively-seen prefixes.
-            let members = conn.rs_members(ixp.id);
-            let hosts: Vec<&LookingGlassHost> = lgs
-                .iter()
-                .filter(|l| match l.target {
-                    LgTarget::Member(a) => members.contains(&a),
-                    _ => false,
-                })
-                .take(3)
-                .collect();
-            let mut candidates: Vec<Prefix> = irr
-                .values()
-                .flat_map(|db| {
-                    db.objects.iter().filter_map(|o| match o {
-                        mlpeer_data::irr::RpslObject::Route { prefix, origin, .. }
-                            if members.contains(origin) =>
-                        {
-                            Some(*prefix)
-                        }
-                        _ => None,
-                    })
-                })
-                .collect();
-            candidates.sort_unstable();
-            candidates.dedup();
-            let stats = query_member_lgs(
-                &sim,
-                &hosts,
-                ixp.id,
-                &dict,
-                &rels,
-                &candidates,
-                400,
-                &mut sink,
-            );
-            active_stats.push((ixp.id, stats));
-        }
-    }
+    // Passive first (it reduces active cost, Eq. 2), then active per
+    // IXP, streaming into the same tee.
+    let (mut sink, passive_stats) = passive(&prep);
+    let active_stats = run_active_stage(eco, &prep, &mut sink);
 
     let (observations, inferencer) = sink;
-    let links = inferencer.finalize(&conn);
-    let traceroute = build_traceroute(&sim, seed ^ 0x44, 60);
+    let links = inferencer.finalize(&prep.conn);
+    let traceroute = build_traceroute(&prep.sim, seed ^ 0x44, 60);
     let pdb = PeeringDb::build(
         eco,
         &PeeringDbConfig {
@@ -227,6 +150,15 @@ pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
     );
     let geo = GeoDb::build(eco);
 
+    let PipelinePrep {
+        sim,
+        irr,
+        lgs,
+        conn,
+        dict,
+        passive,
+        rels,
+    } = prep;
     Pipeline {
         sim,
         irr,
@@ -243,6 +175,36 @@ pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
         pdb,
         geo,
     }
+}
+
+/// Run the complete inference pipeline over an ecosystem (the serial /
+/// thread-sharded passive stage).
+pub fn run_pipeline(eco: &Ecosystem, seed: u64) -> Pipeline<'_> {
+    run_pipeline_with(eco, seed, |prep| {
+        harvest_passive_sharded::<TeeSink>(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &PassiveConfig::default(),
+        )
+    })
+}
+
+/// Run the pipeline with the passive stage distributed across worker
+/// processes per `cfg` (see `mlpeer_dist` for the fault model).
+/// `scale` must be the scale word `eco` was generated from. Byte-
+/// identical to [`run_pipeline`] on the same `(eco, seed)`.
+pub fn run_pipeline_dist<'e>(
+    eco: &'e Ecosystem,
+    scale: &str,
+    seed: u64,
+    cfg: &DistConfig,
+    stats: &DistStats,
+) -> Pipeline<'e> {
+    run_pipeline_with(eco, seed, |prep| {
+        harvest_passive_dist(scale, seed, prep, cfg, stats)
+    })
 }
 
 #[cfg(test)]
@@ -282,5 +244,25 @@ mod tests {
                 mutual.len()
             );
         }
+    }
+
+    /// The dist wrapper with `workers: 1` (pure in-process) produces
+    /// the same links and observations as the serial pipeline —
+    /// the equivalence the fault-injection e2e suite then extends to
+    /// real worker processes.
+    #[test]
+    fn dist_pipeline_with_one_worker_matches_serial() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(2024));
+        let serial = run_pipeline(&eco, 2024);
+        let cfg = DistConfig {
+            workers: 1,
+            worker_cmd: None,
+            ..DistConfig::new(1)
+        };
+        let stats = DistStats::new(1);
+        let dist = run_pipeline_dist(&eco, "tiny", 2024, &cfg, &stats);
+        assert_eq!(dist.links, serial.links);
+        assert_eq!(dist.observations, serial.observations);
+        assert_eq!(dist.passive_stats, serial.passive_stats);
     }
 }

@@ -316,6 +316,92 @@ impl LinkInferencer {
     }
 }
 
+/// One exported reach-table edge: the commutatively-folded policy
+/// state of a single `(ixp, member, prefix)` — exactly the fields of
+/// the internal accumulator, flattened for transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferEntry {
+    /// The IXP the reachability was observed at.
+    pub ixp: IxpId,
+    /// The RS setter.
+    pub member: Asn,
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// A `NONE` action was observed for this prefix.
+    pub saw_none: bool,
+    /// Members named by `INCLUDE` actions.
+    pub includes: BTreeSet<Asn>,
+    /// Members named by `EXCLUDE` actions.
+    pub excludes: BTreeSet<Asn>,
+}
+
+/// A portable, canonically-ordered snapshot of a [`LinkInferencer`]'s
+/// folded state: entries sorted by `(ixp, member, prefix)` regardless
+/// of the intern order they were folded in, so two inferencers that
+/// saw the same observations export identical states. This is the
+/// unit the distributed harvest ships over the wire —
+/// [`absorb_state`](LinkInferencer::absorb_state) reproduces
+/// [`merge`](LinkInferencer::merge) exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InferState {
+    /// Reach-table edges, sorted by `(ixp, member, prefix)`.
+    pub entries: Vec<InferEntry>,
+    /// Observations the producing inferencer folded.
+    pub observations: u64,
+}
+
+impl LinkInferencer {
+    /// Export the folded state in canonical `(ixp, member, prefix)`
+    /// order — intern-order-independent, so a shard's export depends
+    /// only on *what* it folded, never on arrival order.
+    pub fn export_state(&self) -> InferState {
+        let mut entries = Vec::with_capacity(self.edge_count());
+        for (i, prefixes) in self.reach.iter().enumerate() {
+            let (ixp, member) = self.members.resolve(MemberId(i as u32));
+            for (packed, acc) in prefixes {
+                entries.push(InferEntry {
+                    ixp,
+                    member,
+                    prefix: unpack_prefix(*packed),
+                    saw_none: acc.saw_none,
+                    includes: acc.includes.clone(),
+                    excludes: acc.excludes.clone(),
+                });
+            }
+        }
+        entries.sort_unstable_by_key(|e| (e.ixp, e.member, pack_prefix(e.prefix)));
+        InferState {
+            entries,
+            observations: self.observations as u64,
+        }
+    }
+
+    /// Fold an exported state in — semantically identical to
+    /// [`merge`](LinkInferencer::merge) with the inferencer that
+    /// produced it, so a coordinator absorbing worker exports ends in
+    /// exactly the serial state.
+    pub fn absorb_state(&mut self, state: InferState) {
+        for e in state.entries {
+            let mid = self.members.intern(e.ixp, e.member);
+            if mid.index() == self.reach.len() {
+                self.reach.push(FxHashMap::default());
+            }
+            let acc = PolicyAcc {
+                saw_none: e.saw_none,
+                includes: e.includes,
+                excludes: e.excludes,
+            };
+            match self.reach[mid.index()].entry(pack_prefix(e.prefix)) {
+                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().merge(acc),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(acc);
+                }
+            }
+        }
+        self.observations += state.observations as usize;
+    }
+}
+
 /// Batch convenience: fold a materialized observation list and
 /// finalize. The streaming paths push into a [`LinkInferencer`]
 /// directly instead.
@@ -559,6 +645,69 @@ mod tests {
         assert_eq!(ab.observation_count(), observations.len());
         assert_eq!(ab.finalize(&conn), batch);
         assert_eq!(ba.finalize(&conn), batch, "merge is commutative");
+    }
+
+    #[test]
+    fn export_absorb_equals_in_process_merge() {
+        let conn = conn_with(&[1, 2, 3, 4]);
+        let observations = [
+            obs(
+                1,
+                "10.1.0.0/24",
+                vec![RsAction::All, RsAction::Exclude(Asn(3))],
+            ),
+            obs(1, "10.1.0.0/24", vec![RsAction::Exclude(Asn(4))]),
+            obs(2, "10.2.0.0/24", vec![]),
+            obs(
+                3,
+                "10.3.0.0/24",
+                vec![RsAction::None, RsAction::Include(Asn(2))],
+            ),
+            obs(4, "10.4.0.0/24", vec![RsAction::All]),
+        ];
+        let (left, right) = observations.split_at(2);
+        let mut shard_a = LinkInferencer::default();
+        for o in left {
+            shard_a.push(o.clone());
+        }
+        let mut shard_b = LinkInferencer::default();
+        for o in right {
+            shard_b.push(o.clone());
+        }
+        // In-process merge vs export → absorb round trip.
+        let mut merged = shard_a.clone();
+        merged.merge(shard_b.clone());
+        let mut absorbed = LinkInferencer::default();
+        absorbed.absorb_state(shard_a.export_state());
+        absorbed.absorb_state(shard_b.export_state());
+        assert_eq!(absorbed.observation_count(), merged.observation_count());
+        assert_eq!(absorbed.finalize(&conn), merged.finalize(&conn));
+        // Exported state is canonical: re-export of the absorbed state
+        // equals export of the merged state regardless of intern order.
+        assert_eq!(absorbed.export_state(), merged.export_state());
+    }
+
+    #[test]
+    fn export_state_is_intern_order_independent() {
+        let observations = vec![
+            obs(2, "10.2.0.0/24", vec![RsAction::All]),
+            obs(1, "10.1.0.0/24", vec![RsAction::Exclude(Asn(9))]),
+            obs(1, "10.0.0.0/24", vec![]),
+        ];
+        let mut fwd = LinkInferencer::default();
+        for o in &observations {
+            fwd.push(o.clone());
+        }
+        let mut rev = LinkInferencer::default();
+        for o in observations.iter().rev() {
+            rev.push(o.clone());
+        }
+        assert_eq!(fwd.export_state(), rev.export_state());
+        let e = &fwd.export_state().entries[0];
+        assert_eq!(
+            (e.member, e.prefix.to_string().as_str()),
+            (Asn(1), "10.0.0.0/24")
+        );
     }
 
     #[test]

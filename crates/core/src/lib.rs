@@ -56,6 +56,7 @@ pub mod infer;
 pub mod intern;
 pub mod live;
 pub mod passive;
+pub mod pipeline;
 pub mod reciprocity;
 pub mod report;
 pub mod sink;

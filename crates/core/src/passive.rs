@@ -251,6 +251,114 @@ fn shard_chunk_len(total_rib: usize) -> usize {
     (total_rib / (rayon::current_num_threads() * 4).max(1)).max(2048)
 }
 
+/// One *addressable* unit of distributable passive work — the
+/// wire-shippable form of the in-process shard units above. A worker
+/// process regenerates the dataset locally and resolves these indices
+/// against it, so only a few integers cross the process boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkUnit {
+    /// RIB entries `[start, end)` of the collector at index
+    /// `collector`.
+    Rib {
+        /// Collector index in `dataset.collectors`.
+        collector: u32,
+        /// First RIB entry (inclusive).
+        start: u64,
+        /// Past-the-end RIB entry (exclusive).
+        end: u64,
+    },
+    /// The whole update stream of the collector at index `collector`
+    /// (transient filtering pairs announcements with their withdrawals
+    /// across the stream, so it never splits).
+    Updates {
+        /// Collector index in `dataset.collectors`.
+        collector: u32,
+    },
+}
+
+/// Enumerate a dataset's work units in **serial order** — per
+/// collector: RIB chunks first, then the update stream — so harvesting
+/// the units in order and concatenating the observations reproduces
+/// [`harvest_passive`] exactly, for any `chunk_len` and any contiguous
+/// partition of the unit list.
+pub fn passive_work_units(dataset: &PassiveDataset, chunk_len: usize) -> Vec<WorkUnit> {
+    let chunk_len = chunk_len.max(1);
+    let mut units = Vec::new();
+    for (c, (_, archive)) in dataset.collectors.iter().enumerate() {
+        let mut start = 0usize;
+        while start < archive.rib.len() {
+            let end = (start + chunk_len).min(archive.rib.len());
+            units.push(WorkUnit::Rib {
+                collector: c as u32,
+                start: start as u64,
+                end: end as u64,
+            });
+            start = end;
+        }
+        if !archive.updates.is_empty() {
+            units.push(WorkUnit::Updates {
+                collector: c as u32,
+            });
+        }
+    }
+    units
+}
+
+/// Approximate route count of one unit — the balancing weight the
+/// distributed coordinator partitions by.
+pub fn work_unit_weight(dataset: &PassiveDataset, unit: &WorkUnit) -> usize {
+    match *unit {
+        WorkUnit::Rib { start, end, .. } => (end.saturating_sub(start)) as usize,
+        WorkUnit::Updates { collector } => dataset
+            .collectors
+            .get(collector as usize)
+            .map(|(_, a)| a.updates.len())
+            .unwrap_or(0),
+    }
+}
+
+/// Harvest exactly `units`, in the given order, into `sink` — the
+/// distributed worker's entry point (and the coordinator's in-process
+/// fallback). Indices outside the dataset are skipped or clamped, so a
+/// stale unit list can never panic the worker.
+pub fn harvest_passive_units<S: ObservationSink>(
+    dataset: &PassiveDataset,
+    dict: &CommunityDictionary,
+    conn: &ConnectivityData,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+    units: &[WorkUnit],
+    sink: &mut S,
+) -> PassiveStats {
+    let index = MemberIndex::build(conn);
+    let mut stats = PassiveStats::default();
+    for unit in units {
+        match *unit {
+            WorkUnit::Rib {
+                collector,
+                start,
+                end,
+            } => {
+                let Some((_, archive)) = dataset.collectors.get(collector as usize) else {
+                    continue;
+                };
+                let len = archive.rib.len() as u64;
+                let (s, e) = (start.min(len) as usize, end.min(len) as usize);
+                if s < e {
+                    process_rib_entries(&archive.rib[s..e], dict, &index, rels, sink, &mut stats);
+                }
+            }
+            WorkUnit::Updates { collector } => {
+                let Some((_, archive)) = dataset.collectors.get(collector as usize) else {
+                    continue;
+                };
+                process_update_stream(archive, dict, &index, rels, cfg, sink, &mut stats);
+            }
+        }
+    }
+    stats
+}
+
 /// Per-harvest scratch reused across every route of the view-based
 /// path, so the hot loop performs no allocation after warm-up.
 #[derive(Debug, Default)]
@@ -1033,6 +1141,93 @@ mod tests {
             "identical inference state"
         );
         assert!(serial_stats.observations > 0);
+    }
+
+    /// The distributable-unit contract: enumerating every [`WorkUnit`]
+    /// and harvesting them in order — whole, or split across disjoint
+    /// contiguous slices and folded in slice order — reproduces
+    /// [`harvest_passive`] exactly, for any chunk length. Out-of-range
+    /// units are ignored, never panic.
+    #[test]
+    fn work_units_in_order_match_serial() {
+        let (dict, conn) = dict_and_conn();
+        let ds_a = archive_with(vec![
+            (
+                vec![999, 102, 101],
+                "0:6695 6695:102 6695:103",
+                "10.1.0.0/24",
+            ),
+            (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
+            (vec![999, 103, 101], "6695:6695", "10.6.0.0/24"),
+        ]);
+        let ds_b = archive_with(vec![
+            (vec![999, 23456, 101], "6695:6695", "10.4.0.0/24"),
+            (vec![999, 103, 102], "6695:6695 0:101", "10.5.0.0/24"),
+        ]);
+        let dataset = PassiveDataset {
+            collectors: vec![
+                ("rv".into(), ds_a.collectors[0].1.clone()),
+                ("ris".into(), ds_b.collectors[0].1.clone()),
+            ],
+            vps: vec![],
+        };
+        let rels = no_rels();
+        let cfg = PassiveConfig::default();
+
+        let mut serial_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let serial_stats = harvest_passive(&dataset, &dict, &conn, &rels, &cfg, &mut serial_sink);
+        let serial_links = serial_sink.1.finalize(&conn);
+
+        for chunk_len in [1usize, 2, 1024] {
+            let units = passive_work_units(&dataset, chunk_len);
+            assert!(units.iter().all(
+                |u| work_unit_weight(&dataset, u) > 0 || matches!(u, WorkUnit::Updates { .. })
+            ));
+            // Whole list in one call.
+            let mut whole: (Vec<Observation>, LinkInferencer) = Default::default();
+            let whole_stats =
+                harvest_passive_units(&dataset, &dict, &conn, &rels, &cfg, &units, &mut whole);
+            assert_eq!(whole_stats, serial_stats);
+            assert_eq!(whole.0, serial_sink.0);
+            assert_eq!(whole.1.finalize(&conn), serial_links);
+
+            // Split into contiguous slices (incl. an empty middle one),
+            // folded in slice order via the merge sink.
+            let mid = units.len() / 2;
+            let slices: [&[WorkUnit]; 3] = [&units[..mid], &[], &units[mid..]];
+            let mut folded: (Vec<Observation>, LinkInferencer) = Default::default();
+            let mut folded_stats = PassiveStats::default();
+            for slice in slices {
+                let mut shard: (Vec<Observation>, LinkInferencer) = Default::default();
+                let stats =
+                    harvest_passive_units(&dataset, &dict, &conn, &rels, &cfg, slice, &mut shard);
+                folded.0.extend(shard.0);
+                crate::sink::MergeSink::merge(&mut folded.1, shard.1);
+                folded_stats.merge(&stats);
+            }
+            assert_eq!(folded_stats, serial_stats);
+            assert_eq!(folded.0, serial_sink.0);
+            assert_eq!(folded.1.finalize(&conn), serial_links);
+        }
+
+        // Stale indices are ignored or clamped, never a panic.
+        let stale = [
+            WorkUnit::Rib {
+                collector: 99,
+                start: 0,
+                end: 10,
+            },
+            WorkUnit::Updates { collector: 99 },
+            WorkUnit::Rib {
+                collector: 0,
+                start: 1_000,
+                end: 2_000,
+            },
+        ];
+        let mut sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let stats = harvest_passive_units(&dataset, &dict, &conn, &rels, &cfg, &stale, &mut sink);
+        assert_eq!(stats, PassiveStats::default());
+        assert!(sink.0.is_empty());
     }
 
     /// The columnar contract: harvesting the wire-encoded archives

@@ -1,0 +1,196 @@
+//! The deterministic pipeline stages shared by the in-process harness
+//! (`mlpeer-bench`) and the multi-process coordinator (`mlpeer-dist`).
+//!
+//! `mlpeer_bench::run_pipeline` used to own the whole §4.1 sequence
+//! inline. Splitting it into [`prepare`] (every input substrate, seeded
+//! deterministically from `(ecosystem, seed)`) and [`run_active_stage`]
+//! (the Eq. 2 active queries that run *after* the passive harvest) lets
+//! a distributed harvest swap only the passive stage while keeping the
+//! surrounding stages — and therefore the end result — byte-identical:
+//! a worker process given the same `(scale, seed)` regenerates exactly
+//! this prep and harvests its assigned slice of it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mlpeer_bgp::{Asn, Prefix};
+use mlpeer_data::collector::{build_passive, CollectorConfig, PassiveDataset};
+use mlpeer_data::irr::{build_irr, IrrConfig, IrrDatabase, Source};
+use mlpeer_data::lg::{build_lg_roster, LgTarget, LookingGlassHost};
+use mlpeer_data::Sim;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::Ecosystem;
+use mlpeer_topo::infer::{infer_relationships, InferConfig, InferredRelationships};
+
+use crate::active::{query_member_lgs, query_rs_lg, ActiveConfig, ActiveStats};
+use crate::connectivity::{gather_connectivity, ConnectivityData};
+use crate::dict::{dictionary_from_connectivity, CommunityDictionary};
+use crate::infer::{LinkInferencer, Observation, ObservationSource};
+
+/// The tee every pipeline variant folds into: the retained observation
+/// list (the per-figure analyses read it) plus the incremental link
+/// inferencer.
+pub type TeeSink = (Vec<Observation>, LinkInferencer);
+
+/// Every input substrate one pipeline run needs, built deterministically
+/// from `(ecosystem, seed)` — the part a distributed worker regenerates
+/// locally instead of receiving over the wire.
+pub struct PipelinePrep<'e> {
+    /// The shared routing simulation.
+    pub sim: Sim<'e>,
+    /// IRR registries.
+    pub irr: BTreeMap<Source, IrrDatabase>,
+    /// All looking glasses (RS + member).
+    pub lgs: Vec<LookingGlassHost>,
+    /// Connectivity data.
+    pub conn: ConnectivityData,
+    /// The community dictionary.
+    pub dict: CommunityDictionary,
+    /// Archived collector data.
+    pub passive: PassiveDataset,
+    /// Relationship inference over public paths.
+    pub rels: InferredRelationships,
+}
+
+/// Build every input substrate of one pipeline run. The seed offsets
+/// (`^0x11` IRR, `^0x22` LG roster, `^0x33` collectors) are part of the
+/// determinism contract: any process given the same `(eco, seed)`
+/// reproduces byte-identical substrates.
+pub fn prepare(eco: &Ecosystem, seed: u64) -> PipelinePrep<'_> {
+    let sim = Sim::new(eco);
+    let irr = build_irr(
+        eco,
+        &IrrConfig {
+            seed: seed ^ 0x11,
+            ..IrrConfig::default()
+        },
+    );
+    let lgs = build_lg_roster(&sim, seed ^ 0x22, 70, 0.2);
+    let conn = gather_connectivity(&sim, &lgs, &irr);
+    let dict = dictionary_from_connectivity(eco, &conn);
+    let passive = build_passive(&sim, &CollectorConfig::paper_like(seed ^ 0x33));
+    let public_paths: Vec<Vec<Asn>> = passive
+        .collectors
+        .iter()
+        .flat_map(|(_, a)| a.rib.iter().map(|e| e.attrs.as_path.dedup_prepends()))
+        .collect();
+    let rels = infer_relationships(&public_paths, &InferConfig::default());
+    PipelinePrep {
+        sim,
+        irr,
+        lgs,
+        conn,
+        dict,
+        passive,
+        rels,
+    }
+}
+
+/// The active stage (§4.1, Eq. 2), streaming into the same tee the
+/// passive harvest filled: per IXP, query the RS looking glass when one
+/// exists, otherwise fall back to third-party member LGs. The
+/// passively-covered skip sets come from one pass over the harvest in
+/// the tee, so this runs identically whether the passive stage executed
+/// in-process or across worker processes.
+pub fn run_active_stage(
+    eco: &Ecosystem,
+    prep: &PipelinePrep<'_>,
+    sink: &mut TeeSink,
+) -> Vec<(IxpId, ActiveStats)> {
+    let mut passive_covered: crate::hash::FxHashMap<IxpId, BTreeSet<Asn>> = Default::default();
+    for o in sink
+        .0
+        .iter()
+        .filter(|o| o.source == ObservationSource::Passive)
+    {
+        passive_covered.entry(o.ixp).or_default().insert(o.member);
+    }
+    let mut active_stats = Vec::new();
+    for ixp in &eco.ixps {
+        let covered: BTreeSet<Asn> = passive_covered.get(&ixp.id).cloned().unwrap_or_default();
+        let rs_lg = prep
+            .lgs
+            .iter()
+            .find(|l| matches!(l.target, LgTarget::RouteServer(id) if id == ixp.id));
+        if let Some(lg) = rs_lg {
+            let stats = query_rs_lg(
+                &prep.sim,
+                lg,
+                ixp.id,
+                &prep.dict,
+                &covered,
+                &ActiveConfig::default(),
+                sink,
+            );
+            active_stats.push((ixp.id, stats));
+        } else {
+            // Third-party member LGs (§4.1 fallback). Candidates: route
+            // objects of known members plus passively-seen prefixes.
+            let members = prep.conn.rs_members(ixp.id);
+            let hosts: Vec<&LookingGlassHost> = prep
+                .lgs
+                .iter()
+                .filter(|l| match l.target {
+                    LgTarget::Member(a) => members.contains(&a),
+                    _ => false,
+                })
+                .take(3)
+                .collect();
+            let mut candidates: Vec<Prefix> = prep
+                .irr
+                .values()
+                .flat_map(|db| {
+                    db.objects.iter().filter_map(|o| match o {
+                        mlpeer_data::irr::RpslObject::Route { prefix, origin, .. }
+                            if members.contains(origin) =>
+                        {
+                            Some(*prefix)
+                        }
+                        _ => None,
+                    })
+                })
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            let stats = query_member_lgs(
+                &prep.sim,
+                &hosts,
+                ixp.id,
+                &prep.dict,
+                &prep.rels,
+                &candidates,
+                400,
+                sink,
+            );
+            active_stats.push((ixp.id, stats));
+        }
+    }
+    active_stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::{harvest_passive_sharded, PassiveConfig};
+    use mlpeer_ixp::EcosystemConfig;
+
+    /// The split stages compose to a working end-to-end run (the
+    /// byte-identity against the monolithic `run_pipeline` is asserted
+    /// in `mlpeer-bench`, which wraps these stages).
+    #[test]
+    fn prep_plus_active_stage_compose() {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(2024));
+        let prep = prepare(&eco, 2024);
+        let (mut sink, stats) = harvest_passive_sharded::<TeeSink>(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &PassiveConfig::default(),
+        );
+        assert!(stats.observations > 0);
+        let active = run_active_stage(&eco, &prep, &mut sink);
+        assert_eq!(active.len(), eco.ixps.len());
+        let links = sink.1.finalize(&prep.conn);
+        assert!(!links.unique_links().is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! Distributed live mode: the update stream split by IXP across
+//! long-lived worker processes, their per-tick `LinkDelta`s folded into
+//! one publishable epoch.
+//!
+//! The coordinator decodes route-server session messages centrally
+//! (community schemes retune under churn; workers never see them) and
+//! ships each worker only the [`LiveEvent`]s of its IXPs. Because
+//! events partition cleanly by IXP, per-shard state stays disjoint and
+//! the fold — link-set union, observation concat + sort, delta concat
+//! in shard order — is byte-identical to one serial
+//! [`LiveInferencer`] applying the whole stream.
+//!
+//! Every ack carries the shard's full canonical state, which doubles
+//! as the coordinator's reseed cache: a crashed worker is respawned,
+//! reseeded from the cache, and re-sent the tick; a shard that
+//! exhausts its retries degrades to an in-process [`LiveInferencer`]
+//! seeded the same way. Either way the answer cannot change.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+
+use mlpeer::infer::{MlpLinkSet, Observation};
+use mlpeer::live::{full_harvest, LinkDelta, LiveEvent, LiveInferencer};
+use mlpeer_bgp::Asn;
+use mlpeer_ixp::ixp::IxpId;
+use mlpeer_ixp::Ecosystem;
+
+use crate::coordinator::DistConfig;
+use crate::stats::DistStats;
+use crate::wire::{
+    read_frame, write_frame, Fault, Frame, FrameKind, LiveAck, LiveBatch, WireError,
+};
+
+/// The IXP an event belongs to (every variant carries one).
+fn event_ixp(e: &LiveEvent) -> IxpId {
+    match e {
+        LiveEvent::Join { ixp, .. }
+        | LiveEvent::Leave { ixp, .. }
+        | LiveEvent::Announce { ixp, .. }
+        | LiveEvent::Withdraw { ixp, .. } => *ixp,
+    }
+}
+
+/// One spawned worker with its frame reader pump.
+struct WorkerProc {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    rx: mpsc::Receiver<Result<Frame, WireError>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerProc {
+    fn spawn(cmd: &(std::path::PathBuf, Vec<String>)) -> Option<WorkerProc> {
+        let mut child = Command::new(&cmd.0)
+            .args(&cmd.1)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .ok()?;
+        let stdin = child.stdin.take()?;
+        let mut stdout = child.stdout.take()?;
+        let (tx, rx) = mpsc::channel();
+        let reader = std::thread::spawn(move || loop {
+            match read_frame(&mut stdout) {
+                Ok(Some(frame)) => {
+                    if tx.send(Ok(frame)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        Some(WorkerProc {
+            child,
+            stdin: Some(stdin),
+            rx,
+            reader: Some(reader),
+        })
+    }
+
+    fn send(&mut self, kind: FrameKind, seq: u32, payload: &[u8], stats: &DistStats) -> bool {
+        let Some(stdin) = self.stdin.as_mut() else {
+            return false;
+        };
+        match write_frame(stdin, kind, seq, payload) {
+            Ok(n) => {
+                stats.record_frame(n);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.stdin.take(); // EOF lets a healthy worker exit cleanly
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// What a shard executes on.
+enum Backend {
+    /// A worker process.
+    Proc(WorkerProc),
+    /// In-process fallback after degradation (or when spawning was
+    /// never possible).
+    Local(Box<LiveInferencer>),
+}
+
+/// One IXP shard: its backend plus the canonical state cache the last
+/// ack (or local application) left behind.
+struct Shard {
+    backend: Backend,
+    /// RS members per IXP of this shard — folded from Join/Leave so a
+    /// reseed can reconstruct memberships that carry no announcements.
+    members: BTreeMap<IxpId, BTreeSet<Asn>>,
+    /// Last acked link set.
+    links: MlpLinkSet,
+    /// Last acked canonical observations (sorted within the shard).
+    observations: Vec<Observation>,
+}
+
+impl Shard {
+    /// The seed batch reconstructing this shard's canonical state:
+    /// joins first, then the canonical announcements (whose actions
+    /// round-trip through `ExportPolicy::from_actions` by
+    /// construction).
+    fn seed_events(&self) -> Vec<LiveEvent> {
+        let mut events = Vec::new();
+        for (ixp, members) in &self.members {
+            for member in members {
+                events.push(LiveEvent::Join {
+                    ixp: *ixp,
+                    member: *member,
+                });
+            }
+        }
+        for o in &self.observations {
+            events.push(LiveEvent::Announce {
+                ixp: o.ixp,
+                member: o.member,
+                prefix: o.prefix,
+                actions: o.actions.clone(),
+            });
+        }
+        events
+    }
+
+    /// Fold a tick's membership churn into the reseed cache.
+    fn fold_membership(&mut self, events: &[LiveEvent]) {
+        for e in events {
+            match e {
+                LiveEvent::Join { ixp, member } => {
+                    self.members.entry(*ixp).or_default().insert(*member);
+                }
+                LiveEvent::Leave { ixp, member } => {
+                    if let Some(set) = self.members.get_mut(ixp) {
+                        set.remove(member);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// One tick's folded outcome across all shards.
+#[derive(Debug, Clone)]
+pub struct LiveTickOutcome {
+    /// Did any shard's served state change?
+    pub changed: bool,
+    /// The folded link delta (shard order; cross-shard entries never
+    /// cancel because shards own disjoint IXPs).
+    pub delta: LinkDelta,
+    /// The merged current link set.
+    pub links: MlpLinkSet,
+    /// The merged canonical observation list (globally sorted —
+    /// identical to a serial [`LiveInferencer::observations`]).
+    pub observations: Vec<Observation>,
+}
+
+/// The live coordinator: one shard per worker, IXPs assigned by
+/// `ixp.0 % workers`.
+pub struct DistLive {
+    cfg: DistConfig,
+    stats: Arc<DistStats>,
+    shards: Vec<Shard>,
+    seq: u32,
+}
+
+impl DistLive {
+    /// Boot from an ecosystem: full-harvest it (the same bootstrap as
+    /// [`LiveInferencer::from_ecosystem`]), partition the canonical
+    /// state by IXP, and spawn + seed one worker per shard (degrading
+    /// per-shard on failure).
+    pub fn new(eco: &Ecosystem, cfg: DistConfig, stats: Arc<DistStats>) -> DistLive {
+        let workers = cfg.workers.max(1);
+        let (conn, observations) = full_harvest(eco);
+        let mut shards: Vec<Shard> = (0..workers)
+            .map(|_| Shard {
+                backend: Backend::Local(Box::new(LiveInferencer::new())),
+                members: BTreeMap::new(),
+                links: MlpLinkSet::default(),
+                observations: Vec::new(),
+            })
+            .collect();
+        for ixp in conn.ixps() {
+            let members: BTreeSet<Asn> = conn.rs_members(ixp);
+            shards[ixp.0 as usize % workers]
+                .members
+                .insert(ixp, members);
+        }
+        for o in observations {
+            let shard = o.ixp.0 as usize % workers;
+            shards[shard].observations.push(o);
+        }
+        let mut live = DistLive {
+            cfg,
+            stats,
+            shards,
+            seq: 0,
+        };
+        for i in 0..live.shards.len() {
+            live.reseed_shard(i);
+        }
+        live
+    }
+
+    /// Shard index for an IXP.
+    fn shard_of(&self, ixp: IxpId) -> usize {
+        ixp.0 as usize % self.shards.len()
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Bring shard `i`'s backend up from its cache: spawn + seed a
+    /// worker, or fall back to a local inferencer. Updates the cache
+    /// from the seed ack so backend and cache agree either way.
+    fn reseed_shard(&mut self, i: usize) {
+        let seed_batch = LiveBatch {
+            events: self.shards[i].seed_events(),
+            fault: Fault::None,
+        };
+        if let Some(cmd) = self.cfg.worker_cmd.clone() {
+            let seq = self.next_seq();
+            if let Some(mut proc) = WorkerProc::spawn(&cmd) {
+                self.stats.spawned.fetch_add(1, Ordering::Relaxed);
+                if proc.send(FrameKind::LiveSeed, seq, &seed_batch.encode(), &self.stats) {
+                    if let Some(ack) = self.await_ack(&proc, seq) {
+                        let shard = &mut self.shards[i];
+                        shard.links = ack.links;
+                        shard.observations = ack.observations;
+                        shard.backend = Backend::Proc(proc);
+                        return;
+                    }
+                }
+            }
+        }
+        // Spawning or seeding failed: in-process shard.
+        self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        let mut li = LiveInferencer::new();
+        for event in &seed_batch.events {
+            li.apply(event);
+        }
+        let shard = &mut self.shards[i];
+        shard.links = li.current().clone();
+        shard.observations = li.observations();
+        shard.backend = Backend::Local(Box::new(li));
+    }
+
+    /// Wait for the `LiveAck` echoing `seq`, deduping stale or
+    /// duplicate frames, within the configured timeout.
+    fn await_ack(&self, proc: &WorkerProc, seq: u32) -> Option<LiveAck> {
+        loop {
+            match proc.rx.recv_timeout(self.cfg.timeout) {
+                Ok(Ok(frame)) => {
+                    if frame.kind != FrameKind::LiveAck {
+                        return None;
+                    }
+                    self.stats.record_frame(frame.payload.len() + 22);
+                    if frame.seq != seq {
+                        self.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    match LiveAck::decode(&frame.payload) {
+                        Ok(ack) => return Some(ack),
+                        Err(_) => return None,
+                    }
+                }
+                Ok(Err(_)) => return None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    self.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Apply `events` to shard `i`'s local inferencer (degraded path),
+    /// producing the same ack a worker would.
+    fn local_tick(li: &mut LiveInferencer, events: &[LiveEvent]) -> LiveAck {
+        let before = li.state_version();
+        let mut delta = LinkDelta::default();
+        for event in events {
+            delta.merge(li.apply(event));
+        }
+        LiveAck {
+            changed: !delta.is_empty() || li.state_version() != before,
+            delta,
+            links: li.current().clone(),
+            observations: li.observations(),
+        }
+    }
+
+    /// Run one shard's tick with retry/reseed/degrade, returning its
+    /// ack.
+    fn tick_shard(&mut self, i: usize, events: &[LiveEvent], fault: Fault) -> LiveAck {
+        let batch = LiveBatch {
+            events: events.to_vec(),
+            fault,
+        };
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.retried.fetch_add(1, Ordering::Relaxed);
+                // A fresh process reseeded from the cache, tick re-sent.
+                self.reseed_shard(i);
+            }
+            match &mut self.shards[i].backend {
+                Backend::Local(li) => return Self::local_tick(li, events),
+                Backend::Proc(_) => {
+                    let seq = self.next_seq();
+                    let sent = {
+                        let stats = Arc::clone(&self.stats);
+                        let Backend::Proc(proc) = &mut self.shards[i].backend else {
+                            unreachable!()
+                        };
+                        proc.send(FrameKind::LiveTick, seq, &batch.encode(), &stats)
+                    };
+                    if sent {
+                        let Backend::Proc(proc) = &self.shards[i].backend else {
+                            unreachable!()
+                        };
+                        if let Some(ack) = self.await_ack(proc, seq) {
+                            return ack;
+                        }
+                    }
+                    // Crash / corrupt / timeout: loop retries after a
+                    // reseed.
+                }
+            }
+        }
+        // Exhausted: degrade the shard permanently.
+        self.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        let mut li = LiveInferencer::new();
+        for event in &self.shards[i].seed_events() {
+            li.apply(event);
+        }
+        let ack = Self::local_tick(&mut li, events);
+        self.shards[i].backend = Backend::Local(Box::new(li));
+        ack
+    }
+
+    /// Apply one tick's (already decoded) events: partition by IXP,
+    /// fan out, fold the acks in shard order.
+    pub fn tick(&mut self, events: &[LiveEvent]) -> LiveTickOutcome {
+        self.tick_with_faults(events, &[])
+    }
+
+    /// [`tick`](DistLive::tick) with injected worker faults
+    /// (`(shard, fault)`, applied to the first attempt only) — the
+    /// fault-injection harness's entry point.
+    pub fn tick_with_faults(
+        &mut self,
+        events: &[LiveEvent],
+        faults: &[(usize, Fault)],
+    ) -> LiveTickOutcome {
+        let mut per_shard: Vec<Vec<LiveEvent>> = vec![Vec::new(); self.shards.len()];
+        for e in events {
+            per_shard[self.shard_of(event_ixp(e))].push(e.clone());
+        }
+        let mut changed = false;
+        let mut delta = LinkDelta::default();
+        for (i, shard_events) in per_shard.iter().enumerate() {
+            if shard_events.is_empty() {
+                continue;
+            }
+            let fault = faults
+                .iter()
+                .find(|(s, _)| *s == i)
+                .map(|(_, f)| *f)
+                .unwrap_or(Fault::None);
+            let ack = self.tick_shard(i, shard_events, fault);
+            changed |= ack.changed;
+            // Disjoint IXPs: no cross-shard cancellation to model.
+            delta.added.extend(ack.delta.added);
+            delta.removed.extend(ack.delta.removed);
+            let shard = &mut self.shards[i];
+            shard.fold_membership(shard_events);
+            shard.links = ack.links;
+            shard.observations = ack.observations;
+        }
+        let (links, observations) = self.state();
+        LiveTickOutcome {
+            changed,
+            delta,
+            links,
+            observations,
+        }
+    }
+
+    /// The merged current state across all shards: one link set and a
+    /// globally sorted canonical observation list — byte-identical to
+    /// a serial [`LiveInferencer`] over the same stream.
+    pub fn state(&self) -> (MlpLinkSet, Vec<Observation>) {
+        let mut links = MlpLinkSet::default();
+        let mut observations = Vec::new();
+        for shard in &self.shards {
+            for (ixp, pairs) in &shard.links.per_ixp {
+                links.per_ixp.insert(*ixp, pairs.clone());
+            }
+            for (ixp, covered) in &shard.links.covered {
+                links.covered.insert(*ixp, covered.clone());
+            }
+            for (key, policy) in &shard.links.policies {
+                links.policies.insert(*key, policy.clone());
+            }
+            observations.extend(shard.observations.iter().cloned());
+        }
+        observations.sort_unstable_by_key(|o| (o.ixp, o.member, o.prefix));
+        (links, observations)
+    }
+
+    /// Kill shard `i`'s worker process outright (SIGKILL) — the test
+    /// harness's crash lever. The next tick touching the shard detects
+    /// the dead worker and recovers via reseed. No-op on degraded
+    /// shards.
+    pub fn kill_worker(&mut self, i: usize) {
+        if let Backend::Proc(proc) = &mut self.shards[i].backend {
+            let _ = proc.child.kill();
+        }
+    }
+
+    /// Total shard count (process-backed plus degraded).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// How many shards currently run on worker processes (the rest
+    /// have degraded in-process).
+    pub fn proc_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| matches!(s.backend, Backend::Proc(_)))
+            .count()
+    }
+
+    /// Shut every worker down cleanly (shutdown frame + stdin EOF).
+    pub fn shutdown(&mut self) {
+        for shard in &mut self.shards {
+            if let Backend::Proc(proc) = &mut shard.backend {
+                if let Some(stdin) = proc.stdin.as_mut() {
+                    let _ = write_frame(stdin, FrameKind::Shutdown, 0, &[]);
+                    let _ = stdin.flush();
+                }
+                proc.stdin.take();
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Coordinator-side counters, surfaced under `/v1/stats` as the
+//! `"dist"` block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifetime counters of one coordinator (shared, lock-free). Every
+/// field is monotonic; the serve layer snapshots them per request.
+#[derive(Debug, Default)]
+pub struct DistStats {
+    /// Worker processes configured (`--workers=N`).
+    pub procs: AtomicU64,
+    /// Worker processes spawned (includes retries).
+    pub spawned: AtomicU64,
+    /// Shard attempts retried after a crash or corrupt frame.
+    pub retried: AtomicU64,
+    /// Workers killed for exceeding the per-shard deadline.
+    pub timed_out: AtomicU64,
+    /// Shards that fell back to in-process execution after exhausting
+    /// retries (or when no worker binary could be resolved).
+    pub degraded: AtomicU64,
+    /// Duplicate result frames discarded.
+    pub deduped: AtomicU64,
+    /// Frames exchanged (both directions).
+    pub frames: AtomicU64,
+    /// Wire bytes exchanged (both directions).
+    pub bytes: AtomicU64,
+}
+
+/// One point-in-time copy of [`DistStats`], with plain fields — what
+/// renders into the stats body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStatsSnapshot {
+    /// Worker processes configured.
+    pub procs: u64,
+    /// Worker processes spawned.
+    pub spawned: u64,
+    /// Shard attempts retried.
+    pub retried: u64,
+    /// Workers killed on deadline.
+    pub timed_out: u64,
+    /// Shards degraded to in-process execution.
+    pub degraded: u64,
+    /// Duplicate result frames discarded.
+    pub deduped: u64,
+    /// Frames exchanged.
+    pub frames: u64,
+    /// Wire bytes exchanged.
+    pub bytes: u64,
+}
+
+impl DistStats {
+    /// Fresh zeroed counters for an `N`-worker coordinator.
+    pub fn new(procs: u64) -> DistStats {
+        let s = DistStats::default();
+        s.procs.store(procs, Ordering::Relaxed);
+        s
+    }
+
+    /// Count one frame of `n` wire bytes (either direction).
+    pub fn record_frame(&self, n: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> DistStatsSnapshot {
+        DistStatsSnapshot {
+            procs: self.procs.load(Ordering::Relaxed),
+            spawned: self.spawned.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Order-insensitivity properties of the distributed fold: arbitrary
+//! partition shapes (including empty shards) and arbitrary absorb
+//! orders are byte-identical to serial `harvest_passive`; the live
+//! partition merge is byte-identical to one serial `LiveInferencer`
+//! over the same stream — which core's own suite ties to
+//! `full_harvest` of the churned ecosystem.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlpeer::infer::{InferState, LinkInferencer, Observation};
+use mlpeer::live::{decode_message, LinkDelta, LiveInferencer};
+use mlpeer::passive::{
+    harvest_passive, harvest_passive_units, passive_work_units, PassiveConfig, PassiveStats,
+};
+use mlpeer::pipeline::{prepare, TeeSink};
+use mlpeer_data::churn::{event_messages, ChurnConfig, ChurnGen};
+use mlpeer_dist::{eco_for, harvest_passive_dist, DistConfig, DistLive, DistStats};
+
+/// Deterministic xorshift64* generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn shuffle<T>(rng: &mut Rng, v: &mut [T]) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+}
+
+/// The worker binary of this build — spawning real processes even from
+/// the crate's own test suite.
+fn worker_cmd() -> (std::path::PathBuf, Vec<String>) {
+    (
+        std::path::PathBuf::from(env!("CARGO_BIN_EXE_mlpeer-dist-worker")),
+        Vec::new(),
+    )
+}
+
+/// Arbitrary contiguous partitions (empty shards allowed) harvested
+/// independently, states absorbed in arbitrary orders: finalize and
+/// stats always equal serial; observation concat in shard order equals
+/// the serial stream.
+#[test]
+fn passive_fold_is_partition_and_order_insensitive() {
+    for seed in [2024u64, 4242] {
+        let eco = eco_for("tiny", seed).unwrap();
+        let prep = prepare(&eco, seed);
+        let cfg = PassiveConfig::default();
+
+        let mut serial: TeeSink = Default::default();
+        let serial_stats = harvest_passive(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &cfg,
+            &mut serial,
+        );
+        let serial_links = serial.1.finalize(&prep.conn);
+
+        let units = passive_work_units(&prep.passive, 64);
+        let mut rng = Rng(seed | 1);
+        for _ in 0..6 {
+            // Random contiguous cut points, some shards empty.
+            let shard_count = 1 + rng.below(5) as usize;
+            let mut cuts: Vec<usize> = (0..shard_count - 1)
+                .map(|_| rng.below(units.len() as u64 + 1) as usize)
+                .collect();
+            cuts.sort_unstable();
+            cuts.insert(0, 0);
+            cuts.push(units.len());
+
+            // Harvest each shard independently.
+            let mut shards: Vec<(usize, Vec<Observation>, InferState, PassiveStats)> = Vec::new();
+            for (i, pair) in cuts.windows(2).enumerate() {
+                let mut sink: TeeSink = Default::default();
+                let stats = harvest_passive_units(
+                    &prep.passive,
+                    &prep.dict,
+                    &prep.conn,
+                    &prep.rels,
+                    &cfg,
+                    &units[pair[0]..pair[1]],
+                    &mut sink,
+                );
+                shards.push((i, sink.0, sink.1.export_state(), stats));
+            }
+
+            // Observations concatenate in *shard* order…
+            let mut observations = Vec::new();
+            for (_, obs, _, _) in &shards {
+                observations.extend(obs.iter().cloned());
+            }
+            assert_eq!(
+                observations, serial.0,
+                "shard-order concat == serial stream"
+            );
+
+            // …while state absorption tolerates *any* completion order.
+            shuffle(&mut rng, &mut shards);
+            let mut folded = LinkInferencer::default();
+            let mut folded_stats = PassiveStats::default();
+            for (_, _, state, stats) in shards {
+                folded.absorb_state(state);
+                folded_stats.merge(&stats);
+            }
+            assert_eq!(folded_stats, serial_stats);
+            assert_eq!(folded.finalize(&prep.conn), serial_links);
+        }
+    }
+}
+
+/// The whole coordinator path against real worker processes: spawned,
+/// framed, folded — equal to serial, with zero degradations.
+#[test]
+fn dist_harvest_with_real_workers_matches_serial() {
+    let seed = 2024u64;
+    let eco = eco_for("tiny", seed).unwrap();
+    let prep = prepare(&eco, seed);
+
+    let mut serial: TeeSink = Default::default();
+    let serial_stats = harvest_passive(
+        &prep.passive,
+        &prep.dict,
+        &prep.conn,
+        &prep.rels,
+        &PassiveConfig::default(),
+        &mut serial,
+    );
+    let serial_links = serial.1.finalize(&prep.conn);
+
+    let cfg = DistConfig {
+        workers: 3,
+        timeout: Duration::from_secs(120),
+        max_retries: 2,
+        worker_cmd: Some(worker_cmd()),
+        faults: Vec::new(),
+    };
+    let stats = DistStats::new(3);
+    let (sink, dist_stats) = harvest_passive_dist("tiny", seed, &prep, &cfg, &stats);
+
+    assert_eq!(dist_stats, serial_stats);
+    assert_eq!(sink.0, serial.0, "distributed observation stream == serial");
+    assert_eq!(sink.1.finalize(&prep.conn), serial_links);
+
+    let snap = stats.snapshot();
+    assert!(snap.spawned >= 1, "real workers must have run: {snap:?}");
+    assert_eq!(snap.degraded, 0, "no degradation on the happy path");
+    assert_eq!(snap.retried, 0);
+    assert!(snap.frames >= 2 && snap.bytes > 0);
+}
+
+/// `workers: 1` short-circuits in-process — no processes, no frames —
+/// and still equals serial (the bench's ≥ 1.0x floor path).
+#[test]
+fn single_worker_config_is_in_process_and_serial_equal() {
+    let seed = 7u64;
+    let eco = eco_for("tiny", seed).unwrap();
+    let prep = prepare(&eco, seed);
+
+    let mut serial: TeeSink = Default::default();
+    harvest_passive(
+        &prep.passive,
+        &prep.dict,
+        &prep.conn,
+        &prep.rels,
+        &PassiveConfig::default(),
+        &mut serial,
+    );
+
+    let cfg = DistConfig {
+        workers: 1,
+        worker_cmd: None,
+        ..DistConfig::new(1)
+    };
+    let stats = DistStats::new(1);
+    let (sink, _) = harvest_passive_dist("tiny", seed, &prep, &cfg, &stats);
+    assert_eq!(sink.0, serial.0);
+    assert_eq!(sink.1.finalize(&prep.conn), serial.1.finalize(&prep.conn));
+    let snap = stats.snapshot();
+    assert_eq!((snap.spawned, snap.frames), (0, 0));
+}
+
+/// Live mode: the IXP-partitioned worker fleet, ticked with centrally
+/// decoded churn, stays byte-identical to one serial `LiveInferencer`
+/// over the same stream — links, canonical observations, and the
+/// changed flag — across several ticks. Serial live state in turn
+/// equals `full_harvest` of the churned ecosystem (core's invariant),
+/// transitively anchoring the distributed fold to it.
+#[test]
+fn dist_live_matches_serial_inferencer_under_churn() {
+    let seed = 909u64;
+    let mut eco = eco_for("tiny", seed).unwrap();
+    let mut serial = LiveInferencer::from_ecosystem(&eco);
+
+    let cfg = DistConfig {
+        workers: 3,
+        timeout: Duration::from_secs(120),
+        max_retries: 2,
+        worker_cmd: Some(worker_cmd()),
+        faults: Vec::new(),
+    };
+    let stats = Arc::new(DistStats::new(3));
+    let mut dist = DistLive::new(&eco, cfg, Arc::clone(&stats));
+
+    // Boot states agree before any churn.
+    let (links, observations) = dist.state();
+    assert_eq!(&links, serial.current());
+    assert_eq!(observations, serial.observations());
+    assert!(dist.proc_shards() >= 1, "real live workers must be running");
+
+    let mut churn = ChurnGen::new(
+        &eco,
+        ChurnConfig {
+            seed: seed ^ 0xC,
+            ..ChurnConfig::default()
+        },
+    );
+    let mut clock = 0u64;
+    for _tick in 0..5 {
+        // Centrally decode one tick's worth of churn into live events.
+        let mut events = Vec::new();
+        for _ in 0..12 {
+            let event = churn.next_event(&eco);
+            eco.apply_churn(&event);
+            let ixp = event.ixp();
+            let scheme = &eco.ixp(ixp).scheme;
+            for msg in event_messages(&eco, &event, clock) {
+                events.extend(decode_message(ixp, scheme, &msg));
+            }
+            clock += 1;
+        }
+
+        // Serial fold.
+        let before = serial.state_version();
+        let mut serial_delta = LinkDelta::default();
+        for e in &events {
+            serial_delta.merge(serial.apply(e));
+        }
+        let serial_changed = !serial_delta.is_empty() || serial.state_version() != before;
+
+        // Distributed fold.
+        let outcome = dist.tick(&events);
+        assert_eq!(&outcome.links, serial.current(), "links diverged");
+        assert_eq!(
+            outcome.observations,
+            serial.observations(),
+            "canonical observations diverged"
+        );
+        assert_eq!(outcome.changed, serial_changed, "publish gating diverged");
+
+        // The folded delta carries the same net link moves (entry
+        // order differs across shards; the sets must not).
+        let mut dist_added = outcome.delta.added.clone();
+        let mut dist_removed = outcome.delta.removed.clone();
+        dist_added.sort_unstable();
+        dist_removed.sort_unstable();
+        let mut serial_added = serial_delta.added.clone();
+        let mut serial_removed = serial_delta.removed.clone();
+        serial_added.sort_unstable();
+        serial_removed.sort_unstable();
+        assert_eq!(dist_added, serial_added);
+        assert_eq!(dist_removed, serial_removed);
+    }
+    // And the end-state anchor: the distributed fold equals a
+    // from-scratch full harvest of the churned ecosystem, not just the
+    // serial inferencer it tracked along the way.
+    let fresh = LiveInferencer::from_ecosystem(&eco);
+    let (links, observations) = dist.state();
+    assert_eq!(&links, fresh.current(), "dist != full_harvest after churn");
+    assert_eq!(observations, fresh.observations());
+
+    assert_eq!(stats.snapshot().degraded, 0, "happy path must not degrade");
+    dist.shutdown();
+}

@@ -60,6 +60,7 @@ use crate::live::LiveStats;
 use crate::reactor::ReactorStats;
 use crate::server::ServerStats;
 use crate::snapshot::Snapshot;
+use mlpeer_dist::DistStats;
 
 /// Route one request against one snapshot view (plus the store's
 /// change ring for `/v1/changes`, the durable epoch log for `?at=`
@@ -70,6 +71,7 @@ use crate::snapshot::Snapshot;
 /// The snapshot arrives as an `&Arc` so cache hits can answer with a
 /// zero-copy [`CacheSlice`] that pins the snapshot instead of copying
 /// the body out of the cache.
+#[allow(clippy::too_many_arguments)] // one slot per optional subsystem
 pub fn route(
     req: &Request,
     snap: &Arc<Snapshot>,
@@ -78,6 +80,7 @@ pub fn route(
     history: Option<&crate::durable::DurableStore>,
     live: Option<&LiveStats>,
     reactor: Option<&ReactorStats>,
+    dist: Option<&DistStats>,
 ) -> Response {
     if req.method != "GET" {
         return error(405, "only GET is supported");
@@ -150,7 +153,7 @@ pub fn route(
         // counters, so the snapshot ETag does not address it.
         return Response::json(
             200,
-            report::to_json(&stats_body(snap, stats, live, reactor)),
+            report::to_json(&stats_body(snap, stats, live, reactor, dist)),
         );
     }
     error(404, "no such endpoint")
@@ -483,6 +486,7 @@ fn stats_body(
     stats: &ServerStats,
     live: Option<&LiveStats>,
     reactor: Option<&ReactorStats>,
+    dist: Option<&DistStats>,
 ) -> Value {
     use std::sync::atomic::Ordering;
     let p = &snap.passive_stats;
@@ -508,9 +512,28 @@ fn stats_body(
         }),
         None => Value::Null,
     };
+    // Multi-process coordinator counters under `--workers=N`, null in
+    // single-process boots.
+    let dist_v = match dist {
+        Some(d) => {
+            let s = d.snapshot();
+            json!({
+                "procs": s.procs,
+                "spawned": s.spawned,
+                "retried": s.retried,
+                "timed_out": s.timed_out,
+                "degraded": s.degraded,
+                "deduped": s.deduped,
+                "frames": s.frames,
+                "bytes": s.bytes,
+            })
+        }
+        None => Value::Null,
+    };
     json!({
         "live": live_v,
         "reactor": reactor_v,
+        "dist": dist_v,
         "epoch": snap.epoch,
         "etag": snap.etag,
         "scale": snap.scale,
@@ -555,7 +578,7 @@ mod tests {
 
     /// Route against an empty change ring (irrelevant to these tests).
     fn rt(req: &Request, snap: &Arc<Snapshot>, stats: &ServerStats) -> Response {
-        route(req, snap, stats, &ChangeLog::new(8), None, None, None)
+        route(req, snap, stats, &ChangeLog::new(8), None, None, None, None)
     }
 
     fn get(path: &str) -> Request {
@@ -716,6 +739,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200);
         let b = body(&r);
@@ -732,6 +756,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,
@@ -761,6 +786,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410, "{}", body(&r));
         let b = body(&r);
@@ -772,6 +798,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,
@@ -825,6 +852,7 @@ mod tests {
                 Some(&durable),
                 None,
                 None,
+                None,
             )
         };
         // Every historical epoch answers with its own body and ETag.
@@ -871,6 +899,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410, "{}", body(&r));
         // With a store, an epoch that was never written is gone too.
@@ -882,6 +911,7 @@ mod tests {
             &stats,
             &ring,
             Some(&durable),
+            None,
             None,
             None,
         );
@@ -915,6 +945,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410);
         // With it, the stored deltas fold into a full answer.
@@ -924,6 +955,7 @@ mod tests {
             &stats,
             &ring,
             Some(&durable),
+            None,
             None,
             None,
         );
@@ -947,6 +979,7 @@ mod tests {
             Some(&durable),
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200, "durable alone also answers: {}", body(&r));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -966,6 +999,7 @@ mod tests {
                 None,
                 None,
                 None,
+                None,
             );
             assert_eq!(r.status, 400, "query {q:?}: {}", body(&r));
         }
@@ -975,6 +1009,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,

@@ -4,8 +4,9 @@
 //! mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] [--seed=N]
 //!              [--engine=reactor|threaded] [--shards=N] [--max-conns=N]
 //!              [--idle-ms=N] [--refresh-secs=N] [--workers=N]
-//!              [--live] [--live-tick-ms=N] [--churn-per-tick=N]
-//!              [--churn-seed=N] [--delta-ring=N] [--data-dir=PATH]
+//!              [--http-workers=N] [--live] [--live-tick-ms=N]
+//!              [--churn-per-tick=N] [--churn-seed=N] [--delta-ring=N]
+//!              [--data-dir=PATH]
 //! ```
 //!
 //! Default mode generates the ecosystem, runs the inference pipeline
@@ -17,8 +18,17 @@
 //! threads, `--max-conns` connections each, `--idle-ms` keep-alive
 //! read deadline) with long-poll and SSE push on `/v1/changes`;
 //! `--engine=threaded` selects the original thread-per-connection
-//! server with `--workers` pool threads. Both serve byte-identical
-//! responses.
+//! server with `--http-workers` pool threads. Both serve
+//! byte-identical responses.
+//!
+//! With `--workers=N` (N > 1) the inference fold itself is distributed:
+//! the coordinator re-execs this binary as `--dist-worker` processes,
+//! ships work over checksummed pipes, and folds the results — byte-
+//! identically to a single-process run, degrading gracefully to
+//! in-process execution when spawning fails (see `mlpeer_dist`).
+//! `/v1/stats` then surfaces the coordinator's `dist` counters. Works
+//! in both batch (sharded passive harvest) and `--live` (IXP-
+//! partitioned tick fold) modes.
 //!
 //! With `--live` the refresher is replaced by the incremental loop:
 //! the initial snapshot comes from the route-server-state harvest, a
@@ -48,16 +58,30 @@ use mlpeer_data::churn::ChurnConfig;
 use mlpeer_ixp::Ecosystem;
 use mlpeer_serve::refresher::spawn_refresher;
 use mlpeer_serve::{
-    bootstrap, spawn_live_refresher, spawn_reactor, spawn_server, LiveConfig, LiveStats,
-    ReactorConfig, Snapshot, SnapshotStore,
+    bootstrap, spawn_live_refresher, spawn_live_refresher_dist, spawn_reactor, spawn_server,
+    LiveConfig, LiveStats, ReactorConfig, Snapshot, SnapshotStore,
 };
 
 fn main() {
+    // Worker mode: this same binary, re-exec'd by the coordinator with
+    // frames on stdin/stdout. Intercepted before any other parsing so
+    // a worker never generates an ecosystem or binds a socket.
+    if std::env::args().nth(1).as_deref() == Some("--dist-worker") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(err) = mlpeer_dist::run_worker(stdin.lock(), stdout.lock()) {
+            eprintln!("mlpeer-serve --dist-worker: {err}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let mut scale = Scale::Small;
     let mut addr = "127.0.0.1:8462".to_string();
     let mut seed: u64 = 20130501;
     let mut refresh_secs: u64 = 0;
-    let mut workers: usize = 4;
+    let mut workers: usize = 1;
+    let mut http_workers: usize = 4;
     let mut engine = "reactor".to_string();
     let mut reactor_cfg = ReactorConfig::default();
     let mut live = false;
@@ -77,6 +101,8 @@ fn main() {
             refresh_secs = v.parse().expect("--refresh-secs=N");
         } else if let Some(v) = arg.strip_prefix("--workers=") {
             workers = v.parse().expect("--workers=N");
+        } else if let Some(v) = arg.strip_prefix("--http-workers=") {
+            http_workers = v.parse().expect("--http-workers=N");
         } else if let Some(v) = arg.strip_prefix("--engine=") {
             if v != "reactor" && v != "threaded" {
                 eprintln!("--engine must be `reactor` or `threaded`, got `{v}`");
@@ -106,8 +132,8 @@ fn main() {
             eprintln!(
                 "usage: mlpeer-serve [tiny|small|medium|large|paper] [--addr=HOST:PORT] \
                  [--seed=N] [--engine=reactor|threaded] [--shards=N] [--max-conns=N] \
-                 [--idle-ms=N] [--refresh-secs=N] [--workers=N] [--live] \
-                 [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
+                 [--idle-ms=N] [--refresh-secs=N] [--workers=N] [--http-workers=N] \
+                 [--live] [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
                  [--delta-ring=N] [--data-dir=PATH]"
             );
             std::process::exit(2);
@@ -155,6 +181,22 @@ fn main() {
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut refresher = None;
 
+    // Multi-process inference: re-exec this binary as `--dist-worker`
+    // frames-over-pipes workers. Falls back to the sibling worker
+    // binary (or in-process degradation) if re-exec is unavailable.
+    let dist = (workers > 1).then(|| {
+        let worker_cmd = std::env::current_exe()
+            .map(|exe| (exe, vec!["--dist-worker".to_string()]))
+            .ok()
+            .or_else(mlpeer_dist::default_worker_cmd);
+        let cfg = mlpeer_dist::DistConfig {
+            worker_cmd,
+            ..mlpeer_dist::DistConfig::new(workers)
+        };
+        eprintln!("# dist: {workers} worker processes");
+        (cfg, Arc::new(mlpeer_dist::DistStats::new(workers as u64)))
+    });
+
     let store = if live {
         eprintln!("# live mode: harvesting route-server state…");
         let (inferencer, snapshot) = bootstrap(&eco, &scale_word, seed);
@@ -189,23 +231,38 @@ fn main() {
             store
         };
         let stats = Arc::new(LiveStats::default());
-        refresher = Some(spawn_live_refresher(
-            Arc::clone(&store),
-            eco,
-            inferencer,
-            LiveConfig {
-                interval: Duration::from_millis(live_tick_ms),
-                events_per_tick: churn_per_tick,
-                churn: ChurnConfig {
-                    seed: churn_seed,
-                    ..ChurnConfig::default()
-                },
-                scale: scale_word,
-                seed,
+        let live_cfg = LiveConfig {
+            interval: Duration::from_millis(live_tick_ms),
+            events_per_tick: churn_per_tick,
+            churn: ChurnConfig {
+                seed: churn_seed,
+                ..ChurnConfig::default()
             },
-            stats,
-            Arc::clone(&shutdown),
-        ));
+            scale: scale_word,
+            seed,
+        };
+        refresher = Some(if let Some((cfg, dist_stats)) = dist {
+            store.set_dist_stats(Arc::clone(&dist_stats));
+            let fleet = mlpeer_dist::DistLive::new(&eco, cfg, dist_stats);
+            drop(inferencer);
+            spawn_live_refresher_dist(
+                Arc::clone(&store),
+                eco,
+                fleet,
+                live_cfg,
+                stats,
+                Arc::clone(&shutdown),
+            )
+        } else {
+            spawn_live_refresher(
+                Arc::clone(&store),
+                eco,
+                inferencer,
+                live_cfg,
+                stats,
+                Arc::clone(&shutdown),
+            )
+        });
         eprintln!(
             "# live churn: {churn_per_tick} events every {live_tick_ms}ms \
              (seed {churn_seed}, ring {delta_ring})"
@@ -213,6 +270,16 @@ fn main() {
         store
     } else {
         let eco = Arc::new(eco);
+        // One pipeline runner for the boot and the refresher: serial,
+        // or fanned out across worker processes — byte-identical.
+        let build = {
+            let eco = Arc::clone(&eco);
+            let dist = dist.clone();
+            move || match &dist {
+                Some((cfg, stats)) => Snapshot::of_pipeline_dist(&eco, scale, seed, cfg, stats),
+                None => Snapshot::of_pipeline(&eco, scale, seed),
+            }
+        };
         let store = if let Some(prev) = recovered {
             // The pipeline is deterministic in (scale, seed), so the
             // recovered snapshot is exactly what a re-run would
@@ -224,7 +291,7 @@ fn main() {
             SnapshotStore::resume(prev, delta_ring)
         } else {
             eprintln!("# running inference pipeline…");
-            let snapshot = Snapshot::of_pipeline(&eco, scale, seed);
+            let snapshot = build();
             eprintln!(
                 "# snapshot ready: {} IXPs, {} unique links, {} indexed prefixes, etag {}",
                 snapshot.names.len(),
@@ -235,14 +302,16 @@ fn main() {
             SnapshotStore::with_change_capacity(snapshot, delta_ring)
         };
         attach(&store);
+        if let Some((_, dist_stats)) = &dist {
+            store.set_dist_stats(Arc::clone(dist_stats));
+        }
         if refresh_secs > 0 {
             let store = Arc::clone(&store);
-            let eco = Arc::clone(&eco);
             refresher = Some(spawn_refresher(
                 store,
                 Duration::from_secs(refresh_secs),
                 Arc::clone(&shutdown),
-                move || Snapshot::of_pipeline(&eco, scale, seed),
+                build,
             ));
             eprintln!("# refresher: every {refresh_secs}s");
         }
@@ -259,9 +328,9 @@ fn main() {
         );
         server
     } else {
-        let server = spawn_server(store, &addr, workers).expect("bind address");
+        let server = spawn_server(store, &addr, http_workers).expect("bind address");
         eprintln!(
-            "# serving on http://{} (threaded engine, {workers} workers)",
+            "# serving on http://{} (threaded engine, {http_workers} workers)",
             server.addr
         );
         server

@@ -66,7 +66,7 @@ pub mod store;
 pub use cache::BodyCache;
 pub use delta::{ChangeLog, SinceAnswer};
 pub use durable::DurableStore;
-pub use live::{bootstrap, spawn_live_refresher, LiveConfig, LiveStats};
+pub use live::{bootstrap, spawn_live_refresher, spawn_live_refresher_dist, LiveConfig, LiveStats};
 pub use loadgen::{run_hold_load, run_load, HoldConfig, LoadConfig, LoadReport};
 pub use reactor::{spawn_reactor, ReactorConfig, ReactorStats};
 pub use server::{spawn_server, ServerHandle, ServerStats};

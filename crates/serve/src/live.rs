@@ -158,6 +158,84 @@ pub fn spawn_live_refresher(
         .expect("spawn live refresher")
 }
 
+/// [`spawn_live_refresher`] with the inference fold distributed across
+/// worker processes: the coordinator decodes each tick's churn into
+/// live events centrally (schemes retune under churn, so decoding must
+/// see the mutated ecosystem), ships each event to the worker owning
+/// its IXP, and folds the acked deltas into one publishable epoch.
+/// Byte-identical to the serial loop on the same `(eco, cfg)` — the
+/// invariant `tests/dist_faults.rs` proves under fault injection.
+pub fn spawn_live_refresher_dist(
+    store: Arc<SnapshotStore>,
+    mut eco: Ecosystem,
+    mut dist: mlpeer_dist::DistLive,
+    cfg: LiveConfig,
+    stats: Arc<LiveStats>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let mut churn = ChurnGen::new(&eco, cfg.churn.clone());
+    let names = Snapshot::names_of(&eco);
+    store.set_live_stats(Arc::clone(&stats));
+    std::thread::Builder::new()
+        .name("mlpeer-serve-live-dist".into())
+        .spawn(move || {
+            let interval = cfg.interval.max(Duration::from_millis(1));
+            let mut clock: u64 = 0;
+            loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if shutdown.load(Ordering::Relaxed) {
+                        dist.shutdown();
+                        return;
+                    }
+                    let step = Duration::from_millis(50).min(interval - slept);
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+                if shutdown.load(Ordering::Relaxed) {
+                    dist.shutdown();
+                    return;
+                }
+
+                // ---- One tick: decode centrally, fold remotely. ----
+                let mut events = Vec::new();
+                for _ in 0..cfg.events_per_tick {
+                    let event = churn.next_event(&eco);
+                    eco.apply_churn(&event);
+                    let ixp = event.ixp();
+                    let scheme = &eco.ixp(ixp).scheme;
+                    for msg in event_messages(&eco, &event, clock) {
+                        events.extend(decode_message(ixp, scheme, &msg));
+                    }
+                    clock += 1;
+                    stats.events.fetch_add(1, Ordering::Relaxed);
+                }
+                let outcome = dist.tick(&events);
+                stats.ticks.fetch_add(1, Ordering::Relaxed);
+
+                if !outcome.changed {
+                    continue;
+                }
+                let snapshot = Snapshot::build_uncached(
+                    &cfg.scale,
+                    cfg.seed,
+                    names.clone(),
+                    outcome.links,
+                    &outcome.observations,
+                    PassiveStats::default(),
+                );
+                let epoch = store.publish_with_delta(snapshot, outcome.delta);
+                stats.published.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "# live[dist]: epoch {epoch} after {} events ({} links)",
+                    stats.events.load(Ordering::Relaxed),
+                    store.load().unique_link_count,
+                );
+            }
+        })
+        .expect("spawn dist live refresher")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +305,7 @@ mod tests {
             store.changes(),
             store.durable(),
             store.live_stats(),
+            None,
             None,
         );
         let body = String::from_utf8(r.body.to_vec()).unwrap();

@@ -636,6 +636,7 @@ impl Shard {
             self.store.durable(),
             self.store.live_stats(),
             Some(&self.rstats),
+            self.store.dist_stats(),
         );
         count_response(&self.stats, resp.status);
         self.queue_response(idx, resp, keep_alive);

@@ -212,6 +212,7 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
             store.durable(),
             store.live_stats(),
             None,
+            store.dist_stats(),
         );
         count_response(stats, response.status);
         let keep_alive = !req.wants_close();

@@ -183,6 +183,29 @@ impl Snapshot {
         )
     }
 
+    /// [`of_pipeline`](Snapshot::of_pipeline) with the passive harvest
+    /// distributed across worker processes per `cfg` — the
+    /// `--workers=N` boot path. Byte-identical to the serial variant on
+    /// the same `(eco, seed)`: only the harvest's execution strategy
+    /// differs, never its fold (see `mlpeer_dist`).
+    pub fn of_pipeline_dist(
+        eco: &Ecosystem,
+        scale: mlpeer_bench::Scale,
+        seed: u64,
+        cfg: &mlpeer_dist::DistConfig,
+        stats: &mlpeer_dist::DistStats,
+    ) -> Snapshot {
+        let p = mlpeer_bench::run_pipeline_dist(eco, scale.word(), seed, cfg, stats);
+        Snapshot::build(
+            scale.word(),
+            seed,
+            Snapshot::names_of(eco),
+            p.links,
+            &p.observations,
+            p.passive_stats,
+        )
+    }
+
     /// The IXP's name, or a stable placeholder for unknown ids.
     pub fn name(&self, ixp: IxpId) -> &str {
         self.names.get(&ixp).map(String::as_str).unwrap_or("?")

@@ -40,6 +40,10 @@ pub struct SnapshotStore {
     /// Registered by the live refresher so `/v1/stats` can surface its
     /// counters; absent outside live mode.
     live_stats: std::sync::OnceLock<Arc<crate::live::LiveStats>>,
+    /// Registered by the `--workers=N` boot path so `/v1/stats` can
+    /// surface the coordinator's counters; absent in single-process
+    /// runs.
+    dist_stats: std::sync::OnceLock<Arc<mlpeer_dist::DistStats>>,
     /// Publish observers (the reactor registers one per shard to wake
     /// parked push subscribers). Must stay cheap and non-blocking —
     /// they run on the publisher's thread after every swap.
@@ -74,6 +78,7 @@ impl SnapshotStore {
             swaps: AtomicU64::new(0),
             changes: ChangeLog::new(capacity),
             live_stats: std::sync::OnceLock::new(),
+            dist_stats: std::sync::OnceLock::new(),
             hooks: Mutex::new(Vec::new()),
             durable: std::sync::OnceLock::new(),
         })
@@ -158,6 +163,18 @@ impl SnapshotStore {
     /// The live loop's counters, if live mode is running on this store.
     pub fn live_stats(&self) -> Option<&crate::live::LiveStats> {
         self.live_stats.get().map(Arc::as_ref)
+    }
+
+    /// Register the multi-process coordinator's counters (first
+    /// registration wins; called by the `--workers=N` boot path).
+    pub fn set_dist_stats(&self, stats: Arc<mlpeer_dist::DistStats>) {
+        let _ = self.dist_stats.set(stats);
+    }
+
+    /// The coordinator's counters, if this store was built or is being
+    /// refreshed by worker processes.
+    pub fn dist_stats(&self) -> Option<&mlpeer_dist::DistStats> {
+        self.dist_stats.get().map(Arc::as_ref)
     }
 
     /// The current snapshot. Cheap (one `Arc` clone under a

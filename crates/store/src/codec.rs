@@ -178,7 +178,7 @@ impl<'a> Reader<'a> {
     /// A collection length, sanity-capped so a corrupt length cannot
     /// drive a pre-allocation into the gigabytes: the count can never
     /// exceed the remaining bytes (every element is ≥ 1 byte).
-    fn count(&mut self) -> Result<usize, CodecError> {
+    pub fn count(&mut self) -> Result<usize, CodecError> {
         let n = self.u32()? as usize;
         if n > self.remaining() {
             return Err(CodecError::Truncated);
@@ -189,41 +189,49 @@ impl<'a> Reader<'a> {
 
 // ---- domain types ----
 
-fn put_asn(w: &mut Writer, a: Asn) {
+/// Encode an [`Asn`] (u32).
+pub fn put_asn(w: &mut Writer, a: Asn) {
     w.put_u32(a.value());
 }
 
-fn get_asn(r: &mut Reader<'_>) -> Result<Asn, CodecError> {
+/// Decode an [`Asn`].
+pub fn get_asn(r: &mut Reader<'_>) -> Result<Asn, CodecError> {
     Ok(Asn(r.u32()?))
 }
 
-fn put_ixp(w: &mut Writer, i: IxpId) {
+/// Encode an [`IxpId`] (u16).
+pub fn put_ixp(w: &mut Writer, i: IxpId) {
     w.put_u16(i.0);
 }
 
-fn get_ixp(r: &mut Reader<'_>) -> Result<IxpId, CodecError> {
+/// Decode an [`IxpId`].
+pub fn get_ixp(r: &mut Reader<'_>) -> Result<IxpId, CodecError> {
     Ok(IxpId(r.u16()?))
 }
 
-fn put_prefix(w: &mut Writer, p: &Prefix) {
+/// Encode a [`Prefix`] (network u32 + length u8).
+pub fn put_prefix(w: &mut Writer, p: &Prefix) {
     w.put_u32(p.network_u32());
     w.put_u8(p.len());
 }
 
-fn get_prefix(r: &mut Reader<'_>) -> Result<Prefix, CodecError> {
+/// Decode a [`Prefix`], rejecting lengths over 32.
+pub fn get_prefix(r: &mut Reader<'_>) -> Result<Prefix, CodecError> {
     let addr = r.u32()?;
     let len = r.u8()?;
     Prefix::from_u32(addr, len).map_err(|_| CodecError::BadValue("prefix length"))
 }
 
-fn put_asn_set(w: &mut Writer, set: &std::collections::BTreeSet<Asn>) {
+/// Encode a sorted ASN set (u32 count + ASNs).
+pub fn put_asn_set(w: &mut Writer, set: &std::collections::BTreeSet<Asn>) {
     w.put_u32(set.len() as u32);
     for &a in set {
         put_asn(w, a);
     }
 }
 
-fn get_asn_set(r: &mut Reader<'_>) -> Result<std::collections::BTreeSet<Asn>, CodecError> {
+/// Decode an ASN set.
+pub fn get_asn_set(r: &mut Reader<'_>) -> Result<std::collections::BTreeSet<Asn>, CodecError> {
     let n = r.count()?;
     let mut out = std::collections::BTreeSet::new();
     for _ in 0..n {
@@ -232,7 +240,8 @@ fn get_asn_set(r: &mut Reader<'_>) -> Result<std::collections::BTreeSet<Asn>, Co
     Ok(out)
 }
 
-fn put_policy(w: &mut Writer, p: &ExportPolicy) {
+/// Encode an [`ExportPolicy`] (tag byte + optional ASN set).
+pub fn put_policy(w: &mut Writer, p: &ExportPolicy) {
     match p {
         ExportPolicy::AllMembers => w.put_u8(0),
         ExportPolicy::AllExcept(e) => {
@@ -247,7 +256,8 @@ fn put_policy(w: &mut Writer, p: &ExportPolicy) {
     }
 }
 
-fn get_policy(r: &mut Reader<'_>) -> Result<ExportPolicy, CodecError> {
+/// Decode an [`ExportPolicy`], rejecting unknown tags.
+pub fn get_policy(r: &mut Reader<'_>) -> Result<ExportPolicy, CodecError> {
     match r.u8()? {
         0 => Ok(ExportPolicy::AllMembers),
         1 => Ok(ExportPolicy::AllExcept(get_asn_set(r)?)),
@@ -257,7 +267,8 @@ fn get_policy(r: &mut Reader<'_>) -> Result<ExportPolicy, CodecError> {
     }
 }
 
-fn put_links(w: &mut Writer, links: &MlpLinkSet) {
+/// Encode an [`MlpLinkSet`] (per-IXP pairs, covered members, policies).
+pub fn put_links(w: &mut Writer, links: &MlpLinkSet) {
     w.put_u32(links.per_ixp.len() as u32);
     for (ixp, pairs) in &links.per_ixp {
         put_ixp(w, *ixp);
@@ -280,7 +291,8 @@ fn put_links(w: &mut Writer, links: &MlpLinkSet) {
     }
 }
 
-fn get_links(r: &mut Reader<'_>) -> Result<MlpLinkSet, CodecError> {
+/// Decode an [`MlpLinkSet`].
+pub fn get_links(r: &mut Reader<'_>) -> Result<MlpLinkSet, CodecError> {
     let mut links = MlpLinkSet::default();
     for _ in 0..r.count()? {
         let ixp = get_ixp(r)?;
@@ -303,7 +315,8 @@ fn get_links(r: &mut Reader<'_>) -> Result<MlpLinkSet, CodecError> {
     Ok(links)
 }
 
-fn put_passive(w: &mut Writer, p: &PassiveStats) {
+/// Encode [`PassiveStats`] (seven u64 counters, fixed order).
+pub fn put_passive(w: &mut Writer, p: &PassiveStats) {
     for v in [
         p.routes_seen,
         p.dropped_bogon,
@@ -317,7 +330,8 @@ fn put_passive(w: &mut Writer, p: &PassiveStats) {
     }
 }
 
-fn get_passive(r: &mut Reader<'_>) -> Result<PassiveStats, CodecError> {
+/// Decode [`PassiveStats`].
+pub fn get_passive(r: &mut Reader<'_>) -> Result<PassiveStats, CodecError> {
     Ok(PassiveStats {
         routes_seen: r.u64()? as usize,
         dropped_bogon: r.u64()? as usize,

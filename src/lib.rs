@@ -3,7 +3,9 @@
 //! Umbrella crate of the *Inferring Multilateral Peering* (CoNEXT
 //! 2013) reproduction: it hosts the repo-wide examples (`examples/`)
 //! and integration tests (`tests/end_to_end.rs`, `tests/serve_e2e.rs`,
-//! `tests/live_e2e.rs`, `tests/columnar_equivalence.rs`) that exercise
+//! `tests/live_e2e.rs`, `tests/columnar_equivalence.rs`,
+//! `tests/engine_equivalence.rs`, `tests/durability_e2e.rs`,
+//! `tests/dist_faults.rs`) that exercise
 //! the whole workspace together. The crate map, data flows, layer
 //! invariants, and the columnar hot path (zero-copy
 //! [`mlpeer_bgp::view::MrtBytes`] archives, interned
