@@ -59,4 +59,9 @@ pub use prefix::Prefix;
 pub use rib::{Rib, RibEntry};
 pub use route::{Announcement, Origin, RouteAttrs};
 pub use update::{BgpMessage, UpdateMessage};
-pub use view::{MrtBytes, RibCursor, RouteView, UpdateCursor};
+pub use view::{LossyReport, MrtBytes, RibCursor, RouteView, UpdateCursor};
+
+// `Bytes` appears in public signatures (`MrtBytes::new`,
+// `MrtBytes::validate_lossy`); re-export it so consumers need no
+// direct `bytes` dependency.
+pub use bytes::Bytes;

@@ -104,17 +104,7 @@ impl MrtBytes {
             need(buf, pos, rlen, "MRT record body")?;
             let body = &buf[pos..pos + rlen];
             match rtype {
-                REC_PEER_TABLE => {
-                    need(body, 0, 2, "peer table")?;
-                    let n = be16(body, 0) as usize;
-                    need(body, 2, n * 8, "peer table entries")?;
-                    for i in 0..n {
-                        peers.push(MrtPeer {
-                            asn: Asn(be32(body, 2 + i * 8)),
-                            addr: Ipv4Addr::from(be32(body, 6 + i * 8)),
-                        });
-                    }
-                }
+                REC_PEER_TABLE => parse_peer_table(body, &mut peers)?,
                 REC_RIB_ENTRY => {
                     validate_record(body, peers.len(), true)?;
                     rib.push((pos as u32, (pos + rlen) as u32));
@@ -133,6 +123,79 @@ impl MrtBytes {
             rib,
             updates,
         })
+    }
+
+    /// Validate a wire-encoded archive, **quarantining** corrupt
+    /// records instead of rejecting the whole input.
+    ///
+    /// Where [`MrtBytes::new`] fails fast on the first structural
+    /// error, this pass copies every record that validates into a
+    /// fresh arena and drops the rest, tallying what it dropped in the
+    /// returned [`LossyReport`]. A record whose framing is intact but
+    /// whose body fails validation (bad embedded frame, dangling peer
+    /// index, malformed attribute, unknown record type) is skipped
+    /// record-by-record; once the framing itself is cut short the rest
+    /// of the input is unwalkable and counts as truncated tail bytes.
+    ///
+    /// The returned archive holds only validated bytes, so every
+    /// invariant of the strict constructor — infallible views,
+    /// [`MrtBytes::to_archive`] round-trips — still holds. This is the
+    /// degraded-mode ingest path: a collector that hands us a corrupt
+    /// snapshot costs the broken records, not the harvest.
+    pub fn validate_lossy(data: Bytes) -> (MrtBytes, LossyReport) {
+        assert!(
+            u32::try_from(data.len()).is_ok(),
+            "MrtBytes arena limited to 4 GiB ({} bytes given); split the archive",
+            data.len()
+        );
+        let buf: &[u8] = &data;
+        let mut report = LossyReport::default();
+        let mut clean: Vec<u8> = Vec::with_capacity(buf.len());
+        let mut peers: Vec<MrtPeer> = Vec::new();
+        let mut rib = Vec::new();
+        let mut updates = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            if buf.len() - pos < 6 {
+                report.truncated_tail_bytes += (buf.len() - pos) as u64;
+                break;
+            }
+            let rtype = be16(buf, pos);
+            let rlen = be32(buf, pos + 2) as usize;
+            if buf.len() - pos - 6 < rlen {
+                report.truncated_tail_bytes += (buf.len() - pos) as u64;
+                break;
+            }
+            let record = &buf[pos..pos + 6 + rlen];
+            let body = &record[6..];
+            pos += 6 + rlen;
+            let valid = match rtype {
+                REC_PEER_TABLE => parse_peer_table(body, &mut peers).is_ok(),
+                REC_RIB_ENTRY => validate_record(body, peers.len(), true).is_ok(),
+                REC_UPDATE => validate_record(body, peers.len(), false).is_ok(),
+                _ => false,
+            };
+            if !valid {
+                report.quarantined += 1;
+                continue;
+            }
+            let start = clean.len() as u32 + 6;
+            clean.extend_from_slice(record);
+            match rtype {
+                REC_RIB_ENTRY => rib.push((start, start + rlen as u32)),
+                REC_UPDATE => updates.push((start, start + rlen as u32)),
+                _ => {}
+            }
+        }
+        (
+            MrtBytes {
+                data: Bytes::from(clean),
+                peers,
+                rib,
+                updates,
+            },
+            report,
+        )
     }
 
     /// Encode a struct archive into its columnar form.
@@ -198,6 +261,39 @@ impl MrtBytes {
     pub fn update_cursor(&self) -> UpdateCursor<'_> {
         UpdateCursor { arch: self, idx: 0 }
     }
+}
+
+/// What [`MrtBytes::validate_lossy`] dropped from one archive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossyReport {
+    /// Records with intact framing whose bodies failed validation
+    /// (plus unknown record types), skipped individually.
+    pub quarantined: u64,
+    /// Bytes abandoned once the record framing itself was cut short —
+    /// from the first unwalkable header to the end of the input.
+    pub truncated_tail_bytes: u64,
+}
+
+impl LossyReport {
+    /// True when nothing was dropped — the lossy pass saw exactly what
+    /// the strict constructor would have accepted.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined == 0 && self.truncated_tail_bytes == 0
+    }
+}
+
+/// Decode a peer-table record body, appending to `peers`.
+fn parse_peer_table(body: &[u8], peers: &mut Vec<MrtPeer>) -> Result<(), BgpError> {
+    need(body, 0, 2, "peer table")?;
+    let n = be16(body, 0) as usize;
+    need(body, 2, n * 8, "peer table entries")?;
+    for i in 0..n {
+        peers.push(MrtPeer {
+            asn: Asn(be32(body, 2 + i * 8)),
+            addr: Ipv4Addr::from(be32(body, 6 + i * 8)),
+        });
+    }
+    Ok(())
 }
 
 /// Validate one RIB/update record body: peer bounds plus the embedded
@@ -778,5 +874,85 @@ mod tests {
     fn out_of_bounds_range_panics() {
         let bytes = MrtBytes::from_archive(&MrtArchive::new());
         let _ = bytes.rib_range(0, 1);
+    }
+
+    /// Walk the record framing of an encoded archive; returns each
+    /// record's `(header_offset, total_len)`.
+    fn frame_offsets(encoded: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < encoded.len() {
+            let rlen = be32(encoded, pos + 2) as usize;
+            out.push((pos, 6 + rlen));
+            pos += 6 + rlen;
+        }
+        out
+    }
+
+    #[test]
+    fn lossy_on_clean_input_is_equivalent_to_strict() {
+        let encoded = sample_archive().encode();
+        let strict = MrtBytes::new(encoded.clone()).unwrap();
+        let (lossy, report) = MrtBytes::validate_lossy(encoded);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(lossy.as_bytes(), strict.as_bytes(), "arena byte-identical");
+        assert_eq!(lossy.peers(), strict.peers());
+        assert_eq!(lossy.rib_len(), strict.rib_len());
+        assert_eq!(lossy.update_len(), strict.update_len());
+        assert_eq!(lossy.to_archive(), strict.to_archive());
+    }
+
+    #[test]
+    fn lossy_quarantines_corrupt_records_and_keeps_the_rest() {
+        let archive = sample_archive();
+        let mut encoded = archive.encode().to_vec();
+        let frames = frame_offsets(&encoded);
+        assert_eq!(frames.len(), 5, "peer table + 2 rib + 2 updates");
+        // Corrupt the first RIB record's embedded frame type byte: the
+        // record frames fine but its body fails validation.
+        let (rib0, _) = frames[1];
+        encoded[rib0 + 6 + 10 + HEADER_LEN - 1] ^= 0xff;
+        let corrupted = Bytes::from(encoded);
+        assert!(
+            MrtBytes::new(corrupted.clone()).is_err(),
+            "strict pass rejects the whole archive"
+        );
+        let (lossy, report) = MrtBytes::validate_lossy(corrupted);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.truncated_tail_bytes, 0);
+        assert!(!report.is_clean());
+        // Everything but the corrupt record survives, views intact.
+        assert_eq!(lossy.peers(), &archive.peers[..]);
+        assert_eq!(lossy.rib_len(), 1);
+        assert_eq!(lossy.update_len(), 2);
+        assert_eq!(
+            lossy.rib_cursor().next().unwrap().prefix(),
+            archive.rib[1].prefix
+        );
+        // The quarantined bytes are gone from the arena, so the struct
+        // round-trip still works on what survived.
+        let survived = lossy.to_archive();
+        assert_eq!(survived.rib.len(), 1);
+        assert_eq!(survived.updates, archive.updates);
+    }
+
+    #[test]
+    fn lossy_counts_a_truncated_tail() {
+        let encoded = sample_archive().encode();
+        let frames = frame_offsets(&encoded);
+        let (last, _) = frames[4];
+        // Cut mid-way through the last record's body.
+        let cut = encoded.slice(..last + 9);
+        let (lossy, report) = MrtBytes::validate_lossy(cut);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.truncated_tail_bytes, 9);
+        assert_eq!(lossy.rib_len(), 2);
+        assert_eq!(lossy.update_len(), 1, "records before the cut survive");
+        // An unknown record type is quarantined, not fatal.
+        let mut with_junk = encoded.to_vec();
+        with_junk.extend_from_slice(&[0x7f, 0x7f, 0, 0, 0, 2, 0xab, 0xcd]);
+        let (lossy, report) = MrtBytes::validate_lossy(Bytes::from(with_junk));
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(lossy.update_len(), 2);
     }
 }

@@ -91,6 +91,9 @@ pub struct PassiveStats {
     pub setter_unknown: usize,
     /// Observations emitted.
     pub observations: usize,
+    /// Corrupt MRT records quarantined by the lossy ingest path
+    /// ([`harvest_passive_bytes_lossy`]); zero on the strict paths.
+    pub quarantined: usize,
 }
 
 impl PassiveStats {
@@ -103,6 +106,7 @@ impl PassiveStats {
         self.unidentified += other.unidentified;
         self.setter_unknown += other.setter_unknown;
         self.observations += other.observations;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -385,6 +389,43 @@ pub fn harvest_passive_bytes<S: ObservationSink>(
     for (_, archive) in &data.collectors {
         harvest_archive_views(
             archive,
+            dict,
+            &index,
+            rels,
+            cfg,
+            sink,
+            &mut stats,
+            &mut scratch,
+        );
+    }
+    stats
+}
+
+/// Degraded-mode ingest: validate each collector's **raw wire bytes**
+/// lossily ([`MrtBytes::validate_lossy`]), quarantining corrupt
+/// records instead of failing the harvest, then run the view-based
+/// pipeline over what survived. Dropped records are tallied in
+/// [`PassiveStats::quarantined`] (a truncated tail counts as one);
+/// on clean input this is byte-identical to
+/// [`harvest_passive_bytes`] with `quarantined == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn harvest_passive_bytes_lossy<S: ObservationSink>(
+    collectors: &[(String, mlpeer_bgp::Bytes)],
+    dict: &CommunityDictionary,
+    conn: &ConnectivityData,
+    rels: &InferredRelationships,
+    cfg: &PassiveConfig,
+    sink: &mut S,
+) -> PassiveStats {
+    let index = MemberIndex::build(conn);
+    let mut stats = PassiveStats::default();
+    let mut scratch = RouteScratch::default();
+    for (_, wire) in collectors {
+        let (archive, report) = MrtBytes::validate_lossy(wire.clone());
+        stats.quarantined +=
+            (report.quarantined + u64::from(report.truncated_tail_bytes > 0)) as usize;
+        harvest_archive_views(
+            &archive,
             dict,
             &index,
             rels,
@@ -1064,6 +1105,7 @@ mod tests {
             unidentified: 5,
             setter_unknown: 6,
             observations: 7,
+            quarantined: 8,
         };
         let b = PassiveStats {
             routes_seen: 10,
@@ -1073,6 +1115,7 @@ mod tests {
             unidentified: 50,
             setter_unknown: 60,
             observations: 70,
+            quarantined: 80,
         };
         let sum = a.clone() + b.clone();
         assert_eq!(sum.routes_seen, 11);
@@ -1295,6 +1338,73 @@ mod tests {
             sharded_sink.1.finalize(&conn),
             struct_sink.1.finalize(&conn)
         );
+    }
+
+    /// The degraded-ingest contract: on clean wire input the lossy
+    /// harvest is byte-identical to the strict columnar path with
+    /// nothing quarantined; corrupting one record quarantines exactly
+    /// that record and the harvest equals the struct path over the
+    /// dataset without it.
+    #[test]
+    fn lossy_harvest_quarantines_and_matches() {
+        let (dict, conn) = dict_and_conn();
+        let routes = vec![
+            (
+                vec![999, 102, 101],
+                "0:6695 6695:102 6695:103",
+                "10.1.0.0/24",
+            ),
+            (vec![999, 102, 103], "6695:6695", "10.3.0.0/24"),
+            (vec![999, 102, 101], "6695:6695", "10.5.0.0/24"),
+        ];
+        let ds = archive_with(routes.clone());
+        let rels = no_rels();
+        let cfg = PassiveConfig::default();
+        let wire: Vec<(String, mlpeer_bgp::Bytes)> = ds
+            .collectors
+            .iter()
+            .map(|(n, a)| (n.clone(), a.encode()))
+            .collect();
+
+        let mut strict_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let strict_stats =
+            harvest_passive_bytes(&ds.to_bytes(), &dict, &conn, &rels, &cfg, &mut strict_sink);
+        let mut lossy_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let lossy_stats =
+            harvest_passive_bytes_lossy(&wire, &dict, &conn, &rels, &cfg, &mut lossy_sink);
+        assert_eq!(lossy_stats, strict_stats);
+        assert_eq!(lossy_sink.0, strict_sink.0, "clean input: byte-identical");
+        assert_eq!(lossy_stats.quarantined, 0);
+
+        // Corrupt the first RIB record's embedded frame type byte: the
+        // record frames fine but fails body validation.
+        let mut bad = wire[0].1.to_vec();
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        while pos < bad.len() {
+            frames.push(pos);
+            let rlen = u32::from_be_bytes([bad[pos + 2], bad[pos + 3], bad[pos + 4], bad[pos + 5]])
+                as usize;
+            pos += 6 + rlen;
+        }
+        // Record 0 is the peer table; record 1 the first RIB entry. Its
+        // body is peer(2) + originated(4) + flen(4), then the embedded
+        // frame whose type byte sits at frame offset 18.
+        bad[frames[1] + 6 + 10 + 18] ^= 0xff;
+        let bad_wire = vec![("rv".to_string(), mlpeer_bgp::Bytes::from(bad))];
+
+        let mut ds_minus = archive_with(routes);
+        ds_minus.collectors[0].1.rib.remove(0);
+        let mut minus_sink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let mut minus_stats =
+            harvest_passive(&ds_minus, &dict, &conn, &rels, &cfg, &mut minus_sink);
+        minus_stats.quarantined = 1;
+
+        let mut qsink: (Vec<Observation>, LinkInferencer) = Default::default();
+        let qstats = harvest_passive_bytes_lossy(&bad_wire, &dict, &conn, &rels, &cfg, &mut qsink);
+        assert_eq!(qstats, minus_stats, "only the corrupt record is lost");
+        assert_eq!(qsink.0, minus_sink.0);
+        assert_eq!(qsink.1.finalize(&conn), minus_sink.1.finalize(&conn));
     }
 
     #[test]

@@ -138,6 +138,7 @@ fn try_worker(
 ) -> Option<PassiveResult> {
     use std::sync::atomic::Ordering;
 
+    failpoints::failpoint!("dist::worker_spawn", |_msg| None);
     let mut child = Command::new(&cmd.0)
         .args(&cmd.1)
         .stdin(Stdio::piped())

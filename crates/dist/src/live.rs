@@ -54,6 +54,7 @@ struct WorkerProc {
 
 impl WorkerProc {
     fn spawn(cmd: &(std::path::PathBuf, Vec<String>)) -> Option<WorkerProc> {
+        failpoints::failpoint!("dist::worker_spawn", |_msg| None);
         let mut child = Command::new(&cmd.0)
             .args(&cmd.1)
             .stdin(Stdio::piped())
@@ -460,6 +461,12 @@ impl DistLive {
     /// Total shard count (process-backed plus degraded).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shared counters this coordinator updates — lets callers
+    /// watch degradation across a tick without holding a second handle.
+    pub fn stats(&self) -> &Arc<DistStats> {
+        &self.stats
     }
 
     /// How many shards currently run on worker processes (the rest

@@ -180,6 +180,9 @@ pub fn write_frame(
     seq: u32,
     payload: &[u8],
 ) -> io::Result<usize> {
+    failpoints::failpoint!("dist::frame_write", |msg: String| Err(io::Error::other(
+        format!("failpoint dist::frame_write: {msg}")
+    )));
     let bytes = encode_frame(kind, seq, payload);
     w.write_all(&bytes)?;
     w.flush()?;
@@ -208,6 +211,9 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireErro
 /// peer closed the stream); EOF anywhere *inside* a frame is
 /// [`WireError::Truncated`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    failpoints::failpoint!("dist::frame_read", |msg: String| Err(WireError::Io(
+        io::Error::other(format!("failpoint dist::frame_read: {msg}"))
+    )));
     let mut magic = [0u8; 4];
     if !read_exact_or_eof(r, &mut magic)? {
         return Ok(None);

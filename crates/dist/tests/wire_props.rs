@@ -106,6 +106,7 @@ fn rand_stats(rng: &mut Rng) -> PassiveStats {
         unidentified: rng.below(100) as usize,
         setter_unknown: rng.below(100) as usize,
         observations: rng.below(10_000) as usize,
+        quarantined: rng.below(100) as usize,
     }
 }
 

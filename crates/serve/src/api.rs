@@ -16,6 +16,7 @@
 //! | Endpoint | Answer |
 //! |---|---|
 //! | `GET /healthz` | liveness, current epoch/ETag |
+//! | `GET /readyz` | readiness: `ready`/`degraded`/`draining` + reasons |
 //! | `GET /v1/ixps` | per-IXP link and coverage counts |
 //! | `GET /v1/ixp/{id}/links` | the IXP's multilateral link list |
 //! | `GET /v1/member/{asn}` | the member's peers and policy per IXP |
@@ -81,6 +82,7 @@ pub fn route(
     live: Option<&LiveStats>,
     reactor: Option<&ReactorStats>,
     dist: Option<&DistStats>,
+    health: Option<&crate::health::HealthState>,
 ) -> Response {
     if req.method != "GET" {
         return error(405, "only GET is supported");
@@ -90,6 +92,9 @@ pub fn route(
 
     if path == "/healthz" {
         return Response::json(200, report::to_json(&healthz(snap, stats)));
+    }
+    if path == "/readyz" {
+        return readyz(snap, health);
     }
 
     // Time travel: `?at=<epoch>` re-roots a snapshot-addressed request
@@ -331,9 +336,31 @@ fn healthz(snap: &Snapshot, stats: &ServerStats) -> Value {
     })
 }
 
+/// The `/readyz` answer: liveness says "up", readiness says "up *and
+/// whole*". `ready` and `degraded` both answer 200 — a degraded
+/// process still serves reads, and load balancers must not evict it —
+/// while `draining` answers 503 so balancers stop routing during a
+/// graceful shutdown. A boot without a [`crate::health::HealthState`]
+/// (tests, bare `route` calls) reports `ready` with no reasons.
+fn readyz(snap: &Snapshot, health: Option<&crate::health::HealthState>) -> Response {
+    let (status, reasons) = match health {
+        Some(h) => (h.status(), h.reasons()),
+        None => ("ready", Vec::new()),
+    };
+    let body = json!({
+        "status": status,
+        "reasons": reasons,
+        "epoch": snap.epoch,
+        "etag": snap.etag,
+    });
+    let code = if status == "draining" { 503 } else { 200 };
+    Response::json(code, report::to_json(&body))
+}
+
 /// Render the `/v1/ixps` body — called once per publish by the
 /// [`crate::cache::BodyCache`], never on the request path.
 pub(crate) fn render_ixps(snap: &Snapshot) -> Vec<u8> {
+    failpoints::failpoint!("serve::render");
     let rows: Vec<Value> = snap
         .names
         .iter()
@@ -496,6 +523,7 @@ fn stats_body(
             "ticks": l.ticks.load(Ordering::Relaxed),
             "events": l.events.load(Ordering::Relaxed),
             "published_epochs": l.published.load(Ordering::Relaxed),
+            "restarts": l.restarts.load(Ordering::Relaxed),
         }),
         None => Value::Null,
     };
@@ -509,6 +537,8 @@ fn stats_body(
             "writev_continuations": r.writev_continuations(),
             "sse_subscribers": r.sse_subscribers(),
             "idle_timeouts": r.idle_timeouts(),
+            "inflight": r.inflight(),
+            "shed": r.shed(),
         }),
         None => Value::Null,
     };
@@ -558,6 +588,7 @@ fn stats_body(
             "unidentified": p.unidentified,
             "setter_unknown": p.setter_unknown,
             "observations": p.observations,
+            "quarantined": p.quarantined,
         }),
         "server": json!({
             "requests": stats.requests(),
@@ -578,7 +609,17 @@ mod tests {
 
     /// Route against an empty change ring (irrelevant to these tests).
     fn rt(req: &Request, snap: &Arc<Snapshot>, stats: &ServerStats) -> Response {
-        route(req, snap, stats, &ChangeLog::new(8), None, None, None, None)
+        route(
+            req,
+            snap,
+            stats,
+            &ChangeLog::new(8),
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
     }
 
     fn get(path: &str) -> Request {
@@ -684,6 +725,53 @@ mod tests {
     }
 
     #[test]
+    fn readyz_reports_health_state_and_drain_503s() {
+        let snap = snap();
+        let stats = ServerStats::default();
+        let ring = ChangeLog::new(8);
+        let rdy = |health: Option<&crate::health::HealthState>| {
+            route(
+                &get("/readyz"),
+                &snap,
+                &stats,
+                &ring,
+                None,
+                None,
+                None,
+                None,
+                health,
+            )
+        };
+        // Without a health registry (bare route calls): ready.
+        let r = rdy(None);
+        assert_eq!(r.status, 200);
+        assert!(body(&r).contains("\"status\": \"ready\""), "{}", body(&r));
+
+        let h = crate::health::HealthState::new();
+        let r = rdy(Some(&h));
+        assert_eq!(r.status, 200);
+        let b = body(&r);
+        assert!(b.contains("\"status\": \"ready\""), "{b}");
+        assert!(b.contains("\"reasons\": []"), "{b}");
+        assert!(b.contains("\"epoch\""), "{b}");
+
+        // Degraded: still 200 (reads keep serving) with reasons listed.
+        h.set_live_restarting(true);
+        let r = rdy(Some(&h));
+        assert_eq!(r.status, 200);
+        let b = body(&r);
+        assert!(b.contains("\"status\": \"degraded\""), "{b}");
+        assert!(b.contains("live-refresher"), "{b}");
+        h.set_live_restarting(false);
+
+        // Draining: 503 so load balancers stop routing.
+        h.set_draining();
+        let r = rdy(Some(&h));
+        assert_eq!(r.status, 503);
+        assert!(body(&r).contains("\"status\": \"draining\""));
+    }
+
+    #[test]
     fn unknown_routes_and_methods_fail_cleanly() {
         let snap = snap();
         let stats = ServerStats::default();
@@ -740,6 +828,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200);
         let b = body(&r);
@@ -756,6 +845,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,
@@ -787,6 +877,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410, "{}", body(&r));
         let b = body(&r);
@@ -798,6 +889,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,
@@ -853,6 +945,7 @@ mod tests {
                 None,
                 None,
                 None,
+                None,
             )
         };
         // Every historical epoch answers with its own body and ETag.
@@ -900,6 +993,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410, "{}", body(&r));
         // With a store, an epoch that was never written is gone too.
@@ -911,6 +1005,7 @@ mod tests {
             &stats,
             &ring,
             Some(&durable),
+            None,
             None,
             None,
             None,
@@ -946,6 +1041,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 410);
         // With it, the stored deltas fold into a full answer.
@@ -955,6 +1051,7 @@ mod tests {
             &stats,
             &ring,
             Some(&durable),
+            None,
             None,
             None,
             None,
@@ -980,6 +1077,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         );
         assert_eq!(r.status, 200, "durable alone also answers: {}", body(&r));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1000,6 +1098,7 @@ mod tests {
                 None,
                 None,
                 None,
+                None,
             );
             assert_eq!(r.status, 400, "query {q:?}: {}", body(&r));
         }
@@ -1009,6 +1108,7 @@ mod tests {
             &snap,
             &stats,
             &ring,
+            None,
             None,
             None,
             None,

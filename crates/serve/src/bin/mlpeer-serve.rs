@@ -6,7 +6,7 @@
 //!              [--idle-ms=N] [--refresh-secs=N] [--workers=N]
 //!              [--http-workers=N] [--live] [--live-tick-ms=N]
 //!              [--churn-per-tick=N] [--churn-seed=N] [--delta-ring=N]
-//!              [--data-dir=PATH]
+//!              [--data-dir=PATH] [--drain-ms=N] [--admission=N]
 //! ```
 //!
 //! Default mode generates the ecosystem, runs the inference pipeline
@@ -48,8 +48,23 @@
 //! endpoints additionally answer `?at=<epoch>` time-travel reads, and
 //! `/v1/changes?since=N` falls back to the on-disk history when `N`
 //! predates the in-memory ring.
+//!
+//! **Graceful shutdown:** SIGTERM or SIGINT starts a drain — listeners
+//! stop accepting, `/readyz` answers `draining` (503), in-flight
+//! keep-alive requests finish within `--drain-ms`, SSE subscribers get
+//! a terminal `shutdown` event, the active durable segment is flushed
+//! and fsynced, and the process exits 0. `--admission=N` caps global
+//! in-flight responses on the reactor engine; beyond it requests are
+//! shed with a pre-rendered 503 + `Retry-After`.
+//!
+//! **Fault injection:** the `MLPEER_FAILPOINTS` environment variable
+//! activates named failpoints (`site=action;site=action` with actions
+//! `off`, `return(msg)`, `panic(msg)`, `delay(ms)`, `1in(n)`) across
+//! store appends/fsyncs, dist worker spawns and frames, and serve
+//! publish/append/render paths — see ARCHITECTURE.md's failure-model
+//! section for the site list.
 
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -90,6 +105,7 @@ fn main() {
     let mut churn_seed: u64 = 20131007;
     let mut delta_ring: usize = mlpeer_serve::store::DEFAULT_CHANGE_CAPACITY;
     let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut drain_ms: u64 = 5000;
     for arg in std::env::args().skip(1) {
         if let Some(s) = Scale::parse(&arg) {
             scale = s;
@@ -127,6 +143,10 @@ fn main() {
             delta_ring = v.parse().expect("--delta-ring=N");
         } else if let Some(v) = arg.strip_prefix("--data-dir=") {
             data_dir = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("--drain-ms=") {
+            drain_ms = v.parse().expect("--drain-ms=N");
+        } else if let Some(v) = arg.strip_prefix("--admission=") {
+            reactor_cfg.admission = v.parse().expect("--admission=N");
         } else {
             eprintln!("unknown argument: {arg}");
             eprintln!(
@@ -134,11 +154,12 @@ fn main() {
                  [--seed=N] [--engine=reactor|threaded] [--shards=N] [--max-conns=N] \
                  [--idle-ms=N] [--refresh-secs=N] [--workers=N] [--http-workers=N] \
                  [--live] [--live-tick-ms=N] [--churn-per-tick=N] [--churn-seed=N] \
-                 [--delta-ring=N] [--data-dir=PATH]"
+                 [--delta-ring=N] [--data-dir=PATH] [--drain-ms=N] [--admission=N]"
             );
             std::process::exit(2);
         }
     }
+    reactor_cfg.drain_grace = Duration::from_millis(drain_ms);
     if live && refresh_secs > 0 {
         eprintln!("--live and --refresh-secs are mutually exclusive");
         std::process::exit(2);
@@ -336,6 +357,32 @@ fn main() {
         server
     };
     eprintln!("#   try: curl http://{}/healthz", server.addr);
-    server.join();
-    drop(refresher);
+    if let Err(e) = polling::signal::install_term_handler() {
+        eprintln!("# warning: no signal handlers ({e}); drain on request only");
+    }
+    // Wait for SIGTERM/SIGINT (or the serve threads exiting on their
+    // own), then drain: stop accepting, finish in-flight work under
+    // the --drain-ms grace, stop refreshers, flush + fsync the active
+    // durable segment, exit 0.
+    while !polling::signal::term_requested() {
+        if server.is_finished() {
+            server.join();
+            drop(refresher);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("# signal received: draining (grace {drain_ms}ms)…");
+    shutdown.store(true, Ordering::Relaxed);
+    server.drain();
+    if let Some(r) = refresher.take() {
+        let _ = r.join();
+    }
+    if let Some(d) = &durable {
+        match d.sync() {
+            Ok(()) => eprintln!("# durable log flushed and synced"),
+            Err(e) => eprintln!("# warning: durable sync failed: {e}"),
+        }
+    }
+    eprintln!("# drained cleanly; exiting");
 }

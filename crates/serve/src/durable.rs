@@ -61,8 +61,17 @@ impl DurableStore {
     /// Append one published epoch (full snapshot + the delta that
     /// produced it, when the publish carried one).
     pub fn append_epoch(&self, snap: &Snapshot, delta: Option<&LinkDelta>) -> io::Result<()> {
+        failpoints::failpoint!("serve::durable_append", |msg: String| Err(
+            io::Error::other(format!("failpoint serve::durable_append: {msg}"))
+        ));
         let persisted = persist(snap);
         self.lock().append_full(snap.epoch, &persisted, delta)
+    }
+
+    /// Flush and fsync the active segment — called once on graceful
+    /// drain so the tail of the log is durable before exit.
+    pub fn sync(&self) -> io::Result<()> {
+        self.lock().sync_active()
     }
 
     /// The newest epoch on disk, revived as a full serving snapshot —

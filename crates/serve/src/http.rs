@@ -430,6 +430,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             410 => "Gone",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }

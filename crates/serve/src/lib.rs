@@ -54,6 +54,7 @@ pub mod api;
 pub mod cache;
 pub mod delta;
 pub mod durable;
+pub mod health;
 pub mod http;
 pub mod live;
 pub mod loadgen;
@@ -66,6 +67,7 @@ pub mod store;
 pub use cache::BodyCache;
 pub use delta::{ChangeLog, SinceAnswer};
 pub use durable::DurableStore;
+pub use health::HealthState;
 pub use live::{bootstrap, spawn_live_refresher, spawn_live_refresher_dist, LiveConfig, LiveStats};
 pub use loadgen::{run_hold_load, run_load, HoldConfig, LoadConfig, LoadReport};
 pub use reactor::{spawn_reactor, ReactorConfig, ReactorStats};

@@ -53,6 +53,58 @@ pub struct LiveStats {
     pub events: AtomicU64,
     /// Epochs actually published (≤ ticks: no-op ticks skip).
     pub published: AtomicU64,
+    /// Times the supervisor caught a tick panic and restarted the loop.
+    pub restarts: AtomicU64,
+}
+
+/// The refresher supervisor: a panicking tick is caught
+/// ([`std::panic::catch_unwind`]), counted, reported to the health
+/// registry, and the loop restarted after exponential backoff (250 ms
+/// doubling to a 5 s cap) — one bad tick must not silently kill push
+/// delivery for the rest of the process lifetime. A clean tick resets
+/// the backoff and clears the `live-refresher` degradation reason.
+struct Supervisor {
+    backoff: Duration,
+}
+
+impl Supervisor {
+    const INITIAL: Duration = Duration::from_millis(250);
+    const CAP: Duration = Duration::from_secs(5);
+
+    fn new() -> Supervisor {
+        Supervisor {
+            backoff: Self::INITIAL,
+        }
+    }
+
+    /// A tick completed cleanly: recovered.
+    fn tick_ok(&mut self, health: &crate::health::HealthState) {
+        self.backoff = Self::INITIAL;
+        health.set_live_restarting(false);
+    }
+
+    /// A tick panicked: count, report, back off (shutdown-aware), grow.
+    fn tick_panicked(
+        &mut self,
+        tag: &str,
+        health: &crate::health::HealthState,
+        stats: &LiveStats,
+        shutdown: &AtomicBool,
+    ) {
+        let n = stats.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+        health.set_live_restarting(true);
+        eprintln!(
+            "mlpeer-serve: {tag} tick panicked; restart #{n} in {:?}",
+            self.backoff
+        );
+        let mut slept = Duration::ZERO;
+        while slept < self.backoff && !shutdown.load(Ordering::Relaxed) {
+            let step = Duration::from_millis(50).min(self.backoff - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        self.backoff = (self.backoff * 2).min(Self::CAP);
+    }
 }
 
 /// Bootstrap the live state from an ecosystem: the inferencer over the
@@ -92,6 +144,7 @@ pub fn spawn_live_refresher(
             // A zero interval must not become a 100% CPU busy-spin.
             let interval = cfg.interval.max(Duration::from_millis(1));
             let mut clock: u64 = 0;
+            let mut supervisor = Supervisor::new();
             loop {
                 let mut slept = Duration::ZERO;
                 while slept < interval {
@@ -106,53 +159,62 @@ pub fn spawn_live_refresher(
                     return;
                 }
 
-                // ---- One tick: apply a batch of churn. ----
-                let version_before = inferencer.state_version();
-                let mut delta = LinkDelta::default();
-                for _ in 0..cfg.events_per_tick {
-                    let event = churn.next_event(&eco);
-                    eco.apply_churn(&event);
-                    let ixp = event.ixp();
-                    let scheme = &eco.ixp(ixp).scheme;
-                    for msg in event_messages(&eco, &event, clock) {
-                        for live_event in decode_message(ixp, scheme, &msg) {
-                            delta.merge(inferencer.apply(&live_event));
+                // ---- One tick: apply a batch of churn (supervised —
+                // a panic anywhere in decode/apply/publish is caught
+                // and the loop restarted after backoff). ----
+                let tick = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    failpoints::failpoint!("serve::live_tick");
+                    let version_before = inferencer.state_version();
+                    let mut delta = LinkDelta::default();
+                    for _ in 0..cfg.events_per_tick {
+                        let event = churn.next_event(&eco);
+                        eco.apply_churn(&event);
+                        let ixp = event.ixp();
+                        let scheme = &eco.ixp(ixp).scheme;
+                        for msg in event_messages(&eco, &event, clock) {
+                            for live_event in decode_message(ixp, scheme, &msg) {
+                                delta.merge(inferencer.apply(&live_event));
+                            }
                         }
+                        clock += 1;
+                        stats.events.fetch_add(1, Ordering::Relaxed);
                     }
-                    clock += 1;
-                    stats.events.fetch_add(1, Ordering::Relaxed);
-                }
-                stats.ticks.fetch_add(1, Ordering::Relaxed);
+                    stats.ticks.fetch_add(1, Ordering::Relaxed);
 
-                if delta.is_empty() && inferencer.state_version() == version_before {
-                    // Nothing served changed: no publish, epoch and
-                    // ETag stay. The state-version check matters —
-                    // prefixes and policies can change without any
-                    // link moving (e.g. an open member originating a
-                    // new prefix), and /v1/prefix must not go stale;
-                    // such a tick publishes a new epoch whose link
-                    // delta is empty.
-                    continue;
+                    if delta.is_empty() && inferencer.state_version() == version_before {
+                        // Nothing served changed: no publish, epoch and
+                        // ETag stay. The state-version check matters —
+                        // prefixes and policies can change without any
+                        // link moving (e.g. an open member originating a
+                        // new prefix), and /v1/prefix must not go stale;
+                        // such a tick publishes a new epoch whose link
+                        // delta is empty.
+                        return;
+                    }
+                    // Uncached build: a tick that moved a handful of links
+                    // must not pay an O(announcement-corpus) body
+                    // pre-render — live-mode GETs render on demand (the
+                    // pre-cache behavior), batch publishes keep the cache.
+                    let snapshot = Snapshot::build_uncached(
+                        &cfg.scale,
+                        cfg.seed,
+                        names.clone(),
+                        inferencer.current().clone(),
+                        &inferencer.observations(),
+                        PassiveStats::default(),
+                    );
+                    let epoch = store.publish_with_delta(snapshot, delta);
+                    stats.published.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "# live: epoch {epoch} after {} events ({} links)",
+                        stats.events.load(Ordering::Relaxed),
+                        store.load().unique_link_count,
+                    );
+                }));
+                match tick {
+                    Ok(()) => supervisor.tick_ok(store.health()),
+                    Err(_) => supervisor.tick_panicked("live", store.health(), &stats, &shutdown),
                 }
-                // Uncached build: a tick that moved a handful of links
-                // must not pay an O(announcement-corpus) body
-                // pre-render — live-mode GETs render on demand (the
-                // pre-cache behavior), batch publishes keep the cache.
-                let snapshot = Snapshot::build_uncached(
-                    &cfg.scale,
-                    cfg.seed,
-                    names.clone(),
-                    inferencer.current().clone(),
-                    &inferencer.observations(),
-                    PassiveStats::default(),
-                );
-                let epoch = store.publish_with_delta(snapshot, delta);
-                stats.published.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "# live: epoch {epoch} after {} events ({} links)",
-                    stats.events.load(Ordering::Relaxed),
-                    store.load().unique_link_count,
-                );
             }
         })
         .expect("spawn live refresher")
@@ -181,6 +243,7 @@ pub fn spawn_live_refresher_dist(
         .spawn(move || {
             let interval = cfg.interval.max(Duration::from_millis(1));
             let mut clock: u64 = 0;
+            let mut supervisor = Supervisor::new();
             loop {
                 let mut slept = Duration::ZERO;
                 while slept < interval {
@@ -197,40 +260,60 @@ pub fn spawn_live_refresher_dist(
                     return;
                 }
 
-                // ---- One tick: decode centrally, fold remotely. ----
-                let mut events = Vec::new();
-                for _ in 0..cfg.events_per_tick {
-                    let event = churn.next_event(&eco);
-                    eco.apply_churn(&event);
-                    let ixp = event.ixp();
-                    let scheme = &eco.ixp(ixp).scheme;
-                    for msg in event_messages(&eco, &event, clock) {
-                        events.extend(decode_message(ixp, scheme, &msg));
+                // ---- One tick: decode centrally, fold remotely
+                // (supervised, like the serial loop). ----
+                let degraded_before = dist.stats().snapshot().degraded;
+                let tick = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    failpoints::failpoint!("serve::live_tick");
+                    let mut events = Vec::new();
+                    for _ in 0..cfg.events_per_tick {
+                        let event = churn.next_event(&eco);
+                        eco.apply_churn(&event);
+                        let ixp = event.ixp();
+                        let scheme = &eco.ixp(ixp).scheme;
+                        for msg in event_messages(&eco, &event, clock) {
+                            events.extend(decode_message(ixp, scheme, &msg));
+                        }
+                        clock += 1;
+                        stats.events.fetch_add(1, Ordering::Relaxed);
                     }
-                    clock += 1;
-                    stats.events.fetch_add(1, Ordering::Relaxed);
-                }
-                let outcome = dist.tick(&events);
-                stats.ticks.fetch_add(1, Ordering::Relaxed);
+                    let outcome = dist.tick(&events);
+                    stats.ticks.fetch_add(1, Ordering::Relaxed);
 
-                if !outcome.changed {
-                    continue;
+                    if !outcome.changed {
+                        return;
+                    }
+                    let snapshot = Snapshot::build_uncached(
+                        &cfg.scale,
+                        cfg.seed,
+                        names.clone(),
+                        outcome.links,
+                        &outcome.observations,
+                        PassiveStats::default(),
+                    );
+                    let epoch = store.publish_with_delta(snapshot, outcome.delta);
+                    stats.published.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "# live[dist]: epoch {epoch} after {} events ({} links)",
+                        stats.events.load(Ordering::Relaxed),
+                        store.load().unique_link_count,
+                    );
+                }));
+                // Workers falling back to in-process execution this
+                // tick is answer-preserving (the fault tests prove
+                // byte-identity) but still a capacity loss worth
+                // surfacing: /readyz reports `dist-workers` until a
+                // tick runs without fresh degradation.
+                let degraded_after = dist.stats().snapshot().degraded;
+                store
+                    .health()
+                    .set_dist_degraded(degraded_after > degraded_before);
+                match tick {
+                    Ok(()) => supervisor.tick_ok(store.health()),
+                    Err(_) => {
+                        supervisor.tick_panicked("live[dist]", store.health(), &stats, &shutdown)
+                    }
                 }
-                let snapshot = Snapshot::build_uncached(
-                    &cfg.scale,
-                    cfg.seed,
-                    names.clone(),
-                    outcome.links,
-                    &outcome.observations,
-                    PassiveStats::default(),
-                );
-                let epoch = store.publish_with_delta(snapshot, outcome.delta);
-                stats.published.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "# live[dist]: epoch {epoch} after {} events ({} links)",
-                    stats.events.load(Ordering::Relaxed),
-                    store.load().unique_link_count,
-                );
             }
         })
         .expect("spawn dist live refresher")
@@ -305,6 +388,7 @@ mod tests {
             store.changes(),
             store.durable(),
             store.live_stats(),
+            None,
             None,
             None,
         );

@@ -113,6 +113,14 @@ pub struct ReactorConfig {
     /// Test hook: shrink accepted sockets' send buffers to force
     /// partial writes deterministically.
     pub sndbuf: Option<usize>,
+    /// Global (cross-shard) in-flight response cap. At the cap a new
+    /// request is shed with a pre-rendered 503 + `Retry-After` instead
+    /// of being routed — overload control that keeps latency bounded
+    /// for the requests already admitted.
+    pub admission: usize,
+    /// How long a graceful drain lets in-flight work finish before the
+    /// shard exits anyway (`--drain-ms`).
+    pub drain_grace: Duration,
 }
 
 impl Default for ReactorConfig {
@@ -126,6 +134,8 @@ impl Default for ReactorConfig {
             #[cfg(not(target_os = "linux"))]
             backend: BackendKind::Poll,
             sndbuf: None,
+            admission: 65_536,
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -141,6 +151,11 @@ pub struct ReactorStats {
     writev_continuations: AtomicU64,
     sse_subscribers: AtomicU64,
     idle_timeouts: AtomicU64,
+    /// Admitted responses queued but not yet fully on the wire —
+    /// global across shards (the stats handle is shared), which is
+    /// what makes the admission cap global.
+    inflight: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl ReactorStats {
@@ -173,6 +188,17 @@ impl ReactorStats {
     pub fn idle_timeouts(&self) -> u64 {
         self.idle_timeouts.load(Ordering::Relaxed)
     }
+
+    /// Admitted responses currently in flight (queued, not yet fully
+    /// written).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed with a 503 at the admission cap.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
 }
 
 /// What a connection is currently doing.
@@ -196,6 +222,10 @@ struct OutBuf {
     head: Vec<u8>,
     body: Body,
     written: usize,
+    /// Does this segment hold an in-flight admission slot? Set for
+    /// routed responses (see [`Shard::queue_response`]); the slot is
+    /// released when the segment fully flushes or its connection dies.
+    counted: bool,
 }
 
 impl OutBuf {
@@ -204,6 +234,7 @@ impl OutBuf {
             head: resp.head_bytes(keep_alive),
             body: resp.body,
             written: 0,
+            counted: false,
         }
     }
 
@@ -212,6 +243,7 @@ impl OutBuf {
             head: bytes,
             body: Body::Owned(Vec::new()),
             written: 0,
+            counted: false,
         }
     }
 
@@ -220,6 +252,7 @@ impl OutBuf {
             head: Vec::new(),
             body: Body::Shared(Arc::clone(bytes) as Arc<dyn AsRef<[u8]> + Send + Sync>),
             written: 0,
+            counted: false,
         }
     }
 }
@@ -232,6 +265,12 @@ struct Conn {
     /// Responses queued for the wire, in request order.
     out: VecDeque<OutBuf>,
     last_activity: Instant,
+    /// When the first byte of a *partial* request head arrived — the
+    /// slowloris deadline. `read_into` refreshes `last_activity` on
+    /// every byte, so a client trickling one header byte per second
+    /// would never look idle; this clock only resets when a complete
+    /// head parses.
+    head_started: Option<Instant>,
     close_after_flush: bool,
     /// Registered for write readiness right now?
     want_write: bool,
@@ -343,6 +382,7 @@ pub fn spawn_reactor(
         stats,
         reactor_stats: Some(rstats),
         shutdown,
+        health: Arc::clone(store.health()),
         threads,
     })
 }
@@ -363,6 +403,9 @@ struct Shard {
     open: usize,
     listener_paused: bool,
     last_scan: Instant,
+    /// `Some` once a graceful drain started: the moment in-flight work
+    /// is abandoned and the shard exits anyway.
+    drain_deadline: Option<Instant>,
 }
 
 impl Shard {
@@ -393,6 +436,7 @@ impl Shard {
             open: 0,
             listener_paused: false,
             last_scan: Instant::now(),
+            drain_deadline: None,
         })
     }
 
@@ -404,6 +448,17 @@ impl Shard {
             self.rstats.wakeups.fetch_add(1, Ordering::Relaxed);
             if self.shutdown.load(Ordering::Relaxed) {
                 return;
+            }
+            // A graceful drain: stop accepting, tell subscribers,
+            // finish what is in flight, exit when the shard is empty
+            // (or the grace deadline passes).
+            if self.drain_deadline.is_none() && self.store.health().is_draining() {
+                self.begin_drain();
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if self.open == 0 || Instant::now() >= deadline {
+                    return;
+                }
             }
             // Accepts are deferred to the end of the batch so a slab
             // slot freed mid-batch is never reused while stale events
@@ -446,6 +501,9 @@ impl Shard {
     // ---- accept path ----
 
     fn accept_ready(&mut self) {
+        if self.drain_deadline.is_some() {
+            return; // draining: the listener is already deregistered
+        }
         loop {
             if self.open >= self.cfg.max_conns {
                 self.pause_listener();
@@ -485,6 +543,7 @@ impl Shard {
                 buf: Vec::new(),
                 out: VecDeque::new(),
                 last_activity: Instant::now(),
+                head_started: None,
                 close_after_flush: false,
                 want_write: false,
                 mode: Mode::Http,
@@ -515,6 +574,66 @@ impl Shard {
         }
     }
 
+    // ---- graceful drain ----
+
+    /// Enter drain mode: deregister the listener (new clients are
+    /// refused once the process exits; until then they wait in the
+    /// backlog), push a terminal `shutdown` event to every SSE
+    /// subscriber, complete parked long-polls with the current delta,
+    /// and let plain keep-alive connections finish their buffered
+    /// requests before closing. The shard then runs on until every
+    /// connection has flushed and closed, or the grace deadline
+    /// passes.
+    fn begin_drain(&mut self) {
+        self.drain_deadline = Some(Instant::now() + self.cfg.drain_grace);
+        self.pause_listener();
+        let snap = self.store.load();
+        for idx in 0..self.conns.len() {
+            let mode = match self.conns[idx].as_ref() {
+                Some(conn) => conn.mode,
+                None => continue,
+            };
+            match mode {
+                Mode::Sse { .. } => {
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        conn.out.push_back(OutBuf::raw(sse_frame(
+                            snap.epoch,
+                            "shutdown",
+                            b"{\"status\": \"draining\"}",
+                        )));
+                        conn.close_after_flush = true;
+                    }
+                    self.flush(idx);
+                }
+                Mode::LongPoll { since, .. } => {
+                    // Answer now, exactly as the idle deadline would,
+                    // then close: the client re-polls the next replica.
+                    let resp = api::render_changes(
+                        &snap,
+                        self.store.changes(),
+                        self.store.durable(),
+                        since,
+                    );
+                    count_response(&self.stats, resp.status);
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        conn.mode = Mode::Http;
+                    }
+                    self.queue_response(idx, resp, false);
+                    self.flush(idx);
+                }
+                Mode::Http => {
+                    // Answer whatever the client already sent, then
+                    // close once the responses are on the wire.
+                    self.process_requests(idx);
+                    if let Some(conn) = self.conns[idx].as_mut() {
+                        conn.close_after_flush = true;
+                    }
+                    self.flush(idx);
+                }
+            }
+        }
+    }
+
     // ---- read path ----
 
     fn read_conn(&mut self, idx: usize) {
@@ -527,6 +646,11 @@ impl Shard {
                 // Subscribers have nothing more to say; drop stray
                 // bytes so a chatty client cannot grow the buffer.
                 conn.buf.clear();
+            }
+            if !conn.buf.is_empty() && conn.head_started.is_none() {
+                // The slowloris clock starts at the first byte of a
+                // (so far incomplete) head.
+                conn.head_started = Some(Instant::now());
             }
             outcome
         };
@@ -561,6 +685,10 @@ impl Shard {
                     Ok(Some((req, consumed))) => {
                         conn.buf.drain(..consumed);
                         conn.last_activity = Instant::now();
+                        // A complete head arrived: the slowloris clock
+                        // restarts (leftover pipelined bytes are the
+                        // start of the next head).
+                        conn.head_started = (!conn.buf.is_empty()).then(Instant::now);
                         req
                     }
                     Ok(None) => return,
@@ -583,6 +711,19 @@ impl Shard {
 
     fn handle_request(&mut self, idx: usize, req: Request) {
         self.stats.record_request();
+        // Overload control: at the global in-flight cap the request is
+        // shed with a pre-rendered 503 before any routing or snapshot
+        // work — the cost of a shed must stay far below the cost of
+        // the work being refused, or shedding would not shed load.
+        if self.rstats.inflight.load(Ordering::Relaxed) >= self.cfg.admission as u64 {
+            self.rstats.shed.fetch_add(1, Ordering::Relaxed);
+            count_response(&self.stats, 503);
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.out.push_back(OutBuf::shared(shed_response()));
+                conn.close_after_flush = true;
+            }
+            return;
+        }
         let snap = self.store.load();
         let keep_alive = !req.wants_close();
         let path = req.path.trim_end_matches('/');
@@ -637,6 +778,7 @@ impl Shard {
             self.store.live_stats(),
             Some(&self.rstats),
             self.store.dist_stats(),
+            Some(self.store.health().as_ref()),
         );
         count_response(&self.stats, resp.status);
         self.queue_response(idx, resp, keep_alive);
@@ -671,7 +813,13 @@ impl Shard {
         let Some(conn) = self.conns[idx].as_mut() else {
             return;
         };
-        conn.out.push_back(OutBuf::response(resp, keep_alive));
+        let mut out = OutBuf::response(resp, keep_alive);
+        // Every routed response holds an admission slot until it is
+        // fully on the wire (shed 503s bypass this path, so shedding
+        // cannot consume the capacity it protects).
+        out.counted = true;
+        self.rstats.inflight.fetch_add(1, Ordering::Relaxed);
+        conn.out.push_back(out);
         if !keep_alive {
             conn.close_after_flush = true;
         }
@@ -768,28 +916,52 @@ impl Shard {
         for idx in 0..self.conns.len() {
             enum Due {
                 Idle,
+                SlowHead,
                 PollTimeout { since: u64, keep_alive: bool },
             }
             let due = {
                 let Some(conn) = self.conns[idx].as_ref() else {
                     continue;
                 };
-                if now.duration_since(conn.last_activity) < self.cfg.idle {
+                // Slowloris: `read_into` refreshes `last_activity` on
+                // every byte, so a client trickling one header byte at
+                // a time never looks idle — the head clock catches it:
+                // a head must complete within one idle window of its
+                // first byte no matter how steadily bytes arrive.
+                let head_overdue = matches!(conn.mode, Mode::Http)
+                    && conn.out.is_empty()
+                    && !conn.close_after_flush
+                    && conn
+                        .head_started
+                        .is_some_and(|t| now.duration_since(t) >= self.cfg.idle);
+                if head_overdue {
+                    Due::SlowHead
+                } else if now.duration_since(conn.last_activity) < self.cfg.idle {
                     continue;
-                }
-                match conn.mode {
-                    // Only a connection we owe nothing is idle; a slow
-                    // reader with queued output is still in flight, and
-                    // SSE subscribers are parked by design.
-                    Mode::Http if conn.out.is_empty() && !conn.close_after_flush => Due::Idle,
-                    Mode::LongPoll { since, keep_alive } => Due::PollTimeout { since, keep_alive },
-                    _ => continue,
+                } else {
+                    match conn.mode {
+                        // Only a connection we owe nothing is idle; a slow
+                        // reader with queued output is still in flight, and
+                        // SSE subscribers are parked by design.
+                        Mode::Http if conn.out.is_empty() && !conn.close_after_flush => Due::Idle,
+                        Mode::LongPoll { since, keep_alive } => {
+                            Due::PollTimeout { since, keep_alive }
+                        }
+                        _ => continue,
+                    }
                 }
             };
             match due {
                 Due::Idle => {
                     self.rstats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
                     let resp = api::error(408, "idle keep-alive connection timed out");
+                    count_response(&self.stats, resp.status);
+                    self.queue_response(idx, resp, false);
+                    self.flush(idx);
+                }
+                Due::SlowHead => {
+                    self.rstats.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+                    let resp = api::error(408, "request header read timed out");
                     count_response(&self.stats, resp.status);
                     self.queue_response(idx, resp, false);
                     self.flush(idx);
@@ -861,11 +1033,18 @@ impl Shard {
         if matches!(conn.mode, Mode::Sse { .. }) {
             self.rstats.sse_subscribers.fetch_sub(1, Ordering::Relaxed);
         }
+        // Release admission slots still held by unflushed responses,
+        // or a burst of dying connections would pin the cap forever.
+        for out in &conn.out {
+            if out.counted {
+                self.rstats.inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
         drop(conn);
         self.free.push(idx);
         self.open -= 1;
         self.rstats.open.fetch_sub(1, Ordering::Relaxed);
-        if self.listener_paused && self.open < self.cfg.max_conns {
+        if self.listener_paused && self.open < self.cfg.max_conns && self.drain_deadline.is_none() {
             self.resume_listener();
         }
     }
@@ -896,9 +1075,15 @@ fn read_into(conn: &mut Conn) -> ReadOutcome {
 /// Write the front of the queue with `writev`: one syscall covers the
 /// rendered head and the (possibly shared, zero-copy) body slice.
 fn try_flush(conn: &mut Conn, rstats: &ReactorStats) -> FlushOutcome {
+    let release = |out: &OutBuf| {
+        if out.counted {
+            rstats.inflight.fetch_sub(1, Ordering::Relaxed);
+        }
+    };
     while let Some(front) = conn.out.front() {
         let total = front.head.len() + front.body.len();
         if front.written >= total {
+            release(front);
             conn.out.pop_front();
             continue;
         }
@@ -926,6 +1111,7 @@ fn try_flush(conn: &mut Conn, rstats: &ReactorStats) -> FlushOutcome {
         let front = conn.out.front_mut().expect("front still queued");
         front.written += written;
         if front.written >= total {
+            release(front);
             conn.out.pop_front();
         }
     }
@@ -934,6 +1120,21 @@ fn try_flush(conn: &mut Conn, rstats: &ReactorStats) -> FlushOutcome {
     } else {
         FlushOutcome::Drained
     }
+}
+
+/// The pre-rendered overload response (503 + `Retry-After`, framed
+/// with `Connection: close`): rendered once per process and shared, so
+/// shedding a request costs a counter check and a queue push — far
+/// below the routing and rendering work it refuses.
+fn shed_response() -> &'static Arc<Vec<u8>> {
+    static SHED: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+    SHED.get_or_init(|| {
+        let resp =
+            api::error(503, "server overloaded; retry shortly").with_header("Retry-After", "1");
+        let mut bytes = resp.head_bytes(false);
+        bytes.extend_from_slice(resp.body.as_slice());
+        Arc::new(bytes)
+    })
 }
 
 /// One SSE frame. JSON bodies may be pretty-printed across lines, so
@@ -1391,5 +1592,120 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"epoch\": 1"), "{body}");
         server.stop();
+    }
+
+    /// A client dribbling header bytes forever cannot hold a
+    /// connection open past the idle window: per-byte activity keeps
+    /// `last_activity` fresh, but the head-read clock starts at the
+    /// first partial byte and only resets when a full head parses, so
+    /// the dribbler draws a 408 and a close.
+    #[test]
+    fn slowloris_header_dribble_draws_408() {
+        let cfg = ReactorConfig {
+            idle: Duration::from_millis(200),
+            ..ReactorConfig::default()
+        };
+        let (_store, server) = boot(2, cfg);
+        let s = TcpStream::connect(server.addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut writer = s.try_clone().unwrap();
+        let dribbler = std::thread::spawn(move || {
+            // A header line that keeps growing and never terminates —
+            // one byte every 60ms, well inside the 200ms idle window.
+            let _ = writer.write_all(b"GET /healthz HTTP/1.1\r\nX-Pad: ");
+            let _ = writer.flush();
+            for _ in 0..100 {
+                if writer.write_all(b"a").is_err() || writer.flush().is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(60));
+            }
+        });
+        let parts = read_response(&mut BufReader::new(s)).unwrap();
+        assert_eq!(parts.status, 408, "slow header read must time out");
+        assert!(rstats(&server).idle_timeouts() >= 1);
+        dribbler.join().unwrap();
+    }
+
+    /// With the admission cap at zero every routed request is shed with
+    /// the pre-rendered 503 + Retry-After before touching a snapshot,
+    /// the shed counter moves, and no in-flight slot leaks.
+    #[test]
+    fn admission_cap_sheds_with_503_retry_after() {
+        let cfg = ReactorConfig {
+            admission: 0,
+            ..ReactorConfig::default()
+        };
+        let (_store, server) = boot(2, cfg);
+        let mut s = TcpStream::connect(server.addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(s, "GET /v1/ixps HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let parts = read_response(&mut BufReader::new(s)).unwrap();
+        assert_eq!(parts.status, 503);
+        assert_eq!(parts.header("retry-after"), Some("1"));
+        assert!(String::from_utf8(parts.body)
+            .unwrap()
+            .contains("overloaded"));
+        assert!(rstats(&server).shed() >= 1);
+        assert_eq!(
+            rstats(&server).inflight(),
+            0,
+            "shed responses must not hold admission slots"
+        );
+    }
+
+    /// Draining completes in-flight work: the SSE subscriber gets a
+    /// terminal `shutdown` event and a close, the idle keep-alive
+    /// connection closes, and the shard threads exit well before the
+    /// grace deadline.
+    #[test]
+    fn drain_notifies_sse_and_exits_before_grace() {
+        let cfg = ReactorConfig {
+            drain_grace: Duration::from_secs(10),
+            ..ReactorConfig::default()
+        };
+        let (store, mut server) = boot(3, cfg);
+        // Park an SSE subscriber…
+        let mut sse = TcpStream::connect(server.addr).unwrap();
+        sse.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        write!(
+            sse,
+            "GET /v1/changes?since=0 HTTP/1.1\r\nHost: t\r\n\
+             Accept: text/event-stream\r\n\r\n"
+        )
+        .unwrap();
+        let mut collected = Vec::new();
+        read_until(&mut sse, &mut collected, b"event: changes\n");
+        wait_for("subscriber registration", || {
+            rstats(&server).sse_subscribers() == 1
+        });
+        // …and an idle keep-alive connection.
+        let mut idle = TcpStream::connect(server.addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(idle, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let first = read_response(&mut BufReader::new(idle.try_clone().unwrap())).unwrap();
+        assert_eq!(first.status, 200);
+        let t0 = Instant::now();
+        server.drain();
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "drain must finish on connection count, not the grace deadline"
+        );
+        assert!(store.health().is_draining());
+        // The parked stream got the terminal event, then EOF.
+        read_until(&mut sse, &mut collected, b"event: shutdown\n");
+        read_until(&mut sse, &mut collected, b"\"draining\"");
+        let mut scratch = [0u8; 256];
+        sse.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        loop {
+            match sse.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e) => panic!("stream must close after shutdown event: {e}"),
+            }
+        }
+        // The idle keep-alive connection was simply closed.
+        assert_eq!(idle.read(&mut scratch).unwrap(), 0);
     }
 }

@@ -91,6 +91,9 @@ pub struct ServerHandle {
     /// `None` under the threaded engine.
     pub reactor_stats: Option<Arc<crate::reactor::ReactorStats>>,
     pub(crate) shutdown: Arc<AtomicBool>,
+    /// The served store's health registry — the drain flag lives here
+    /// so `/readyz` and the engines see the same state.
+    pub(crate) health: Arc<crate::health::HealthState>,
     /// The accept thread (threaded engine) or one thread per reactor
     /// shard.
     pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
@@ -107,6 +110,27 @@ impl ServerHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+    }
+
+    /// Graceful drain: flip the health registry's drain flag (so
+    /// `/readyz` answers `draining` and both engines stop accepting),
+    /// let in-flight requests finish — the reactor pushes a terminal
+    /// `shutdown` SSE event and completes parked long-polls; grace is
+    /// bounded by [`crate::reactor::ReactorConfig::drain_grace`] — and
+    /// join the serve threads. Idempotent.
+    pub fn drain(&mut self) {
+        self.health.set_draining();
+        // Unblock a blocking accept / wake the poller shards.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// True once every serve thread has exited — lets a supervisor
+    /// poll for liveness without consuming the handles.
+    pub fn is_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.is_finished())
     }
 
     /// Block until the server exits (Ctrl-C for the binary).
@@ -135,15 +159,17 @@ pub fn spawn_server(
     let addr = listener.local_addr()?;
     let stats = Arc::new(ServerStats::default());
     let shutdown = Arc::new(AtomicBool::new(false));
+    let health = Arc::clone(store.health());
     let accept_thread = {
         let stats = Arc::clone(&stats);
         let shutdown = Arc::clone(&shutdown);
+        let health = Arc::clone(&health);
         std::thread::Builder::new()
             .name("mlpeer-serve-accept".into())
             .spawn(move || {
                 let pool = ThreadPool::new(workers);
                 for conn in listener.incoming() {
-                    if shutdown.load(Ordering::Relaxed) {
+                    if shutdown.load(Ordering::Relaxed) || health.is_draining() {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
@@ -161,6 +187,7 @@ pub fn spawn_server(
         stats,
         reactor_stats: None,
         shutdown,
+        health,
         threads: vec![accept_thread],
     })
 }
@@ -213,9 +240,12 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
             store.live_stats(),
             None,
             store.dist_stats(),
+            Some(store.health().as_ref()),
         );
         count_response(stats, response.status);
-        let keep_alive = !req.wants_close();
+        // During a drain the in-flight request finishes, but the
+        // response carries `Connection: close` and the worker frees up.
+        let keep_alive = !req.wants_close() && !store.health().is_draining();
         if response.write_to(&mut write_half, keep_alive).is_err() || !keep_alive {
             break;
         }
@@ -229,7 +259,7 @@ fn handle_connection(stream: TcpStream, store: &SnapshotStore, stats: &ServerSta
 mod tests {
     use super::*;
     use crate::snapshot::Snapshot;
-    use std::io::Write;
+    use std::io::{Read, Write};
 
     fn tiny_snapshot(members: u32) -> Snapshot {
         crate::testutil::snapshot_with(members, u64::from(members))
@@ -285,5 +315,39 @@ mod tests {
         drop(writer);
         drop(reader);
         server.stop();
+    }
+
+    /// Once the drain flag is up, the threaded engine finishes the
+    /// in-flight request but answers it `Connection: close`, freeing
+    /// the pooled worker so `drain()` returns promptly.
+    #[test]
+    fn drain_closes_keep_alive_connections() {
+        let store = crate::store::SnapshotStore::new(tiny_snapshot(2));
+        let mut server = spawn_server(Arc::clone(&store), "127.0.0.1:0", 2).unwrap();
+        let s = TcpStream::connect(server.addr).unwrap();
+        let mut writer = s.try_clone().unwrap();
+        let mut reader = BufReader::new(s);
+        write!(writer, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let first = crate::http::read_response(&mut reader).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        // Flip the drain flag directly (the binary does this via
+        // ServerHandle::drain on SIGTERM) and issue the in-flight
+        // request: it completes, but closes the connection.
+        store.health().set_draining();
+        write!(writer, "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let second = crate::http::read_response(&mut reader).unwrap();
+        assert_eq!(second.status, 503, "/readyz answers draining with 503");
+        assert_eq!(second.header("connection"), Some("close"));
+        assert!(String::from_utf8(second.body).unwrap().contains("draining"));
+        let mut scratch = [0u8; 64];
+        assert_eq!(
+            reader.get_mut().read(&mut scratch).unwrap(),
+            0,
+            "server closes after the drained response"
+        );
+        // With the worker freed, draining the handle joins quickly.
+        server.drain();
+        assert!(server.is_finished());
     }
 }

@@ -53,6 +53,15 @@ pub struct SnapshotStore {
     /// matches publish order; an append failure is reported and served
     /// past (availability over durability), never a panic.
     durable: std::sync::OnceLock<Arc<crate::durable::DurableStore>>,
+    /// Degradation registry behind `/readyz`: the durability breaker,
+    /// supervisor flags, and the drain flag all live here.
+    health: Arc<crate::health::HealthState>,
+    /// The newest epoch that failed to persist while the durability
+    /// breaker is open, kept for the recovery probe to catch up with.
+    /// `Arc`-wrapped so the probe thread can share it without owning
+    /// the store.
+    #[allow(clippy::type_complexity)]
+    pending_persist: Arc<Mutex<Option<(Arc<Snapshot>, Option<LinkDelta>)>>>,
 }
 
 impl SnapshotStore {
@@ -81,14 +90,24 @@ impl SnapshotStore {
             dist_stats: std::sync::OnceLock::new(),
             hooks: Mutex::new(Vec::new()),
             durable: std::sync::OnceLock::new(),
+            health: crate::health::HealthState::new(),
+            pending_persist: Arc::new(Mutex::new(None)),
         })
     }
 
-    /// Attach the on-disk epoch log (first attach wins). From here on,
-    /// every publish also appends to the log. If the log is empty —
-    /// a fresh `--data-dir` — the current snapshot is appended
-    /// immediately so epoch 0 (or the resumed epoch) is on disk before
-    /// any traffic is served.
+    /// The degradation registry behind `/readyz`.
+    pub fn health(&self) -> &Arc<crate::health::HealthState> {
+        &self.health
+    }
+
+    /// Attach the on-disk epoch log (first attach wins; a second
+    /// attach is the only error). From here on, every publish also
+    /// appends to the log. If the log is empty — a fresh `--data-dir`
+    /// — the current snapshot is appended immediately so epoch 0 (or
+    /// the resumed epoch) is on disk before any traffic is served; if
+    /// that boot append fails, availability wins: the breaker opens at
+    /// once, the epoch parks in the pending slot, and the recovery
+    /// probe lands it when the disk answers.
     pub fn attach_durable(
         &self,
         durable: Arc<crate::durable::DurableStore>,
@@ -104,7 +123,22 @@ impl SnapshotStore {
             ));
         }
         if attached.latest_epoch().is_none() {
-            attached.append_epoch(&current, None)?;
+            if let Err(err) = attached.append_epoch(&current, None) {
+                eprintln!(
+                    "mlpeer-serve: failed to persist boot epoch {}: {err}; \
+                     durability breaker OPEN, probing for recovery",
+                    current.epoch
+                );
+                *self.pending_persist.lock().expect("pending lock") =
+                    Some((Arc::clone(&current), None));
+                if self.health.trip_durable_breaker() {
+                    spawn_durable_probe(
+                        attached,
+                        Arc::clone(&self.health),
+                        Arc::clone(&self.pending_persist),
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -117,14 +151,45 @@ impl SnapshotStore {
 
     /// Append a freshly published epoch to the attached log (called
     /// with the swap lock held). Failures degrade durability, not
-    /// availability: the epoch still serves, the error is reported.
-    fn persist_published(&self, snapshot: &Snapshot, delta: Option<&LinkDelta>) {
-        if let Some(durable) = self.durable.get() {
-            if let Err(err) = durable.append_epoch(snapshot, delta) {
+    /// availability: the epoch still serves, the error is reported, and
+    /// [`crate::health::DURABLE_BREAKER_THRESHOLD`] consecutive
+    /// failures trip the read-only-durability breaker — the publish
+    /// path stops attempting appends (keeping publishes fast under a
+    /// dead disk) and a background probe retries with exponential
+    /// backoff until the log answers again, catching it up to the
+    /// newest epoch and closing the breaker.
+    fn persist_published(&self, snapshot: &Arc<Snapshot>, delta: Option<&LinkDelta>) {
+        let Some(durable) = self.durable.get() else {
+            return;
+        };
+        if self.health.durable_breaker_open() {
+            // Read-only durability: remember the newest epoch for the
+            // probe instead of hammering a failing disk per publish.
+            *self.pending_persist.lock().expect("pending lock") =
+                Some((Arc::clone(snapshot), delta.cloned()));
+            return;
+        }
+        match durable.append_epoch(snapshot, delta) {
+            Ok(()) => self.health.record_durable_success(),
+            Err(err) => {
                 eprintln!(
                     "mlpeer-serve: failed to persist epoch {}: {err}",
                     snapshot.epoch
                 );
+                *self.pending_persist.lock().expect("pending lock") =
+                    Some((Arc::clone(snapshot), delta.cloned()));
+                if self.health.record_durable_failure() {
+                    eprintln!(
+                        "mlpeer-serve: durability breaker OPEN after {} consecutive \
+                         append failures; serving read-only durability, probing for recovery",
+                        crate::health::DURABLE_BREAKER_THRESHOLD
+                    );
+                    spawn_durable_probe(
+                        Arc::clone(durable),
+                        Arc::clone(&self.health),
+                        Arc::clone(&self.pending_persist),
+                    );
+                }
             }
         }
     }
@@ -195,6 +260,7 @@ impl SnapshotStore {
     /// publishers serialize: the snapshot installed last always carries
     /// the highest epoch and `load()` never observes epochs regress.
     pub fn publish(&self, mut snapshot: Snapshot) -> u64 {
+        failpoints::failpoint!("serve::publish");
         let mut current = self.current.lock().expect("store lock never poisoned");
         let epoch = current.epoch + 1;
         snapshot.epoch = epoch;
@@ -215,6 +281,7 @@ impl SnapshotStore {
     /// change ring under the assigned epoch (atomically with the swap,
     /// so `/v1/changes` never observes an epoch before its delta).
     pub fn publish_with_delta(&self, mut snapshot: Snapshot, delta: LinkDelta) -> u64 {
+        failpoints::failpoint!("serve::publish");
         let mut current = self.current.lock().expect("store lock never poisoned");
         let epoch = current.epoch + 1;
         snapshot.epoch = epoch;
@@ -230,6 +297,70 @@ impl SnapshotStore {
     /// Number of swaps since the store opened.
     pub fn swap_count(&self) -> u64 {
         self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+/// The durability recovery probe: spawned once when the breaker trips
+/// (the [`HealthState`] probe slot makes it exclusive), retries the
+/// newest failed epoch with exponential backoff — 50 ms doubling to a
+/// 2 s cap — and closes the breaker once an append lands. It then
+/// drains any epoch published *during* the retry before exiting, so
+/// the log always catches up to the newest snapshot without waiting
+/// for the next publish. Owns only `Arc`s (log, health, the pending
+/// slot), never the store, so it cannot keep a dropped store alive.
+///
+/// [`HealthState`]: crate::health::HealthState
+#[allow(clippy::type_complexity)]
+fn spawn_durable_probe(
+    durable: Arc<crate::durable::DurableStore>,
+    health: Arc<crate::health::HealthState>,
+    pending: Arc<Mutex<Option<(Arc<Snapshot>, Option<LinkDelta>)>>>,
+) {
+    if !health.claim_probe() {
+        return;
+    }
+    let thread_health = Arc::clone(&health);
+    let spawned = std::thread::Builder::new()
+        .name("mlpeer-serve-durable-probe".into())
+        .spawn(move || {
+            let health = thread_health;
+            let mut backoff = std::time::Duration::from_millis(50);
+            loop {
+                std::thread::sleep(backoff);
+                let Some((snap, delta)) = pending.lock().expect("pending lock").clone() else {
+                    // Nothing left to persist: recovered.
+                    health.record_durable_success();
+                    break;
+                };
+                let result = if durable.latest_epoch().is_some_and(|l| l >= snap.epoch) {
+                    Ok(()) // someone already persisted it
+                } else {
+                    durable.append_epoch(&snap, delta.as_ref())
+                };
+                match result {
+                    Ok(()) => {
+                        let mut slot = pending.lock().expect("pending lock");
+                        if slot.as_ref().is_some_and(|(s, _)| s.epoch <= snap.epoch) {
+                            *slot = None;
+                        }
+                        // Loop once more: a newer epoch may have landed
+                        // in the slot while we were appending.
+                        backoff = std::time::Duration::from_millis(50);
+                    }
+                    Err(err) => {
+                        eprintln!(
+                            "mlpeer-serve: durability probe: epoch {} still failing: {err}",
+                            snap.epoch
+                        );
+                        backoff = (backoff * 2).min(std::time::Duration::from_secs(2));
+                    }
+                }
+            }
+            eprintln!("mlpeer-serve: durability breaker CLOSED; epoch log caught up");
+            health.release_probe();
+        });
+    if spawned.is_err() {
+        health.release_probe();
     }
 }
 

@@ -315,7 +315,7 @@ pub fn get_links(r: &mut Reader<'_>) -> Result<MlpLinkSet, CodecError> {
     Ok(links)
 }
 
-/// Encode [`PassiveStats`] (seven u64 counters, fixed order).
+/// Encode [`PassiveStats`] (eight u64 counters, fixed order).
 pub fn put_passive(w: &mut Writer, p: &PassiveStats) {
     for v in [
         p.routes_seen,
@@ -325,6 +325,7 @@ pub fn put_passive(w: &mut Writer, p: &PassiveStats) {
         p.unidentified,
         p.setter_unknown,
         p.observations,
+        p.quarantined,
     ] {
         w.put_u64(v as u64);
     }
@@ -340,6 +341,7 @@ pub fn get_passive(r: &mut Reader<'_>) -> Result<PassiveStats, CodecError> {
         unidentified: r.u64()? as usize,
         setter_unknown: r.u64()? as usize,
         observations: r.u64()? as usize,
+        quarantined: r.u64()? as usize,
     })
 }
 
@@ -519,6 +521,7 @@ pub(crate) mod tests {
                 unidentified: 4,
                 setter_unknown: 5,
                 observations: 85,
+                quarantined: 6,
             },
         }
     }

@@ -56,8 +56,10 @@ use crate::codec::{get_delta, put_delta, PersistedSnapshot, Reader, Writer};
 
 /// Record magic: `MLPS` as raw bytes.
 pub const RECORD_MAGIC: [u8; 4] = *b"MLPS";
-/// On-disk format version of the record *payloads*.
-pub const RECORD_VERSION: u8 = 1;
+/// On-disk format version of the record *payloads*. Version 2 added
+/// the `quarantined` counter to the persisted passive stats; version-1
+/// records read as invalid and recovery truncates before them.
+pub const RECORD_VERSION: u8 = 2;
 /// Bytes before the payload (magic + version + kind + flags + epoch +
 /// payload_len).
 const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 8 + 4;
@@ -424,16 +426,25 @@ impl EpochLog {
         has_delta: bool,
         payload: &[u8],
     ) -> io::Result<()> {
+        failpoints::failpoint!("store::append", |msg: String| Err(io::Error::other(
+            format!("failpoint store::append: {msg}")
+        )));
         // Roll: seal the active segment once it crossed the threshold.
         let need_new = match self.segments.last() {
             None => true,
             Some(seg) => seg.bytes >= self.cfg.segment_bytes,
         };
         if need_new {
+            failpoints::failpoint!("store::seal", |msg: String| Err(io::Error::other(format!(
+                "failpoint store::seal: {msg}"
+            ))));
             if let Some(seg) = self.segments.last_mut() {
                 seg.sealed = true;
             }
             if let Some(f) = self.active.take() {
+                failpoints::failpoint!("store::fsync", |msg: String| Err(io::Error::other(
+                    format!("failpoint store::fsync: {msg}")
+                )));
                 f.sync_all()?;
             }
             let path = segment_path(&self.dir, epoch);
@@ -470,10 +481,26 @@ impl EpochLog {
         Ok(())
     }
 
+    /// Flush and fsync the active segment — the graceful-drain hook.
+    /// Every appended record is already `write_all` + `flush`ed, so
+    /// this only adds the `sync_all` a sealed segment would get; the
+    /// segment stays the append target (a later boot reopens it as
+    /// active). A no-op on an empty log.
+    pub fn sync_active(&mut self) -> io::Result<()> {
+        failpoints::failpoint!("store::fsync", |msg: String| Err(io::Error::other(
+            format!("failpoint store::fsync: {msg}")
+        )));
+        match self.active.as_mut() {
+            Some(f) => f.sync_all(),
+            None => Ok(()),
+        }
+    }
+
     /// The raw payload bytes of one record. Sealed segments answer out
     /// of a cached mapping; the active segment is mapped fresh per read
     /// (its tail grows, so the cache would go stale).
     fn payload_bytes(&mut self, epoch: u64) -> Option<Vec<u8>> {
+        failpoints::failpoint!("store::mmap_open", |_msg| None);
         let entry = *self.index.get(&epoch)?;
         let seg = &mut self.segments[entry.seg];
         let start = entry.offset as usize + HEADER_LEN;

@@ -103,6 +103,7 @@ fn arb_snapshot(rng: &mut StdRng) -> PersistedSnapshot {
             unidentified: rng.gen_range(0..1000usize),
             setter_unknown: rng.gen_range(0..1000usize),
             observations: rng.gen_range(0..1_000_000usize),
+            quarantined: rng.gen_range(0..1000usize),
         },
     }
 }

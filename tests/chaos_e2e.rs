@@ -1,0 +1,252 @@
+//! Chaos end-to-end suite: activate failpoints across the store, dist
+//! and serve layers and assert the degradation contract — the server
+//! keeps answering **byte-identical** reads while a fault is firing,
+//! `/readyz` truthfully names each degraded reason, and clearing the
+//! failpoint returns the system to `ready` without a restart.
+//!
+//! Failpoints are process-global, so every test serializes on one
+//! mutex and tears the registry down on entry and exit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use mlpeer_bench::Scale;
+use mlpeer_data::churn::ChurnConfig;
+use mlpeer_dist::{default_worker_cmd, DistConfig, DistStats};
+use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+use mlpeer_serve::{
+    bootstrap, spawn_live_refresher, DurableStore, LiveConfig, LiveStats, Snapshot, SnapshotStore,
+};
+
+/// One registry, one test at a time. A poisoned guard (a failed test)
+/// must not cascade, so the lock is recovered rather than unwrapped.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> MutexGuard<'static, ()> {
+    let guard = CHAOS.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::teardown();
+    guard
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mlpeer-chaos-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Poll a condition until it holds (or panic at the deadline).
+fn wait_for(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let until = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < until, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Store-layer append failures trip the serve-side durability breaker
+/// after three consecutive publishes; memory-path reads stay
+/// byte-identical to a fault-free store throughout, `/readyz` names
+/// `durable-append`, and once the fault clears the recovery probe
+/// persists the pending epoch and closes the breaker — no restart.
+#[test]
+fn store_append_failure_degrades_then_probe_recovers() {
+    let _guard = chaos_guard();
+    let seed = 20130501;
+    let eco = Ecosystem::generate(Scale::Tiny.config(seed));
+    // The pipeline is deterministic in (scale, seed): every build is
+    // byte-identical, which is what makes the faulty/clean comparison
+    // meaningful.
+    let build = || Snapshot::of_pipeline(&eco, Scale::Tiny, seed);
+
+    let dir = temp_dir("breaker");
+    let durable = Arc::new(DurableStore::open(&dir).unwrap());
+    let faulty = SnapshotStore::new(build());
+    faulty.attach_durable(Arc::clone(&durable)).unwrap();
+    let clean = SnapshotStore::new(build());
+
+    failpoints::cfg("store::append", "return(chaos: disk gone)").unwrap();
+    for _ in 0..3 {
+        faulty.publish(build());
+        clean.publish(build());
+    }
+    let health = faulty.health();
+    assert!(health.durable_breaker_open(), "3 failures trip the breaker");
+    assert_eq!(health.status(), "degraded");
+    assert_eq!(health.reasons(), vec!["durable-append"]);
+    assert!(failpoints::hits("store::append") >= 3);
+
+    // The memory path never noticed: same epoch, same content ETag,
+    // byte-identical snapshot-addressed renders as the fault-free run.
+    let (f, c) = (faulty.load(), clean.load());
+    assert_eq!(f.epoch, c.epoch);
+    assert_eq!(f.etag, c.etag, "ETag must not move under store faults");
+    let req = mlpeer_serve::http::Request {
+        method: "GET".into(),
+        path: "/v1/ixps".into(),
+        ..Default::default()
+    };
+    let stats = mlpeer_serve::ServerStats::default();
+    let render = |store: &SnapshotStore, snap: &Arc<Snapshot>| {
+        mlpeer_serve::api::route(
+            &req,
+            snap,
+            &stats,
+            store.changes(),
+            None,
+            None,
+            None,
+            None,
+            Some(store.health().as_ref()),
+        )
+        .body
+        .as_slice()
+        .to_vec()
+    };
+    assert_eq!(
+        render(&faulty, &f),
+        render(&clean, &c),
+        "reads are byte-identical while the breaker is open"
+    );
+
+    // Clear the fault: the probe (50 ms → 2 s backoff) lands the
+    // pending epoch and closes the breaker without another publish.
+    failpoints::remove("store::append");
+    wait_for("durability probe recovery", Duration::from_secs(10), || {
+        !faulty.health().durable_breaker_open()
+    });
+    wait_for("log catches up", Duration::from_secs(10), || {
+        durable.latest_epoch() == Some(faulty.load().epoch)
+    });
+    assert_eq!(faulty.health().status(), "ready");
+    assert!(faulty.health().durable_recoveries() >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A boot-time attach whose catch-up append fails must not abort the
+/// process: availability wins. The breaker opens immediately (there is
+/// no append history to smooth over), reads serve from memory, and the
+/// recovery probe lands the boot epoch once the disk answers.
+#[test]
+fn boot_attach_failure_degrades_and_probe_lands_epoch_zero() {
+    let _guard = chaos_guard();
+    let seed = 20130501;
+    let eco = Ecosystem::generate(Scale::Tiny.config(seed));
+    let dir = temp_dir("boot-attach");
+    let durable = Arc::new(DurableStore::open(&dir).unwrap());
+    let store = SnapshotStore::new(Snapshot::of_pipeline(&eco, Scale::Tiny, seed));
+
+    failpoints::cfg("store::append", "return(chaos: disk gone)").unwrap();
+    store
+        .attach_durable(Arc::clone(&durable))
+        .expect("attach survives a failing disk");
+    assert!(
+        store.health().durable_breaker_open(),
+        "breaker opens at boot"
+    );
+    assert_eq!(store.health().status(), "degraded");
+    assert_eq!(store.health().reasons(), vec!["durable-append"]);
+    assert!(durable.latest_epoch().is_none(), "nothing landed yet");
+
+    failpoints::remove("store::append");
+    wait_for(
+        "probe lands the boot epoch",
+        Duration::from_secs(10),
+        || durable.latest_epoch() == Some(store.load().epoch),
+    );
+    wait_for("breaker closes", Duration::from_secs(10), || {
+        store.health().status() == "ready"
+    });
+    assert!(store.health().durable_recoveries() >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An fsync failpoint surfaces as an error from the explicit sync path
+/// (what the drain sequence calls) and clears with the failpoint.
+#[test]
+fn fsync_failpoint_fails_explicit_sync_then_clears() {
+    let _guard = chaos_guard();
+    let dir = temp_dir("fsync");
+    let durable = DurableStore::open(&dir).unwrap();
+    failpoints::cfg("store::fsync", "return(chaos: EIO)").unwrap();
+    let err = durable.sync().expect_err("injected fsync failure");
+    assert!(err.to_string().contains("chaos: EIO"), "{err}");
+    failpoints::remove("store::fsync");
+    durable.sync().expect("sync succeeds once the fault clears");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A panicking live tick is caught and restarted with backoff: the
+/// restart counter moves, `/readyz` reports `live-refresher`, and once
+/// the failpoint clears the loop publishes again and health returns to
+/// `ready` — the same thread, never respawned externally.
+#[test]
+fn refresher_panic_restarts_with_backoff_and_recovers() {
+    let _guard = chaos_guard();
+    let eco = Ecosystem::generate(EcosystemConfig::tiny(77));
+    let (inferencer, snapshot) = bootstrap(&eco, "tiny", 77);
+    let store = SnapshotStore::new(snapshot);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(LiveStats::default());
+
+    failpoints::cfg("serve::live_tick", "panic(chaos tick)").unwrap();
+    let refresher = spawn_live_refresher(
+        Arc::clone(&store),
+        eco,
+        inferencer,
+        LiveConfig {
+            interval: Duration::from_millis(10),
+            events_per_tick: 25,
+            churn: ChurnConfig {
+                seed: 3,
+                ..ChurnConfig::default()
+            },
+            scale: "tiny".into(),
+            seed: 77,
+        },
+        Arc::clone(&stats),
+        Arc::clone(&shutdown),
+    );
+    wait_for("two supervised restarts", Duration::from_secs(10), || {
+        stats.restarts.load(Ordering::Relaxed) >= 2
+    });
+    assert_eq!(store.health().status(), "degraded");
+    assert_eq!(store.health().reasons(), vec!["live-refresher"]);
+    let stale_epoch = store.load().epoch;
+
+    failpoints::remove("serve::live_tick");
+    wait_for("publishes resume", Duration::from_secs(15), || {
+        store.load().epoch > stale_epoch
+    });
+    wait_for("health clears", Duration::from_secs(15), || {
+        store.health().status() == "ready"
+    });
+    shutdown.store(true, Ordering::Relaxed);
+    refresher.join().unwrap();
+}
+
+/// Worker spawn failures degrade the distributed harvest to in-process
+/// execution — counted, and byte-identical to the serial pipeline.
+#[test]
+fn worker_spawn_failure_degrades_but_keeps_etag() {
+    let _guard = chaos_guard();
+    let seed = 20130501;
+    let eco = Ecosystem::generate(Scale::Tiny.config(seed));
+    let serial = Snapshot::of_pipeline(&eco, Scale::Tiny, seed);
+
+    failpoints::cfg("dist::worker_spawn", "return").unwrap();
+    let cfg = DistConfig {
+        worker_cmd: Some(default_worker_cmd().expect("worker binary is built alongside the tests")),
+        ..DistConfig::new(2)
+    };
+    let stats = DistStats::new(2);
+    let dist = Snapshot::of_pipeline_dist(&eco, Scale::Tiny, seed, &cfg, &stats);
+    let snap = stats.snapshot();
+    assert!(snap.degraded >= 1, "spawn failures must degrade: {snap:?}");
+    assert_eq!(dist.etag, serial.etag, "degraded run stays byte-identical");
+    assert_eq!(dist.links, serial.links);
+    assert_eq!(dist.passive_stats, serial.passive_stats);
+    failpoints::remove("dist::worker_spawn");
+}

@@ -131,6 +131,7 @@ fn boot_query_refresh_over_real_tcp() {
         None,
         None,
         None,
+        None,
     );
     assert_eq!(
         wire_body.as_bytes(),

@@ -1,0 +1,352 @@
+//! An offline, `fail`-crate-style failpoint shim.
+//!
+//! Production code marks **named sites** with the [`failpoint!`] macro;
+//! nothing happens unless a site is *activated*, either programmatically
+//! ([`cfg`], the test API) or through the `MLPEER_FAILPOINTS` environment
+//! variable (the ops/CI API):
+//!
+//! ```text
+//! MLPEER_FAILPOINTS="store::append=return(disk full);serve::publish=delay(50)"
+//! ```
+//!
+//! The spec is `;`-separated `site=action` pairs. Supported actions:
+//!
+//! | action | effect at the site |
+//! |---|---|
+//! | `off` | nothing (site stays registered but inert) |
+//! | `return` / `return(msg)` | the site's error arm runs with `msg` |
+//! | `panic` / `panic(msg)` | the site panics with `msg` |
+//! | `delay(ms)` | the site sleeps `ms` milliseconds, then continues |
+//! | `1in(n)` | deterministic sampling: the error arm runs on the 1st hit and every `n`th after |
+//!
+//! **Zero-cost when disabled**: an unactivated build pays one relaxed
+//! atomic load per site visit (the configured-site count is zero and the
+//! macro returns immediately); no locks are taken and no strings are
+//! touched. The registry lock is only reached while at least one site is
+//! configured — i.e. inside chaos tests and chaos CI runs.
+//!
+//! Two macro forms exist because sites differ in what they can do about
+//! an injected error:
+//!
+//! ```
+//! use failpoints::failpoint;
+//!
+//! fn append(buf: &[u8]) -> std::io::Result<()> {
+//!     // Error-arm form: `return(msg)` makes this function return the
+//!     // closure's value (here an injected io::Error).
+//!     failpoint!("store::append", |msg: String| Err(std::io::Error::other(
+//!         format!("failpoint store::append: {msg}")
+//!     )));
+//!     // ... the real append ...
+//!     let _ = buf;
+//!     Ok(())
+//! }
+//!
+//! fn publish() {
+//!     // Unit form: `panic(..)` and `delay(..)` apply; `return(..)` is
+//!     // inert because the site has no error path to take.
+//!     failpoint!("serve::publish");
+//! }
+//! # append(b"x").unwrap();
+//! # publish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// The environment variable holding the activation spec.
+pub const ENV_VAR: &str = "MLPEER_FAILPOINTS";
+
+/// One parsed failpoint action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Registered but inert.
+    Off,
+    /// Run the site's error arm with this message.
+    Return(String),
+    /// Panic at the site with this message.
+    Panic(String),
+    /// Sleep this many milliseconds at the site, then continue.
+    Delay(u64),
+    /// Deterministic sampling: error arm on the 1st hit and every `n`th
+    /// after (`n <= 1` fires every hit).
+    OneIn(u64),
+}
+
+impl Action {
+    /// Parse one action spec (`off`, `return`, `return(msg)`, `panic`,
+    /// `panic(msg)`, `delay(ms)`, `1in(n)`).
+    pub fn parse(spec: &str) -> Result<Action, String> {
+        let spec = spec.trim();
+        let (head, arg) = match spec.split_once('(') {
+            Some((head, rest)) => match rest.strip_suffix(')') {
+                Some(arg) => (head.trim(), Some(arg)),
+                None => return Err(format!("unclosed argument in failpoint action `{spec}`")),
+            },
+            None => (spec, None),
+        };
+        match (head, arg) {
+            ("off", None) => Ok(Action::Off),
+            ("return", None) => Ok(Action::Return("injected".into())),
+            ("return", Some(msg)) => Ok(Action::Return(msg.to_string())),
+            ("panic", None) => Ok(Action::Panic("injected".into())),
+            ("panic", Some(msg)) => Ok(Action::Panic(msg.to_string())),
+            ("delay", Some(ms)) => ms
+                .trim()
+                .parse()
+                .map(Action::Delay)
+                .map_err(|_| format!("delay wants milliseconds, got `{ms}`")),
+            ("1in", Some(n)) => n
+                .trim()
+                .parse()
+                .map(Action::OneIn)
+                .map_err(|_| format!("1in wants a count, got `{n}`")),
+            _ => Err(format!("unknown failpoint action `{spec}`")),
+        }
+    }
+}
+
+/// What an activated site tells the macro to do. `Delay` is handled
+/// inside [`check`] (the sleep already happened by the time the macro
+/// sees the result), so only the two control-flow outcomes surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hit {
+    /// Run the site's error arm with this message.
+    Return(String),
+    /// Panic with this message.
+    Panic(String),
+}
+
+struct Site {
+    action: Action,
+    hits: u64,
+}
+
+/// Configured-site count: the macro fast path. Zero → every site visit
+/// is one relaxed load and out.
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn ensure_env_loaded() {
+    ENV_INIT.get_or_init(|| {
+        if let Ok(spec) = std::env::var(ENV_VAR) {
+            if let Err(err) = load_spec(&spec) {
+                eprintln!("failpoints: ignoring bad {ENV_VAR} entry: {err}");
+            }
+        }
+    });
+}
+
+/// Load a full `site=action;site=action` spec (the `MLPEER_FAILPOINTS`
+/// syntax). Entries load left to right; the first malformed entry stops
+/// the load and reports, earlier entries stay active.
+pub fn load_spec(spec: &str) -> Result<(), String> {
+    for pair in spec.split(';') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (site, action) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("expected site=action, got `{pair}`"))?;
+        cfg(site.trim(), action)?;
+    }
+    Ok(())
+}
+
+/// Activate `site` with `action` (parsed per [`Action::parse`]).
+pub fn cfg(site: &str, action: &str) -> Result<(), String> {
+    let action = Action::parse(action)?;
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.insert(site.to_string(), Site { action, hits: 0 });
+    CONFIGURED.store(reg.len(), Ordering::SeqCst);
+    Ok(())
+}
+
+/// Deactivate `site` (a no-op if it was never configured).
+pub fn remove(site: &str) {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.remove(site);
+    CONFIGURED.store(reg.len(), Ordering::SeqCst);
+}
+
+/// Deactivate every site — test teardown.
+pub fn teardown() {
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    reg.clear();
+    CONFIGURED.store(0, Ordering::SeqCst);
+}
+
+/// How many times `site` has been evaluated since it was configured.
+pub fn hits(site: &str) -> u64 {
+    let reg = registry().lock().expect("failpoint registry poisoned");
+    reg.get(site).map(|s| s.hits).unwrap_or(0)
+}
+
+/// Evaluate `site`: the macro's slow path. `None` means "proceed
+/// normally" (unconfigured, `off`, a `delay` that already slept, or a
+/// `1in(n)` hit that sampled out).
+pub fn check(site: &str) -> Option<Hit> {
+    ensure_env_loaded();
+    if CONFIGURED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    let st = reg.get_mut(site)?;
+    st.hits += 1;
+    match &st.action {
+        Action::Off => None,
+        Action::Return(msg) => Some(Hit::Return(msg.clone())),
+        Action::Panic(msg) => Some(Hit::Panic(msg.clone())),
+        Action::Delay(ms) => {
+            let ms = *ms;
+            drop(reg); // never sleep while holding the registry
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Action::OneIn(n) => {
+            let fire = *n <= 1 || (st.hits - 1) % *n == 0;
+            fire.then(|| Hit::Return(format!("1in({n})")))
+        }
+    }
+}
+
+/// Mark a failpoint site.
+///
+/// `failpoint!("site")` — unit form: honors `panic(..)` and `delay(..)`;
+/// `return(..)`/`1in(..)` are inert (no error path to take).
+///
+/// `failpoint!("site", |msg| expr)` — error-arm form: additionally, a
+/// `return(msg)`/firing `1in(n)` action makes the *enclosing function*
+/// return the closure's value.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {
+        if let Some(hit) = $crate::check($site) {
+            if let $crate::Hit::Panic(msg) = hit {
+                panic!("failpoint {}: {}", $site, msg);
+            }
+        }
+    };
+    ($site:expr, $on_return:expr) => {
+        if let Some(hit) = $crate::check($site) {
+            match hit {
+                $crate::Hit::Panic(msg) => panic!("failpoint {}: {}", $site, msg),
+                $crate::Hit::Return(msg) => {
+                    #[allow(clippy::redundant_closure_call)]
+                    return ($on_return)(msg);
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The registry is process-global; tests serialize on it.
+    fn guard() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        let g = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        teardown();
+        g
+    }
+
+    fn failing_append() -> std::io::Result<()> {
+        failpoint!("t::append", |msg: String| Err(std::io::Error::other(msg)));
+        Ok(())
+    }
+
+    #[test]
+    fn actions_parse_and_reject() {
+        let _g = guard();
+        assert_eq!(Action::parse("off").unwrap(), Action::Off);
+        assert_eq!(
+            Action::parse("return(disk full)").unwrap(),
+            Action::Return("disk full".into())
+        );
+        assert_eq!(
+            Action::parse("return").unwrap(),
+            Action::Return("injected".into())
+        );
+        assert_eq!(Action::parse("panic(x)").unwrap(), Action::Panic("x".into()));
+        assert_eq!(Action::parse("delay(25)").unwrap(), Action::Delay(25));
+        assert_eq!(Action::parse("1in(3)").unwrap(), Action::OneIn(3));
+        for bad in ["", "boom", "delay(x)", "1in()", "return(unclosed"] {
+            assert!(Action::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn unconfigured_sites_are_inert() {
+        let _g = guard();
+        assert!(check("t::nowhere").is_none());
+        assert!(failing_append().is_ok());
+    }
+
+    #[test]
+    fn return_action_takes_the_error_arm_until_removed() {
+        let _g = guard();
+        cfg("t::append", "return(disk full)").unwrap();
+        let err = failing_append().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        assert_eq!(hits("t::append"), 1);
+        remove("t::append");
+        assert!(failing_append().is_ok());
+    }
+
+    #[test]
+    fn one_in_samples_deterministically() {
+        let _g = guard();
+        cfg("t::append", "1in(3)").unwrap();
+        let outcomes: Vec<bool> = (0..7).map(|_| failing_append().is_err()).collect();
+        assert_eq!(
+            outcomes,
+            [true, false, false, true, false, false, true],
+            "fires on the 1st hit and every 3rd after"
+        );
+        teardown();
+    }
+
+    #[test]
+    fn delay_sleeps_then_continues() {
+        let _g = guard();
+        cfg("t::append", "delay(30)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(failing_append().is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        teardown();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint t::panic: boom")]
+    fn panic_action_panics_with_the_message() {
+        let _g = guard();
+        cfg("t::panic", "panic(boom)").unwrap();
+        failpoint!("t::panic");
+    }
+
+    #[test]
+    fn spec_strings_load_like_the_env_var() {
+        let _g = guard();
+        load_spec("t::a=return(x); t::b=off ;; t::c=delay(1)").unwrap();
+        assert!(matches!(check("t::a"), Some(Hit::Return(m)) if m == "x"));
+        assert!(check("t::b").is_none());
+        assert!(check("t::c").is_none()); // delay already slept
+        assert!(load_spec("garbage").is_err());
+        teardown();
+    }
+}

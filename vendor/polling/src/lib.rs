@@ -96,6 +96,9 @@ mod sys {
         pub fn listen(fd: c_int, backlog: c_int) -> c_int;
         pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
         pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+        // `sighandler_t` is a function pointer; pointer-sized integer
+        // matches the ABI on every unix this shim targets.
+        pub fn signal(signum: c_int, handler: usize) -> usize;
     }
 
     #[repr(C)]
@@ -401,6 +404,56 @@ impl Drop for Poller {
 impl std::fmt::Debug for Poller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Poller").field("kind", &self.kind()).finish()
+    }
+}
+
+/// Termination-signal latch: an async-signal-safe SIGTERM/SIGINT
+/// handler that flips one static flag, polled by the serve loop to
+/// start a graceful drain. Lives here because the serve crate forbids
+/// `unsafe` — all unsafe syscall surface stays in this shim.
+pub mod signal {
+    use super::{last_error, sys};
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    const SIGINT: sys::c_int = 2;
+    const SIGTERM: sys::c_int = 15;
+    /// `SIG_ERR` — `signal(2)`'s failure return.
+    const SIG_ERR: usize = usize::MAX;
+
+    static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// The handler body: one relaxed store is async-signal-safe (no
+    /// allocation, no locks, no reentrancy hazard).
+    extern "C" fn on_term(_signum: sys::c_int) {
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Install the latch for SIGTERM and SIGINT. Call once at boot;
+    /// after it, [`term_requested`] reports whether either signal has
+    /// arrived.
+    pub fn install_term_handler() -> io::Result<()> {
+        let handler = on_term as extern "C" fn(sys::c_int) as usize;
+        for sig in [SIGTERM, SIGINT] {
+            // SAFETY: `on_term` is async-signal-safe and `extern "C"`;
+            // `signal(2)` with a valid signum and handler pointer has
+            // no other preconditions.
+            if unsafe { sys::signal(sig, handler) } == SIG_ERR {
+                return Err(last_error());
+            }
+        }
+        Ok(())
+    }
+
+    /// Has SIGTERM or SIGINT arrived since
+    /// [`install_term_handler`] ran?
+    pub fn term_requested() -> bool {
+        TERM_REQUESTED.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: raise the flag exactly as the signal handler would.
+    pub fn request_term() {
+        TERM_REQUESTED.store(true, Ordering::Relaxed);
     }
 }
 
