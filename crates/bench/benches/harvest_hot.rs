@@ -11,7 +11,10 @@
 //! 2. **baseline vs interned inference** — folding the materialized
 //!    observation stream through the pre-interning inferencer shape
 //!    (wide `(IxpId, Asn)` / `Prefix` hash keys, reproduced locally
-//!    below) against today's dense-id [`LinkInferencer`].
+//!    below) against today's log-structured dense-id
+//!    [`LinkInferencer`], which memoizes the per-run intern resolution
+//!    and appends to a flat key/action log instead of probing hash
+//!    tables per observation. The acceptance floor is **≥ 1.1×**.
 //! 3. **serial vs sharded harvest** — with the 1-thread serial
 //!    fallback in place, sharded must hold **≥ 0.98×** serial on one
 //!    thread (the BENCH_passive regression this PR fixes).
@@ -346,6 +349,12 @@ fn bench_scale(c: &mut Criterion, scale: Scale, seed: u64) -> serde_json::Value 
         std::hint::black_box(sink.observation_count())
     });
     let infer_speedup = baseline_ns / interned_ns;
+    assert!(
+        infer_speedup >= 1.1,
+        "acceptance: the log-structured interned fold must beat the \
+         wide-key shape ≥1.1x at {} (measured {infer_speedup:.2}x)",
+        scale.word()
+    );
 
     // ---- 3. serial vs sharded (the 1-thread fallback floor). ----
     // Measured in alternating rounds, keeping each side's minimum: on

@@ -21,14 +21,18 @@
 //! the moment it arrives — `ExportPolicy::from_actions` only ever looks
 //! at the *set* of decoded actions, so the fold is order-insensitive
 //! and per-shard inferencers [`merge`](LinkInferencer::merge) into
-//! exactly the serial state. Hot-path state is **interned**
-//! ([`crate::intern`]): `(ixp, member)` pairs become dense u32 handles,
-//! so the per-member reach table is a flat `Vec` indexed by
-//! [`MemberId`]; only the sparse per-member prefix edges hash at all,
-//! and those hash one packed word ([`pack_prefix`]) instead of a
-//! multi-field key. Sorted order is recovered once, in
-//! [`finalize`](LinkInferencer::finalize), the report boundary that
-//! produces the `BTreeMap`-shaped [`MlpLinkSet`].
+//! exactly the serial state. The fold is **log-structured** over
+//! **interned** handles ([`crate::intern`]): `(ixp, member)` pairs
+//! become dense u32 handles memoized across the long per-member runs
+//! the stream arrives in, each handle is fused with the packed prefix
+//! ([`pack_prefix`]) into one u64 reach key, and the hot loop merely
+//! appends `(key, action)` words to a flat log — no hashing, no table
+//! probes, no per-member indirection to cold side allocations. The
+//! policy accumulators are reconstructed once per report by sorting
+//! and run-grouping the log at the cold boundaries
+//! ([`finalize`](LinkInferencer::finalize),
+//! [`export_state`](LinkInferencer::export_state)) — which had to sort
+//! their output anyway to emit canonical order.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,6 +45,44 @@ use crate::connectivity::ConnectivityData;
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::intern::{pack_prefix, unpack_prefix, MemberId, MemberTable};
 use crate::sink::{MergeSink, ObservationSink};
+
+/// [`pack_prefix`] uses the low 40 bits; the [`MemberId`] index rides
+/// above them, so one u64 names a `(member, prefix)` reach edge.
+const MEMBER_SHIFT: u32 = 40;
+
+#[inline]
+fn fuse(mid: MemberId, packed: u64) -> u64 {
+    debug_assert!(packed < 1 << MEMBER_SHIFT);
+    ((mid.index() as u64) << MEMBER_SHIFT) | packed
+}
+
+#[inline]
+fn split(fused: u64) -> (MemberId, u64) {
+    (
+        MemberId((fused >> MEMBER_SHIFT) as u32),
+        fused & ((1 << MEMBER_SHIFT) - 1),
+    )
+}
+
+/// [`RsAction`] encoded into one log word: tag above bit 32, the named
+/// member ASN (for INCLUDE/EXCLUDE) in the low half. `ACT_ALL` is zero
+/// so a bare existence marker — an observation with an empty action
+/// list, meaning the default ALL — is the cheapest record of all.
+const ACT_ALL: u64 = 0;
+const ACT_NONE: u64 = 1 << 32;
+const ACT_INCLUDE: u64 = 2 << 32;
+const ACT_EXCLUDE: u64 = 3 << 32;
+const ACT_TAG: u64 = 3 << 32;
+
+#[inline]
+fn encode_action(action: RsAction) -> u64 {
+    match action {
+        RsAction::All => ACT_ALL,
+        RsAction::None => ACT_NONE,
+        RsAction::Include(m) => ACT_INCLUDE | m.value() as u64,
+        RsAction::Exclude(m) => ACT_EXCLUDE | m.value() as u64,
+    }
+}
 
 /// Where an observation came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -141,28 +183,27 @@ impl MlpLinkSet {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct PolicyAcc {
     saw_none: bool,
-    includes: BTreeSet<Asn>,
-    excludes: BTreeSet<Asn>,
+    /// Raw append logs, *not* sets: accumulators are reconstructed at
+    /// the cold boundaries by replaying a key-sorted action log, and
+    /// every collector carrying a route re-tags the same
+    /// include/exclude peers, so set maintenance per action would pay
+    /// an ordered-insert on every repeat. [`policy`](PolicyAcc::policy)
+    /// and the [`InferEntry`] export collect into `BTreeSet` and dedupe
+    /// there, once. Memory stays bounded by the action stream.
+    includes: Vec<Asn>,
+    excludes: Vec<Asn>,
 }
 
 impl PolicyAcc {
-    fn absorb(&mut self, action: RsAction) {
-        match action {
-            RsAction::All => {}
-            RsAction::None => self.saw_none = true,
-            RsAction::Include(m) => {
-                self.includes.insert(m);
-            }
-            RsAction::Exclude(m) => {
-                self.excludes.insert(m);
-            }
+    /// Replay one encoded log word.
+    fn absorb_word(&mut self, word: u64) {
+        let named = Asn((word & 0xFFFF_FFFF) as u32);
+        match word & ACT_TAG {
+            ACT_NONE => self.saw_none = true,
+            ACT_INCLUDE => self.includes.push(named),
+            ACT_EXCLUDE => self.excludes.push(named),
+            _ => {} // ACT_ALL: existence only
         }
-    }
-
-    fn merge(&mut self, other: PolicyAcc) {
-        self.saw_none |= other.saw_none;
-        self.includes.extend(other.includes);
-        self.excludes.extend(other.excludes);
     }
 
     /// §4.1 step 4, with [`ExportPolicy::from_actions`]'s precedence.
@@ -171,10 +212,10 @@ impl PolicyAcc {
             if self.includes.is_empty() {
                 ExportPolicy::Nobody
             } else {
-                ExportPolicy::OnlyTo(self.includes.clone())
+                ExportPolicy::OnlyTo(self.includes.iter().copied().collect())
             }
         } else if !self.excludes.is_empty() {
-            ExportPolicy::AllExcept(self.excludes.clone())
+            ExportPolicy::AllExcept(self.excludes.iter().copied().collect())
         } else {
             ExportPolicy::AllMembers
         }
@@ -188,28 +229,47 @@ impl PolicyAcc {
 /// passive harvest reproduces the serial result exactly.
 #[derive(Debug, Clone, Default)]
 pub struct LinkInferencer {
-    /// `(ixp, member)` → dense [`MemberId`] (the reach-table index).
+    /// `(ixp, member)` → dense [`MemberId`] (the reach-key high bits).
     members: MemberTable,
-    /// Indexed by [`MemberId`]: per-member packed-prefix → folded
-    /// policy state. The outer dimension is dense (every interned
-    /// member has a slot); only the sparse per-member prefix edges are
-    /// hashed, and they hash a single packed word
-    /// ([`pack_prefix`]) — no global-table indirection in the loop.
-    reach: Vec<FxHashMap<u64, PolicyAcc>>,
+    /// The append-only fold log: one `([`fuse`]d reach key, encoded
+    /// action)` word pair per decoded action (one `ACT_ALL` marker for
+    /// an empty list — existence of the edge is itself signal). Any
+    /// keyed table here — wide keys, interned keys, one level or two —
+    /// pays a hash and a probe of progressively colder memory on every
+    /// observation; the log pays a bounds check and a 16-byte store.
+    /// The table shape is recovered at the cold boundaries by one
+    /// sort + run-group pass ([`consolidated`](Self::consolidated)),
+    /// which the canonical-order exports needed anyway.
+    log: Vec<(u64, u64)>,
     observations: usize,
+    /// The previous push's `(ixp, member) → MemberId` resolution.
+    /// Observation streams arrive in long per-member runs (a member's
+    /// prefixes are walked in order, by collectors and LGs alike), so
+    /// this one-entry memo skips the intern-table probe for every
+    /// observation after the first of a run. Pure cache: ids are never
+    /// invalidated, so a stale entry is merely a miss, and
+    /// [`merge`](MergeSink::merge) need not touch it.
+    last: Option<((IxpId, Asn), MemberId)>,
 }
 
 impl ObservationSink for LinkInferencer {
     fn push(&mut self, obs: Observation) {
-        let mid = self.members.intern(obs.ixp, obs.member);
-        if mid.index() == self.reach.len() {
-            self.reach.push(FxHashMap::default());
-        }
-        let acc = self.reach[mid.index()]
-            .entry(pack_prefix(obs.prefix))
-            .or_default();
-        for action in obs.actions {
-            acc.absorb(action);
+        let key = (obs.ixp, obs.member);
+        let mid = match self.last {
+            Some((k, mid)) if k == key => mid,
+            _ => {
+                let mid = self.members.intern(obs.ixp, obs.member);
+                self.last = Some((key, mid));
+                mid
+            }
+        };
+        let key = fuse(mid, pack_prefix(obs.prefix));
+        if obs.actions.is_empty() {
+            self.log.push((key, ACT_ALL));
+        } else {
+            for action in obs.actions {
+                self.log.push((key, encode_action(action)));
+            }
         }
         self.observations += 1;
     }
@@ -217,20 +277,24 @@ impl ObservationSink for LinkInferencer {
 
 impl MergeSink for LinkInferencer {
     fn merge(&mut self, other: Self) {
-        for (i, prefixes) in other.reach.into_iter().enumerate() {
-            let (ixp, member) = other.members.resolve(MemberId(i as u32));
-            let mid = self.members.intern(ixp, member);
-            if mid.index() == self.reach.len() {
-                self.reach.push(FxHashMap::default());
-            }
-            for (packed, acc) in prefixes {
-                match self.reach[mid.index()].entry(packed) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(acc),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(acc);
-                    }
+        // Remap the other shard's member ids into this intern table;
+        // the log is key-sorted downstream, so plain concatenation is
+        // the whole merge. The sorted log arrives in long per-member
+        // runs, so the remap memoizes like `push` does.
+        let mut memo: Option<(MemberId, MemberId)> = None;
+        self.log.reserve(other.log.len());
+        for (fused, act) in other.log {
+            let (omid, packed) = split(fused);
+            let mid = match memo {
+                Some((from, to)) if from == omid => to,
+                _ => {
+                    let (ixp, member) = other.members.resolve(omid);
+                    let to = self.members.intern(ixp, member);
+                    memo = Some((omid, to));
+                    to
                 }
-            }
+            };
+            self.log.push((fuse(mid, packed), act));
         }
         self.observations += other.observations;
     }
@@ -248,9 +312,32 @@ impl LinkInferencer {
         self.members.len()
     }
 
-    /// Distinct `(member, prefix)` reach edges folded so far.
+    /// Distinct `(member, prefix)` reach edges folded so far
+    /// (consolidates the log; a report-boundary statistic, not a
+    /// hot-path counter).
     pub fn edge_count(&self) -> usize {
-        self.reach.iter().map(FxHashMap::len).sum()
+        self.consolidated().len()
+    }
+
+    /// The boundary consolidation: sort the log, replay each key's run
+    /// into a [`PolicyAcc`]. Output is sorted by fused key —
+    /// `(intern order, prefix)` runs, one contiguous run per member —
+    /// for the cold walks that emit per-member reports.
+    fn consolidated(&self) -> Vec<(u64, PolicyAcc)> {
+        let mut log = self.log.clone();
+        log.sort_unstable();
+        let mut out: Vec<(u64, PolicyAcc)> = Vec::new();
+        for (key, act) in log {
+            match out.last_mut() {
+                Some((k, acc)) if *k == key => acc.absorb_word(act),
+                _ => {
+                    let mut acc = PolicyAcc::default();
+                    acc.absorb_word(act);
+                    out.push((key, acc));
+                }
+            }
+        }
+        out
     }
 
     /// The report boundary: reconstruct `N_a` for every covered member,
@@ -263,8 +350,17 @@ impl LinkInferencer {
         // Per IXP: member → N_a.
         let mut reach: BTreeMap<IxpId, BTreeMap<Asn, FxHashSet<Asn>>> = BTreeMap::new();
 
-        for (i, prefixes) in self.reach.iter().enumerate() {
-            let (ixp, member) = self.members.resolve(MemberId(i as u32));
+        let edges = self.consolidated();
+        let mut rest = edges.as_slice();
+        while let Some(&(first, _)) = rest.first() {
+            let (mid, _) = split(first);
+            let run = rest
+                .iter()
+                .position(|(k, _)| split(*k).0 != mid)
+                .unwrap_or(rest.len());
+            let (prefixes, tail) = rest.split_at(run);
+            rest = tail;
+            let (ixp, member) = self.members.resolve(mid);
             let members = members_at
                 .entry(ixp)
                 .or_insert_with(|| conn.rs_members(ixp));
@@ -275,8 +371,8 @@ impl LinkInferencer {
             // The reported default policy is the first prefix's in sorted
             // order, matching the previous batch grouping.
             let mut default_policy: Option<(Prefix, ExportPolicy)> = None;
-            for (packed, acc) in prefixes {
-                let prefix = unpack_prefix(*packed);
+            for (fused, acc) in prefixes {
+                let prefix = unpack_prefix(split(*fused).1);
                 let policy = acc.policy();
                 let nap: FxHashSet<Asn> = members
                     .iter()
@@ -355,19 +451,19 @@ impl LinkInferencer {
     /// order — intern-order-independent, so a shard's export depends
     /// only on *what* it folded, never on arrival order.
     pub fn export_state(&self) -> InferState {
-        let mut entries = Vec::with_capacity(self.edge_count());
-        for (i, prefixes) in self.reach.iter().enumerate() {
-            let (ixp, member) = self.members.resolve(MemberId(i as u32));
-            for (packed, acc) in prefixes {
-                entries.push(InferEntry {
-                    ixp,
-                    member,
-                    prefix: unpack_prefix(*packed),
-                    saw_none: acc.saw_none,
-                    includes: acc.includes.clone(),
-                    excludes: acc.excludes.clone(),
-                });
-            }
+        let edges = self.consolidated();
+        let mut entries = Vec::with_capacity(edges.len());
+        for (fused, acc) in &edges {
+            let (mid, packed) = split(*fused);
+            let (ixp, member) = self.members.resolve(mid);
+            entries.push(InferEntry {
+                ixp,
+                member,
+                prefix: unpack_prefix(packed),
+                saw_none: acc.saw_none,
+                includes: acc.includes.iter().copied().collect(),
+                excludes: acc.excludes.iter().copied().collect(),
+            });
         }
         entries.sort_unstable_by_key(|e| (e.ixp, e.member, pack_prefix(e.prefix)));
         InferState {
@@ -383,19 +479,19 @@ impl LinkInferencer {
     pub fn absorb_state(&mut self, state: InferState) {
         for e in state.entries {
             let mid = self.members.intern(e.ixp, e.member);
-            if mid.index() == self.reach.len() {
-                self.reach.push(FxHashMap::default());
+            let key = fuse(mid, pack_prefix(e.prefix));
+            let start = self.log.len();
+            if e.saw_none {
+                self.log.push((key, ACT_NONE));
             }
-            let acc = PolicyAcc {
-                saw_none: e.saw_none,
-                includes: e.includes,
-                excludes: e.excludes,
-            };
-            match self.reach[mid.index()].entry(pack_prefix(e.prefix)) {
-                std::collections::hash_map::Entry::Occupied(mut o) => o.get_mut().merge(acc),
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(acc);
-                }
+            for m in e.includes {
+                self.log.push((key, ACT_INCLUDE | m.value() as u64));
+            }
+            for m in e.excludes {
+                self.log.push((key, ACT_EXCLUDE | m.value() as u64));
+            }
+            if self.log.len() == start {
+                self.log.push((key, ACT_ALL)); // edge existence is signal
             }
         }
         self.observations += state.observations as usize;

@@ -8,6 +8,12 @@
 //! behind higher-local-pref alternatives (bilateral peers, customer
 //! routes), and a few route servers leave their ASN in the path; both
 //! artifacts are classified rather than counted as refutations.
+//!
+//! The sibling [`cross`] module is the *offline* counterpart: instead
+//! of live LG queries it scores every inferred link against a
+//! registry-shaped IRR/RPKI corpus.
+
+pub mod cross;
 
 use std::collections::{BTreeMap, BTreeSet};
 

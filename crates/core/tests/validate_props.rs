@@ -1,0 +1,139 @@
+//! Corpus-level property tests for the cross-validation subsystem:
+//! the full derive→parse round-trip is clean, and *damaged* corpus
+//! text — truncated at an arbitrary byte, or with a single byte
+//! flipped — can never panic the parser and can never **upgrade** a
+//! verdict to `confirmed`. The soundness argument the tests pin:
+//!
+//! * every block carries a `sig:` line over its body, so in-block
+//!   damage quarantines the block instead of feeding the scorer a
+//!   silently different object;
+//! * the corpus ends with a signed `end:` reconciliation trailer, so
+//!   truncation (which loses or damages the trailer) marks the corpus
+//!   incomplete;
+//! * a degraded corpus (`quarantined > 0 || !complete`) gates the
+//!   scoring ladder: `CorpusDegraded` outranks every confirmation, so
+//!   `confirmed == 0`.
+//!
+//! Together: a damaged corpus either scores **identically** to the
+//! pristine one (the damage hit inert bytes — trailing newline, a
+//! comment) or confirms **nothing**. Seeded randomized-input loops
+//! stand in for proptest (the offline build has no registry).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mlpeer::infer::{LinkInferencer, MlpLinkSet, Observation};
+use mlpeer::sink::ObservationSink;
+use mlpeer::validate::cross::{
+    derive_corpus, parse_corpus, score_links, CorpusConfig, ValidationReport,
+};
+use mlpeer_ixp::{Ecosystem, EcosystemConfig};
+
+/// Fixed inputs every damaged-corpus case scores against.
+struct Bed {
+    text: String,
+    links: MlpLinkSet,
+    observations: Vec<Observation>,
+    full: ValidationReport,
+}
+
+fn harvest(eco: &Ecosystem) -> (MlpLinkSet, Vec<Observation>) {
+    let (conn, observations) = mlpeer::live::full_harvest(eco);
+    let mut inferencer = LinkInferencer::default();
+    for o in &observations {
+        inferencer.push(o.clone());
+    }
+    (inferencer.finalize(&conn), observations)
+}
+
+fn bed() -> Bed {
+    let eco = Ecosystem::generate(EcosystemConfig::tiny(7));
+    let (links, observations) = harvest(&eco);
+    let text = derive_corpus(&eco, &CorpusConfig::seeded(7));
+    let full = report_for(&text, &links, &observations);
+    Bed {
+        text,
+        links,
+        observations,
+        full,
+    }
+}
+
+fn report_for(text: &str, links: &MlpLinkSet, observations: &[Observation]) -> ValidationReport {
+    let corpus = parse_corpus(text);
+    let announcements = mlpeer::index::scan::announcements(links, observations);
+    score_links(&corpus, links, &announcements).0
+}
+
+/// The one property damage must uphold: either the damage was inert
+/// (report identical to pristine) or the corpus degraded and nothing
+/// is confirmed. There is no third outcome where damaged text mints
+/// new `confirmed` verdicts.
+fn assert_never_upgrades(bed: &Bed, damaged: &str, what: &str) {
+    let report = report_for(damaged, &bed.links, &bed.observations);
+    if report != bed.full {
+        assert!(
+            report.corpus.degraded(),
+            "{what}: report changed without the corpus degrading"
+        );
+        assert_eq!(
+            report.totals.confirmed, 0,
+            "{what}: a degraded corpus must confirm nothing"
+        );
+    }
+}
+
+#[test]
+fn pristine_corpus_round_trips_complete_and_clean() {
+    let bed = bed();
+    let corpus = parse_corpus(&bed.text);
+    assert!(corpus.stats.complete, "derived corpus must reconcile");
+    assert_eq!(corpus.stats.quarantined, 0);
+    assert!(!corpus.stats.degraded());
+    assert!(corpus.stats.objects > 0 && corpus.stats.roas > 0);
+    assert!(
+        bed.full.totals.confirmed > 0,
+        "the pristine baseline must confirm links, or the damage \
+         properties below are vacuous"
+    );
+}
+
+#[test]
+fn truncation_never_panics_and_never_upgrades_to_confirmed() {
+    let bed = bed();
+    let mut rng = StdRng::seed_from_u64(0x7070);
+    let len = bed.text.len();
+    // Boundary cuts plus a seeded sample — the corpus is a few hundred
+    // kilobytes, so exhaustive per-byte cuts would dominate the suite.
+    let mut cuts = vec![0, 1, len / 2, len - 2, len - 1];
+    cuts.extend((0..96).map(|_| rng.gen_range(0..len)));
+    for cut in cuts {
+        assert_never_upgrades(&bed, &bed.text[..cut], &format!("truncated at {cut}/{len}"));
+    }
+}
+
+#[test]
+fn single_byte_corruption_never_panics_and_never_upgrades_to_confirmed() {
+    let bed = bed();
+    let mut rng = StdRng::seed_from_u64(0x7171);
+    for _ in 0..96 {
+        let mut bytes = bed.text.as_bytes().to_vec();
+        let pos = rng.gen_range(0..bytes.len());
+        // The corpus is ASCII; a printable-ASCII replacement keeps the
+        // damaged buffer a valid &str (non-UTF-8 damage cannot reach
+        // the parser, which only accepts &str).
+        let flip = loop {
+            let b = rng.gen_range(0x20u8..0x7f);
+            if b != bytes[pos] {
+                break b;
+            }
+        };
+        bytes[pos] = flip;
+        let damaged = String::from_utf8(bytes).unwrap();
+        assert_never_upgrades(
+            &bed,
+            &damaged,
+            &format!("byte {pos} flipped to {flip:#04x}"),
+        );
+    }
+}

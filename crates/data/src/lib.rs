@@ -19,6 +19,9 @@
 //! * [`irr`] — RPSL registries (RIPE/ARIN/RADB): aut-num, as-set and
 //!   route objects, serializer + parser, IRR-based AMS-IX filters for
 //!   the §4.4 reciprocity study, staleness injection.
+//! * [`roa`] — RPKI Route Origin Authorizations: RFC 6811 origin
+//!   validation (Valid/Invalid/NotFound, max-length, expiry) plus the
+//!   line format the cross-validation corpus embeds them in.
 //! * [`peeringdb`] — the PeeringDB registry: self-reported policies
 //!   (partial coverage, sometimes misreported), geographic scope,
 //!   looking-glass URLs.
@@ -40,6 +43,7 @@ pub mod geo;
 pub mod irr;
 pub mod lg;
 pub mod peeringdb;
+pub mod roa;
 pub mod sim;
 pub mod traceroute;
 

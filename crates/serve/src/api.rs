@@ -136,6 +136,19 @@ pub fn route(
         };
         return body.with_header("ETag", &etag);
     }
+    if path == "/v1/validate" {
+        // Same contract as `/v1/ixps`: always exists, content-addressed
+        // by the snapshot ETag, pre-rendered at publish with a live
+        // fallback for uncached (live-tick) snapshots.
+        if let Some(hit) = revalidate_hit(req, &etag) {
+            return hit;
+        }
+        let body = match CacheSlice::new(snap, CacheKey::Validate) {
+            Some(slice) => Response::shared(200, slice),
+            None => Response::json(200, render_validate(snap)),
+        };
+        return body.with_header("ETag", &etag);
+    }
     if let Some(rest) = path.strip_prefix("/v1/ixp/") {
         return ixp_links(req, snap, rest, &etag);
     }
@@ -168,6 +181,7 @@ pub fn route(
 /// eligible for `?at=` time travel)?
 fn snapshot_addressed(path: &str) -> bool {
     path == "/v1/ixps"
+        || path == "/v1/validate"
         || path.starts_with("/v1/ixp/")
         || path.starts_with("/v1/member/")
         || path.starts_with("/v1/prefix/")
@@ -380,6 +394,51 @@ pub(crate) fn render_ixps(snap: &Snapshot) -> Vec<u8> {
     .into_bytes()
 }
 
+/// Render the `/v1/validate` body — the cross-validation report of
+/// the snapshot's inferred links against the derived IRR/RPKI corpus
+/// (see `mlpeer::validate::cross`). Deterministic: verdicts are a pure
+/// function of the snapshot content, and every map renders in sorted
+/// order, so serial, sharded, and multi-process harvests serve
+/// byte-identical bodies.
+pub(crate) fn render_validate(snap: &Snapshot) -> Vec<u8> {
+    let v = &snap.validation;
+    let reasons: Vec<Value> = v
+        .reasons
+        .iter()
+        .map(|(reason, count)| json!({ "code": reason.code(), "count": count }))
+        .collect();
+    let per_ixp: Vec<Value> = v
+        .per_ixp
+        .iter()
+        .map(|(ixp, c)| {
+            json!({
+                "ixp": ixp.0,
+                "name": snap.name(*ixp),
+                "confirmed": c.confirmed,
+                "unknown": c.unknown,
+                "contradicted": c.contradicted,
+            })
+        })
+        .collect();
+    report::to_json(&json!({
+        "corpus": json!({
+            "objects": v.corpus.objects,
+            "roas": v.corpus.roas,
+            "quarantined": v.corpus.quarantined,
+            "complete": v.corpus.complete,
+        }),
+        "totals": json!({
+            "confirmed": v.totals.confirmed,
+            "unknown": v.totals.unknown,
+            "contradicted": v.totals.contradicted,
+        }),
+        "links_scored": v.totals.total(),
+        "reasons": reasons,
+        "per_ixp": per_ixp,
+    }))
+    .into_bytes()
+}
+
 /// Render one `/v1/ixp/{id}/links` body.
 pub(crate) fn render_ixp_links(snap: &Snapshot, ixp: IxpId) -> Vec<u8> {
     let links: Vec<(u32, u32)> = snap
@@ -580,6 +639,14 @@ fn stats_body(
             "bodies": snap.cache.body_count(),
             "bytes": snap.cache.byte_len(),
         }),
+        // Mirrors the `/v1/validate` totals so operational checks can
+        // cross-assert the two endpoints agree.
+        "validation": json!({
+            "confirmed": snap.validation.totals.confirmed,
+            "unknown": snap.validation.totals.unknown,
+            "contradicted": snap.validation.totals.contradicted,
+            "links_scored": snap.validation.totals.total(),
+        }),
         "passive": json!({
             "routes_seen": p.routes_seen,
             "dropped_bogon": p.dropped_bogon,
@@ -643,6 +710,7 @@ mod tests {
             "/v1/ixp/0/links",
             "/v1/member/1",
             "/v1/prefix/10.1.0.0/24",
+            "/v1/validate",
             "/v1/stats",
         ] {
             let r = rt(&get(path), &snap, &stats);

@@ -47,6 +47,8 @@ use crate::snapshot::Snapshot;
 pub struct BodyCache {
     /// The `/v1/ixps` body (`None` in an uncached snapshot).
     ixps: Option<Vec<u8>>,
+    /// The `/v1/validate` body (`None` in an uncached snapshot).
+    validate: Option<Vec<u8>>,
     /// Dense by `IxpId.0` (generator ids are dense); `None` for gaps.
     ixp_links: Vec<Option<Vec<u8>>>,
     /// Linked-member ASN → dense id → body.
@@ -65,6 +67,7 @@ impl BodyCache {
     pub(crate) fn build(snap: &Snapshot) -> BodyCache {
         let mut cache = BodyCache {
             ixps: Some(api::render_ixps(snap)),
+            validate: Some(api::render_validate(snap)),
             ..BodyCache::default()
         };
         for &ixp in snap.names.keys() {
@@ -94,6 +97,11 @@ impl BodyCache {
         self.ixps.as_deref()
     }
 
+    /// The `/v1/validate` body, if pre-rendered.
+    pub fn validate_body(&self) -> Option<&[u8]> {
+        self.validate.as_deref()
+    }
+
     /// The `/v1/ixp/{id}/links` body for a known IXP.
     pub fn ixp_links_body(&self, ixp: IxpId) -> Option<&[u8]> {
         self.ixp_links
@@ -117,6 +125,7 @@ impl BodyCache {
     /// Number of pre-rendered bodies.
     pub fn body_count(&self) -> usize {
         usize::from(self.ixps.is_some())
+            + usize::from(self.validate.is_some())
             + self.ixp_links.iter().flatten().count()
             + self.member_bodies.len()
             + self.prefix_bodies.len()
@@ -125,6 +134,7 @@ impl BodyCache {
     /// Total pre-rendered bytes.
     pub fn byte_len(&self) -> usize {
         self.ixps.as_ref().map(Vec::len).unwrap_or(0)
+            + self.validate.as_ref().map(Vec::len).unwrap_or(0)
             + self.ixp_links.iter().flatten().map(Vec::len).sum::<usize>()
             + self.member_bodies.iter().map(Vec::len).sum::<usize>()
             + self.prefix_bodies.iter().map(Vec::len).sum::<usize>()
@@ -136,6 +146,8 @@ impl BodyCache {
 pub enum CacheKey {
     /// The `/v1/ixps` body.
     Ixps,
+    /// The `/v1/validate` body.
+    Validate,
     /// One `/v1/ixp/{id}/links` body.
     IxpLinks(IxpId),
     /// One `/v1/member/{asn}` body.
@@ -168,6 +180,7 @@ impl CacheSlice {
 fn probe(snap: &Snapshot, key: CacheKey) -> Option<&[u8]> {
     match key {
         CacheKey::Ixps => snap.cache.ixps_body(),
+        CacheKey::Validate => snap.cache.validate_body(),
         CacheKey::IxpLinks(ixp) => snap.cache.ixp_links_body(ixp),
         CacheKey::Member(asn) => snap.cache.member_body(asn),
         CacheKey::Prefix(p) => snap.cache.prefix_body(&p),
@@ -227,6 +240,10 @@ mod tests {
             snap.cache.ixps_body().expect("ixps cached"),
             &api::render_ixps(&snap)[..]
         );
+        assert_eq!(
+            snap.cache.validate_body().expect("validate cached"),
+            &api::render_validate(&snap)[..]
+        );
         for &ixp in snap.names.keys() {
             assert_eq!(
                 snap.cache.ixp_links_body(ixp).expect("ixp cached"),
@@ -270,8 +287,9 @@ mod tests {
     #[test]
     fn counters_cover_all_bodies() {
         let snap = snap();
-        // 1 (ixps) + 1 IXP + 4 members + 4 announced prefixes.
-        assert_eq!(snap.cache.body_count(), 10);
+        // 1 (ixps) + 1 (validate) + 1 IXP + 4 members + 4 announced
+        // prefixes.
+        assert_eq!(snap.cache.body_count(), 11);
         assert!(snap.cache.byte_len() > 0);
     }
 

@@ -149,6 +149,7 @@ fn persist(snap: &Snapshot) -> PersistedSnapshot {
         announcements: snap.index.announcements().into_iter().collect(),
         observation_count: snap.observation_count as u64,
         passive_stats: snap.passive_stats.clone(),
+        validation: snap.validation.clone(),
     }
 }
 
@@ -167,6 +168,7 @@ fn revive(epoch: u64, persisted: PersistedSnapshot) -> Option<Snapshot> {
         announcements: persisted.announcements.into_iter().collect(),
         observation_count: persisted.observation_count as usize,
         passive_stats: persisted.passive_stats,
+        validation: persisted.validation,
     });
     if snap.etag != stored_etag {
         eprintln!(

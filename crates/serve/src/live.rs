@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use mlpeer::live::{decode_message, LinkDelta, LiveInferencer};
 use mlpeer::passive::PassiveStats;
+use mlpeer::validate::cross::{validate_harvest, CorpusConfig};
 use mlpeer_data::churn::{event_messages, ChurnConfig, ChurnGen};
 use mlpeer_ixp::Ecosystem;
 
@@ -113,13 +114,21 @@ impl Supervisor {
 /// `/v1/changes` delta composes against exactly what `/v1/*` serves.
 pub fn bootstrap(eco: &Ecosystem, scale: &str, seed: u64) -> (LiveInferencer, Snapshot) {
     let li = LiveInferencer::from_ecosystem(eco);
-    let snapshot = Snapshot::build(
+    let observations = li.observations();
+    let validation = validate_harvest(
+        eco,
+        li.current(),
+        &observations,
+        &CorpusConfig::seeded(seed),
+    );
+    let snapshot = Snapshot::build_validated(
         scale,
         seed,
         Snapshot::names_of(eco),
         li.current().clone(),
-        &li.observations(),
+        &observations,
         PassiveStats::default(),
+        validation,
     );
     (li, snapshot)
 }
@@ -195,13 +204,24 @@ pub fn spawn_live_refresher(
                     // must not pay an O(announcement-corpus) body
                     // pre-render — live-mode GETs render on demand (the
                     // pre-cache behavior), batch publishes keep the cache.
-                    let snapshot = Snapshot::build_uncached(
+                    // Validation re-runs against the churned ecosystem:
+                    // the corpus is re-derived from current registry
+                    // state, so verdicts track membership churn.
+                    let observations = inferencer.observations();
+                    let validation = validate_harvest(
+                        &eco,
+                        inferencer.current(),
+                        &observations,
+                        &CorpusConfig::seeded(cfg.seed),
+                    );
+                    let snapshot = Snapshot::build_uncached_validated(
                         &cfg.scale,
                         cfg.seed,
                         names.clone(),
                         inferencer.current().clone(),
-                        &inferencer.observations(),
+                        &observations,
                         PassiveStats::default(),
+                        validation,
                     );
                     let epoch = store.publish_with_delta(snapshot, delta);
                     stats.published.fetch_add(1, Ordering::Relaxed);
@@ -283,13 +303,23 @@ pub fn spawn_live_refresher_dist(
                     if !outcome.changed {
                         return;
                     }
-                    let snapshot = Snapshot::build_uncached(
+                    // Same validation pass as the serial loop, against
+                    // the same churned ecosystem — byte-identity of the
+                    // two loops extends to `/v1/validate`.
+                    let validation = validate_harvest(
+                        &eco,
+                        &outcome.links,
+                        &outcome.observations,
+                        &CorpusConfig::seeded(cfg.seed),
+                    );
+                    let snapshot = Snapshot::build_uncached_validated(
                         &cfg.scale,
                         cfg.seed,
                         names.clone(),
                         outcome.links,
                         &outcome.observations,
                         PassiveStats::default(),
+                        validation,
                     );
                     let epoch = store.publish_with_delta(snapshot, outcome.delta);
                     stats.published.fetch_add(1, Ordering::Relaxed);

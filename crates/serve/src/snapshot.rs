@@ -21,6 +21,7 @@ use mlpeer::index::{Announcement, LinkIndex};
 use mlpeer::infer::{MlpLinkSet, Observation};
 use mlpeer::passive::PassiveStats;
 use mlpeer::report;
+use mlpeer::validate::cross::{validate_harvest, CorpusConfig, ValidationReport};
 use mlpeer_bgp::Asn;
 use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::Ecosystem;
@@ -54,6 +55,11 @@ pub struct Snapshot {
     pub distinct_asn_count: usize,
     /// Passive-pipeline statistics of the producing harvest.
     pub passive_stats: PassiveStats,
+    /// IRR/RPKI cross-validation of the inferred links (`/v1/validate`).
+    /// A pure function of `(eco, links, observations)`, so the sharded
+    /// and distributed harvests inherit byte-identity for free; empty
+    /// (all-zero) when the producing path skipped validation.
+    pub validation: ValidationReport,
     /// Pre-rendered GET bodies, built once here so the serve hot path
     /// is a lookup + memcpy (see [`crate::cache::BodyCache`]).
     pub cache: crate::cache::BodyCache,
@@ -72,8 +78,40 @@ impl Snapshot {
         observations: &[Observation],
         passive_stats: PassiveStats,
     ) -> Snapshot {
-        let mut snapshot =
-            Snapshot::build_uncached(scale, seed, names, links, observations, passive_stats);
+        Snapshot::build_validated(
+            scale,
+            seed,
+            names,
+            links,
+            observations,
+            passive_stats,
+            ValidationReport::default(),
+        )
+    }
+
+    /// [`build`](Snapshot::build) carrying a cross-validation report —
+    /// the path that knows the producing ecosystem computes the report
+    /// (see [`of_pipeline`](Snapshot::of_pipeline)) and hands it in
+    /// here so the `/v1/validate` body pre-renders with the rest.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_validated(
+        scale: &str,
+        seed: u64,
+        names: BTreeMap<IxpId, String>,
+        links: MlpLinkSet,
+        observations: &[Observation],
+        passive_stats: PassiveStats,
+        validation: ValidationReport,
+    ) -> Snapshot {
+        let mut snapshot = Snapshot::build_uncached_validated(
+            scale,
+            seed,
+            names,
+            links,
+            observations,
+            passive_stats,
+            validation,
+        );
         // Render every addressable body once, at build time. Safe to do
         // before the store stamps the epoch: ETag-addressed bodies never
         // mention the epoch.
@@ -93,6 +131,29 @@ impl Snapshot {
         links: MlpLinkSet,
         observations: &[Observation],
         passive_stats: PassiveStats,
+    ) -> Snapshot {
+        Snapshot::build_uncached_validated(
+            scale,
+            seed,
+            names,
+            links,
+            observations,
+            passive_stats,
+            ValidationReport::default(),
+        )
+    }
+
+    /// [`build_uncached`](Snapshot::build_uncached) carrying a
+    /// cross-validation report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_uncached_validated(
+        scale: &str,
+        seed: u64,
+        names: BTreeMap<IxpId, String>,
+        links: MlpLinkSet,
+        observations: &[Observation],
+        passive_stats: PassiveStats,
+        validation: ValidationReport,
     ) -> Snapshot {
         let index = LinkIndex::build(&links, observations);
         let etag = content_etag(&links, observations);
@@ -114,6 +175,7 @@ impl Snapshot {
             unique_link_count: unique.len(),
             distinct_asn_count,
             passive_stats,
+            validation,
             cache: crate::cache::BodyCache::default(),
         }
     }
@@ -136,6 +198,7 @@ impl Snapshot {
             announcements,
             observation_count,
             passive_stats,
+            validation,
         } = parts;
         let index = LinkIndex::build_from_announcements(&links, announcements.iter().copied());
         let etag = etag_of(&links, &announcements);
@@ -157,6 +220,7 @@ impl Snapshot {
             unique_link_count: unique.len(),
             distinct_asn_count,
             passive_stats,
+            validation,
             cache: crate::cache::BodyCache::default(),
         };
         snapshot.cache = crate::cache::BodyCache::build(&snapshot);
@@ -173,13 +237,16 @@ impl Snapshot {
     /// end-to-end tests share.
     pub fn of_pipeline(eco: &Ecosystem, scale: mlpeer_bench::Scale, seed: u64) -> Snapshot {
         let p = mlpeer_bench::run_pipeline(eco, seed);
-        Snapshot::build(
+        let validation =
+            validate_harvest(eco, &p.links, &p.observations, &CorpusConfig::seeded(seed));
+        Snapshot::build_validated(
             &format!("{scale:?}").to_lowercase(),
             seed,
             Snapshot::names_of(eco),
             p.links,
             &p.observations,
             p.passive_stats,
+            validation,
         )
     }
 
@@ -196,13 +263,16 @@ impl Snapshot {
         stats: &mlpeer_dist::DistStats,
     ) -> Snapshot {
         let p = mlpeer_bench::run_pipeline_dist(eco, scale.word(), seed, cfg, stats);
-        Snapshot::build(
+        let validation =
+            validate_harvest(eco, &p.links, &p.observations, &CorpusConfig::seeded(seed));
+        Snapshot::build_validated(
             scale.word(),
             seed,
             Snapshot::names_of(eco),
             p.links,
             &p.observations,
             p.passive_stats,
+            validation,
         )
     }
 
@@ -234,6 +304,10 @@ pub struct SnapshotParts {
     pub observation_count: usize,
     /// Passive-pipeline statistics of the producing harvest.
     pub passive_stats: PassiveStats,
+    /// Cross-validation report of the producing run (persisted, not
+    /// recomputed: recovery has no ecosystem to re-derive the corpus
+    /// from).
+    pub validation: ValidationReport,
 }
 
 /// The content hash behind the ETag: FxHash over the canonical JSON of
@@ -323,6 +397,7 @@ mod tests {
             announcements: original.index.announcements(),
             observation_count: original.observation_count,
             passive_stats: original.passive_stats.clone(),
+            validation: original.validation.clone(),
         });
         assert_eq!(rebuilt.epoch, 3);
         assert_eq!(

@@ -24,6 +24,7 @@ use std::fmt;
 use mlpeer::infer::MlpLinkSet;
 use mlpeer::live::LinkDelta;
 use mlpeer::passive::PassiveStats;
+use mlpeer::validate::cross::{CorpusStats, Reason, ValidationReport, VerdictCounts};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::policy::ExportPolicy;
@@ -345,6 +346,77 @@ pub fn get_passive(r: &mut Reader<'_>) -> Result<PassiveStats, CodecError> {
     })
 }
 
+fn put_verdicts(w: &mut Writer, v: &VerdictCounts) {
+    w.put_u64(v.confirmed);
+    w.put_u64(v.unknown);
+    w.put_u64(v.contradicted);
+}
+
+fn get_verdicts(r: &mut Reader<'_>) -> Result<VerdictCounts, CodecError> {
+    Ok(VerdictCounts {
+        confirmed: r.u64()?,
+        unknown: r.u64()?,
+        contradicted: r.u64()?,
+    })
+}
+
+/// Encode a [`ValidationReport`] (corpus stats, totals, per-IXP
+/// tallies, reason histogram). Persisted rather than recomputed on
+/// recovery: revival has no [`Ecosystem`] to re-derive the IRR/RPKI
+/// corpus from.
+///
+/// [`Ecosystem`]: mlpeer_ixp::Ecosystem
+pub fn put_validation(w: &mut Writer, v: &ValidationReport) {
+    w.put_u64(v.corpus.objects);
+    w.put_u64(v.corpus.roas);
+    w.put_u64(v.corpus.quarantined);
+    w.put_u8(u8::from(v.corpus.complete));
+    put_verdicts(w, &v.totals);
+    w.put_u32(v.per_ixp.len() as u32);
+    for (ixp, counts) in &v.per_ixp {
+        put_ixp(w, *ixp);
+        put_verdicts(w, counts);
+    }
+    w.put_u32(v.reasons.len() as u32);
+    for (reason, count) in &v.reasons {
+        w.put_u8(reason.tag());
+        w.put_u64(*count);
+    }
+}
+
+/// Decode a [`ValidationReport`], rejecting unknown reason tags and
+/// non-boolean completeness bytes.
+pub fn get_validation(r: &mut Reader<'_>) -> Result<ValidationReport, CodecError> {
+    let corpus = CorpusStats {
+        objects: r.u64()?,
+        roas: r.u64()?,
+        quarantined: r.u64()?,
+        complete: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::BadValue("corpus completeness flag")),
+        },
+    };
+    let totals = get_verdicts(r)?;
+    let mut per_ixp = BTreeMap::new();
+    for _ in 0..r.count()? {
+        let ixp = get_ixp(r)?;
+        per_ixp.insert(ixp, get_verdicts(r)?);
+    }
+    let mut reasons = BTreeMap::new();
+    for _ in 0..r.count()? {
+        let reason =
+            Reason::from_tag(r.u8()?).ok_or(CodecError::BadValue("validation reason tag"))?;
+        reasons.insert(reason, r.u64()?);
+    }
+    Ok(ValidationReport {
+        corpus,
+        totals,
+        per_ixp,
+        reasons,
+    })
+}
+
 /// Encode a [`LinkDelta`] into `w`.
 pub fn put_delta(w: &mut Writer, d: &LinkDelta) {
     for set in [&d.added, &d.removed] {
@@ -393,6 +465,10 @@ pub struct PersistedSnapshot {
     pub observation_count: u64,
     /// Passive-pipeline statistics of the producing harvest.
     pub passive_stats: PassiveStats,
+    /// The IRR/RPKI cross-validation report published with the epoch.
+    /// Stored (not recomputed) because recovery has no ecosystem to
+    /// re-derive the corpus from.
+    pub validation: ValidationReport,
 }
 
 impl PersistedSnapshot {
@@ -415,6 +491,9 @@ impl PersistedSnapshot {
         }
         w.put_u64(self.observation_count);
         put_passive(w, &self.passive_stats);
+        // Appended last: version-3 records extend version-2 bodies,
+        // so every earlier field keeps its offset.
+        put_validation(w, &self.validation);
     }
 
     /// Encode to fresh bytes.
@@ -442,6 +521,7 @@ impl PersistedSnapshot {
         }
         let observation_count = r.u64()?;
         let passive_stats = get_passive(r)?;
+        let validation = get_validation(r)?;
         Ok(PersistedSnapshot {
             scale,
             seed,
@@ -451,6 +531,7 @@ impl PersistedSnapshot {
             announcements,
             observation_count,
             passive_stats,
+            validation,
         })
     }
 
@@ -523,6 +604,47 @@ pub(crate) mod tests {
                 observations: 85,
                 quarantined: 6,
             },
+            validation: sample_validation(),
+        }
+    }
+
+    fn sample_validation() -> ValidationReport {
+        ValidationReport {
+            corpus: CorpusStats {
+                objects: 12,
+                roas: 7,
+                quarantined: 1,
+                complete: true,
+            },
+            totals: VerdictCounts {
+                confirmed: 2,
+                unknown: 1,
+                contradicted: 0,
+            },
+            per_ixp: [
+                (
+                    IxpId(0),
+                    VerdictCounts {
+                        confirmed: 2,
+                        unknown: 0,
+                        contradicted: 0,
+                    },
+                ),
+                (
+                    IxpId(1),
+                    VerdictCounts {
+                        confirmed: 0,
+                        unknown: 1,
+                        contradicted: 0,
+                    },
+                ),
+            ]
+            .into(),
+            reasons: [
+                (Reason::RouteMatchBoth, 2u64),
+                (Reason::PartialCoverage, 1u64),
+            ]
+            .into(),
         }
     }
 
@@ -581,6 +703,36 @@ pub(crate) mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(get_asn_set(&mut r), Err(CodecError::Truncated));
+        // An unknown validation reason tag.
+        let mut bytes = Writer::new();
+        put_validation(&mut bytes, &sample_validation());
+        let mut bytes = bytes.into_bytes();
+        let tag_offset = bytes.len() - 2 * (1 + 8); // first (tag, count) pair
+        bytes[tag_offset] = 0xFF;
+        assert_eq!(
+            get_validation(&mut Reader::new(&bytes)),
+            Err(CodecError::BadValue("validation reason tag"))
+        );
+        // A completeness byte outside 0/1.
+        let mut w = Writer::new();
+        put_validation(&mut w, &sample_validation());
+        let mut bytes = w.into_bytes();
+        bytes[24] = 7; // objects + roas + quarantined are 8 bytes each
+        assert_eq!(
+            get_validation(&mut Reader::new(&bytes)),
+            Err(CodecError::BadValue("corpus completeness flag"))
+        );
+    }
+
+    #[test]
+    fn validation_report_round_trips() {
+        let v = sample_validation();
+        let mut w = Writer::new();
+        put_validation(&mut w, &v);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(get_validation(&mut r).unwrap(), v);
+        assert!(r.is_done());
     }
 
     #[test]
@@ -601,6 +753,7 @@ pub(crate) mod tests {
             announcements: Vec::new(),
             observation_count: 0,
             passive_stats: PassiveStats::default(),
+            validation: ValidationReport::default(),
         };
         assert_eq!(PersistedSnapshot::decode(&snap.encode()).unwrap(), snap);
         let mut w = Writer::new();

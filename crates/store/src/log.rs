@@ -56,10 +56,16 @@ use crate::codec::{get_delta, put_delta, PersistedSnapshot, Reader, Writer};
 
 /// Record magic: `MLPS` as raw bytes.
 pub const RECORD_MAGIC: [u8; 4] = *b"MLPS";
-/// On-disk format version of the record *payloads*. Version 2 added
-/// the `quarantined` counter to the persisted passive stats; version-1
-/// records read as invalid and recovery truncates before them.
-pub const RECORD_VERSION: u8 = 2;
+/// On-disk format version of the record *payloads*. Version 3 appended
+/// the IRR/RPKI [`ValidationReport`] to full-snapshot bodies; version 2
+/// added the `quarantined` counter to the persisted passive stats.
+/// Older-versioned records read as invalid and recovery truncates
+/// before them — the store is a cache of reproducible pipeline output,
+/// so discarding a stale-format tail loses nothing that a re-harvest
+/// cannot rebuild.
+///
+/// [`ValidationReport`]: mlpeer::validate::cross::ValidationReport
+pub const RECORD_VERSION: u8 = 3;
 /// Bytes before the payload (magic + version + kind + flags + epoch +
 /// payload_len).
 const HEADER_LEN: usize = 4 + 1 + 1 + 1 + 8 + 4;

@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use mlpeer::infer::MlpLinkSet;
 use mlpeer::live::LinkDelta;
 use mlpeer::passive::PassiveStats;
+use mlpeer::validate::cross::{CorpusStats, Reason, ValidationReport, VerdictCounts};
 use mlpeer_bgp::{Asn, Prefix};
 use mlpeer_ixp::ixp::IxpId;
 use mlpeer_ixp::policy::ExportPolicy;
@@ -55,6 +56,38 @@ fn arb_policy(rng: &mut StdRng) -> ExportPolicy {
         1 => ExportPolicy::AllExcept(arb_asn_set(rng, 4)),
         2 => ExportPolicy::OnlyTo(arb_asn_set(rng, 4)),
         _ => ExportPolicy::Nobody,
+    }
+}
+
+fn arb_verdicts(rng: &mut StdRng) -> VerdictCounts {
+    VerdictCounts {
+        confirmed: rng.gen_range(0..1000u64),
+        unknown: rng.gen_range(0..1000u64),
+        contradicted: rng.gen_range(0..1000u64),
+    }
+}
+
+fn arb_validation(rng: &mut StdRng) -> ValidationReport {
+    ValidationReport {
+        corpus: CorpusStats {
+            objects: rng.gen_range(0..10_000u64),
+            roas: rng.gen_range(0..10_000u64),
+            quarantined: rng.gen_range(0..100u64),
+            complete: rng.gen(),
+        },
+        totals: arb_verdicts(rng),
+        per_ixp: (0..rng.gen_range(0..4u16))
+            .map(|i| (IxpId(i), arb_verdicts(rng)))
+            .collect(),
+        reasons: {
+            let mut reasons = BTreeMap::new();
+            for r in Reason::ALL {
+                if rng.gen_bool(0.5) {
+                    reasons.insert(r, rng.gen_range(1..500u64));
+                }
+            }
+            reasons
+        },
     }
 }
 
@@ -105,6 +138,7 @@ fn arb_snapshot(rng: &mut StdRng) -> PersistedSnapshot {
             observations: rng.gen_range(0..1_000_000usize),
             quarantined: rng.gen_range(0..1000usize),
         },
+        validation: arb_validation(rng),
     }
 }
 

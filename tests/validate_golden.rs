@@ -1,0 +1,189 @@
+//! Golden-corpus conformance suite for the IRR/RPKI cross-validation
+//! subsystem.
+//!
+//! The committed fixture (`tests/golden/validate_golden.txt`) pins,
+//! per `(scale, seed)`: the derived corpus's byte length and FxHash
+//! (byte-exactness without a multi-hundred-kilobyte blob in the tree),
+//! the parsed object/ROA tallies, and the full verdict breakdown of
+//! the report `/v1/validate` serves. Any drift in the generator, the
+//! parser, the scoring ladder, or the pipeline feeding them shows up
+//! here as a diff against the fixture — deliberate changes regenerate
+//! it with `MLPEER_REGEN_GOLDEN=1 cargo test --test validate_golden`.
+//!
+//! The second half of the contract: the report is a pure function of
+//! `(eco, links, observations)`, so the serial, thread-sharded, and
+//! multi-process harvests must all produce the identical
+//! `ValidationReport` — the same equivalence the content ETag already
+//! pins for the link set, extended to validation.
+
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+
+use mlpeer::hash::FxHasher;
+use mlpeer::passive::{harvest_passive, PassiveConfig};
+use mlpeer::validate::cross::{derive_corpus, validate_harvest, CorpusConfig};
+use mlpeer_bench::{run_pipeline, run_pipeline_with, Scale};
+use mlpeer_dist::{default_worker_cmd, DistConfig, DistStats};
+use mlpeer_ixp::Ecosystem;
+use mlpeer_serve::Snapshot;
+
+const GOLDEN: &str = include_str!("golden/validate_golden.txt");
+
+/// The `(scale, seed)` grid the fixture pins.
+const GRID: [(Scale, u64); 3] = [
+    (Scale::Tiny, 7),
+    (Scale::Tiny, 42),
+    (Scale::Small, 20130501),
+];
+
+fn fxhash16(bytes: &[u8]) -> String {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    format!("{:016x}", h.finish())
+}
+
+/// Compute the actual fixture line for one `(scale, seed)` cell — the
+/// exact corpus and the exact report the serving path publishes.
+fn record_line(scale: Scale, seed: u64) -> String {
+    let eco = Ecosystem::generate(scale.config(seed));
+    let text = derive_corpus(&eco, &CorpusConfig::seeded(seed));
+    let snap = Snapshot::of_pipeline(&eco, scale, seed);
+    let v = &snap.validation;
+    let reasons = v
+        .reasons
+        .iter()
+        .map(|(r, n)| format!("{}:{n}", r.code()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{} {seed} {} {} {} {} {} {} {} {} {} {reasons}",
+        scale.word(),
+        text.len(),
+        fxhash16(text.as_bytes()),
+        v.corpus.objects,
+        v.corpus.roas,
+        v.corpus.quarantined,
+        v.corpus.complete,
+        v.totals.confirmed,
+        v.totals.unknown,
+        v.totals.contradicted,
+    )
+}
+
+#[test]
+fn golden_corpus_and_verdicts_are_byte_exact() {
+    let actual: Vec<String> = GRID
+        .iter()
+        .map(|&(scale, seed)| record_line(scale, seed))
+        .collect();
+    if std::env::var("MLPEER_REGEN_GOLDEN").is_ok() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/validate_golden.txt"
+        );
+        let mut out = String::from(
+            "# scale seed corpus_bytes corpus_fxhash objects roas quarantined \
+             complete confirmed unknown contradicted reasons\n",
+        );
+        for line in &actual {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(path, out).expect("write golden fixture");
+        eprintln!("regenerated {path}");
+    }
+    let committed: Vec<&str> = GOLDEN
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .collect();
+    assert_eq!(
+        committed.len(),
+        actual.len(),
+        "fixture must cover the whole grid"
+    );
+    for (want, got) in committed.iter().zip(&actual) {
+        assert_eq!(
+            want, got,
+            "golden mismatch — if the change is deliberate, regenerate with \
+             MLPEER_REGEN_GOLDEN=1 cargo test --test validate_golden"
+        );
+    }
+}
+
+#[test]
+fn report_identical_across_serial_sharded_and_dist_harvests() {
+    let (scale, seed) = (Scale::Tiny, 7u64);
+    let eco = Ecosystem::generate(scale.config(seed));
+    let cfg = CorpusConfig::seeded(seed);
+
+    // Serial: the plain single-threaded passive stage.
+    let serial = run_pipeline_with(&eco, seed, |prep| {
+        let mut sink = Default::default();
+        let stats = harvest_passive(
+            &prep.passive,
+            &prep.dict,
+            &prep.conn,
+            &prep.rels,
+            &PassiveConfig::default(),
+            &mut sink,
+        );
+        (sink, stats)
+    });
+    let serial_report = validate_harvest(&eco, &serial.links, &serial.observations, &cfg);
+
+    // Thread-sharded: what `Snapshot::of_pipeline` runs.
+    let sharded = run_pipeline(&eco, seed);
+    let sharded_report = validate_harvest(&eco, &sharded.links, &sharded.observations, &cfg);
+    assert_eq!(
+        serial_report, sharded_report,
+        "sharded harvest must validate identically to serial"
+    );
+
+    // Multi-process: worker binaries, as `--workers=N` serves it. The
+    // snapshot carries the report, so compare end to end.
+    let serial_snap = Snapshot::of_pipeline(&eco, scale, seed);
+    assert_eq!(serial_snap.validation, serial_report);
+    let dist_cfg = DistConfig {
+        workers: 2,
+        worker_cmd: Some(
+            default_worker_cmd().expect("mlpeer-dist-worker binary built alongside tests"),
+        ),
+        ..DistConfig::new(2)
+    };
+    let stats = DistStats::new(2);
+    let dist_snap = Snapshot::of_pipeline_dist(&eco, scale, seed, &dist_cfg, &stats);
+    assert_eq!(
+        dist_snap.validation, serial_snap.validation,
+        "dist harvest must validate identically to serial"
+    );
+    assert_eq!(dist_snap.etag, serial_snap.etag);
+}
+
+#[test]
+fn fixture_reasons_partition_the_totals() {
+    // The committed breakdowns must be internally consistent — a
+    // corrupted fixture should fail loudly, not silently pass the
+    // byte-exact test against equally corrupted output.
+    for line in GOLDEN
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+    {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), 12, "malformed fixture line: {line}");
+        let confirmed: u64 = fields[8].parse().unwrap();
+        let unknown: u64 = fields[9].parse().unwrap();
+        let contradicted: u64 = fields[10].parse().unwrap();
+        let reasons: BTreeMap<&str, u64> = fields[11]
+            .split(',')
+            .map(|kv| {
+                let (code, n) = kv.split_once(':').expect("code:count");
+                (code, n.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(
+            reasons.values().sum::<u64>(),
+            confirmed + unknown + contradicted,
+            "reason tallies must partition the verdict totals: {line}"
+        );
+    }
+}
